@@ -1,0 +1,83 @@
+// E9 — kNN similarity search latency (paper §3 / §4.2).
+//
+// "Meta-querying must be interactive" — kNN powers recommendations, so
+// it runs on every pause in typing. We sweep log size, k, and the
+// similarity mix (feature-only vs combined with output overlap).
+// Expected shape: latency grows with candidate count (queries sharing a
+// table with the probe), stays interactive (well under 100 ms) at tens
+// of thousands of logged queries.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "metaquery/knn.h"
+#include "storage/record_builder.h"
+
+namespace cqms {
+namespace {
+
+const char* kProbe =
+    "SELECT T.temp FROM WaterSalinity S, WaterTemp T "
+    "WHERE S.loc_x = T.loc_x AND T.temp < 20";
+
+void BM_KnnByLogSize(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  storage::QueryRecord probe = storage::BuildRecordFromText(kProbe, "user0", 0);
+  for (auto _ : state) {
+    auto neighbors = metaquery::KnnSearch(f.store, "user0", probe, 10);
+    benchmark::DoNotOptimize(neighbors);
+  }
+  state.counters["log_size"] = static_cast<double>(f.store.size());
+}
+BENCHMARK(BM_KnnByLogSize)->Arg(1000)->Arg(5000)->Arg(20000)->ArgNames({"queries"});
+
+void BM_KnnByK(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(5000);
+  storage::QueryRecord probe = storage::BuildRecordFromText(kProbe, "user0", 0);
+  for (auto _ : state) {
+    auto neighbors = metaquery::KnnSearch(f.store, "user0", probe,
+                                          static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(neighbors);
+  }
+}
+BENCHMARK(BM_KnnByK)->Arg(1)->Arg(10)->Arg(50)->ArgNames({"k"});
+
+void BM_KnnSimilarityMix(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(5000);
+  storage::QueryRecord probe = storage::BuildRecordFromText(kProbe, "user0", 0);
+  metaquery::SimilarityWeights weights;
+  if (state.range(0) == 0) {  // feature-only
+    weights.feature = 1.0;
+    weights.text = 0;
+    weights.output = 0;
+  } else if (state.range(0) == 1) {  // text-heavy
+    weights.feature = 0.2;
+    weights.text = 0.8;
+    weights.output = 0;
+  }  // else default combined mix
+  for (auto _ : state) {
+    auto neighbors = metaquery::KnnSearch(f.store, "user0", probe, 10, weights);
+    benchmark::DoNotOptimize(neighbors);
+  }
+}
+BENCHMARK(BM_KnnSimilarityMix)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"mix"});
+
+// Pairwise similarity micro-costs, the kNN inner loop.
+void BM_PairwiseSimilarity(benchmark::State& state) {
+  storage::QueryRecord a = storage::BuildRecordFromText(kProbe, "u", 0);
+  storage::QueryRecord b = storage::BuildRecordFromText(
+      "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T "
+      "WHERE S.loc_x = T.loc_x AND S.loc_y = T.loc_y AND T.temp < 15 "
+      "ORDER BY T.temp LIMIT 50",
+      "u", 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metaquery::CombinedSimilarity(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairwiseSimilarity);
+
+}  // namespace
+}  // namespace cqms
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// E7 — Schema-evolution maintenance (paper §4.4).
+//
+// Measures flagging + automatic repair after table/column renames and
+// drops, the incremental-check advantage ("comparing the timestamp of a
+// query with that of the last schema modification"), and reports repair
+// success counters. Expected shape: first full check is O(log); later
+// incremental checks touch only dependents of changed tables; renames
+// repair at ~100%, drops at 0% (irreparable by design).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "maintain/query_maintenance.h"
+
+namespace cqms {
+namespace {
+
+/// Fresh fixture per measurement: maintenance mutates flags and text.
+struct MaintenanceBed {
+  SimulatedClock clock{0};
+  db::Database database{&clock};
+  storage::QueryStore store;
+
+  explicit MaintenanceBed(size_t min_queries) {
+    Status s = workload::PopulateLakeDatabase(&database, 100);
+    (void)s;
+    profiler::QueryProfiler profiler(&database, &store, &clock);
+    workload::WorkloadOptions options;
+    options.num_sessions = min_queries / 5 + 1;
+    options.typo_rate = 0;
+    workload::RegisterUsers(&store, options);
+    workload::GenerateLog(&profiler, &store, &clock, options);
+  }
+};
+
+void BM_FullValidityCheck(benchmark::State& state) {
+  MaintenanceBed bed(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    maintain::QueryMaintenance maintenance(&bed.database, &bed.store,
+                                           &bed.clock, {});
+    auto report = maintenance.CheckSchemaValidity();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["log_size"] = static_cast<double>(bed.store.size());
+}
+BENCHMARK(BM_FullValidityCheck)
+    ->Arg(500)->Arg(2000)->Arg(8000)->ArgNames({"queries"});
+
+void BM_IncrementalCheckAfterLocalChange(benchmark::State& state) {
+  MaintenanceBed bed(static_cast<size_t>(state.range(0)));
+  maintain::QueryMaintenance maintenance(&bed.database, &bed.store, &bed.clock,
+                                         {});
+  maintenance.CheckSchemaValidity();  // baseline full pass
+  size_t checked = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    bed.clock.Advance(kMicrosPerMinute);
+    // A change touching only the Species table.
+    Status s = bed.database.AddColumn(
+        "Species", {"col_" + std::to_string(state.iterations()),
+                    db::ValueType::kInt});
+    (void)s;
+    state.ResumeTiming();
+    auto report = maintenance.CheckSchemaValidity();
+    checked = report.queries_checked;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["log_size"] = static_cast<double>(bed.store.size());
+  state.counters["checked"] = static_cast<double>(checked);
+}
+BENCHMARK(BM_IncrementalCheckAfterLocalChange)
+    ->Arg(500)->Arg(2000)->Arg(8000)->ArgNames({"queries"});
+
+void BM_RepairAfterRename(benchmark::State& state) {
+  size_t repaired = 0, broken = 0, log_size = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MaintenanceBed bed(1000);
+    maintain::QueryMaintenance maintenance(&bed.database, &bed.store,
+                                           &bed.clock, {});
+    maintenance.CheckSchemaValidity();
+    bed.clock.Advance(kMicrosPerMinute);
+    Status s = bed.database.RenameTable("WaterTemp", "LakeTemperature");
+    s = bed.database.RenameColumn("WaterSalinity", "salinity", "psu");
+    log_size = bed.store.size();
+    state.ResumeTiming();
+
+    auto report = maintenance.CheckSchemaValidity();
+    repaired = report.repaired;
+    broken = report.flagged_broken;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["log_size"] = static_cast<double>(log_size);
+  state.counters["repaired"] = static_cast<double>(repaired);
+  state.counters["still_broken"] = static_cast<double>(broken);
+}
+BENCHMARK(BM_RepairAfterRename);
+
+void BM_FlagAfterDrop(benchmark::State& state) {
+  size_t repaired = 0, broken = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MaintenanceBed bed(1000);
+    maintain::QueryMaintenance maintenance(&bed.database, &bed.store,
+                                           &bed.clock, {});
+    maintenance.CheckSchemaValidity();
+    bed.clock.Advance(kMicrosPerMinute);
+    Status s = bed.database.DropColumn("WaterTemp", "temp");
+    (void)s;
+    state.ResumeTiming();
+
+    auto report = maintenance.CheckSchemaValidity();
+    repaired = report.repaired;
+    broken = report.flagged_broken;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["repaired"] = static_cast<double>(repaired);
+  state.counters["flagged_broken"] = static_cast<double>(broken);
+}
+BENCHMARK(BM_FlagAfterDrop);
+
+void BM_QualityRecomputation(benchmark::State& state) {
+  MaintenanceBed bed(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maintain::UpdateAllQuality(&bed.store));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(bed.store.size()));
+}
+BENCHMARK(BM_QualityRecomputation)->Arg(2000)->ArgNames({"queries"});
+
+}  // namespace
+}  // namespace cqms
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// E6 — Background mining cost (paper §4.3).
+//
+// Clustering, association-rule mining and the full miner cycle over
+// growing logs; plus the min-support sweep that trades rule count
+// against mining time, and incremental refresh (threshold-gated) vs
+// always re-mining. Expected shape: Apriori cost grows with transactions
+// and shrinking support; k-medoids is quadratic in its (capped) sample;
+// incremental refresh amortizes to near-zero between thresholds.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "miner/query_miner.h"
+
+namespace cqms {
+namespace {
+
+std::vector<storage::QueryId> AllIds(const storage::QueryStore& store) {
+  std::vector<storage::QueryId> ids;
+  ids.reserve(store.size());
+  for (const auto& r : store.records()) ids.push_back(r.id);
+  return ids;
+}
+
+void BM_AssociationMining(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  miner::AssociationMinerOptions options;
+  auto transactions = miner::BuildTransactions(f.store, AllIds(f.store), options);
+  size_t rules = 0;
+  for (auto _ : state) {
+    auto mined = miner::MineAssociationRules(transactions, options);
+    rules = mined.size();
+    benchmark::DoNotOptimize(mined);
+  }
+  state.counters["transactions"] = static_cast<double>(transactions.size());
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_AssociationMining)
+    ->Arg(1000)->Arg(5000)->Arg(20000)->ArgNames({"queries"});
+
+void BM_AssociationMinSupportSweep(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(5000);
+  miner::AssociationMinerOptions options;
+  options.min_support = static_cast<double>(state.range(0)) / 1000.0;
+  auto transactions = miner::BuildTransactions(f.store, AllIds(f.store), options);
+  size_t rules = 0;
+  for (auto _ : state) {
+    auto mined = miner::MineAssociationRules(transactions, options);
+    rules = mined.size();
+    benchmark::DoNotOptimize(mined);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_AssociationMinSupportSweep)
+    ->Arg(100)->Arg(10)->Arg(1)->ArgNames({"minsup_permille"});
+
+void BM_KMedoidsClustering(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(5000);
+  std::vector<storage::QueryId> ids = AllIds(f.store);
+  ids.resize(std::min<size_t>(ids.size(), static_cast<size_t>(state.range(0))));
+  miner::KMedoidsOptions options;
+  options.k = 8;
+  for (auto _ : state) {
+    auto clustering = miner::KMedoidsCluster(f.store, ids, options);
+    benchmark::DoNotOptimize(clustering);
+  }
+  state.counters["points"] = static_cast<double>(ids.size());
+}
+BENCHMARK(BM_KMedoidsClustering)
+    ->Arg(100)->Arg(400)->Arg(1000)->ArgNames({"sample"});
+
+void BM_AgglomerativeClustering(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(5000);
+  std::vector<storage::QueryId> ids = AllIds(f.store);
+  ids.resize(std::min<size_t>(ids.size(), 400));
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto clustering = miner::AgglomerativeCluster(f.store, ids, 0.4);
+    clusters = clustering.num_clusters();
+    benchmark::DoNotOptimize(clustering);
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK(BM_AgglomerativeClustering);
+
+void BM_FullMiningCycle(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  miner::QueryMinerOptions options;
+  options.clustering_sample = 500;
+  for (auto _ : state) {
+    miner::QueryMiner miner(&f.store, &f.clock, options);
+    miner.RunAll();
+    benchmark::DoNotOptimize(miner.rules().size());
+  }
+  state.counters["log_size"] = static_cast<double>(f.store.size());
+}
+BENCHMARK(BM_FullMiningCycle)->Arg(1000)->Arg(5000)->ArgNames({"queries"});
+
+// Incremental maintenance (§4.3): MaybeRefresh below the threshold is a
+// cheap no-op; this is what a background timer pays almost every tick.
+void BM_IncrementalRefreshNoop(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(5000);
+  miner::QueryMinerOptions options;
+  options.refresh_threshold = 1000000;  // never re-mine
+  miner::QueryMiner miner(&f.store, &f.clock, options);
+  miner.RunAll();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(miner.MaybeRefresh());
+  }
+}
+BENCHMARK(BM_IncrementalRefreshNoop);
+
+}  // namespace
+}  // namespace cqms
+
+BENCHMARK_MAIN();

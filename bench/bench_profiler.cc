@@ -1,0 +1,91 @@
+// E1 — Profiler overhead (paper §2.1 / Figure 4).
+//
+// The paper's first requirement: the Query Profiler "does not impose
+// significant runtime overhead". We measure end-to-end latency of the
+// same query mix at every profiling level, against raw execution.
+// Expected shape: kTextOnly ~ raw; kFeatures adds parsing+extraction;
+// kFull adds summarization; all small relative to query execution.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "storage/record_builder.h"
+
+namespace cqms {
+namespace {
+
+const char* kQueryMix[] = {
+    "SELECT * FROM WaterTemp WHERE temp < 18",
+    "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T "
+    "WHERE S.loc_x = T.loc_x AND T.temp < 18",
+    "SELECT lake, AVG(temp) FROM WaterTemp GROUP BY lake",
+    "SELECT city FROM CityLocations WHERE pop > 100000 ORDER BY pop DESC",
+};
+
+void BM_RawExecution(benchmark::State& state) {
+  SimulatedClock clock(0);
+  db::Database database(&clock);
+  Status s = workload::PopulateLakeDatabase(&database, 300);
+  (void)s;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = database.ExecuteSql(kQueryMix[i++ % 4]);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RawExecution);
+
+void BM_ProfiledExecution(benchmark::State& state) {
+  SimulatedClock clock(0);
+  db::Database database(&clock);
+  Status s = workload::PopulateLakeDatabase(&database, 300);
+  (void)s;
+  storage::QueryStore store;
+  profiler::ProfilerOptions options;
+  options.level = static_cast<profiler::ProfilingLevel>(state.range(0));
+  profiler::QueryProfiler profiler(&database, &store, &clock, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = profiler.ExecuteAndProfile(kQueryMix[i++ % 4], "bench");
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["logged"] = static_cast<double>(store.size());
+}
+BENCHMARK(BM_ProfiledExecution)
+    ->Arg(static_cast<int>(profiler::ProfilingLevel::kOff))
+    ->Arg(static_cast<int>(profiler::ProfilingLevel::kTextOnly))
+    ->Arg(static_cast<int>(profiler::ProfilingLevel::kFeatures))
+    ->Arg(static_cast<int>(profiler::ProfilingLevel::kFull))
+    ->ArgNames({"level"});
+
+// Marginal cost of the profiler-side work alone (no query execution):
+// record building at each level, on a representative 3-way join query.
+void BM_RecordBuildOnly(benchmark::State& state) {
+  const std::string text =
+      "SELECT T.lake, AVG(T.temp) FROM WaterTemp T, WaterSalinity S, "
+      "CityLocations C WHERE T.loc_x = S.loc_x AND T.temp < 18 "
+      "GROUP BY T.lake ORDER BY T.lake LIMIT 10";
+  for (auto _ : state) {
+    auto record = storage::BuildRecordFromText(text, "bench", 0);
+    benchmark::DoNotOptimize(record);
+  }
+}
+BENCHMARK(BM_RecordBuildOnly);
+
+// Store append throughput (index + feature-relation maintenance).
+void BM_StoreAppend(benchmark::State& state) {
+  storage::QueryStore store;
+  auto record = storage::BuildRecordFromText(
+      "SELECT * FROM WaterTemp WHERE temp < 18", "bench", 0);
+  for (auto _ : state) {
+    storage::QueryRecord copy = record;
+    benchmark::DoNotOptimize(store.Append(std::move(copy)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreAppend);
+
+}  // namespace
+}  // namespace cqms
+
+BENCHMARK_MAIN();

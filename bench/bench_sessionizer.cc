@@ -1,0 +1,114 @@
+// E4 — Session identification (paper Figure 2 / §2.2).
+//
+// Measures (a) sessionizer throughput over growing logs and (b) accuracy
+// against the workload generator's ground truth, reported as pairwise
+// precision/recall/F1 counters while sweeping the temporal-gap
+// threshold. Expected shape: near-linear throughput; F1 peaks when the
+// gap threshold sits between the generator's think time (<=90 s) and its
+// session gap (>=30 min), and degrades on both sides — the crossover the
+// paper's tunable-parameter discussion (§2.4) anticipates.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+#include "miner/sessionizer.h"
+
+namespace cqms {
+namespace {
+
+struct PairwiseScores {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// Pairwise clustering metric: over all pairs of queries of the same
+/// user, a pair is positive when both sides place it in one session.
+PairwiseScores ScoreSessions(const storage::QueryStore& store,
+                             const workload::GroundTruth& truth) {
+  // predicted[i] = session id assigned by the miner; actual from truth.
+  uint64_t tp = 0, fp = 0, fn = 0;
+  std::map<std::string, std::vector<storage::QueryId>> per_user;
+  for (const auto& r : store.records()) per_user[r.user].push_back(r.id);
+  for (const auto& [user, ids] : per_user) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto ti = truth.session_of.find(ids[i]);
+      if (ti == truth.session_of.end()) continue;
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        auto tj = truth.session_of.find(ids[j]);
+        if (tj == truth.session_of.end()) continue;
+        bool same_truth = ti->second == tj->second;
+        bool same_pred = store.Get(ids[i])->session_id ==
+                         store.Get(ids[j])->session_id;
+        if (same_pred && same_truth) ++tp;
+        else if (same_pred && !same_truth) ++fp;
+        else if (!same_pred && same_truth) ++fn;
+      }
+    }
+  }
+  PairwiseScores s;
+  s.precision = tp + fp == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+  s.recall = tp + fn == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn);
+  s.f1 = s.precision + s.recall == 0
+             ? 0
+             : 2 * s.precision * s.recall / (s.precision + s.recall);
+  return s;
+}
+
+void BM_SessionizerThroughput(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto sessions = miner::IdentifySessions(&f.store);
+    benchmark::DoNotOptimize(sessions);
+  }
+  state.counters["log_size"] = static_cast<double>(f.store.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.store.size()));
+}
+BENCHMARK(BM_SessionizerThroughput)
+    ->Arg(1000)->Arg(5000)->Arg(20000)->ArgNames({"queries"});
+
+void BM_SessionizerAccuracyByGap(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(2000);
+  miner::SessionizerOptions options;
+  options.max_gap = static_cast<Micros>(state.range(0)) * kMicrosPerSecond;
+  PairwiseScores scores;
+  for (auto _ : state) {
+    auto sessions = miner::IdentifySessions(&f.store, options);
+    benchmark::DoNotOptimize(sessions);
+    scores = ScoreSessions(f.store, f.truth);
+  }
+  state.counters["precision"] = scores.precision;
+  state.counters["recall"] = scores.recall;
+  state.counters["f1"] = scores.f1;
+}
+BENCHMARK(BM_SessionizerAccuracyByGap)
+    ->Arg(10)      // below think time: over-splits, low recall
+    ->Arg(120)     // just above think time: the sweet spot
+    ->Arg(600)     // the default (10 min): still below session gap
+    ->Arg(7200)    // above session gap: merges sessions, low precision
+    ->ArgNames({"gap_s"});
+
+void BM_SessionizerAccuracyByDistance(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(2000);
+  miner::SessionizerOptions options;
+  options.max_distance = static_cast<double>(state.range(0)) / 100.0;
+  PairwiseScores scores;
+  for (auto _ : state) {
+    auto sessions = miner::IdentifySessions(&f.store, options);
+    benchmark::DoNotOptimize(sessions);
+    scores = ScoreSessions(f.store, f.truth);
+  }
+  state.counters["precision"] = scores.precision;
+  state.counters["recall"] = scores.recall;
+  state.counters["f1"] = scores.f1;
+}
+BENCHMARK(BM_SessionizerAccuracyByDistance)
+    ->Arg(20)->Arg(50)->Arg(75)->Arg(100)->ArgNames({"maxdist_pct"});
+
+}  // namespace
+}  // namespace cqms
+
+BENCHMARK_MAIN();

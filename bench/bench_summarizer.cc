@@ -1,0 +1,122 @@
+// E8 — Adaptive output summarization & statistics refresh (paper §4.1,
+// §4.4).
+//
+// (a) The summary-budget policy over an (execution time x result size)
+// grid, reporting the stored-rows counter: slow+small stores everything,
+// fast+huge stores a capped sample — the paper's two canonical cases.
+// (b) Statistics refresh under data drift with a re-execution budget:
+// detection cost (histogram snapshot + distance) vs the naive rerun-all.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "db/stats.h"
+#include "maintain/query_maintenance.h"
+#include "profiler/output_summarizer.h"
+
+namespace cqms {
+namespace {
+
+db::QueryResult MakeResult(size_t rows) {
+  db::QueryResult r;
+  r.column_names = {"a", "b"};
+  r.rows.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    r.rows.push_back({db::Value::Int(static_cast<int64_t>(i)),
+                      db::Value::Double(static_cast<double>(i) * 0.5)});
+  }
+  return r;
+}
+
+void BM_SummarizePolicyGrid(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const Micros exec_micros = state.range(1) * 1000;  // ms -> us
+  db::QueryResult result = MakeResult(rows);
+  storage::OutputSummary summary;
+  for (auto _ : state) {
+    summary = profiler::SummarizeOutput(result, exec_micros);
+    benchmark::DoNotOptimize(summary);
+  }
+  state.counters["stored_rows"] = static_cast<double>(summary.sample_rows.size());
+  state.counters["complete"] = summary.complete ? 1 : 0;
+}
+BENCHMARK(BM_SummarizePolicyGrid)
+    // The paper's two cases plus the grid between them.
+    ->Args({10, 7'200'000})   // 2 hours, 10 rows -> store all
+    ->Args({200000, 2'000})   // 2 seconds, 200k rows -> tiny sample
+    ->Args({10, 2})           // fast & small -> store all (fits min budget)
+    ->Args({1000, 100})
+    ->Args({1000, 10'000})
+    ->Args({100000, 60'000})
+    ->ArgNames({"rows", "exec_ms"});
+
+void BM_TableStatsComputation(benchmark::State& state) {
+  SimulatedClock clock(0);
+  db::Database database(&clock);
+  Status s =
+      workload::PopulateLakeDatabase(&database, static_cast<size_t>(state.range(0)));
+  (void)s;
+  const db::Table* table = database.GetTable("WaterTemp");
+  for (auto _ : state) {
+    auto stats = db::ComputeTableStats(*table);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(table->num_rows()));
+}
+BENCHMARK(BM_TableStatsComputation)
+    ->Arg(1000)->Arg(10000)->Arg(50000)->ArgNames({"rows"});
+
+void BM_HistogramDistance(benchmark::State& state) {
+  std::vector<db::Value> a, b;
+  for (int i = 0; i < 10000; ++i) {
+    a.push_back(db::Value::Double(i * 0.01));
+    b.push_back(db::Value::Double(50 + i * 0.01));
+  }
+  db::Histogram ha = db::Histogram::Build(a);
+  db::Histogram hb = db::Histogram::Build(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ha.Distance(hb));
+  }
+}
+BENCHMARK(BM_HistogramDistance);
+
+/// Drift-triggered refresh vs the naive strategy the paper rejects
+/// ("rerun all queries periodically [is] overly expensive"): we compare
+/// one maintenance cycle (detect + budgeted re-execution) against
+/// re-running every logged query.
+void BM_BudgetedStatsRefresh(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimulatedClock clock(0);
+    db::Database database(&clock);
+    Status s = workload::PopulateLakeDatabase(&database, 200);
+    storage::QueryStore store;
+    profiler::QueryProfiler profiler(&database, &store, &clock);
+    workload::WorkloadOptions wopts;
+    wopts.num_sessions = 100;
+    wopts.typo_rate = 0;
+    workload::GenerateLog(&profiler, &store, &clock, wopts);
+    maintain::MaintenanceOptions mopts;
+    mopts.reexecute_budget = static_cast<size_t>(state.range(0));
+    mopts.drift_threshold = 0.15;
+    maintain::QueryMaintenance maintenance(&database, &store, &clock, mopts);
+    maintenance.RefreshStatistics();  // baseline snapshot
+    for (int i = 0; i < 2000; ++i) {
+      s = database.Insert("WaterTemp",
+                          {db::Value::String("Union"), db::Value::Int(1),
+                           db::Value::Int(1), db::Value::Double(70.0)});
+    }
+    state.ResumeTiming();
+    auto report = maintenance.RefreshStatistics();
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_BudgetedStatsRefresh)
+    ->Arg(10)->Arg(50)->Arg(1000000)  // budget; the last ~= rerun-all
+    ->ArgNames({"budget"});
+
+}  // namespace
+}  // namespace cqms
+
+BENCHMARK_MAIN();

@@ -1,0 +1,256 @@
+#include "assist/completion.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace cqms::assist {
+
+namespace {
+
+/// Tables already referenced in the partial text's FROM clause(s),
+/// recovered token-wise (the text usually does not parse yet).
+std::vector<std::string> TablesInPartial(const std::string& partial_text) {
+  auto tokens = sql::Tokenize(partial_text);
+  std::vector<std::string> tables;
+  if (!tokens.ok()) return tables;
+  bool in_from = false;
+  bool expect_table = false;
+  for (const sql::Token& t : *tokens) {
+    if (t.kind == sql::TokenKind::kKeyword) {
+      if (t.text == "FROM" || t.text == "JOIN") {
+        in_from = true;
+        expect_table = true;
+        continue;
+      }
+      if (t.text == "WHERE" || t.text == "GROUP" || t.text == "ORDER" ||
+          t.text == "HAVING" || t.text == "LIMIT" || t.text == "SELECT" ||
+          t.text == "ON" || t.text == "UNION") {
+        in_from = false;
+      }
+      continue;
+    }
+    if (!in_from) continue;
+    if (t.kind == sql::TokenKind::kComma) {
+      expect_table = true;
+      continue;
+    }
+    if (t.kind == sql::TokenKind::kIdentifier && expect_table) {
+      tables.push_back(ToLower(t.text));
+      expect_table = false;  // next identifier would be an alias
+    }
+  }
+  return tables;
+}
+
+/// The trailing identifier fragment being typed, if the text does not
+/// end in whitespace/punctuation. E.g. "SELECT * FROM Wat" -> "Wat".
+std::string TrailingPrefix(const std::string& text) {
+  size_t end = text.size();
+  size_t start = end;
+  while (start > 0) {
+    char c = text[start - 1];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      --start;
+    } else {
+      break;
+    }
+  }
+  return text.substr(start, end - start);
+}
+
+}  // namespace
+
+ClauseContext InferClause(const std::string& partial_text) {
+  auto tokens = sql::Tokenize(partial_text);
+  if (!tokens.ok()) return ClauseContext::kOther;
+  ClauseContext clause = ClauseContext::kStart;
+  for (const sql::Token& t : *tokens) {
+    if (t.kind != sql::TokenKind::kKeyword) continue;
+    if (t.text == "SELECT") clause = ClauseContext::kSelect;
+    else if (t.text == "FROM" || t.text == "JOIN") clause = ClauseContext::kFrom;
+    else if (t.text == "WHERE" || t.text == "ON" || t.text == "HAVING") {
+      clause = ClauseContext::kWhere;
+    } else if (t.text == "GROUP") clause = ClauseContext::kGroupBy;
+    else if (t.text == "ORDER") clause = ClauseContext::kOrderBy;
+    else if (t.text == "LIMIT") clause = ClauseContext::kOther;
+  }
+  return clause;
+}
+
+CompletionEngine::CompletionEngine(const storage::QueryStore* store,
+                                   const miner::QueryMiner* miner,
+                                   const db::Catalog* catalog)
+    : store_(store), miner_(miner), catalog_(catalog) {}
+
+std::vector<CompletionSuggestion> CompletionEngine::Complete(
+    const std::string& /*viewer*/, const std::string& partial_text,
+    size_t limit) const {
+  ClauseContext clause = InferClause(partial_text);
+  std::string prefix = TrailingPrefix(partial_text);
+
+  // If the prefix itself is mid-keyword ("SELECT * FR"), offer keywords.
+  std::vector<CompletionSuggestion> out;
+  if (!prefix.empty()) {
+    for (const char* kw : {"SELECT", "FROM", "WHERE", "GROUP BY", "ORDER BY",
+                           "HAVING", "LIMIT", "JOIN", "DISTINCT", "BETWEEN",
+                           "LIKE", "UNION"}) {
+      if (StartsWithIgnoreCase(kw, prefix) && !EqualsIgnoreCase(kw, prefix)) {
+        out.push_back({CompletionSuggestion::Kind::kKeyword, kw, 0.4,
+                       "keyword"});
+      }
+    }
+  }
+
+  // If the prefix is a complete keyword spelling, treat it as consumed.
+  std::string effective_prefix = prefix;
+  if (sql::IsReservedKeyword(ToUpper(prefix))) effective_prefix.clear();
+
+  std::vector<CompletionSuggestion> clause_suggestions;
+  switch (clause) {
+    case ClauseContext::kStart:
+      clause_suggestions.push_back(
+          {CompletionSuggestion::Kind::kKeyword, "SELECT", 1.0, "start a query"});
+      break;
+    case ClauseContext::kFrom:
+      clause_suggestions = CompleteTables(partial_text, effective_prefix, limit);
+      break;
+    case ClauseContext::kWhere: {
+      clause_suggestions = CompleteColumns(partial_text, effective_prefix, limit);
+      auto predicates = CompletePredicates(partial_text, limit);
+      clause_suggestions.insert(clause_suggestions.end(), predicates.begin(),
+                                predicates.end());
+      break;
+    }
+    case ClauseContext::kSelect:
+    case ClauseContext::kGroupBy:
+    case ClauseContext::kOrderBy:
+      clause_suggestions = CompleteColumns(partial_text, effective_prefix, limit);
+      break;
+    case ClauseContext::kOther:
+      break;
+  }
+  out.insert(out.end(), clause_suggestions.begin(), clause_suggestions.end());
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CompletionSuggestion& a, const CompletionSuggestion& b) {
+                     return a.score > b.score;
+                   });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<CompletionSuggestion> CompletionEngine::CompleteTables(
+    const std::string& partial_text, const std::string& prefix,
+    size_t limit) const {
+  std::vector<CompletionSuggestion> out;
+  std::vector<std::string> present = TablesInPartial(partial_text);
+  std::set<std::string> present_set(present.begin(), present.end());
+
+  // Context-aware scores from association rules (the paper's
+  // WaterSalinity -> WaterTemp example).
+  std::map<std::string, std::pair<double, std::string>> scores;  // table -> (score, reason)
+  if (use_association_rules_ && miner_ != nullptr && !present.empty()) {
+    std::vector<std::string> context;
+    context.reserve(present.size());
+    for (const std::string& t : present) context.push_back("t:" + t);
+    for (const auto& [item, confidence] :
+         miner::SuggestFromRules(miner_->rules(), context, limit * 2)) {
+      if (item.rfind("t:", 0) != 0) continue;
+      std::string table = item.substr(2);
+      // Rule confidence dominates: range [1, 2).
+      scores[table] = {1.0 + confidence,
+                       "co-occurs with " + Join(present, "+")};
+    }
+  }
+
+  // Popularity fallback: range (0, 1).
+  if (miner_ != nullptr) {
+    for (const auto& [table, score] : miner_->popularity().TopTables(limit * 4)) {
+      if (scores.count(table) > 0) continue;
+      double denom = 1.0 + score;
+      scores[table] = {score / denom, "popular table"};
+    }
+  }
+
+  // Catalog completes the candidate set (score epsilon).
+  if (catalog_ != nullptr) {
+    for (const std::string& table : catalog_->TableNames()) {
+      if (scores.count(table) == 0) scores[table] = {0.01, "in catalog"};
+    }
+  }
+
+  for (const auto& [table, score_reason] : scores) {
+    if (present_set.count(table) > 0) continue;
+    if (!prefix.empty() && !StartsWithIgnoreCase(table, prefix)) continue;
+    out.push_back({CompletionSuggestion::Kind::kTable, table,
+                   score_reason.first, score_reason.second});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CompletionSuggestion& a, const CompletionSuggestion& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.text < b.text;
+                   });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<CompletionSuggestion> CompletionEngine::CompleteColumns(
+    const std::string& partial_text, const std::string& prefix,
+    size_t limit) const {
+  std::vector<CompletionSuggestion> out;
+  if (catalog_ == nullptr) return out;
+  std::vector<std::string> tables = TablesInPartial(partial_text);
+  if (tables.empty()) {
+    // SELECT typed before FROM: offer columns of popular tables.
+    if (miner_ != nullptr) {
+      for (const auto& [table, score] : miner_->popularity().TopTables(3)) {
+        tables.push_back(table);
+      }
+    }
+  }
+  for (const std::string& table : tables) {
+    const db::TableSchema* schema = catalog_->FindTable(table);
+    if (schema == nullptr) continue;
+    for (const db::ColumnDef& col : schema->columns()) {
+      if (!prefix.empty() && !StartsWithIgnoreCase(col.name, prefix)) continue;
+      double popularity =
+          miner_ != nullptr
+              ? miner_->popularity().AttributeScore(table, col.name)
+              : 0;
+      out.push_back({CompletionSuggestion::Kind::kColumn, col.name,
+                     0.5 + popularity / (1.0 + popularity),
+                     "column of " + table});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CompletionSuggestion& a, const CompletionSuggestion& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.text < b.text;
+                   });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<CompletionSuggestion> CompletionEngine::CompletePredicates(
+    const std::string& partial_text, size_t limit) const {
+  std::vector<CompletionSuggestion> out;
+  if (miner_ == nullptr) return out;
+  std::vector<std::string> present = TablesInPartial(partial_text);
+  if (present.empty()) return out;
+  std::vector<std::string> context;
+  context.reserve(present.size());
+  for (const std::string& t : present) context.push_back("t:" + t);
+  for (const auto& [item, confidence] :
+       miner::SuggestFromRules(miner_->rules(), context, limit)) {
+    if (item.rfind("p:", 0) != 0) continue;
+    out.push_back({CompletionSuggestion::Kind::kPredicate, item.substr(2),
+                   confidence, "common predicate here"});
+  }
+  return out;
+}
+
+}  // namespace cqms::assist

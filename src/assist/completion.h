@@ -1,0 +1,75 @@
+#ifndef CQMS_ASSIST_COMPLETION_H_
+#define CQMS_ASSIST_COMPLETION_H_
+
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "miner/query_miner.h"
+#include "storage/query_store.h"
+
+namespace cqms::assist {
+
+/// One completion suggestion for the in-flight query (Figure 3's
+/// drop-down list).
+struct CompletionSuggestion {
+  enum class Kind { kKeyword, kTable, kColumn, kPredicate };
+  Kind kind = Kind::kKeyword;
+  std::string text;    ///< The text to insert/complete.
+  double score = 0;    ///< Higher is better.
+  std::string reason;  ///< e.g. "co-occurs with watersalinity (conf 0.82)".
+};
+
+/// Which clause the cursor is in — determined from the partial text.
+enum class ClauseContext {
+  kStart,    ///< Nothing typed yet.
+  kSelect,
+  kFrom,
+  kWhere,    ///< Also HAVING / ON: predicate position.
+  kGroupBy,
+  kOrderBy,
+  kOther,
+};
+
+/// Infers the clause the cursor sits in from the partial SQL text.
+ClauseContext InferClause(const std::string& partial_text);
+
+/// Context-aware completion engine (§2.3). Table suggestions inside FROM
+/// use the miner's association rules so that, e.g., having typed
+/// `... FROM WaterSalinity, ` the engine ranks WaterTemp above the
+/// globally-more-popular CityLocations — the paper's motivating example.
+class CompletionEngine {
+ public:
+  /// `store`, `miner` and `catalog` must outlive the engine. `miner` may
+  /// be null (falls back to catalog/popularity-only suggestions).
+  CompletionEngine(const storage::QueryStore* store,
+                   const miner::QueryMiner* miner, const db::Catalog* catalog);
+
+  /// Suggests completions for `partial_text` as typed so far by `viewer`.
+  std::vector<CompletionSuggestion> Complete(const std::string& viewer,
+                                             const std::string& partial_text,
+                                             size_t limit = 8) const;
+
+  /// Disables association-rule context so tables rank by popularity
+  /// alone — the ablation baseline for bench E5. Default on.
+  void set_use_association_rules(bool use) { use_association_rules_ = use; }
+
+ private:
+  std::vector<CompletionSuggestion> CompleteTables(
+      const std::string& partial_text, const std::string& prefix,
+      size_t limit) const;
+  std::vector<CompletionSuggestion> CompleteColumns(
+      const std::string& partial_text, const std::string& prefix,
+      size_t limit) const;
+  std::vector<CompletionSuggestion> CompletePredicates(
+      const std::string& partial_text, size_t limit) const;
+
+  const storage::QueryStore* store_;
+  const miner::QueryMiner* miner_;
+  const db::Catalog* catalog_;
+  bool use_association_rules_ = true;
+};
+
+}  // namespace cqms::assist
+
+#endif  // CQMS_ASSIST_COMPLETION_H_

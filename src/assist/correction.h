@@ -1,0 +1,63 @@
+#ifndef CQMS_ASSIST_CORRECTION_H_
+#define CQMS_ASSIST_CORRECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "storage/query_store.h"
+
+namespace cqms::assist {
+
+/// One proposed correction (the "spell checker" of §2.3).
+struct Correction {
+  enum class Kind { kTableName, kColumnName, kPredicateConstant };
+  Kind kind = Kind::kTableName;
+  std::string original;
+  std::string replacement;
+  double confidence = 0;  ///< In (0,1]; higher = safer to auto-apply.
+  std::string reason;
+};
+
+struct CorrectionOptions {
+  /// Maximum edit distance for identifier spell-checking.
+  size_t max_edit_distance = 2;
+  /// Auto-apply threshold used by AutoCorrect.
+  double min_confidence_to_apply = 0.5;
+};
+
+/// Correction engine: identifier spell-check against the catalog, and
+/// predicate relaxation for queries that return the empty set (§2.3:
+/// "if a predicate causes a query to return the empty set, the CQMS
+/// could suggest similar, previously issued predicates that return a
+/// non-empty set").
+class CorrectionEngine {
+ public:
+  /// `store` and `database` must outlive the engine.
+  CorrectionEngine(const storage::QueryStore* store, const db::Database* database,
+                   CorrectionOptions options = {});
+
+  /// Proposes fixes for unknown table/column names in `sql_text`
+  /// (which may fail to parse or bind). Best suggestion first.
+  std::vector<Correction> CorrectIdentifiers(const std::string& sql_text) const;
+
+  /// For a parsed query with an empty result, proposes replacement
+  /// constants from logged same-skeleton predicates whose queries
+  /// returned rows. `viewer` scopes visibility.
+  std::vector<Correction> SuggestPredicateRelaxations(
+      const std::string& viewer, const sql::SelectStatement& stmt) const;
+
+  /// Applies identifier corrections above the confidence threshold and
+  /// returns the corrected text. Fails if nothing could be improved.
+  Result<std::string> AutoCorrect(const std::string& sql_text) const;
+
+ private:
+  const storage::QueryStore* store_;
+  const db::Database* database_;
+  CorrectionOptions options_;
+};
+
+}  // namespace cqms::assist
+
+#endif  // CQMS_ASSIST_CORRECTION_H_

@@ -1,0 +1,84 @@
+#include "assist/recommend.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sql/diff.h"
+#include "storage/record_builder.h"
+
+namespace cqms::assist {
+
+namespace {
+
+/// Skeleton fingerprints of every query a user has issued — a cheap
+/// signature of their "session patterns".
+std::set<uint64_t> UserSkeletons(const storage::QueryStore& store,
+                                 const std::string& user) {
+  std::set<uint64_t> out;
+  for (storage::QueryId id : store.QueriesByUser(user)) {
+    const storage::QueryRecord* r = store.Get(id);
+    if (r != nullptr && !r->parse_failed()) out.insert(r->skeleton_fingerprint);
+  }
+  return out;
+}
+
+}  // namespace
+
+RecommendationEngine::RecommendationEngine(const storage::QueryStore* store,
+                                           const miner::QueryMiner* miner)
+    : store_(store), miner_(miner) {}
+
+Result<std::vector<Recommendation>> RecommendationEngine::Recommend(
+    const std::string& viewer, const std::string& sql_text, size_t k,
+    const RecommendOptions& options) const {
+  storage::QueryRecord probe = storage::BuildRecordFromText(sql_text, viewer, 0);
+  if (probe.parse_failed()) {
+    return Status::ParseError("cannot recommend for unparsable text: " +
+                              probe.stats.error);
+  }
+
+  // Over-fetch to survive dedup/session filtering.
+  std::vector<metaquery::Neighbor> neighbors = metaquery::KnnSearch(
+      *store_, viewer, probe, k * 4 + 8, options.weights, options.ranking);
+
+  std::set<uint64_t> viewer_skeletons;
+  if (options.restrict_to_similar_sessions) {
+    viewer_skeletons = UserSkeletons(*store_, viewer);
+  }
+
+  std::vector<Recommendation> out;
+  std::set<uint64_t> seen_fingerprints;
+  for (const metaquery::Neighbor& n : neighbors) {
+    if (out.size() >= k) break;
+    const storage::QueryRecord* r = store_->Get(n.id);
+    if (r == nullptr || r->parse_failed()) continue;
+    if (options.deduplicate && !seen_fingerprints.insert(r->fingerprint).second) {
+      continue;
+    }
+    if (options.restrict_to_similar_sessions && r->user != viewer) {
+      // Keep only authors whose history shares a skeleton with the viewer.
+      std::set<uint64_t> author_skeletons = UserSkeletons(*store_, r->user);
+      bool overlap = false;
+      for (uint64_t fp : author_skeletons) {
+        if (viewer_skeletons.count(fp) > 0) {
+          overlap = true;
+          break;
+        }
+      }
+      if (!overlap) continue;
+    }
+    Recommendation rec;
+    rec.id = n.id;
+    rec.score = n.score;
+    rec.similarity = n.similarity;
+    rec.text = r->text;
+    rec.diff = sql::DiffQueries(probe.components, r->components).Summary();
+    if (!r->annotations.empty()) {
+      rec.annotation = r->annotations.back().text;
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace cqms::assist

@@ -1,0 +1,36 @@
+#ifndef CQMS_CLIENT_BROWSE_H_
+#define CQMS_CLIENT_BROWSE_H_
+
+#include <string>
+#include <vector>
+
+#include "miner/clustering.h"
+#include "miner/sessionizer.h"
+#include "storage/query_store.h"
+
+namespace cqms::client {
+
+/// Renders a comprehensible, session-grouped summary of the query log
+/// for `viewer` (§2.2 Browse: "present query sessions instead of
+/// individual queries"). Only visible queries appear; sessions whose
+/// queries are all hidden are skipped.
+std::string RenderLogSummary(const storage::QueryStore& store,
+                             const std::vector<miner::Session>& sessions,
+                             const std::string& viewer,
+                             size_t max_sessions = 20);
+
+/// Renders one query in full detail: text, runtime features, output
+/// sample, annotations, flags.
+std::string RenderQueryDetails(const storage::QueryStore& store,
+                               storage::QueryId id);
+
+/// Renders clusters of similar queries (dedup view, §4.3): per cluster
+/// the medoid plus the member count.
+std::string RenderClusters(const storage::QueryStore& store,
+                           const miner::Clustering& clustering,
+                           const std::string& viewer,
+                           size_t max_clusters = 10);
+
+}  // namespace cqms::client
+
+#endif  // CQMS_CLIENT_BROWSE_H_

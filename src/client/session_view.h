@@ -1,0 +1,31 @@
+#ifndef CQMS_CLIENT_SESSION_VIEW_H_
+#define CQMS_CLIENT_SESSION_VIEW_H_
+
+#include <string>
+
+#include "miner/sessionizer.h"
+#include "storage/query_store.h"
+
+namespace cqms::client {
+
+/// Renders a query session as ASCII art in the spirit of Figure 2: one
+/// node per query (its canonical text truncated), labeled edges showing
+/// the diff to the next query, and wall-clock offsets.
+///
+///   [q12 2:30] SELECT * FROM watertemp
+///      | +watersalinity
+///   [q13 2:31] SELECT * FROM watersalinity, watertemp
+///      | watertemp.temp < 22 -> watertemp.temp < 18
+///   ...
+std::string RenderSessionAscii(const storage::QueryStore& store,
+                               const miner::Session& session,
+                               size_t max_text_width = 72);
+
+/// Renders a session as a Graphviz DOT digraph (nodes = queries, edge
+/// labels = diffs) for the paper's visual style.
+std::string RenderSessionDot(const storage::QueryStore& store,
+                             const miner::Session& session);
+
+}  // namespace cqms::client
+
+#endif  // CQMS_CLIENT_SESSION_VIEW_H_

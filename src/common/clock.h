@@ -1,0 +1,64 @@
+#ifndef CQMS_COMMON_CLOCK_H_
+#define CQMS_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cqms {
+
+/// Microseconds since an arbitrary epoch. All CQMS timestamps (query
+/// submission times, schema-change times, session gaps) use this unit.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerSecond = 1'000'000;
+constexpr Micros kMicrosPerMinute = 60 * kMicrosPerSecond;
+
+/// Clock interface so tests and the workload generator can drive
+/// deterministic logical time while production code uses the wall clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros Now() const = 0;
+};
+
+/// Wall-clock backed implementation.
+class SystemClock : public Clock {
+ public:
+  Micros Now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock for deterministic tests and simulations.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(Micros start = 0) : now_(start) {}
+  Micros Now() const override { return now_; }
+  void Advance(Micros delta) { now_ += delta; }
+  void Set(Micros t) { now_ = t; }
+
+ private:
+  Micros now_;
+};
+
+/// Measures elapsed wall time in microseconds; used by the Query Profiler
+/// to record query execution times.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  Micros ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cqms
+
+#endif  // CQMS_COMMON_CLOCK_H_

@@ -1,0 +1,37 @@
+#ifndef CQMS_COMMON_HASH_H_
+#define CQMS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cqms {
+
+/// 64-bit FNV-1a hash of a byte string. Deterministic across platforms,
+/// which matters because query fingerprints are persisted.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes `v` into an accumulated hash (boost-style combine with a 64-bit
+/// golden-ratio constant).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  return h;
+}
+
+/// Finalizer from SplitMix64; spreads low-entropy inputs across 64 bits.
+inline uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace cqms
+
+#endif  // CQMS_COMMON_HASH_H_

@@ -1,0 +1,82 @@
+#ifndef CQMS_COMMON_RESULT_H_
+#define CQMS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cqms {
+
+/// Holds either a value of type `T` or an error `Status`.
+///
+/// This is the return type of every fallible operation that produces a
+/// value. Typical use:
+///
+/// ```
+/// Result<int> r = ParseCount(text);
+/// if (!r.ok()) return r.status();
+/// int n = r.value();
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the contained value. Must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cqms
+
+/// Evaluates `rexpr` (a Result<T>), propagating the error or binding the
+/// value to `lhs`.
+#define CQMS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  CQMS_ASSIGN_OR_RETURN_IMPL_(                                   \
+      CQMS_RESULT_CONCAT_(_cqms_result, __LINE__), lhs, rexpr)
+
+#define CQMS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define CQMS_RESULT_CONCAT_INNER_(a, b) a##b
+#define CQMS_RESULT_CONCAT_(a, b) CQMS_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // CQMS_COMMON_RESULT_H_

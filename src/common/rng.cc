@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace cqms {
+
+size_t Rng::Zipf(size_t n, double s) {
+  assert(n > 0);
+  // Linear inverse-CDF scan; n is small (tables, users, templates).
+  double total = 0;
+  for (size_t i = 1; i <= n; ++i) total += 1.0 / std::pow(static_cast<double>(i), s);
+  double target = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (acc >= target) return i - 1;
+  }
+  return n - 1;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double target = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (acc >= target) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace cqms

@@ -1,0 +1,107 @@
+#ifndef CQMS_COMMON_STATUS_H_
+#define CQMS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cqms {
+
+/// Error categories used across the CQMS code base.
+///
+/// The library does not use C++ exceptions; every fallible operation
+/// returns either a `Status` or a `Result<T>` (see result.h). This mirrors
+/// the error-handling idiom of production database systems.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed argument.
+  kNotFound = 2,          ///< A referenced entity does not exist.
+  kAlreadyExists = 3,     ///< Uniqueness constraint would be violated.
+  kParseError = 4,        ///< SQL text could not be parsed.
+  kBindError = 5,         ///< Names could not be resolved against a catalog.
+  kExecutionError = 6,    ///< Runtime failure while evaluating a query.
+  kPermissionDenied = 7,  ///< Access-control rules forbid the operation.
+  kUnsupported = 8,       ///< Feature intentionally not implemented.
+  kIoError = 9,           ///< Persistence layer failure.
+  kInternal = 10,         ///< Invariant violation; indicates a bug.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value type describing the outcome of an operation.
+///
+/// `Status` is cheap to copy in the OK case (empty message) and carries a
+/// diagnostic message otherwise. Use the factory helpers
+/// (`Status::InvalidArgument(...)` etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace cqms
+
+/// Propagates a non-OK `Status` from the current function.
+#define CQMS_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::cqms::Status _cqms_status = (expr);         \
+    if (!_cqms_status.ok()) return _cqms_status;  \
+  } while (false)
+
+#endif  // CQMS_COMMON_STATUS_H_

@@ -1,0 +1,53 @@
+#ifndef CQMS_COMMON_STRING_UTIL_H_
+#define CQMS_COMMON_STRING_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cqms {
+
+/// Returns `s` lower-cased (ASCII only; SQL identifiers are ASCII here).
+std::string ToLower(std::string_view s);
+
+/// Returns `s` upper-cased (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`, ignoring ASCII case.
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// True if `haystack` contains `needle`, ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Case-insensitive string equality (ASCII).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Levenshtein edit distance between `a` and `b` (unit costs).
+/// Used by the correction engine's identifier spell checker.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Tokenizes free text into lower-cased alphanumeric words.
+/// Used by the keyword search index.
+std::vector<std::string> ExtractWords(std::string_view text);
+
+/// Escapes a string for inclusion in a single-quoted SQL literal
+/// (doubles embedded quotes).
+std::string SqlEscape(std::string_view s);
+
+/// Formats a double with up to 6 significant digits, trimming trailing
+/// zeros, so printed query constants are stable across platforms.
+std::string FormatDouble(double v);
+
+}  // namespace cqms
+
+#endif  // CQMS_COMMON_STRING_UTIL_H_

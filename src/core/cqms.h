@@ -1,0 +1,142 @@
+#ifndef CQMS_CORE_CQMS_H_
+#define CQMS_CORE_CQMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "assist/assisted_composer.h"
+#include "client/browse.h"
+#include "client/session_view.h"
+#include "common/clock.h"
+#include "db/database.h"
+#include "maintain/query_maintenance.h"
+#include "metaquery/meta_query_executor.h"
+#include "miner/query_miner.h"
+#include "miner/tutorial.h"
+#include "profiler/query_profiler.h"
+#include "storage/persistence.h"
+#include "storage/query_store.h"
+
+namespace cqms {
+
+/// Top-level configuration of a CQMS instance.
+struct CqmsOptions {
+  /// External clock; null = wall clock (owned internally).
+  const Clock* clock = nullptr;
+  profiler::ProfilerOptions profiler;
+  miner::QueryMinerOptions miner;
+  maintain::MaintenanceOptions maintenance;
+  assist::AssistOptions assist;
+};
+
+/// The Collaborative Query Management System: the server of Figure 4,
+/// wiring the Query Profiler and Meta-Query Executor (online) with the
+/// Query Miner and Query Maintenance (background) over a shared Query
+/// Storage, on top of the embedded relational engine.
+///
+/// The API groups methods by the paper's four interaction modes (§2).
+class Cqms {
+ public:
+  explicit Cqms(CqmsOptions options = {});
+
+  /// The underlying DBMS: load data / evolve schemas through this.
+  db::Database* database() { return &database_; }
+  const db::Database& database() const { return database_; }
+
+  storage::QueryStore* store() { return &store_; }
+  const storage::QueryStore& store() const { return store_; }
+
+  const Clock& clock() const { return *clock_; }
+
+  // --- user management -----------------------------------------------------
+
+  /// Registers a user with their collaboration groups.
+  void RegisterUser(const std::string& user, const std::vector<std::string>& groups) {
+    store_.acl().AddUser(user, groups);
+  }
+
+  // --- Traditional Interaction Mode (§2.1) ----------------------------------
+
+  /// Executes a query with background profiling.
+  profiler::ProfiledExecution Execute(const std::string& user,
+                                      std::string_view sql_text) {
+    return profiler_.ExecuteAndProfile(sql_text, user);
+  }
+
+  /// Annotates a query (whole query, or a fragment of its text).
+  Status Annotate(storage::QueryId id, const std::string& author,
+                  const std::string& text, const std::string& fragment = "");
+
+  /// §2.1: the CQMS "occasionally even requests query annotations ...
+  /// for queries that are difficult to re-use without documentation".
+  /// True when the query is complex (many tables or nesting) and not yet
+  /// annotated.
+  bool ShouldRequestAnnotation(storage::QueryId id, size_t table_threshold = 3) const;
+
+  // --- Search & Browse Interaction Mode (§2.2) ------------------------------
+
+  metaquery::MetaQueryExecutor& metaquery() { return metaquery_; }
+
+  /// Session-grouped log summary for `viewer`.
+  std::string BrowseLog(const std::string& viewer, size_t max_sessions = 20) const {
+    return client::RenderLogSummary(store_, miner_.sessions(), viewer, max_sessions);
+  }
+
+  /// Figure-2 ASCII rendering of one session (viewer must see at least
+  /// one of its queries).
+  Result<std::string> ShowSession(const std::string& viewer,
+                                  storage::SessionId session_id) const;
+
+  std::string ShowQuery(storage::QueryId id) const {
+    return client::RenderQueryDetails(store_, id);
+  }
+
+  // --- Assisted Interaction Mode (§2.3) --------------------------------------
+
+  /// Per-keystroke assistance: completions, corrections, recommendations.
+  assist::AssistResponse Assist(const std::string& viewer,
+                                const std::string& partial_text) const {
+    return composer_.Assist(viewer, partial_text);
+  }
+
+  /// Auto-generated tutorial for the current dataset (§2.3).
+  std::string Tutorial() const;
+
+  // --- Administrative Interaction Mode (§2.4) ---------------------------------
+
+  Status SetVisibility(const std::string& requester, storage::QueryId id,
+                       storage::Visibility visibility);
+  Status DeleteQuery(const std::string& requester, storage::QueryId id,
+                     bool is_admin = false) {
+    return store_.Delete(id, requester, is_admin);
+  }
+
+  /// Background cycles (a deployment would run these on timers).
+  maintain::MaintenanceReport RunMaintenance() { return maintenance_.RunAll(); }
+  void RunMining() { miner_.RunAll(); }
+  bool MaybeRefreshMining() { return miner_.MaybeRefresh(); }
+
+  const miner::QueryMiner& miner() const { return miner_; }
+
+  /// Snapshot persistence of the query log.
+  Status SaveLog(const std::string& path) const {
+    return storage::SaveSnapshot(store_, path);
+  }
+
+ private:
+  std::unique_ptr<Clock> owned_clock_;
+  const Clock* clock_;
+
+  db::Database database_;
+  storage::QueryStore store_;
+  profiler::QueryProfiler profiler_;
+  metaquery::MetaQueryExecutor metaquery_;
+  miner::QueryMiner miner_;
+  maintain::QueryMaintenance maintenance_;
+  assist::AssistedComposer composer_;
+};
+
+}  // namespace cqms
+
+#endif  // CQMS_CORE_CQMS_H_

@@ -1,0 +1,145 @@
+#include "db/cost_estimator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "sql/components.h"
+
+namespace cqms::db {
+
+namespace {
+
+constexpr double kDefaultSelectivity = 1.0 / 3.0;
+
+const ColumnStats* FindColumnStats(const std::map<std::string, TableStats>& stats,
+                                   const std::string& table,
+                                   const std::string& column) {
+  auto it = stats.find(table);
+  if (it == stats.end()) return nullptr;
+  for (const ColumnStats& cs : it->second.columns) {
+    if (cs.name == column) return &cs;
+  }
+  return nullptr;
+}
+
+/// Parses a printed constant back to a double when it is numeric.
+bool ParseNumeric(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+double PredicateSelectivity(const sql::PredicateFeature& pred,
+                            const std::map<std::string, TableStats>& stats) {
+  if (pred.is_join) {
+    // Equi-join: 1 / max(ndv of the two sides); unknown -> default.
+    const ColumnStats* l = FindColumnStats(stats, pred.relation, pred.attribute);
+    const ColumnStats* r =
+        FindColumnStats(stats, pred.rhs_relation, pred.rhs_attribute);
+    uint64_t ndv = 0;
+    if (l != nullptr) ndv = std::max(ndv, l->distinct);
+    if (r != nullptr) ndv = std::max(ndv, r->distinct);
+    if (pred.op != "=" || ndv == 0) return kDefaultSelectivity;
+    return 1.0 / static_cast<double>(ndv);
+  }
+  const ColumnStats* cs = FindColumnStats(stats, pred.relation, pred.attribute);
+  if (cs == nullptr) return kDefaultSelectivity;
+
+  double constant = 0;
+  const bool numeric = ParseNumeric(pred.constant, &constant);
+
+  if (pred.op == "=") {
+    if (cs->distinct > 0) return 1.0 / static_cast<double>(cs->distinct);
+    return kDefaultSelectivity;
+  }
+  if ((pred.op == "<" || pred.op == "<=" || pred.op == ">" || pred.op == ">=") &&
+      numeric && cs->histogram.total() > 0) {
+    return cs->histogram.EstimateSelectivity(pred.op, constant);
+  }
+  if (pred.op == "IS NULL" && cs->count > 0) {
+    return static_cast<double>(cs->nulls) / static_cast<double>(cs->count);
+  }
+  if (pred.op == "IS NOT NULL" && cs->count > 0) {
+    return 1.0 - static_cast<double>(cs->nulls) / static_cast<double>(cs->count);
+  }
+  if (pred.op == "BETWEEN") {
+    // "lo AND hi": estimate as sel(<= hi) - sel(< lo).
+    auto parts = Split(pred.constant, ' ');
+    double lo = 0, hi = 0;
+    if (parts.size() == 3 && ParseNumeric(parts[0], &lo) &&
+        ParseNumeric(parts[2], &hi) && cs->histogram.total() > 0) {
+      double below_hi = cs->histogram.EstimateSelectivity("<=", hi);
+      double below_lo = cs->histogram.EstimateSelectivity("<", lo);
+      return std::max(0.0, below_hi - below_lo);
+    }
+    return kDefaultSelectivity;
+  }
+  if (pred.op == "IN") {
+    // Count the list entries; each contributes 1/ndv.
+    size_t entries = 1 + static_cast<size_t>(std::count(
+                             pred.constant.begin(), pred.constant.end(), ','));
+    if (cs->distinct > 0) {
+      return std::min(1.0, static_cast<double>(entries) /
+                               static_cast<double>(cs->distinct));
+    }
+    return kDefaultSelectivity;
+  }
+  return kDefaultSelectivity;
+}
+
+}  // namespace
+
+CostEstimate EstimateQueryCost(const Database& database,
+                               const sql::SelectStatement& stmt,
+                               const std::map<std::string, TableStats>& stats) {
+  CostEstimate estimate;
+  sql::QueryComponents components = sql::CollectComponents(stmt);
+
+  double rows = 1;
+  double scan_rows = 0;
+  bool any_table = false;
+  for (const std::string& table : components.tables) {
+    const Table* t = database.GetTable(table);
+    double card =
+        t != nullptr ? static_cast<double>(t->num_rows()) : 1000.0;  // guess
+    auto it = stats.find(table);
+    if (it != stats.end()) card = static_cast<double>(it->second.row_count);
+    rows *= std::max(1.0, card);
+    scan_rows += card;
+    any_table = true;
+  }
+  if (!any_table) rows = 1;
+
+  for (const sql::PredicateFeature& pred : components.predicates) {
+    double sel = PredicateSelectivity(pred, stats);
+    estimate.selectivities[pred.ToString()] = sel;
+    rows *= sel;
+  }
+  if (components.has_distinct || !components.group_by.empty()) {
+    // Grouping collapses duplicates; a crude 1/2 haircut without
+    // per-group statistics.
+    rows *= 0.5;
+  }
+  if (components.limit.has_value()) {
+    rows = std::min(rows, static_cast<double>(*components.limit));
+  }
+  estimate.estimated_rows = std::max(0.0, rows);
+  estimate.estimated_scan_rows = scan_rows;
+  return estimate;
+}
+
+CostEstimate EstimateQueryCost(const Database& database,
+                               const sql::SelectStatement& stmt) {
+  std::map<std::string, TableStats> stats;
+  for (const std::string& table : sql::CollectComponents(stmt).tables) {
+    const Table* t = database.GetTable(table);
+    if (t != nullptr) stats[table] = ComputeTableStats(*t);
+  }
+  return EstimateQueryCost(database, stmt, stats);
+}
+
+}  // namespace cqms::db

@@ -1,0 +1,44 @@
+#ifndef CQMS_DB_COST_ESTIMATOR_H_
+#define CQMS_DB_COST_ESTIMATOR_H_
+
+#include <map>
+#include <string>
+
+#include "db/database.h"
+#include "db/stats.h"
+#include "sql/ast.h"
+
+namespace cqms::db {
+
+/// Pre-execution estimate for one statement.
+struct CostEstimate {
+  double estimated_rows = 0;     ///< Expected output cardinality.
+  double estimated_scan_rows = 0;  ///< Work measure: rows touched by scans.
+  /// Per-predicate selectivities that went into the estimate (relation.
+  /// attribute op constant -> selectivity), for inspection/testing.
+  std::map<std::string, double> selectivities;
+};
+
+/// Histogram-based selectivity estimation (the paper connects output
+/// summarization to "selectivity estimation [16]", §4.1; the related
+/// Query Patroller "analyzes queries before execution to ensure good
+/// performance" — this is that analysis primitive).
+///
+/// Model: output = product of FROM cardinalities, scaled by predicate
+/// selectivities. Numeric comparison predicates use the column histogram;
+/// equality uses 1/ndv; equi-joins use 1/max(ndv); everything else a
+/// default of 1/3. LIMIT caps the estimate. Subqueries/OR-expressions
+/// fall back to the default selectivity.
+CostEstimate EstimateQueryCost(const Database& database,
+                               const sql::SelectStatement& stmt,
+                               const std::map<std::string, TableStats>& stats);
+
+/// Convenience: computes fresh statistics for the referenced tables
+/// first (fine for occasional admission checks; cache `TableStats` for
+/// hot paths).
+CostEstimate EstimateQueryCost(const Database& database,
+                               const sql::SelectStatement& stmt);
+
+}  // namespace cqms::db
+
+#endif  // CQMS_DB_COST_ESTIMATOR_H_

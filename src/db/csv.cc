@@ -1,0 +1,158 @@
+#include "db/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace cqms::db {
+
+namespace {
+
+std::string CsvQuote(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits one CSV record honoring quotes. Assumes records do not span
+/// lines (fields with embedded newlines are not produced by ExportCsv).
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+Status ExportCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const auto& cols = table.schema().columns();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out << ",";
+    out << CsvQuote(cols[i].name);
+  }
+  out << "\n";
+  for (const Row& r : table.rows()) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) out << ",";
+      if (!r[i].is_null()) out << CsvQuote(r[i].ToString());
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Status ImportCsv(Database* db, const std::string& table_name,
+                 const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty CSV file: " + path);
+  std::vector<std::string> header = ParseCsvLine(line);
+
+  std::vector<std::vector<std::string>> records;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = ParseCsvLine(line);
+    if (fields.size() != header.size()) {
+      return Status::IoError("CSV arity mismatch in " + path);
+    }
+    records.push_back(std::move(fields));
+  }
+
+  // Infer types per column.
+  std::vector<ValueType> types(header.size(), ValueType::kInt);
+  for (size_t c = 0; c < header.size(); ++c) {
+    for (const auto& rec : records) {
+      const std::string& f = rec[c];
+      if (f.empty()) continue;  // NULL
+      if (types[c] == ValueType::kInt && !LooksLikeInt(f)) {
+        types[c] = ValueType::kDouble;
+      }
+      if (types[c] == ValueType::kDouble && !LooksLikeDouble(f)) {
+        types[c] = ValueType::kString;
+        break;
+      }
+    }
+  }
+
+  std::vector<ColumnDef> defs;
+  defs.reserve(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    defs.push_back({header[c], types[c]});
+  }
+  CQMS_RETURN_IF_ERROR(db->CreateTable(TableSchema(table_name, std::move(defs))));
+
+  for (const auto& rec : records) {
+    Row row;
+    row.reserve(rec.size());
+    for (size_t c = 0; c < rec.size(); ++c) {
+      const std::string& f = rec[c];
+      if (f.empty()) {
+        row.push_back(Value::Null());
+      } else if (types[c] == ValueType::kInt) {
+        row.push_back(Value::Int(std::strtoll(f.c_str(), nullptr, 10)));
+      } else if (types[c] == ValueType::kDouble) {
+        row.push_back(Value::Double(std::strtod(f.c_str(), nullptr)));
+      } else {
+        row.push_back(Value::String(f));
+      }
+    }
+    CQMS_RETURN_IF_ERROR(db->Insert(table_name, std::move(row)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cqms::db

@@ -1,0 +1,21 @@
+#ifndef CQMS_DB_CSV_H_
+#define CQMS_DB_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "db/database.h"
+
+namespace cqms::db {
+
+/// Writes `table` as CSV (header row, RFC-4180 quoting) to `path`.
+Status ExportCsv(const Table& table, const std::string& path);
+
+/// Loads CSV from `path` into a new table `table_name` in `db`, inferring
+/// column types (INT, then DOUBLE, then STRING) from the data.
+Status ImportCsv(Database* db, const std::string& table_name,
+                 const std::string& path);
+
+}  // namespace cqms::db
+
+#endif  // CQMS_DB_CSV_H_

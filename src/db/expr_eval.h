@@ -1,0 +1,85 @@
+#ifndef CQMS_DB_EXPR_EVAL_H_
+#define CQMS_DB_EXPR_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/value.h"
+#include "sql/ast.h"
+
+namespace cqms::db {
+
+struct QueryResult;
+
+/// Describes how the columns of an intermediate row are addressed:
+/// slot i answers to (qualifier, column), both lower-cased. The qualifier
+/// is the table alias if present, else the table name.
+class Layout {
+ public:
+  void Add(std::string qualifier, std::string column) {
+    slots_.push_back({std::move(qualifier), std::move(column)});
+  }
+
+  size_t size() const { return slots_.size(); }
+  const std::pair<std::string, std::string>& slot(size_t i) const { return slots_[i]; }
+
+  /// Finds the slot for a (possibly unqualified) column reference.
+  /// Returns the slot index, -1 when not found, -2 when ambiguous.
+  int Find(const std::string& qualifier, const std::string& column) const;
+
+  /// All slot indices whose qualifier equals `qualifier` (for `t.*`).
+  std::vector<int> SlotsForQualifier(const std::string& qualifier) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> slots_;
+};
+
+/// Evaluation environment: a row interpreted through a layout, chained to
+/// an optional parent environment so correlated subqueries can see outer
+/// rows. Aggregate contexts additionally expose computed aggregate values
+/// keyed by their canonical printed expression.
+struct Env {
+  const Layout* layout = nullptr;
+  const Row* row = nullptr;
+  const Env* parent = nullptr;
+  /// Aggregate values by canonical printed call text, e.g. "AVG(t.temp)".
+  const std::map<std::string, Value>* aggregates = nullptr;
+};
+
+/// Callback used by the evaluator to run subqueries. `outer` provides the
+/// correlation environment (may be null for top level).
+using SubqueryRunner =
+    std::function<Result<QueryResult>(const sql::SelectStatement&, const Env*)>;
+
+/// Interprets expression trees with SQL three-valued logic.
+///
+/// NULL handling follows SQL-92: arithmetic and comparisons with NULL
+/// yield NULL; AND/OR use Kleene logic; WHERE treats non-TRUE as reject.
+class Evaluator {
+ public:
+  explicit Evaluator(SubqueryRunner subquery_runner = nullptr)
+      : subquery_runner_(std::move(subquery_runner)) {}
+
+  /// Evaluates `expr` in `env`.
+  Result<Value> Eval(const sql::Expr& expr, const Env& env) const;
+
+  /// Evaluates `expr` as a predicate: NULL and FALSE both reject.
+  Result<bool> EvalPredicate(const sql::Expr& expr, const Env& env) const;
+
+  /// SQL LIKE with `%` and `_` wildcards (case-sensitive).
+  static bool LikeMatch(const std::string& text, const std::string& pattern);
+
+ private:
+  Result<Value> EvalBinary(const sql::Expr& expr, const Env& env) const;
+  Result<Value> EvalFunction(const sql::Expr& expr, const Env& env) const;
+  Result<Value> EvalColumn(const sql::Expr& expr, const Env& env) const;
+
+  SubqueryRunner subquery_runner_;
+};
+
+}  // namespace cqms::db
+
+#endif  // CQMS_DB_EXPR_EVAL_H_

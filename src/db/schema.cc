@@ -1,0 +1,134 @@
+#include "db/schema.h"
+
+#include "common/string_util.h"
+
+namespace cqms::db {
+
+TableSchema::TableSchema(std::string name, std::vector<ColumnDef> columns)
+    : name_(ToLower(name)), columns_(std::move(columns)) {
+  for (ColumnDef& c : columns_) c.name = ToLower(c.name);
+}
+
+int TableSchema::FindColumn(const std::string& column_name) const {
+  std::string lower = ToLower(column_name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == lower) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Catalog::CreateTable(const TableSchema& schema) {
+  std::string key = schema.name();
+  if (key.empty()) return Status::InvalidArgument("table name must be non-empty");
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + key);
+  }
+  tables_[key] = schema;
+  Record({SchemaChangeKind::kCreateTable, Now(), key, "", ""});
+  return Status::Ok();
+}
+
+Status Catalog::DropTable(const std::string& table) {
+  std::string key = ToLower(table);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound("no such table: " + key);
+  }
+  Record({SchemaChangeKind::kDropTable, Now(), key, "", ""});
+  return Status::Ok();
+}
+
+Status Catalog::RenameTable(const std::string& table, const std::string& new_name) {
+  std::string key = ToLower(table);
+  std::string new_key = ToLower(new_name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + key);
+  if (tables_.count(new_key) > 0) {
+    return Status::AlreadyExists("table already exists: " + new_key);
+  }
+  TableSchema schema = std::move(it->second);
+  tables_.erase(it);
+  schema.name_ = new_key;
+  tables_[new_key] = std::move(schema);
+  Record({SchemaChangeKind::kRenameTable, Now(), key, "", new_key});
+  return Status::Ok();
+}
+
+Status Catalog::AddColumn(const std::string& table, const ColumnDef& column) {
+  std::string key = ToLower(table);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + key);
+  std::string col = ToLower(column.name);
+  if (it->second.HasColumn(col)) {
+    return Status::AlreadyExists("column already exists: " + key + "." + col);
+  }
+  it->second.columns_.push_back({col, column.type});
+  Record({SchemaChangeKind::kAddColumn, Now(), key, col, ""});
+  return Status::Ok();
+}
+
+Status Catalog::DropColumn(const std::string& table, const std::string& column) {
+  std::string key = ToLower(table);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + key);
+  int idx = it->second.FindColumn(column);
+  if (idx < 0) {
+    return Status::NotFound("no such column: " + key + "." + ToLower(column));
+  }
+  it->second.columns_.erase(it->second.columns_.begin() + idx);
+  Record({SchemaChangeKind::kDropColumn, Now(), key, ToLower(column), ""});
+  return Status::Ok();
+}
+
+Status Catalog::RenameColumn(const std::string& table, const std::string& column,
+                             const std::string& new_name) {
+  std::string key = ToLower(table);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + key);
+  int idx = it->second.FindColumn(column);
+  if (idx < 0) {
+    return Status::NotFound("no such column: " + key + "." + ToLower(column));
+  }
+  std::string new_col = ToLower(new_name);
+  if (it->second.HasColumn(new_col)) {
+    return Status::AlreadyExists("column already exists: " + key + "." + new_col);
+  }
+  it->second.columns_[idx].name = new_col;
+  Record({SchemaChangeKind::kRenameColumn, Now(), key, ToLower(column), new_col});
+  return Status::Ok();
+}
+
+const TableSchema* Catalog::FindTable(const std::string& table) const {
+  auto it = tables_.find(ToLower(table));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+std::vector<SchemaChange> Catalog::ChangesSince(Micros since) const {
+  std::vector<SchemaChange> out;
+  for (const SchemaChange& c : changes_) {
+    if (c.timestamp > since) out.push_back(c);
+  }
+  return out;
+}
+
+Micros Catalog::LastChangeTime(const std::string& table) const {
+  auto it = last_change_.find(ToLower(table));
+  return it == last_change_.end() ? 0 : it->second;
+}
+
+void Catalog::Record(SchemaChange change) {
+  ++version_;
+  last_change_[change.table] = change.timestamp;
+  if (!change.new_name.empty() && change.kind == SchemaChangeKind::kRenameTable) {
+    last_change_[change.new_name] = change.timestamp;
+  }
+  changes_.push_back(std::move(change));
+}
+
+}  // namespace cqms::db

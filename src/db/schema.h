@@ -1,0 +1,112 @@
+#ifndef CQMS_DB_SCHEMA_H_
+#define CQMS_DB_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/value.h"
+
+namespace cqms::db {
+
+/// A column definition.
+struct ColumnDef {
+  std::string name;  ///< Stored lower-cased.
+  ValueType type = ValueType::kNull;
+};
+
+/// Schema of one relation. Column lookups are case-insensitive (names are
+/// normalized to lower case at construction).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of `column_name` (case-insensitive), or -1.
+  int FindColumn(const std::string& column_name) const;
+
+  bool HasColumn(const std::string& column_name) const {
+    return FindColumn(column_name) >= 0;
+  }
+
+ private:
+  friend class Catalog;
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+/// Kinds of schema evolution events the catalog records. The Query
+/// Maintenance component replays this log to find queries invalidated by
+/// schema change (paper §4.4).
+enum class SchemaChangeKind {
+  kCreateTable,
+  kDropTable,
+  kRenameTable,
+  kAddColumn,
+  kDropColumn,
+  kRenameColumn,
+};
+
+/// One schema evolution event.
+struct SchemaChange {
+  SchemaChangeKind kind;
+  Micros timestamp = 0;
+  std::string table;     ///< Affected table (old name for renames).
+  std::string column;    ///< Affected column; empty for table-level events.
+  std::string new_name;  ///< New table/column name for renames.
+};
+
+/// The system catalog: named table schemas plus a timestamped change log.
+///
+/// Every mutation bumps `version()` and appends to `changes()`, giving
+/// Query Maintenance an efficient "what changed since t" primitive —
+/// the paper suggests "comparing the timestamp of a query with that of
+/// the last schema modification on any input relation".
+class Catalog {
+ public:
+  explicit Catalog(const Clock* clock = nullptr) : clock_(clock) {}
+
+  Status CreateTable(const TableSchema& schema);
+  Status DropTable(const std::string& table);
+  Status RenameTable(const std::string& table, const std::string& new_name);
+  Status AddColumn(const std::string& table, const ColumnDef& column);
+  Status DropColumn(const std::string& table, const std::string& column);
+  Status RenameColumn(const std::string& table, const std::string& column,
+                      const std::string& new_name);
+
+  /// Case-insensitive lookup; nullptr when absent.
+  const TableSchema* FindTable(const std::string& table) const;
+
+  std::vector<std::string> TableNames() const;
+
+  int64_t version() const { return version_; }
+  const std::vector<SchemaChange>& changes() const { return changes_; }
+
+  /// Changes strictly after `since` (timestamp order == append order).
+  std::vector<SchemaChange> ChangesSince(Micros since) const;
+
+  /// Timestamp of the last change touching `table` (0 if never).
+  Micros LastChangeTime(const std::string& table) const;
+
+ private:
+  void Record(SchemaChange change);
+  Micros Now() const { return clock_ != nullptr ? clock_->Now() : 0; }
+
+  const Clock* clock_;
+  std::map<std::string, TableSchema> tables_;  // key: lower-cased name
+  std::vector<SchemaChange> changes_;
+  std::map<std::string, Micros> last_change_;  // key: lower-cased name
+  int64_t version_ = 0;
+};
+
+}  // namespace cqms::db
+
+#endif  // CQMS_DB_SCHEMA_H_

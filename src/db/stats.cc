@@ -1,0 +1,175 @@
+#include "db/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace cqms::db {
+
+Histogram Histogram::Build(const std::vector<Value>& values, int num_buckets) {
+  Histogram h;
+  std::vector<double> nums;
+  nums.reserve(values.size());
+  for (const Value& v : values) {
+    if (v.is_numeric()) nums.push_back(v.AsDouble());
+  }
+  if (nums.empty()) {
+    h.counts_.assign(1, 0);
+    return h;
+  }
+  auto [mn, mx] = std::minmax_element(nums.begin(), nums.end());
+  h.min_ = *mn;
+  h.max_ = *mx;
+  if (h.min_ == h.max_) {
+    h.counts_.assign(1, nums.size());
+    h.total_ = nums.size();
+    return h;
+  }
+  h.counts_.assign(std::max(1, num_buckets), 0);
+  double width = (h.max_ - h.min_) / static_cast<double>(h.counts_.size());
+  for (double x : nums) {
+    int b = static_cast<int>((x - h.min_) / width);
+    if (b >= static_cast<int>(h.counts_.size())) b = static_cast<int>(h.counts_.size()) - 1;
+    if (b < 0) b = 0;
+    ++h.counts_[b];
+    ++h.total_;
+  }
+  return h;
+}
+
+double Histogram::EstimateSelectivity(const std::string& op, double constant) const {
+  if (total_ == 0) return 0;
+  if (min_ == max_) {
+    // Degenerate: all values equal min_.
+    if (op == "=") return constant == min_ ? 1.0 : 0.0;
+    if (op == "<") return constant > min_ ? 1.0 : 0.0;
+    if (op == "<=") return constant >= min_ ? 1.0 : 0.0;
+    if (op == ">") return constant < min_ ? 1.0 : 0.0;
+    if (op == ">=") return constant <= min_ ? 1.0 : 0.0;
+    return 0.5;
+  }
+  double width = (max_ - min_) / static_cast<double>(counts_.size());
+  // Fraction of values strictly below `constant`, with in-bucket
+  // linear interpolation.
+  auto frac_below = [&](double c) {
+    if (c <= min_) return 0.0;
+    if (c >= max_) return 1.0;
+    int b = static_cast<int>((c - min_) / width);
+    if (b >= static_cast<int>(counts_.size())) b = static_cast<int>(counts_.size()) - 1;
+    uint64_t below = 0;
+    for (int i = 0; i < b; ++i) below += counts_[i];
+    double in_bucket = (c - (min_ + b * width)) / width;
+    double est = static_cast<double>(below) +
+                 in_bucket * static_cast<double>(counts_[b]);
+    return est / static_cast<double>(total_);
+  };
+  if (op == "<") return frac_below(constant);
+  if (op == "<=") return frac_below(constant + 1e-12 * (max_ - min_));
+  if (op == ">") return 1.0 - frac_below(constant);
+  if (op == ">=") return 1.0 - frac_below(constant - 1e-12 * (max_ - min_));
+  if (op == "=") {
+    // Assume uniform within a bucket.
+    int b = static_cast<int>((constant - min_) / width);
+    if (b < 0 || b >= static_cast<int>(counts_.size())) return 0;
+    double bucket_frac =
+        static_cast<double>(counts_[b]) / static_cast<double>(total_);
+    return bucket_frac / std::max(1.0, width);
+  }
+  return 0.5;
+}
+
+double Histogram::Distance(const Histogram& other) const {
+  if (total_ == 0 && other.total_ == 0) return 0;
+  if (total_ == 0 || other.total_ == 0) return 1;
+  // Re-bucket both onto a shared 32-bucket grid over the union range.
+  double lo = std::min(min_, other.min_);
+  double hi = std::max(max_, other.max_);
+  if (lo == hi) return 0;
+  constexpr int kGrid = 32;
+  auto project = [&](const Histogram& h) {
+    std::vector<double> grid(kGrid, 0);
+    double width = (h.max_ - h.min_) / static_cast<double>(h.counts_.size());
+    for (size_t b = 0; b < h.counts_.size(); ++b) {
+      double center = h.counts_.size() == 1
+                          ? h.min_
+                          : h.min_ + (static_cast<double>(b) + 0.5) * width;
+      int g = static_cast<int>((center - lo) / (hi - lo) * kGrid);
+      if (g >= kGrid) g = kGrid - 1;
+      if (g < 0) g = 0;
+      grid[g] += static_cast<double>(h.counts_[b]) / static_cast<double>(h.total_);
+    }
+    return grid;
+  };
+  std::vector<double> a = project(*this);
+  std::vector<double> b = project(other);
+  double l1 = 0;
+  for (int i = 0; i < kGrid; ++i) l1 += std::fabs(a[i] - b[i]);
+  return l1 / 2.0;  // total-variation distance in [0,1]
+}
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.table = table.schema().name();
+  stats.row_count = table.num_rows();
+  const size_t num_cols = table.schema().num_columns();
+  constexpr size_t kDistinctCap = 100000;
+
+  for (size_t c = 0; c < num_cols; ++c) {
+    ColumnStats cs;
+    cs.name = table.schema().columns()[c].name;
+    cs.count = table.num_rows();
+    std::vector<Value> values;
+    values.reserve(table.num_rows());
+    std::unordered_map<uint64_t, uint64_t> freq;
+    std::map<uint64_t, Value> representative;
+    for (const Row& r : table.rows()) {
+      const Value& v = r[c];
+      if (v.is_null()) {
+        ++cs.nulls;
+        continue;
+      }
+      values.push_back(v);
+      if (freq.size() < kDistinctCap) {
+        uint64_t h = v.Hash();
+        ++freq[h];
+        representative.emplace(h, v);
+      }
+      if (cs.min_value.is_null() || v.Compare(cs.min_value) < 0) cs.min_value = v;
+      if (cs.max_value.is_null() || v.Compare(cs.max_value) > 0) cs.max_value = v;
+    }
+    cs.distinct = freq.size();
+    cs.histogram = Histogram::Build(values);
+    // Top values.
+    std::vector<std::pair<uint64_t, uint64_t>> by_freq(freq.begin(), freq.end());
+    std::sort(by_freq.begin(), by_freq.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (size_t i = 0; i < by_freq.size() && i < 8; ++i) {
+      cs.top_values.emplace_back(representative[by_freq[i].first],
+                                 by_freq[i].second);
+    }
+    stats.columns.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+double StatsDrift(const TableStats& before, const TableStats& after) {
+  double drift = 0;
+  // Row-count component.
+  double rows_before = static_cast<double>(before.row_count);
+  double rows_after = static_cast<double>(after.row_count);
+  if (rows_before > 0 || rows_after > 0) {
+    drift = std::fabs(rows_after - rows_before) /
+            std::max(rows_before, rows_after);
+  }
+  // Distribution component: match columns by name.
+  for (const ColumnStats& b : before.columns) {
+    for (const ColumnStats& a : after.columns) {
+      if (a.name != b.name) continue;
+      drift = std::max(drift, b.histogram.Distance(a.histogram));
+      break;
+    }
+  }
+  return std::min(1.0, drift);
+}
+
+}  // namespace cqms::db

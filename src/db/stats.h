@@ -1,0 +1,76 @@
+#ifndef CQMS_DB_STATS_H_
+#define CQMS_DB_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "db/value.h"
+
+namespace cqms::db {
+
+/// Equi-width histogram over numeric values. Used by Query Maintenance to
+/// detect data-distribution drift (paper §4.4: re-execute queries "only
+/// when there is reason to believe their statistics have significantly
+/// changed") and by the profiler's output summaries.
+class Histogram {
+ public:
+  /// Builds a histogram with `num_buckets` over [min, max] of `values`
+  /// (nulls and non-numerics ignored). An empty/constant input produces a
+  /// degenerate single-bucket histogram.
+  static Histogram Build(const std::vector<Value>& values, int num_buckets = 16);
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  uint64_t total() const { return total_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Estimated selectivity of `v OP const` predicates via interpolation.
+  /// `op` in {"<", "<=", ">", ">=", "="}.
+  double EstimateSelectivity(const std::string& op, double constant) const;
+
+  /// Normalized L1 distance between two distributions in [0, 1].
+  /// Histograms over different ranges are compared over the union range.
+  double Distance(const Histogram& other) const;
+
+ private:
+  double min_ = 0;
+  double max_ = 0;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> counts_;
+};
+
+/// Per-column summary statistics.
+struct ColumnStats {
+  std::string name;
+  uint64_t count = 0;       ///< Rows (incl. nulls).
+  uint64_t nulls = 0;
+  uint64_t distinct = 0;    ///< Exact up to a cap, then approximate.
+  Value min_value;          ///< Null for empty columns.
+  Value max_value;
+  Histogram histogram;      ///< Numeric columns only (empty otherwise).
+  /// Most frequent values with counts (top 8); all column types.
+  std::vector<std::pair<Value, uint64_t>> top_values;
+};
+
+/// Statistics for a whole table.
+struct TableStats {
+  std::string table;
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Computes full statistics for `table`.
+TableStats ComputeTableStats(const Table& table);
+
+/// Aggregate drift score between two stats snapshots of the same table:
+/// max over columns of histogram distance, also accounting for row-count
+/// change. Returns a value in [0, 1].
+double StatsDrift(const TableStats& before, const TableStats& after);
+
+}  // namespace cqms::db
+
+#endif  // CQMS_DB_STATS_H_

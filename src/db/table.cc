@@ -1,0 +1,31 @@
+#include "db/table.h"
+
+namespace cqms::db {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema arity " +
+        std::to_string(schema_.num_columns()) + " for table " + schema_.name());
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+void Table::AddColumn(const ColumnDef& def) {
+  schema_ = TableSchema(schema_.name(), [&] {
+    auto cols = schema_.columns();
+    cols.push_back(def);
+    return cols;
+  }());
+  for (Row& r : rows_) r.push_back(Value::Null());
+}
+
+void Table::DropColumnAt(int index) {
+  auto cols = schema_.columns();
+  cols.erase(cols.begin() + index);
+  schema_ = TableSchema(schema_.name(), std::move(cols));
+  for (Row& r : rows_) r.erase(r.begin() + index);
+}
+
+}  // namespace cqms::db

@@ -1,0 +1,55 @@
+#ifndef CQMS_DB_TABLE_H_
+#define CQMS_DB_TABLE_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace cqms::db {
+
+/// Row-oriented in-memory storage for one relation.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; its arity must match the schema.
+  Status Append(Row row);
+
+  /// Bulk append without per-row checks (trusted loaders).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Clear() { rows_.clear(); }
+
+  /// Removes every row for which `pred` returns true; returns the count.
+  template <typename Pred>
+  size_t RemoveRowsIf(const Pred& pred) {
+    size_t before = rows_.size();
+    rows_.erase(std::remove_if(rows_.begin(), rows_.end(), pred), rows_.end());
+    return before - rows_.size();
+  }
+
+  /// Structural mutations mirroring catalog evolution; used when the
+  /// database applies ALTER-style changes.
+  void AddColumn(const ColumnDef& def);
+  void DropColumnAt(int index);
+
+  /// Mutable schema access for rename propagation.
+  TableSchema* mutable_schema() { return &schema_; }
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cqms::db
+
+#endif  // CQMS_DB_TABLE_H_

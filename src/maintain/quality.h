@@ -1,0 +1,32 @@
+#ifndef CQMS_MAINTAIN_QUALITY_H_
+#define CQMS_MAINTAIN_QUALITY_H_
+
+#include "storage/query_store.h"
+
+namespace cqms::maintain {
+
+/// Weights of the query-quality measure (§4.4: "quality can be defined in
+/// terms of query efficiency, query simplicity, source tables' quality,
+/// etc."). Each component is normalized to [0,1]; the score is the
+/// weighted mean, zeroed for broken/deleted queries.
+struct QualityWeights {
+  double validity = 0.35;    ///< Succeeded and not schema-broken.
+  double efficiency = 0.25;  ///< Faster relative to the log's distribution.
+  double simplicity = 0.15;  ///< Fewer tables/predicates/nesting.
+  double annotations = 0.10; ///< Documented queries are worth more.
+  double popularity = 0.15;  ///< Re-issued queries are validated by use.
+};
+
+/// Computes the quality score of one record in the context of the store.
+double ComputeQuality(const storage::QueryRecord& record,
+                      const storage::QueryStore& store,
+                      const QualityWeights& weights = {});
+
+/// Recomputes and writes back quality for every record. Returns the
+/// number of records updated.
+size_t UpdateAllQuality(storage::QueryStore* store,
+                        const QualityWeights& weights = {});
+
+}  // namespace cqms::maintain
+
+#endif  // CQMS_MAINTAIN_QUALITY_H_

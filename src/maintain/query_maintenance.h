@@ -1,0 +1,81 @@
+#ifndef CQMS_MAINTAIN_QUERY_MAINTENANCE_H_
+#define CQMS_MAINTAIN_QUERY_MAINTENANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/stats.h"
+#include "maintain/quality.h"
+#include "maintain/query_repair.h"
+#include "storage/query_store.h"
+
+namespace cqms::maintain {
+
+struct MaintenanceOptions {
+  /// Try to repair broken queries automatically (renames only).
+  bool auto_repair = true;
+  /// Drift score (db::StatsDrift) above which a table's dependent
+  /// queries get their stats flagged stale.
+  double drift_threshold = 0.25;
+  /// Max stale queries re-executed per maintenance run (§4.4 rejects
+  /// "rerun all queries periodically" as overly expensive; this is the
+  /// budget). Popular queries are refreshed first.
+  size_t reexecute_budget = 50;
+  QualityWeights quality;
+};
+
+/// Statistics of one maintenance run.
+struct MaintenanceReport {
+  size_t queries_checked = 0;
+  size_t flagged_broken = 0;
+  size_t repaired = 0;
+  size_t unflagged = 0;           ///< Previously broken, now valid.
+  size_t tables_drifted = 0;
+  size_t stats_flagged_stale = 0;
+  size_t stats_refreshed = 0;
+  size_t quality_updated = 0;
+  std::vector<storage::QueryId> broken_ids;
+  std::vector<storage::QueryId> repaired_ids;
+};
+
+/// The background Query Maintenance component (Figure 4): keeps the Query
+/// Storage consistent with the evolving database — schema validity
+/// flags, automatic repair, statistics freshness under data drift, and
+/// query-quality scores.
+class QueryMaintenance {
+ public:
+  /// `database`, `store`, `clock` must outlive the maintenance object.
+  QueryMaintenance(db::Database* database, storage::QueryStore* store,
+                   const Clock* clock, MaintenanceOptions options = {});
+
+  /// Re-validates queries affected by schema changes since the last run
+  /// (first run checks everything), flagging broken queries and
+  /// attempting repair when enabled.
+  MaintenanceReport CheckSchemaValidity();
+
+  /// Detects data drift per table (vs. the previous snapshot), flags
+  /// dependent queries' stats stale, and re-executes up to the budget to
+  /// refresh their runtime stats.
+  MaintenanceReport RefreshStatistics();
+
+  /// Recomputes quality scores for every record.
+  size_t UpdateQuality();
+
+  /// Full background cycle: schema check, stats refresh, quality update.
+  MaintenanceReport RunAll();
+
+ private:
+  db::Database* database_;
+  storage::QueryStore* store_;
+  const Clock* clock_;
+  MaintenanceOptions options_;
+
+  Micros last_schema_check_ = -1;  ///< -1 = never ran.
+  std::map<std::string, db::TableStats> stats_snapshot_;
+};
+
+}  // namespace cqms::maintain
+
+#endif  // CQMS_MAINTAIN_QUERY_MAINTENANCE_H_

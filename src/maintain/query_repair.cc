@@ -1,0 +1,209 @@
+#include "maintain/query_repair.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/printer.h"
+
+namespace cqms::maintain {
+
+namespace {
+
+/// Folds rename chains: applying `Add(a, b)` then `Add(b, c)` makes
+/// `Resolve(a)` return `c`.
+class RenameMap {
+ public:
+  void Add(const std::string& from, const std::string& to) {
+    for (auto& [key, value] : map_) {
+      if (value == from) value = to;
+    }
+    if (map_.count(from) == 0) map_[from] = to;
+  }
+
+  std::string Resolve(const std::string& name) const {
+    auto it = map_.find(name);
+    return it == map_.end() ? name : it->second;
+  }
+
+  bool empty() const { return map_.empty(); }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+struct RenamePlan {
+  RenameMap tables;
+  /// (final table name, old column) -> new column, chains folded.
+  std::map<std::pair<std::string, std::string>, std::string> columns;
+
+  std::string ResolveColumn(const std::string& final_table,
+                            const std::string& column) const {
+    auto it = columns.find({final_table, column});
+    return it == columns.end() ? column : it->second;
+  }
+};
+
+RenamePlan BuildRenamePlan(const std::vector<db::SchemaChange>& changes) {
+  RenamePlan plan;
+  // First fold all table renames so column events can be normalized to
+  // final table names as we replay.
+  for (const db::SchemaChange& c : changes) {
+    if (c.kind == db::SchemaChangeKind::kRenameTable) {
+      plan.tables.Add(c.table, c.new_name);
+    }
+  }
+  for (const db::SchemaChange& c : changes) {
+    if (c.kind != db::SchemaChangeKind::kRenameColumn) continue;
+    std::string final_table = plan.tables.Resolve(c.table);
+    // Fold column chains on the same table.
+    for (auto& [key, value] : plan.columns) {
+      if (key.first == final_table && value == c.column) value = c.new_name;
+    }
+    std::pair<std::string, std::string> key{final_table, c.column};
+    if (plan.columns.count(key) == 0) plan.columns[key] = c.new_name;
+  }
+  return plan;
+}
+
+/// Rewrites one statement scope (and, recursively, nested scopes).
+void RewriteScope(sql::SelectStatement* stmt, const RenamePlan& plan,
+                  std::vector<std::string>* actions) {
+  // Table refs first; build the alias/table picture of this scope.
+  std::set<std::string> aliases;
+  std::set<std::string> scope_tables;  // final names
+  for (sql::TableRef& tr : stmt->from) {
+    std::string old_name = ToLower(tr.table);
+    std::string new_name = plan.tables.Resolve(old_name);
+    if (new_name != old_name) {
+      actions->push_back("renamed table " + old_name + " -> " + new_name);
+      tr.table = new_name;
+    }
+    if (!tr.alias.empty()) aliases.insert(ToLower(tr.alias));
+    scope_tables.insert(ToLower(tr.EffectiveName().empty() ? new_name
+                                                           : tr.EffectiveName()));
+    scope_tables.insert(new_name);
+  }
+
+  // Map a column qualifier (alias or table name, as written) to the
+  // final table name it denotes, or "" when it is an alias.
+  auto qualifier_final_table = [&](const std::string& qualifier,
+                                   const sql::SelectStatement& s) -> std::string {
+    std::string q = ToLower(qualifier);
+    for (const sql::TableRef& tr : s.from) {
+      if (!tr.alias.empty() && ToLower(tr.alias) == q) return ToLower(tr.table);
+    }
+    // Not an alias: treat as a table name; resolve renames.
+    return plan.tables.Resolve(q);
+  };
+
+  auto rewrite_expr = [&](sql::Expr* root) {
+    sql::WalkExpr(
+        root,
+        [&](sql::Expr* e) {
+          if (e->kind != sql::ExprKind::kColumnRef &&
+              e->kind != sql::ExprKind::kStar) {
+            return;
+          }
+          std::string column = ToLower(e->column);
+          if (!e->table.empty()) {
+            std::string q = ToLower(e->table);
+            bool is_alias = aliases.count(q) > 0;
+            std::string final_table =
+                is_alias ? qualifier_final_table(q, *stmt) : plan.tables.Resolve(q);
+            if (!is_alias && final_table != q) {
+              actions->push_back("rewrote qualifier " + q + " -> " + final_table);
+              e->table = final_table;
+            }
+            if (e->kind == sql::ExprKind::kColumnRef) {
+              std::string new_col = plan.ResolveColumn(final_table, column);
+              if (new_col != column) {
+                actions->push_back("renamed column " + final_table + "." + column +
+                                   " -> " + new_col);
+                e->column = new_col;
+              }
+            }
+            return;
+          }
+          if (e->kind != sql::ExprKind::kColumnRef) return;
+          // Unqualified: apply a rename when exactly one in-scope table
+          // renames this column (conservative heuristic).
+          std::string unique_new;
+          int hits = 0;
+          for (const sql::TableRef& tr : stmt->from) {
+            std::string final_table = ToLower(tr.table);
+            std::string new_col = plan.ResolveColumn(final_table, column);
+            if (new_col != column) {
+              ++hits;
+              unique_new = new_col;
+            }
+          }
+          if (hits == 1) {
+            actions->push_back("renamed column " + column + " -> " + unique_new);
+            e->column = unique_new;
+          }
+        },
+        /*enter_subqueries=*/false);
+    // Nested scopes.
+    sql::WalkExpr(
+        root,
+        [&](sql::Expr* e) {
+          if (e->subquery) RewriteScope(e->subquery.get(), plan, actions);
+        },
+        /*enter_subqueries=*/false);
+  };
+
+  for (sql::SelectItem& item : stmt->select_items) {
+    if (item.is_star && !item.star_table.empty()) {
+      std::string q = ToLower(item.star_table);
+      if (aliases.count(q) == 0) {
+        std::string final_table = plan.tables.Resolve(q);
+        if (final_table != q) item.star_table = final_table;
+      }
+    }
+    if (item.expr) rewrite_expr(item.expr.get());
+  }
+  for (sql::TableRef& tr : stmt->from) {
+    if (tr.join_condition) rewrite_expr(tr.join_condition.get());
+  }
+  if (stmt->where) rewrite_expr(stmt->where.get());
+  for (auto& g : stmt->group_by) rewrite_expr(g.get());
+  if (stmt->having) rewrite_expr(stmt->having.get());
+  for (auto& o : stmt->order_by) {
+    if (o.expr) rewrite_expr(o.expr.get());
+  }
+  if (stmt->union_next) RewriteScope(stmt->union_next.get(), plan, actions);
+}
+
+}  // namespace
+
+RepairResult RepairStatement(const sql::SelectStatement& stmt,
+                             const std::vector<db::SchemaChange>& changes,
+                             const db::Database& database) {
+  RepairResult result;
+
+  // Already valid? Nothing to do.
+  if (database.Validate(stmt).ok()) {
+    result.repaired = false;
+    result.failure_reason = "statement is already valid";
+    return result;
+  }
+
+  RenamePlan plan = BuildRenamePlan(changes);
+  auto clone = stmt.Clone();
+  RewriteScope(clone.get(), plan, &result.actions);
+
+  Status valid = database.Validate(*clone);
+  if (!valid.ok()) {
+    result.repaired = false;
+    result.actions.clear();
+    result.failure_reason = "not repairable by renames: " + valid.ToString();
+    return result;
+  }
+  result.repaired = true;
+  result.new_text = sql::PrintStatement(*clone);
+  return result;
+}
+
+}  // namespace cqms::maintain

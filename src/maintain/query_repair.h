@@ -1,0 +1,35 @@
+#ifndef CQMS_MAINTAIN_QUERY_REPAIR_H_
+#define CQMS_MAINTAIN_QUERY_REPAIR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "sql/ast.h"
+
+namespace cqms::maintain {
+
+/// Outcome of an automatic repair attempt.
+struct RepairResult {
+  bool repaired = false;
+  std::string new_text;               ///< Valid only when repaired.
+  std::vector<std::string> actions;   ///< Human-readable repair steps.
+  std::string failure_reason;         ///< Why repair was impossible.
+};
+
+/// Attempts to repair a statement broken by schema evolution (§4.4:
+/// "another option is to systematically repair the queries by applying
+/// appropriate changes"). Handles table and column *renames* by
+/// rewriting references through the catalog change log; *drops* are
+/// declared irreparable (removing a referenced table or column changes
+/// query semantics, which the paper leaves as an open question).
+///
+/// The result, when `repaired`, re-validates cleanly against `database`.
+RepairResult RepairStatement(const sql::SelectStatement& stmt,
+                             const std::vector<db::SchemaChange>& changes,
+                             const db::Database& database);
+
+}  // namespace cqms::maintain
+
+#endif  // CQMS_MAINTAIN_QUERY_REPAIR_H_

@@ -1,0 +1,182 @@
+#include "metaquery/feature_query.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/components.h"
+
+namespace cqms::metaquery {
+
+FeatureQuery& FeatureQuery::UsesTable(std::string table) {
+  tables_.push_back(ToLower(table));
+  return *this;
+}
+
+FeatureQuery& FeatureQuery::UsesAttribute(std::string relation,
+                                          std::string attribute) {
+  attributes_.emplace_back(ToLower(relation), ToLower(attribute));
+  return *this;
+}
+
+FeatureQuery& FeatureQuery::HasPredicateOn(std::string relation,
+                                           std::string attribute, std::string op) {
+  predicates_.push_back({ToLower(relation), ToLower(attribute), std::move(op)});
+  return *this;
+}
+
+FeatureQuery& FeatureQuery::ByUser(std::string user) {
+  user_ = std::move(user);
+  return *this;
+}
+
+FeatureQuery& FeatureQuery::MaxExecutionMicros(int64_t micros) {
+  max_execution_micros_ = micros;
+  return *this;
+}
+
+FeatureQuery& FeatureQuery::MaxResultRows(uint64_t rows) {
+  max_result_rows_ = rows;
+  return *this;
+}
+
+FeatureQuery& FeatureQuery::MinResultRows(uint64_t rows) {
+  min_result_rows_ = rows;
+  return *this;
+}
+
+FeatureQuery& FeatureQuery::SucceededOnly() {
+  succeeded_only_ = true;
+  return *this;
+}
+
+std::vector<storage::QueryId> FeatureQuery::Evaluate(
+    const storage::QueryStore& store, const std::string& viewer) const {
+  // Candidate generation: intersect the most selective index lists we
+  // have; fall back to a full scan if no indexed condition is present.
+  std::vector<const std::vector<storage::QueryId>*> lists;
+  for (const std::string& t : tables_) {
+    lists.push_back(&store.QueriesUsingTable(t));
+  }
+  for (const auto& [rel, attr] : attributes_) {
+    lists.push_back(&store.QueriesUsingAttribute(rel, attr));
+  }
+  for (const auto& p : predicates_) {
+    lists.push_back(&store.QueriesUsingAttribute(p.relation, p.attribute));
+  }
+  if (user_.has_value()) {
+    lists.push_back(&store.QueriesByUser(*user_));
+  }
+
+  std::vector<storage::QueryId> candidates;
+  if (lists.empty()) {
+    candidates.reserve(store.size());
+    for (const auto& r : store.records()) candidates.push_back(r.id);
+  } else {
+    std::sort(lists.begin(), lists.end(),
+              [](const auto* a, const auto* b) { return a->size() < b->size(); });
+    candidates = *lists[0];
+    for (size_t i = 1; i < lists.size() && !candidates.empty(); ++i) {
+      std::vector<storage::QueryId> next;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            lists[i]->begin(), lists[i]->end(),
+                            std::back_inserter(next));
+      candidates = std::move(next);
+    }
+  }
+
+  std::vector<storage::QueryId> out;
+  for (storage::QueryId id : candidates) {
+    if (!store.Visible(viewer, id)) continue;
+    const storage::QueryRecord* r = store.Get(id);
+    if (r == nullptr) continue;
+    if (succeeded_only_ && !r->stats.succeeded) continue;
+    if (max_execution_micros_ && r->stats.execution_micros > *max_execution_micros_) {
+      continue;
+    }
+    if (max_result_rows_ && r->stats.result_rows > *max_result_rows_) continue;
+    if (min_result_rows_ && r->stats.result_rows < *min_result_rows_) continue;
+    if (user_ && r->user != *user_) continue;
+    // Verify indexed conditions exactly against the current record —
+    // index entries may be stale after automatic query repair.
+    bool tables_ok = true;
+    for (const std::string& t : tables_) {
+      if (std::find(r->components.tables.begin(), r->components.tables.end(), t) ==
+          r->components.tables.end()) {
+        tables_ok = false;
+        break;
+      }
+    }
+    if (!tables_ok) continue;
+    bool attrs_ok = true;
+    for (const auto& [rel, attr] : attributes_) {
+      if (std::find(r->components.attributes.begin(), r->components.attributes.end(),
+                    std::make_pair(rel, attr)) == r->components.attributes.end()) {
+        attrs_ok = false;
+        break;
+      }
+    }
+    if (!attrs_ok) continue;
+    // Verify predicate conditions exactly (the index only knows the
+    // attribute was referenced somewhere).
+    bool ok = true;
+    for (const auto& pc : predicates_) {
+      bool found = false;
+      for (const auto& p : r->components.predicates) {
+        if (p.relation == pc.relation && p.attribute == pc.attribute &&
+            (pc.op.empty() || p.op == pc.op)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(id);
+  }
+  return out;
+}
+
+Result<std::string> GenerateMetaQueryFromPartial(
+    const sql::SelectStatement& partial) {
+  sql::QueryComponents c = sql::CollectComponents(partial);
+  if (c.tables.empty()) {
+    return Status::InvalidArgument(
+        "partial query references no tables; nothing to search for");
+  }
+
+  std::string sql = "SELECT Q.qid, Q.qtext FROM Queries Q";
+  std::string where;
+  int alias_counter = 0;
+
+  auto add_condition = [&](const std::string& cond) {
+    if (!where.empty()) where += " AND ";
+    where += cond;
+  };
+
+  for (const std::string& table : c.tables) {
+    std::string alias = "D" + std::to_string(++alias_counter);
+    sql += ", DataSources " + alias;
+    add_condition("Q.qid = " + alias + ".qid");
+    add_condition(alias + ".relname = '" + SqlEscape(table) + "'");
+  }
+
+  // Attributes with a known relation (resolved in the partial query)
+  // become Attributes joins, mirroring Figure 1's A1/A2 pattern.
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const auto& [rel, attr] : c.attributes) {
+    if (rel.empty() || !seen.insert({rel, attr}).second) continue;
+    std::string alias = "A" + std::to_string(++alias_counter);
+    sql += ", Attributes " + alias;
+    add_condition("Q.qid = " + alias + ".qid");
+    add_condition(alias + ".attrname = '" + SqlEscape(attr) + "'");
+    add_condition(alias + ".relname = '" + SqlEscape(rel) + "'");
+  }
+
+  if (!where.empty()) sql += " WHERE " + where;
+  return sql;
+}
+
+}  // namespace cqms::metaquery

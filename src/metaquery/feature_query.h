@@ -1,0 +1,78 @@
+#ifndef CQMS_METAQUERY_FEATURE_QUERY_H_
+#define CQMS_METAQUERY_FEATURE_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/query_store.h"
+
+namespace cqms::metaquery {
+
+/// Programmatic query-by-feature (§2.2): conjunctive conditions over the
+/// extracted feature relations, evaluated through the store's indexes.
+/// This is the native fast path; the equivalent SQL meta-query path runs
+/// against `QueryStore::feature_db()` (see GenerateCorrelationMetaQuery).
+class FeatureQuery {
+ public:
+  /// Query must read from `table` (any nesting level).
+  FeatureQuery& UsesTable(std::string table);
+
+  /// Query must reference relation.attribute.
+  FeatureQuery& UsesAttribute(std::string relation, std::string attribute);
+
+  /// Query must contain a selection predicate on relation.attribute,
+  /// optionally with a specific operator.
+  FeatureQuery& HasPredicateOn(std::string relation, std::string attribute,
+                               std::string op = "");
+
+  /// Restrict to one author.
+  FeatureQuery& ByUser(std::string user);
+
+  /// Runtime-feature conditions (the paper's "desired properties, e.g.
+  /// small result set, fast execution time").
+  FeatureQuery& MaxExecutionMicros(int64_t micros);
+  FeatureQuery& MaxResultRows(uint64_t rows);
+  FeatureQuery& MinResultRows(uint64_t rows);
+  FeatureQuery& SucceededOnly();
+
+  /// Evaluates against the store, returning ids visible to `viewer` in
+  /// log order. Table/attribute conditions drive index lookups; the rest
+  /// filter.
+  std::vector<storage::QueryId> Evaluate(const storage::QueryStore& store,
+                                         const std::string& viewer) const;
+
+ private:
+  struct PredicateCondition {
+    std::string relation;
+    std::string attribute;
+    std::string op;  // empty = any
+  };
+  std::vector<std::string> tables_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<PredicateCondition> predicates_;
+  std::optional<std::string> user_;
+  std::optional<int64_t> max_execution_micros_;
+  std::optional<uint64_t> max_result_rows_;
+  std::optional<uint64_t> min_result_rows_;
+  bool succeeded_only_ = false;
+};
+
+/// Generates the Figure-1 meta-query from a *partially written* query:
+/// given `SELECT ... FROM WaterSalinity, WaterTemp ...`, produces
+///
+///   SELECT Q.qid, Q.qtext FROM Queries Q, DataSources D1, DataSources D2
+///   WHERE Q.qid = D1.qid AND Q.qid = D2.qid
+///     AND D1.relname = 'watersalinity' AND D2.relname = 'watertemp'
+///
+/// plus one Attributes join per referenced attribute — executable SQL
+/// against `QueryStore::feature_db()`. Errors if the partial query
+/// references no tables.
+Result<std::string> GenerateMetaQueryFromPartial(const sql::SelectStatement& partial);
+
+}  // namespace cqms::metaquery
+
+#endif  // CQMS_METAQUERY_FEATURE_QUERY_H_

@@ -1,0 +1,79 @@
+#include "metaquery/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "storage/record_builder.h"
+
+namespace cqms::metaquery {
+
+std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
+                                const std::string& viewer,
+                                const storage::QueryRecord& probe, size_t k,
+                                const SimilarityWeights& weights,
+                                const RankingOptions& ranking) {
+  // Candidate generation.
+  std::set<storage::QueryId> candidates;
+  if (!probe.parse_failed() && !probe.components.tables.empty()) {
+    for (const std::string& t : probe.components.tables) {
+      for (storage::QueryId id : store.QueriesUsingTable(t)) {
+        candidates.insert(id);
+      }
+    }
+  } else {
+    for (const auto& r : store.records()) candidates.insert(r.id);
+  }
+
+  Micros max_ts = 1;
+  for (const auto& r : store.records()) max_ts = std::max(max_ts, r.timestamp);
+
+  std::vector<Neighbor> scored;
+  scored.reserve(candidates.size());
+  for (storage::QueryId id : candidates) {
+    if (!store.Visible(viewer, id)) continue;
+    const storage::QueryRecord* r = store.Get(id);
+    if (r == nullptr) continue;
+    if (ranking.exclude_flagged &&
+        (r->HasFlag(storage::kFlagSchemaBroken) ||
+         r->HasFlag(storage::kFlagObsolete))) {
+      continue;
+    }
+    double sim = CombinedSimilarity(probe, *r, weights);
+    if (sim < ranking.min_similarity) continue;
+
+    double popularity =
+        std::log1p(static_cast<double>(store.PopularityOf(r->fingerprint))) /
+        std::log1p(static_cast<double>(store.size()) + 1.0);
+    double recency = max_ts > 0 ? static_cast<double>(r->timestamp) /
+                                      static_cast<double>(max_ts)
+                                : 0;
+    double score = ranking.w_similarity * sim +
+                   ranking.w_popularity * popularity +
+                   ranking.w_quality * r->quality + ranking.w_recency * recency;
+    scored.push_back({id, sim, score});
+  }
+
+  size_t keep = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  scored.resize(keep);
+  return scored;
+}
+
+Result<std::vector<Neighbor>> KnnSearchText(const storage::QueryStore& store,
+                                            const std::string& viewer,
+                                            const std::string& sql_text, size_t k,
+                                            const SimilarityWeights& weights,
+                                            const RankingOptions& ranking) {
+  storage::QueryRecord probe = storage::BuildRecordFromText(sql_text, viewer, 0);
+  if (probe.parse_failed()) {
+    return Status::ParseError("probe query does not parse: " + probe.stats.error);
+  }
+  return KnnSearch(store, viewer, probe, k, weights, ranking);
+}
+
+}  // namespace cqms::metaquery

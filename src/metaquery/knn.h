@@ -1,0 +1,54 @@
+#ifndef CQMS_METAQUERY_KNN_H_
+#define CQMS_METAQUERY_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "metaquery/similarity.h"
+#include "storage/query_store.h"
+
+namespace cqms::metaquery {
+
+/// How kNN results are scored. The paper asks "how to construct ranking
+/// functions that combine similarity measures together and with other
+/// desired properties (e.g. high popularity, efficient runtime, small
+/// result cardinality)" (§2.3) — these weights are that function.
+struct RankingOptions {
+  double w_similarity = 0.70;
+  double w_popularity = 0.15;  ///< log-scaled canonical-duplicate count.
+  double w_quality = 0.10;     ///< maintenance-assigned quality score.
+  double w_recency = 0.05;     ///< newer queries rank higher.
+  /// Exclude queries flagged broken/obsolete/deleted.
+  bool exclude_flagged = true;
+  /// Drop candidates below this similarity before ranking.
+  double min_similarity = 0.05;
+};
+
+/// One kNN result.
+struct Neighbor {
+  storage::QueryId id = storage::kInvalidQueryId;
+  double similarity = 0;  ///< Raw combined similarity in [0,1].
+  double score = 0;       ///< Ranked score (similarity + boosts).
+};
+
+/// Finds the k logged queries most similar to `probe`, visible to
+/// `viewer`, ranked by the composite score. Candidate generation uses
+/// the table index (queries sharing at least one table with the probe);
+/// probes with no tables fall back to a full scan.
+std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
+                                const std::string& viewer,
+                                const storage::QueryRecord& probe, size_t k,
+                                const SimilarityWeights& weights = {},
+                                const RankingOptions& ranking = {});
+
+/// Convenience: builds a transient probe record from SQL text (not
+/// logged), then searches. Fails on unparsable text.
+Result<std::vector<Neighbor>> KnnSearchText(const storage::QueryStore& store,
+                                            const std::string& viewer,
+                                            const std::string& sql_text, size_t k,
+                                            const SimilarityWeights& weights = {},
+                                            const RankingOptions& ranking = {});
+
+}  // namespace cqms::metaquery
+
+#endif  // CQMS_METAQUERY_KNN_H_

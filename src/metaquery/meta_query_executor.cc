@@ -1,0 +1,29 @@
+#include "metaquery/meta_query_executor.h"
+
+#include <algorithm>
+
+namespace cqms::metaquery {
+
+Result<db::QueryResult> MetaQueryExecutor::Sql(const std::string& viewer,
+                                               const std::string& meta_sql) const {
+  CQMS_ASSIGN_OR_RETURN(db::QueryResult result,
+                        store_->feature_db().ExecuteSql(meta_sql));
+  // Visibility: filter on the qid column when present.
+  auto it = std::find(result.column_names.begin(), result.column_names.end(), "qid");
+  if (it != result.column_names.end()) {
+    size_t qid_col = static_cast<size_t>(it - result.column_names.begin());
+    std::vector<db::Row> kept;
+    kept.reserve(result.rows.size());
+    for (db::Row& r : result.rows) {
+      const db::Value& v = r[qid_col];
+      if (v.type() == db::ValueType::kInt &&
+          store_->Visible(viewer, v.AsInt())) {
+        kept.push_back(std::move(r));
+      }
+    }
+    result.rows = std::move(kept);
+  }
+  return result;
+}
+
+}  // namespace cqms::metaquery

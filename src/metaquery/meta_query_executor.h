@@ -1,0 +1,82 @@
+#ifndef CQMS_METAQUERY_META_QUERY_EXECUTOR_H_
+#define CQMS_METAQUERY_META_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "metaquery/feature_query.h"
+#include "metaquery/knn.h"
+#include "metaquery/parse_tree_query.h"
+#include "metaquery/query_by_data.h"
+#include "metaquery/text_search.h"
+#include "storage/query_store.h"
+
+namespace cqms::metaquery {
+
+/// The CQMS Meta-Query Executor (Figure 4): the single online entry point
+/// for all four classes of meta-queries the paper identifies (§4.2) —
+/// keyword, complex feature/structure conditions, output conditions, and
+/// kNN — with access control applied on every path.
+class MetaQueryExecutor {
+ public:
+  /// `store` must outlive the executor.
+  explicit MetaQueryExecutor(const storage::QueryStore* store) : store_(store) {}
+
+  // Class 1: keyword / substring.
+  std::vector<storage::QueryId> Keyword(const std::string& viewer,
+                                        const std::string& words,
+                                        bool match_all = true) const {
+    return KeywordSearch(*store_, viewer, words, match_all);
+  }
+  std::vector<storage::QueryId> Substring(const std::string& viewer,
+                                          const std::string& needle) const {
+    return SubstringSearch(*store_, viewer, needle);
+  }
+
+  // Class 2a: feature conditions (programmatic).
+  std::vector<storage::QueryId> ByFeature(const std::string& viewer,
+                                          const FeatureQuery& query) const {
+    return query.Evaluate(*store_, viewer);
+  }
+
+  // Class 2b: feature conditions (SQL over the feature relations).
+  /// Runs arbitrary SQL against the Figure-1 feature relations. When the
+  /// result exposes a `qid` column, rows whose query is not visible to
+  /// `viewer` are removed — SQL meta-querying cannot bypass the ACL.
+  Result<db::QueryResult> Sql(const std::string& viewer,
+                              const std::string& meta_sql) const;
+
+  // Class 2c: parse-tree structure conditions.
+  std::vector<storage::QueryId> ByStructure(const std::string& viewer,
+                                            const StructuralPattern& pattern) const {
+    return StructuralSearch(*store_, viewer, pattern);
+  }
+
+  // Class 3: conditions on query outputs.
+  std::vector<storage::QueryId> ByData(const std::string& viewer,
+                                       const std::vector<DataExample>& examples,
+                                       const QueryByDataOptions& options = {}) const {
+    return QueryByData(*store_, viewer, examples, options);
+  }
+
+  // Class 4: kNN.
+  std::vector<Neighbor> Knn(const std::string& viewer,
+                            const storage::QueryRecord& probe, size_t k,
+                            const SimilarityWeights& weights = {},
+                            const RankingOptions& ranking = {}) const {
+    return KnnSearch(*store_, viewer, probe, k, weights, ranking);
+  }
+  Result<std::vector<Neighbor>> KnnText(const std::string& viewer,
+                                        const std::string& sql_text, size_t k,
+                                        const SimilarityWeights& weights = {},
+                                        const RankingOptions& ranking = {}) const {
+    return KnnSearchText(*store_, viewer, sql_text, k, weights, ranking);
+  }
+
+ private:
+  const storage::QueryStore* store_;
+};
+
+}  // namespace cqms::metaquery
+
+#endif  // CQMS_METAQUERY_META_QUERY_EXECUTOR_H_

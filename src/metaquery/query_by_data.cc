@@ -1,0 +1,71 @@
+#include "metaquery/query_by_data.h"
+
+namespace cqms::metaquery {
+
+bool RowMatchesExample(const db::Row& row, const db::Row& example) {
+  for (const db::Value& cell : example) {
+    bool found = false;
+    for (const db::Value& v : row) {
+      if (!v.is_null() && !cell.is_null() && v.Compare(cell) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Checks examples against a concrete set of rows. Returns true when all
+/// positive examples appear and no negative example does.
+bool RowsSatisfyExamples(const std::vector<db::Row>& rows,
+                         const std::vector<DataExample>& examples) {
+  for (const DataExample& ex : examples) {
+    bool found = false;
+    for (const db::Row& r : rows) {
+      if (RowMatchesExample(r, ex.cells)) {
+        found = true;
+        break;
+      }
+    }
+    if (ex.positive != found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<storage::QueryId> QueryByData(const storage::QueryStore& store,
+                                          const std::string& viewer,
+                                          const std::vector<DataExample>& examples,
+                                          const QueryByDataOptions& options) {
+  std::vector<storage::QueryId> out;
+  for (const storage::QueryRecord& r : store.records()) {
+    if (!store.Visible(viewer, r.id)) continue;
+    if (!r.stats.succeeded || r.parse_failed()) continue;
+
+    const bool has_summary = !r.summary.column_names.empty();
+    if (has_summary && r.summary.complete) {
+      if (RowsSatisfyExamples(r.summary.sample_rows, examples)) out.push_back(r.id);
+      continue;
+    }
+
+    // Incomplete or missing summary: the sample is inconclusive.
+    if (options.reexecute_on != nullptr && r.ast != nullptr) {
+      auto exec = options.reexecute_on->Execute(*r.ast);
+      if (exec.ok() && RowsSatisfyExamples(exec->rows, examples)) {
+        out.push_back(r.id);
+      }
+      continue;
+    }
+    if (has_summary && !options.skip_without_summary) {
+      // Best-effort: decide on the sample alone.
+      if (RowsSatisfyExamples(r.summary.sample_rows, examples)) out.push_back(r.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace cqms::metaquery

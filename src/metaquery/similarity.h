@@ -1,0 +1,46 @@
+#ifndef CQMS_METAQUERY_SIMILARITY_H_
+#define CQMS_METAQUERY_SIMILARITY_H_
+
+#include "storage/query_record.h"
+
+namespace cqms::metaquery {
+
+/// Mixing weights for the composite similarity. The paper (§2.3) notes
+/// "query similarity could be defined in terms of query parse trees,
+/// features, or output data" and asks how to combine them; this struct is
+/// that combination knob. Weights are renormalized over the measures that
+/// are actually computable for a pair (e.g. output similarity needs both
+/// queries to carry output summaries).
+struct SimilarityWeights {
+  double feature = 0.6;  ///< Syntactic feature overlap.
+  double text = 0.2;     ///< Token-level text overlap.
+  double output = 0.2;   ///< Output-sample overlap (semantic, black-box).
+};
+
+/// Jaccard-style overlap of syntactic features: tables, predicate
+/// skeletons, referenced attributes and projections. In [0, 1].
+double FeatureSimilarity(const sql::QueryComponents& a, const sql::QueryComponents& b);
+
+/// Token-set Jaccard over the query texts (cheap proxy for string
+/// similarity; robust to formatting). In [0, 1].
+double TextSimilarity(const storage::QueryRecord& a, const storage::QueryRecord& b);
+
+/// Overlap of sampled output rows — the paper's "comparing queries as
+/// black-boxes" (§4.1). Jaccard over row hashes of the stored samples.
+/// Returns -1 when either side has no usable summary.
+double OutputSimilarity(const storage::OutputSummary& a, const storage::OutputSummary& b);
+
+/// Weighted combination; skips (and renormalizes away) measures that are
+/// unavailable for this pair. In [0, 1].
+double CombinedSimilarity(const storage::QueryRecord& a, const storage::QueryRecord& b,
+                          const SimilarityWeights& weights = {});
+
+/// Structural distance in "number of edits" between two queries,
+/// normalized to [0, 1] by the total component count. 0 = identical
+/// structure. Used by the sessionizer.
+double NormalizedEditDistance(const sql::QueryComponents& a,
+                              const sql::QueryComponents& b);
+
+}  // namespace cqms::metaquery
+
+#endif  // CQMS_METAQUERY_SIMILARITY_H_

@@ -1,0 +1,27 @@
+#ifndef CQMS_METAQUERY_TEXT_SEARCH_H_
+#define CQMS_METAQUERY_TEXT_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/query_store.h"
+
+namespace cqms::metaquery {
+
+/// Keyword search over the query log (§2.2: "at minimum, it should
+/// provide substring matching and keyword search"). Words are matched via
+/// the store's inverted index; with `match_all` every word must appear.
+/// Results are restricted to queries visible to `viewer`, in log order.
+std::vector<storage::QueryId> KeywordSearch(const storage::QueryStore& store,
+                                            const std::string& viewer,
+                                            const std::string& words,
+                                            bool match_all = true);
+
+/// Case-insensitive substring scan over raw query text.
+std::vector<storage::QueryId> SubstringSearch(const storage::QueryStore& store,
+                                              const std::string& viewer,
+                                              const std::string& needle);
+
+}  // namespace cqms::metaquery
+
+#endif  // CQMS_METAQUERY_TEXT_SEARCH_H_

@@ -1,0 +1,58 @@
+#ifndef CQMS_MINER_ASSOCIATION_RULES_H_
+#define CQMS_MINER_ASSOCIATION_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/query_store.h"
+
+namespace cqms::miner {
+
+/// An association rule "antecedent => consequent" mined from the query
+/// log (§4.3). Items are namespaced feature strings:
+///   "t:<table>"      — relation in the FROM clause
+///   "p:<skeleton>"   — predicate skeleton in WHERE/HAVING
+///   "a:<rel.attr>"   — referenced attribute
+/// The paper's driving example: t:watersalinity => t:watertemp with
+/// higher confidence than t:watersalinity => t:citylocations enables
+/// context-aware table completion (§2.3).
+struct AssociationRule {
+  std::vector<std::string> antecedent;  ///< Sorted items.
+  std::string consequent;               ///< Single item.
+  double support = 0;                   ///< Fraction of transactions with both.
+  double confidence = 0;                ///< support(both) / support(antecedent).
+  size_t count = 0;                     ///< Absolute transaction count.
+};
+
+struct AssociationMinerOptions {
+  double min_support = 0.01;
+  double min_confidence = 0.3;
+  size_t max_antecedent_size = 2;
+  /// Include predicate-skeleton and attribute items, not just tables.
+  bool include_predicates = true;
+  bool include_attributes = false;
+};
+
+/// Builds one transaction (item set) per visible, parsed query.
+std::vector<std::vector<std::string>> BuildTransactions(
+    const storage::QueryStore& store, const std::vector<storage::QueryId>& ids,
+    const AssociationMinerOptions& options);
+
+/// Apriori over the transactions: frequent itemsets up to
+/// `max_antecedent_size + 1`, then rules with a single consequent.
+/// Rules are returned sorted by (confidence, support) descending.
+std::vector<AssociationRule> MineAssociationRules(
+    const std::vector<std::vector<std::string>>& transactions,
+    const AssociationMinerOptions& options);
+
+/// Context-aware suggestion: given the items already present in a
+/// partially written query, returns consequents of matching rules
+/// (antecedent fully contained in `context`, consequent absent), best
+/// first, deduplicated.
+std::vector<std::pair<std::string, double>> SuggestFromRules(
+    const std::vector<AssociationRule>& rules,
+    const std::vector<std::string>& context, size_t limit = 5);
+
+}  // namespace cqms::miner
+
+#endif  // CQMS_MINER_ASSOCIATION_RULES_H_

@@ -1,0 +1,176 @@
+#include "miner/clustering.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "common/rng.h"
+
+namespace cqms::miner {
+
+namespace {
+
+/// Dense pairwise distance matrix over the given ids.
+class DistanceMatrix {
+ public:
+  DistanceMatrix(const storage::QueryStore& store,
+                 const std::vector<storage::QueryId>& ids,
+                 const metaquery::SimilarityWeights& weights)
+      : n_(ids.size()), data_(n_ * n_, 0) {
+    for (size_t i = 0; i < n_; ++i) {
+      const auto* a = store.Get(ids[i]);
+      for (size_t j = i + 1; j < n_; ++j) {
+        const auto* b = store.Get(ids[j]);
+        double d = 1.0 - metaquery::CombinedSimilarity(*a, *b, weights);
+        data_[i * n_ + j] = d;
+        data_[j * n_ + i] = d;
+      }
+    }
+  }
+
+  double at(size_t i, size_t j) const { return data_[i * n_ + j]; }
+  size_t size() const { return n_; }
+
+ private:
+  size_t n_;
+  std::vector<double> data_;
+};
+
+}  // namespace
+
+int Clustering::ClusterOf(storage::QueryId id) const {
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    for (storage::QueryId q : clusters[i]) {
+      if (q == id) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Clustering KMedoidsCluster(const storage::QueryStore& store,
+                           const std::vector<storage::QueryId>& ids,
+                           const KMedoidsOptions& options) {
+  Clustering out;
+  if (ids.empty()) return out;
+  const size_t n = ids.size();
+  const size_t k = std::min(options.k == 0 ? 1 : options.k, n);
+  DistanceMatrix dist(store, ids, options.weights);
+
+  // Seed medoids: shuffle indices deterministically, take the first k.
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  Rng rng(options.seed);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Uniform(i)]);
+  }
+  std::vector<size_t> medoids(perm.begin(), perm.begin() + k);
+
+  std::vector<size_t> assignment(n, 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Assign each point to its nearest medoid.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t m = 0; m < k; ++m) {
+        double d = dist.at(i, medoids[m]);
+        if (d < best_d) {
+          best_d = d;
+          best = m;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update: medoid = member minimizing total intra-cluster distance.
+    for (size_t m = 0; m < k; ++m) {
+      double best_total = std::numeric_limits<double>::infinity();
+      size_t best_idx = medoids[m];
+      for (size_t i = 0; i < n; ++i) {
+        if (assignment[i] != m) continue;
+        double total = 0;
+        for (size_t j = 0; j < n; ++j) {
+          if (assignment[j] == m) total += dist.at(i, j);
+        }
+        if (total < best_total) {
+          best_total = total;
+          best_idx = i;
+        }
+      }
+      if (medoids[m] != best_idx) {
+        medoids[m] = best_idx;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  out.clusters.assign(k, {});
+  out.medoids.assign(k, storage::kInvalidQueryId);
+  for (size_t m = 0; m < k; ++m) out.medoids[m] = ids[medoids[m]];
+  for (size_t i = 0; i < n; ++i) out.clusters[assignment[i]].push_back(ids[i]);
+  // Drop empty clusters (possible when duplicate points collapse).
+  for (size_t m = out.clusters.size(); m > 0; --m) {
+    if (out.clusters[m - 1].empty()) {
+      out.clusters.erase(out.clusters.begin() + (m - 1));
+      out.medoids.erase(out.medoids.begin() + (m - 1));
+    }
+  }
+  return out;
+}
+
+Clustering AgglomerativeCluster(const storage::QueryStore& store,
+                                const std::vector<storage::QueryId>& ids,
+                                double max_distance,
+                                const metaquery::SimilarityWeights& weights) {
+  Clustering out;
+  if (ids.empty()) return out;
+  const size_t n = ids.size();
+  DistanceMatrix dist(store, ids, weights);
+
+  // Union-find over points; single linkage = union every pair within
+  // threshold (equivalent to connected components of the threshold graph).
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (dist.at(i, j) <= max_distance) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+
+  std::map<size_t, std::vector<size_t>> components;
+  for (size_t i = 0; i < n; ++i) components[find(i)].push_back(i);
+  for (auto& [root, members] : components) {
+    // Medoid: member with minimal total distance.
+    size_t best = members[0];
+    double best_total = std::numeric_limits<double>::infinity();
+    for (size_t i : members) {
+      double total = 0;
+      for (size_t j : members) total += dist.at(i, j);
+      if (total < best_total) {
+        best_total = total;
+        best = i;
+      }
+    }
+    std::vector<storage::QueryId> cluster;
+    cluster.reserve(members.size());
+    for (size_t i : members) cluster.push_back(ids[i]);
+    out.clusters.push_back(std::move(cluster));
+    out.medoids.push_back(ids[best]);
+  }
+  return out;
+}
+
+}  // namespace cqms::miner

@@ -1,0 +1,49 @@
+#ifndef CQMS_MINER_CLUSTERING_H_
+#define CQMS_MINER_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "metaquery/similarity.h"
+#include "storage/query_store.h"
+
+namespace cqms::miner {
+
+/// A clustering of query ids. Cluster `i`'s representative (medoid) is
+/// `medoids[i]` — the paper uses clusters to deduplicate meta-query
+/// results and group recommendations (§4.3).
+struct Clustering {
+  std::vector<std::vector<storage::QueryId>> clusters;
+  std::vector<storage::QueryId> medoids;
+
+  size_t num_clusters() const { return clusters.size(); }
+
+  /// Index of the cluster containing `id`, or -1.
+  int ClusterOf(storage::QueryId id) const;
+};
+
+struct KMedoidsOptions {
+  size_t k = 8;
+  int max_iterations = 20;
+  uint64_t seed = 42;
+  metaquery::SimilarityWeights weights;
+};
+
+/// Partitions `ids` into k clusters by k-medoids (PAM-style alternation)
+/// under distance = 1 - CombinedSimilarity. Deterministic for a seed.
+/// Requires ids.size() >= 1; k is clamped to ids.size().
+Clustering KMedoidsCluster(const storage::QueryStore& store,
+                           const std::vector<storage::QueryId>& ids,
+                           const KMedoidsOptions& options = {});
+
+/// Single-linkage agglomerative clustering: merges clusters while the
+/// closest pair is within `max_distance`. No k needed; used when the
+/// number of query groups is unknown.
+Clustering AgglomerativeCluster(const storage::QueryStore& store,
+                                const std::vector<storage::QueryId>& ids,
+                                double max_distance,
+                                const metaquery::SimilarityWeights& weights = {});
+
+}  // namespace cqms::miner
+
+#endif  // CQMS_MINER_CLUSTERING_H_

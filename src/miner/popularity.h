@@ -1,0 +1,55 @@
+#ifndef CQMS_MINER_POPULARITY_H_
+#define CQMS_MINER_POPULARITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/query_store.h"
+
+namespace cqms::miner {
+
+/// Time-decayed popularity statistics over the query log. Ranking
+/// functions (§2.3) and the tutorial generator both need "most popular"
+/// lists; exponential decay keeps them current as interests shift.
+class PopularityTracker {
+ public:
+  struct Options {
+    /// Weight of an event halves every `half_life` (0 = no decay).
+    Micros half_life = 0;
+  };
+
+  /// Builds scores from the entire (non-deleted) log as of time `now`.
+  void Build(const storage::QueryStore& store, Micros now, Options options);
+
+  /// Convenience overload: no decay.
+  void Build(const storage::QueryStore& store, Micros now);
+
+  double TableScore(const std::string& table) const;
+  double SkeletonScore(uint64_t skeleton_fp) const;
+  double AttributeScore(const std::string& relation, const std::string& attribute) const;
+
+  /// Top-n tables by score, best first.
+  std::vector<std::pair<std::string, double>> TopTables(size_t n) const;
+
+  /// Top-n logged queries *using `table`*, best first, scored by the
+  /// popularity of their canonical form. Used by the tutorial generator.
+  std::vector<storage::QueryId> TopQueriesForTable(const storage::QueryStore& store,
+                                                   const std::string& table,
+                                                   size_t n) const;
+
+ private:
+  double Decay(Micros age) const;
+
+  Options options_;
+  Micros now_ = 0;
+  std::map<std::string, double> table_scores_;
+  std::map<uint64_t, double> skeleton_scores_;
+  std::map<std::string, double> attribute_scores_;
+  std::map<uint64_t, double> fingerprint_scores_;
+};
+
+}  // namespace cqms::miner
+
+#endif  // CQMS_MINER_POPULARITY_H_

@@ -1,0 +1,68 @@
+#include "miner/query_miner.h"
+
+#include <algorithm>
+
+namespace cqms::miner {
+
+QueryMiner::QueryMiner(storage::QueryStore* store, const Clock* clock,
+                       QueryMinerOptions options)
+    : store_(store), clock_(clock), options_(options) {}
+
+void QueryMiner::RunAll() {
+  sessions_ = IdentifySessions(store_, options_.sessionizer);
+
+  // Association rules over all parsed queries.
+  std::vector<storage::QueryId> all_ids;
+  all_ids.reserve(store_->size());
+  for (const storage::QueryRecord& r : store_->records()) {
+    if (!r.HasFlag(storage::kFlagDeleted)) all_ids.push_back(r.id);
+  }
+  auto transactions = BuildTransactions(*store_, all_ids, options_.association);
+  rules_ = MineAssociationRules(transactions, options_.association);
+
+  popularity_.Build(*store_, clock_->Now(), options_.popularity);
+
+  // Clustering over the most recent window (distance matrix is O(n^2)).
+  std::vector<storage::QueryId> cluster_ids;
+  for (auto it = all_ids.rbegin(); it != all_ids.rend(); ++it) {
+    const storage::QueryRecord* r = store_->Get(*it);
+    if (r->parse_failed()) continue;
+    cluster_ids.push_back(*it);
+    if (options_.clustering_sample != 0 &&
+        cluster_ids.size() >= options_.clustering_sample) {
+      break;
+    }
+  }
+  std::reverse(cluster_ids.begin(), cluster_ids.end());
+  clustering_ = KMedoidsCluster(*store_, cluster_ids, options_.clustering);
+
+  last_mined_size_ = store_->size();
+}
+
+bool QueryMiner::MaybeRefresh() {
+  if (store_->size() < last_mined_size_ + options_.refresh_threshold &&
+      last_mined_size_ != 0) {
+    return false;
+  }
+  RunAll();
+  return true;
+}
+
+const Session* QueryMiner::FindSession(storage::SessionId id) const {
+  for (const Session& s : sessions_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Session*> QueryMiner::SessionsOfUser(const std::string& user) const {
+  std::vector<const Session*> out;
+  for (const Session& s : sessions_) {
+    if (s.user == user) out.push_back(&s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Session* a, const Session* b) { return a->start > b->start; });
+  return out;
+}
+
+}  // namespace cqms::miner

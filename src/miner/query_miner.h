@@ -1,0 +1,74 @@
+#ifndef CQMS_MINER_QUERY_MINER_H_
+#define CQMS_MINER_QUERY_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "miner/association_rules.h"
+#include "miner/clustering.h"
+#include "miner/popularity.h"
+#include "miner/sessionizer.h"
+
+namespace cqms::miner {
+
+/// Configuration of the background Query Miner (Figure 4).
+struct QueryMinerOptions {
+  SessionizerOptions sessionizer;
+  AssociationMinerOptions association;
+  KMedoidsOptions clustering;
+  PopularityTracker::Options popularity;
+  /// Re-mine when at least this many new queries arrived since the last
+  /// run (incremental maintenance, §4.3).
+  size_t refresh_threshold = 100;
+  /// Cap on the number of queries fed to O(n^2) clustering; the most
+  /// recent ones are used. 0 = no cap.
+  size_t clustering_sample = 2000;
+};
+
+/// The background mining component: runs sessionization, association-rule
+/// mining, popularity tracking and query clustering over the store, and
+/// exposes the latest results to the assisted-interaction layer.
+class QueryMiner {
+ public:
+  /// `store` and `clock` must outlive the miner.
+  QueryMiner(storage::QueryStore* store, const Clock* clock,
+             QueryMinerOptions options = {});
+
+  /// Runs every mining task now.
+  void RunAll();
+
+  /// Runs mining only when `refresh_threshold` new queries have arrived
+  /// since the last run. Returns true when a run happened. This is the
+  /// hook a background scheduler would call periodically.
+  bool MaybeRefresh();
+
+  // Latest results (valid after the first RunAll).
+  const std::vector<Session>& sessions() const { return sessions_; }
+  const std::vector<AssociationRule>& rules() const { return rules_; }
+  const Clustering& clustering() const { return clustering_; }
+  const PopularityTracker& popularity() const { return popularity_; }
+
+  /// Session lookup by id; nullptr when unknown.
+  const Session* FindSession(storage::SessionId id) const;
+
+  /// Sessions of one user, most recent first.
+  std::vector<const Session*> SessionsOfUser(const std::string& user) const;
+
+  size_t queries_mined() const { return last_mined_size_; }
+
+ private:
+  storage::QueryStore* store_;
+  const Clock* clock_;
+  QueryMinerOptions options_;
+
+  std::vector<Session> sessions_;
+  std::vector<AssociationRule> rules_;
+  Clustering clustering_;
+  PopularityTracker popularity_;
+  size_t last_mined_size_ = 0;
+};
+
+}  // namespace cqms::miner
+
+#endif  // CQMS_MINER_QUERY_MINER_H_

@@ -1,0 +1,116 @@
+#include "miner/session_clustering.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cqms::miner {
+
+namespace {
+
+std::set<uint64_t> SessionSkeletons(const storage::QueryStore& store,
+                                    const Session& session) {
+  std::set<uint64_t> out;
+  for (storage::QueryId id : session.queries) {
+    const storage::QueryRecord* r = store.Get(id);
+    if (r != nullptr && !r->parse_failed()) out.insert(r->skeleton_fingerprint);
+  }
+  return out;
+}
+
+}  // namespace
+
+double SessionSimilarity(const storage::QueryStore& store, const Session& a,
+                         const Session& b) {
+  std::set<uint64_t> sa = SessionSkeletons(store, a);
+  std::set<uint64_t> sb = SessionSkeletons(store, b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t inter = 0;
+  const auto& small = sa.size() <= sb.size() ? sa : sb;
+  const auto& large = sa.size() <= sb.size() ? sb : sa;
+  for (uint64_t fp : small) {
+    if (large.count(fp) > 0) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+int SessionClustering::ClusterOfIndex(size_t i) const {
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t member : clusters[c]) {
+      if (member == i) return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+SessionClustering ClusterSessions(const storage::QueryStore& store,
+                                  const std::vector<Session>& sessions,
+                                  double max_distance) {
+  SessionClustering out;
+  const size_t n = sessions.size();
+  if (n == 0) return out;
+
+  // Precompute skeleton sets once; union-find over the threshold graph.
+  std::vector<std::set<uint64_t>> skeletons(n);
+  for (size_t i = 0; i < n; ++i) {
+    skeletons[i] = SessionSkeletons(store, sessions[i]);
+  }
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto jaccard = [&](size_t i, size_t j) {
+    const auto& a = skeletons[i];
+    const auto& b = skeletons[j];
+    if (a.empty() && b.empty()) return 1.0;
+    if (a.empty() || b.empty()) return 0.0;
+    size_t inter = 0;
+    const auto& small = a.size() <= b.size() ? a : b;
+    const auto& large = a.size() <= b.size() ? b : a;
+    for (uint64_t fp : small) {
+      if (large.count(fp) > 0) ++inter;
+    }
+    return static_cast<double>(inter) /
+           static_cast<double>(a.size() + b.size() - inter);
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (1.0 - jaccard(i, j) <= max_distance) parent[find(i)] = find(j);
+    }
+  }
+  std::map<size_t, std::vector<size_t>> components;
+  for (size_t i = 0; i < n; ++i) components[find(i)].push_back(i);
+  for (auto& [root, members] : components) {
+    out.clusters.push_back(std::move(members));
+  }
+  return out;
+}
+
+std::vector<std::string> SimilarSessionUsers(const std::vector<Session>& sessions,
+                                             const SessionClustering& clustering,
+                                             const std::string& user) {
+  std::set<std::string> users;
+  for (const auto& cluster : clustering.clusters) {
+    bool involves_user = false;
+    for (size_t i : cluster) {
+      if (sessions[i].user == user) {
+        involves_user = true;
+        break;
+      }
+    }
+    if (!involves_user) continue;
+    for (size_t i : cluster) {
+      if (sessions[i].user != user) users.insert(sessions[i].user);
+    }
+  }
+  return std::vector<std::string>(users.begin(), users.end());
+}
+
+}  // namespace cqms::miner

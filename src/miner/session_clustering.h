@@ -1,0 +1,45 @@
+#ifndef CQMS_MINER_SESSION_CLUSTERING_H_
+#define CQMS_MINER_SESSION_CLUSTERING_H_
+
+#include <string>
+#include <vector>
+
+#include "miner/sessionizer.h"
+
+namespace cqms::miner {
+
+/// Similarity between two *sessions* (§4.3: "if the CQMS clusters entire
+/// query sessions, it can provide better services"): Jaccard overlap of
+/// the sets of query skeletons the sessions visited. Two sessions that
+/// explored the same query structures — regardless of constants — score
+/// high. In [0, 1].
+double SessionSimilarity(const storage::QueryStore& store, const Session& a,
+                         const Session& b);
+
+/// A clustering of sessions. Cluster members are indices into the input
+/// session vector.
+struct SessionClustering {
+  std::vector<std::vector<size_t>> clusters;
+
+  /// Index of the cluster containing session index `i`, or -1.
+  int ClusterOfIndex(size_t i) const;
+};
+
+/// Single-linkage agglomerative clustering of sessions: sessions within
+/// `max_distance` (= 1 - similarity) are merged transitively.
+SessionClustering ClusterSessions(const storage::QueryStore& store,
+                                  const std::vector<Session>& sessions,
+                                  double max_distance = 0.5);
+
+/// Users whose session patterns resemble `user`'s: authors of sessions
+/// sharing a cluster with any of `user`'s sessions. This implements the
+/// paper's "recommendations can be limited to queries from users who
+/// have similar query session patterns as the current user". Sorted,
+/// excludes `user` itself.
+std::vector<std::string> SimilarSessionUsers(const std::vector<Session>& sessions,
+                                             const SessionClustering& clustering,
+                                             const std::string& user);
+
+}  // namespace cqms::miner
+
+#endif  // CQMS_MINER_SESSION_CLUSTERING_H_

@@ -1,0 +1,93 @@
+#include "miner/sessionizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "metaquery/similarity.h"
+
+namespace cqms::miner {
+
+std::vector<Session> IdentifySessions(storage::QueryStore* store,
+                                      const SessionizerOptions& options) {
+  // Group record ids per user, then sort each group by (timestamp, id).
+  std::map<std::string, std::vector<storage::QueryId>> per_user;
+  for (const storage::QueryRecord& r : store->records()) {
+    if (r.HasFlag(storage::kFlagDeleted)) continue;
+    per_user[r.user].push_back(r.id);
+  }
+
+  std::vector<Session> sessions;
+  storage::SessionId next_id = 0;
+
+  for (auto& [user, ids] : per_user) {
+    std::sort(ids.begin(), ids.end(),
+              [&](storage::QueryId a, storage::QueryId b) {
+                const auto* ra = store->Get(a);
+                const auto* rb = store->Get(b);
+                if (ra->timestamp != rb->timestamp) {
+                  return ra->timestamp < rb->timestamp;
+                }
+                return a < b;
+              });
+
+    Session* current = nullptr;
+    const storage::QueryRecord* prev = nullptr;
+    for (storage::QueryId id : ids) {
+      const storage::QueryRecord* rec = store->Get(id);
+      bool cut = current == nullptr;
+      if (!cut && prev != nullptr) {
+        if (rec->timestamp - prev->timestamp > options.max_gap) {
+          cut = true;
+        } else if (!rec->parse_failed() && !prev->parse_failed()) {
+          double dist = metaquery::NormalizedEditDistance(prev->components,
+                                                          rec->components);
+          if (dist > options.max_distance) cut = true;
+        }
+        // Unparsable queries stay in the current session (they are
+        // usually typos of the previous attempt).
+      }
+      if (cut) {
+        Session s;
+        s.id = next_id++;
+        s.user = user;
+        s.start = rec->timestamp;
+        sessions.push_back(std::move(s));
+        current = &sessions.back();
+        prev = nullptr;
+      }
+      if (prev != nullptr && !prev->parse_failed() && !rec->parse_failed()) {
+        SessionEdge edge;
+        edge.from = prev->id;
+        edge.to = rec->id;
+        edge.diff = sql::DiffQueries(prev->components, rec->components);
+        current->edges.push_back(std::move(edge));
+      } else if (prev != nullptr) {
+        // Parse-failed endpoint: keep an unlabeled edge for continuity.
+        SessionEdge edge;
+        edge.from = prev->id;
+        edge.to = rec->id;
+        current->edges.push_back(std::move(edge));
+      }
+      current->queries.push_back(id);
+      current->end = rec->timestamp;
+      prev = rec;
+    }
+  }
+
+  // Write assignments back. Sessions were appended per user; renumber by
+  // start time for stable, meaningful ids.
+  std::sort(sessions.begin(), sessions.end(), [](const Session& a, const Session& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.user < b.user;
+  });
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    sessions[i].id = static_cast<storage::SessionId>(i);
+    for (storage::QueryId qid : sessions[i].queries) {
+      Status s = store->SetSession(qid, sessions[i].id);
+      (void)s;  // ids come from the store; cannot fail
+    }
+  }
+  return sessions;
+}
+
+}  // namespace cqms::miner

@@ -1,0 +1,51 @@
+#ifndef CQMS_MINER_SESSIONIZER_H_
+#define CQMS_MINER_SESSIONIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "sql/diff.h"
+#include "storage/query_store.h"
+
+namespace cqms::miner {
+
+/// Controls session segmentation. A *query session* is "a series of
+/// (often similar) queries with the same information goal in mind"
+/// (§2.2); we cut a new session when the user pauses too long or jumps
+/// to a structurally unrelated query.
+struct SessionizerOptions {
+  /// Temporal cut: gap between consecutive queries of one user.
+  Micros max_gap = 10 * kMicrosPerMinute;
+  /// Structural cut: normalized edit distance above which consecutive
+  /// queries are considered different goals (0 = identical, 1 = disjoint).
+  double max_distance = 0.75;
+};
+
+/// A labeled edge of the session graph (Figure 2): the typed diff between
+/// consecutive queries.
+struct SessionEdge {
+  storage::QueryId from = storage::kInvalidQueryId;
+  storage::QueryId to = storage::kInvalidQueryId;
+  sql::QueryDiff diff;
+};
+
+/// One identified session.
+struct Session {
+  storage::SessionId id = storage::kInvalidSessionId;
+  std::string user;
+  std::vector<storage::QueryId> queries;  ///< In submission order.
+  std::vector<SessionEdge> edges;         ///< queries.size() - 1 edges.
+  Micros start = 0;
+  Micros end = 0;
+};
+
+/// Segments the whole log into sessions (per user, by time order) and
+/// writes the assigned session ids back into the store. Re-running
+/// re-segments from scratch (deterministic).
+std::vector<Session> IdentifySessions(storage::QueryStore* store,
+                                      const SessionizerOptions& options = {});
+
+}  // namespace cqms::miner
+
+#endif  // CQMS_MINER_SESSIONIZER_H_

@@ -1,0 +1,70 @@
+#include "miner/tutorial.h"
+
+#include <set>
+
+namespace cqms::miner {
+
+std::vector<TutorialSection> GenerateTutorial(const storage::QueryStore& store,
+                                              const db::Catalog& catalog,
+                                              const PopularityTracker& popularity,
+                                              const TutorialOptions& options) {
+  std::vector<TutorialSection> sections;
+  for (const auto& [table, score] : popularity.TopTables(options.max_relations)) {
+    TutorialSection section;
+    section.relation = table;
+    if (const db::TableSchema* schema = catalog.FindTable(table)) {
+      for (const db::ColumnDef& c : schema->columns()) {
+        section.columns.push_back(c.name + " " +
+                                  db::ValueTypeToString(c.type));
+      }
+    }
+    section.example_queries = popularity.TopQueriesForTable(
+        store, table, options.examples_per_relation);
+
+    // Common mistakes: distinct error digests of failed queries whose
+    // text mentions the relation.
+    std::set<std::string> seen_errors;
+    for (storage::QueryId id : store.QueriesWithKeyword(table)) {
+      if (section.common_mistakes.size() >= options.mistakes_per_relation) break;
+      const storage::QueryRecord* r = store.Get(id);
+      if (r == nullptr || r->stats.succeeded || r->stats.error.empty()) continue;
+      if (seen_errors.insert(r->stats.error).second) {
+        section.common_mistakes.push_back(r->text + "  -- " + r->stats.error);
+      }
+    }
+    sections.push_back(std::move(section));
+  }
+  return sections;
+}
+
+std::string RenderTutorial(const storage::QueryStore& store,
+                           const std::vector<TutorialSection>& sections) {
+  std::string out = "# Auto-generated dataset tutorial\n";
+  out += "# (from " + std::to_string(store.size()) + " logged queries)\n\n";
+  for (const TutorialSection& s : sections) {
+    out += "## Relation: " + s.relation + "\n";
+    if (!s.columns.empty()) {
+      out += "Schema:\n";
+      for (const std::string& c : s.columns) out += "  - " + c + "\n";
+    }
+    if (!s.example_queries.empty()) {
+      out += "Popular queries:\n";
+      for (storage::QueryId id : s.example_queries) {
+        const storage::QueryRecord* r = store.Get(id);
+        if (r == nullptr) continue;
+        out += "  " + r->text + "\n";
+        for (const storage::Annotation& a : r->annotations) {
+          out += "    -- " + a.author + ": " + a.text + "\n";
+        }
+      }
+    }
+    if (!s.common_mistakes.empty()) {
+      out += "Common mistakes:\n";
+      for (const std::string& m : s.common_mistakes) out += "  " + m + "\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cqms::miner

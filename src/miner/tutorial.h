@@ -1,0 +1,44 @@
+#ifndef CQMS_MINER_TUTORIAL_H_
+#define CQMS_MINER_TUTORIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "miner/popularity.h"
+#include "storage/query_store.h"
+
+namespace cqms::miner {
+
+/// One section of the auto-generated tutorial: a relation, its schema,
+/// its most popular queries (with annotations when present) and common
+/// mistakes observed against it.
+struct TutorialSection {
+  std::string relation;
+  std::vector<std::string> columns;             ///< "name TYPE" strings.
+  std::vector<storage::QueryId> example_queries;
+  std::vector<std::string> common_mistakes;     ///< Failed-query digests.
+};
+
+struct TutorialOptions {
+  size_t max_relations = 8;
+  size_t examples_per_relation = 3;
+  size_t mistakes_per_relation = 2;
+};
+
+/// Generates a data-set tutorial from the query log (§2.3: "a CQMS may be
+/// able to automatically produce a tutorial on the new data set ... the
+/// system could introduce each relation and its schema by showing the
+/// user the most popular queries that include the relation").
+std::vector<TutorialSection> GenerateTutorial(const storage::QueryStore& store,
+                                              const db::Catalog& catalog,
+                                              const PopularityTracker& popularity,
+                                              const TutorialOptions& options = {});
+
+/// Renders the sections as a human-readable text document.
+std::string RenderTutorial(const storage::QueryStore& store,
+                           const std::vector<TutorialSection>& sections);
+
+}  // namespace cqms::miner
+
+#endif  // CQMS_MINER_TUTORIAL_H_

@@ -1,0 +1,45 @@
+#include "profiler/output_summarizer.h"
+
+#include <algorithm>
+
+namespace cqms::profiler {
+
+size_t SummaryBudget(Micros execution_micros, uint64_t /*result_rows*/,
+                     const SummarizerOptions& options) {
+  double ms = static_cast<double>(execution_micros) / 1000.0;
+  double budget = static_cast<double>(options.min_rows) + ms * options.rows_per_milli;
+  budget = std::min(budget, static_cast<double>(options.max_rows));
+  budget = std::max(budget, static_cast<double>(options.min_rows));
+  return static_cast<size_t>(budget);
+}
+
+storage::OutputSummary SummarizeOutput(const db::QueryResult& result,
+                                       Micros execution_micros,
+                                       const SummarizerOptions& options) {
+  storage::OutputSummary summary;
+  summary.total_rows = result.rows.size();
+  summary.column_names = result.column_names;
+  summary.budget_rows = SummaryBudget(execution_micros, result.rows.size(), options);
+
+  if (result.rows.size() <= summary.budget_rows) {
+    summary.sample_rows = result.rows;
+    summary.complete = true;
+    return summary;
+  }
+
+  // Reservoir sampling (Algorithm R): uniform without replacement, one
+  // pass, deterministic from the seed.
+  Rng rng(options.sample_seed);
+  summary.sample_rows.assign(result.rows.begin(),
+                             result.rows.begin() + summary.budget_rows);
+  for (size_t i = summary.budget_rows; i < result.rows.size(); ++i) {
+    uint64_t j = rng.Uniform(i + 1);
+    if (j < summary.budget_rows) {
+      summary.sample_rows[j] = result.rows[i];
+    }
+  }
+  summary.complete = false;
+  return summary;
+}
+
+}  // namespace cqms::profiler

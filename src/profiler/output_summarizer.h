@@ -1,0 +1,43 @@
+#ifndef CQMS_PROFILER_OUTPUT_SUMMARIZER_H_
+#define CQMS_PROFILER_OUTPUT_SUMMARIZER_H_
+
+#include <cstddef>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "db/database.h"
+#include "storage/query_record.h"
+
+namespace cqms::profiler {
+
+/// Policy knobs for the adaptive output summarizer.
+///
+/// The paper (§4.1) proposes adjusting "the maximum size allowed for the
+/// output summary depending on the query execution time": a two-hour
+/// query producing ten rows should keep all ten; a two-second query
+/// producing two million rows should keep almost nothing. The budget is
+///
+///   budget = clamp(min_rows + execution_ms * rows_per_milli, min, max)
+///
+/// and if the whole result fits in the budget it is stored completely
+/// (`OutputSummary::complete`). Oversized results are reservoir-sampled.
+struct SummarizerOptions {
+  size_t min_rows = 8;
+  size_t max_rows = 256;
+  double rows_per_milli = 0.1;  ///< Extra budget rows per ms of execution.
+  uint64_t sample_seed = 42;    ///< Reservoir sampling seed.
+};
+
+/// Builds an output summary for `result` given the measured execution
+/// time. Deterministic for a fixed seed.
+storage::OutputSummary SummarizeOutput(const db::QueryResult& result,
+                                       Micros execution_micros,
+                                       const SummarizerOptions& options = {});
+
+/// The row budget the policy grants (exposed for tests and benches).
+size_t SummaryBudget(Micros execution_micros, uint64_t result_rows,
+                     const SummarizerOptions& options);
+
+}  // namespace cqms::profiler
+
+#endif  // CQMS_PROFILER_OUTPUT_SUMMARIZER_H_

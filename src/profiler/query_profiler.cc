@@ -1,0 +1,72 @@
+#include "profiler/query_profiler.h"
+
+#include "storage/record_builder.h"
+
+namespace cqms::profiler {
+
+namespace {
+
+/// A text-only record skips parsing entirely (kTextOnly level).
+storage::QueryRecord BuildTextOnlyRecord(std::string text, std::string user,
+                                         Micros timestamp) {
+  storage::QueryRecord record;
+  record.text = std::move(text);
+  record.user = std::move(user);
+  record.timestamp = timestamp;
+  return record;
+}
+
+}  // namespace
+
+QueryProfiler::QueryProfiler(const db::Database* database,
+                             storage::QueryStore* store, const Clock* clock,
+                             ProfilerOptions options)
+    : database_(database), store_(store), clock_(clock), options_(options) {}
+
+ProfiledExecution QueryProfiler::ExecuteAndProfile(std::string_view sql_text,
+                                                   const std::string& user) {
+  ProfiledExecution out;
+  const Micros submitted_at = clock_->Now();
+
+  WallTimer timer;
+  auto exec = database_->ExecuteSql(sql_text);
+  const Micros elapsed = timer.ElapsedMicros();
+
+  out.stats.execution_micros = elapsed;
+  if (exec.ok()) {
+    out.stats.succeeded = true;
+    out.stats.result_rows = exec->rows.size();
+    out.stats.rows_scanned = exec->rows_scanned;
+    out.stats.plan = exec->plan;
+  } else {
+    out.stats.succeeded = false;
+    out.stats.error = exec.status().ToString();
+  }
+
+  // Log per level.
+  if (options_.level != ProfilingLevel::kOff &&
+      (exec.ok() || options_.log_failed_queries)) {
+    storage::QueryRecord record =
+        options_.level == ProfilingLevel::kTextOnly
+            ? BuildTextOnlyRecord(std::string(sql_text), user, submitted_at)
+            : storage::BuildRecordFromText(std::string(sql_text), user,
+                                           submitted_at);
+    record.stats = out.stats;
+    if (options_.level == ProfilingLevel::kFull && exec.ok()) {
+      record.summary = SummarizeOutput(*exec, elapsed, options_.summarizer);
+    }
+    out.query_id = store_->Append(std::move(record));
+  }
+
+  if (exec.ok()) out.result = std::move(exec).value();
+  return out;
+}
+
+storage::QueryId QueryProfiler::LogOnly(std::string_view sql_text,
+                                        const std::string& user) {
+  storage::QueryRecord record = storage::BuildRecordFromText(
+      std::string(sql_text), user, clock_->Now());
+  return store_->Append(std::move(record));
+}
+
+}  // namespace cqms::profiler

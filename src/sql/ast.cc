@@ -1,0 +1,253 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace cqms::sql {
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInteger:
+      return std::to_string(int_value);
+    case Kind::kFloat:
+      return FormatDouble(double_value);
+    case Kind::kString:
+      return "'" + SqlEscape(string_value) + "'";
+    case Kind::kBool:
+      return bool_value ? "TRUE" : "FALSE";
+  }
+  return "NULL";
+}
+
+bool Literal::operator==(const Literal& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case Kind::kNull:
+      return true;
+    case Kind::kInteger:
+      return int_value == other.int_value;
+    case Kind::kFloat:
+      return double_value == other.double_value;
+    case Kind::kString:
+      return string_value == other.string_value;
+    case Kind::kBool:
+      return bool_value == other.bool_value;
+  }
+  return false;
+}
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kLike: return "LIKE";
+    case BinaryOp::kNotLike: return "NOT LIKE";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kLike:
+    case BinaryOp::kNotLike:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsAggregateFunction(std::string_view upper_name) {
+  return upper_name == "COUNT" || upper_name == "SUM" || upper_name == "AVG" ||
+         upper_name == "MIN" || upper_name == "MAX";
+}
+
+const char* JoinTypeToString(JoinType t) {
+  switch (t) {
+    case JoinType::kNone: return "";
+    case JoinType::kInner: return "JOIN";
+    case JoinType::kLeft: return "LEFT JOIN";
+    case JoinType::kRight: return "RIGHT JOIN";
+    case JoinType::kCross: return "CROSS JOIN";
+  }
+  return "";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->table = table;
+  out->column = column;
+  out->uop = uop;
+  out->bop = bop;
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  out->function_name = function_name;
+  out->args.reserve(args.size());
+  for (const auto& a : args) out->args.push_back(a->Clone());
+  out->distinct_arg = distinct_arg;
+  out->negated = negated;
+  out->in_list.reserve(in_list.size());
+  for (const auto& e : in_list) out->in_list.push_back(e->Clone());
+  if (subquery) out->subquery = subquery->Clone();
+  if (low) out->low = low->Clone();
+  if (high) out->high = high->Clone();
+  if (case_operand) out->case_operand = case_operand->Clone();
+  out->when_clauses.reserve(when_clauses.size());
+  for (const auto& [w, t] : when_clauses) {
+    out->when_clauses.emplace_back(w->Clone(), t->Clone());
+  }
+  if (else_expr) out->else_expr = else_expr->Clone();
+  return out;
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(Literal lit) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(lit);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(BinaryOp op, std::unique_ptr<Expr> l,
+                                       std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bop = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+TableRef TableRef::Clone() const {
+  TableRef out;
+  out.table = table;
+  out.alias = alias;
+  out.join_type = join_type;
+  if (join_condition) out.join_condition = join_condition->Clone();
+  out.explicit_join_syntax = explicit_join_syntax;
+  return out;
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem out;
+  out.is_star = is_star;
+  out.star_table = star_table;
+  if (expr) out.expr = expr->Clone();
+  out.alias = alias;
+  return out;
+}
+
+OrderItem OrderItem::Clone() const {
+  OrderItem out;
+  if (expr) out.expr = expr->Clone();
+  out.descending = descending;
+  return out;
+}
+
+std::unique_ptr<SelectStatement> SelectStatement::Clone() const {
+  auto out = std::make_unique<SelectStatement>();
+  out->distinct = distinct;
+  out->select_items.reserve(select_items.size());
+  for (const auto& s : select_items) out->select_items.push_back(s.Clone());
+  out->from.reserve(from.size());
+  for (const auto& t : from) out->from.push_back(t.Clone());
+  if (where) out->where = where->Clone();
+  out->group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  if (having) out->having = having->Clone();
+  out->order_by.reserve(order_by.size());
+  for (const auto& o : order_by) out->order_by.push_back(o.Clone());
+  out->limit = limit;
+  out->offset = offset;
+  if (union_next) out->union_next = union_next->Clone();
+  out->union_all = union_all;
+  return out;
+}
+
+void WalkExpr(Expr* expr, const std::function<void(Expr*)>& fn,
+              bool enter_subqueries) {
+  if (expr == nullptr) return;
+  fn(expr);
+  if (expr->left) WalkExpr(expr->left.get(), fn, enter_subqueries);
+  if (expr->right) WalkExpr(expr->right.get(), fn, enter_subqueries);
+  for (auto& a : expr->args) WalkExpr(a.get(), fn, enter_subqueries);
+  for (auto& e : expr->in_list) WalkExpr(e.get(), fn, enter_subqueries);
+  if (expr->low) WalkExpr(expr->low.get(), fn, enter_subqueries);
+  if (expr->high) WalkExpr(expr->high.get(), fn, enter_subqueries);
+  if (expr->case_operand) WalkExpr(expr->case_operand.get(), fn, enter_subqueries);
+  for (auto& [w, t] : expr->when_clauses) {
+    WalkExpr(w.get(), fn, enter_subqueries);
+    WalkExpr(t.get(), fn, enter_subqueries);
+  }
+  if (expr->else_expr) WalkExpr(expr->else_expr.get(), fn, enter_subqueries);
+  if (expr->subquery && enter_subqueries) {
+    WalkStatementExprs(expr->subquery.get(), fn, enter_subqueries);
+  }
+}
+
+void WalkStatementExprs(SelectStatement* stmt, const std::function<void(Expr*)>& fn,
+                        bool enter_subqueries) {
+  if (stmt == nullptr) return;
+  for (auto& item : stmt->select_items) {
+    if (item.expr) WalkExpr(item.expr.get(), fn, enter_subqueries);
+  }
+  for (auto& tref : stmt->from) {
+    if (tref.join_condition) WalkExpr(tref.join_condition.get(), fn, enter_subqueries);
+  }
+  if (stmt->where) WalkExpr(stmt->where.get(), fn, enter_subqueries);
+  for (auto& g : stmt->group_by) WalkExpr(g.get(), fn, enter_subqueries);
+  if (stmt->having) WalkExpr(stmt->having.get(), fn, enter_subqueries);
+  for (auto& o : stmt->order_by) {
+    if (o.expr) WalkExpr(o.expr.get(), fn, enter_subqueries);
+  }
+  if (stmt->union_next) WalkStatementExprs(stmt->union_next.get(), fn, enter_subqueries);
+}
+
+std::vector<const Expr*> SplitConjuncts(const Expr* expr) {
+  std::vector<const Expr*> out;
+  if (expr == nullptr) return out;
+  if (expr->kind == ExprKind::kBinary && expr->bop == BinaryOp::kAnd) {
+    auto l = SplitConjuncts(expr->left.get());
+    auto r = SplitConjuncts(expr->right.get());
+    out.insert(out.end(), l.begin(), l.end());
+    out.insert(out.end(), r.begin(), r.end());
+  } else {
+    out.push_back(expr);
+  }
+  return out;
+}
+
+}  // namespace cqms::sql

@@ -1,0 +1,225 @@
+#ifndef CQMS_SQL_AST_H_
+#define CQMS_SQL_AST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cqms::sql {
+
+/// A SQL literal constant. Lives in the `sql` layer (not `db`) so the
+/// parser has no dependency on the execution engine; `db::Value` converts
+/// from it at bind time.
+struct Literal {
+  enum class Kind { kNull, kInteger, kFloat, kString, kBool };
+
+  Kind kind = Kind::kNull;
+  int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+  bool bool_value = false;
+
+  static Literal Null() { return Literal{}; }
+  static Literal Int(int64_t v) {
+    Literal l;
+    l.kind = Kind::kInteger;
+    l.int_value = v;
+    return l;
+  }
+  static Literal Float(double v) {
+    Literal l;
+    l.kind = Kind::kFloat;
+    l.double_value = v;
+    return l;
+  }
+  static Literal String(std::string v) {
+    Literal l;
+    l.kind = Kind::kString;
+    l.string_value = std::move(v);
+    return l;
+  }
+  static Literal Bool(bool v) {
+    Literal l;
+    l.kind = Kind::kBool;
+    l.bool_value = v;
+    return l;
+  }
+
+  /// SQL spelling of the literal (strings quoted and escaped).
+  std::string ToString() const;
+
+  bool operator==(const Literal& other) const;
+};
+
+enum class UnaryOp { kNot, kNegate };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kLike, kNotLike,
+  kConcat,
+};
+
+/// SQL spelling of a binary operator ("=", "AND", "LIKE", ...).
+const char* BinaryOpToString(BinaryOp op);
+
+/// True for comparison operators (=, <>, <, <=, >, >=, LIKE, NOT LIKE).
+bool IsComparisonOp(BinaryOp op);
+
+struct SelectStatement;
+
+/// Expression node kinds. A single variant-style struct keeps the tree
+/// simple to clone, walk and print; memory compactness is not a concern
+/// for query *management* workloads (queries are tiny relative to data).
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kStar,            ///< `*` or `t.*` inside a select list or COUNT(*).
+  kUnary,
+  kBinary,
+  kFunctionCall,
+  kInList,          ///< expr [NOT] IN (e1, e2, ...)
+  kInSubquery,      ///< expr [NOT] IN (SELECT ...)
+  kBetween,         ///< expr [NOT] BETWEEN low AND high
+  kIsNull,          ///< expr IS [NOT] NULL
+  kCase,            ///< CASE [operand] WHEN .. THEN .. [ELSE ..] END
+  kExists,          ///< [NOT] EXISTS (SELECT ...)
+  kScalarSubquery,  ///< (SELECT ...) used as a value
+};
+
+/// A SQL expression tree node.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Literal literal;
+
+  // kColumnRef / kStar: `table` may be empty (unqualified).
+  std::string table;
+  std::string column;
+
+  // kUnary / kBinary
+  UnaryOp uop = UnaryOp::kNot;
+  BinaryOp bop = BinaryOp::kEq;
+  std::unique_ptr<Expr> left;
+  std::unique_ptr<Expr> right;
+
+  // kFunctionCall: `function_name` upper-cased; `distinct_arg` for
+  // e.g. COUNT(DISTINCT x); `args` may hold a kStar child for COUNT(*).
+  std::string function_name;
+  std::vector<std::unique_ptr<Expr>> args;
+  bool distinct_arg = false;
+
+  // kInList / kInSubquery / kBetween / kIsNull / kExists / kLike-negation.
+  bool negated = false;
+  std::vector<std::unique_ptr<Expr>> in_list;
+  std::unique_ptr<SelectStatement> subquery;  // also kScalarSubquery
+  std::unique_ptr<Expr> low;
+  std::unique_ptr<Expr> high;
+
+  // kCase
+  std::unique_ptr<Expr> case_operand;  // may be null (searched CASE)
+  std::vector<std::pair<std::unique_ptr<Expr>, std::unique_ptr<Expr>>> when_clauses;
+  std::unique_ptr<Expr> else_expr;
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  // Convenience factories used by tests, the repair engine and the
+  // meta-query generator.
+  static std::unique_ptr<Expr> MakeLiteral(Literal lit);
+  static std::unique_ptr<Expr> MakeColumn(std::string table, std::string column);
+  static std::unique_ptr<Expr> MakeBinary(BinaryOp op, std::unique_ptr<Expr> l,
+                                          std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> MakeStar();
+};
+
+/// True if `upper_name` is one of the five built-in aggregate functions.
+bool IsAggregateFunction(std::string_view upper_name);
+
+enum class JoinType { kNone, kInner, kLeft, kRight, kCross };
+
+/// SQL spelling of a join type ("JOIN", "LEFT JOIN", ...).
+const char* JoinTypeToString(JoinType t);
+
+/// One entry in a FROM clause. The first entry has `join_type == kNone`;
+/// later entries record how they attach to the accumulated join tree.
+/// Comma-separated FROM lists are represented as kCross joins without a
+/// condition — the canonical internal form.
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< Empty when not aliased.
+  JoinType join_type = JoinType::kNone;
+  std::unique_ptr<Expr> join_condition;  ///< ON-expression; may be null.
+  bool explicit_join_syntax = false;  ///< True for `JOIN ... ON`, false for commas.
+
+  TableRef Clone() const;
+
+  /// The name that references this table in column qualifiers: the alias
+  /// if present, otherwise the table name.
+  const std::string& EffectiveName() const { return alias.empty() ? table : alias; }
+};
+
+/// One select-list item: either `*` / `t.*` or an expression with an
+/// optional alias.
+struct SelectItem {
+  bool is_star = false;
+  std::string star_table;  ///< Qualifier for `t.*`; empty for bare `*`.
+  std::unique_ptr<Expr> expr;
+  std::string alias;
+
+  SelectItem Clone() const;
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+
+  OrderItem Clone() const;
+};
+
+/// A full SELECT statement, possibly chained by UNION [ALL].
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> select_items;
+  std::vector<TableRef> from;
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  /// Next statement in a UNION chain (owned), or null.
+  std::unique_ptr<SelectStatement> union_next;
+  bool union_all = false;
+
+  std::unique_ptr<SelectStatement> Clone() const;
+};
+
+/// Calls `fn` on `expr` and every descendant expression, including
+/// expressions inside subqueries when `enter_subqueries` is true.
+/// Mutation of visited nodes is allowed; structure must not be changed
+/// during the walk.
+void WalkExpr(Expr* expr, const std::function<void(Expr*)>& fn,
+              bool enter_subqueries = true);
+
+/// Calls `fn` on every expression anywhere in `stmt` (select list, joins,
+/// where, group by, having, order by), recursing into UNION arms and,
+/// optionally, subqueries.
+void WalkStatementExprs(SelectStatement* stmt, const std::function<void(Expr*)>& fn,
+                        bool enter_subqueries = true);
+
+/// Splits a boolean expression into top-level AND-ed conjuncts
+/// (borrowed terminology: CNF top level). The returned pointers alias
+/// into `expr`; they are valid while `expr` lives.
+std::vector<const Expr*> SplitConjuncts(const Expr* expr);
+
+}  // namespace cqms::sql
+
+#endif  // CQMS_SQL_AST_H_

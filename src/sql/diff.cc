@@ -1,0 +1,127 @@
+#include "sql/diff.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace cqms::sql {
+
+namespace {
+
+/// Set difference helpers over sorted string vectors.
+std::vector<std::string> Minus(std::vector<std::string> a, std::vector<std::string> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<std::string> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::string QueryDiff::Summary() const {
+  if (edits.empty()) return "(identical)";
+  std::vector<std::string> parts;
+  parts.reserve(edits.size());
+  for (const QueryEdit& e : edits) parts.push_back(e.detail);
+  return Join(parts, ", ");
+}
+
+QueryDiff DiffQueries(const QueryComponents& a, const QueryComponents& b) {
+  QueryDiff diff;
+
+  // Tables.
+  for (const auto& t : Minus(b.tables, a.tables)) {
+    diff.edits.push_back({QueryEdit::Kind::kAddTable, "+" + t});
+  }
+  for (const auto& t : Minus(a.tables, b.tables)) {
+    diff.edits.push_back({QueryEdit::Kind::kRemoveTable, "-" + t});
+  }
+
+  // Predicates, matched in three passes: exact, then same-skeleton
+  // (constant modification), then leftovers as add/remove.
+  std::vector<const PredicateFeature*> a_preds;
+  std::vector<const PredicateFeature*> b_preds;
+  for (const auto& p : a.predicates) a_preds.push_back(&p);
+  for (const auto& p : b.predicates) b_preds.push_back(&p);
+
+  // Pass 1: drop exact matches.
+  for (auto it = a_preds.begin(); it != a_preds.end();) {
+    auto match = std::find_if(b_preds.begin(), b_preds.end(),
+                              [&](const PredicateFeature* q) { return *q == **it; });
+    if (match != b_preds.end()) {
+      b_preds.erase(match);
+      it = a_preds.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Pass 2: same skeleton, different constant -> kModifyConstant.
+  for (auto it = a_preds.begin(); it != a_preds.end();) {
+    auto match = std::find_if(b_preds.begin(), b_preds.end(),
+                              [&](const PredicateFeature* q) {
+                                return q->Skeleton() == (*it)->Skeleton();
+                              });
+    if (match != b_preds.end()) {
+      diff.edits.push_back({QueryEdit::Kind::kModifyConstant,
+                            (*it)->ToString() + " -> " + (*match)->ToString()});
+      b_preds.erase(match);
+      it = a_preds.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Pass 3: leftovers.
+  for (const PredicateFeature* p : b_preds) {
+    diff.edits.push_back({QueryEdit::Kind::kAddPredicate, "+" + p->ToString()});
+  }
+  for (const PredicateFeature* p : a_preds) {
+    diff.edits.push_back({QueryEdit::Kind::kRemovePredicate, "-" + p->ToString()});
+  }
+
+  // Projections.
+  for (const auto& p : Minus(b.projections, a.projections)) {
+    diff.edits.push_back({QueryEdit::Kind::kAddProjection, "+sel:" + p});
+  }
+  for (const auto& p : Minus(a.projections, b.projections)) {
+    diff.edits.push_back({QueryEdit::Kind::kRemoveProjection, "-sel:" + p});
+  }
+
+  // Group by / order by / limit / distinct / aggregates: single edits.
+  if (a.group_by != b.group_by) {
+    diff.edits.push_back({QueryEdit::Kind::kChangeGroupBy,
+                          "group by: " + Join(a.group_by, ",") + " -> " +
+                              Join(b.group_by, ",")});
+  }
+  if (a.order_by != b.order_by) {
+    diff.edits.push_back({QueryEdit::Kind::kChangeOrderBy,
+                          "order by: " + Join(a.order_by, ",") + " -> " +
+                              Join(b.order_by, ",")});
+  }
+  if (a.limit != b.limit) {
+    auto fmt = [](const std::optional<int64_t>& v) {
+      return v.has_value() ? std::to_string(*v) : std::string("none");
+    };
+    diff.edits.push_back({QueryEdit::Kind::kChangeLimit,
+                          "limit: " + fmt(a.limit) + " -> " + fmt(b.limit)});
+  }
+  if (a.has_distinct != b.has_distinct) {
+    diff.edits.push_back({QueryEdit::Kind::kToggleDistinct,
+                          b.has_distinct ? "+DISTINCT" : "-DISTINCT"});
+  }
+  if (a.aggregates != b.aggregates) {
+    diff.edits.push_back({QueryEdit::Kind::kChangeAggregates,
+                          "aggregates: " + Join(a.aggregates, ",") + " -> " +
+                              Join(b.aggregates, ",")});
+  }
+
+  return diff;
+}
+
+QueryDiff DiffQueries(const SelectStatement& a, const SelectStatement& b) {
+  return DiffQueries(CollectComponents(a), CollectComponents(b));
+}
+
+}  // namespace cqms::sql

@@ -1,0 +1,63 @@
+#ifndef CQMS_SQL_DIFF_H_
+#define CQMS_SQL_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/components.h"
+
+namespace cqms::sql {
+
+/// One typed edit transforming query A toward query B. These are the
+/// edge labels of the paper's Figure 2 session visualization
+/// ("+WaterSalinity", "'temp < 22' -> 'temp < 18'", "+2 predicates").
+struct QueryEdit {
+  enum class Kind {
+    kAddTable,
+    kRemoveTable,
+    kAddPredicate,
+    kRemovePredicate,
+    kModifyConstant,   ///< Same predicate skeleton, different constant.
+    kAddProjection,
+    kRemoveProjection,
+    kChangeGroupBy,
+    kChangeOrderBy,
+    kChangeLimit,
+    kToggleDistinct,
+    kChangeAggregates,
+  };
+
+  Kind kind;
+  std::string detail;  ///< e.g. "+WaterSalinity" or "temp < 22 -> temp < 18".
+
+  /// Short label for visualization edges.
+  const std::string& Label() const { return detail; }
+};
+
+/// Structural difference between two queries.
+struct QueryDiff {
+  std::vector<QueryEdit> edits;
+
+  /// Number of edits; the structural edit distance used by the
+  /// sessionizer and the similarity measures.
+  size_t Distance() const { return edits.size(); }
+
+  bool Identical() const { return edits.empty(); }
+
+  /// Compact one-line rendering ("+t:watertemp, ~temp < ?").
+  std::string Summary() const;
+};
+
+/// Computes the typed structural diff from `a` to `b` using their
+/// component decompositions. Constant-only changes on the same predicate
+/// skeleton are reported as kModifyConstant rather than a remove+add
+/// pair, matching the session-graph semantics of Figure 2.
+QueryDiff DiffQueries(const QueryComponents& a, const QueryComponents& b);
+
+/// Convenience overload that collects components first.
+QueryDiff DiffQueries(const SelectStatement& a, const SelectStatement& b);
+
+}  // namespace cqms::sql
+
+#endif  // CQMS_SQL_DIFF_H_

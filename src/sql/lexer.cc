@@ -1,0 +1,224 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace cqms::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto push = [&](TokenKind kind, size_t start, size_t len, std::string spelling = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(spelling);
+    t.offset = start;
+    t.length = len;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = text[i];
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) ++i;
+      if (i + 1 >= n) {
+        return Status::ParseError("unterminated block comment at offset " +
+                                  std::to_string(start));
+      }
+      i += 2;
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      size_t start = i;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          value.push_back(text[i]);
+          ++i;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenKind::kString, start, i - start, std::move(value));
+      continue;
+    }
+    // Quoted identifier.
+    if (c == '"') {
+      size_t start = i;
+      ++i;
+      std::string name;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '"') {
+          ++i;
+          closed = true;
+          break;
+        }
+        name.push_back(text[i]);
+        ++i;
+      }
+      if (!closed || name.empty()) {
+        return Status::ParseError("bad quoted identifier at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenKind::kIdentifier, start, i - start, std::move(name));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i < n && text[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        size_t exp_start = i;
+        ++i;
+        if (i < n && (text[i] == '+' || text[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+          is_float = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+        } else {
+          i = exp_start;  // 'e' begins an identifier, not an exponent.
+        }
+      }
+      std::string spelling(text.substr(start, i - start));
+      Token t;
+      t.offset = start;
+      t.length = i - start;
+      t.text = spelling;
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.double_value = std::strtod(spelling.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::strtoll(spelling.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifier or keyword.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentCont(text[i])) ++i;
+      std::string spelling(text.substr(start, i - start));
+      std::string upper = ToUpper(spelling);
+      if (IsReservedKeyword(upper)) {
+        push(TokenKind::kKeyword, start, i - start, std::move(upper));
+      } else {
+        push(TokenKind::kIdentifier, start, i - start, std::move(spelling));
+      }
+      continue;
+    }
+    // Operators and punctuation.
+    size_t start = i;
+    switch (c) {
+      case ',': push(TokenKind::kComma, start, 1); ++i; break;
+      case '.': push(TokenKind::kDot, start, 1); ++i; break;
+      case '(': push(TokenKind::kLParen, start, 1); ++i; break;
+      case ')': push(TokenKind::kRParen, start, 1); ++i; break;
+      case '*': push(TokenKind::kStar, start, 1); ++i; break;
+      case '+': push(TokenKind::kPlus, start, 1); ++i; break;
+      case '-': push(TokenKind::kMinus, start, 1); ++i; break;
+      case '/': push(TokenKind::kSlash, start, 1); ++i; break;
+      case '%': push(TokenKind::kPercent, start, 1); ++i; break;
+      case ';': push(TokenKind::kSemicolon, start, 1); ++i; break;
+      case '=': push(TokenKind::kEq, start, 1); ++i; break;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kNeq, start, 2);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " + std::to_string(i));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kLe, start, 2);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenKind::kNeq, start, 2);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, start, 1);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kGe, start, 2);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, start, 1);
+          ++i;
+        }
+        break;
+      case '|':
+        if (i + 1 < n && text[i + 1] == '|') {
+          push(TokenKind::kConcat, start, 2);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '|' at offset " + std::to_string(i));
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(i));
+    }
+  }
+
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.offset = n;
+  eof.length = 0;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace cqms::sql

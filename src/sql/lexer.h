@@ -1,0 +1,24 @@
+#ifndef CQMS_SQL_LEXER_H_
+#define CQMS_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace cqms::sql {
+
+/// Tokenizes `text` into a token vector terminated by a kEof token.
+///
+/// Handles: `--` line comments, `/* */` block comments, single-quoted
+/// string literals with `''` escapes, double-quoted identifiers, integer
+/// and decimal/exponent numeric literals, and all operators in TokenKind.
+/// Identifiers are kept in original spelling; keywords are normalized to
+/// upper case.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace cqms::sql
+
+#endif  // CQMS_SQL_LEXER_H_

@@ -1,0 +1,553 @@
+#include "sql/parser.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace cqms::sql {
+
+namespace {
+
+/// Recursive-descent parser over a pre-lexed token stream.
+///
+/// Grammar sketch (standard SQL-92 subset):
+///   statement   := select (UNION [ALL] select)* [';']
+///   select      := SELECT [DISTINCT|ALL] items [FROM refs] [WHERE e]
+///                  [GROUP BY list] [HAVING e] [ORDER BY olist]
+///                  [LIMIT n [OFFSET m]]
+///   expression  := or_expr, with precedence
+///                  OR < AND < NOT < comparison < additive < term < unary
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseStatement() {
+    CQMS_ASSIGN_OR_RETURN(auto stmt, ParseSelect());
+    SelectStatement* tail = stmt.get();
+    while (MatchKeyword("UNION")) {
+      bool all = MatchKeyword("ALL");
+      CQMS_ASSIGN_OR_RETURN(auto next, ParseSelect());
+      tail->union_next = std::move(next);
+      tail->union_all = all;
+      tail = tail->union_next.get();
+    }
+    Match(TokenKind::kSemicolon);
+    if (!At(TokenKind::kEof)) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseStandaloneExpression() {
+    CQMS_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+    if (!At(TokenKind::kEof)) {
+      return Status::ParseError("unexpected trailing input after expression");
+    }
+    return expr;
+  }
+
+ private:
+  // --- token helpers -----------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // EOF token
+    return tokens_[i];
+  }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  bool AtKeyword(std::string_view kw) const { return Peek().IsKeyword(kw); }
+
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool Match(TokenKind kind) {
+    if (At(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (AtKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(std::string msg) const {
+    const Token& t = Peek();
+    return Status::ParseError(msg + " at offset " + std::to_string(t.offset) +
+                              " (near " + std::string(TokenKindName(t.kind)) +
+                              (t.text.empty() ? "" : " '" + t.text + "'") + ")");
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::Ok();
+    return Error(std::string("expected ") + TokenKindName(kind));
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::Ok();
+    return Error("expected keyword " + std::string(kw));
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (At(TokenKind::kIdentifier)) {
+      return std::string(Advance().text);
+    }
+    return Error(std::string("expected ") + what);
+  }
+
+  // --- statement ---------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelect() {
+    CQMS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStatement>();
+    if (MatchKeyword("DISTINCT")) {
+      stmt->distinct = true;
+    } else {
+      MatchKeyword("ALL");
+    }
+
+    // Select list.
+    do {
+      CQMS_ASSIGN_OR_RETURN(auto item, ParseSelectItem());
+      stmt->select_items.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+
+    if (MatchKeyword("FROM")) {
+      CQMS_RETURN_IF_ERROR(ParseFromClause(stmt.get()));
+    }
+    if (MatchKeyword("WHERE")) {
+      CQMS_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (MatchKeyword("GROUP")) {
+      CQMS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        CQMS_ASSIGN_OR_RETURN(auto g, ParseExpr());
+        stmt->group_by.push_back(std::move(g));
+      } while (Match(TokenKind::kComma));
+    }
+    if (MatchKeyword("HAVING")) {
+      CQMS_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    if (MatchKeyword("ORDER")) {
+      CQMS_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        CQMS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (Match(TokenKind::kComma));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (!At(TokenKind::kInteger)) return Error("expected integer after LIMIT");
+      stmt->limit = Advance().int_value;
+      if (MatchKeyword("OFFSET")) {
+        if (!At(TokenKind::kInteger)) return Error("expected integer after OFFSET");
+        stmt->offset = Advance().int_value;
+      }
+    }
+    return stmt;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    // Bare `*`.
+    if (At(TokenKind::kStar)) {
+      Advance();
+      item.is_star = true;
+      return item;
+    }
+    // `t.*` — lookahead: IDENT '.' '*'.
+    if (At(TokenKind::kIdentifier) && Peek(1).kind == TokenKind::kDot &&
+        Peek(2).kind == TokenKind::kStar) {
+      item.is_star = true;
+      item.star_table = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+      return item;
+    }
+    CQMS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (MatchKeyword("AS")) {
+      CQMS_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias after AS"));
+    } else if (At(TokenKind::kIdentifier)) {
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  Status ParseFromClause(SelectStatement* stmt) {
+    CQMS_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    stmt->from.push_back(std::move(first));
+    while (true) {
+      if (Match(TokenKind::kComma)) {
+        CQMS_ASSIGN_OR_RETURN(TableRef tr, ParseTableRef());
+        tr.join_type = JoinType::kCross;
+        tr.explicit_join_syntax = false;
+        stmt->from.push_back(std::move(tr));
+        continue;
+      }
+      JoinType jt;
+      if (MatchKeyword("JOIN")) {
+        jt = JoinType::kInner;
+      } else if (MatchKeyword("INNER")) {
+        CQMS_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = JoinType::kInner;
+      } else if (MatchKeyword("LEFT")) {
+        MatchKeyword("OUTER");
+        CQMS_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = JoinType::kLeft;
+      } else if (MatchKeyword("RIGHT")) {
+        MatchKeyword("OUTER");
+        CQMS_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = JoinType::kRight;
+      } else if (MatchKeyword("CROSS")) {
+        CQMS_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = JoinType::kCross;
+      } else {
+        break;
+      }
+      CQMS_ASSIGN_OR_RETURN(TableRef tr, ParseTableRef());
+      tr.join_type = jt;
+      tr.explicit_join_syntax = true;
+      if (jt != JoinType::kCross) {
+        if (MatchKeyword("ON")) {
+          CQMS_ASSIGN_OR_RETURN(tr.join_condition, ParseExpr());
+        } else if (jt != JoinType::kInner) {
+          return Error("outer join requires ON condition");
+        }
+      }
+      stmt->from.push_back(std::move(tr));
+    }
+    return Status::Ok();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef tr;
+    CQMS_ASSIGN_OR_RETURN(tr.table, ExpectIdentifier("table name"));
+    if (MatchKeyword("AS")) {
+      CQMS_ASSIGN_OR_RETURN(tr.alias, ExpectIdentifier("alias after AS"));
+    } else if (At(TokenKind::kIdentifier)) {
+      tr.alias = Advance().text;
+    }
+    return tr;
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    CQMS_ASSIGN_OR_RETURN(auto left, ParseAnd());
+    while (MatchKeyword("OR")) {
+      CQMS_ASSIGN_OR_RETURN(auto right, ParseAnd());
+      left = Expr::MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    CQMS_ASSIGN_OR_RETURN(auto left, ParseNot());
+    while (AtKeyword("AND")) {
+      Advance();
+      CQMS_ASSIGN_OR_RETURN(auto right, ParseNot());
+      left = Expr::MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      CQMS_ASSIGN_OR_RETURN(auto operand, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->uop = UnaryOp::kNot;
+      e->left = std::move(operand);
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    CQMS_ASSIGN_OR_RETURN(auto left, ParseAdditive());
+    // IS [NOT] NULL
+    if (MatchKeyword("IS")) {
+      bool negated = MatchKeyword("NOT");
+      CQMS_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIsNull;
+      e->negated = negated;
+      e->left = std::move(left);
+      return Result<std::unique_ptr<Expr>>(std::move(e));
+    }
+    bool negated = false;
+    if (AtKeyword("NOT") &&
+        (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("BETWEEN") ||
+         Peek(1).IsKeyword("LIKE"))) {
+      Advance();
+      negated = true;
+    }
+    if (MatchKeyword("IN")) {
+      CQMS_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      auto e = std::make_unique<Expr>();
+      e->negated = negated;
+      e->left = std::move(left);
+      if (AtKeyword("SELECT")) {
+        e->kind = ExprKind::kInSubquery;
+        CQMS_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      } else {
+        e->kind = ExprKind::kInList;
+        do {
+          CQMS_ASSIGN_OR_RETURN(auto item, ParseExpr());
+          e->in_list.push_back(std::move(item));
+        } while (Match(TokenKind::kComma));
+      }
+      CQMS_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return Result<std::unique_ptr<Expr>>(std::move(e));
+    }
+    if (MatchKeyword("BETWEEN")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->left = std::move(left);
+      CQMS_ASSIGN_OR_RETURN(e->low, ParseAdditive());
+      CQMS_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      CQMS_ASSIGN_OR_RETURN(e->high, ParseAdditive());
+      return Result<std::unique_ptr<Expr>>(std::move(e));
+    }
+    if (MatchKeyword("LIKE")) {
+      CQMS_ASSIGN_OR_RETURN(auto pattern, ParseAdditive());
+      return Result<std::unique_ptr<Expr>>(Expr::MakeBinary(
+          negated ? BinaryOp::kNotLike : BinaryOp::kLike, std::move(left),
+          std::move(pattern)));
+    }
+    if (negated) return Error("expected IN, BETWEEN or LIKE after NOT");
+
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNeq: op = BinaryOp::kNeq; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default:
+        return left;
+    }
+    Advance();
+    CQMS_ASSIGN_OR_RETURN(auto right, ParseAdditive());
+    return Result<std::unique_ptr<Expr>>(
+        Expr::MakeBinary(op, std::move(left), std::move(right)));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    CQMS_ASSIGN_OR_RETURN(auto left, ParseTerm());
+    while (true) {
+      BinaryOp op;
+      if (At(TokenKind::kPlus)) op = BinaryOp::kAdd;
+      else if (At(TokenKind::kMinus)) op = BinaryOp::kSub;
+      else if (At(TokenKind::kConcat)) op = BinaryOp::kConcat;
+      else break;
+      Advance();
+      CQMS_ASSIGN_OR_RETURN(auto right, ParseTerm());
+      left = Expr::MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseTerm() {
+    CQMS_ASSIGN_OR_RETURN(auto left, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (At(TokenKind::kStar)) op = BinaryOp::kMul;
+      else if (At(TokenKind::kSlash)) op = BinaryOp::kDiv;
+      else if (At(TokenKind::kPercent)) op = BinaryOp::kMod;
+      else break;
+      Advance();
+      CQMS_ASSIGN_OR_RETURN(auto right, ParseUnary());
+      left = Expr::MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (Match(TokenKind::kMinus)) {
+      CQMS_ASSIGN_OR_RETURN(auto operand, ParseUnary());
+      // Fold negation of numeric literals so `-5` is a literal, matching
+      // what feature extraction and diffing expect.
+      if (operand->kind == ExprKind::kLiteral) {
+        if (operand->literal.kind == Literal::Kind::kInteger) {
+          operand->literal.int_value = -operand->literal.int_value;
+          return Result<std::unique_ptr<Expr>>(std::move(operand));
+        }
+        if (operand->literal.kind == Literal::Kind::kFloat) {
+          operand->literal.double_value = -operand->literal.double_value;
+          return Result<std::unique_ptr<Expr>>(std::move(operand));
+        }
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->uop = UnaryOp::kNegate;
+      e->left = std::move(operand);
+      return Result<std::unique_ptr<Expr>>(std::move(e));
+    }
+    if (Match(TokenKind::kPlus)) {
+      return ParseUnary();
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        auto e = Expr::MakeLiteral(Literal::Int(t.int_value));
+        Advance();
+        return Result<std::unique_ptr<Expr>>(std::move(e));
+      }
+      case TokenKind::kFloat: {
+        auto e = Expr::MakeLiteral(Literal::Float(t.double_value));
+        Advance();
+        return Result<std::unique_ptr<Expr>>(std::move(e));
+      }
+      case TokenKind::kString: {
+        auto e = Expr::MakeLiteral(Literal::String(t.text));
+        Advance();
+        return Result<std::unique_ptr<Expr>>(std::move(e));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        if (AtKeyword("SELECT")) {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kScalarSubquery;
+          CQMS_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+          CQMS_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          return Result<std::unique_ptr<Expr>>(std::move(e));
+        }
+        CQMS_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+        CQMS_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return Result<std::unique_ptr<Expr>>(std::move(inner));
+      }
+      case TokenKind::kKeyword: {
+        if (t.text == "NULL") {
+          Advance();
+          return Result<std::unique_ptr<Expr>>(Expr::MakeLiteral(Literal::Null()));
+        }
+        if (t.text == "TRUE" || t.text == "FALSE") {
+          bool v = t.text == "TRUE";
+          Advance();
+          return Result<std::unique_ptr<Expr>>(Expr::MakeLiteral(Literal::Bool(v)));
+        }
+        if (IsAggregateFunction(t.text)) {
+          std::string name = t.text;
+          Advance();
+          return ParseFunctionArgs(std::move(name));
+        }
+        if (t.text == "CASE") {
+          Advance();
+          return ParseCase();
+        }
+        if (t.text == "EXISTS") {
+          Advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kExists;
+          CQMS_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+          CQMS_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+          CQMS_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+          return Result<std::unique_ptr<Expr>>(std::move(e));
+        }
+        return Error("unexpected keyword in expression");
+      }
+      case TokenKind::kIdentifier: {
+        std::string first = t.text;
+        Advance();
+        // Function call?
+        if (At(TokenKind::kLParen)) {
+          return ParseFunctionArgs(ToUpper(first));
+        }
+        // Qualified column or t.* .
+        if (Match(TokenKind::kDot)) {
+          if (At(TokenKind::kStar)) {
+            Advance();
+            auto e = Expr::MakeStar();
+            e->table = first;
+            return Result<std::unique_ptr<Expr>>(std::move(e));
+          }
+          CQMS_ASSIGN_OR_RETURN(auto col, ExpectIdentifier("column name after '.'"));
+          return Result<std::unique_ptr<Expr>>(
+              Expr::MakeColumn(std::move(first), std::move(col)));
+        }
+        return Result<std::unique_ptr<Expr>>(Expr::MakeColumn("", std::move(first)));
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  Result<std::unique_ptr<Expr>> ParseFunctionArgs(std::string upper_name) {
+    CQMS_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kFunctionCall;
+    e->function_name = std::move(upper_name);
+    if (Match(TokenKind::kRParen)) {
+      return Result<std::unique_ptr<Expr>>(std::move(e));
+    }
+    if (MatchKeyword("DISTINCT")) e->distinct_arg = true;
+    if (At(TokenKind::kStar)) {
+      Advance();
+      e->args.push_back(Expr::MakeStar());
+    } else {
+      do {
+        CQMS_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+        e->args.push_back(std::move(arg));
+      } while (Match(TokenKind::kComma));
+    }
+    CQMS_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return Result<std::unique_ptr<Expr>>(std::move(e));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseCase() {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCase;
+    if (!AtKeyword("WHEN")) {
+      CQMS_ASSIGN_OR_RETURN(e->case_operand, ParseExpr());
+    }
+    while (MatchKeyword("WHEN")) {
+      CQMS_ASSIGN_OR_RETURN(auto when, ParseExpr());
+      CQMS_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      CQMS_ASSIGN_OR_RETURN(auto then, ParseExpr());
+      e->when_clauses.emplace_back(std::move(when), std::move(then));
+    }
+    if (e->when_clauses.empty()) return Error("CASE requires at least one WHEN");
+    if (MatchKeyword("ELSE")) {
+      CQMS_ASSIGN_OR_RETURN(e->else_expr, ParseExpr());
+    }
+    CQMS_RETURN_IF_ERROR(ExpectKeyword("END"));
+    return Result<std::unique_ptr<Expr>>(std::move(e));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> Parse(std::string_view sql_text) {
+  CQMS_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql_text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view expr_text) {
+  CQMS_ASSIGN_OR_RETURN(auto tokens, Tokenize(expr_text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace cqms::sql

@@ -1,0 +1,23 @@
+#ifndef CQMS_SQL_PARSER_H_
+#define CQMS_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace cqms::sql {
+
+/// Parses a complete SELECT statement (optionally UNION-chained and
+/// terminated by an optional `;`). Returns kParseError with a message
+/// containing the byte offset on malformed input.
+Result<std::unique_ptr<SelectStatement>> Parse(std::string_view sql_text);
+
+/// Parses a standalone scalar/boolean expression. Used by meta-query
+/// tooling and tests.
+Result<std::unique_ptr<Expr>> ParseExpression(std::string_view expr_text);
+
+}  // namespace cqms::sql
+
+#endif  // CQMS_SQL_PARSER_H_

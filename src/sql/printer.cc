@@ -1,0 +1,282 @@
+#include "sql/printer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "sql/token.h"
+
+namespace cqms::sql {
+
+namespace {
+
+/// True when `name` cannot be written as a bare identifier: empty, bad
+/// leading char, non-identifier chars, or a reserved word.
+bool NeedsQuoting(const std::string& name) {
+  if (name.empty()) return true;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return true;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return true;
+  }
+  return IsReservedKeyword(ToUpper(name));
+}
+
+std::string QuoteIfNeeded(const std::string& name) {
+  if (!NeedsQuoting(name)) return name;
+  return "\"" + name + "\"";
+}
+
+// Operator precedence for minimal-parenthesis printing. Higher binds
+// tighter. Mirrors the parser's grammar levels.
+int Precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr: return 1;
+    case BinaryOp::kAnd: return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kLike:
+    case BinaryOp::kNotLike: return 4;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kConcat: return 5;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod: return 6;
+  }
+  return 8;
+}
+
+class PrinterImpl {
+ public:
+  explicit PrinterImpl(const PrintOptions& opts) : opts_(opts) {}
+
+  std::string Ident(const std::string& name) const {
+    return QuoteIfNeeded(opts_.lowercase_identifiers ? ToLower(name) : name);
+  }
+
+  std::string Expr_(const Expr& e, int parent_prec) const {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return opts_.strip_constants ? "?" : e.literal.ToString();
+      case ExprKind::kColumnRef:
+        return e.table.empty() ? Ident(e.column) : Ident(e.table) + "." + Ident(e.column);
+      case ExprKind::kStar:
+        return e.table.empty() ? "*" : Ident(e.table) + ".*";
+      case ExprKind::kUnary: {
+        if (e.uop == UnaryOp::kNot) {
+          std::string s = "NOT " + Expr_(*e.left, 3);
+          return parent_prec > 3 ? "(" + s + ")" : s;
+        }
+        std::string s = "-" + Expr_(*e.left, 7);
+        return parent_prec > 7 ? "(" + s + ")" : s;
+      }
+      case ExprKind::kBinary: {
+        int prec = Precedence(e.bop);
+        // Left child may share our precedence (left associativity);
+        // right child must bind strictly tighter, except for the
+        // associative AND/OR chains where equal precedence is fine.
+        bool assoc = e.bop == BinaryOp::kAnd || e.bop == BinaryOp::kOr ||
+                     e.bop == BinaryOp::kAdd || e.bop == BinaryOp::kMul ||
+                     e.bop == BinaryOp::kConcat;
+        std::string s = Expr_(*e.left, prec) + " " + BinaryOpToString(e.bop) + " " +
+                        Expr_(*e.right, assoc ? prec : prec + 1);
+        return prec < parent_prec ? "(" + s + ")" : s;
+      }
+      case ExprKind::kFunctionCall: {
+        std::string s = e.function_name + "(";
+        if (e.distinct_arg) s += "DISTINCT ";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+          if (i > 0) s += ", ";
+          s += Expr_(*e.args[i], 0);
+        }
+        s += ")";
+        return s;
+      }
+      case ExprKind::kInList: {
+        std::string s = Expr_(*e.left, 5) + (e.negated ? " NOT IN (" : " IN (");
+        for (size_t i = 0; i < e.in_list.size(); ++i) {
+          if (i > 0) s += ", ";
+          s += Expr_(*e.in_list[i], 0);
+        }
+        s += ")";
+        return parent_prec > 4 ? "(" + s + ")" : s;
+      }
+      case ExprKind::kInSubquery: {
+        std::string s = Expr_(*e.left, 5) + (e.negated ? " NOT IN (" : " IN (") +
+                        Statement_(*e.subquery) + ")";
+        return parent_prec > 4 ? "(" + s + ")" : s;
+      }
+      case ExprKind::kBetween: {
+        std::string s = Expr_(*e.left, 5) + (e.negated ? " NOT BETWEEN " : " BETWEEN ") +
+                        Expr_(*e.low, 5) + " AND " + Expr_(*e.high, 5);
+        return parent_prec > 4 ? "(" + s + ")" : s;
+      }
+      case ExprKind::kIsNull: {
+        std::string s = Expr_(*e.left, 5) + (e.negated ? " IS NOT NULL" : " IS NULL");
+        return parent_prec > 4 ? "(" + s + ")" : s;
+      }
+      case ExprKind::kCase: {
+        std::string s = "CASE";
+        if (e.case_operand) s += " " + Expr_(*e.case_operand, 0);
+        for (const auto& [w, t] : e.when_clauses) {
+          s += " WHEN " + Expr_(*w, 0) + " THEN " + Expr_(*t, 0);
+        }
+        if (e.else_expr) s += " ELSE " + Expr_(*e.else_expr, 0);
+        s += " END";
+        return s;
+      }
+      case ExprKind::kExists:
+        return std::string(e.negated ? "NOT " : "") + "EXISTS (" +
+               Statement_(*e.subquery) + ")";
+      case ExprKind::kScalarSubquery:
+        return "(" + Statement_(*e.subquery) + ")";
+    }
+    return "?";
+  }
+
+  std::string Statement_(const SelectStatement& stmt) const {
+    std::string s = "SELECT ";
+    if (stmt.distinct) s += "DISTINCT ";
+    for (size_t i = 0; i < stmt.select_items.size(); ++i) {
+      if (i > 0) s += ", ";
+      const SelectItem& item = stmt.select_items[i];
+      if (item.is_star) {
+        s += item.star_table.empty() ? "*" : Ident(item.star_table) + ".*";
+      } else {
+        s += Expr_(*item.expr, 0);
+        if (!item.alias.empty()) s += " AS " + Ident(item.alias);
+      }
+    }
+    if (!stmt.from.empty()) {
+      s += " FROM ";
+      for (size_t i = 0; i < stmt.from.size(); ++i) {
+        const TableRef& tr = stmt.from[i];
+        if (i > 0) {
+          if (tr.explicit_join_syntax) {
+            s += " ";
+            s += JoinTypeToString(tr.join_type);
+            s += " ";
+          } else {
+            s += ", ";
+          }
+        }
+        s += Ident(tr.table);
+        if (!tr.alias.empty()) s += " " + Ident(tr.alias);
+        if (tr.join_condition) s += " ON " + Expr_(*tr.join_condition, 0);
+      }
+    }
+    if (stmt.where) s += " WHERE " + Expr_(*stmt.where, 0);
+    if (!stmt.group_by.empty()) {
+      s += " GROUP BY ";
+      for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += Expr_(*stmt.group_by[i], 0);
+      }
+    }
+    if (stmt.having) s += " HAVING " + Expr_(*stmt.having, 0);
+    if (!stmt.order_by.empty()) {
+      s += " ORDER BY ";
+      for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += Expr_(*stmt.order_by[i].expr, 0);
+        if (stmt.order_by[i].descending) s += " DESC";
+      }
+    }
+    if (stmt.limit.has_value()) {
+      s += " LIMIT " + std::to_string(*stmt.limit);
+      if (stmt.offset.has_value()) s += " OFFSET " + std::to_string(*stmt.offset);
+    }
+    if (stmt.union_next) {
+      s += stmt.union_all ? " UNION ALL " : " UNION ";
+      s += Statement_(*stmt.union_next);
+    }
+    return s;
+  }
+
+ private:
+  PrintOptions opts_;
+};
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr, const PrintOptions& opts) {
+  return PrinterImpl(opts).Expr_(expr, 0);
+}
+
+std::string PrintStatement(const SelectStatement& stmt, const PrintOptions& opts) {
+  return PrinterImpl(opts).Statement_(stmt);
+}
+
+std::string PrettyPrintStatement(const SelectStatement& stmt) {
+  PrinterImpl printer{PrintOptions{}};
+  std::string s = "SELECT ";
+  if (stmt.distinct) s += "DISTINCT ";
+  for (size_t i = 0; i < stmt.select_items.size(); ++i) {
+    if (i > 0) s += ",\n       ";
+    const SelectItem& item = stmt.select_items[i];
+    if (item.is_star) {
+      s += item.star_table.empty() ? "*" : QuoteIfNeeded(item.star_table) + ".*";
+    } else {
+      s += PrintExpr(*item.expr);
+      if (!item.alias.empty()) s += " AS " + QuoteIfNeeded(item.alias);
+    }
+  }
+  if (!stmt.from.empty()) {
+    s += "\nFROM ";
+    for (size_t i = 0; i < stmt.from.size(); ++i) {
+      const TableRef& tr = stmt.from[i];
+      if (i > 0) {
+        if (tr.explicit_join_syntax) {
+          s += "\n  ";
+          s += JoinTypeToString(tr.join_type);
+          s += " ";
+        } else {
+          s += ", ";
+        }
+      }
+      s += QuoteIfNeeded(tr.table);
+      if (!tr.alias.empty()) s += " " + QuoteIfNeeded(tr.alias);
+      if (tr.join_condition) s += " ON " + PrintExpr(*tr.join_condition);
+    }
+  }
+  if (stmt.where) {
+    s += "\nWHERE ";
+    auto conjuncts = SplitConjuncts(stmt.where.get());
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (i > 0) s += "\n  AND ";
+      s += PrintExpr(*conjuncts[i]);
+    }
+  }
+  if (!stmt.group_by.empty()) {
+    s += "\nGROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += PrintExpr(*stmt.group_by[i]);
+    }
+  }
+  if (stmt.having) s += "\nHAVING " + PrintExpr(*stmt.having);
+  if (!stmt.order_by.empty()) {
+    s += "\nORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += PrintExpr(*stmt.order_by[i].expr);
+      if (stmt.order_by[i].descending) s += " DESC";
+    }
+  }
+  if (stmt.limit.has_value()) {
+    s += "\nLIMIT " + std::to_string(*stmt.limit);
+    if (stmt.offset.has_value()) s += " OFFSET " + std::to_string(*stmt.offset);
+  }
+  if (stmt.union_next) {
+    s += stmt.union_all ? "\nUNION ALL\n" : "\nUNION\n";
+    s += PrettyPrintStatement(*stmt.union_next);
+  }
+  return s;
+}
+
+}  // namespace cqms::sql

@@ -1,0 +1,34 @@
+#ifndef CQMS_SQL_PRINTER_H_
+#define CQMS_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace cqms::sql {
+
+/// Controls SQL rendering.
+struct PrintOptions {
+  /// Replace every literal constant with `?`. Used to build query
+  /// *skeletons*: the paper's similarity measures suggest comparing parse
+  /// trees "after removing the constants from the tree" (§4.3).
+  bool strip_constants = false;
+
+  /// Lower-case all identifiers. Canonical form uses this so that
+  /// `WaterTemp` and `watertemp` compare equal.
+  bool lowercase_identifiers = false;
+};
+
+/// Renders an expression as SQL text (single line, minimal parentheses).
+std::string PrintExpr(const Expr& expr, const PrintOptions& opts = {});
+
+/// Renders a full statement as single-line SQL text.
+std::string PrintStatement(const SelectStatement& stmt, const PrintOptions& opts = {});
+
+/// Renders a statement as indented multi-line SQL for human display
+/// (query browser, recommendation panel).
+std::string PrettyPrintStatement(const SelectStatement& stmt);
+
+}  // namespace cqms::sql
+
+#endif  // CQMS_SQL_PRINTER_H_

@@ -1,0 +1,57 @@
+#include "sql/token.h"
+
+#include <algorithm>
+#include <array>
+
+namespace cqms::sql {
+
+namespace {
+// Sorted for binary search. Keep in sync with the parser's expectations.
+constexpr std::array<std::string_view, 46> kKeywords = {
+    "ALL",     "AND",    "AS",      "ASC",     "AVG",      "BETWEEN",
+    "BY",      "CASE",   "COUNT",   "CROSS",   "DESC",     "DISTINCT",
+    "ELSE",    "END",    "EXCEPT",  "EXISTS",  "FALSE",    "FROM",
+    "FULL",    "GROUP",  "HAVING",  "IN",      "INNER",    "INTERSECT",
+    "IS",      "JOIN",   "LEFT",    "LIKE",    "LIMIT",    "MAX",
+    "MIN",     "NOT",    "NULL",    "OFFSET",  "ON",       "OR",
+    "ORDER",   "OUTER",  "RIGHT",   "SELECT",  "SUM",      "THEN",
+    "TRUE",    "UNION",  "USING",   "WHEN",
+};
+// "WHERE" intentionally appended below: keep array sorted overall.
+}  // namespace
+
+bool IsReservedKeyword(std::string_view upper_word) {
+  if (upper_word == "WHERE") return true;
+  return std::binary_search(kKeywords.begin(), kKeywords.end(), upper_word);
+}
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kInteger: return "integer literal";
+    case TokenKind::kFloat: return "float literal";
+    case TokenKind::kString: return "string literal";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kConcat: return "'||'";
+    case TokenKind::kSemicolon: return "';'";
+  }
+  return "unknown";
+}
+
+}  // namespace cqms::sql

@@ -1,0 +1,64 @@
+#ifndef CQMS_SQL_TOKEN_H_
+#define CQMS_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cqms::sql {
+
+/// Lexical token categories. Keywords share a single kind and carry their
+/// normalized (upper-case) spelling in `text`; the parser matches them by
+/// spelling, which keeps this enum small and the lexer table-driven.
+enum class TokenKind {
+  kEof,
+  kIdentifier,  ///< Bare or double-quoted identifier; `text` holds spelling.
+  kKeyword,     ///< Reserved word; `text` holds the upper-cased spelling.
+  kInteger,     ///< Integer literal; value in `int_value`.
+  kFloat,       ///< Floating literal; value in `double_value`.
+  kString,      ///< Single-quoted string; unescaped value in `text`.
+  // Punctuation and operators.
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,     ///< `*`: multiplication or wildcard, disambiguated by parser.
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,       ///< `=`
+  kNeq,      ///< `<>` or `!=`
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kConcat,   ///< `||`
+  kSemicolon,
+};
+
+/// Returns a short printable name for diagnostics ("identifier", "','"...).
+const char* TokenKindName(TokenKind kind);
+
+/// A single lexical token with its source position (for error messages
+/// and for completion: the client needs to know where the cursor token
+/// starts).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        ///< Spelling (normalized for keywords).
+  int64_t int_value = 0;   ///< Valid when kind == kInteger.
+  double double_value = 0; ///< Valid when kind == kFloat.
+  size_t offset = 0;       ///< Byte offset of the token start in the input.
+  size_t length = 0;       ///< Byte length of the token in the input.
+
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+/// True if `word` (upper-cased) is a reserved SQL keyword in this dialect.
+bool IsReservedKeyword(std::string_view upper_word);
+
+}  // namespace cqms::sql
+
+#endif  // CQMS_SQL_TOKEN_H_

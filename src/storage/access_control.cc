@@ -1,0 +1,58 @@
+#include "storage/access_control.h"
+
+namespace cqms::storage {
+
+void AccessControl::AddUser(const std::string& user,
+                            const std::vector<std::string>& groups) {
+  auto& set = memberships_[user];
+  for (const std::string& g : groups) set.insert(g);
+}
+
+const std::set<std::string>& AccessControl::GroupsOf(const std::string& user) const {
+  auto it = memberships_.find(user);
+  return it == memberships_.end() ? empty_ : it->second;
+}
+
+bool AccessControl::ShareGroup(const std::string& a, const std::string& b) const {
+  const auto& ga = GroupsOf(a);
+  const auto& gb = GroupsOf(b);
+  // Iterate the smaller set.
+  const auto& small = ga.size() <= gb.size() ? ga : gb;
+  const auto& large = ga.size() <= gb.size() ? gb : ga;
+  for (const std::string& g : small) {
+    if (large.count(g) > 0) return true;
+  }
+  return false;
+}
+
+Status AccessControl::SetVisibility(QueryId id, const std::string& owner,
+                                    const std::string& requester,
+                                    Visibility visibility) {
+  if (owner != requester) {
+    return Status::PermissionDenied("only the owner may change visibility of query " +
+                                    std::to_string(id));
+  }
+  visibility_[id] = visibility;
+  return Status::Ok();
+}
+
+Visibility AccessControl::GetVisibility(QueryId id) const {
+  auto it = visibility_.find(id);
+  return it == visibility_.end() ? Visibility::kGroup : it->second;
+}
+
+bool AccessControl::CanSee(const std::string& viewer, const std::string& owner,
+                           QueryId id) const {
+  if (viewer == owner) return true;
+  switch (GetVisibility(id)) {
+    case Visibility::kPrivate:
+      return false;
+    case Visibility::kGroup:
+      return ShareGroup(viewer, owner);
+    case Visibility::kPublic:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace cqms::storage

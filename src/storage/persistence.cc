@@ -1,0 +1,165 @@
+#include "storage/persistence.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/record_builder.h"
+
+namespace cqms::storage {
+
+namespace {
+
+/// Percent-escapes whitespace, '%' and non-printables so every field fits
+/// on one space-separated line.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c == '%' || c <= ' ' || c >= 127) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  if (out.empty()) out = "%00";  // empty-field marker
+  return out;
+}
+
+std::string Unescape(const std::string& s) {
+  if (s == "%00") return "";
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      int hi = std::isdigit(static_cast<unsigned char>(s[i + 1]))
+                   ? s[i + 1] - '0'
+                   : std::toupper(static_cast<unsigned char>(s[i + 1])) - 'A' + 10;
+      int lo = std::isdigit(static_cast<unsigned char>(s[i + 2]))
+                   ? s[i + 2] - '0'
+                   : std::toupper(static_cast<unsigned char>(s[i + 2])) - 'A' + 10;
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const QueryStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "CQMS-SNAPSHOT 1\n";
+  for (const auto& [user, groups] : store.acl().memberships()) {
+    out << "U " << Escape(user);
+    for (const std::string& g : groups) out << " " << Escape(g);
+    out << "\n";
+  }
+  for (const QueryRecord& r : store.records()) {
+    out << "Q " << r.id << " " << r.timestamp << " " << r.session_id << " "
+        << r.flags << " " << r.quality << " " << Escape(r.user) << " "
+        << Escape(r.text) << "\n";
+    out << "S " << r.stats.execution_micros << " " << r.stats.result_rows << " "
+        << r.stats.rows_scanned << " " << (r.stats.succeeded ? 1 : 0) << " "
+        << Escape(r.stats.error) << "\n";
+    if (!r.stats.plan.empty()) out << "P " << Escape(r.stats.plan) << "\n";
+    for (const Annotation& a : r.annotations) {
+      out << "A " << a.timestamp << " " << Escape(a.author) << " "
+          << Escape(a.fragment) << " " << Escape(a.text) << "\n";
+    }
+    out << "V " << static_cast<int>(store.acl().GetVisibility(r.id)) << "\n";
+  }
+  return out.good() ? Status::Ok() : Status::IoError("write failed: " + path);
+}
+
+Status LoadSnapshot(QueryStore* store, const std::string& path) {
+  if (store->size() != 0) {
+    return Status::InvalidArgument("LoadSnapshot requires an empty store");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("CQMS-SNAPSHOT", 0) != 0) {
+    return Status::IoError("not a CQMS snapshot: " + path);
+  }
+
+  QueryId current = kInvalidQueryId;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "U") {
+      std::string user_enc;
+      ls >> user_enc;
+      if (!ls) return Status::IoError("corrupt U line in " + path);
+      std::vector<std::string> groups;
+      std::string g;
+      while (ls >> g) groups.push_back(Unescape(g));
+      store->acl().AddUser(Unescape(user_enc), groups);
+    } else if (tag == "Q") {
+      QueryId id;
+      Micros ts;
+      SessionId session;
+      uint32_t flags;
+      double quality;
+      std::string user_enc, text_enc;
+      ls >> id >> ts >> session >> flags >> quality >> user_enc >> text_enc;
+      if (!ls) return Status::IoError("corrupt Q line in " + path);
+      QueryRecord record =
+          BuildRecordFromText(Unescape(text_enc), Unescape(user_enc), ts);
+      record.session_id = session;
+      record.flags = flags;
+      record.quality = quality;
+      current = store->Append(std::move(record));
+      if (current != id) {
+        return Status::IoError("non-contiguous query ids in snapshot: " + path);
+      }
+    } else if (tag == "S") {
+      if (current == kInvalidQueryId) return Status::IoError("S before Q");
+      QueryRecord* r = store->GetMutable(current);
+      int succeeded;
+      std::string error_enc;
+      ls >> r->stats.execution_micros >> r->stats.result_rows >>
+          r->stats.rows_scanned >> succeeded >> error_enc;
+      if (!ls) return Status::IoError("corrupt S line in " + path);
+      r->stats.succeeded = succeeded != 0;
+      r->stats.error = Unescape(error_enc);
+    } else if (tag == "P") {
+      if (current == kInvalidQueryId) return Status::IoError("P before Q");
+      std::string plan_enc;
+      ls >> plan_enc;
+      if (!ls) return Status::IoError("corrupt P line in " + path);
+      store->GetMutable(current)->stats.plan = Unescape(plan_enc);
+    } else if (tag == "A") {
+      if (current == kInvalidQueryId) return Status::IoError("A before Q");
+      Annotation a;
+      std::string author_enc, fragment_enc, text_enc;
+      ls >> a.timestamp >> author_enc >> fragment_enc >> text_enc;
+      if (!ls) return Status::IoError("corrupt A line in " + path);
+      a.author = Unescape(author_enc);
+      a.fragment = Unescape(fragment_enc);
+      a.text = Unescape(text_enc);
+      CQMS_RETURN_IF_ERROR(store->Annotate(current, std::move(a)));
+    } else if (tag == "V") {
+      if (current == kInvalidQueryId) return Status::IoError("V before Q");
+      int vis;
+      ls >> vis;
+      if (!ls) return Status::IoError("corrupt V line in " + path);
+      const QueryRecord* r = store->Get(current);
+      CQMS_RETURN_IF_ERROR(store->acl().SetVisibility(
+          current, r->user, r->user, static_cast<Visibility>(vis)));
+    } else {
+      return Status::IoError("unknown snapshot tag '" + tag + "' in " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cqms::storage

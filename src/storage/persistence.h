@@ -1,0 +1,29 @@
+#ifndef CQMS_STORAGE_PERSISTENCE_H_
+#define CQMS_STORAGE_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/query_store.h"
+
+namespace cqms::storage {
+
+/// Writes a snapshot of the query log to `path` in a line-oriented,
+/// percent-escaped text format: per record the raw text, user, timestamp,
+/// session, flags, quality, runtime stats and annotations, plus ACL user
+/// memberships and per-query visibility.
+///
+/// Output summaries are intentionally not persisted: they are data-
+/// dependent caches the profiler rebuilds, and the paper's maintenance
+/// component treats them as refreshable state anyway.
+Status SaveSnapshot(const QueryStore& store, const std::string& path);
+
+/// Loads a snapshot previously written by SaveSnapshot into an empty
+/// store. Parse-derived features (components, fingerprints) are rebuilt
+/// from the stored text via the same path the profiler uses, so the
+/// loaded store is fully indexed and meta-queryable.
+Status LoadSnapshot(QueryStore* store, const std::string& path);
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_PERSISTENCE_H_

@@ -1,0 +1,105 @@
+#ifndef CQMS_STORAGE_QUERY_RECORD_H_
+#define CQMS_STORAGE_QUERY_RECORD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "db/value.h"
+#include "sql/ast.h"
+#include "sql/components.h"
+
+namespace cqms::storage {
+
+/// Identifier of a logged query within a QueryStore.
+using QueryId = int64_t;
+
+/// Identifier of a query session (assigned by the miner's sessionizer).
+using SessionId = int64_t;
+
+constexpr QueryId kInvalidQueryId = -1;
+constexpr SessionId kInvalidSessionId = -1;
+
+/// Runtime features captured by the Query Profiler (§4.1: "result
+/// cardinality, execution time, and the query execution plan are already
+/// incorporated in existing query profilers").
+struct RuntimeStats {
+  Micros execution_micros = 0;
+  uint64_t result_rows = 0;
+  uint64_t rows_scanned = 0;
+  bool succeeded = true;
+  std::string error;  ///< Status string for failed queries.
+  /// Execution plan text captured from the engine (one operator per
+  /// line: scans with pushed-down filters, join strategy, aggregation...).
+  std::string plan;
+};
+
+/// Stored summary of a query's output — the paper's semantic query
+/// feature ("the system also captures the query result", §4.1). The
+/// profiler sizes the sample adaptively: long-running queries may store
+/// their entire (small) output; fast huge outputs store little.
+struct OutputSummary {
+  uint64_t total_rows = 0;
+  std::vector<std::string> column_names;
+  std::vector<db::Row> sample_rows;
+  bool complete = false;   ///< sample_rows is the entire output.
+  size_t budget_rows = 0;  ///< The budget the policy granted.
+};
+
+/// A user note attached to a whole query or a fragment of it (§2.1).
+struct Annotation {
+  std::string author;
+  Micros timestamp = 0;
+  std::string text;
+  /// Optional: the query fragment this annotation refers to (verbatim
+  /// substring, e.g. one predicate). Empty = whole query.
+  std::string fragment;
+};
+
+/// Maintenance flags (bitmask). §4.4: the CQMS flags queries invalidated
+/// by schema changes, repairs them when possible, or marks them obsolete.
+enum QueryFlags : uint32_t {
+  kFlagNone = 0,
+  kFlagSchemaBroken = 1u << 0,  ///< No longer binds against the catalog.
+  kFlagRepaired = 1u << 1,      ///< Auto-repaired after schema change.
+  kFlagObsolete = 1u << 2,      ///< Administratively retired.
+  kFlagStatsStale = 1u << 3,    ///< Runtime stats predate data drift.
+  kFlagDeleted = 1u << 4,       ///< Tombstoned by its owner or an admin.
+};
+
+/// One logged query with all profiled features. Copyable (the parse tree
+/// is shared, immutable after profiling).
+struct QueryRecord {
+  QueryId id = kInvalidQueryId;
+  std::string text;              ///< Raw text as submitted.
+  std::string canonical_text;    ///< See sql::CanonicalText.
+  std::string skeleton;          ///< Canonical text with constants stripped.
+  uint64_t fingerprint = 0;
+  uint64_t skeleton_fingerprint = 0;
+  std::string user;
+  Micros timestamp = 0;
+
+  /// Parsed statement; null for queries that failed to parse.
+  std::shared_ptr<const sql::SelectStatement> ast;
+  /// Syntactic features (empty when ast is null).
+  sql::QueryComponents components;
+
+  RuntimeStats stats;
+  OutputSummary summary;
+  std::vector<Annotation> annotations;
+
+  SessionId session_id = kInvalidSessionId;
+  uint32_t flags = kFlagNone;
+
+  /// Quality score in [0,1] maintained by Query Maintenance (§4.4).
+  double quality = 0.5;
+
+  bool HasFlag(QueryFlags f) const { return (flags & f) != 0; }
+  bool parse_failed() const { return ast == nullptr; }
+};
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_QUERY_RECORD_H_

@@ -1,0 +1,234 @@
+#include "storage/query_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "storage/record_builder.h"
+
+namespace cqms::storage {
+
+namespace {
+
+using db::ColumnDef;
+using db::TableSchema;
+using db::Value;
+using db::ValueType;
+
+}  // namespace
+
+QueryStore::QueryStore() {
+  // Materialize the paper's feature relations (Figure 1). The embedded
+  // database is CQMS-internal; failures here are programming errors.
+  Status s = feature_db_.CreateTable(TableSchema(
+      "Queries", {{"qid", ValueType::kInt},
+                  {"qtext", ValueType::kString},
+                  {"usr", ValueType::kString},
+                  {"ts", ValueType::kInt},
+                  {"exec_micros", ValueType::kInt},
+                  {"result_rows", ValueType::kInt},
+                  {"succeeded", ValueType::kBool}}));
+  s = feature_db_.CreateTable(
+      TableSchema("DataSources", {{"qid", ValueType::kInt},
+                                  {"relname", ValueType::kString}}));
+  s = feature_db_.CreateTable(
+      TableSchema("Attributes", {{"qid", ValueType::kInt},
+                                 {"attrname", ValueType::kString},
+                                 {"relname", ValueType::kString}}));
+  s = feature_db_.CreateTable(
+      TableSchema("Predicates", {{"qid", ValueType::kInt},
+                                 {"attrname", ValueType::kString},
+                                 {"relname", ValueType::kString},
+                                 {"op", ValueType::kString},
+                                 {"const_val", ValueType::kString}}));
+  (void)s;
+}
+
+QueryId QueryStore::Append(QueryRecord record) {
+  record.id = static_cast<QueryId>(records_.size());
+  records_.push_back(std::move(record));
+  const QueryRecord& stored = records_.back();
+  IndexRecord(stored);
+  InsertFeatureRows(stored);
+  return stored.id;
+}
+
+void QueryStore::IndexRecord(const QueryRecord& record) {
+  for (const std::string& t : record.components.tables) {
+    by_table_[t].push_back(record.id);
+  }
+  for (const auto& [rel, attr] : record.components.attributes) {
+    by_attribute_[rel + "." + attr].push_back(record.id);
+  }
+  by_user_[record.user].push_back(record.id);
+  for (const std::string& w : ExtractWords(record.text)) {
+    auto& ids = by_keyword_[w];
+    if (ids.empty() || ids.back() != record.id) ids.push_back(record.id);
+  }
+  if (!record.parse_failed()) {
+    by_skeleton_[record.skeleton_fingerprint].push_back(record.id);
+    by_fingerprint_[record.fingerprint].push_back(record.id);
+  }
+}
+
+void QueryStore::InsertFeatureRows(const QueryRecord& record) {
+  Status s = feature_db_.Insert(
+      "Queries",
+      {Value::Int(record.id), Value::String(record.text),
+       Value::String(record.user), Value::Int(record.timestamp),
+       Value::Int(record.stats.execution_micros),
+       Value::Int(static_cast<int64_t>(record.stats.result_rows)),
+       Value::Bool(record.stats.succeeded)});
+  (void)s;
+  if (record.parse_failed()) return;
+  for (const std::string& t : record.components.tables) {
+    s = feature_db_.Insert("DataSources", {Value::Int(record.id), Value::String(t)});
+  }
+  for (const auto& [rel, attr] : record.components.attributes) {
+    s = feature_db_.Insert(
+        "Attributes", {Value::Int(record.id), Value::String(attr), Value::String(rel)});
+  }
+  for (const auto& p : record.components.predicates) {
+    s = feature_db_.Insert(
+        "Predicates", {Value::Int(record.id), Value::String(p.attribute),
+                       Value::String(p.relation), Value::String(p.op),
+                       Value::String(p.constant)});
+  }
+}
+
+const QueryRecord* QueryStore::Get(QueryId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= records_.size()) return nullptr;
+  return &records_[static_cast<size_t>(id)];
+}
+
+QueryRecord* QueryStore::GetMutable(QueryId id) {
+  if (id < 0 || static_cast<size_t>(id) >= records_.size()) return nullptr;
+  return &records_[static_cast<size_t>(id)];
+}
+
+const std::vector<QueryId>& QueryStore::QueriesUsingTable(
+    const std::string& table) const {
+  auto it = by_table_.find(ToLower(table));
+  return it == by_table_.end() ? empty_ : it->second;
+}
+
+const std::vector<QueryId>& QueryStore::QueriesUsingAttribute(
+    const std::string& relation, const std::string& attribute) const {
+  auto it = by_attribute_.find(ToLower(relation) + "." + ToLower(attribute));
+  return it == by_attribute_.end() ? empty_ : it->second;
+}
+
+const std::vector<QueryId>& QueryStore::QueriesByUser(const std::string& user) const {
+  auto it = by_user_.find(user);
+  return it == by_user_.end() ? empty_ : it->second;
+}
+
+const std::vector<QueryId>& QueryStore::QueriesWithKeyword(
+    const std::string& word) const {
+  auto it = by_keyword_.find(ToLower(word));
+  return it == by_keyword_.end() ? empty_ : it->second;
+}
+
+const std::vector<QueryId>& QueryStore::QueriesWithSkeleton(
+    uint64_t skeleton_fp) const {
+  auto it = by_skeleton_.find(skeleton_fp);
+  return it == by_skeleton_.end() ? empty_ : it->second;
+}
+
+uint64_t QueryStore::PopularityOf(uint64_t fingerprint) const {
+  auto it = by_fingerprint_.find(fingerprint);
+  return it == by_fingerprint_.end() ? 0 : it->second.size();
+}
+
+Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
+  QueryRecord* r = GetMutable(id);
+  if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+
+  QueryRecord rebuilt = BuildRecordFromText(new_text, r->user, r->timestamp);
+  if (rebuilt.parse_failed()) {
+    return Status::ParseError("repaired text does not parse: " + rebuilt.stats.error);
+  }
+  r->text = std::move(rebuilt.text);
+  r->canonical_text = std::move(rebuilt.canonical_text);
+  r->skeleton = std::move(rebuilt.skeleton);
+  r->fingerprint = rebuilt.fingerprint;
+  r->skeleton_fingerprint = rebuilt.skeleton_fingerprint;
+  r->components = std::move(rebuilt.components);
+  r->ast = std::move(rebuilt.ast);
+
+  // Purge this query's feature rows and reinsert from the new AST.
+  for (const char* table : {"Queries", "DataSources", "Attributes", "Predicates"}) {
+    db::Table* t = feature_db_.GetMutableTable(table);
+    if (t != nullptr) {
+      t->RemoveRowsIf([&](const db::Row& row) {
+        return !row.empty() && row[0].type() == db::ValueType::kInt &&
+               row[0].AsInt() == id;
+      });
+    }
+  }
+  IndexRecord(*r);
+  InsertFeatureRows(*r);
+  return Status::Ok();
+}
+
+Status QueryStore::Annotate(QueryId id, Annotation annotation) {
+  QueryRecord* r = GetMutable(id);
+  if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  r->annotations.push_back(std::move(annotation));
+  return Status::Ok();
+}
+
+Status QueryStore::AddFlag(QueryId id, QueryFlags flag) {
+  QueryRecord* r = GetMutable(id);
+  if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  r->flags |= flag;
+  return Status::Ok();
+}
+
+Status QueryStore::ClearFlag(QueryId id, QueryFlags flag) {
+  QueryRecord* r = GetMutable(id);
+  if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  r->flags &= ~static_cast<uint32_t>(flag);
+  return Status::Ok();
+}
+
+Status QueryStore::SetSession(QueryId id, SessionId session) {
+  QueryRecord* r = GetMutable(id);
+  if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  r->session_id = session;
+  return Status::Ok();
+}
+
+Status QueryStore::SetQuality(QueryId id, double quality) {
+  QueryRecord* r = GetMutable(id);
+  if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  r->quality = std::clamp(quality, 0.0, 1.0);
+  return Status::Ok();
+}
+
+Status QueryStore::Delete(QueryId id, const std::string& requester, bool is_admin) {
+  QueryRecord* r = GetMutable(id);
+  if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  if (!is_admin && r->user != requester) {
+    return Status::PermissionDenied("only the owner or an admin may delete query " +
+                                    std::to_string(id));
+  }
+  r->flags |= kFlagDeleted;
+  return Status::Ok();
+}
+
+bool QueryStore::Visible(const std::string& viewer, QueryId id) const {
+  const QueryRecord* r = Get(id);
+  if (r == nullptr || r->HasFlag(kFlagDeleted)) return false;
+  return acl_.CanSee(viewer, r->user, id);
+}
+
+std::vector<QueryId> QueryStore::VisibleIds(const std::string& viewer) const {
+  std::vector<QueryId> out;
+  out.reserve(records_.size());
+  for (const QueryRecord& r : records_) {
+    if (Visible(viewer, r.id)) out.push_back(r.id);
+  }
+  return out;
+}
+
+}  // namespace cqms::storage

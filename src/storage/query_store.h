@@ -1,0 +1,121 @@
+#ifndef CQMS_STORAGE_QUERY_STORE_H_
+#define CQMS_STORAGE_QUERY_STORE_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "db/database.h"
+#include "storage/access_control.h"
+#include "storage/query_record.h"
+
+namespace cqms::storage {
+
+/// The CQMS Query Storage (Figure 4): an append-only log of profiled
+/// queries with secondary indexes, plus the Figure-1 feature relations
+/// materialized as tables of an embedded `db::Database` so that SQL
+/// meta-queries run against them directly.
+///
+/// Feature relations (names as in the paper):
+///   Queries(qid, qtext, usr, ts, exec_micros, result_rows, succeeded)
+///   DataSources(qid, relname)
+///   Attributes(qid, attrname, relname)
+///   Predicates(qid, attrname, relname, op, const_val)
+class QueryStore {
+ public:
+  QueryStore();
+
+  // Not copyable: indexes hold ids into the record log.
+  QueryStore(const QueryStore&) = delete;
+  QueryStore& operator=(const QueryStore&) = delete;
+
+  /// Appends a record, assigning its id and updating every index and the
+  /// feature relations. Returns the assigned id.
+  QueryId Append(QueryRecord record);
+
+  const QueryRecord* Get(QueryId id) const;
+  QueryRecord* GetMutable(QueryId id);
+  size_t size() const { return records_.size(); }
+  const std::deque<QueryRecord>& records() const { return records_; }
+
+  // --- secondary indexes ---------------------------------------------------
+
+  /// Ids of queries whose FROM (at any nesting level) references `table`.
+  const std::vector<QueryId>& QueriesUsingTable(const std::string& table) const;
+
+  /// Ids of queries referencing relation.attribute.
+  const std::vector<QueryId>& QueriesUsingAttribute(const std::string& relation,
+                                                    const std::string& attribute) const;
+
+  const std::vector<QueryId>& QueriesByUser(const std::string& user) const;
+
+  /// Ids of queries whose text contains `word` (lower-cased token).
+  const std::vector<QueryId>& QueriesWithKeyword(const std::string& word) const;
+
+  /// Ids sharing a structure skeleton (same query modulo constants).
+  const std::vector<QueryId>& QueriesWithSkeleton(uint64_t skeleton_fp) const;
+
+  /// How many logged queries share this exact canonical fingerprint —
+  /// the popularity count used by ranking functions.
+  uint64_t PopularityOf(uint64_t fingerprint) const;
+
+  // --- record mutation -------------------------------------------------------
+
+  Status Annotate(QueryId id, Annotation annotation);
+
+  /// Rewrites the SQL text of an existing record (used by automatic
+  /// query repair after schema evolution, §4.4). Parse-derived fields and
+  /// feature-relation rows are rebuilt; user, timestamp, stats, session
+  /// and annotations are preserved. New index entries are added; old
+  /// entries may linger but every search path re-verifies against the
+  /// record, so they only cost a candidate check.
+  Status RewriteQueryText(QueryId id, const std::string& new_text);
+  Status AddFlag(QueryId id, QueryFlags flag);
+  Status ClearFlag(QueryId id, QueryFlags flag);
+  Status SetSession(QueryId id, SessionId session);
+  Status SetQuality(QueryId id, double quality);
+
+  /// Tombstones a query (owner or admin action, §2.4). The record stays
+  /// for audit but disappears from all visible scans.
+  Status Delete(QueryId id, const std::string& requester, bool is_admin = false);
+
+  // --- visibility ----------------------------------------------------------------
+
+  AccessControl& acl() { return acl_; }
+  const AccessControl& acl() const { return acl_; }
+
+  /// True when `viewer` may see query `id` (not deleted, ACL passes).
+  bool Visible(const std::string& viewer, QueryId id) const;
+
+  /// All ids visible to `viewer`, in log order.
+  std::vector<QueryId> VisibleIds(const std::string& viewer) const;
+
+  // --- feature relations -----------------------------------------------------------
+
+  /// The embedded database holding the feature relations; execute SQL
+  /// meta-queries against it (Figure 1).
+  const db::Database& feature_db() const { return feature_db_; }
+
+ private:
+  void IndexRecord(const QueryRecord& record);
+  void InsertFeatureRows(const QueryRecord& record);
+
+  std::deque<QueryRecord> records_;
+  AccessControl acl_;
+  db::Database feature_db_;
+
+  std::unordered_map<std::string, std::vector<QueryId>> by_table_;
+  std::unordered_map<std::string, std::vector<QueryId>> by_attribute_;  // "rel.attr"
+  std::unordered_map<std::string, std::vector<QueryId>> by_user_;
+  std::unordered_map<std::string, std::vector<QueryId>> by_keyword_;
+  std::unordered_map<uint64_t, std::vector<QueryId>> by_skeleton_;
+  std::unordered_map<uint64_t, std::vector<QueryId>> by_fingerprint_;
+  std::vector<QueryId> empty_;
+};
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_QUERY_STORE_H_

@@ -1,0 +1,31 @@
+#include "storage/record_builder.h"
+
+#include "sql/canonical.h"
+#include "sql/parser.h"
+
+namespace cqms::storage {
+
+QueryRecord BuildRecordFromText(std::string text, std::string user,
+                                Micros timestamp) {
+  QueryRecord record;
+  record.text = std::move(text);
+  record.user = std::move(user);
+  record.timestamp = timestamp;
+
+  auto parsed = sql::Parse(record.text);
+  if (!parsed.ok()) {
+    record.stats.succeeded = false;
+    record.stats.error = parsed.status().ToString();
+    return record;
+  }
+  std::shared_ptr<const sql::SelectStatement> ast = std::move(parsed).value();
+  record.canonical_text = sql::CanonicalText(*ast);
+  record.skeleton = sql::CanonicalSkeleton(*ast);
+  record.fingerprint = sql::Fingerprint(*ast);
+  record.skeleton_fingerprint = sql::SkeletonFingerprint(*ast);
+  record.components = sql::CollectComponents(*ast);
+  record.ast = std::move(ast);
+  return record;
+}
+
+}  // namespace cqms::storage

@@ -1,0 +1,23 @@
+#ifndef CQMS_STORAGE_RECORD_BUILDER_H_
+#define CQMS_STORAGE_RECORD_BUILDER_H_
+
+#include <string>
+
+#include "storage/query_record.h"
+
+namespace cqms::storage {
+
+/// Builds the parse-derived fields of a QueryRecord from raw SQL text:
+/// parse tree, canonical text, skeleton, fingerprints, and syntactic
+/// components. Queries that fail to parse still produce a record (raw
+/// text only, `parse_failed() == true`) — the paper's profiler logs every
+/// submission, and failed attempts feed the correction engine.
+///
+/// Runtime stats and the output summary are the caller's (profiler's)
+/// responsibility.
+QueryRecord BuildRecordFromText(std::string text, std::string user,
+                                Micros timestamp);
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_RECORD_BUILDER_H_

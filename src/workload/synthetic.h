@@ -1,0 +1,80 @@
+#ifndef CQMS_WORKLOAD_SYNTHETIC_H_
+#define CQMS_WORKLOAD_SYNTHETIC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "db/database.h"
+#include "profiler/query_profiler.h"
+#include "storage/query_store.h"
+
+namespace cqms::workload {
+
+/// Knobs of the synthetic multi-user exploration workload.
+///
+/// Substitution note (see DESIGN.md): the paper motivates CQMS with
+/// SDSS-style shared scientific databases, whose query logs are not
+/// available. This generator simulates what those logs *contain* —
+/// users running exploration sessions: a seed query repeatedly mutated
+/// by small typed edits (tweak a constant, add a predicate, join another
+/// table, change the projection), with Zipf-skewed template popularity,
+/// occasional typos, and annotations — while emitting ground-truth
+/// session labels that real logs would lack.
+struct WorkloadOptions {
+  size_t num_users = 8;
+  size_t num_groups = 3;
+  size_t num_sessions = 40;
+  size_t min_session_length = 3;
+  size_t max_session_length = 9;
+  /// Think time between queries in a session (uniform range).
+  Micros min_think_time = 5 * kMicrosPerSecond;
+  Micros max_think_time = 90 * kMicrosPerSecond;
+  /// Idle gap between sessions; must exceed the sessionizer's max_gap
+  /// for ground truth to be recoverable.
+  Micros session_gap = 30 * kMicrosPerMinute;
+  /// Probability that a query is submitted with a typo (fails).
+  double typo_rate = 0.05;
+  /// Probability that a successful query gets annotated.
+  double annotation_rate = 0.08;
+  /// Zipf exponent for template popularity.
+  double template_skew = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Ground truth emitted by the generator.
+struct GroundTruth {
+  /// session index -> logged query ids (in submission order).
+  std::vector<std::vector<storage::QueryId>> sessions;
+  /// query id -> session index.
+  std::map<storage::QueryId, size_t> session_of;
+  size_t queries_generated = 0;
+  size_t typos_generated = 0;
+};
+
+/// Creates the limnology schema (WaterTemp, WaterSalinity,
+/// CityLocations, Sensors, Readings, Species) and fills it with
+/// `rows_per_table` deterministic rows per large table.
+Status PopulateLakeDatabase(db::Database* database, size_t rows_per_table,
+                            uint64_t seed = 7);
+
+/// Registers `num_users` users across `num_groups` groups in the ACL
+/// (user names "user0".."userN", groups "lab0"..).
+void RegisterUsers(storage::QueryStore* store, const WorkloadOptions& options);
+
+/// Drives `profiler` through `options.num_sessions` exploration sessions
+/// on the simulated clock, returning ground truth. The database behind
+/// the profiler must have been populated with PopulateLakeDatabase;
+/// `store` is the profiler's query store (used to attach annotations).
+GroundTruth GenerateLog(profiler::QueryProfiler* profiler,
+                        storage::QueryStore* store, SimulatedClock* clock,
+                        const WorkloadOptions& options);
+
+/// Returns the user name for index `i` ("user<i>").
+std::string UserName(size_t i);
+
+}  // namespace cqms::workload
+
+#endif  // CQMS_WORKLOAD_SYNTHETIC_H_

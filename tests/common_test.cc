@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace cqms {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("query 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: query 42");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    CQMS_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = 7;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+
+  Result<int> bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("gone");
+    return 5;
+  };
+  auto consumer = [&](bool fail) -> Result<int> {
+    CQMS_ASSIGN_OR_RETURN(int v, producer(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(consumer(false).value(), 10);
+  EXPECT_EQ(consumer(true).status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringUtilTest, CaseConversions) {
+  EXPECT_EQ(ToLower("WaterTemp"), "watertemp");
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+}
+
+TEST(StringUtilTest, TrimAndSplitAndJoin) {
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, CaseInsensitiveSearches) {
+  EXPECT_TRUE(StartsWithIgnoreCase("SELECT * FROM t", "select"));
+  EXPECT_FALSE(StartsWithIgnoreCase("SEL", "select"));
+  EXPECT_TRUE(ContainsIgnoreCase("WHERE Temp < 18", "temp"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abcd"));
+  EXPECT_TRUE(EqualsIgnoreCase("WaterTemp", "watertemp"));
+}
+
+TEST(StringUtilTest, EditDistance) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("watertemp", "watertmp"), 1u);
+  EXPECT_EQ(EditDistance("", "xyz"), 3u);
+}
+
+TEST(StringUtilTest, ExtractWords) {
+  auto words = ExtractWords("SELECT T.temp, 'Lake Washington' FROM WaterTemp!");
+  std::vector<std::string> expected = {"select", "t",    "temp",
+                                       "lake",   "washington", "from",
+                                       "watertemp"};
+  EXPECT_EQ(words, expected);
+}
+
+TEST(StringUtilTest, SqlEscapeDoublesQuotes) {
+  EXPECT_EQ(SqlEscape("O'Brien"), "O''Brien");
+  EXPECT_EQ(SqlEscape("plain"), "plain");
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(18.0), "18");
+  EXPECT_EQ(FormatDouble(3.14), "3.14");
+}
+
+TEST(HashTest, Fnv1aIsDeterministicAndSpreads) {
+  EXPECT_EQ(Fnv1a64("query"), Fnv1a64("query"));
+  EXPECT_NE(Fnv1a64("query"), Fnv1a64("Query"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64(" "));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[9]);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(weights), 1u);
+  }
+}
+
+TEST(ClockTest, SimulatedClockAdvances) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.Set(10);
+  EXPECT_EQ(clock.Now(), 10);
+}
+
+TEST(ClockTest, WallTimerMeasuresNonNegative) {
+  WallTimer timer;
+  volatile int sink = 0;
+  for (int i = 0; i < 10000; ++i) sink += i;
+  EXPECT_GE(timer.ElapsedMicros(), 0);
+}
+
+}  // namespace
+}  // namespace cqms

@@ -1,0 +1,126 @@
+#include "db/cost_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "workload/synthetic.h"
+
+namespace cqms::db {
+namespace {
+
+class CostEstimatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    ASSERT_TRUE(workload::PopulateLakeDatabase(db_, 1000).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static CostEstimate Estimate(const std::string& sql) {
+    auto stmt = sql::Parse(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    return EstimateQueryCost(*db_, **stmt);
+  }
+
+  static size_t ActualRows(const std::string& sql) {
+    auto r = db_->ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r->rows.size();
+  }
+
+  static Database* db_;
+};
+
+Database* CostEstimatorTest::db_ = nullptr;
+
+TEST_F(CostEstimatorTest, FullScanEstimateEqualsTableSize) {
+  CostEstimate e = Estimate("SELECT * FROM WaterTemp");
+  EXPECT_DOUBLE_EQ(e.estimated_rows, 1000.0);
+  EXPECT_DOUBLE_EQ(e.estimated_scan_rows, 1000.0);
+}
+
+TEST_F(CostEstimatorTest, RangePredicateTracksActualSelectivity) {
+  // temp is uniform in [5, 27]; the histogram should land within a few
+  // percent of the true count.
+  for (int threshold : {10, 16, 22}) {
+    std::string sql = "SELECT * FROM WaterTemp WHERE temp < " +
+                      std::to_string(threshold);
+    double estimated = Estimate(sql).estimated_rows;
+    double actual = static_cast<double>(ActualRows(sql));
+    EXPECT_NEAR(estimated, actual, 0.15 * 1000.0) << sql;
+  }
+}
+
+TEST_F(CostEstimatorTest, EstimateIsMonotoneInThreshold) {
+  double prev = -1;
+  for (int threshold : {8, 12, 16, 20, 24}) {
+    double estimated = Estimate("SELECT * FROM WaterTemp WHERE temp < " +
+                                std::to_string(threshold))
+                           .estimated_rows;
+    EXPECT_GE(estimated, prev);
+    prev = estimated;
+  }
+}
+
+TEST_F(CostEstimatorTest, EqualityUsesDistinctCount) {
+  CostEstimate e = Estimate("SELECT * FROM WaterTemp WHERE lake = 'Union'");
+  // 8 lakes -> selectivity 1/8 of 1000 rows.
+  EXPECT_NEAR(e.estimated_rows, 125.0, 1.0);
+}
+
+TEST_F(CostEstimatorTest, EquiJoinUsesNdv) {
+  CostEstimate e = Estimate(
+      "SELECT * FROM WaterTemp T, WaterSalinity S WHERE T.loc_x = S.loc_x");
+  // Cross product 1e6 scaled by 1/ndv(loc_x) (64 values) ~ 15625.
+  EXPECT_GT(e.estimated_rows, 1000.0);
+  EXPECT_LT(e.estimated_rows, 1e6);
+  double actual = static_cast<double>(ActualRows(
+      "SELECT * FROM WaterTemp T, WaterSalinity S WHERE T.loc_x = S.loc_x"));
+  EXPECT_LT(std::abs(e.estimated_rows - actual) / actual, 0.5);
+}
+
+TEST_F(CostEstimatorTest, LimitCapsEstimate) {
+  CostEstimate e = Estimate("SELECT * FROM WaterTemp LIMIT 7");
+  EXPECT_DOUBLE_EQ(e.estimated_rows, 7.0);
+}
+
+TEST_F(CostEstimatorTest, InListScalesWithEntries) {
+  double one = Estimate("SELECT * FROM WaterTemp WHERE lake IN ('Union')")
+                   .estimated_rows;
+  double three = Estimate(
+                     "SELECT * FROM WaterTemp WHERE lake IN "
+                     "('Union', 'Washington', 'Chelan')")
+                     .estimated_rows;
+  EXPECT_NEAR(three, 3 * one, 1.0);
+}
+
+TEST_F(CostEstimatorTest, BetweenUsesHistogramRange) {
+  double estimated =
+      Estimate("SELECT * FROM WaterTemp WHERE temp BETWEEN 10 AND 20")
+          .estimated_rows;
+  double actual = static_cast<double>(
+      ActualRows("SELECT * FROM WaterTemp WHERE temp BETWEEN 10 AND 20"));
+  EXPECT_NEAR(estimated, actual, 0.15 * 1000.0);
+}
+
+TEST_F(CostEstimatorTest, SelectivitiesAreExposed) {
+  CostEstimate e = Estimate("SELECT * FROM WaterTemp WHERE temp < 16");
+  ASSERT_EQ(e.selectivities.size(), 1u);
+  const auto& [pred, sel] = *e.selectivities.begin();
+  EXPECT_NE(pred.find("temp < 16"), std::string::npos);
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LT(sel, 1.0);
+}
+
+TEST_F(CostEstimatorTest, UnknownTableFallsBackGracefully) {
+  auto stmt = sql::Parse("SELECT * FROM NoSuchTable WHERE x = 1");
+  ASSERT_TRUE(stmt.ok());
+  CostEstimate e = EstimateQueryCost(*db_, **stmt);
+  EXPECT_GT(e.estimated_rows, 0.0);  // guessed, not crashed
+}
+
+}  // namespace
+}  // namespace cqms::db

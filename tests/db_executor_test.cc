@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "sql/parser.h"
+
+namespace cqms::db {
+namespace {
+
+/// Builds the small limnology database the paper's examples revolve
+/// around (WaterTemp / WaterSalinity / CityLocations).
+Database MakeLakeDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable(TableSchema(
+                                 "WaterTemp",
+                                 {{"lake", ValueType::kString},
+                                  {"loc_x", ValueType::kInt},
+                                  {"loc_y", ValueType::kInt},
+                                  {"temp", ValueType::kDouble}}))
+                  .ok());
+  EXPECT_TRUE(db.CreateTable(TableSchema(
+                                 "WaterSalinity",
+                                 {{"lake", ValueType::kString},
+                                  {"loc_x", ValueType::kInt},
+                                  {"loc_y", ValueType::kInt},
+                                  {"salinity", ValueType::kDouble}}))
+                  .ok());
+  EXPECT_TRUE(db.CreateTable(TableSchema("CityLocations",
+                                         {{"city", ValueType::kString},
+                                          {"state", ValueType::kString},
+                                          {"pop", ValueType::kInt}}))
+                  .ok());
+  auto ins = [&](const std::string& t, Row r) {
+    EXPECT_TRUE(db.Insert(t, std::move(r)).ok());
+  };
+  ins("WaterTemp", {Value::String("Washington"), Value::Int(1), Value::Int(1),
+                    Value::Double(15.5)});
+  ins("WaterTemp", {Value::String("Washington"), Value::Int(2), Value::Int(1),
+                    Value::Double(16.0)});
+  ins("WaterTemp", {Value::String("Union"), Value::Int(3), Value::Int(2),
+                    Value::Double(19.5)});
+  ins("WaterTemp", {Value::String("Sammamish"), Value::Int(4), Value::Int(3),
+                    Value::Double(12.0)});
+  ins("WaterSalinity", {Value::String("Washington"), Value::Int(1), Value::Int(1),
+                        Value::Double(0.2)});
+  ins("WaterSalinity", {Value::String("Union"), Value::Int(3), Value::Int(2),
+                        Value::Double(0.5)});
+  ins("CityLocations",
+      {Value::String("Seattle"), Value::String("WA"), Value::Int(750000)});
+  ins("CityLocations",
+      {Value::String("Bellevue"), Value::String("WA"), Value::Int(150000)});
+  ins("CityLocations",
+      {Value::String("Detroit"), Value::String("MI"), Value::Int(630000)});
+  return db;
+}
+
+QueryResult Exec(const Database& db, const std::string& sql) {
+  auto r = db.ExecuteSql(sql);
+  EXPECT_TRUE(r.ok()) << r.status() << " for: " << sql;
+  return r.ok() ? std::move(r).value() : QueryResult{};
+}
+
+TEST(ExecutorTest, SelectConstantWithoutFrom) {
+  Database db;
+  QueryResult r = Exec(db, "SELECT 1 + 2 * 3");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 7);
+}
+
+TEST(ExecutorTest, FullScanSelectStar) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db, "SELECT * FROM WaterTemp");
+  EXPECT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.column_names,
+            (std::vector<std::string>{"lake", "loc_x", "loc_y", "temp"}));
+}
+
+TEST(ExecutorTest, FilterComparison) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db, "SELECT lake FROM WaterTemp WHERE temp < 18");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST(ExecutorTest, ProjectionWithAliasAndExpression) {
+  Database db = MakeLakeDb();
+  QueryResult r =
+      Exec(db, "SELECT temp * 2 AS double_temp FROM WaterTemp WHERE loc_x = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.column_names[0], "double_temp");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 31.0);
+}
+
+TEST(ExecutorTest, ImplicitJoinWithWhere) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT T.lake, S.salinity FROM WaterTemp T, "
+                      "WaterSalinity S WHERE T.loc_x = S.loc_x AND "
+                      "T.loc_y = S.loc_y");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST(ExecutorTest, ExplicitInnerJoin) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT T.lake FROM WaterTemp T JOIN WaterSalinity S "
+                      "ON T.loc_x = S.loc_x");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST(ExecutorTest, LeftJoinPreservesUnmatchedRows) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT T.lake, S.salinity FROM WaterTemp T LEFT JOIN "
+                      "WaterSalinity S ON T.loc_x = S.loc_x");
+  EXPECT_EQ(r.rows.size(), 4u);
+  int nulls = 0;
+  for (const Row& row : r.rows) {
+    if (row[1].is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 2);
+}
+
+TEST(ExecutorTest, RightJoinPreservesUnmatchedRight) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT S.lake FROM WaterSalinity S RIGHT JOIN "
+                      "CityLocations C ON S.lake = C.city");
+  // No salinity lake matches a city name: all three city rows survive
+  // with NULL left sides.
+  EXPECT_EQ(r.rows.size(), 3u);
+  for (const Row& row : r.rows) EXPECT_TRUE(row[0].is_null());
+}
+
+TEST(ExecutorTest, GroupByWithAggregates) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT lake, COUNT(*) AS n, AVG(temp) FROM WaterTemp "
+                      "GROUP BY lake ORDER BY lake");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Sammamish");
+  EXPECT_EQ(r.rows[2][0].AsString(), "Washington");
+  EXPECT_EQ(r.rows[2][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r.rows[2][2].AsDouble(), 15.75);
+}
+
+TEST(ExecutorTest, HavingFiltersGroups) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT lake FROM WaterTemp GROUP BY lake "
+                      "HAVING COUNT(*) > 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Washington");
+}
+
+TEST(ExecutorTest, AggregateOverEmptyInput) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db, "SELECT COUNT(*), MAX(temp) FROM WaterTemp WHERE temp > 100");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST(ExecutorTest, CountDistinct) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db, "SELECT COUNT(DISTINCT lake) FROM WaterTemp");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST(ExecutorTest, OrderByDescendingAndLimit) {
+  Database db = MakeLakeDb();
+  QueryResult r =
+      Exec(db, "SELECT lake, temp FROM WaterTemp ORDER BY temp DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Union");
+  EXPECT_EQ(r.rows[1][0].AsString(), "Washington");
+}
+
+TEST(ExecutorTest, OrderByAlias) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT lake, COUNT(*) AS n FROM WaterTemp GROUP BY lake "
+                      "ORDER BY n DESC, lake LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Washington");
+}
+
+TEST(ExecutorTest, DistinctRemovesDuplicates) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db, "SELECT DISTINCT state FROM CityLocations");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST(ExecutorTest, LimitOffset) {
+  Database db = MakeLakeDb();
+  QueryResult r =
+      Exec(db, "SELECT lake FROM WaterTemp ORDER BY lake LIMIT 2 OFFSET 1");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Union");
+}
+
+TEST(ExecutorTest, InListAndBetween) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT lake FROM WaterTemp WHERE lake IN "
+                      "('Union', 'Sammamish') AND temp BETWEEN 10 AND 20");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST(ExecutorTest, LikePatterns) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db, "SELECT city FROM CityLocations WHERE city LIKE 'Se%'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Seattle");
+  r = Exec(db, "SELECT city FROM CityLocations WHERE city LIKE '_e%e'");
+  EXPECT_EQ(r.rows.size(), 2u);  // Seattle, Bellevue (both end in 'e')
+  r = Exec(db, "SELECT city FROM CityLocations WHERE city LIKE 'B_ll%'");
+  EXPECT_EQ(r.rows.size(), 1u);  // Bellevue
+}
+
+TEST(ExecutorTest, UncorrelatedInSubquery) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT lake FROM WaterTemp WHERE lake IN "
+                      "(SELECT lake FROM WaterSalinity)");
+  EXPECT_EQ(r.rows.size(), 3u);  // Washington x2, Union
+}
+
+TEST(ExecutorTest, CorrelatedExistsSubquery) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT T.lake FROM WaterTemp T WHERE EXISTS "
+                      "(SELECT 1 FROM WaterSalinity S WHERE S.loc_x = T.loc_x)");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST(ExecutorTest, ScalarSubquery) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT lake FROM WaterTemp WHERE temp = "
+                      "(SELECT MAX(temp) FROM WaterTemp)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Union");
+}
+
+TEST(ExecutorTest, UnionDeduplicatesUnionAllDoesNot) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT lake FROM WaterTemp UNION SELECT lake FROM "
+                      "WaterSalinity");
+  EXPECT_EQ(r.rows.size(), 3u);
+  r = Exec(db,
+          "SELECT lake FROM WaterTemp UNION ALL SELECT lake FROM WaterSalinity");
+  EXPECT_EQ(r.rows.size(), 6u);
+}
+
+TEST(ExecutorTest, NullComparisonsRejectRows) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("t", {{"x", ValueType::kInt}})).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1)}).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Null()}).ok());
+  EXPECT_EQ(Exec(db, "SELECT x FROM t WHERE x = 1").rows.size(), 1u);
+  EXPECT_EQ(Exec(db, "SELECT x FROM t WHERE x <> 1").rows.size(), 0u);
+  EXPECT_EQ(Exec(db, "SELECT x FROM t WHERE x IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Exec(db, "SELECT x FROM t WHERE x IS NOT NULL").rows.size(), 1u);
+}
+
+TEST(ExecutorTest, ThreeValuedLogicInOr) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("t", {{"x", ValueType::kInt}})).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Null()}).ok());
+  // NULL OR TRUE is TRUE.
+  EXPECT_EQ(Exec(db, "SELECT x FROM t WHERE x = 1 OR 1 = 1").rows.size(), 1u);
+  // NULL AND TRUE is NULL -> rejected.
+  EXPECT_EQ(Exec(db, "SELECT x FROM t WHERE x = 1 AND 1 = 1").rows.size(), 0u);
+}
+
+TEST(ExecutorTest, CaseExpression) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT lake, CASE WHEN temp < 13 THEN 'cold' WHEN temp "
+                      "< 18 THEN 'mild' ELSE 'warm' END AS band FROM WaterTemp "
+                      "ORDER BY lake, band");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "cold");  // Sammamish 12.0
+}
+
+TEST(ExecutorTest, ScalarFunctions) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db,
+                      "SELECT UPPER(city), LENGTH(city), SUBSTR(city, 1, 3) "
+                      "FROM CityLocations WHERE city = 'Seattle'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "SEATTLE");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 7);
+  EXPECT_EQ(r.rows[0][2].AsString(), "Sea");
+}
+
+TEST(ExecutorTest, UnknownTableIsBindError) {
+  Database db = MakeLakeDb();
+  auto r = db.ExecuteSql("SELECT * FROM Nonexistent");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(ExecutorTest, UnknownColumnIsBindError) {
+  Database db = MakeLakeDb();
+  auto r = db.ExecuteSql("SELECT bogus FROM WaterTemp");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(ExecutorTest, RowsScannedIsReported) {
+  Database db = MakeLakeDb();
+  QueryResult r = Exec(db, "SELECT * FROM WaterTemp");
+  EXPECT_GE(r.rows_scanned, 4u);
+}
+
+TEST(ValidateTest, AcceptsResolvableQueries) {
+  Database db = MakeLakeDb();
+  auto stmt = sql::Parse(
+      "SELECT T.temp FROM WaterTemp T, WaterSalinity S WHERE "
+      "T.loc_x = S.loc_x");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(db.Validate(**stmt).ok());
+}
+
+TEST(ValidateTest, RejectsUnknownTableAndColumn) {
+  Database db = MakeLakeDb();
+  auto s1 = sql::Parse("SELECT * FROM Gone");
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(db.Validate(**s1).code(), StatusCode::kBindError);
+
+  auto s2 = sql::Parse("SELECT missing_col FROM WaterTemp");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(db.Validate(**s2).code(), StatusCode::kBindError);
+}
+
+TEST(ValidateTest, ValidatesSubqueriesWithCorrelation) {
+  Database db = MakeLakeDb();
+  auto good = sql::Parse(
+      "SELECT lake FROM WaterTemp T WHERE EXISTS (SELECT 1 FROM "
+      "WaterSalinity S WHERE S.loc_x = T.loc_x)");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(db.Validate(**good).ok());
+
+  auto bad = sql::Parse(
+      "SELECT lake FROM WaterTemp WHERE EXISTS (SELECT 1 FROM "
+      "WaterSalinity WHERE bogus = 1)");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(db.Validate(**bad).ok());
+}
+
+TEST(ValidateTest, DetectsAmbiguousColumns) {
+  Database db = MakeLakeDb();
+  auto stmt = sql::Parse("SELECT loc_x FROM WaterTemp, WaterSalinity");
+  ASSERT_TRUE(stmt.ok());
+  Status s = db.Validate(**stmt);
+  EXPECT_EQ(s.code(), StatusCode::kBindError);
+  EXPECT_NE(s.message().find("ambiguous"), std::string::npos);
+}
+
+TEST(SchemaEvolutionTest, DropColumnInvalidatesQueries) {
+  Database db = MakeLakeDb();
+  auto stmt = sql::Parse("SELECT temp FROM WaterTemp");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(db.Validate(**stmt).ok());
+  ASSERT_TRUE(db.DropColumn("WaterTemp", "temp").ok());
+  EXPECT_FALSE(db.Validate(**stmt).ok());
+}
+
+TEST(SchemaEvolutionTest, RenameTablePropagatesToData) {
+  Database db = MakeLakeDb();
+  ASSERT_TRUE(db.RenameTable("WaterTemp", "LakeTemp").ok());
+  EXPECT_EQ(Exec(db, "SELECT * FROM LakeTemp").rows.size(), 4u);
+  EXPECT_FALSE(db.ExecuteSql("SELECT * FROM WaterTemp").ok());
+}
+
+TEST(SchemaEvolutionTest, AddColumnBackfillsNulls) {
+  Database db = MakeLakeDb();
+  ASSERT_TRUE(db.AddColumn("CityLocations", {"founded", ValueType::kInt}).ok());
+  QueryResult r = Exec(db, "SELECT founded FROM CityLocations");
+  ASSERT_EQ(r.rows.size(), 3u);
+  for (const Row& row : r.rows) EXPECT_TRUE(row[0].is_null());
+}
+
+TEST(SchemaEvolutionTest, ChangeLogRecordsEvents) {
+  SimulatedClock clock(1000);
+  Database db(&clock);
+  ASSERT_TRUE(db.CreateTable(TableSchema("t", {{"x", ValueType::kInt}})).ok());
+  clock.Advance(10);
+  ASSERT_TRUE(db.AddColumn("t", {"y", ValueType::kInt}).ok());
+  const auto& changes = db.catalog().changes();
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].kind, SchemaChangeKind::kCreateTable);
+  EXPECT_EQ(changes[1].kind, SchemaChangeKind::kAddColumn);
+  EXPECT_EQ(changes[1].timestamp, 1010);
+  EXPECT_EQ(db.catalog().LastChangeTime("t"), 1010);
+  EXPECT_EQ(db.catalog().ChangesSince(1005).size(), 1u);
+}
+
+}  // namespace
+}  // namespace cqms::db

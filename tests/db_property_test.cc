@@ -1,0 +1,194 @@
+// Executor invariants checked over a family of generated queries against
+// the synthetic lake database: relational-algebra properties that must
+// hold regardless of plan choices (pushdown, hash vs nested-loop joins).
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "workload/synthetic.h"
+
+namespace cqms::db {
+namespace {
+
+class ExecutorPropertyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    Status s = workload::PopulateLakeDatabase(db_, 400);
+    ASSERT_TRUE(s.ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static QueryResult Exec(const std::string& sql) {
+    auto r = db_->ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << r.status() << " for " << sql;
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  static Database* db_;
+};
+
+Database* ExecutorPropertyTest::db_ = nullptr;
+
+/// Thresholds sweep for parameterized predicates.
+class ThresholdTest : public ExecutorPropertyTest,
+                      public ::testing::WithParamInterface<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThresholdTest,
+                         ::testing::Values(0, 5, 10, 15, 20, 25, 30));
+
+TEST_P(ThresholdTest, FilterIsMonotoneInThreshold) {
+  int t = GetParam();
+  size_t below = Exec("SELECT * FROM WaterTemp WHERE temp < " +
+                      std::to_string(t)).rows.size();
+  size_t below_next = Exec("SELECT * FROM WaterTemp WHERE temp < " +
+                           std::to_string(t + 5)).rows.size();
+  EXPECT_LE(below, below_next);
+}
+
+TEST_P(ThresholdTest, FilterPartitionsTheTable) {
+  int t = GetParam();
+  size_t all = Exec("SELECT * FROM WaterTemp").rows.size();
+  size_t below = Exec("SELECT * FROM WaterTemp WHERE temp < " +
+                      std::to_string(t)).rows.size();
+  size_t at_or_above = Exec("SELECT * FROM WaterTemp WHERE temp >= " +
+                            std::to_string(t)).rows.size();
+  // temp is never NULL in the generated data, so the split is exact.
+  EXPECT_EQ(below + at_or_above, all);
+}
+
+TEST_P(ThresholdTest, DistinctNeverIncreasesCardinality) {
+  int t = GetParam();
+  std::string where = " FROM WaterTemp WHERE temp < " + std::to_string(t);
+  size_t plain = Exec("SELECT lake" + where).rows.size();
+  size_t distinct = Exec("SELECT DISTINCT lake" + where).rows.size();
+  EXPECT_LE(distinct, plain);
+}
+
+TEST_P(ThresholdTest, LimitCapsCardinality) {
+  int t = GetParam();
+  size_t limited = Exec("SELECT * FROM WaterTemp WHERE temp < " +
+                        std::to_string(t) + " LIMIT 7").rows.size();
+  EXPECT_LE(limited, 7u);
+}
+
+TEST_P(ThresholdTest, OrderByPreservesCardinalityAndSorts) {
+  int t = GetParam();
+  std::string base = "SELECT temp FROM WaterTemp WHERE temp < " +
+                     std::to_string(t);
+  QueryResult unordered = Exec(base);
+  QueryResult ordered = Exec(base + " ORDER BY temp");
+  ASSERT_EQ(ordered.rows.size(), unordered.rows.size());
+  for (size_t i = 1; i < ordered.rows.size(); ++i) {
+    EXPECT_LE(ordered.rows[i - 1][0].AsDouble(), ordered.rows[i][0].AsDouble());
+  }
+}
+
+TEST_P(ThresholdTest, CountStarMatchesMaterializedRows) {
+  int t = GetParam();
+  std::string where = " FROM WaterTemp WHERE temp < " + std::to_string(t);
+  size_t materialized = Exec("SELECT *" + where).rows.size();
+  QueryResult counted = Exec("SELECT COUNT(*)" + where);
+  ASSERT_EQ(counted.rows.size(), 1u);
+  EXPECT_EQ(counted.rows[0][0].AsInt(), static_cast<int64_t>(materialized));
+}
+
+TEST_P(ThresholdTest, UnionAllIsSumUnionIsBoundedByIt) {
+  int t = GetParam();
+  std::string a = "SELECT lake FROM WaterTemp WHERE temp < " + std::to_string(t);
+  std::string b = "SELECT lake FROM WaterSalinity WHERE salinity > 0.3";
+  size_t na = Exec(a).rows.size();
+  size_t nb = Exec(b).rows.size();
+  size_t all = Exec(a + " UNION ALL " + b).rows.size();
+  size_t dedup = Exec(a + " UNION " + b).rows.size();
+  EXPECT_EQ(all, na + nb);
+  EXPECT_LE(dedup, all);
+}
+
+TEST_P(ThresholdTest, HashJoinAgreesWithCrossProductFilter) {
+  int t = GetParam();
+  // The planner hash-joins the equi predicate; semantically this must
+  // equal filtering the cross product (which the engine would run if the
+  // predicate were not recognized — forced here via an OR tautology
+  // wrapper that blocks equi-extraction).
+  std::string fast =
+      "SELECT COUNT(*) FROM WaterTemp T, WaterSalinity S "
+      "WHERE T.loc_x = S.loc_x AND T.temp < " + std::to_string(t);
+  std::string slow =
+      "SELECT COUNT(*) FROM WaterTemp T, WaterSalinity S "
+      "WHERE (T.loc_x = S.loc_x OR 1 = 2) AND T.temp < " + std::to_string(t);
+  EXPECT_EQ(Exec(fast).rows[0][0].AsInt(), Exec(slow).rows[0][0].AsInt());
+}
+
+TEST_P(ThresholdTest, LeftJoinKeepsAllLeftRows) {
+  int t = GetParam();
+  std::string left_rows = "SELECT * FROM WaterTemp WHERE temp < " +
+                          std::to_string(t);
+  size_t n_left = Exec(left_rows).rows.size();
+  // Rows can multiply on non-unique keys, but a LEFT JOIN can never
+  // produce fewer rows than the left side.
+  QueryResult lj = Exec(
+      "SELECT T.lake FROM WaterTemp T LEFT JOIN CityLocations C "
+      "ON T.lake = C.city WHERE T.temp < " + std::to_string(t));
+  EXPECT_GE(lj.rows.size(), n_left == 0 ? 0 : n_left);
+}
+
+TEST_F(ExecutorPropertyTest, GroupSumsEqualTotalSum) {
+  QueryResult total = Exec("SELECT SUM(temp) FROM WaterTemp");
+  QueryResult groups = Exec("SELECT lake, SUM(temp) FROM WaterTemp GROUP BY lake");
+  double sum = 0;
+  for (const Row& r : groups.rows) sum += r[1].AsDouble();
+  EXPECT_NEAR(sum, total.rows[0][0].AsDouble(), 1e-6);
+}
+
+TEST_F(ExecutorPropertyTest, GroupCountsEqualTotalCount) {
+  QueryResult total = Exec("SELECT COUNT(*) FROM Readings");
+  QueryResult groups =
+      Exec("SELECT sensor_id, COUNT(*) FROM Readings GROUP BY sensor_id");
+  int64_t sum = 0;
+  for (const Row& r : groups.rows) sum += r[1].AsInt();
+  EXPECT_EQ(sum, total.rows[0][0].AsInt());
+}
+
+TEST_F(ExecutorPropertyTest, AvgIsSumOverCountPerGroup) {
+  QueryResult groups = Exec(
+      "SELECT lake, SUM(temp), COUNT(temp), AVG(temp) FROM WaterTemp "
+      "GROUP BY lake");
+  for (const Row& r : groups.rows) {
+    double expected = r[1].AsDouble() / static_cast<double>(r[2].AsInt());
+    EXPECT_NEAR(r[3].AsDouble(), expected, 1e-9);
+  }
+}
+
+TEST_F(ExecutorPropertyTest, CorrelatedExistsEqualsSemiJoin) {
+  QueryResult exists = Exec(
+      "SELECT T.lake, T.loc_x FROM WaterTemp T WHERE EXISTS "
+      "(SELECT 1 FROM WaterSalinity S WHERE S.loc_x = T.loc_x AND "
+      "S.loc_y = T.loc_y)");
+  QueryResult semi = Exec(
+      "SELECT DISTINCT T.lake, T.loc_x FROM WaterTemp T, WaterSalinity S "
+      "WHERE S.loc_x = T.loc_x AND S.loc_y = T.loc_y");
+  // EXISTS keeps duplicates of T; compare distinct projections.
+  QueryResult exists_distinct = Exec(
+      "SELECT DISTINCT T.lake, T.loc_x FROM WaterTemp T WHERE EXISTS "
+      "(SELECT 1 FROM WaterSalinity S WHERE S.loc_x = T.loc_x AND "
+      "S.loc_y = T.loc_y)");
+  EXPECT_EQ(exists_distinct.rows.size(), semi.rows.size());
+  EXPECT_GE(exists.rows.size(), exists_distinct.rows.size());
+}
+
+TEST_F(ExecutorPropertyTest, InSubqueryEqualsExistsForm) {
+  QueryResult in_form = Exec(
+      "SELECT lake FROM WaterTemp WHERE loc_x IN "
+      "(SELECT loc_x FROM WaterSalinity)");
+  QueryResult exists_form = Exec(
+      "SELECT lake FROM WaterTemp T WHERE EXISTS "
+      "(SELECT 1 FROM WaterSalinity S WHERE S.loc_x = T.loc_x)");
+  EXPECT_EQ(in_form.rows.size(), exists_form.rows.size());
+}
+
+}  // namespace
+}  // namespace cqms::db

@@ -1,0 +1,142 @@
+#include "db/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "db/csv.h"
+#include "db/database.h"
+
+namespace cqms::db {
+namespace {
+
+std::vector<Value> Doubles(std::initializer_list<double> xs) {
+  std::vector<Value> out;
+  for (double x : xs) out.push_back(Value::Double(x));
+  return out;
+}
+
+TEST(HistogramTest, EmptyInput) {
+  Histogram h = Histogram::Build({});
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.EstimateSelectivity("<", 5), 0);
+}
+
+TEST(HistogramTest, ConstantInputIsDegenerate) {
+  Histogram h = Histogram::Build(Doubles({4, 4, 4}));
+  EXPECT_EQ(h.num_buckets(), 1);
+  EXPECT_EQ(h.EstimateSelectivity("<", 5), 1.0);
+  EXPECT_EQ(h.EstimateSelectivity("<", 3), 0.0);
+  EXPECT_EQ(h.EstimateSelectivity("=", 4), 1.0);
+}
+
+TEST(HistogramTest, SelectivityInterpolation) {
+  std::vector<Value> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(Value::Int(i));
+  Histogram h = Histogram::Build(vals, 16);
+  double sel = h.EstimateSelectivity("<", 500);
+  EXPECT_NEAR(sel, 0.5, 0.05);
+  EXPECT_NEAR(h.EstimateSelectivity(">", 900), 0.1, 0.05);
+}
+
+TEST(HistogramTest, DistanceZeroForIdenticalDistributions) {
+  auto vals = Doubles({1, 2, 3, 4, 5, 6, 7, 8});
+  Histogram a = Histogram::Build(vals);
+  Histogram b = Histogram::Build(vals);
+  EXPECT_NEAR(a.Distance(b), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, DistanceLargeForShiftedDistributions) {
+  std::vector<Value> low, high;
+  for (int i = 0; i < 100; ++i) {
+    low.push_back(Value::Double(i * 0.01));        // [0, 1)
+    high.push_back(Value::Double(100 + i * 0.01)); // [100, 101)
+  }
+  Histogram a = Histogram::Build(low);
+  Histogram b = Histogram::Build(high);
+  EXPECT_GT(a.Distance(b), 0.9);
+}
+
+TEST(HistogramTest, NullsAndStringsIgnored) {
+  std::vector<Value> vals = {Value::Null(), Value::String("x"), Value::Int(1),
+                             Value::Int(2)};
+  Histogram h = Histogram::Build(vals);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(TableStatsTest, BasicColumnStats) {
+  Table t(TableSchema("m", {{"x", ValueType::kInt}, {"s", ValueType::kString}}));
+  ASSERT_TRUE(t.Append({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Append({Value::Int(2), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Append({Value::Null(), Value::String("b")}).ok());
+  TableStats stats = ComputeTableStats(t);
+  EXPECT_EQ(stats.row_count, 3u);
+  ASSERT_EQ(stats.columns.size(), 2u);
+  const ColumnStats& x = stats.columns[0];
+  EXPECT_EQ(x.nulls, 1u);
+  EXPECT_EQ(x.distinct, 2u);
+  EXPECT_EQ(x.min_value.AsInt(), 1);
+  EXPECT_EQ(x.max_value.AsInt(), 2);
+  const ColumnStats& s = stats.columns[1];
+  EXPECT_EQ(s.distinct, 2u);
+  ASSERT_FALSE(s.top_values.empty());
+  EXPECT_EQ(s.top_values[0].first.AsString(), "a");
+  EXPECT_EQ(s.top_values[0].second, 2u);
+}
+
+TEST(TableStatsTest, DriftDetectsRowCountChange) {
+  Table t1(TableSchema("m", {{"x", ValueType::kInt}}));
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(t1.Append({Value::Int(i)}).ok());
+  Table t2(TableSchema("m", {{"x", ValueType::kInt}}));
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(t2.Append({Value::Int(i)}).ok());
+  TableStats a = ComputeTableStats(t1);
+  TableStats b = ComputeTableStats(t2);
+  EXPECT_GT(StatsDrift(a, b), 0.4);
+  EXPECT_NEAR(StatsDrift(a, a), 0.0, 1e-9);
+}
+
+TEST(TableStatsTest, DriftDetectsDistributionShift) {
+  Table t1(TableSchema("m", {{"x", ValueType::kDouble}}));
+  Table t2(TableSchema("m", {{"x", ValueType::kDouble}}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t1.Append({Value::Double(i * 0.01)}).ok());
+    ASSERT_TRUE(t2.Append({Value::Double(50 + i * 0.01)}).ok());
+  }
+  EXPECT_GT(StatsDrift(ComputeTableStats(t1), ComputeTableStats(t2)), 0.8);
+}
+
+TEST(CsvTest, ExportImportRoundTrip) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("src", {{"id", ValueType::kInt},
+                                                 {"name", ValueType::kString},
+                                                 {"score", ValueType::kDouble}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("src", {Value::Int(1), Value::String("alpha, beta"),
+                                Value::Double(1.5)})
+                  .ok());
+  ASSERT_TRUE(db.Insert("src", {Value::Int(2), Value::String("with \"quote\""),
+                                Value::Double(2.5)})
+                  .ok());
+  ASSERT_TRUE(
+      db.Insert("src", {Value::Int(3), Value::Null(), Value::Double(3.5)}).ok());
+
+  std::string path = ::testing::TempDir() + "/cqms_csv_test.csv";
+  ASSERT_TRUE(ExportCsv(*db.GetTable("src"), path).ok());
+
+  Database db2;
+  ASSERT_TRUE(ImportCsv(&db2, "dst", path).ok());
+  const Table* dst = db2.GetTable("dst");
+  ASSERT_NE(dst, nullptr);
+  ASSERT_EQ(dst->num_rows(), 3u);
+  EXPECT_EQ(dst->rows()[0][1].AsString(), "alpha, beta");
+  EXPECT_EQ(dst->rows()[1][1].AsString(), "with \"quote\"");
+  EXPECT_TRUE(dst->rows()[2][1].is_null());
+  EXPECT_EQ(dst->schema().columns()[0].type, ValueType::kInt);
+  EXPECT_EQ(dst->schema().columns()[2].type, ValueType::kDouble);
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  Database db;
+  EXPECT_EQ(ImportCsv(&db, "t", "/nonexistent/x.csv").code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cqms::db

@@ -1,0 +1,211 @@
+#include "sql/components.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/canonical.h"
+#include "sql/diff.h"
+#include "sql/parser.h"
+
+namespace cqms::sql {
+namespace {
+
+QueryComponents Components(const std::string& text) {
+  auto r = Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return CollectComponents(**r);
+}
+
+TEST(ComponentsTest, TablesAreResolvedAndLowercased) {
+  auto c = Components("SELECT * FROM WaterSalinity S, WaterTemp T");
+  ASSERT_EQ(c.tables.size(), 2u);
+  EXPECT_EQ(c.tables[0], "watersalinity");
+  EXPECT_EQ(c.tables[1], "watertemp");
+  EXPECT_EQ(c.num_joins, 1);
+}
+
+TEST(ComponentsTest, AliasResolutionInPredicates) {
+  auto c = Components(
+      "SELECT * FROM WaterSalinity S, WaterTemp T WHERE S.loc_x = T.loc_x "
+      "AND T.temp < 18");
+  ASSERT_EQ(c.predicates.size(), 2u);
+  const PredicateFeature& join = c.predicates[0];
+  EXPECT_TRUE(join.is_join);
+  EXPECT_EQ(join.relation, "watersalinity");
+  EXPECT_EQ(join.attribute, "loc_x");
+  EXPECT_EQ(join.rhs_relation, "watertemp");
+  const PredicateFeature& sel = c.predicates[1];
+  EXPECT_FALSE(sel.is_join);
+  EXPECT_EQ(sel.relation, "watertemp");
+  EXPECT_EQ(sel.attribute, "temp");
+  EXPECT_EQ(sel.op, "<");
+  EXPECT_EQ(sel.constant, "18");
+}
+
+TEST(ComponentsTest, UnqualifiedColumnResolvesWithSingleTable) {
+  auto c = Components("SELECT temp FROM WaterTemp WHERE temp > 5");
+  ASSERT_FALSE(c.attributes.empty());
+  EXPECT_EQ(c.attributes[0].first, "watertemp");
+  EXPECT_EQ(c.attributes[0].second, "temp");
+}
+
+TEST(ComponentsTest, FlippedConstantComparisonIsNormalized) {
+  auto c = Components("SELECT * FROM t WHERE 18 > temp");
+  ASSERT_EQ(c.predicates.size(), 1u);
+  EXPECT_EQ(c.predicates[0].op, "<");
+  EXPECT_EQ(c.predicates[0].constant, "18");
+}
+
+TEST(ComponentsTest, JoinOrientationIsNormalized) {
+  auto a = Components("SELECT * FROM a, b WHERE a.x = b.y");
+  auto b = Components("SELECT * FROM a, b WHERE b.y = a.x");
+  ASSERT_EQ(a.predicates.size(), 1u);
+  ASSERT_EQ(b.predicates.size(), 1u);
+  EXPECT_EQ(a.predicates[0].ToString(), b.predicates[0].ToString());
+}
+
+TEST(ComponentsTest, InBetweenIsNullPredicates) {
+  auto c = Components(
+      "SELECT * FROM t WHERE a IN (1,2) AND b BETWEEN 3 AND 4 AND c IS NULL");
+  ASSERT_EQ(c.predicates.size(), 3u);
+  EXPECT_EQ(c.predicates[0].op, "IN");
+  EXPECT_EQ(c.predicates[0].constant, "(1, 2)");
+  EXPECT_EQ(c.predicates[1].op, "BETWEEN");
+  EXPECT_EQ(c.predicates[1].constant, "3 AND 4");
+  EXPECT_EQ(c.predicates[2].op, "IS NULL");
+}
+
+TEST(ComponentsTest, SubqueryDetectionAndDepth) {
+  auto c = Components(
+      "SELECT * FROM t WHERE x IN (SELECT y FROM u WHERE y IN "
+      "(SELECT z FROM v))");
+  EXPECT_TRUE(c.has_subquery);
+  EXPECT_EQ(c.max_nesting_depth, 2);
+  // Tables from all nesting levels are collected.
+  EXPECT_EQ(c.tables.size(), 3u);
+}
+
+TEST(ComponentsTest, AggregatesAndGroupBy) {
+  auto c = Components(
+      "SELECT city, AVG(temp), COUNT(*) FROM t GROUP BY city ORDER BY city");
+  EXPECT_EQ(c.aggregates.size(), 2u);  // AVG, COUNT (sorted, deduped)
+  EXPECT_EQ(c.group_by.size(), 1u);
+  EXPECT_EQ(c.order_by.size(), 1u);
+}
+
+TEST(ComponentsTest, PredicateSkeletonStripsConstant) {
+  auto c = Components("SELECT * FROM WaterTemp WHERE temp < 18");
+  ASSERT_EQ(c.predicates.size(), 1u);
+  EXPECT_EQ(c.predicates[0].Skeleton(), "watertemp.temp < ?");
+}
+
+TEST(CanonicalTest, ConjunctOrderDoesNotMatter) {
+  auto a = Parse("SELECT * FROM t WHERE x = 1 AND y = 2");
+  auto b = Parse("SELECT * FROM t WHERE y = 2 AND x = 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(CanonicalText(**a), CanonicalText(**b));
+  EXPECT_EQ(Fingerprint(**a), Fingerprint(**b));
+}
+
+TEST(CanonicalTest, IdentifierCaseDoesNotMatter) {
+  auto a = Parse("SELECT Temp FROM WaterTemp");
+  auto b = Parse("select temp from watertemp");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(Fingerprint(**a), Fingerprint(**b));
+}
+
+TEST(CanonicalTest, CommaJoinedTablesAreSorted) {
+  auto a = Parse("SELECT * FROM b, a");
+  auto b = Parse("SELECT * FROM a, b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(CanonicalText(**a), CanonicalText(**b));
+}
+
+TEST(CanonicalTest, ExplicitJoinOrderIsPreserved) {
+  auto a = Parse("SELECT * FROM b JOIN a ON a.x = b.x");
+  auto b = Parse("SELECT * FROM a JOIN b ON a.x = b.x");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(CanonicalText(**a), CanonicalText(**b));
+}
+
+TEST(CanonicalTest, SkeletonEqualForDifferentConstants) {
+  auto a = Parse("SELECT * FROM t WHERE temp < 22");
+  auto b = Parse("SELECT * FROM t WHERE temp < 18");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(CanonicalSkeleton(**a), CanonicalSkeleton(**b));
+  EXPECT_NE(CanonicalText(**a), CanonicalText(**b));
+  EXPECT_EQ(SkeletonFingerprint(**a), SkeletonFingerprint(**b));
+}
+
+TEST(DiffTest, IdenticalQueriesProduceEmptyDiff) {
+  auto a = Parse("SELECT * FROM t WHERE x = 1");
+  auto b = Parse("SELECT * FROM t WHERE x = 1");
+  ASSERT_TRUE(a.ok() && b.ok());
+  QueryDiff d = DiffQueries(**a, **b);
+  EXPECT_TRUE(d.Identical());
+  EXPECT_EQ(d.Summary(), "(identical)");
+}
+
+TEST(DiffTest, AddedTableDetected) {
+  auto a = Parse("SELECT * FROM WaterTemp");
+  auto b = Parse("SELECT * FROM WaterTemp, WaterSalinity");
+  ASSERT_TRUE(a.ok() && b.ok());
+  QueryDiff d = DiffQueries(**a, **b);
+  ASSERT_GE(d.edits.size(), 1u);
+  EXPECT_EQ(d.edits[0].kind, QueryEdit::Kind::kAddTable);
+  EXPECT_EQ(d.edits[0].detail, "+watersalinity");
+}
+
+TEST(DiffTest, ConstantModificationDetectedAsSingleEdit) {
+  // The Figure 2 scenario: the user tried temp < 22, then temp < 18.
+  auto a = Parse("SELECT * FROM WaterTemp WHERE temp < 22");
+  auto b = Parse("SELECT * FROM WaterTemp WHERE temp < 18");
+  ASSERT_TRUE(a.ok() && b.ok());
+  QueryDiff d = DiffQueries(**a, **b);
+  ASSERT_EQ(d.edits.size(), 1u);
+  EXPECT_EQ(d.edits[0].kind, QueryEdit::Kind::kModifyConstant);
+  EXPECT_NE(d.edits[0].detail.find("->"), std::string::npos);
+}
+
+TEST(DiffTest, AddedPredicatesDetected) {
+  auto a = Parse("SELECT * FROM s, t WHERE t.temp < 18");
+  auto b = Parse(
+      "SELECT * FROM s, t WHERE t.temp < 18 AND s.loc_x = t.loc_x AND "
+      "s.loc_y = t.loc_y");
+  ASSERT_TRUE(a.ok() && b.ok());
+  QueryDiff d = DiffQueries(**a, **b);
+  EXPECT_EQ(d.Distance(), 2u);
+  for (const auto& e : d.edits) {
+    EXPECT_EQ(e.kind, QueryEdit::Kind::kAddPredicate);
+  }
+}
+
+TEST(DiffTest, ProjectionAndLimitChanges) {
+  auto a = Parse("SELECT a FROM t");
+  auto b = Parse("SELECT a, b FROM t LIMIT 10");
+  ASSERT_TRUE(a.ok() && b.ok());
+  QueryDiff d = DiffQueries(**a, **b);
+  bool saw_projection = false, saw_limit = false;
+  for (const auto& e : d.edits) {
+    if (e.kind == QueryEdit::Kind::kAddProjection) saw_projection = true;
+    if (e.kind == QueryEdit::Kind::kChangeLimit) saw_limit = true;
+  }
+  EXPECT_TRUE(saw_projection);
+  EXPECT_TRUE(saw_limit);
+}
+
+TEST(DiffTest, DistinctToggleAndGroupByChange) {
+  auto a = Parse("SELECT city FROM t");
+  auto b = Parse("SELECT DISTINCT city FROM t GROUP BY city");
+  ASSERT_TRUE(a.ok() && b.ok());
+  QueryDiff d = DiffQueries(**a, **b);
+  bool saw_distinct = false, saw_group = false;
+  for (const auto& e : d.edits) {
+    if (e.kind == QueryEdit::Kind::kToggleDistinct) saw_distinct = true;
+    if (e.kind == QueryEdit::Kind::kChangeGroupBy) saw_group = true;
+  }
+  EXPECT_TRUE(saw_distinct);
+  EXPECT_TRUE(saw_group);
+}
+
+}  // namespace
+}  // namespace cqms::sql

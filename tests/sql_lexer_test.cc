@@ -1,0 +1,128 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cqms::sql {
+namespace {
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto r = Tokenize("");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, KeywordsAreNormalizedToUpperCase) {
+  auto r = Tokenize("select Select SELECT sELeCt");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ((*r)[i].kind, TokenKind::kKeyword);
+    EXPECT_EQ((*r)[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepOriginalSpelling) {
+  auto r = Tokenize("WaterTemp water_temp _x t1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].text, "WaterTemp");
+  EXPECT_EQ((*r)[1].text, "water_temp");
+  EXPECT_EQ((*r)[2].text, "_x");
+  EXPECT_EQ((*r)[3].text, "t1");
+  for (int i = 0; i < 4; ++i) EXPECT_EQ((*r)[i].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  auto r = Tokenize("42 3.14 .5 1e3 2.5e-2 7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kInteger);
+  EXPECT_EQ((*r)[0].int_value, 42);
+  EXPECT_EQ((*r)[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*r)[1].double_value, 3.14);
+  EXPECT_EQ((*r)[2].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*r)[2].double_value, 0.5);
+  EXPECT_EQ((*r)[3].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*r)[3].double_value, 1000.0);
+  EXPECT_EQ((*r)[4].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*r)[4].double_value, 0.025);
+  EXPECT_EQ((*r)[5].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto r = Tokenize("'Lake Washington' 'O''Brien'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*r)[0].text, "Lake Washington");
+  EXPECT_EQ((*r)[1].text, "O'Brien");
+}
+
+TEST(LexerTest, UnterminatedStringIsParseError) {
+  auto r = Tokenize("'oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto r = Tokenize("\"Water Temp\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*r)[0].text, "Water Temp");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto r = Tokenize(", . ( ) * + - / % = != <> < <= > >= || ;");
+  ASSERT_TRUE(r.ok());
+  std::vector<TokenKind> expected = {
+      TokenKind::kComma, TokenKind::kDot,   TokenKind::kLParen,
+      TokenKind::kRParen, TokenKind::kStar,  TokenKind::kPlus,
+      TokenKind::kMinus, TokenKind::kSlash, TokenKind::kPercent,
+      TokenKind::kEq,    TokenKind::kNeq,   TokenKind::kNeq,
+      TokenKind::kLt,    TokenKind::kLe,    TokenKind::kGt,
+      TokenKind::kGe,    TokenKind::kConcat, TokenKind::kSemicolon,
+      TokenKind::kEof};
+  ASSERT_EQ(r->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*r)[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, LineAndBlockComments) {
+  auto r = Tokenize("SELECT -- this is a comment\n 1 /* block\n comment */ + 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 5u);  // SELECT 1 + 2 EOF
+  EXPECT_EQ((*r)[0].text, "SELECT");
+  EXPECT_EQ((*r)[1].int_value, 1);
+  EXPECT_EQ((*r)[2].kind, TokenKind::kPlus);
+  EXPECT_EQ((*r)[3].int_value, 2);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  auto r = Tokenize("SELECT /* oops");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LexerTest, TokenOffsetsAreByteAccurate) {
+  auto r = Tokenize("SELECT temp");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].offset, 0u);
+  EXPECT_EQ((*r)[0].length, 6u);
+  EXPECT_EQ((*r)[1].offset, 7u);
+  EXPECT_EQ((*r)[1].length, 4u);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  auto r = Tokenize("SELECT #");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, AggregateNamesAreKeywords) {
+  auto r = Tokenize("count SUM avg MIN max");
+  ASSERT_TRUE(r.ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*r)[i].kind, TokenKind::kKeyword) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cqms::sql

@@ -1,0 +1,207 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/printer.h"
+
+namespace cqms::sql {
+namespace {
+
+std::string RoundTrip(const std::string& text) {
+  auto r = Parse(text);
+  EXPECT_TRUE(r.ok()) << r.status() << " for: " << text;
+  if (!r.ok()) return "<parse error>";
+  return PrintStatement(**r);
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto r = Parse("SELECT 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->select_items.size(), 1u);
+  EXPECT_FALSE((*r)->select_items[0].is_star);
+}
+
+TEST(ParserTest, SelectStarFromTable) {
+  auto r = Parse("SELECT * FROM WaterTemp");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->select_items[0].is_star);
+  ASSERT_EQ((*r)->from.size(), 1u);
+  EXPECT_EQ((*r)->from[0].table, "WaterTemp");
+}
+
+TEST(ParserTest, TableAliasesWithAndWithoutAs) {
+  auto r = Parse("SELECT S.loc_x FROM WaterSalinity AS S, WaterTemp T");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->from[0].alias, "S");
+  EXPECT_EQ((*r)->from[1].alias, "T");
+  EXPECT_EQ((*r)->from[1].join_type, JoinType::kCross);
+  EXPECT_FALSE((*r)->from[1].explicit_join_syntax);
+}
+
+TEST(ParserTest, ExplicitJoinWithOn) {
+  auto r = Parse(
+      "SELECT * FROM WaterSalinity S JOIN WaterTemp T ON S.loc_x = T.loc_x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->from[1].join_type, JoinType::kInner);
+  EXPECT_TRUE((*r)->from[1].explicit_join_syntax);
+  ASSERT_NE((*r)->from[1].join_condition, nullptr);
+}
+
+TEST(ParserTest, LeftOuterJoinRequiresOn) {
+  EXPECT_TRUE(Parse("SELECT * FROM a LEFT JOIN b ON a.x = b.x").ok());
+  EXPECT_TRUE(Parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM a LEFT JOIN b").ok());
+}
+
+TEST(ParserTest, WhereWithPrecedence) {
+  auto r = Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(r.ok());
+  // Must parse as a = 1 OR (b = 2 AND c = 3).
+  const Expr* where = (*r)->where.get();
+  ASSERT_EQ(where->kind, ExprKind::kBinary);
+  EXPECT_EQ(where->bop, BinaryOp::kOr);
+  EXPECT_EQ(where->right->bop, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto r = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->bop, BinaryOp::kAdd);
+  EXPECT_EQ((*r)->right->bop, BinaryOp::kMul);
+}
+
+TEST(ParserTest, NegativeNumberFolding) {
+  auto r = ParseExpression("-5");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->kind, ExprKind::kLiteral);
+  EXPECT_EQ((*r)->literal.int_value, -5);
+}
+
+TEST(ParserTest, InListAndInSubquery) {
+  auto r = Parse("SELECT * FROM t WHERE x IN (1, 2, 3)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->where->kind, ExprKind::kInList);
+  EXPECT_EQ((*r)->where->in_list.size(), 3u);
+
+  auto r2 = Parse("SELECT * FROM t WHERE x NOT IN (SELECT y FROM u)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->where->kind, ExprKind::kInSubquery);
+  EXPECT_TRUE((*r2)->where->negated);
+}
+
+TEST(ParserTest, BetweenLikeIsNull) {
+  auto r = Parse(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND name LIKE 'Lake%' "
+      "AND note IS NOT NULL");
+  ASSERT_TRUE(r.ok());
+  auto conjuncts = SplitConjuncts((*r)->where.get());
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->kind, ExprKind::kBetween);
+  EXPECT_EQ(conjuncts[1]->bop, BinaryOp::kLike);
+  EXPECT_EQ(conjuncts[2]->kind, ExprKind::kIsNull);
+  EXPECT_TRUE(conjuncts[2]->negated);
+}
+
+TEST(ParserTest, GroupByHavingOrderByLimit) {
+  auto r = Parse(
+      "SELECT city, COUNT(*) AS n FROM t GROUP BY city HAVING COUNT(*) > 5 "
+      "ORDER BY n DESC, city LIMIT 10 OFFSET 20");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->group_by.size(), 1u);
+  ASSERT_NE((*r)->having, nullptr);
+  EXPECT_EQ((*r)->order_by.size(), 2u);
+  EXPECT_TRUE((*r)->order_by[0].descending);
+  EXPECT_FALSE((*r)->order_by[1].descending);
+  EXPECT_EQ((*r)->limit, 10);
+  EXPECT_EQ((*r)->offset, 20);
+}
+
+TEST(ParserTest, AggregatesWithDistinctAndStar) {
+  auto r = Parse("SELECT COUNT(*), COUNT(DISTINCT city), AVG(temp) FROM t");
+  ASSERT_TRUE(r.ok());
+  const auto& items = (*r)->select_items;
+  EXPECT_EQ(items[0].expr->function_name, "COUNT");
+  EXPECT_EQ(items[0].expr->args[0]->kind, ExprKind::kStar);
+  EXPECT_TRUE(items[1].expr->distinct_arg);
+  EXPECT_EQ(items[2].expr->function_name, "AVG");
+}
+
+TEST(ParserTest, ExistsAndScalarSubquery) {
+  auto r = Parse(
+      "SELECT (SELECT MAX(x) FROM u) FROM t WHERE EXISTS (SELECT 1 FROM u)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->select_items[0].expr->kind, ExprKind::kScalarSubquery);
+  EXPECT_EQ((*r)->where->kind, ExprKind::kExists);
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto r = ParseExpression(
+      "CASE WHEN temp < 10 THEN 'cold' WHEN temp < 25 THEN 'mild' "
+      "ELSE 'hot' END");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, ExprKind::kCase);
+  EXPECT_EQ((*r)->when_clauses.size(), 2u);
+  ASSERT_NE((*r)->else_expr, nullptr);
+}
+
+TEST(ParserTest, UnionChain) {
+  auto r = Parse("SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v");
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE((*r)->union_next, nullptr);
+  EXPECT_TRUE((*r)->union_all);
+  ASSERT_NE((*r)->union_next->union_next, nullptr);
+  EXPECT_FALSE((*r)->union_next->union_all);
+}
+
+TEST(ParserTest, QualifiedStar) {
+  auto r = Parse("SELECT t.* FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->select_items[0].is_star);
+  EXPECT_EQ((*r)->select_items[0].star_table, "t");
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(Parse("SELECT 1;").ok());
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(Parse("SELECT 1 x y z !").ok());
+  EXPECT_FALSE(Parse("SELECT FROM").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM").ok());
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(ParserTest, ErrorMessagesCarryOffsets) {
+  auto r = Parse("SELECT * FROM t WHERE");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+// Round-trip property: parse(print(parse(q))) == parse(q) textually.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintThenReparseIsStable) {
+  std::string once = RoundTrip(GetParam());
+  std::string twice = RoundTrip(once);
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "SELECT 1",
+        "SELECT * FROM WaterTemp",
+        "SELECT DISTINCT city FROM CityLocations ORDER BY city",
+        "SELECT * FROM WaterSalinity S, WaterTemp T, CityLocations L "
+        "WHERE T.temp < 18 AND S.loc_x = T.loc_x AND S.loc_y = T.loc_y",
+        "SELECT city, COUNT(*) AS n FROM t GROUP BY city HAVING COUNT(*) > 5 "
+        "ORDER BY n DESC LIMIT 10",
+        "SELECT * FROM a LEFT JOIN b ON a.x = b.x WHERE a.y BETWEEN 1 AND 2",
+        "SELECT CASE WHEN x < 0 THEN 'neg' ELSE 'pos' END FROM t",
+        "SELECT a FROM t UNION SELECT b FROM u",
+        "SELECT * FROM t WHERE x IN (SELECT y FROM u WHERE u.k = t.k)",
+        "SELECT name || '!' FROM t WHERE name LIKE '%lake%'",
+        "SELECT -x + 3 * (y - 2) FROM t WHERE NOT (a = 1 OR b = 2)"));
+
+}  // namespace
+}  // namespace cqms::sql

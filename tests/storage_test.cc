@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "storage/persistence.h"
+#include "storage/query_store.h"
+#include "storage/record_builder.h"
+#include "test_util.h"
+
+namespace cqms::storage {
+namespace {
+
+using testing_util::Harness;
+
+TEST(RecordBuilderTest, BuildsAllDerivedFields) {
+  QueryRecord r = BuildRecordFromText(
+      "SELECT T.temp FROM WaterTemp T WHERE T.temp < 18", "alice", 123);
+  EXPECT_FALSE(r.parse_failed());
+  EXPECT_EQ(r.user, "alice");
+  EXPECT_EQ(r.timestamp, 123);
+  EXPECT_NE(r.fingerprint, 0u);
+  EXPECT_NE(r.skeleton_fingerprint, 0u);
+  EXPECT_NE(r.canonical_text.find("watertemp"), std::string::npos);
+  EXPECT_NE(r.skeleton.find("?"), std::string::npos);
+  ASSERT_EQ(r.components.tables.size(), 1u);
+}
+
+TEST(RecordBuilderTest, ParseFailureKeepsText) {
+  QueryRecord r = BuildRecordFromText("SELEKT oops", "bob", 5);
+  EXPECT_TRUE(r.parse_failed());
+  EXPECT_FALSE(r.stats.succeeded);
+  EXPECT_FALSE(r.stats.error.empty());
+  EXPECT_EQ(r.text, "SELEKT oops");
+}
+
+TEST(QueryStoreTest, AppendAssignsSequentialIds) {
+  QueryStore store;
+  QueryId a = store.Append(BuildRecordFromText("SELECT 1", "u", 1));
+  QueryId b = store.Append(BuildRecordFromText("SELECT 2", "u", 2));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Get(a)->text, "SELECT 1");
+  EXPECT_EQ(store.Get(99), nullptr);
+}
+
+TEST(QueryStoreTest, TableAndAttributeIndexes) {
+  QueryStore store;
+  QueryId a = store.Append(BuildRecordFromText(
+      "SELECT temp FROM WaterTemp WHERE temp < 5", "u", 1));
+  QueryId b = store.Append(
+      BuildRecordFromText("SELECT * FROM CityLocations", "u", 2));
+  EXPECT_EQ(store.QueriesUsingTable("watertemp"),
+            (std::vector<QueryId>{a}));
+  EXPECT_EQ(store.QueriesUsingTable("WATERTEMP"),
+            (std::vector<QueryId>{a}));  // case-insensitive
+  EXPECT_EQ(store.QueriesUsingTable("citylocations"),
+            (std::vector<QueryId>{b}));
+  EXPECT_EQ(store.QueriesUsingAttribute("watertemp", "temp"),
+            (std::vector<QueryId>{a}));
+  EXPECT_TRUE(store.QueriesUsingTable("nope").empty());
+}
+
+TEST(QueryStoreTest, KeywordIndexDeduplicatesWithinQuery) {
+  QueryStore store;
+  QueryId a =
+      store.Append(BuildRecordFromText("SELECT temp, temp FROM t", "u", 1));
+  EXPECT_EQ(store.QueriesWithKeyword("temp"), (std::vector<QueryId>{a}));
+}
+
+TEST(QueryStoreTest, PopularityCountsCanonicalDuplicates) {
+  QueryStore store;
+  QueryId a = store.Append(BuildRecordFromText("SELECT * FROM t", "u", 1));
+  store.Append(BuildRecordFromText("select * from T", "v", 2));
+  store.Append(BuildRecordFromText("SELECT  *  FROM  t", "w", 3));
+  EXPECT_EQ(store.PopularityOf(store.Get(a)->fingerprint), 3u);
+}
+
+TEST(QueryStoreTest, SkeletonIndexGroupsConstantVariants) {
+  QueryStore store;
+  QueryId a = store.Append(
+      BuildRecordFromText("SELECT * FROM t WHERE x < 22", "u", 1));
+  QueryId b = store.Append(
+      BuildRecordFromText("SELECT * FROM t WHERE x < 18", "u", 2));
+  EXPECT_EQ(store.QueriesWithSkeleton(store.Get(a)->skeleton_fingerprint),
+            (std::vector<QueryId>{a, b}));
+}
+
+TEST(QueryStoreTest, FlagsAndSessionAndQuality) {
+  QueryStore store;
+  QueryId id = store.Append(BuildRecordFromText("SELECT 1", "u", 1));
+  ASSERT_TRUE(store.AddFlag(id, kFlagStatsStale).ok());
+  EXPECT_TRUE(store.Get(id)->HasFlag(kFlagStatsStale));
+  ASSERT_TRUE(store.ClearFlag(id, kFlagStatsStale).ok());
+  EXPECT_FALSE(store.Get(id)->HasFlag(kFlagStatsStale));
+  ASSERT_TRUE(store.SetSession(id, 7).ok());
+  EXPECT_EQ(store.Get(id)->session_id, 7);
+  ASSERT_TRUE(store.SetQuality(id, 2.0).ok());  // clamped
+  EXPECT_DOUBLE_EQ(store.Get(id)->quality, 1.0);
+  EXPECT_FALSE(store.AddFlag(99, kFlagStatsStale).ok());
+}
+
+TEST(QueryStoreTest, DeleteRequiresOwnerOrAdmin) {
+  QueryStore store;
+  QueryId id = store.Append(BuildRecordFromText("SELECT 1", "alice", 1));
+  EXPECT_EQ(store.Delete(id, "mallory").code(), StatusCode::kPermissionDenied);
+  EXPECT_TRUE(store.Delete(id, "mallory", /*is_admin=*/true).ok());
+  EXPECT_TRUE(store.Get(id)->HasFlag(kFlagDeleted));
+  EXPECT_FALSE(store.Visible("alice", id));  // deleted hides from everyone
+}
+
+TEST(AccessControlTest, GroupVisibilityRules) {
+  QueryStore store;
+  store.acl().AddUser("alice", {"oceans"});
+  store.acl().AddUser("bob", {"oceans", "lakes"});
+  store.acl().AddUser("carol", {"astro"});
+  QueryId id = store.Append(BuildRecordFromText("SELECT 1", "alice", 1));
+
+  // Default visibility is kGroup.
+  EXPECT_TRUE(store.Visible("alice", id));
+  EXPECT_TRUE(store.Visible("bob", id));
+  EXPECT_FALSE(store.Visible("carol", id));
+
+  // Private: owner only.
+  ASSERT_TRUE(store.acl().SetVisibility(id, "alice", "alice",
+                                        Visibility::kPrivate).ok());
+  EXPECT_FALSE(store.Visible("bob", id));
+  EXPECT_TRUE(store.Visible("alice", id));
+
+  // Public: everyone.
+  ASSERT_TRUE(store.acl().SetVisibility(id, "alice", "alice",
+                                        Visibility::kPublic).ok());
+  EXPECT_TRUE(store.Visible("carol", id));
+
+  // Only the owner may change visibility.
+  EXPECT_EQ(store.acl().SetVisibility(id, "alice", "bob",
+                                      Visibility::kPrivate).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(AccessControlTest, VisibleIdsFiltersWholeLog) {
+  QueryStore store;
+  store.acl().AddUser("alice", {"g1"});
+  store.acl().AddUser("eve", {"g2"});
+  store.Append(BuildRecordFromText("SELECT 1", "alice", 1));
+  store.Append(BuildRecordFromText("SELECT 2", "alice", 2));
+  EXPECT_EQ(store.VisibleIds("alice").size(), 2u);
+  EXPECT_TRUE(store.VisibleIds("eve").empty());
+}
+
+TEST(QueryStoreTest, FeatureRelationsAreQueryable) {
+  QueryStore store;
+  store.Append(BuildRecordFromText(
+      "SELECT S.salinity, T.temp FROM WaterSalinity S, WaterTemp T "
+      "WHERE S.loc_x = T.loc_x AND T.temp < 18",
+      "alice", 1));
+  store.Append(BuildRecordFromText("SELECT * FROM CityLocations", "bob", 2));
+
+  // The Figure-1 meta-query, almost verbatim.
+  auto result = store.feature_db().ExecuteSql(
+      "SELECT Q.qid, Q.qtext FROM Queries Q, Attributes A1, Attributes A2 "
+      "WHERE Q.qid = A1.qid AND Q.qid = A2.qid "
+      "AND A1.attrname = 'salinity' AND A1.relname = 'watersalinity' "
+      "AND A2.attrname = 'temp' AND A2.relname = 'watertemp'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].AsInt(), 0);
+}
+
+TEST(QueryStoreTest, RewriteQueryTextRebuildsEverything) {
+  QueryStore store;
+  QueryId id = store.Append(
+      BuildRecordFromText("SELECT temp FROM OldName WHERE temp < 9", "u", 1));
+  ASSERT_TRUE(store.RewriteQueryText(id, "SELECT temp FROM NewName WHERE temp < 9")
+                  .ok());
+  const QueryRecord* r = store.Get(id);
+  EXPECT_EQ(r->components.tables, (std::vector<std::string>{"newname"}));
+  EXPECT_EQ(r->user, "u");
+  EXPECT_EQ(r->timestamp, 1);
+  // Feature relations: old table gone, new present.
+  auto rows = store.feature_db().ExecuteSql(
+      "SELECT relname FROM DataSources WHERE qid = 0");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0].AsString(), "newname");
+  // Rewrite to unparsable text is rejected.
+  EXPECT_FALSE(store.RewriteQueryText(id, "SELEKT").ok());
+}
+
+TEST(PersistenceTest, SaveLoadRoundTrip) {
+  QueryStore store;
+  store.acl().AddUser("alice", {"oceans", "lakes"});
+  QueryId a = store.Append(BuildRecordFromText(
+      "SELECT * FROM WaterTemp WHERE temp < 18 -- probe", "alice", 1000));
+  store.Append(BuildRecordFromText("SELEKT broken", "bob", 2000));
+  ASSERT_TRUE(store.SetSession(a, 3).ok());
+  ASSERT_TRUE(store.SetQuality(a, 0.75).ok());
+  ASSERT_TRUE(store.AddFlag(a, kFlagRepaired).ok());
+  Annotation note;
+  note.author = "alice";
+  note.timestamp = 1500;
+  note.text = "my favorite lake probe, with 'quotes' and\nnewlines";
+  note.fragment = "temp < 18";
+  ASSERT_TRUE(store.Annotate(a, note).ok());
+  ASSERT_TRUE(
+      store.acl().SetVisibility(a, "alice", "alice", Visibility::kPublic).ok());
+  QueryRecord* rec = store.GetMutable(a);
+  rec->stats.execution_micros = 4242;
+  rec->stats.result_rows = 17;
+  rec->stats.rows_scanned = 100;
+
+  std::string path = ::testing::TempDir() + "/cqms_snapshot_test.log";
+  ASSERT_TRUE(SaveSnapshot(store, path).ok());
+
+  QueryStore loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, path).ok());
+  ASSERT_EQ(loaded.size(), 2u);
+  const QueryRecord* lr = loaded.Get(a);
+  EXPECT_EQ(lr->text, store.Get(a)->text);
+  EXPECT_EQ(lr->user, "alice");
+  EXPECT_EQ(lr->timestamp, 1000);
+  EXPECT_EQ(lr->session_id, 3);
+  EXPECT_DOUBLE_EQ(lr->quality, 0.75);
+  EXPECT_TRUE(lr->HasFlag(kFlagRepaired));
+  EXPECT_EQ(lr->stats.execution_micros, 4242);
+  EXPECT_EQ(lr->stats.result_rows, 17u);
+  ASSERT_EQ(lr->annotations.size(), 1u);
+  EXPECT_EQ(lr->annotations[0].text, note.text);
+  EXPECT_EQ(lr->annotations[0].fragment, "temp < 18");
+  // Indexes rebuilt.
+  EXPECT_EQ(loaded.QueriesUsingTable("watertemp").size(), 1u);
+  // ACL restored.
+  EXPECT_EQ(loaded.acl().GetVisibility(a), Visibility::kPublic);
+  EXPECT_TRUE(loaded.acl().GroupsOf("alice").count("lakes") > 0);
+  // Parse-failed record survives.
+  EXPECT_TRUE(loaded.Get(1)->parse_failed());
+}
+
+TEST(PersistenceTest, LoadRejectsNonEmptyStoreAndBadFiles) {
+  QueryStore store;
+  store.Append(BuildRecordFromText("SELECT 1", "u", 1));
+  EXPECT_EQ(LoadSnapshot(&store, "/nonexistent").code(),
+            StatusCode::kInvalidArgument);
+  QueryStore empty;
+  EXPECT_EQ(LoadSnapshot(&empty, "/nonexistent/x").code(), StatusCode::kIoError);
+}
+
+TEST(ProfilerIntegrationTest, ProfilerPopulatesStore) {
+  Harness h;
+  storage::QueryId id =
+      h.Log("alice", "SELECT lake, temp FROM WaterTemp WHERE temp < 18");
+  ASSERT_NE(id, kInvalidQueryId);
+  const QueryRecord* r = h.store.Get(id);
+  EXPECT_TRUE(r->stats.succeeded);
+  EXPECT_GT(r->stats.result_rows, 0u);
+  EXPECT_GT(r->stats.rows_scanned, 0u);
+  EXPECT_FALSE(r->summary.column_names.empty());
+}
+
+}  // namespace
+}  // namespace cqms::storage

@@ -1,0 +1,44 @@
+#ifndef CQMS_TESTS_TEST_UTIL_H_
+#define CQMS_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "db/database.h"
+#include "profiler/query_profiler.h"
+#include "storage/query_store.h"
+#include "storage/record_builder.h"
+#include "workload/synthetic.h"
+
+namespace cqms::testing_util {
+
+/// A ready-to-use CQMS substrate: populated lake database, query store,
+/// simulated clock and profiler. Tests drive the profiler directly or
+/// append hand-built records.
+struct Harness {
+  SimulatedClock clock{1'000'000};
+  db::Database database{&clock};
+  storage::QueryStore store;
+  std::unique_ptr<profiler::QueryProfiler> profiler;
+
+  explicit Harness(size_t rows_per_table = 200) {
+    Status s = workload::PopulateLakeDatabase(&database, rows_per_table);
+    (void)s;
+    profiler = std::make_unique<profiler::QueryProfiler>(&database, &store,
+                                                         &clock);
+  }
+
+  /// Executes and logs a query as `user`, advancing the clock by
+  /// `advance` afterwards. Returns the logged id.
+  storage::QueryId Log(const std::string& user, const std::string& sql,
+                       Micros advance = 10 * kMicrosPerSecond) {
+    profiler::ProfiledExecution e = profiler->ExecuteAndProfile(sql, user);
+    clock.Advance(advance);
+    return e.query_id;
+  }
+};
+
+}  // namespace cqms::testing_util
+
+#endif  // CQMS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+
+namespace cqms::workload {
+namespace {
+
+TEST(PopulateTest, CreatesAllTablesWithData) {
+  db::Database db;
+  ASSERT_TRUE(PopulateLakeDatabase(&db, 100).ok());
+  for (const char* table : {"WaterTemp", "WaterSalinity", "CityLocations",
+                            "Sensors", "Readings", "Species"}) {
+    const db::Table* t = db.GetTable(table);
+    ASSERT_NE(t, nullptr) << table;
+    EXPECT_GT(t->num_rows(), 0u) << table;
+  }
+  EXPECT_EQ(db.GetTable("WaterTemp")->num_rows(), 100u);
+}
+
+TEST(PopulateTest, DeterministicForSeed) {
+  db::Database a, b;
+  ASSERT_TRUE(PopulateLakeDatabase(&a, 50, 9).ok());
+  ASSERT_TRUE(PopulateLakeDatabase(&b, 50, 9).ok());
+  auto ra = a.ExecuteSql("SELECT * FROM WaterTemp ORDER BY loc_x, loc_y, temp");
+  auto rb = b.ExecuteSql("SELECT * FROM WaterTemp ORDER BY loc_x, loc_y, temp");
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ(ra->rows.size(), rb->rows.size());
+  for (size_t i = 0; i < ra->rows.size(); ++i) {
+    EXPECT_EQ(db::RowToString(ra->rows[i]), db::RowToString(rb->rows[i]));
+  }
+}
+
+TEST(GenerateLogTest, ProducesSessionsWithGroundTruth) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  ASSERT_TRUE(PopulateLakeDatabase(&db, 100).ok());
+  storage::QueryStore store;
+  profiler::QueryProfiler profiler(&db, &store, &clock);
+
+  WorkloadOptions opts;
+  opts.num_sessions = 10;
+  opts.typo_rate = 0.1;
+  RegisterUsers(&store, opts);
+  GroundTruth truth = GenerateLog(&profiler, &store, &clock, opts);
+
+  EXPECT_EQ(truth.sessions.size(), 10u);
+  EXPECT_EQ(store.size(), truth.queries_generated);
+  EXPECT_GT(truth.queries_generated, 10u * opts.min_session_length - 1);
+  // Every logged query has a ground-truth session.
+  for (const auto& r : store.records()) {
+    EXPECT_TRUE(truth.session_of.count(r.id) > 0) << r.id;
+  }
+  // Most queries parse and run.
+  size_t failed = 0;
+  for (const auto& r : store.records()) {
+    if (!r.stats.succeeded) ++failed;
+  }
+  EXPECT_EQ(failed, truth.typos_generated);
+  EXPECT_LT(failed, store.size() / 2);
+}
+
+TEST(GenerateLogTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    SimulatedClock clock(0);
+    db::Database db(&clock);
+    Status s = PopulateLakeDatabase(&db, 50);
+    storage::QueryStore store;
+    profiler::QueryProfiler profiler(&db, &store, &clock);
+    WorkloadOptions opts;
+    opts.num_sessions = 5;
+    opts.seed = seed;
+    GenerateLog(&profiler, &store, &clock, opts);
+    std::string all;
+    for (const auto& r : store.records()) all += r.text + "\n";
+    return all;
+  };
+  EXPECT_EQ(run(3), run(3));
+  EXPECT_NE(run(3), run(4));
+}
+
+TEST(GenerateLogTest, SessionsAreTemporallySeparated) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  ASSERT_TRUE(PopulateLakeDatabase(&db, 50).ok());
+  storage::QueryStore store;
+  profiler::QueryProfiler profiler(&db, &store, &clock);
+  WorkloadOptions opts;
+  opts.num_sessions = 6;
+  opts.typo_rate = 0;
+  GroundTruth truth = GenerateLog(&profiler, &store, &clock, opts);
+
+  // Within a session: gaps below the generator's max think time; between
+  // two sessions of the same user: at least session_gap.
+  for (const auto& session : truth.sessions) {
+    for (size_t i = 1; i < session.size(); ++i) {
+      Micros gap = store.Get(session[i])->timestamp -
+                   store.Get(session[i - 1])->timestamp;
+      EXPECT_LE(gap, opts.max_think_time);
+      EXPECT_GE(gap, opts.min_think_time);
+    }
+  }
+}
+
+TEST(GenerateLogTest, QueriesSpreadAcrossUsers) {
+  SimulatedClock clock(0);
+  db::Database db(&clock);
+  ASSERT_TRUE(PopulateLakeDatabase(&db, 50).ok());
+  storage::QueryStore store;
+  profiler::QueryProfiler profiler(&db, &store, &clock);
+  WorkloadOptions opts;
+  opts.num_sessions = 20;
+  RegisterUsers(&store, opts);
+  GenerateLog(&profiler, &store, &clock, opts);
+  std::set<std::string> users;
+  for (const auto& r : store.records()) users.insert(r.user);
+  EXPECT_GT(users.size(), 2u);
+  // Registered users carry group memberships.
+  for (const std::string& u : users) {
+    EXPECT_FALSE(store.acl().GroupsOf(u).empty()) << u;
+  }
+}
+
+}  // namespace
+}  // namespace cqms::workload
