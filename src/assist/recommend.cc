@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
+#include "common/sorted_vector.h"
 #include "sql/diff.h"
 #include "storage/record_builder.h"
 
@@ -11,14 +13,17 @@ namespace cqms::assist {
 namespace {
 
 /// Skeleton fingerprints of every query a user has issued — a cheap
-/// signature of their "session patterns".
-std::set<uint64_t> UserSkeletons(const storage::QueryStore& store,
-                                 const std::string& user) {
-  std::set<uint64_t> out;
+/// signature of their "session patterns". Sorted and deduplicated so
+/// overlap checks are a linear merge, not set lookups.
+std::vector<uint64_t> UserSkeletons(const storage::QueryStore& store,
+                                    const std::string& user) {
+  std::vector<uint64_t> out;
+  out.reserve(store.QueriesByUser(user).size());
   for (storage::QueryId id : store.QueriesByUser(user)) {
     const storage::QueryRecord* r = store.Get(id);
-    if (r != nullptr && !r->parse_failed()) out.insert(r->skeleton_fingerprint);
+    if (r != nullptr && !r->parse_failed()) out.push_back(r->skeleton_fingerprint);
   }
+  SortUnique(&out);
   return out;
 }
 
@@ -31,7 +36,8 @@ RecommendationEngine::RecommendationEngine(const storage::QueryStore* store,
 Result<std::vector<Recommendation>> RecommendationEngine::Recommend(
     const std::string& viewer, const std::string& sql_text, size_t k,
     const RecommendOptions& options) const {
-  storage::QueryRecord probe = storage::BuildRecordFromText(sql_text, viewer, 0);
+  storage::QueryRecord probe = storage::BuildRecordFromText(
+      sql_text, viewer, 0, storage::SignatureMode::kTransient);
   if (probe.parse_failed()) {
     return Status::ParseError("cannot recommend for unparsable text: " +
                               probe.stats.error);
@@ -41,7 +47,8 @@ Result<std::vector<Recommendation>> RecommendationEngine::Recommend(
   std::vector<metaquery::Neighbor> neighbors = metaquery::KnnSearch(
       *store_, viewer, probe, k * 4 + 8, options.weights, options.ranking);
 
-  std::set<uint64_t> viewer_skeletons;
+  std::vector<uint64_t> viewer_skeletons;
+  std::unordered_map<std::string, std::vector<uint64_t>> author_skeletons;
   if (options.restrict_to_similar_sessions) {
     viewer_skeletons = UserSkeletons(*store_, viewer);
   }
@@ -56,16 +63,11 @@ Result<std::vector<Recommendation>> RecommendationEngine::Recommend(
       continue;
     }
     if (options.restrict_to_similar_sessions && r->user != viewer) {
-      // Keep only authors whose history shares a skeleton with the viewer.
-      std::set<uint64_t> author_skeletons = UserSkeletons(*store_, r->user);
-      bool overlap = false;
-      for (uint64_t fp : author_skeletons) {
-        if (viewer_skeletons.count(fp) > 0) {
-          overlap = true;
-          break;
-        }
-      }
-      if (!overlap) continue;
+      // Keep only authors whose history shares a skeleton with the viewer;
+      // each author's history is collected and sorted at most once.
+      auto [it, inserted] = author_skeletons.try_emplace(r->user);
+      if (inserted) it->second = UserSkeletons(*store_, r->user);
+      if (!SortedIntersects(it->second, viewer_skeletons)) continue;
     }
     Recommendation rec;
     rec.id = n.id;

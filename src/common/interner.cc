@@ -1,0 +1,37 @@
+#include "common/interner.h"
+
+namespace cqms {
+
+Symbol StringInterner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  strings_.emplace_back(s);
+  Symbol id = static_cast<Symbol>(strings_.size() - 1);
+  ids_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+Symbol StringInterner::Find(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+std::string_view StringInterner::NameOf(Symbol id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= strings_.size()) return {};
+  return strings_[id];
+}
+
+size_t StringInterner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
+}
+
+StringInterner& GlobalInterner() {
+  static StringInterner* interner = new StringInterner();
+  return *interner;
+}
+
+}  // namespace cqms

@@ -1,0 +1,61 @@
+#ifndef CQMS_COMMON_INTERNER_H_
+#define CQMS_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cqms {
+
+/// Dense id assigned to an interned string. Ids are assigned in first-seen
+/// order starting at 0 and never reused, so they are stable for the
+/// lifetime of the interner and safe to store in sorted signature vectors.
+using Symbol = uint32_t;
+
+/// Sentinel returned by Find() for strings never interned.
+constexpr Symbol kInvalidSymbol = 0xFFFFFFFFu;
+
+/// A bijective string <-> Symbol table. Interning happens once per logged
+/// query (at profile/append time); the hot similarity paths then compare
+/// Symbols instead of strings, so a pairwise comparison allocates nothing.
+///
+/// Thread-safe: all methods take an internal mutex. Interned strings are
+/// stored in a deque so string_views handed out by NameOf() stay valid
+/// across further interning.
+class StringInterner {
+ public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the id of `s`, interning it first if unseen.
+  Symbol Intern(std::string_view s);
+
+  /// Returns the id of `s` or kInvalidSymbol when it was never interned.
+  /// Never inserts — use for lookups driven by untrusted input (e.g.
+  /// keyword search) so probes cannot grow the table.
+  Symbol Find(std::string_view s) const;
+
+  /// The string behind an id; empty view for unknown ids.
+  std::string_view NameOf(Symbol id) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> strings_;
+  /// Keys are views into strings_ (stable because deque never relocates).
+  std::unordered_map<std::string_view, Symbol> ids_;
+};
+
+/// The process-wide interner shared by every QueryStore and signature.
+/// Sharing one table means signatures from different stores (and transient
+/// probe records) are directly comparable.
+StringInterner& GlobalInterner();
+
+}  // namespace cqms
+
+#endif  // CQMS_COMMON_INTERNER_H_

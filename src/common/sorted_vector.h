@@ -1,0 +1,35 @@
+#ifndef CQMS_COMMON_SORTED_VECTOR_H_
+#define CQMS_COMMON_SORTED_VECTOR_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace cqms {
+
+/// Sorts and deduplicates in place — turns an arbitrary vector into the
+/// sorted-set representation the similarity signatures and skeleton
+/// overlap checks compare with linear merges.
+template <typename T>
+void SortUnique(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+/// True when two sorted vectors share at least one element.
+template <typename T>
+bool SortedIntersects(const std::vector<T>& a, const std::vector<T>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace cqms
+
+#endif  // CQMS_COMMON_SORTED_VECTOR_H_

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "profiler/output_summarizer.h"
+#include "storage/record_builder.h"
 
 namespace cqms::maintain {
 
@@ -147,6 +148,9 @@ MaintenanceReport QueryMaintenance::RefreshStatistics() {
     r->stats.rows_scanned = exec->rows_scanned;
     r->stats.plan = exec->plan;
     r->summary = profiler::SummarizeOutput(*exec, r->stats.execution_micros);
+    // The cached signature hashes the output sample; rebuild that part so
+    // the similarity fast path sees the refreshed rows.
+    storage::UpdateOutputSignature(r);
     Status s = store_->ClearFlag(id, storage::kFlagStatsStale);
     (void)s;
     ++report.stats_refreshed;

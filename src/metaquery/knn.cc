@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <numeric>
 
 #include "storage/record_builder.h"
 
@@ -13,27 +13,25 @@ std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
                                 const storage::QueryRecord& probe, size_t k,
                                 const SimilarityWeights& weights,
                                 const RankingOptions& ranking) {
-  // Candidate generation.
-  std::set<storage::QueryId> candidates;
+  // Candidate generation: the store's posting lists are sorted, so the
+  // union is a flat merge (QueriesUsingAnyTable) instead of a std::set.
+  std::vector<storage::QueryId> candidates;
   if (!probe.parse_failed() && !probe.components.tables.empty()) {
-    for (const std::string& t : probe.components.tables) {
-      for (storage::QueryId id : store.QueriesUsingTable(t)) {
-        candidates.insert(id);
-      }
-    }
+    candidates = store.QueriesUsingAnyTable(probe.components.tables);
   } else {
-    for (const auto& r : store.records()) candidates.insert(r.id);
+    candidates.resize(store.size());
+    std::iota(candidates.begin(), candidates.end(), storage::QueryId{0});
   }
 
-  Micros max_ts = 1;
-  for (const auto& r : store.records()) max_ts = std::max(max_ts, r.timestamp);
+  // Maintained by QueryStore::Append — no per-call log scan.
+  Micros max_ts = std::max<Micros>(1, store.max_timestamp());
 
+  storage::VisibilityCache visibility(store, viewer);
   std::vector<Neighbor> scored;
   scored.reserve(candidates.size());
   for (storage::QueryId id : candidates) {
-    if (!store.Visible(viewer, id)) continue;
     const storage::QueryRecord* r = store.Get(id);
-    if (r == nullptr) continue;
+    if (r == nullptr || !visibility.Visible(*r)) continue;
     if (ranking.exclude_flagged &&
         (r->HasFlag(storage::kFlagSchemaBroken) ||
          r->HasFlag(storage::kFlagObsolete))) {
@@ -69,7 +67,8 @@ Result<std::vector<Neighbor>> KnnSearchText(const storage::QueryStore& store,
                                             const std::string& sql_text, size_t k,
                                             const SimilarityWeights& weights,
                                             const RankingOptions& ranking) {
-  storage::QueryRecord probe = storage::BuildRecordFromText(sql_text, viewer, 0);
+  storage::QueryRecord probe = storage::BuildRecordFromText(
+      sql_text, viewer, 0, storage::SignatureMode::kTransient);
   if (probe.parse_failed()) {
     return Status::ParseError("probe query does not parse: " + probe.stats.error);
   }

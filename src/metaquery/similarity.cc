@@ -37,6 +37,30 @@ std::set<std::string> AttributeSet(const sql::QueryComponents& c) {
 
 }  // namespace
 
+double FeatureSimilarity(const storage::SimilaritySignature& a,
+                         const storage::SimilaritySignature& b) {
+  double tables = SortedJaccard(a.tables, b.tables);
+  double preds = SortedJaccard(a.predicate_skeletons, b.predicate_skeletons);
+  double attrs = SortedJaccard(a.attributes, b.attributes);
+  double projs = SortedJaccard(a.projections, b.projections);
+  return 0.35 * tables + 0.30 * preds + 0.20 * attrs + 0.15 * projs;
+}
+
+double TextSimilarity(const storage::SimilaritySignature& a,
+                      const storage::SimilaritySignature& b) {
+  return SortedJaccard(a.text_tokens, b.text_tokens);
+}
+
+double OutputSimilarity(const storage::SimilaritySignature& a,
+                        const storage::SimilaritySignature& b) {
+  if (a.output_rows.empty() && b.output_rows.empty()) {
+    if (a.output_empty_computed && b.output_empty_computed) return 1.0;
+    return -1.0;
+  }
+  if (a.output_rows.empty() || b.output_rows.empty()) return -1.0;
+  return SortedJaccard(a.output_rows, b.output_rows);
+}
+
 double FeatureSimilarity(const sql::QueryComponents& a, const sql::QueryComponents& b) {
   std::set<std::string> ta(a.tables.begin(), a.tables.end());
   std::set<std::string> tb(b.tables.begin(), b.tables.end());
@@ -75,6 +99,32 @@ double OutputSimilarity(const storage::OutputSummary& a,
 
 double CombinedSimilarity(const storage::QueryRecord& a, const storage::QueryRecord& b,
                           const SimilarityWeights& weights) {
+  if (!a.signature.valid || !b.signature.valid) {
+    return CombinedSimilarityReference(a, b, weights);
+  }
+  double total_weight = 0;
+  double total = 0;
+  if (!a.parse_failed() && !b.parse_failed() && weights.feature > 0) {
+    total += weights.feature * FeatureSimilarity(a.signature, b.signature);
+    total_weight += weights.feature;
+  }
+  if (weights.text > 0) {
+    total += weights.text * TextSimilarity(a.signature, b.signature);
+    total_weight += weights.text;
+  }
+  if (weights.output > 0) {
+    double out_sim = OutputSimilarity(a.signature, b.signature);
+    if (out_sim >= 0) {
+      total += weights.output * out_sim;
+      total_weight += weights.output;
+    }
+  }
+  return total_weight == 0 ? 0 : total / total_weight;
+}
+
+double CombinedSimilarityReference(const storage::QueryRecord& a,
+                                   const storage::QueryRecord& b,
+                                   const SimilarityWeights& weights) {
   double total_weight = 0;
   double total = 0;
   if (!a.parse_failed() && !b.parse_failed() && weights.feature > 0) {

@@ -17,6 +17,48 @@ struct SimilarityWeights {
   double output = 0.2;   ///< Output-sample overlap (semantic, black-box).
 };
 
+/// Jaccard over two sorted, deduplicated vectors via a single linear
+/// merge — the allocation-free kernel every signature measure shares.
+/// Both-empty pairs score 1.0 (matching the string-set reference path).
+template <typename T>
+double SortedJaccard(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+// --- signature fast path ---------------------------------------------------
+// These overloads operate on the precomputed, interned SimilaritySignature
+// and perform no allocations; they are the kNN / clustering inner loop.
+// Scores are identical to the string-based reference overloads below
+// (asserted to 1e-12 by similarity_signature_test).
+
+/// Feature overlap on interned sorted vectors.
+double FeatureSimilarity(const storage::SimilaritySignature& a,
+                         const storage::SimilaritySignature& b);
+
+/// Token overlap on interned sorted vectors.
+double TextSimilarity(const storage::SimilaritySignature& a,
+                      const storage::SimilaritySignature& b);
+
+/// Output-sample overlap on sorted row hashes; -1 when unavailable.
+double OutputSimilarity(const storage::SimilaritySignature& a,
+                        const storage::SimilaritySignature& b);
+
+// --- string-based reference path -------------------------------------------
+
 /// Jaccard-style overlap of syntactic features: tables, predicate
 /// skeletons, referenced attributes and projections. In [0, 1].
 double FeatureSimilarity(const sql::QueryComponents& a, const sql::QueryComponents& b);
@@ -31,9 +73,17 @@ double TextSimilarity(const storage::QueryRecord& a, const storage::QueryRecord&
 double OutputSimilarity(const storage::OutputSummary& a, const storage::OutputSummary& b);
 
 /// Weighted combination; skips (and renormalizes away) measures that are
-/// unavailable for this pair. In [0, 1].
+/// unavailable for this pair. In [0, 1]. Dispatches to the signature fast
+/// path when both records carry a valid signature (always true for logged
+/// and probe records), else falls back to CombinedSimilarityReference.
 double CombinedSimilarity(const storage::QueryRecord& a, const storage::QueryRecord& b,
                           const SimilarityWeights& weights = {});
+
+/// The string-based combination, kept as the ground-truth reference for
+/// equivalence tests and for records without signatures.
+double CombinedSimilarityReference(const storage::QueryRecord& a,
+                                   const storage::QueryRecord& b,
+                                   const SimilarityWeights& weights = {});
 
 /// Structural distance in "number of edits" between two queries,
 /// normalized to [0, 1] by the total component count. 0 = identical

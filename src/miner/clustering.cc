@@ -18,11 +18,14 @@ class DistanceMatrix {
                  const std::vector<storage::QueryId>& ids,
                  const metaquery::SimilarityWeights& weights)
       : n_(ids.size()), data_(n_ * n_, 0) {
+    // Resolve ids once; the O(n^2) loop below then runs entirely on the
+    // records' precomputed similarity signatures.
+    std::vector<const storage::QueryRecord*> records(n_);
+    for (size_t i = 0; i < n_; ++i) records[i] = store.Get(ids[i]);
     for (size_t i = 0; i < n_; ++i) {
-      const auto* a = store.Get(ids[i]);
       for (size_t j = i + 1; j < n_; ++j) {
-        const auto* b = store.Get(ids[j]);
-        double d = 1.0 - metaquery::CombinedSimilarity(*a, *b, weights);
+        double d =
+            1.0 - metaquery::CombinedSimilarity(*records[i], *records[j], weights);
         data_[i * n_ + j] = d;
         data_[j * n_ + i] = d;
       }

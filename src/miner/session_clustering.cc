@@ -4,17 +4,25 @@
 #include <map>
 #include <set>
 
+#include "common/sorted_vector.h"
+#include "metaquery/similarity.h"
+
 namespace cqms::miner {
 
 namespace {
 
-std::set<uint64_t> SessionSkeletons(const storage::QueryStore& store,
-                                    const Session& session) {
-  std::set<uint64_t> out;
+/// Sorted, deduplicated skeleton fingerprints of a session's queries —
+/// the allocation-light replacement for a std::set, compared with the
+/// same linear merge the similarity signatures use.
+std::vector<uint64_t> SessionSkeletons(const storage::QueryStore& store,
+                                       const Session& session) {
+  std::vector<uint64_t> out;
+  out.reserve(session.queries.size());
   for (storage::QueryId id : session.queries) {
     const storage::QueryRecord* r = store.Get(id);
-    if (r != nullptr && !r->parse_failed()) out.insert(r->skeleton_fingerprint);
+    if (r != nullptr && !r->parse_failed()) out.push_back(r->skeleton_fingerprint);
   }
+  SortUnique(&out);
   return out;
 }
 
@@ -22,18 +30,10 @@ std::set<uint64_t> SessionSkeletons(const storage::QueryStore& store,
 
 double SessionSimilarity(const storage::QueryStore& store, const Session& a,
                          const Session& b) {
-  std::set<uint64_t> sa = SessionSkeletons(store, a);
-  std::set<uint64_t> sb = SessionSkeletons(store, b);
-  if (sa.empty() && sb.empty()) return 1.0;
-  if (sa.empty() || sb.empty()) return 0.0;
-  size_t inter = 0;
-  const auto& small = sa.size() <= sb.size() ? sa : sb;
-  const auto& large = sa.size() <= sb.size() ? sb : sa;
-  for (uint64_t fp : small) {
-    if (large.count(fp) > 0) ++inter;
-  }
-  size_t uni = sa.size() + sb.size() - inter;
-  return static_cast<double>(inter) / static_cast<double>(uni);
+  // SortedJaccard scores both-empty pairs 1.0 and one-empty pairs 0.0,
+  // which is exactly the session-similarity edge policy.
+  return metaquery::SortedJaccard(SessionSkeletons(store, a),
+                                  SessionSkeletons(store, b));
 }
 
 int SessionClustering::ClusterOfIndex(size_t i) const {
@@ -52,8 +52,8 @@ SessionClustering ClusterSessions(const storage::QueryStore& store,
   const size_t n = sessions.size();
   if (n == 0) return out;
 
-  // Precompute skeleton sets once; union-find over the threshold graph.
-  std::vector<std::set<uint64_t>> skeletons(n);
+  // Precompute skeleton vectors once; union-find over the threshold graph.
+  std::vector<std::vector<uint64_t>> skeletons(n);
   for (size_t i = 0; i < n; ++i) {
     skeletons[i] = SessionSkeletons(store, sessions[i]);
   }
@@ -66,23 +66,12 @@ SessionClustering ClusterSessions(const storage::QueryStore& store,
     }
     return x;
   };
-  auto jaccard = [&](size_t i, size_t j) {
-    const auto& a = skeletons[i];
-    const auto& b = skeletons[j];
-    if (a.empty() && b.empty()) return 1.0;
-    if (a.empty() || b.empty()) return 0.0;
-    size_t inter = 0;
-    const auto& small = a.size() <= b.size() ? a : b;
-    const auto& large = a.size() <= b.size() ? b : a;
-    for (uint64_t fp : small) {
-      if (large.count(fp) > 0) ++inter;
-    }
-    return static_cast<double>(inter) /
-           static_cast<double>(a.size() + b.size() - inter);
-  };
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
-      if (1.0 - jaccard(i, j) <= max_distance) parent[find(i)] = find(j);
+      if (1.0 - metaquery::SortedJaccard(skeletons[i], skeletons[j]) <=
+          max_distance) {
+        parent[find(i)] = find(j);
+      }
     }
   }
   std::map<size_t, std::vector<size_t>> components;

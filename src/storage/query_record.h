@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/interner.h"
 #include "db/value.h"
 #include "sql/ast.h"
 #include "sql/components.h"
@@ -46,6 +47,35 @@ struct OutputSummary {
   std::vector<db::Row> sample_rows;
   bool complete = false;   ///< sample_rows is the entire output.
   size_t budget_rows = 0;  ///< The budget the policy granted.
+};
+
+/// Precomputed, interned similarity features of one record. Every string
+/// set the similarity measures compare (tables, predicate skeletons,
+/// qualified attributes, projections, text tokens) is interned through
+/// the GlobalInterner() once at build/append time and stored as a sorted,
+/// deduplicated Symbol vector; output sample rows are stored as sorted
+/// 64-bit row hashes. Pairwise similarity then reduces to linear merges
+/// over these vectors — zero allocations and zero string compares per
+/// comparison. Invariant: each vector is sorted ascending with no
+/// duplicates, so set cardinalities (and hence Jaccard scores) match the
+/// string-set reference path exactly.
+struct SimilaritySignature {
+  std::vector<Symbol> tables;
+  std::vector<Symbol> predicate_skeletons;
+  std::vector<Symbol> attributes;   ///< Interned "rel.attr" strings.
+  std::vector<Symbol> projections;
+  std::vector<Symbol> text_tokens;  ///< ExtractWords() of the raw text.
+  std::vector<uint64_t> output_rows;  ///< Fnv1a64 of printed sample rows.
+  /// True when the output was computed and is known empty (total_rows == 0
+  /// with named columns) — the one case where two sample-less summaries
+  /// still compare as identical.
+  bool output_empty_computed = false;
+  bool valid = false;  ///< Set once the signature has been computed.
+  /// True for probe records whose unseen strings got hash-derived ids
+  /// instead of growing the global interner (see SignatureMode). Such a
+  /// signature is fine to compare against interned ones but must not be
+  /// stored: QueryStore::Append recomputes it in interned mode.
+  bool transient = false;
 };
 
 /// A user note attached to a whole query or a fragment of it (§2.1).
@@ -88,6 +118,10 @@ struct QueryRecord {
 
   RuntimeStats stats;
   OutputSummary summary;
+  /// Interned similarity features; computed in BuildRecordFromText for
+  /// probe records and (re)finalized by QueryStore::Append once the
+  /// profiler has attached the output summary.
+  SimilaritySignature signature;
   std::vector<Annotation> annotations;
 
   SessionId session_id = kInvalidSessionId;

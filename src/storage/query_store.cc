@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/sorted_vector.h"
 #include "common/string_util.h"
 #include "storage/record_builder.h"
 
@@ -13,6 +14,25 @@ using db::ColumnDef;
 using db::TableSchema;
 using db::Value;
 using db::ValueType;
+
+/// Inserts `id` into a posting list, keeping it sorted ascending and
+/// duplicate-free. Appends (O(1)) when `id` is the largest — the common
+/// case for freshly assigned ids — and falls back to a binary-search
+/// insert when re-indexing a rewritten record.
+void InsertSorted(std::vector<QueryId>* ids, QueryId id) {
+  if (ids->empty() || ids->back() < id) {
+    ids->push_back(id);
+    return;
+  }
+  auto it = std::lower_bound(ids->begin(), ids->end(), id);
+  if (it == ids->end() || *it != id) ids->insert(it, id);
+}
+
+/// Removes `id` from a sorted posting list if present.
+void EraseSorted(std::vector<QueryId>* ids, QueryId id) {
+  auto it = std::lower_bound(ids->begin(), ids->end(), id);
+  if (it != ids->end() && *it == id) ids->erase(it);
+}
 
 }  // namespace
 
@@ -45,6 +65,19 @@ QueryStore::QueryStore() {
 
 QueryId QueryStore::Append(QueryRecord record) {
   record.id = static_cast<QueryId>(records_.size());
+  // The profiler attaches the output summary after BuildRecordFromText,
+  // so the summary contribution is folded in here, where the record's
+  // features stop changing. Hand-built records (and text-only profiling)
+  // arrive without a signature, and transient probe signatures hold
+  // hash-derived ids the keyword index must not see — both get the full
+  // interned computation. Callers must not edit `text` between
+  // BuildRecordFromText and Append.
+  if (record.signature.valid && !record.signature.transient) {
+    UpdateOutputSignature(&record);
+  } else {
+    ComputeSimilaritySignature(&record);
+  }
+  max_timestamp_ = std::max(max_timestamp_, record.timestamp);
   records_.push_back(std::move(record));
   const QueryRecord& stored = records_.back();
   IndexRecord(stored);
@@ -54,19 +87,41 @@ QueryId QueryStore::Append(QueryRecord record) {
 
 void QueryStore::IndexRecord(const QueryRecord& record) {
   for (const std::string& t : record.components.tables) {
-    by_table_[t].push_back(record.id);
+    InsertSorted(&by_table_[t], record.id);
   }
   for (const auto& [rel, attr] : record.components.attributes) {
-    by_attribute_[rel + "." + attr].push_back(record.id);
+    InsertSorted(&by_attribute_[rel + "." + attr], record.id);
   }
-  by_user_[record.user].push_back(record.id);
-  for (const std::string& w : ExtractWords(record.text)) {
-    auto& ids = by_keyword_[w];
-    if (ids.empty() || ids.back() != record.id) ids.push_back(record.id);
+  InsertSorted(&by_user_[record.user], record.id);
+  // The signature's token vector is exactly the deduplicated
+  // ExtractWords(text), already interned — reuse it.
+  for (Symbol token : record.signature.text_tokens) {
+    InsertSorted(&by_keyword_[token], record.id);
   }
   if (!record.parse_failed()) {
-    by_skeleton_[record.skeleton_fingerprint].push_back(record.id);
-    by_fingerprint_[record.fingerprint].push_back(record.id);
+    InsertSorted(&by_skeleton_[record.skeleton_fingerprint], record.id);
+    InsertSorted(&by_fingerprint_[record.fingerprint], record.id);
+  }
+}
+
+void QueryStore::UnindexRecord(const QueryRecord& record) {
+  for (const std::string& t : record.components.tables) {
+    auto it = by_table_.find(t);
+    if (it != by_table_.end()) EraseSorted(&it->second, record.id);
+  }
+  for (const auto& [rel, attr] : record.components.attributes) {
+    auto it = by_attribute_.find(rel + "." + attr);
+    if (it != by_attribute_.end()) EraseSorted(&it->second, record.id);
+  }
+  for (Symbol token : record.signature.text_tokens) {
+    auto it = by_keyword_.find(token);
+    if (it != by_keyword_.end()) EraseSorted(&it->second, record.id);
+  }
+  if (!record.parse_failed()) {
+    auto it = by_skeleton_.find(record.skeleton_fingerprint);
+    if (it != by_skeleton_.end()) EraseSorted(&it->second, record.id);
+    auto fit = by_fingerprint_.find(record.fingerprint);
+    if (fit != by_fingerprint_.end()) EraseSorted(&fit->second, record.id);
   }
 }
 
@@ -111,6 +166,24 @@ const std::vector<QueryId>& QueryStore::QueriesUsingTable(
   return it == by_table_.end() ? empty_ : it->second;
 }
 
+std::vector<QueryId> QueryStore::QueriesUsingAnyTable(
+    const std::vector<std::string>& tables) const {
+  std::vector<QueryId> out;
+  if (tables.size() == 1) {
+    out = QueriesUsingTable(tables[0]);
+    return out;
+  }
+  size_t total = 0;
+  for (const std::string& t : tables) total += QueriesUsingTable(t).size();
+  out.reserve(total);
+  for (const std::string& t : tables) {
+    const std::vector<QueryId>& ids = QueriesUsingTable(t);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  SortUnique(&out);
+  return out;
+}
+
 const std::vector<QueryId>& QueryStore::QueriesUsingAttribute(
     const std::string& relation, const std::string& attribute) const {
   auto it = by_attribute_.find(ToLower(relation) + "." + ToLower(attribute));
@@ -124,7 +197,11 @@ const std::vector<QueryId>& QueryStore::QueriesByUser(const std::string& user) c
 
 const std::vector<QueryId>& QueryStore::QueriesWithKeyword(
     const std::string& word) const {
-  auto it = by_keyword_.find(ToLower(word));
+  // Find() never inserts, so probing for unseen words cannot grow the
+  // global interner.
+  Symbol token = GlobalInterner().Find(ToLower(word));
+  if (token == kInvalidSymbol) return empty_;
+  auto it = by_keyword_.find(token);
   return it == by_keyword_.end() ? empty_ : it->second;
 }
 
@@ -147,6 +224,9 @@ Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
   if (rebuilt.parse_failed()) {
     return Status::ParseError("repaired text does not parse: " + rebuilt.stats.error);
   }
+  // Purge index entries derived from the old text before replacing it,
+  // so the record is never findable under features it no longer has.
+  UnindexRecord(*r);
   r->text = std::move(rebuilt.text);
   r->canonical_text = std::move(rebuilt.canonical_text);
   r->skeleton = std::move(rebuilt.skeleton);
@@ -154,6 +234,10 @@ Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
   r->skeleton_fingerprint = rebuilt.skeleton_fingerprint;
   r->components = std::move(rebuilt.components);
   r->ast = std::move(rebuilt.ast);
+  // BuildRecordFromText already interned the new text's signature; only
+  // the preserved output summary's contribution needs recomputing.
+  r->signature = std::move(rebuilt.signature);
+  UpdateOutputSignature(r);
 
   // Purge this query's feature rows and reinsert from the new AST.
   for (const char* table : {"Queries", "DataSources", "Attributes", "Predicates"}) {
@@ -223,12 +307,29 @@ bool QueryStore::Visible(const std::string& viewer, QueryId id) const {
 }
 
 std::vector<QueryId> QueryStore::VisibleIds(const std::string& viewer) const {
+  VisibilityCache cache(*this, viewer);
   std::vector<QueryId> out;
   out.reserve(records_.size());
   for (const QueryRecord& r : records_) {
-    if (Visible(viewer, r.id)) out.push_back(r.id);
+    if (cache.Visible(r)) out.push_back(r.id);
   }
   return out;
+}
+
+bool VisibilityCache::Visible(const QueryRecord& record) const {
+  if (record.HasFlag(kFlagDeleted)) return false;
+  if (viewer_ == record.user) return true;
+  switch (store_.acl().GetVisibility(record.id)) {
+    case Visibility::kPrivate:
+      return false;
+    case Visibility::kPublic:
+      return true;
+    case Visibility::kGroup:
+      break;
+  }
+  auto [it, inserted] = shares_group_.try_emplace(std::string_view(record.user), false);
+  if (inserted) it->second = store_.acl().ShareGroup(viewer_, record.user);
+  return it->second;
 }
 
 }  // namespace cqms::storage

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "db/database.h"
 #include "storage/access_control.h"
@@ -32,8 +33,10 @@ class QueryStore {
   QueryStore(const QueryStore&) = delete;
   QueryStore& operator=(const QueryStore&) = delete;
 
-  /// Appends a record, assigning its id and updating every index and the
-  /// feature relations. Returns the assigned id.
+  /// Appends a record, assigning its id, finalizing its similarity
+  /// signature (the output summary is attached by the profiler after
+  /// BuildRecordFromText, so the signature is recomputed here) and
+  /// updating every index and the feature relations. Returns the id.
   QueryId Append(QueryRecord record);
 
   const QueryRecord* Get(QueryId id) const;
@@ -41,10 +44,21 @@ class QueryStore {
   size_t size() const { return records_.size(); }
   const std::deque<QueryRecord>& records() const { return records_; }
 
+  /// Largest timestamp ever appended (0 when empty). Maintained by
+  /// Append so ranking paths (kNN recency boost) need no log scan.
+  Micros max_timestamp() const { return max_timestamp_; }
+
   // --- secondary indexes ---------------------------------------------------
 
   /// Ids of queries whose FROM (at any nesting level) references `table`.
   const std::vector<QueryId>& QueriesUsingTable(const std::string& table) const;
+
+  /// Sorted, deduplicated union of QueriesUsingTable over `tables` —
+  /// kNN candidate generation. Concatenates the posting lists into one
+  /// flat vector and sort+uniques it (no per-id node allocations, unlike
+  /// a std::set union).
+  std::vector<QueryId> QueriesUsingAnyTable(
+      const std::vector<std::string>& tables) const;
 
   /// Ids of queries referencing relation.attribute.
   const std::vector<QueryId>& QueriesUsingAttribute(const std::string& relation,
@@ -67,11 +81,12 @@ class QueryStore {
   Status Annotate(QueryId id, Annotation annotation);
 
   /// Rewrites the SQL text of an existing record (used by automatic
-  /// query repair after schema evolution, §4.4). Parse-derived fields and
-  /// feature-relation rows are rebuilt; user, timestamp, stats, session
-  /// and annotations are preserved. New index entries are added; old
-  /// entries may linger but every search path re-verifies against the
-  /// record, so they only cost a candidate check.
+  /// query repair after schema evolution, §4.4). Parse-derived fields,
+  /// the similarity signature and feature-relation rows are rebuilt;
+  /// user, timestamp, stats, output summary, session and annotations are
+  /// preserved. Stale secondary-index entries (old tables, attributes,
+  /// keywords, skeleton, fingerprint) are purged, so index lookups never
+  /// return the record under features it no longer has.
   Status RewriteQueryText(QueryId id, const std::string& new_text);
   Status AddFlag(QueryId id, QueryFlags flag);
   Status ClearFlag(QueryId id, QueryFlags flag);
@@ -101,19 +116,50 @@ class QueryStore {
 
  private:
   void IndexRecord(const QueryRecord& record);
+  /// Removes `record.id` from every feature-derived index (tables,
+  /// attributes, keywords, skeleton, fingerprint) using the record's
+  /// *current* features; called before RewriteQueryText replaces them.
+  void UnindexRecord(const QueryRecord& record);
   void InsertFeatureRows(const QueryRecord& record);
 
   std::deque<QueryRecord> records_;
   AccessControl acl_;
   db::Database feature_db_;
+  Micros max_timestamp_ = 0;
 
   std::unordered_map<std::string, std::vector<QueryId>> by_table_;
   std::unordered_map<std::string, std::vector<QueryId>> by_attribute_;  // "rel.attr"
   std::unordered_map<std::string, std::vector<QueryId>> by_user_;
-  std::unordered_map<std::string, std::vector<QueryId>> by_keyword_;
+  /// Keyed by interned token Symbol (GlobalInterner); tokens come from
+  /// the record's signature, so indexing shares the interning work.
+  std::unordered_map<Symbol, std::vector<QueryId>> by_keyword_;
   std::unordered_map<uint64_t, std::vector<QueryId>> by_skeleton_;
   std::unordered_map<uint64_t, std::vector<QueryId>> by_fingerprint_;
   std::vector<QueryId> empty_;
+};
+
+/// Memoizes visibility decisions for one viewer over one store. The
+/// group-sharing part of AccessControl::CanSee is a string-set
+/// intersection per (viewer, owner) pair; read paths that filter
+/// thousands of candidates (kNN, clustering inputs) resolve each owner
+/// once through this cache instead. Semantics match
+/// QueryStore::Visible exactly. Intended to live for one query/scan —
+/// it snapshots nothing, but memoized entries would go stale across ACL
+/// mutations.
+class VisibilityCache {
+ public:
+  VisibilityCache(const QueryStore& store, std::string viewer)
+      : store_(store), viewer_(std::move(viewer)) {}
+
+  /// True when the viewer may see `record` (not deleted, ACL passes).
+  bool Visible(const QueryRecord& record) const;
+
+ private:
+  const QueryStore& store_;
+  std::string viewer_;
+  /// Keyed by owner name; string_views point into record.user fields,
+  /// which are stable (records live in the store's deque).
+  mutable std::unordered_map<std::string_view, bool> shares_group_;
 };
 
 }  // namespace cqms::storage

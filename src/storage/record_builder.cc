@@ -1,12 +1,87 @@
 #include "storage/record_builder.h"
 
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/interner.h"
+#include "common/sorted_vector.h"
+#include "common/string_util.h"
 #include "sql/canonical.h"
 #include "sql/parser.h"
 
 namespace cqms::storage {
 
+namespace {
+
+/// Id for a string in transient mode: the real interned id when the
+/// string was ever logged, else a hash-derived id with the high bit set
+/// (interner ids are dense from 0, so the ranges cannot collide while
+/// fewer than 2^31 strings are interned).
+Symbol TransientSymbol(const StringInterner& interner, std::string_view s) {
+  Symbol known = interner.Find(s);
+  if (known != kInvalidSymbol) return known;
+  return 0x80000000u | static_cast<Symbol>(Fnv1a64(s) >> 33);
+}
+
+}  // namespace
+
+void ComputeSimilaritySignature(QueryRecord* record, SignatureMode mode) {
+  StringInterner& interner = GlobalInterner();
+  auto sym = [&interner, mode](std::string_view s) {
+    return mode == SignatureMode::kInterned ? interner.Intern(s)
+                                            : TransientSymbol(interner, s);
+  };
+  SimilaritySignature sig;
+
+  if (!record->parse_failed()) {
+    const sql::QueryComponents& c = record->components;
+    sig.tables.reserve(c.tables.size());
+    for (const std::string& t : c.tables) sig.tables.push_back(sym(t));
+    sig.predicate_skeletons.reserve(c.predicates.size());
+    for (const auto& p : c.predicates) {
+      sig.predicate_skeletons.push_back(sym(p.Skeleton()));
+    }
+    sig.attributes.reserve(c.attributes.size());
+    for (const auto& [rel, attr] : c.attributes) {
+      sig.attributes.push_back(sym(rel + "." + attr));
+    }
+    sig.projections.reserve(c.projections.size());
+    for (const std::string& p : c.projections) {
+      sig.projections.push_back(sym(p));
+    }
+    SortUnique(&sig.tables);
+    SortUnique(&sig.predicate_skeletons);
+    SortUnique(&sig.attributes);
+    SortUnique(&sig.projections);
+  }
+
+  std::vector<std::string> words = ExtractWords(record->text);
+  sig.text_tokens.reserve(words.size());
+  for (const std::string& w : words) sig.text_tokens.push_back(sym(w));
+  SortUnique(&sig.text_tokens);
+
+  sig.valid = true;
+  sig.transient = mode == SignatureMode::kTransient;
+  record->signature = std::move(sig);
+  UpdateOutputSignature(record);
+}
+
+void UpdateOutputSignature(QueryRecord* record) {
+  SimilaritySignature& sig = record->signature;
+  const OutputSummary& summary = record->summary;
+  sig.output_rows.clear();
+  sig.output_rows.reserve(summary.sample_rows.size());
+  for (const db::Row& r : summary.sample_rows) {
+    sig.output_rows.push_back(Fnv1a64(db::RowToString(r)));
+  }
+  SortUnique(&sig.output_rows);
+  sig.output_empty_computed = summary.sample_rows.empty() &&
+                              summary.total_rows == 0 &&
+                              !summary.column_names.empty();
+}
+
 QueryRecord BuildRecordFromText(std::string text, std::string user,
-                                Micros timestamp) {
+                                Micros timestamp, SignatureMode mode) {
   QueryRecord record;
   record.text = std::move(text);
   record.user = std::move(user);
@@ -16,6 +91,7 @@ QueryRecord BuildRecordFromText(std::string text, std::string user,
   if (!parsed.ok()) {
     record.stats.succeeded = false;
     record.stats.error = parsed.status().ToString();
+    ComputeSimilaritySignature(&record, mode);
     return record;
   }
   std::shared_ptr<const sql::SelectStatement> ast = std::move(parsed).value();
@@ -25,6 +101,7 @@ QueryRecord BuildRecordFromText(std::string text, std::string user,
   record.skeleton_fingerprint = sql::SkeletonFingerprint(*ast);
   record.components = sql::CollectComponents(*ast);
   record.ast = std::move(ast);
+  ComputeSimilaritySignature(&record, mode);
   return record;
 }
 

@@ -7,6 +7,20 @@
 
 namespace cqms::storage {
 
+/// How signature strings map to Symbols.
+enum class SignatureMode {
+  /// Unseen strings are added to the GlobalInterner — for records that
+  /// will be stored (the interner must own every indexed token).
+  kInterned,
+  /// Unseen strings get a deterministic hash-derived id with the high bit
+  /// set (real interner ids stay below 2^31), so transient probes built
+  /// from arbitrary user input cannot grow the process-global interner.
+  /// Known strings still resolve to their real ids, so probe-vs-log
+  /// comparisons are exact; only probe-vs-probe overlap of two *never
+  /// logged* tokens rides on a 31-bit hash (collisions negligible).
+  kTransient,
+};
+
 /// Builds the parse-derived fields of a QueryRecord from raw SQL text:
 /// parse tree, canonical text, skeleton, fingerprints, and syntactic
 /// components. Queries that fail to parse still produce a record (raw
@@ -14,9 +28,25 @@ namespace cqms::storage {
 /// submission, and failed attempts feed the correction engine.
 ///
 /// Runtime stats and the output summary are the caller's (profiler's)
-/// responsibility.
+/// responsibility. Use kTransient for probe records that are compared but
+/// never appended (kNN-as-you-type, recommendations).
 QueryRecord BuildRecordFromText(std::string text, std::string user,
-                                Micros timestamp);
+                                Micros timestamp,
+                                SignatureMode mode = SignatureMode::kInterned);
+
+/// (Re)computes `record.signature` from the record's current text,
+/// components and output summary. Idempotent; called by
+/// BuildRecordFromText and by QueryStore::Append (for hand-built or
+/// transient-signature records, after the profiler attached summaries).
+void ComputeSimilaritySignature(QueryRecord* record,
+                                SignatureMode mode = SignatureMode::kInterned);
+
+/// Recomputes only the output-derived signature fields (`output_rows`,
+/// `output_empty_computed`) from `record->summary`, leaving the token
+/// vectors untouched. Requires a previously computed signature; Append
+/// and RefreshStatistics use it to fold in a late-attached or replaced
+/// summary without redoing tokenization and interning.
+void UpdateOutputSignature(QueryRecord* record);
 
 }  // namespace cqms::storage
 
