@@ -23,13 +23,38 @@ const char* kProbe =
 void BM_KnnByLogSize(benchmark::State& state) {
   bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
   storage::QueryRecord probe = storage::BuildRecordFromText(kProbe, "user0", 0);
+  // Pin the exhaustive table-index path so this series stays the
+  // brute-force baseline that BM_KnnLsh is compared against.
+  metaquery::CandidateOptions exhaustive;
+  exhaustive.use_lsh = false;
   for (auto _ : state) {
-    auto neighbors = metaquery::KnnSearch(f.store, "user0", probe, 10);
+    auto neighbors =
+        metaquery::KnnSearch(f.store, "user0", probe, 10, {}, {}, exhaustive);
     benchmark::DoNotOptimize(neighbors);
   }
   state.counters["log_size"] = static_cast<double>(f.store.size());
 }
 BENCHMARK(BM_KnnByLogSize)->Arg(1000)->Arg(5000)->Arg(20000)->ArgNames({"queries"});
+
+// The LSH-pruned counterpart of BM_KnnByLogSize: candidates come from
+// the store's MinHash band buckets (default banding) instead of the
+// table posting lists. Sub-linear in practice — the gap to
+// BM_KnnByLogSize widens with log size.
+void BM_KnnLsh(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  storage::QueryRecord probe = storage::BuildRecordFromText(kProbe, "user0", 0);
+  metaquery::CandidateOptions lsh;
+  lsh.lsh_min_log_size = 0;  // measure the LSH path at every size
+  for (auto _ : state) {
+    auto neighbors =
+        metaquery::KnnSearch(f.store, "user0", probe, 10, {}, {}, lsh);
+    benchmark::DoNotOptimize(neighbors);
+  }
+  state.counters["log_size"] = static_cast<double>(f.store.size());
+  state.counters["lsh_candidates"] =
+      static_cast<double>(f.store.LshCandidates(probe.sketch).size());
+}
+BENCHMARK(BM_KnnLsh)->Arg(1000)->Arg(5000)->Arg(20000)->ArgNames({"queries"});
 
 void BM_KnnByK(benchmark::State& state) {
   bench::LogFixture& f = bench::GetFixture(5000);

@@ -15,6 +15,28 @@ void SortUnique(std::vector<T>* v) {
   v->erase(std::unique(v->begin(), v->end()), v->end());
 }
 
+/// Inserts `v` into a sorted, duplicate-free vector, keeping it so.
+/// Appends in O(1) when `v` is the largest — the common case for
+/// posting lists keyed by monotonically assigned ids — and falls back
+/// to a binary-search insert otherwise (e.g. re-indexing a rewritten
+/// record mid-log).
+template <typename T>
+void InsertSorted(std::vector<T>* vec, const T& v) {
+  if (vec->empty() || vec->back() < v) {
+    vec->push_back(v);
+    return;
+  }
+  auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it == vec->end() || *it != v) vec->insert(it, v);
+}
+
+/// Removes `v` from a sorted vector if present.
+template <typename T>
+void EraseSorted(std::vector<T>* vec, const T& v) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it != vec->end() && *it == v) vec->erase(it);
+}
+
 /// True when two sorted vectors share at least one element.
 template <typename T>
 bool SortedIntersects(const std::vector<T>& a, const std::vector<T>& b) {

@@ -12,12 +12,26 @@ std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
                                 const std::string& viewer,
                                 const storage::QueryRecord& probe, size_t k,
                                 const SimilarityWeights& weights,
-                                const RankingOptions& ranking) {
-  // Candidate generation: the store's posting lists are sorted, so the
-  // union is a flat merge (QueriesUsingAnyTable) instead of a std::set.
+                                const RankingOptions& ranking,
+                                const CandidateOptions& candidate_options) {
+  // Candidate generation. Large logs: LSH bucket lookup over the probe's
+  // MinHash sketch — sub-linear and approximate: neighbors below the
+  // banding's similarity threshold can be missed, which the default
+  // banding accepts because query-log top-k is dominated by near-
+  // duplicate re-renders (see docs/lsh_tuning.md for the recall knobs).
+  // Small logs (or LSH disabled): the exhaustive table-index path, whose
+  // sorted posting lists union via a flat merge (QueriesUsingAnyTable).
+  // Probes with no tables scan the whole log either way.
   std::vector<storage::QueryId> candidates;
   if (!probe.parse_failed() && !probe.components.tables.empty()) {
-    candidates = store.QueriesUsingAnyTable(probe.components.tables);
+    bool use_lsh = candidate_options.use_lsh &&
+                   store.size() >= candidate_options.lsh_min_log_size;
+    if (use_lsh && probe.sketch.valid && !probe.sketch.empty()) {
+      candidates =
+          store.LshCandidates(probe.sketch, candidate_options.probe_bands);
+    } else {
+      candidates = store.QueriesUsingAnyTable(probe.components.tables);
+    }
   } else {
     candidates.resize(store.size());
     std::iota(candidates.begin(), candidates.end(), storage::QueryId{0});
@@ -25,6 +39,11 @@ std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
 
   // Maintained by QueryStore::Append — no per-call log scan.
   Micros max_ts = std::max<Micros>(1, store.max_timestamp());
+
+  // Loop-invariant popularity normalizer, hoisted out of the (possibly
+  // thousands-deep) scoring loop.
+  double inv_log_size =
+      1.0 / std::log1p(static_cast<double>(store.size()) + 1.0);
 
   storage::VisibilityCache visibility(store, viewer);
   std::vector<Neighbor> scored;
@@ -41,8 +60,8 @@ std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
     if (sim < ranking.min_similarity) continue;
 
     double popularity =
-        std::log1p(static_cast<double>(store.PopularityOf(r->fingerprint))) /
-        std::log1p(static_cast<double>(store.size()) + 1.0);
+        std::log1p(static_cast<double>(store.PopularityOf(r->fingerprint))) *
+        inv_log_size;
     double recency = max_ts > 0 ? static_cast<double>(r->timestamp) /
                                       static_cast<double>(max_ts)
                                 : 0;
@@ -66,13 +85,14 @@ Result<std::vector<Neighbor>> KnnSearchText(const storage::QueryStore& store,
                                             const std::string& viewer,
                                             const std::string& sql_text, size_t k,
                                             const SimilarityWeights& weights,
-                                            const RankingOptions& ranking) {
+                                            const RankingOptions& ranking,
+                                            const CandidateOptions& candidates) {
   storage::QueryRecord probe = storage::BuildRecordFromText(
       sql_text, viewer, 0, storage::SignatureMode::kTransient);
   if (probe.parse_failed()) {
     return Status::ParseError("probe query does not parse: " + probe.stats.error);
   }
-  return KnnSearch(store, viewer, probe, k, weights, ranking);
+  return KnnSearch(store, viewer, probe, k, weights, ranking, candidates);
 }
 
 }  // namespace cqms::metaquery

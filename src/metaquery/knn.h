@@ -24,6 +24,24 @@ struct RankingOptions {
   double min_similarity = 0.05;
 };
 
+/// How kNN candidates are generated. The default draws candidates from
+/// the store's MinHash/LSH index (sub-linear in log size) once the log
+/// is large enough for the approximation to pay off; small logs and
+/// table-less probes use the exhaustive table-index/full-scan path.
+struct CandidateOptions {
+  /// Master switch; false forces the exhaustive table-index scan
+  /// (benchmarks use it to keep the brute-force series measurable).
+  bool use_lsh = true;
+  /// Below this log size the exhaustive path runs instead: scoring a
+  /// few hundred candidates at ~54ns each is faster than any index
+  /// probe, and the results stay exactly equal to brute force.
+  size_t lsh_min_log_size = 1024;
+  /// Probe only the first N bands of the index (0 = all configured
+  /// bands). Fewer bands = fewer candidates = faster, lower recall;
+  /// see docs/lsh_tuning.md.
+  size_t probe_bands = 0;
+};
+
 /// One kNN result.
 struct Neighbor {
   storage::QueryId id = storage::kInvalidQueryId;
@@ -32,14 +50,16 @@ struct Neighbor {
 };
 
 /// Finds the k logged queries most similar to `probe`, visible to
-/// `viewer`, ranked by the composite score. Candidate generation uses
-/// the table index (queries sharing at least one table with the probe);
+/// `viewer`, ranked by the composite score. Candidate generation is
+/// governed by `candidates`: LSH bucket lookup on large logs, else the
+/// table index (queries sharing at least one table with the probe);
 /// probes with no tables fall back to a full scan.
 std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
                                 const std::string& viewer,
                                 const storage::QueryRecord& probe, size_t k,
                                 const SimilarityWeights& weights = {},
-                                const RankingOptions& ranking = {});
+                                const RankingOptions& ranking = {},
+                                const CandidateOptions& candidates = {});
 
 /// Convenience: builds a transient probe record from SQL text (not
 /// logged), then searches. Fails on unparsable text.
@@ -47,7 +67,8 @@ Result<std::vector<Neighbor>> KnnSearchText(const storage::QueryStore& store,
                                             const std::string& viewer,
                                             const std::string& sql_text, size_t k,
                                             const SimilarityWeights& weights = {},
-                                            const RankingOptions& ranking = {});
+                                            const RankingOptions& ranking = {},
+                                            const CandidateOptions& candidates = {});
 
 }  // namespace cqms::metaquery
 

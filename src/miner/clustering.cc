@@ -11,23 +11,61 @@ namespace cqms::miner {
 
 namespace {
 
-/// Dense pairwise distance matrix over the given ids.
+/// Pairwise distance matrix over the given ids. Below
+/// `sketch_prune_min_points` every pair is scored exactly (dense O(n^2)
+/// over the precomputed signatures). At or above it, the records'
+/// MinHash sketches prune the pair enumeration: only pairs sharing at
+/// least one LSH band bucket are scored, and the rest are approximated
+/// by the maximal distance 1.0 — a conservative overestimate that only
+/// touches pairs the sketches already deem dissimilar, so threshold
+/// clustering and medoid selection are virtually unaffected while the
+/// scored-pair count drops from n^2 to near-linear on clustered logs.
 class DistanceMatrix {
  public:
   DistanceMatrix(const storage::QueryStore& store,
                  const std::vector<storage::QueryId>& ids,
-                 const metaquery::SimilarityWeights& weights)
-      : n_(ids.size()), data_(n_ * n_, 0) {
-    // Resolve ids once; the O(n^2) loop below then runs entirely on the
+                 const metaquery::SimilarityWeights& weights,
+                 size_t sketch_prune_min_points)
+      : n_(ids.size()) {
+    // Resolve ids once; the loops below then run entirely on the
     // records' precomputed similarity signatures.
     std::vector<const storage::QueryRecord*> records(n_);
     for (size_t i = 0; i < n_; ++i) records[i] = store.Get(ids[i]);
+    // Shared by both branches so the exact and pruned paths provably
+    // compute the same quantity for every pair they both score.
+    auto score_pair = [&](size_t i, size_t j) {
+      double d =
+          1.0 - metaquery::CombinedSimilarity(*records[i], *records[j], weights);
+      data_[i * n_ + j] = d;
+      data_[j * n_ + i] = d;
+    };
+    if (sketch_prune_min_points == 0 || n_ < sketch_prune_min_points) {
+      data_.assign(n_ * n_, 0.0);
+      for (size_t i = 0; i < n_; ++i) {
+        for (size_t j = i + 1; j < n_; ++j) score_pair(i, j);
+      }
+      return;
+    }
+    // Sketch-pruned: re-bucket this subset through a local LshIndex
+    // keyed by local index, then score only co-bucketed pairs. The
+    // banding is deliberately much wider than the store's kNN default
+    // (32x2: s-curve midpoint ~0.18): a missed pair here silently
+    // inflates a distance to 1.0, so pruning must only drop pairs that
+    // are nowhere near any clustering threshold. Records with empty
+    // sketches stay at distance 1.0 from everything. (The matrix itself
+    // is still dense O(n^2) memory; a sparse scored-pair layout is the
+    // natural next step once inputs outgrow it — see ROADMAP's
+    // incremental-clustering item.)
+    data_.assign(n_ * n_, 1.0);
+    for (size_t i = 0; i < n_; ++i) data_[i * n_ + i] = 0.0;
+    storage::LshIndex local({/*bands=*/32, /*rows=*/2});
     for (size_t i = 0; i < n_; ++i) {
-      for (size_t j = i + 1; j < n_; ++j) {
-        double d =
-            1.0 - metaquery::CombinedSimilarity(*records[i], *records[j], weights);
-        data_[i * n_ + j] = d;
-        data_[j * n_ + i] = d;
+      local.Insert(static_cast<storage::QueryId>(i), records[i]->sketch);
+    }
+    for (size_t i = 0; i < n_; ++i) {
+      for (storage::QueryId j : local.Candidates(records[i]->sketch)) {
+        size_t other = static_cast<size_t>(j);
+        if (other > i) score_pair(i, other);
       }
     }
   }
@@ -58,7 +96,8 @@ Clustering KMedoidsCluster(const storage::QueryStore& store,
   if (ids.empty()) return out;
   const size_t n = ids.size();
   const size_t k = std::min(options.k == 0 ? 1 : options.k, n);
-  DistanceMatrix dist(store, ids, options.weights);
+  DistanceMatrix dist(store, ids, options.weights,
+                      options.sketch_prune_min_points);
 
   // Seed medoids: shuffle indices deterministically, take the first k.
   std::vector<size_t> perm(n);
@@ -128,11 +167,12 @@ Clustering KMedoidsCluster(const storage::QueryStore& store,
 Clustering AgglomerativeCluster(const storage::QueryStore& store,
                                 const std::vector<storage::QueryId>& ids,
                                 double max_distance,
-                                const metaquery::SimilarityWeights& weights) {
+                                const metaquery::SimilarityWeights& weights,
+                                size_t sketch_prune_min_points) {
   Clustering out;
   if (ids.empty()) return out;
   const size_t n = ids.size();
-  DistanceMatrix dist(store, ids, weights);
+  DistanceMatrix dist(store, ids, weights, sketch_prune_min_points);
 
   // Union-find over points; single linkage = union every pair within
   // threshold (equivalent to connected components of the threshold graph).

@@ -27,6 +27,11 @@ struct KMedoidsOptions {
   int max_iterations = 20;
   uint64_t seed = 42;
   metaquery::SimilarityWeights weights;
+  /// From this many points on, the distance matrix scores only pairs
+  /// whose MinHash sketches share an LSH band bucket; the rest are
+  /// approximated as maximally distant (see DistanceMatrix). 0 disables
+  /// pruning. Small inputs stay exact either way.
+  size_t sketch_prune_min_points = 512;
 };
 
 /// Partitions `ids` into k clusters by k-medoids (PAM-style alternation)
@@ -38,11 +43,13 @@ Clustering KMedoidsCluster(const storage::QueryStore& store,
 
 /// Single-linkage agglomerative clustering: merges clusters while the
 /// closest pair is within `max_distance`. No k needed; used when the
-/// number of query groups is unknown.
+/// number of query groups is unknown. `sketch_prune_min_points` as in
+/// KMedoidsOptions: large inputs score only sketch-co-bucketed pairs.
 Clustering AgglomerativeCluster(const storage::QueryStore& store,
                                 const std::vector<storage::QueryId>& ids,
                                 double max_distance,
-                                const metaquery::SimilarityWeights& weights = {});
+                                const metaquery::SimilarityWeights& weights = {},
+                                size_t sketch_prune_min_points = 512);
 
 }  // namespace cqms::miner
 

@@ -1,0 +1,95 @@
+#ifndef CQMS_STORAGE_LSH_INDEX_H_
+#define CQMS_STORAGE_LSH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/minhash.h"
+#include "storage/query_record.h"
+
+namespace cqms::storage {
+
+/// Banding scheme of the LshIndex — the recall/cost knob. The sketch's
+/// kSize slots are cut into `bands` groups of `rows` consecutive slots;
+/// two records land in the same bucket of band i iff their sketches
+/// agree on all `rows` slots of that band, so a pair with element-set
+/// Jaccard J collides in at least one band with probability
+///   1 - (1 - J^rows)^bands.
+/// More bands / fewer rows shifts the s-curve left (higher recall, more
+/// candidates); see docs/lsh_tuning.md for the measured tradeoff table.
+/// The default 8x8 centers the s-curve at J ~= 0.77: exact and
+/// near-exact duplicates (which dominate the top-k on query-log
+/// workloads — sessions re-render the same template text) always
+/// collide, while the long tail of mid-similarity template variants is
+/// pruned. Recall-critical callers should widen to e.g. {16, 4}
+/// (s-curve midpoint ~0.5) at ~3x the candidate volume.
+struct LshParams {
+  size_t bands = 8;
+  size_t rows = 8;
+};
+
+/// Locality-sensitive index over MinHash sketches: per band, a hash map
+/// from the band's slot values to the sorted posting list of query ids
+/// whose sketch matches them. Maintained incrementally by
+/// QueryStore::Append / RewriteQueryText with the same stale-entry purge
+/// discipline as the table/attribute/keyword indexes: a record is never
+/// findable under a sketch it no longer has.
+///
+/// Empty sketches (records with zero sketch elements) are not indexed —
+/// they carry no locality signal and would collide with every other
+/// empty record.
+class LshIndex {
+ public:
+  explicit LshIndex(LshParams params = {});
+
+  /// Adds `id` under every band bucket of `sketch`. No-op for invalid
+  /// or empty sketches.
+  void Insert(QueryId id, const MinHashSketch& sketch);
+
+  /// Removes `id` from every band bucket of `sketch` (which must be the
+  /// sketch it was inserted under). Empties are pruned so rewritten
+  /// records leave no tombstone buckets behind.
+  void Remove(QueryId id, const MinHashSketch& sketch);
+
+  /// Sorted, deduplicated ids sharing at least one band bucket with
+  /// `sketch`. `probe_bands` limits the lookup to the first N bands
+  /// (0 = all) — fewer bands is faster but lowers recall.
+  std::vector<QueryId> Candidates(const MinHashSketch& sketch,
+                                  size_t probe_bands = 0) const;
+
+  size_t bands() const { return params_.bands; }
+  size_t rows() const { return params_.rows; }
+
+  /// Total postings across all buckets. An indexed record contributes
+  /// exactly bands() postings, so this equals bands() * indexed-record
+  /// count whenever the index is consistent — the lifecycle tests
+  /// assert on it.
+  size_t entry_count() const;
+
+  /// True when `id` is present in the bucket of *every* band of
+  /// `sketch` exactly once — i.e. the record is indexed under this
+  /// sketch with no duplicates (test/debug helper).
+  bool ContainsExactlyOnce(QueryId id, const MinHashSketch& sketch) const;
+
+ private:
+  uint64_t BandKey(const MinHashSketch& sketch, size_t band) const;
+
+  LshParams params_;
+  /// One bucket map per band.
+  std::vector<std::unordered_map<uint64_t, std::vector<QueryId>>> buckets_;
+  /// Exclusive upper bound on inserted ids, sizing the dedup scratch in
+  /// Candidates.
+  QueryId id_bound_ = 0;
+  /// Candidate-dedup scratch: seen_epoch_[id] == scratch_epoch_ marks
+  /// ids already emitted by the current Candidates call. Epoch-stamping
+  /// avoids zeroing (or allocating) an O(log size) bitmap per probe.
+  /// Mutable scratch makes Candidates non-reentrant — fine, the store
+  /// and its indexes are single-threaded like the rest of QueryStore.
+  mutable std::vector<uint64_t> seen_epoch_;
+  mutable uint64_t scratch_epoch_ = 0;
+};
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_LSH_INDEX_H_

@@ -11,6 +11,7 @@
 #include "db/value.h"
 #include "sql/ast.h"
 #include "sql/components.h"
+#include "storage/minhash.h"
 
 namespace cqms::storage {
 
@@ -122,6 +123,11 @@ struct QueryRecord {
   /// probe records and (re)finalized by QueryStore::Append once the
   /// profiler has attached the output summary.
   SimilaritySignature signature;
+  /// MinHash sketch over the signature's Symbol vectors, computed
+  /// alongside it (ComputeSimilaritySignature). Feeds the store's
+  /// LshIndex and the clustering pair pruning; stays untouched by
+  /// output-summary updates (output rows are not sketch elements).
+  MinHashSketch sketch;
   std::vector<Annotation> annotations;
 
   SessionId session_id = kInvalidSessionId;

@@ -15,28 +15,9 @@ using db::TableSchema;
 using db::Value;
 using db::ValueType;
 
-/// Inserts `id` into a posting list, keeping it sorted ascending and
-/// duplicate-free. Appends (O(1)) when `id` is the largest — the common
-/// case for freshly assigned ids — and falls back to a binary-search
-/// insert when re-indexing a rewritten record.
-void InsertSorted(std::vector<QueryId>* ids, QueryId id) {
-  if (ids->empty() || ids->back() < id) {
-    ids->push_back(id);
-    return;
-  }
-  auto it = std::lower_bound(ids->begin(), ids->end(), id);
-  if (it == ids->end() || *it != id) ids->insert(it, id);
-}
-
-/// Removes `id` from a sorted posting list if present.
-void EraseSorted(std::vector<QueryId>* ids, QueryId id) {
-  auto it = std::lower_bound(ids->begin(), ids->end(), id);
-  if (it != ids->end() && *it == id) ids->erase(it);
-}
-
 }  // namespace
 
-QueryStore::QueryStore() {
+QueryStore::QueryStore(LshParams lsh_params) : lsh_(lsh_params) {
   // Materialize the paper's feature relations (Figure 1). The embedded
   // database is CQMS-internal; failures here are programming errors.
   Status s = feature_db_.CreateTable(TableSchema(
@@ -74,7 +55,14 @@ QueryId QueryStore::Append(QueryRecord record) {
   // BuildRecordFromText and Append.
   if (record.signature.valid && !record.signature.transient) {
     UpdateOutputSignature(&record);
+    // BuildRecordFromText computes the sketch with the signature, but a
+    // hand-assembled signature may arrive without one.
+    if (!record.sketch.valid) {
+      record.sketch = ComputeMinHashSketch(record.signature);
+    }
   } else {
+    // Recomputes the sketch too: a transient sketch hashes probe-local
+    // Symbol ids, so it must be rebuilt from the interned signature.
     ComputeSimilaritySignature(&record);
   }
   max_timestamp_ = std::max(max_timestamp_, record.timestamp);
@@ -102,6 +90,7 @@ void QueryStore::IndexRecord(const QueryRecord& record) {
     InsertSorted(&by_skeleton_[record.skeleton_fingerprint], record.id);
     InsertSorted(&by_fingerprint_[record.fingerprint], record.id);
   }
+  lsh_.Insert(record.id, record.sketch);
 }
 
 void QueryStore::UnindexRecord(const QueryRecord& record) {
@@ -123,6 +112,7 @@ void QueryStore::UnindexRecord(const QueryRecord& record) {
     auto fit = by_fingerprint_.find(record.fingerprint);
     if (fit != by_fingerprint_.end()) EraseSorted(&fit->second, record.id);
   }
+  lsh_.Remove(record.id, record.sketch);
 }
 
 void QueryStore::InsertFeatureRows(const QueryRecord& record) {
@@ -211,6 +201,11 @@ const std::vector<QueryId>& QueryStore::QueriesWithSkeleton(
   return it == by_skeleton_.end() ? empty_ : it->second;
 }
 
+std::vector<QueryId> QueryStore::LshCandidates(const MinHashSketch& sketch,
+                                               size_t probe_bands) const {
+  return lsh_.Candidates(sketch, probe_bands);
+}
+
 uint64_t QueryStore::PopularityOf(uint64_t fingerprint) const {
   auto it = by_fingerprint_.find(fingerprint);
   return it == by_fingerprint_.end() ? 0 : it->second.size();
@@ -234,9 +229,12 @@ Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
   r->skeleton_fingerprint = rebuilt.skeleton_fingerprint;
   r->components = std::move(rebuilt.components);
   r->ast = std::move(rebuilt.ast);
-  // BuildRecordFromText already interned the new text's signature; only
-  // the preserved output summary's contribution needs recomputing.
+  // BuildRecordFromText already interned the new text's signature and
+  // sketched it; only the preserved output summary's contribution needs
+  // recomputing (output rows are not sketch elements, so the sketch
+  // carries over as computed).
   r->signature = std::move(rebuilt.signature);
+  r->sketch = rebuilt.sketch;
   UpdateOutputSignature(r);
 
   // Purge this query's feature rows and reinsert from the new AST.

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "db/database.h"
 #include "storage/access_control.h"
+#include "storage/lsh_index.h"
 #include "storage/query_record.h"
 
 namespace cqms::storage {
@@ -27,7 +28,10 @@ namespace cqms::storage {
 ///   Predicates(qid, attrname, relname, op, const_val)
 class QueryStore {
  public:
-  QueryStore();
+  /// `lsh_params` sets the MinHash/LSH banding (recall/cost knob) of the
+  /// sketch index; the default targets high recall at moderate Jaccard
+  /// (see LshParams).
+  explicit QueryStore(LshParams lsh_params = {});
 
   // Not copyable: indexes hold ids into the record log.
   QueryStore(const QueryStore&) = delete;
@@ -71,6 +75,15 @@ class QueryStore {
 
   /// Ids sharing a structure skeleton (same query modulo constants).
   const std::vector<QueryId>& QueriesWithSkeleton(uint64_t skeleton_fp) const;
+
+  /// Sorted ids whose MinHash sketch shares at least one LSH band
+  /// bucket with `sketch` — the sub-linear kNN candidate set.
+  /// `probe_bands` limits the lookup to the first N bands (0 = all).
+  std::vector<QueryId> LshCandidates(const MinHashSketch& sketch,
+                                     size_t probe_bands = 0) const;
+
+  /// The sketch index itself (band/row introspection, lifecycle tests).
+  const LshIndex& lsh() const { return lsh_; }
 
   /// How many logged queries share this exact canonical fingerprint —
   /// the popularity count used by ranking functions.
@@ -135,6 +148,7 @@ class QueryStore {
   std::unordered_map<Symbol, std::vector<QueryId>> by_keyword_;
   std::unordered_map<uint64_t, std::vector<QueryId>> by_skeleton_;
   std::unordered_map<uint64_t, std::vector<QueryId>> by_fingerprint_;
+  LshIndex lsh_;
   std::vector<QueryId> empty_;
 };
 

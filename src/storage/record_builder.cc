@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "sql/canonical.h"
 #include "sql/parser.h"
+#include "storage/minhash.h"
 
 namespace cqms::storage {
 
@@ -63,6 +64,7 @@ void ComputeSimilaritySignature(QueryRecord* record, SignatureMode mode) {
   sig.valid = true;
   sig.transient = mode == SignatureMode::kTransient;
   record->signature = std::move(sig);
+  record->sketch = ComputeMinHashSketch(record->signature);
   UpdateOutputSignature(record);
 }
 
