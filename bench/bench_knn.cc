@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "metaquery/knn.h"
+#include "metaquery/meta_query_executor.h"
 #include "storage/record_builder.h"
 
 namespace cqms {
@@ -55,6 +56,58 @@ void BM_KnnLsh(benchmark::State& state) {
       static_cast<double>(f.store.LshCandidates(probe.sketch).size());
 }
 BENCHMARK(BM_KnnLsh)->Arg(1000)->Arg(5000)->Arg(20000)->ArgNames({"queries"});
+
+// The pre-columnar scoring loop (KnnSearchReference reads candidates
+// through the record deque and the fingerprint hash index) on the same
+// LSH candidates — the denominator of the columnar-scoring speedup
+// BM_KnnLsh / BM_KnnLshReference tracks per PR.
+void BM_KnnLshReference(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  storage::QueryRecord probe = storage::BuildRecordFromText(kProbe, "user0", 0);
+  metaquery::CandidateOptions lsh;
+  lsh.lsh_min_log_size = 0;
+  for (auto _ : state) {
+    auto neighbors = metaquery::KnnSearchReference(f.store, "user0", probe, 10,
+                                                   {}, {}, lsh);
+    benchmark::DoNotOptimize(neighbors);
+  }
+  state.counters["log_size"] = static_cast<double>(f.store.size());
+}
+BENCHMARK(BM_KnnLshReference)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->ArgNames({"queries"});
+
+// A combined meta-query — keyword + table condition + kNN ranking in one
+// MetaQueryRequest — through the unified planner pipeline. Candidates
+// come from the Symbol-keyed posting intersection; scoring streams the
+// columnar side-table. This is the workload the unified API exists for:
+// "queries mentioning salinity that touch WaterTemp, most similar to
+// this probe first".
+void BM_MetaQueryCombined(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  metaquery::MetaQueryExecutor executor(&f.store);
+  storage::QueryRecord probe = storage::BuildRecordFromText(
+      kProbe, "user0", 0, storage::SignatureMode::kTransient);
+  metaquery::FeatureQuery feature;
+  feature.UsesTable("WaterTemp");
+  for (auto _ : state) {
+    metaquery::MetaQueryRequest request;
+    request.WithKeywords("salinity temp")
+        .WithFeature(feature)
+        .SimilarTo(probe)
+        .Limit(10);
+    auto response = executor.Execute("user0", request);
+    benchmark::DoNotOptimize(response);
+  }
+  state.counters["log_size"] = static_cast<double>(f.store.size());
+}
+BENCHMARK(BM_MetaQueryCombined)
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(20000)
+    ->ArgNames({"queries"});
 
 void BM_KnnByK(benchmark::State& state) {
   bench::LogFixture& f = bench::GetFixture(5000);

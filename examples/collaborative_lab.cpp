@@ -10,6 +10,7 @@
 
 #include "core/cqms.h"
 #include "sql/parser.h"
+#include "storage/record_builder.h"
 #include "workload/synthetic.h"
 
 namespace {
@@ -101,5 +102,32 @@ int main() {
                                 "WHERE S.loc_x = T.loc_x");
   std::printf("\neve (astronomy group) sees %zu recommendations\n",
               eve_view.recommendations.size());
+
+  // 5. One combined meta-query (§2.3): "lab queries mentioning salinity
+  //    that touch WaterTemp, most similar to what alice is writing,
+  //    popularity-boosted" — a single MetaQueryRequest through the
+  //    unified planner instead of four separate search calls.
+  cqms::storage::QueryRecord probe = cqms::storage::BuildRecordFromText(
+      "SELECT T.temp FROM WaterSalinity S, WaterTemp T WHERE "
+      "S.loc_x = T.loc_x AND T.temp < 15",
+      "alice", 0, cqms::storage::SignatureMode::kTransient);
+  cqms::metaquery::MetaQueryRequest request;
+  cqms::metaquery::FeatureQuery feature;
+  feature.UsesTable("WaterTemp");
+  cqms::metaquery::RankingOptions ranking;
+  ranking.w_popularity = 0.3;
+  request.WithKeywords("salinity")
+      .WithFeature(feature)
+      .SimilarTo(probe)
+      .RankedBy(ranking)
+      .Limit(3);
+  auto combined = system.Search("alice", request);
+  std::printf("\ncombined meta-query (%zu candidates considered):\n",
+              combined.candidates_considered);
+  for (const auto& m : combined.matches) {
+    std::printf("  [%.2f] q%lld: %s\n", m.score,
+                static_cast<long long>(m.id),
+                system.store()->Get(m.id)->text.substr(0, 60).c_str());
+  }
   return 0;
 }

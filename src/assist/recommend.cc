@@ -31,7 +31,7 @@ std::vector<uint64_t> UserSkeletons(const storage::QueryStore& store,
 
 RecommendationEngine::RecommendationEngine(const storage::QueryStore* store,
                                            const miner::QueryMiner* miner)
-    : store_(store), miner_(miner) {}
+    : store_(store), miner_(miner), executor_(store) {}
 
 Result<std::vector<Recommendation>> RecommendationEngine::Recommend(
     const std::string& viewer, const std::string& sql_text, size_t k,
@@ -44,8 +44,8 @@ Result<std::vector<Recommendation>> RecommendationEngine::Recommend(
   }
 
   // Over-fetch to survive dedup/session filtering.
-  std::vector<metaquery::Neighbor> neighbors = metaquery::KnnSearch(
-      *store_, viewer, probe, k * 4 + 8, options.weights, options.ranking);
+  std::vector<metaquery::Neighbor> neighbors = executor_.Knn(
+      viewer, probe, k * 4 + 8, options.weights, options.ranking);
 
   std::vector<uint64_t> viewer_skeletons;
   std::unordered_map<std::string, std::vector<uint64_t>> author_skeletons;

@@ -51,6 +51,10 @@ class RecommendationEngine {
  private:
   const storage::QueryStore* store_;
   const miner::QueryMiner* miner_;
+  /// Runs the kNN request through the unified planner pipeline; owning
+  /// the executor keeps its per-viewer visibility caches warm across
+  /// keystrokes (recommendations fire on every pause in typing).
+  metaquery::MetaQueryExecutor executor_;
 };
 
 }  // namespace cqms::assist

@@ -18,12 +18,14 @@ std::string RenderLogSummary(const storage::QueryStore& store,
                              const std::string& viewer, size_t max_sessions) {
   std::string out = "Query log (viewed by " + viewer + ")\n";
   size_t shown = 0;
+  // One ACL resolution per owner across all rendered sessions.
+  storage::VisibilityCache cache(&store, viewer);
   for (auto it = sessions.rbegin(); it != sessions.rend(); ++it) {
     if (shown >= max_sessions) break;
     const miner::Session& s = *it;
     std::vector<storage::QueryId> visible;
     for (storage::QueryId id : s.queries) {
-      if (store.Visible(viewer, id)) visible.push_back(id);
+      if (cache.VisibleId(id)) visible.push_back(id);
     }
     if (visible.empty()) continue;
     ++shown;

@@ -78,6 +78,17 @@ class Cqms {
 
   metaquery::MetaQueryExecutor& metaquery() { return metaquery_; }
 
+  /// The unified meta-query entry point: any conjunction of composable
+  /// predicates (keywords, substring, features, structure, data
+  /// examples, similarity-to-probe) ranked by one RankingOptions — e.g.
+  /// "queries touching `lineage` with skeleton X, similar to this probe,
+  /// ranked by popularity" as a single request.
+  metaquery::MetaQueryResponse Search(
+      const std::string& viewer,
+      const metaquery::MetaQueryRequest& request) const {
+    return metaquery_.Execute(viewer, request);
+  }
+
   /// Session-grouped log summary for `viewer`.
   std::string BrowseLog(const std::string& viewer, size_t max_sessions = 20) const {
     return client::RenderLogSummary(store_, miner_.sessions(), viewer, max_sessions);

@@ -148,9 +148,10 @@ MaintenanceReport QueryMaintenance::RefreshStatistics() {
     r->stats.rows_scanned = exec->rows_scanned;
     r->stats.plan = exec->plan;
     r->summary = profiler::SummarizeOutput(*exec, r->stats.execution_micros);
-    // The cached signature hashes the output sample; rebuild that part so
-    // the similarity fast path sees the refreshed rows.
-    storage::UpdateOutputSignature(r);
+    // The cached signature hashes the output sample; rebuild that part —
+    // through the store, so the columnar copy scoring reads stays in sync.
+    Status sync = store_->SyncOutputSignature(id);
+    (void)sync;
     Status s = store_->ClearFlag(id, storage::kFlagStatsStale);
     (void)s;
     ++report.stats_refreshed;

@@ -90,53 +90,47 @@ std::vector<storage::QueryId> FeatureQuery::Evaluate(
     if (!store.Visible(viewer, id)) continue;
     const storage::QueryRecord* r = store.Get(id);
     if (r == nullptr) continue;
-    if (succeeded_only_ && !r->stats.succeeded) continue;
-    if (max_execution_micros_ && r->stats.execution_micros > *max_execution_micros_) {
-      continue;
-    }
-    if (max_result_rows_ && r->stats.result_rows > *max_result_rows_) continue;
-    if (min_result_rows_ && r->stats.result_rows < *min_result_rows_) continue;
-    if (user_ && r->user != *user_) continue;
-    // Verify indexed conditions exactly against the current record —
-    // index entries may be stale after automatic query repair.
-    bool tables_ok = true;
-    for (const std::string& t : tables_) {
-      if (std::find(r->components.tables.begin(), r->components.tables.end(), t) ==
-          r->components.tables.end()) {
-        tables_ok = false;
-        break;
-      }
-    }
-    if (!tables_ok) continue;
-    bool attrs_ok = true;
-    for (const auto& [rel, attr] : attributes_) {
-      if (std::find(r->components.attributes.begin(), r->components.attributes.end(),
-                    std::make_pair(rel, attr)) == r->components.attributes.end()) {
-        attrs_ok = false;
-        break;
-      }
-    }
-    if (!attrs_ok) continue;
-    // Verify predicate conditions exactly (the index only knows the
-    // attribute was referenced somewhere).
-    bool ok = true;
-    for (const auto& pc : predicates_) {
-      bool found = false;
-      for (const auto& p : r->components.predicates) {
-        if (p.relation == pc.relation && p.attribute == pc.attribute &&
-            (pc.op.empty() || p.op == pc.op)) {
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) out.push_back(id);
+    if (MatchesRecord(*r)) out.push_back(id);
   }
   return out;
+}
+
+bool FeatureQuery::MatchesRecord(const storage::QueryRecord& r) const {
+  if (succeeded_only_ && !r.stats.succeeded) return false;
+  if (max_execution_micros_ && r.stats.execution_micros > *max_execution_micros_) {
+    return false;
+  }
+  if (max_result_rows_ && r.stats.result_rows > *max_result_rows_) return false;
+  if (min_result_rows_ && r.stats.result_rows < *min_result_rows_) return false;
+  if (user_ && r.user != *user_) return false;
+  // Verify indexed conditions exactly against the current record, never
+  // trusting a posting list the candidate may have come from.
+  for (const std::string& t : tables_) {
+    if (std::find(r.components.tables.begin(), r.components.tables.end(), t) ==
+        r.components.tables.end()) {
+      return false;
+    }
+  }
+  for (const auto& [rel, attr] : attributes_) {
+    if (std::find(r.components.attributes.begin(), r.components.attributes.end(),
+                  std::make_pair(rel, attr)) == r.components.attributes.end()) {
+      return false;
+    }
+  }
+  // Verify predicate conditions exactly (the index only knows the
+  // attribute was referenced somewhere).
+  for (const auto& pc : predicates_) {
+    bool found = false;
+    for (const auto& p : r.components.predicates) {
+      if (p.relation == pc.relation && p.attribute == pc.attribute &&
+          (pc.op.empty() || p.op == pc.op)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
 }
 
 Result<std::string> GenerateMetaQueryFromPartial(

@@ -45,12 +45,29 @@ class FeatureQuery {
   std::vector<storage::QueryId> Evaluate(const storage::QueryStore& store,
                                          const std::string& viewer) const;
 
- private:
+  /// Exact per-record check of every condition except visibility —
+  /// verified against the record's *current* features, never the index
+  /// (the meta-query planner and Evaluate share this filter). True for a
+  /// record this query accepts.
+  bool MatchesRecord(const storage::QueryRecord& record) const;
+
   struct PredicateCondition {
     std::string relation;
     std::string attribute;
     std::string op;  // empty = any
   };
+
+  // Indexed conditions, exposed so the meta-query planner can fold this
+  // query's posting lists into its candidate intersection. All strings
+  // are stored lower-cased.
+  const std::vector<std::string>& tables() const { return tables_; }
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  const std::vector<PredicateCondition>& predicates() const { return predicates_; }
+  const std::optional<std::string>& user() const { return user_; }
+
+ private:
   std::vector<std::string> tables_;
   std::vector<std::pair<std::string, std::string>> attributes_;
   std::vector<PredicateCondition> predicates_;

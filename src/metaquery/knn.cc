@@ -4,9 +4,36 @@
 #include <cmath>
 #include <numeric>
 
+#include "metaquery/meta_query_planner.h"
 #include "storage/record_builder.h"
 
 namespace cqms::metaquery {
+
+KnnCandidates KnnCandidateIds(const storage::QueryStore& store,
+                              const storage::QueryRecord& probe,
+                              const CandidateOptions& options) {
+  KnnCandidates out;
+  if (!probe.parse_failed() && !probe.components.tables.empty()) {
+    bool use_lsh =
+        options.use_lsh && store.size() >= options.lsh_min_log_size;
+    if (use_lsh && probe.sketch.valid && !probe.sketch.empty()) {
+      out.ids = store.LshCandidates(probe.sketch, options.probe_bands);
+      out.source = KnnCandidateSource::kLshBuckets;
+      return out;
+    }
+    // The probe signature's tables are the interned Symbols the posting
+    // lists are keyed by (transient probes resolve known tables to their
+    // real ids, so unseen tables simply have no postings). Hand-built
+    // records without a signature fall back to the string lookup.
+    out.ids = probe.signature.valid
+                  ? store.QueriesUsingAnyTableSymbol(probe.signature.tables)
+                  : store.QueriesUsingAnyTable(probe.components.tables);
+    out.source = KnnCandidateSource::kTableUnion;
+    return out;
+  }
+  out.source = KnnCandidateSource::kFullScan;
+  return out;
+}
 
 std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
                                 const std::string& viewer,
@@ -14,25 +41,30 @@ std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
                                 const SimilarityWeights& weights,
                                 const RankingOptions& ranking,
                                 const CandidateOptions& candidate_options) {
-  // Candidate generation. Large logs: LSH bucket lookup over the probe's
-  // MinHash sketch — sub-linear and approximate: neighbors below the
-  // banding's similarity threshold can be missed, which the default
-  // banding accepts because query-log top-k is dominated by near-
-  // duplicate re-renders (see docs/lsh_tuning.md for the recall knobs).
-  // Small logs (or LSH disabled): the exhaustive table-index path, whose
-  // sorted posting lists union via a flat merge (QueriesUsingAnyTable).
-  // Probes with no tables scan the whole log either way.
-  std::vector<storage::QueryId> candidates;
-  if (!probe.parse_failed() && !probe.components.tables.empty()) {
-    bool use_lsh = candidate_options.use_lsh &&
-                   store.size() >= candidate_options.lsh_min_log_size;
-    if (use_lsh && probe.sketch.valid && !probe.sketch.empty()) {
-      candidates =
-          store.LshCandidates(probe.sketch, candidate_options.probe_bands);
-    } else {
-      candidates = store.QueriesUsingAnyTable(probe.components.tables);
-    }
-  } else {
+  // limit=0 means "all" to the planner; k=0 means "none" here.
+  if (k == 0) return {};
+  MetaQueryRequest request;
+  request.SimilarTo(probe, weights, candidate_options)
+      .RankedBy(ranking)
+      .Limit(k);
+  MetaQueryPlanner planner(&store);
+  MetaQueryResponse resp = planner.Execute(viewer, request);
+  std::vector<Neighbor> out;
+  out.reserve(resp.matches.size());
+  for (const MetaQueryMatch& m : resp.matches) {
+    out.push_back({m.id, m.similarity, m.score});
+  }
+  return out;
+}
+
+std::vector<Neighbor> KnnSearchReference(
+    const storage::QueryStore& store, const std::string& viewer,
+    const storage::QueryRecord& probe, size_t k,
+    const SimilarityWeights& weights, const RankingOptions& ranking,
+    const CandidateOptions& candidate_options) {
+  KnnCandidates generated = KnnCandidateIds(store, probe, candidate_options);
+  std::vector<storage::QueryId> candidates = std::move(generated.ids);
+  if (generated.full_scan()) {
     candidates.resize(store.size());
     std::iota(candidates.begin(), candidates.end(), storage::QueryId{0});
   }
@@ -45,7 +77,7 @@ std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
   double inv_log_size =
       1.0 / std::log1p(static_cast<double>(store.size()) + 1.0);
 
-  storage::VisibilityCache visibility(store, viewer);
+  storage::VisibilityCache visibility(&store, viewer);
   std::vector<Neighbor> scored;
   scored.reserve(candidates.size());
   for (storage::QueryId id : candidates) {

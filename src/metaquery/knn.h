@@ -42,6 +42,36 @@ struct CandidateOptions {
   size_t probe_bands = 0;
 };
 
+/// Which structure produced a similarity candidate set.
+enum class KnnCandidateSource {
+  kLshBuckets,  ///< MinHash band buckets (approximate, sub-linear).
+  kTableUnion,  ///< Union of the probe's table posting lists (exact).
+  kFullScan,    ///< Table-less probe: every record.
+};
+
+/// Candidate set for one probe. For a full scan, `ids` is left empty and
+/// the caller iterates the whole log (avoids materializing an iota
+/// vector per query).
+struct KnnCandidates {
+  std::vector<storage::QueryId> ids;
+  KnnCandidateSource source = KnnCandidateSource::kFullScan;
+  bool full_scan() const { return source == KnnCandidateSource::kFullScan; }
+};
+
+/// Shared candidate generation for similarity probes — the one policy
+/// both the legacy kNN entry point and the meta-query planner use, so
+/// their results agree by construction. Large logs: LSH bucket lookup
+/// over the probe's MinHash sketch — sub-linear and approximate:
+/// neighbors below the banding's similarity threshold can be missed,
+/// which the default banding accepts because query-log top-k is
+/// dominated by near-duplicate re-renders (docs/lsh_tuning.md has the
+/// recall knobs). Small logs (or LSH disabled): the exhaustive
+/// table-index union via the probe signature's interned table Symbols.
+/// Probes with no tables scan the whole log either way.
+KnnCandidates KnnCandidateIds(const storage::QueryStore& store,
+                              const storage::QueryRecord& probe,
+                              const CandidateOptions& options);
+
 /// One kNN result.
 struct Neighbor {
   storage::QueryId id = storage::kInvalidQueryId;
@@ -51,15 +81,29 @@ struct Neighbor {
 
 /// Finds the k logged queries most similar to `probe`, visible to
 /// `viewer`, ranked by the composite score. Candidate generation is
-/// governed by `candidates`: LSH bucket lookup on large logs, else the
-/// table index (queries sharing at least one table with the probe);
-/// probes with no tables fall back to a full scan.
+/// governed by `candidates` (see KnnCandidateIds). Since the unified
+/// meta-query redesign this is a thin wrapper: it builds a
+/// one-predicate MetaQueryRequest and runs it through the
+/// MetaQueryPlanner's columnar scoring loop.
 std::vector<Neighbor> KnnSearch(const storage::QueryStore& store,
                                 const std::string& viewer,
                                 const storage::QueryRecord& probe, size_t k,
                                 const SimilarityWeights& weights = {},
                                 const RankingOptions& ranking = {},
                                 const CandidateOptions& candidates = {});
+
+/// The pre-planner scoring loop, kept verbatim as the ground-truth
+/// reference: reads candidates through the record deque and the
+/// fingerprint hash index instead of the scoring columns. The planner
+/// equality suite asserts KnnSearch == KnnSearchReference on every
+/// probe; do not optimize this.
+std::vector<Neighbor> KnnSearchReference(const storage::QueryStore& store,
+                                         const std::string& viewer,
+                                         const storage::QueryRecord& probe,
+                                         size_t k,
+                                         const SimilarityWeights& weights = {},
+                                         const RankingOptions& ranking = {},
+                                         const CandidateOptions& candidates = {});
 
 /// Convenience: builds a transient probe record from SQL text (not
 /// logged), then searches. Fails on unparsable text.

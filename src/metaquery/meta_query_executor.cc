@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "storage/record_builder.h"
+
 namespace cqms::metaquery {
+
+storage::VisibilityCache& MetaQueryExecutor::CacheFor(
+    const std::string& viewer) const {
+  auto it = caches_.find(viewer);
+  if (it == caches_.end()) {
+    // Each cache holds a byte per record, so an unbounded viewer set
+    // would retain O(viewers * log size). Resetting wholesale past the
+    // cap is crude but correct (caches only memoize) and keeps the
+    // common many-searches-per-viewer case warm.
+    if (caches_.size() >= kMaxViewerCaches) caches_.clear();
+    it = caches_.emplace(viewer, storage::VisibilityCache(store_, viewer)).first;
+  }
+  return it->second;
+}
 
 Result<db::QueryResult> MetaQueryExecutor::Sql(const std::string& viewer,
                                                const std::string& meta_sql) const {
@@ -12,18 +28,31 @@ Result<db::QueryResult> MetaQueryExecutor::Sql(const std::string& viewer,
   auto it = std::find(result.column_names.begin(), result.column_names.end(), "qid");
   if (it != result.column_names.end()) {
     size_t qid_col = static_cast<size_t>(it - result.column_names.begin());
+    storage::VisibilityCache& cache = CacheFor(viewer);
     std::vector<db::Row> kept;
     kept.reserve(result.rows.size());
     for (db::Row& r : result.rows) {
       const db::Value& v = r[qid_col];
-      if (v.type() == db::ValueType::kInt &&
-          store_->Visible(viewer, v.AsInt())) {
+      if (v.type() == db::ValueType::kInt && v.AsInt() >= 0 &&
+          static_cast<size_t>(v.AsInt()) < store_->size() &&
+          cache.VisibleId(v.AsInt())) {
         kept.push_back(std::move(r));
       }
     }
     result.rows = std::move(kept);
   }
   return result;
+}
+
+Result<std::vector<Neighbor>> MetaQueryExecutor::KnnText(
+    const std::string& viewer, const std::string& sql_text, size_t k,
+    const SimilarityWeights& weights, const RankingOptions& ranking) const {
+  storage::QueryRecord probe = storage::BuildRecordFromText(
+      sql_text, viewer, 0, storage::SignatureMode::kTransient);
+  if (probe.parse_failed()) {
+    return Status::ParseError("probe query does not parse: " + probe.stats.error);
+  }
+  return Knn(viewer, probe, k, weights, ranking);
 }
 
 }  // namespace cqms::metaquery

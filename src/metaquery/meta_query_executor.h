@@ -2,10 +2,13 @@
 #define CQMS_METAQUERY_META_QUERY_EXECUTOR_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "metaquery/feature_query.h"
 #include "metaquery/knn.h"
+#include "metaquery/meta_query_planner.h"
+#include "metaquery/meta_query_request.h"
 #include "metaquery/parse_tree_query.h"
 #include "metaquery/query_by_data.h"
 #include "metaquery/text_search.h"
@@ -17,26 +20,55 @@ namespace cqms::metaquery {
 /// for all four classes of meta-queries the paper identifies (§4.2) —
 /// keyword, complex feature/structure conditions, output conditions, and
 /// kNN — with access control applied on every path.
+///
+/// Since the unified redesign there is exactly one pipeline behind it:
+/// every method builds a MetaQueryRequest (a conjunction of composable
+/// predicates plus one RankingOptions) and hands it to the
+/// MetaQueryPlanner. Call `Execute` directly to *combine* predicates —
+/// "queries touching `lineage` with skeleton X, similar to this probe,
+/// ranked by popularity" is one request — which the per-class wrappers
+/// cannot express. The executor owns one VisibilityCache per viewer,
+/// persistent across calls and self-invalidating on ACL mutation, so ACL
+/// group checks are not recomputed per search.
 class MetaQueryExecutor {
  public:
   /// `store` must outlive the executor.
-  explicit MetaQueryExecutor(const storage::QueryStore* store) : store_(store) {}
+  explicit MetaQueryExecutor(const storage::QueryStore* store)
+      : store_(store), planner_(store) {}
+
+  /// The unified entry point: runs any predicate combination through the
+  /// planner with this executor's persistent visibility cache.
+  MetaQueryResponse Execute(const std::string& viewer,
+                            const MetaQueryRequest& request) const {
+    return planner_.Execute(request, &CacheFor(viewer));
+  }
+
+  // --- legacy per-class entry points: thin one-predicate wrappers ------
 
   // Class 1: keyword / substring.
   std::vector<storage::QueryId> Keyword(const std::string& viewer,
                                         const std::string& words,
                                         bool match_all = true) const {
-    return KeywordSearch(*store_, viewer, words, match_all);
+    MetaQueryRequest request;
+    request.WithKeywords(words, match_all).InLogOrder();
+    request.ranking.exclude_flagged = false;
+    return Execute(viewer, request).Ids();
   }
   std::vector<storage::QueryId> Substring(const std::string& viewer,
                                           const std::string& needle) const {
-    return SubstringSearch(*store_, viewer, needle);
+    MetaQueryRequest request;
+    request.WithSubstring(needle).InLogOrder();
+    request.ranking.exclude_flagged = false;
+    return Execute(viewer, request).Ids();
   }
 
   // Class 2a: feature conditions (programmatic).
   std::vector<storage::QueryId> ByFeature(const std::string& viewer,
                                           const FeatureQuery& query) const {
-    return query.Evaluate(*store_, viewer);
+    MetaQueryRequest request;
+    request.WithFeature(query).InLogOrder();
+    request.ranking.exclude_flagged = false;
+    return Execute(viewer, request).Ids();
   }
 
   // Class 2b: feature conditions (SQL over the feature relations).
@@ -49,14 +81,20 @@ class MetaQueryExecutor {
   // Class 2c: parse-tree structure conditions.
   std::vector<storage::QueryId> ByStructure(const std::string& viewer,
                                             const StructuralPattern& pattern) const {
-    return StructuralSearch(*store_, viewer, pattern);
+    MetaQueryRequest request;
+    request.WithStructure(pattern).InLogOrder();
+    request.ranking.exclude_flagged = false;
+    return Execute(viewer, request).Ids();
   }
 
   // Class 3: conditions on query outputs.
   std::vector<storage::QueryId> ByData(const std::string& viewer,
                                        const std::vector<DataExample>& examples,
                                        const QueryByDataOptions& options = {}) const {
-    return QueryByData(*store_, viewer, examples, options);
+    MetaQueryRequest request;
+    request.WithData(examples, options).InLogOrder();
+    request.ranking.exclude_flagged = false;
+    return Execute(viewer, request).Ids();
   }
 
   // Class 4: kNN.
@@ -64,17 +102,34 @@ class MetaQueryExecutor {
                             const storage::QueryRecord& probe, size_t k,
                             const SimilarityWeights& weights = {},
                             const RankingOptions& ranking = {}) const {
-    return KnnSearch(*store_, viewer, probe, k, weights, ranking);
+    if (k == 0) return {};
+    MetaQueryRequest request;
+    request.SimilarTo(probe, weights).RankedBy(ranking).Limit(k);
+    MetaQueryResponse resp = Execute(viewer, request);
+    std::vector<Neighbor> out;
+    out.reserve(resp.matches.size());
+    for (const MetaQueryMatch& m : resp.matches) {
+      out.push_back({m.id, m.similarity, m.score});
+    }
+    return out;
   }
   Result<std::vector<Neighbor>> KnnText(const std::string& viewer,
                                         const std::string& sql_text, size_t k,
                                         const SimilarityWeights& weights = {},
-                                        const RankingOptions& ranking = {}) const {
-    return KnnSearchText(*store_, viewer, sql_text, k, weights, ranking);
-  }
+                                        const RankingOptions& ranking = {}) const;
 
  private:
+  /// Distinct viewers cached before the pool is reset (bounds resident
+  /// memory at roughly kMaxViewerCaches * log-size bytes).
+  static constexpr size_t kMaxViewerCaches = 256;
+
+  /// The persistent visibility cache for `viewer` (created on first use;
+  /// ACL-epoch checks inside the cache keep it correct forever after).
+  storage::VisibilityCache& CacheFor(const std::string& viewer) const;
+
   const storage::QueryStore* store_;
+  MetaQueryPlanner planner_;
+  mutable std::unordered_map<std::string, storage::VisibilityCache> caches_;
 };
 
 }  // namespace cqms::metaquery

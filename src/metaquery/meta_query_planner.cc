@@ -1,0 +1,282 @@
+#include "metaquery/meta_query_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/interner.h"
+#include "common/sorted_vector.h"
+#include "common/string_util.h"
+
+namespace cqms::metaquery {
+
+namespace {
+
+using storage::QueryId;
+using storage::QueryRecord;
+using storage::ScoringColumns;
+
+/// Similarity view of one record read from the scoring columns — same
+/// shape as ViewOfSignature, different backing memory, identical scores
+/// (the measures are defined over views).
+SignatureView ViewOfColumns(const ScoringColumns& cols, QueryId id) {
+  SignatureView v;
+  ScoringColumns::SymbolSpan s = cols.tables(id);
+  v.tables = s.data;
+  v.n_tables = s.size;
+  s = cols.skeletons(id);
+  v.skeletons = s.data;
+  v.n_skeletons = s.size;
+  s = cols.attributes(id);
+  v.attributes = s.data;
+  v.n_attributes = s.size;
+  s = cols.projections(id);
+  v.projections = s.data;
+  v.n_projections = s.size;
+  s = cols.tokens(id);
+  v.tokens = s.data;
+  v.n_tokens = s.size;
+  ScoringColumns::HashSpan h = cols.output_rows(id);
+  v.output_rows = h.data;
+  v.n_output = h.size;
+  v.output_empty_computed = cols.output_empty_computed(id);
+  v.parsed = !cols.parse_failed(id);
+  return v;
+}
+
+}  // namespace
+
+MetaQueryResponse MetaQueryPlanner::Execute(
+    const std::string& viewer, const MetaQueryRequest& request) const {
+  storage::VisibilityCache cache(store_, viewer);
+  return Execute(request, &cache);
+}
+
+MetaQueryResponse MetaQueryPlanner::Execute(
+    const MetaQueryRequest& request,
+    storage::VisibilityCache* visibility) const {
+  MetaQueryResponse resp;
+  const storage::QueryStore& store = *store_;
+  const ScoringColumns& cols = store.scoring();
+
+  // --- resolve the keyword predicate to interned token Symbols once ----
+  // A token the interner has never seen occurs in no logged query:
+  // match-all becomes unsatisfiable, match-any drops the token.
+  std::vector<Symbol> keyword_syms;
+  if (request.keyword.has_value()) {
+    std::vector<std::string> words = ExtractWords(request.keyword->words);
+    if (words.empty()) return resp;  // KeywordSearch semantics: no match.
+    for (const std::string& w : words) {
+      Symbol s = GlobalInterner().Find(w);
+      if (s == kInvalidSymbol) {
+        if (request.keyword->match_all) return resp;
+        continue;
+      }
+      keyword_syms.push_back(s);
+    }
+    if (keyword_syms.empty()) return resp;  // match-any, all unknown.
+  }
+  // An empty substring needle matches nothing (SubstringSearch semantics).
+  if (request.substring.has_value() && request.substring->empty()) return resp;
+
+  // --- gather every posting list the predicates are backed by ----------
+  std::deque<std::vector<QueryId>> owned;  // storage for materialized unions
+  std::vector<const std::vector<QueryId>*> lists;
+  if (request.keyword.has_value()) {
+    if (request.keyword->match_all) {
+      for (Symbol s : keyword_syms) {
+        const std::vector<QueryId>& ids = store.QueriesWithKeywordSymbol(s);
+        if (ids.empty()) return resp;
+        lists.push_back(&ids);
+      }
+    } else {
+      // match-any: one union list, still intersectable with the rest.
+      std::vector<QueryId> merged;
+      for (Symbol s : keyword_syms) {
+        const std::vector<QueryId>& ids = store.QueriesWithKeywordSymbol(s);
+        merged.insert(merged.end(), ids.begin(), ids.end());
+      }
+      SortUnique(&merged);
+      if (merged.empty()) return resp;
+      owned.push_back(std::move(merged));
+      lists.push_back(&owned.back());
+    }
+  }
+  if (request.feature.has_value()) {
+    const FeatureQuery& f = *request.feature;
+    for (const std::string& t : f.tables()) {
+      lists.push_back(&store.QueriesUsingTable(t));
+    }
+    for (const auto& [rel, attr] : f.attributes()) {
+      lists.push_back(&store.QueriesUsingAttribute(rel, attr));
+    }
+    for (const auto& pc : f.predicates()) {
+      lists.push_back(&store.QueriesUsingAttribute(pc.relation, pc.attribute));
+    }
+    if (f.user().has_value()) {
+      lists.push_back(&store.QueriesByUser(*f.user()));
+    }
+  }
+  if (request.structure.has_value()) {
+    for (const std::string& t : request.structure->required_tables) {
+      lists.push_back(&store.QueriesUsingTable(t));
+    }
+  }
+
+  // --- choose the candidate generator ----------------------------------
+  const QueryRecord* probe =
+      request.similarity.has_value() ? request.similarity->probe : nullptr;
+  std::vector<QueryId> candidates;
+  bool full_scan = false;
+  if (!lists.empty()) {
+    // Exact generator: intersect smallest-first; the smallest list is
+    // the selectivity estimate that bounds the loop.
+    resp.generator = CandidateGenerator::kPostingIntersection;
+    std::sort(lists.begin(), lists.end(),
+              [](const auto* a, const auto* b) { return a->size() < b->size(); });
+    candidates = *lists[0];
+    for (size_t i = 1; i < lists.size() && !candidates.empty(); ++i) {
+      std::vector<QueryId> next;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            lists[i]->begin(), lists[i]->end(),
+                            std::back_inserter(next));
+      candidates = std::move(next);
+    }
+  } else if (probe != nullptr) {
+    KnnCandidates kc =
+        KnnCandidateIds(store, *probe, request.similarity->candidates);
+    full_scan = kc.full_scan();
+    candidates = std::move(kc.ids);
+    switch (kc.source) {
+      case KnnCandidateSource::kLshBuckets:
+        resp.generator = CandidateGenerator::kLshBuckets;
+        break;
+      case KnnCandidateSource::kTableUnion:
+        resp.generator = CandidateGenerator::kTableUnion;
+        break;
+      case KnnCandidateSource::kFullScan:
+        resp.generator = CandidateGenerator::kFullScan;
+        break;
+    }
+  } else {
+    full_scan = true;
+    resp.generator = CandidateGenerator::kFullScan;
+  }
+  resp.candidates_considered = full_scan ? store.size() : candidates.size();
+
+  // --- one filter + scoring pass over the candidates -------------------
+  const bool score_mode = request.order == ResultOrder::kScore;
+  // Keyword membership is implied when the keyword posting lists were
+  // part of the intersection (today: always, keywords are always
+  // indexed); the guard keeps correctness if generator policy evolves.
+  const bool recheck_keyword =
+      request.keyword.has_value() &&
+      resp.generator != CandidateGenerator::kPostingIntersection;
+  const bool probe_sig_valid = probe != nullptr && probe->signature.valid;
+  SignatureView probe_view;
+  if (probe_sig_valid) probe_view = ViewOfSignature(*probe);
+  const std::string lowered_needle =
+      request.substring.has_value() ? ToLower(*request.substring) : std::string();
+
+  // Loop-invariant ranking normalizers, hoisted (identical arithmetic to
+  // the kNN reference path).
+  const Micros max_ts = std::max<Micros>(1, store.max_timestamp());
+  const double inv_log_size =
+      1.0 / std::log1p(static_cast<double>(store.size()) + 1.0);
+
+  std::vector<MetaQueryMatch> matched;
+  if (!full_scan) matched.reserve(std::min<size_t>(candidates.size(), 1024));
+
+  auto consider = [&](QueryId id) {
+    if (!visibility->VisibleId(id)) return;
+    uint32_t flags = cols.flags(id);
+    if (request.ranking.exclude_flagged &&
+        (flags & (storage::kFlagSchemaBroken | storage::kFlagObsolete)) != 0) {
+      return;
+    }
+    if (recheck_keyword) {
+      if (request.keyword->match_all) {
+        for (Symbol s : keyword_syms) {
+          if (!cols.TokenPresent(id, s)) return;
+        }
+      } else {
+        bool any = false;
+        for (Symbol s : keyword_syms) {
+          if (cols.TokenPresent(id, s)) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) return;
+      }
+    }
+    if (request.substring.has_value() &&
+        cols.lowered_text(id).find(lowered_needle) == std::string_view::npos) {
+      return;
+    }
+    // Predicates below need the record struct; fetch it lazily so pure
+    // keyword/substring/similarity requests never leave the columns.
+    if (request.structure.has_value() &&
+        !MatchesPattern(*store.Get(id), *request.structure)) {
+      return;
+    }
+    if (request.feature.has_value() &&
+        !request.feature->MatchesRecord(*store.Get(id))) {
+      return;
+    }
+    double sim = 0;
+    if (probe != nullptr) {
+      sim = probe_sig_valid && cols.signature_valid(id)
+                ? CombinedSimilarity(probe_view, ViewOfColumns(cols, id),
+                                     request.similarity->weights)
+                : CombinedSimilarity(*probe, *store.Get(id),
+                                     request.similarity->weights);
+      if (sim < request.ranking.min_similarity) return;
+    }
+    // Most expensive last: query-by-data may re-execute the query.
+    if (request.data.has_value() &&
+        !RecordSatisfiesDataExamples(*store.Get(id), request.data->examples,
+                                     request.data->options)) {
+      return;
+    }
+    MetaQueryMatch m;
+    m.id = id;
+    m.similarity = sim;
+    if (score_mode) {
+      double popularity =
+          std::log1p(static_cast<double>(cols.popularity(id))) * inv_log_size;
+      double recency = max_ts > 0 ? static_cast<double>(cols.timestamp(id)) /
+                                        static_cast<double>(max_ts)
+                                  : 0;
+      m.score = request.ranking.w_similarity * sim +
+                request.ranking.w_popularity * popularity +
+                request.ranking.w_quality * cols.quality(id) +
+                request.ranking.w_recency * recency;
+    }
+    matched.push_back(m);
+  };
+
+  if (full_scan) {
+    const QueryId n = static_cast<QueryId>(store.size());
+    for (QueryId id = 0; id < n; ++id) consider(id);
+  } else {
+    for (QueryId id : candidates) consider(id);
+  }
+
+  if (score_mode) {
+    size_t keep = request.limit == 0 ? matched.size()
+                                     : std::min(request.limit, matched.size());
+    std::partial_sort(matched.begin(), matched.begin() + keep, matched.end(),
+                      [](const MetaQueryMatch& a, const MetaQueryMatch& b) {
+                        if (a.score != b.score) return a.score > b.score;
+                        return a.id < b.id;
+                      });
+    matched.resize(keep);
+  } else if (request.limit != 0 && matched.size() > request.limit) {
+    matched.resize(request.limit);
+  }
+  resp.matches = std::move(matched);
+  return resp;
+}
+
+}  // namespace cqms::metaquery

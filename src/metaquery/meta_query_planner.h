@@ -1,0 +1,58 @@
+#ifndef CQMS_METAQUERY_META_QUERY_PLANNER_H_
+#define CQMS_METAQUERY_META_QUERY_PLANNER_H_
+
+#include <string>
+
+#include "metaquery/meta_query_request.h"
+#include "storage/query_store.h"
+
+namespace cqms::metaquery {
+
+/// Executes a MetaQueryRequest against the store: the one pipeline every
+/// meta-query class now runs through.
+///
+/// Candidate generation picks the cheapest exact generator by estimated
+/// selectivity:
+///
+///   1. If any predicate is backed by a posting list (keyword tokens,
+///      feature/structure tables, attributes, user), all such lists are
+///      intersected smallest-first — the smallest list bounds the
+///      candidate count, and intersections keep conjunction semantics
+///      exact. An empty required list short-circuits to zero results.
+///   2. Otherwise, a similarity probe generates candidates exactly like
+///      legacy kNN (shared KnnCandidateIds): LSH band buckets on large
+///      logs (approximate by contract), else the probe's table-posting
+///      union. The LSH generator is deliberately *not* used when posting
+///      lists exist: it can miss true conjunction matches, and an exact
+///      generator of bounded size is already available.
+///   3. Full scan only as last resort (substring / data / structure
+///      predicates with no required tables).
+///
+/// Candidates then stream through one filter + scoring loop that reads
+/// the store's ScoringColumns (contiguous hot fields, packed signature
+/// spans, slot-indexed popularity) instead of the record deque; the
+/// record struct is touched only for the predicates that need it
+/// (feature / structure / data). Visibility is resolved exactly once per
+/// candidate through the caller's VisibilityCache.
+class MetaQueryPlanner {
+ public:
+  /// `store` must outlive the planner.
+  explicit MetaQueryPlanner(const storage::QueryStore* store) : store_(store) {}
+
+  /// Runs `request` for `visibility`'s viewer. The cache is typically
+  /// the MetaQueryExecutor's persistent per-viewer cache; it memoizes
+  /// ACL decisions across calls and self-invalidates on ACL mutation.
+  MetaQueryResponse Execute(const MetaQueryRequest& request,
+                            storage::VisibilityCache* visibility) const;
+
+  /// Convenience overload with a call-local visibility cache.
+  MetaQueryResponse Execute(const std::string& viewer,
+                            const MetaQueryRequest& request) const;
+
+ private:
+  const storage::QueryStore* store_;
+};
+
+}  // namespace cqms::metaquery
+
+#endif  // CQMS_METAQUERY_META_QUERY_PLANNER_H_

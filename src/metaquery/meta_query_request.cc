@@ -1,0 +1,61 @@
+#include "metaquery/meta_query_request.h"
+
+namespace cqms::metaquery {
+
+MetaQueryRequest& MetaQueryRequest::WithKeywords(std::string words,
+                                                bool match_all) {
+  keyword = KeywordPredicate{std::move(words), match_all};
+  return *this;
+}
+
+MetaQueryRequest& MetaQueryRequest::WithSubstring(std::string needle) {
+  substring = std::move(needle);
+  return *this;
+}
+
+MetaQueryRequest& MetaQueryRequest::WithFeature(FeatureQuery query) {
+  feature = std::move(query);
+  return *this;
+}
+
+MetaQueryRequest& MetaQueryRequest::WithStructure(StructuralPattern pattern) {
+  structure = std::move(pattern);
+  return *this;
+}
+
+MetaQueryRequest& MetaQueryRequest::WithData(std::vector<DataExample> examples,
+                                             QueryByDataOptions options) {
+  data = DataPredicate{std::move(examples), options};
+  return *this;
+}
+
+MetaQueryRequest& MetaQueryRequest::SimilarTo(const storage::QueryRecord& probe,
+                                              const SimilarityWeights& weights,
+                                              const CandidateOptions& candidates) {
+  similarity = SimilarityPredicate{&probe, weights, candidates};
+  return *this;
+}
+
+MetaQueryRequest& MetaQueryRequest::RankedBy(const RankingOptions& options) {
+  ranking = options;
+  return *this;
+}
+
+MetaQueryRequest& MetaQueryRequest::InLogOrder() {
+  order = ResultOrder::kLogOrder;
+  return *this;
+}
+
+MetaQueryRequest& MetaQueryRequest::Limit(size_t n) {
+  limit = n;
+  return *this;
+}
+
+std::vector<storage::QueryId> MetaQueryResponse::Ids() const {
+  std::vector<storage::QueryId> out;
+  out.reserve(matches.size());
+  for (const MetaQueryMatch& m : matches) out.push_back(m.id);
+  return out;
+}
+
+}  // namespace cqms::metaquery

@@ -37,6 +37,28 @@ bool RowsSatisfyExamples(const std::vector<db::Row>& rows,
 
 }  // namespace
 
+bool RecordSatisfiesDataExamples(const storage::QueryRecord& r,
+                                 const std::vector<DataExample>& examples,
+                                 const QueryByDataOptions& options) {
+  if (!r.stats.succeeded || r.parse_failed()) return false;
+
+  const bool has_summary = !r.summary.column_names.empty();
+  if (has_summary && r.summary.complete) {
+    return RowsSatisfyExamples(r.summary.sample_rows, examples);
+  }
+
+  // Incomplete or missing summary: the sample is inconclusive.
+  if (options.reexecute_on != nullptr && r.ast != nullptr) {
+    auto exec = options.reexecute_on->Execute(*r.ast);
+    return exec.ok() && RowsSatisfyExamples(exec->rows, examples);
+  }
+  if (has_summary && !options.skip_without_summary) {
+    // Best-effort: decide on the sample alone.
+    return RowsSatisfyExamples(r.summary.sample_rows, examples);
+  }
+  return false;
+}
+
 std::vector<storage::QueryId> QueryByData(const storage::QueryStore& store,
                                           const std::string& viewer,
                                           const std::vector<DataExample>& examples,
@@ -44,26 +66,7 @@ std::vector<storage::QueryId> QueryByData(const storage::QueryStore& store,
   std::vector<storage::QueryId> out;
   for (const storage::QueryRecord& r : store.records()) {
     if (!store.Visible(viewer, r.id)) continue;
-    if (!r.stats.succeeded || r.parse_failed()) continue;
-
-    const bool has_summary = !r.summary.column_names.empty();
-    if (has_summary && r.summary.complete) {
-      if (RowsSatisfyExamples(r.summary.sample_rows, examples)) out.push_back(r.id);
-      continue;
-    }
-
-    // Incomplete or missing summary: the sample is inconclusive.
-    if (options.reexecute_on != nullptr && r.ast != nullptr) {
-      auto exec = options.reexecute_on->Execute(*r.ast);
-      if (exec.ok() && RowsSatisfyExamples(exec->rows, examples)) {
-        out.push_back(r.id);
-      }
-      continue;
-    }
-    if (has_summary && !options.skip_without_summary) {
-      // Best-effort: decide on the sample alone.
-      if (RowsSatisfyExamples(r.summary.sample_rows, examples)) out.push_back(r.id);
-    }
+    if (RecordSatisfiesDataExamples(r, examples, options)) out.push_back(r.id);
   }
   return out;
 }

@@ -17,14 +17,16 @@ struct SimilarityWeights {
   double output = 0.2;   ///< Output-sample overlap (semantic, black-box).
 };
 
-/// Jaccard over two sorted, deduplicated vectors via a single linear
-/// merge — the allocation-free kernel every signature measure shares.
-/// Both-empty pairs score 1.0 (matching the string-set reference path).
+/// Jaccard over two sorted, deduplicated runs given as pointer + length —
+/// the kernel SortedJaccard and the columnar scoring path share, so both
+/// compile to the identical instruction sequence and produce bit-identical
+/// scores regardless of where the runs live (signature vectors or the
+/// ScoringColumns arena).
 template <typename T>
-double SortedJaccard(const std::vector<T>& a, const std::vector<T>& b) {
-  if (a.empty() && b.empty()) return 1.0;
+double SpanJaccard(const T* a, size_t na, const T* b, size_t nb) {
+  if (na == 0 && nb == 0) return 1.0;
   size_t i = 0, j = 0, inter = 0;
-  while (i < a.size() && j < b.size()) {
+  while (i < na && j < nb) {
     if (a[i] == b[j]) {
       ++inter;
       ++i;
@@ -35,9 +37,57 @@ double SortedJaccard(const std::vector<T>& a, const std::vector<T>& b) {
       ++j;
     }
   }
-  size_t uni = a.size() + b.size() - inter;
+  size_t uni = na + nb - inter;
   return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
 }
+
+/// Jaccard over two sorted, deduplicated vectors via a single linear
+/// merge — the allocation-free kernel every signature measure shares.
+/// Both-empty pairs score 1.0 (matching the string-set reference path).
+template <typename T>
+double SortedJaccard(const std::vector<T>& a, const std::vector<T>& b) {
+  return SpanJaccard(a.data(), a.size(), b.data(), b.size());
+}
+
+/// A borrowed, layout-agnostic view of one record's similarity features:
+/// pointers into either a SimilaritySignature's vectors or the scoring
+/// columns' arenas. All similarity measures are defined over views, so the
+/// record-based and columnar paths are literally the same code.
+struct SignatureView {
+  const Symbol* tables = nullptr;
+  size_t n_tables = 0;
+  const Symbol* skeletons = nullptr;
+  size_t n_skeletons = 0;
+  const Symbol* attributes = nullptr;
+  size_t n_attributes = 0;
+  const Symbol* projections = nullptr;
+  size_t n_projections = 0;
+  const Symbol* tokens = nullptr;
+  size_t n_tokens = 0;
+  const uint64_t* output_rows = nullptr;
+  size_t n_output = 0;
+  bool output_empty_computed = false;
+  /// Feature measures apply only when the query parsed.
+  bool parsed = false;
+};
+
+/// View over a record's precomputed signature. The record must outlive
+/// the view (pointers borrow its vectors).
+SignatureView ViewOfSignature(const storage::QueryRecord& record);
+
+/// Feature overlap (tables, predicate skeletons, attributes, projections).
+double FeatureSimilarity(const SignatureView& a, const SignatureView& b);
+
+/// Token overlap.
+double TextSimilarity(const SignatureView& a, const SignatureView& b);
+
+/// Output-sample overlap on sorted row hashes; -1 when unavailable.
+double OutputSimilarity(const SignatureView& a, const SignatureView& b);
+
+/// Weighted combination over views — the one scoring kernel behind
+/// CombinedSimilarity and the meta-query planner's columnar loop.
+double CombinedSimilarity(const SignatureView& a, const SignatureView& b,
+                          const SimilarityWeights& weights);
 
 // --- signature fast path ---------------------------------------------------
 // These overloads operate on the precomputed, interned SimilaritySignature

@@ -57,9 +57,16 @@ std::vector<storage::QueryId> SubstringSearch(const storage::QueryStore& store,
                                               const std::string& needle) {
   std::vector<storage::QueryId> out;
   if (needle.empty()) return out;
+  // Lower-case the needle once and scan each record's lowered text,
+  // memoized in the scoring columns at append time — the per-record
+  // case-folding (and its allocations) is off the scan entirely.
+  const std::string lowered = ToLower(needle);
+  const storage::ScoringColumns& cols = store.scoring();
   for (const storage::QueryRecord& r : store.records()) {
     if (!store.Visible(viewer, r.id)) continue;
-    if (ContainsIgnoreCase(r.text, needle)) out.push_back(r.id);
+    if (cols.lowered_text(r.id).find(lowered) != std::string_view::npos) {
+      out.push_back(r.id);
+    }
   }
   return out;
 }

@@ -6,6 +6,7 @@ void AccessControl::AddUser(const std::string& user,
                             const std::vector<std::string>& groups) {
   auto& set = memberships_[user];
   for (const std::string& g : groups) set.insert(g);
+  ++epoch_;
 }
 
 const std::set<std::string>& AccessControl::GroupsOf(const std::string& user) const {
@@ -33,6 +34,7 @@ Status AccessControl::SetVisibility(QueryId id, const std::string& owner,
                                     std::to_string(id));
   }
   visibility_[id] = visibility;
+  ++epoch_;
   return Status::Ok();
 }
 

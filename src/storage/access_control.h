@@ -1,6 +1,7 @@
 #ifndef CQMS_STORAGE_ACCESS_CONTROL_H_
 #define CQMS_STORAGE_ACCESS_CONTROL_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -54,9 +55,17 @@ class AccessControl {
     return memberships_;
   }
 
+  /// Monotonic counter bumped by every mutation that can change a
+  /// CanSee outcome (group membership merges, per-query visibility
+  /// changes). Long-lived VisibilityCaches compare it against the value
+  /// they snapshotted and drop their memoized decisions on mismatch, so
+  /// caching never outlives an ACL change.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   std::map<std::string, std::set<std::string>> memberships_;
   std::map<QueryId, Visibility> visibility_;
+  uint64_t epoch_ = 0;
   std::set<std::string> empty_;
 };
 

@@ -44,6 +44,13 @@ QueryStore::QueryStore(LshParams lsh_params) : lsh_(lsh_params) {
   (void)s;
 }
 
+uint32_t QueryStore::PopularitySlotFor(const QueryRecord& record) {
+  if (record.parse_failed()) return ScoringColumns::kNoPopularitySlot;
+  auto [it, inserted] = pop_slot_of_.try_emplace(record.fingerprint, 0);
+  if (inserted) it->second = scoring_.NewPopularitySlot();
+  return it->second;
+}
+
 QueryId QueryStore::Append(QueryRecord record) {
   record.id = static_cast<QueryId>(records_.size());
   // The profiler attaches the output summary after BuildRecordFromText,
@@ -69,16 +76,21 @@ QueryId QueryStore::Append(QueryRecord record) {
   records_.push_back(std::move(record));
   const QueryRecord& stored = records_.back();
   IndexRecord(stored);
+  uint32_t slot = PopularitySlotFor(stored);
+  if (slot != ScoringColumns::kNoPopularitySlot) scoring_.AddSlotRef(slot);
+  scoring_.AppendRecord(stored, slot, GlobalInterner().Intern(stored.user));
   InsertFeatureRows(stored);
   return stored.id;
 }
 
 void QueryStore::IndexRecord(const QueryRecord& record) {
-  for (const std::string& t : record.components.tables) {
+  // Table and attribute posting lists are keyed by the signature's
+  // interned Symbols (sorted, deduplicated) — no re-hashing of strings.
+  for (Symbol t : record.signature.tables) {
     InsertSorted(&by_table_[t], record.id);
   }
-  for (const auto& [rel, attr] : record.components.attributes) {
-    InsertSorted(&by_attribute_[rel + "." + attr], record.id);
+  for (Symbol a : record.signature.attributes) {
+    InsertSorted(&by_attribute_[a], record.id);
   }
   InsertSorted(&by_user_[record.user], record.id);
   // The signature's token vector is exactly the deduplicated
@@ -94,12 +106,12 @@ void QueryStore::IndexRecord(const QueryRecord& record) {
 }
 
 void QueryStore::UnindexRecord(const QueryRecord& record) {
-  for (const std::string& t : record.components.tables) {
+  for (Symbol t : record.signature.tables) {
     auto it = by_table_.find(t);
     if (it != by_table_.end()) EraseSorted(&it->second, record.id);
   }
-  for (const auto& [rel, attr] : record.components.attributes) {
-    auto it = by_attribute_.find(rel + "." + attr);
+  for (Symbol a : record.signature.attributes) {
+    auto it = by_attribute_.find(a);
     if (it != by_attribute_.end()) EraseSorted(&it->second, record.id);
   }
   for (Symbol token : record.signature.text_tokens) {
@@ -152,7 +164,15 @@ QueryRecord* QueryStore::GetMutable(QueryId id) {
 
 const std::vector<QueryId>& QueryStore::QueriesUsingTable(
     const std::string& table) const {
-  auto it = by_table_.find(ToLower(table));
+  // Find() never inserts, so probing unseen names cannot grow the
+  // global interner.
+  return QueriesUsingTableSymbol(GlobalInterner().Find(ToLower(table)));
+}
+
+const std::vector<QueryId>& QueryStore::QueriesUsingTableSymbol(
+    Symbol table) const {
+  if (table == kInvalidSymbol) return empty_;
+  auto it = by_table_.find(table);
   return it == by_table_.end() ? empty_ : it->second;
 }
 
@@ -174,9 +194,34 @@ std::vector<QueryId> QueryStore::QueriesUsingAnyTable(
   return out;
 }
 
+std::vector<QueryId> QueryStore::QueriesUsingAnyTableSymbol(
+    const std::vector<Symbol>& tables) const {
+  std::vector<QueryId> out;
+  if (tables.size() == 1) {
+    out = QueriesUsingTableSymbol(tables[0]);
+    return out;
+  }
+  size_t total = 0;
+  for (Symbol t : tables) total += QueriesUsingTableSymbol(t).size();
+  out.reserve(total);
+  for (Symbol t : tables) {
+    const std::vector<QueryId>& ids = QueriesUsingTableSymbol(t);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  SortUnique(&out);
+  return out;
+}
+
 const std::vector<QueryId>& QueryStore::QueriesUsingAttribute(
     const std::string& relation, const std::string& attribute) const {
-  auto it = by_attribute_.find(ToLower(relation) + "." + ToLower(attribute));
+  return QueriesUsingAttributeSymbol(
+      GlobalInterner().Find(ToLower(relation) + "." + ToLower(attribute)));
+}
+
+const std::vector<QueryId>& QueryStore::QueriesUsingAttributeSymbol(
+    Symbol qualified) const {
+  if (qualified == kInvalidSymbol) return empty_;
+  auto it = by_attribute_.find(qualified);
   return it == by_attribute_.end() ? empty_ : it->second;
 }
 
@@ -189,7 +234,11 @@ const std::vector<QueryId>& QueryStore::QueriesWithKeyword(
     const std::string& word) const {
   // Find() never inserts, so probing for unseen words cannot grow the
   // global interner.
-  Symbol token = GlobalInterner().Find(ToLower(word));
+  return QueriesWithKeywordSymbol(GlobalInterner().Find(ToLower(word)));
+}
+
+const std::vector<QueryId>& QueryStore::QueriesWithKeywordSymbol(
+    Symbol token) const {
   if (token == kInvalidSymbol) return empty_;
   auto it = by_keyword_.find(token);
   return it == by_keyword_.end() ? empty_ : it->second;
@@ -222,6 +271,10 @@ Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
   // Purge index entries derived from the old text before replacing it,
   // so the record is never findable under features it no longer has.
   UnindexRecord(*r);
+  uint32_t old_slot = scoring_.pop_slot(id);
+  if (old_slot != ScoringColumns::kNoPopularitySlot) {
+    scoring_.ReleaseSlotRef(old_slot);
+  }
   r->text = std::move(rebuilt.text);
   r->canonical_text = std::move(rebuilt.canonical_text);
   r->skeleton = std::move(rebuilt.skeleton);
@@ -248,6 +301,9 @@ Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
     }
   }
   IndexRecord(*r);
+  uint32_t slot = PopularitySlotFor(*r);
+  if (slot != ScoringColumns::kNoPopularitySlot) scoring_.AddSlotRef(slot);
+  scoring_.RewriteRecord(*r, slot);
   InsertFeatureRows(*r);
   return Status::Ok();
 }
@@ -263,6 +319,7 @@ Status QueryStore::AddFlag(QueryId id, QueryFlags flag) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
   r->flags |= flag;
+  scoring_.SetFlags(id, r->flags);
   return Status::Ok();
 }
 
@@ -270,6 +327,7 @@ Status QueryStore::ClearFlag(QueryId id, QueryFlags flag) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
   r->flags &= ~static_cast<uint32_t>(flag);
+  scoring_.SetFlags(id, r->flags);
   return Status::Ok();
 }
 
@@ -284,6 +342,15 @@ Status QueryStore::SetQuality(QueryId id, double quality) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
   r->quality = std::clamp(quality, 0.0, 1.0);
+  scoring_.SetQuality(id, r->quality);
+  return Status::Ok();
+}
+
+Status QueryStore::SyncOutputSignature(QueryId id) {
+  QueryRecord* r = GetMutable(id);
+  if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  UpdateOutputSignature(r);
+  scoring_.SyncOutput(*r);
   return Status::Ok();
 }
 
@@ -295,6 +362,7 @@ Status QueryStore::Delete(QueryId id, const std::string& requester, bool is_admi
                                     std::to_string(id));
   }
   r->flags |= kFlagDeleted;
+  scoring_.SetFlags(id, r->flags);
   return Status::Ok();
 }
 
@@ -305,7 +373,7 @@ bool QueryStore::Visible(const std::string& viewer, QueryId id) const {
 }
 
 std::vector<QueryId> QueryStore::VisibleIds(const std::string& viewer) const {
-  VisibilityCache cache(*this, viewer);
+  VisibilityCache cache(this, viewer);
   std::vector<QueryId> out;
   out.reserve(records_.size());
   for (const QueryRecord& r : records_) {
@@ -314,20 +382,52 @@ std::vector<QueryId> QueryStore::VisibleIds(const std::string& viewer) const {
   return out;
 }
 
-bool VisibilityCache::Visible(const QueryRecord& record) const {
-  if (record.HasFlag(kFlagDeleted)) return false;
-  if (viewer_ == record.user) return true;
-  switch (store_.acl().GetVisibility(record.id)) {
-    case Visibility::kPrivate:
-      return false;
-    case Visibility::kPublic:
-      return true;
-    case Visibility::kGroup:
-      break;
+bool VisibilityCache::AclVisible(QueryId id) const {
+  // Invalidate-on-mutation: group memberships or per-query visibility
+  // may have changed since the entries were memoized.
+  uint64_t epoch = store_->acl().epoch();
+  if (epoch != acl_epoch_) {
+    acl_epoch_ = epoch;
+    acl_ok_.clear();
+    shares_group_.clear();
   }
-  auto [it, inserted] = shares_group_.try_emplace(std::string_view(record.user), false);
-  if (inserted) it->second = store_.acl().ShareGroup(viewer_, record.user);
-  return it->second;
+  size_t idx = static_cast<size_t>(id);
+  if (idx >= acl_ok_.size()) {
+    acl_ok_.resize(store_->size(), kUnknown);
+    // Find() never inserts; resolving here (not per candidate) keeps the
+    // interner mutex off the hot path.
+    viewer_symbol_ = GlobalInterner().Find(viewer_);
+  }
+  uint8_t cached = acl_ok_[idx];
+  if (cached != kUnknown) return cached == kVisible;
+
+  // Owner identity via the columns' interned Symbol — equality of ids is
+  // equality of names, with no record-deque touch.
+  Symbol owner = store_->scoring().owner(id);
+  bool visible = false;
+  if (owner == viewer_symbol_ && owner != kInvalidSymbol) {
+    visible = true;
+  } else {
+    switch (store_->acl().GetVisibility(id)) {
+      case Visibility::kPrivate:
+        visible = false;
+        break;
+      case Visibility::kPublic:
+        visible = true;
+        break;
+      case Visibility::kGroup: {
+        auto [it, inserted] = shares_group_.try_emplace(owner, false);
+        if (inserted) {
+          it->second = store_->acl().ShareGroup(
+              viewer_, std::string(GlobalInterner().NameOf(owner)));
+        }
+        visible = it->second;
+        break;
+      }
+    }
+  }
+  acl_ok_[idx] = visible ? kVisible : kHidden;
+  return visible;
 }
 
 }  // namespace cqms::storage

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "storage/access_control.h"
 #include "storage/lsh_index.h"
 #include "storage/query_record.h"
+#include "storage/scoring_columns.h"
 
 namespace cqms::storage {
 
@@ -40,7 +42,8 @@ class QueryStore {
   /// Appends a record, assigning its id, finalizing its similarity
   /// signature (the output summary is attached by the profiler after
   /// BuildRecordFromText, so the signature is recomputed here) and
-  /// updating every index and the feature relations. Returns the id.
+  /// updating every index, the scoring columns and the feature
+  /// relations. Returns the id.
   QueryId Append(QueryRecord record);
 
   const QueryRecord* Get(QueryId id) const;
@@ -53,9 +56,19 @@ class QueryStore {
   Micros max_timestamp() const { return max_timestamp_; }
 
   // --- secondary indexes ---------------------------------------------------
+  // Table and attribute posting lists are keyed by the interned Symbol of
+  // the (lower-case) table / "rel.attr" name — the same ids the similarity
+  // signatures carry — so index maintenance reuses the signature's
+  // interning work and the meta-query planner intersects posting lists
+  // without hashing a single string.
 
   /// Ids of queries whose FROM (at any nesting level) references `table`.
   const std::vector<QueryId>& QueriesUsingTable(const std::string& table) const;
+
+  /// Symbol-keyed variant: `table` is the interned lower-case table name
+  /// (e.g. a probe signature's tables entry). Unknown symbols — including
+  /// hash-derived transient ids — return the empty list.
+  const std::vector<QueryId>& QueriesUsingTableSymbol(Symbol table) const;
 
   /// Sorted, deduplicated union of QueriesUsingTable over `tables` —
   /// kNN candidate generation. Concatenates the posting lists into one
@@ -64,14 +77,24 @@ class QueryStore {
   std::vector<QueryId> QueriesUsingAnyTable(
       const std::vector<std::string>& tables) const;
 
+  /// Symbol-keyed union, for probes that carry an interned signature.
+  std::vector<QueryId> QueriesUsingAnyTableSymbol(
+      const std::vector<Symbol>& tables) const;
+
   /// Ids of queries referencing relation.attribute.
   const std::vector<QueryId>& QueriesUsingAttribute(const std::string& relation,
                                                     const std::string& attribute) const;
+
+  /// Symbol-keyed variant: `qualified` is the interned "rel.attr" string.
+  const std::vector<QueryId>& QueriesUsingAttributeSymbol(Symbol qualified) const;
 
   const std::vector<QueryId>& QueriesByUser(const std::string& user) const;
 
   /// Ids of queries whose text contains `word` (lower-cased token).
   const std::vector<QueryId>& QueriesWithKeyword(const std::string& word) const;
+
+  /// Symbol-keyed variant for callers that already resolved the token.
+  const std::vector<QueryId>& QueriesWithKeywordSymbol(Symbol token) const;
 
   /// Ids sharing a structure skeleton (same query modulo constants).
   const std::vector<QueryId>& QueriesWithSkeleton(uint64_t skeleton_fp) const;
@@ -89,6 +112,12 @@ class QueryStore {
   /// the popularity count used by ranking functions.
   uint64_t PopularityOf(uint64_t fingerprint) const;
 
+  /// Columnar copies of the hot scoring fields (flags, quality,
+  /// timestamp, owner, popularity slot, packed signature spans, lowered
+  /// text), maintained through every mutation path. The meta-query
+  /// scoring loop reads candidates from here instead of the record deque.
+  const ScoringColumns& scoring() const { return scoring_; }
+
   // --- record mutation -------------------------------------------------------
 
   Status Annotate(QueryId id, Annotation annotation);
@@ -105,6 +134,13 @@ class QueryStore {
   Status ClearFlag(QueryId id, QueryFlags flag);
   Status SetSession(QueryId id, SessionId session);
   Status SetQuality(QueryId id, double quality);
+
+  /// Recomputes the output-derived signature fields of `id` from its
+  /// current summary and mirrors them into the scoring columns. Callers
+  /// that replace a record's output summary in place (maintenance stats
+  /// refresh) must use this instead of calling UpdateOutputSignature on
+  /// the record directly, or the columnar copy goes stale.
+  Status SyncOutputSignature(QueryId id);
 
   /// Tombstones a query (owner or admin action, §2.4). The record stays
   /// for audit but disappears from all visible scans.
@@ -134,46 +170,83 @@ class QueryStore {
   /// *current* features; called before RewriteQueryText replaces them.
   void UnindexRecord(const QueryRecord& record);
   void InsertFeatureRows(const QueryRecord& record);
+  /// Slot of `fingerprint` in the scoring columns' popularity counts,
+  /// creating one on first sight. kNoPopularitySlot for parse failures.
+  uint32_t PopularitySlotFor(const QueryRecord& record);
 
   std::deque<QueryRecord> records_;
   AccessControl acl_;
   db::Database feature_db_;
   Micros max_timestamp_ = 0;
 
-  std::unordered_map<std::string, std::vector<QueryId>> by_table_;
-  std::unordered_map<std::string, std::vector<QueryId>> by_attribute_;  // "rel.attr"
+  /// Keyed by the interned lower-case table name — the same Symbols as
+  /// signature.tables.
+  std::unordered_map<Symbol, std::vector<QueryId>> by_table_;
+  /// Keyed by the interned "rel.attr" string — same as signature.attributes.
+  std::unordered_map<Symbol, std::vector<QueryId>> by_attribute_;
   std::unordered_map<std::string, std::vector<QueryId>> by_user_;
   /// Keyed by interned token Symbol (GlobalInterner); tokens come from
   /// the record's signature, so indexing shares the interning work.
   std::unordered_map<Symbol, std::vector<QueryId>> by_keyword_;
   std::unordered_map<uint64_t, std::vector<QueryId>> by_skeleton_;
   std::unordered_map<uint64_t, std::vector<QueryId>> by_fingerprint_;
+  std::unordered_map<uint64_t, uint32_t> pop_slot_of_;
   LshIndex lsh_;
+  ScoringColumns scoring_;
   std::vector<QueryId> empty_;
 };
 
 /// Memoizes visibility decisions for one viewer over one store. The
-/// group-sharing part of AccessControl::CanSee is a string-set
-/// intersection per (viewer, owner) pair; read paths that filter
-/// thousands of candidates (kNN, clustering inputs) resolve each owner
-/// once through this cache instead. Semantics match
-/// QueryStore::Visible exactly. Intended to live for one query/scan —
-/// it snapshots nothing, but memoized entries would go stale across ACL
-/// mutations.
+/// ACL part of a visibility check — per-query visibility level plus the
+/// group-set intersection for kGroup queries — is resolved at most once
+/// per query id and cached in a flat byte vector; the deleted-tombstone
+/// flag is re-read from the scoring columns on every call so deletions
+/// take effect immediately. Safe to keep alive across searches and ACL
+/// mutations: every call compares the store's ACL epoch against the
+/// snapshot taken when the cache was (re)filled and drops all memoized
+/// decisions on mismatch, so a viewer whose group membership changed is
+/// re-checked from scratch. Semantics match QueryStore::Visible exactly.
 class VisibilityCache {
  public:
-  VisibilityCache(const QueryStore& store, std::string viewer)
+  VisibilityCache(const QueryStore* store, std::string viewer)
       : store_(store), viewer_(std::move(viewer)) {}
 
   /// True when the viewer may see `record` (not deleted, ACL passes).
-  bool Visible(const QueryRecord& record) const;
+  bool Visible(const QueryRecord& record) const {
+    if (record.HasFlag(kFlagDeleted)) return false;
+    return AclVisible(record.id);
+  }
+
+  /// Columnar variant: reads the tombstone flag from the scoring columns
+  /// instead of the record struct — the scoring-loop fast path.
+  bool VisibleId(QueryId id) const {
+    if ((store_->scoring().flags(id) & kFlagDeleted) != 0) return false;
+    return AclVisible(id);
+  }
+
+  const std::string& viewer() const { return viewer_; }
 
  private:
-  const QueryStore& store_;
+  bool AclVisible(QueryId id) const;
+
+  static constexpr uint8_t kUnknown = 0, kVisible = 1, kHidden = 2;
+
+  const QueryStore* store_;
   std::string viewer_;
-  /// Keyed by owner name; string_views point into record.user fields,
-  /// which are stable (records live in the store's deque).
-  mutable std::unordered_map<std::string_view, bool> shares_group_;
+  /// ACL epoch the memoized entries were computed under.
+  mutable uint64_t acl_epoch_ = ~0ULL;
+  /// The viewer's interned Symbol (kInvalidSymbol when the viewer never
+  /// authored a logged query) — lets the owner check compare one u32
+  /// against the columns' owner Symbol instead of touching the record
+  /// deque for a string compare. Refreshed whenever acl_ok_ grows, which
+  /// covers the viewer's name being interned by their own first Append.
+  mutable Symbol viewer_symbol_ = kInvalidSymbol;
+  /// Per-id ACL decision (kUnknown / kVisible / kHidden); excludes the
+  /// deleted flag, which is never cached.
+  mutable std::vector<uint8_t> acl_ok_;
+  /// Per-owner group-sharing results, shared across that owner's
+  /// queries; keyed by the owner's interned Symbol.
+  mutable std::unordered_map<Symbol, bool> shares_group_;
 };
 
 }  // namespace cqms::storage

@@ -1,0 +1,200 @@
+#ifndef CQMS_STORAGE_SCORING_COLUMNS_H_
+#define CQMS_STORAGE_SCORING_COLUMNS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "storage/query_record.h"
+
+namespace cqms::storage {
+
+/// Columnar copies of every record field the meta-query scoring loop
+/// touches, maintained by QueryStore alongside its secondary indexes.
+///
+/// The kNN/ranking inner loop visits thousands of candidates per call;
+/// reading each one through the record deque costs a scattered ~500-byte
+/// struct touch plus one heap hop per signature vector plus a
+/// fingerprint hash lookup for popularity — the ~200ns/candidate
+/// memory-bound profile the roadmap describes. This side-table packs the
+/// hot fields the loop actually reads into parallel vectors (one
+/// contiguous row per record) and concatenates every record's signature
+/// into two shared arenas, so scoring streams cache lines instead of
+/// chasing pointers:
+///
+///   - flags / quality / timestamp / owner-Symbol scalars,
+///   - a popularity *slot* index into a shared per-fingerprint count
+///     vector (popularity becomes two dependent array loads, no hashing),
+///   - the similarity signature as spans into a Symbol arena plus an
+///     output-row-hash arena,
+///   - the lower-cased query text in a character arena (substring scans
+///     stop re-lowercasing the whole log per call).
+///
+/// Coherence: QueryStore updates the columns in Append, RewriteQueryText,
+/// flag/quality mutators and SyncOutputSignature. A rewrite re-packs the
+/// record's arena runs at the arena tail and orphans the old runs
+/// (rewrites are rare repair events; `arena_garbage()` reports the dead
+/// volume should compaction ever become worthwhile).
+class ScoringColumns {
+ public:
+  /// pop_slot value for records that carry no canonical fingerprint
+  /// (parse failures); their popularity reads as 0.
+  static constexpr uint32_t kNoPopularitySlot = 0xFFFFFFFFu;
+
+  // Bits of SignatureRef::bits.
+  static constexpr uint8_t kSigValid = 1u << 0;
+  static constexpr uint8_t kSigParsed = 1u << 1;
+  static constexpr uint8_t kSigOutputEmptyComputed = 1u << 2;
+
+  /// Packed directory entry locating one record's signature inside the
+  /// arenas. Section order in the Symbol arena: tables, predicate
+  /// skeletons, attributes, projections, text tokens — each sorted
+  /// ascending and deduplicated, exactly the record's
+  /// SimilaritySignature vectors.
+  struct SignatureRef {
+    uint32_t begin = 0;  ///< First Symbol of this record's runs.
+    uint16_t n_tables = 0;
+    uint16_t n_skeletons = 0;
+    uint16_t n_attributes = 0;
+    uint16_t n_projections = 0;
+    uint16_t n_tokens = 0;
+    uint8_t bits = 0;
+    uint32_t out_begin = 0;  ///< First output-row hash.
+    uint32_t n_output = 0;
+    uint32_t text_begin = 0;  ///< First byte of the lowered text.
+    uint32_t text_len = 0;
+  };
+
+  struct SymbolSpan {
+    const Symbol* data = nullptr;
+    size_t size = 0;
+  };
+  struct HashSpan {
+    const uint64_t* data = nullptr;
+    size_t size = 0;
+  };
+
+  size_t size() const { return flags_.size(); }
+
+  // --- maintenance (QueryStore only) --------------------------------------
+
+  /// Appends the columnar row of a just-stored record. `record.id` must
+  /// equal size(). `owner` is the interned record.user.
+  void AppendRecord(const QueryRecord& record, uint32_t pop_slot, Symbol owner);
+
+  /// Re-packs a rewritten record: new signature runs and lowered text go
+  /// to the arena tails, the popularity slot is replaced. Scalars that
+  /// RewriteQueryText preserves (quality, timestamp, owner) are kept.
+  void RewriteRecord(const QueryRecord& record, uint32_t pop_slot);
+
+  /// Refreshes only the output-derived signature section after a summary
+  /// replacement (maintenance stats refresh).
+  void SyncOutput(const QueryRecord& record);
+
+  void SetFlags(QueryId id, uint32_t flags) {
+    flags_[static_cast<size_t>(id)] = flags;
+  }
+  void SetQuality(QueryId id, double quality) {
+    quality_[static_cast<size_t>(id)] = quality;
+  }
+
+  /// Creates a new popularity slot (count 0) and returns its index.
+  uint32_t NewPopularitySlot();
+  void AddSlotRef(uint32_t slot) { ++pop_counts_[slot]; }
+  void ReleaseSlotRef(uint32_t slot) { --pop_counts_[slot]; }
+
+  // --- hot reads ----------------------------------------------------------
+
+  uint32_t flags(QueryId id) const { return flags_[static_cast<size_t>(id)]; }
+  double quality(QueryId id) const { return quality_[static_cast<size_t>(id)]; }
+  int64_t timestamp(QueryId id) const {
+    return timestamp_[static_cast<size_t>(id)];
+  }
+  Symbol owner(QueryId id) const { return owner_[static_cast<size_t>(id)]; }
+  uint32_t pop_slot(QueryId id) const {
+    return pop_slot_[static_cast<size_t>(id)];
+  }
+  /// Canonical-duplicate count of the record's fingerprint (0 for parse
+  /// failures) — equals QueryStore::PopularityOf(record.fingerprint).
+  uint64_t popularity(QueryId id) const {
+    uint32_t slot = pop_slot_[static_cast<size_t>(id)];
+    return slot == kNoPopularitySlot ? 0 : pop_counts_[slot];
+  }
+
+  bool signature_valid(QueryId id) const {
+    return (sig_[static_cast<size_t>(id)].bits & kSigValid) != 0;
+  }
+  bool parse_failed(QueryId id) const {
+    return (sig_[static_cast<size_t>(id)].bits & kSigParsed) == 0;
+  }
+  bool output_empty_computed(QueryId id) const {
+    return (sig_[static_cast<size_t>(id)].bits & kSigOutputEmptyComputed) != 0;
+  }
+
+  SymbolSpan tables(QueryId id) const {
+    const SignatureRef& s = sig_[static_cast<size_t>(id)];
+    return {sym_arena_.data() + s.begin, s.n_tables};
+  }
+  SymbolSpan skeletons(QueryId id) const {
+    const SignatureRef& s = sig_[static_cast<size_t>(id)];
+    return {sym_arena_.data() + s.begin + s.n_tables, s.n_skeletons};
+  }
+  SymbolSpan attributes(QueryId id) const {
+    const SignatureRef& s = sig_[static_cast<size_t>(id)];
+    return {sym_arena_.data() + s.begin + s.n_tables + s.n_skeletons,
+            s.n_attributes};
+  }
+  SymbolSpan projections(QueryId id) const {
+    const SignatureRef& s = sig_[static_cast<size_t>(id)];
+    return {sym_arena_.data() + s.begin + s.n_tables + s.n_skeletons +
+                s.n_attributes,
+            s.n_projections};
+  }
+  SymbolSpan tokens(QueryId id) const {
+    const SignatureRef& s = sig_[static_cast<size_t>(id)];
+    return {sym_arena_.data() + s.begin + s.n_tables + s.n_skeletons +
+                s.n_attributes + s.n_projections,
+            s.n_tokens};
+  }
+  HashSpan output_rows(QueryId id) const {
+    const SignatureRef& s = sig_[static_cast<size_t>(id)];
+    return {out_arena_.data() + s.out_begin, s.n_output};
+  }
+
+  /// The record's query text, lower-cased once at append/rewrite time.
+  std::string_view lowered_text(QueryId id) const {
+    const SignatureRef& s = sig_[static_cast<size_t>(id)];
+    return std::string_view(text_arena_.data() + s.text_begin, s.text_len);
+  }
+
+  /// True when the record's (sorted) token section contains `token`.
+  bool TokenPresent(QueryId id, Symbol token) const;
+
+  /// Dead arena bytes (Symbol runs, output hashes and lowered text)
+  /// orphaned by rewrites and output refreshes — the signal for adding
+  /// compaction should repair-heavy workloads make it worthwhile.
+  size_t arena_garbage() const { return arena_garbage_; }
+
+ private:
+  /// Appends signature runs + lowered text at the arena tails and
+  /// returns the directory entry describing them.
+  SignatureRef PackRecord(const QueryRecord& record);
+
+  std::vector<uint32_t> flags_;
+  std::vector<double> quality_;
+  std::vector<int64_t> timestamp_;
+  std::vector<Symbol> owner_;
+  std::vector<uint32_t> pop_slot_;
+  std::vector<SignatureRef> sig_;
+  std::vector<uint64_t> pop_counts_;  ///< Count per popularity slot.
+  std::vector<Symbol> sym_arena_;
+  std::vector<uint64_t> out_arena_;
+  std::string text_arena_;
+  size_t arena_garbage_ = 0;  ///< Bytes, across all three arenas.
+};
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_SCORING_COLUMNS_H_

@@ -1,0 +1,462 @@
+// Unified MetaQuery planner tests: (1) an equality suite asserting that
+// every legacy single-predicate entry point returns exactly the same
+// results through the planner pipeline as the pre-planner reference
+// implementations on a seeded ~5k synthetic log, (2) combined-predicate
+// requests checked against a brute-force filter-then-rank reference,
+// (3) planner generator selection, (4) the executor-owned persistent
+// VisibilityCache re-checking after ACL mutations, and (5) scoring-column
+// coherence across every record mutation path (flags, quality, delete,
+// rewrite, stats refresh).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "metaquery/meta_query_executor.h"
+#include "metaquery/meta_query_planner.h"
+#include "storage/record_builder.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace cqms::metaquery {
+namespace {
+
+using storage::QueryId;
+using storage::QueryRecord;
+using testing_util::Harness;
+
+/// One shared ~5k-query synthetic log (generation dominates test time,
+/// so all equality cases reuse it). Leaked intentionally.
+Harness& BigLog() {
+  static Harness* harness = [] {
+    auto* h = new Harness();
+    workload::WorkloadOptions options;
+    options.num_sessions = 1001;  // ~5 queries/session -> >= 5000 queries
+    options.seed = 123;
+    workload::RegisterUsers(&h->store, options);
+    workload::GenerateLog(h->profiler.get(), &h->store, &h->clock, options);
+    return h;
+  }();
+  return *harness;
+}
+
+const char* kProbes[] = {
+    "SELECT T.lake, T.temp, S.salinity FROM WaterTemp T, WaterSalinity S "
+    "WHERE T.temp < 18 AND S.loc_x = T.loc_x AND S.loc_y = T.loc_y",
+    "SELECT * FROM WaterTemp T WHERE T.temp < 14",
+    "SELECT lake, AVG(temp) AS avg_temp, COUNT(*) AS n FROM WaterTemp "
+    "WHERE temp > 6 GROUP BY lake",
+    "SELECT city FROM CityLocations WHERE state = 'WA' AND pop > 300000",
+    "SELECT R.ts, R.value FROM Sensors N, Readings R "
+    "WHERE N.sensor_id = R.sensor_id AND N.kind = 'temp'",
+};
+
+const char* kViewers[] = {"user0", "user3", "user7"};
+
+void ExpectNeighborsEqual(const std::vector<Neighbor>& got,
+                          const std::vector<Neighbor>& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << label << " rank " << i;
+    EXPECT_DOUBLE_EQ(got[i].similarity, want[i].similarity)
+        << label << " rank " << i;
+    EXPECT_DOUBLE_EQ(got[i].score, want[i].score) << label << " rank " << i;
+  }
+}
+
+// --- equality suite: every legacy entry point through the planner --------
+
+TEST(PlannerEqualityTest, KeywordMatchesLegacyOn5kLog) {
+  Harness& h = BigLog();
+  ASSERT_GE(h.store.size(), 5000u);
+  MetaQueryExecutor executor(&h.store);
+  const char* word_sets[] = {"salinity temp", "lake avg",  "watertemp",
+                             "sensors",       "zzz_nohit", "city pop state"};
+  for (const char* viewer : kViewers) {
+    for (const char* words : word_sets) {
+      for (bool match_all : {true, false}) {
+        EXPECT_EQ(executor.Keyword(viewer, words, match_all),
+                  KeywordSearch(h.store, viewer, words, match_all))
+            << viewer << " / " << words << " match_all=" << match_all;
+      }
+    }
+  }
+}
+
+TEST(PlannerEqualityTest, SubstringMatchesBruteForceOn5kLog) {
+  Harness& h = BigLog();
+  MetaQueryExecutor executor(&h.store);
+  const char* needles[] = {"GROUP BY lake", "temp <", "SaLiNiTy", "zzz", ""};
+  for (const char* viewer : kViewers) {
+    for (const char* needle : needles) {
+      // Independent brute force straight off the record structs: the
+      // planner and SubstringSearch both read the memoized lowered text,
+      // so the reference must not.
+      std::vector<QueryId> brute;
+      if (*needle != '\0') {
+        for (const QueryRecord& r : h.store.records()) {
+          if (h.store.Visible(viewer, r.id) &&
+              ContainsIgnoreCase(r.text, needle)) {
+            brute.push_back(r.id);
+          }
+        }
+      }
+      EXPECT_EQ(executor.Substring(viewer, needle), brute)
+          << viewer << " / '" << needle << "'";
+      EXPECT_EQ(SubstringSearch(h.store, viewer, needle), brute)
+          << viewer << " / '" << needle << "'";
+    }
+  }
+}
+
+TEST(PlannerEqualityTest, FeatureQueryMatchesLegacyOn5kLog) {
+  Harness& h = BigLog();
+  MetaQueryExecutor executor(&h.store);
+  std::vector<FeatureQuery> queries;
+  queries.emplace_back().UsesTable("WaterTemp");
+  queries.emplace_back().UsesTable("WaterTemp").UsesTable("WaterSalinity");
+  queries.emplace_back().HasPredicateOn("watertemp", "temp", "<");
+  queries.emplace_back().UsesAttribute("citylocations", "state").ByUser("user2");
+  queries.emplace_back().SucceededOnly().MaxResultRows(50);
+  queries.emplace_back().UsesTable("NoSuchTable");
+  for (const char* viewer : kViewers) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(executor.ByFeature(viewer, queries[i]),
+                queries[i].Evaluate(h.store, viewer))
+          << viewer << " / feature query " << i;
+    }
+  }
+}
+
+TEST(PlannerEqualityTest, StructuralMatchesLegacyOn5kLog) {
+  Harness& h = BigLog();
+  MetaQueryExecutor executor(&h.store);
+  std::vector<StructuralPattern> patterns(4);
+  patterns[0].min_joins = 1;
+  patterns[1].required_aggregates = {"AVG"};
+  patterns[1].requires_group_by = true;
+  patterns[2].required_tables = {"watertemp"};
+  patterns[2].forbidden_tables = {"watersalinity"};
+  patterns[3].required_tables = {"sensors", "readings"};
+  patterns[3].max_joins = 3;
+  for (const char* viewer : kViewers) {
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      EXPECT_EQ(executor.ByStructure(viewer, patterns[i]),
+                StructuralSearch(h.store, viewer, patterns[i]))
+          << viewer << " / pattern " << i;
+    }
+  }
+}
+
+TEST(PlannerEqualityTest, QueryByDataMatchesLegacyOn5kLog) {
+  Harness& h = BigLog();
+  MetaQueryExecutor executor(&h.store);
+  std::vector<DataExample> examples;
+  examples.push_back({{db::Value::String("Washington")}, true});
+  examples.push_back({{db::Value::String("Union")}, false});
+  QueryByDataOptions options;  // summaries only; no re-execution
+  for (const char* viewer : kViewers) {
+    EXPECT_EQ(executor.ByData(viewer, examples, options),
+              QueryByData(h.store, viewer, examples, options))
+        << viewer;
+  }
+}
+
+TEST(PlannerEqualityTest, KnnMatchesReferenceOn5kLog) {
+  Harness& h = BigLog();
+  MetaQueryExecutor executor(&h.store);
+  for (const char* viewer : kViewers) {
+    for (const char* text : kProbes) {
+      QueryRecord probe = storage::BuildRecordFromText(
+          text, viewer, 0, storage::SignatureMode::kTransient);
+      ASSERT_FALSE(probe.parse_failed()) << text;
+      for (size_t k : {1u, 10u, 50u}) {
+        std::string label = std::string(viewer) + " / k=" +
+                            std::to_string(k) + " / " + text;
+        // Through the executor (persistent cache)...
+        ExpectNeighborsEqual(executor.Knn(viewer, probe, k),
+                             KnnSearchReference(h.store, viewer, probe, k),
+                             label + " (executor)");
+        // ...and through the free function (call-local cache).
+        ExpectNeighborsEqual(KnnSearch(h.store, viewer, probe, k),
+                             KnnSearchReference(h.store, viewer, probe, k),
+                             label + " (free fn)");
+      }
+    }
+  }
+}
+
+TEST(PlannerEqualityTest, KnnExhaustivePathMatchesReference) {
+  Harness& h = BigLog();
+  CandidateOptions exhaustive;
+  exhaustive.use_lsh = false;
+  QueryRecord probe = storage::BuildRecordFromText(
+      kProbes[0], "user0", 0, storage::SignatureMode::kTransient);
+  ExpectNeighborsEqual(
+      KnnSearch(h.store, "user0", probe, 25, {}, {}, exhaustive),
+      KnnSearchReference(h.store, "user0", probe, 25, {}, {}, exhaustive),
+      "exhaustive");
+}
+
+// --- combined predicates vs brute-force filter-then-rank -----------------
+
+TEST(CombinedRequestTest, KeywordTableSimilarityMatchesBruteForce) {
+  Harness& h = BigLog();
+  MetaQueryExecutor executor(&h.store);
+  const std::string viewer = "user1";
+  QueryRecord probe = storage::BuildRecordFromText(
+      kProbes[0], viewer, 0, storage::SignatureMode::kTransient);
+  ASSERT_FALSE(probe.parse_failed());
+
+  MetaQueryRequest request;
+  FeatureQuery feature;
+  feature.UsesTable("WaterTemp");
+  RankingOptions ranking;
+  ranking.w_popularity = 0.25;  // "ranked by popularity" flavor
+  request.WithKeywords("salinity")
+      .WithFeature(feature)
+      .SimilarTo(probe)
+      .RankedBy(ranking)
+      .Limit(20);
+  MetaQueryResponse response = executor.Execute(viewer, request);
+  EXPECT_EQ(response.generator, CandidateGenerator::kPostingIntersection);
+
+  // Brute force from the record structs, no planner machinery.
+  Micros max_ts = std::max<Micros>(1, h.store.max_timestamp());
+  double inv_log_size =
+      1.0 / std::log1p(static_cast<double>(h.store.size()) + 1.0);
+  std::vector<MetaQueryMatch> brute;
+  for (const QueryRecord& r : h.store.records()) {
+    if (!h.store.Visible(viewer, r.id)) continue;
+    if (r.HasFlag(storage::kFlagSchemaBroken) ||
+        r.HasFlag(storage::kFlagObsolete)) {
+      continue;
+    }
+    std::vector<std::string> tokens = ExtractWords(r.text);
+    if (std::find(tokens.begin(), tokens.end(), "salinity") == tokens.end()) {
+      continue;
+    }
+    if (r.parse_failed() ||
+        std::find(r.components.tables.begin(), r.components.tables.end(),
+                  "watertemp") == r.components.tables.end()) {
+      continue;
+    }
+    double sim = CombinedSimilarity(probe, r);
+    if (sim < ranking.min_similarity) continue;
+    double popularity =
+        std::log1p(static_cast<double>(h.store.PopularityOf(r.fingerprint))) *
+        inv_log_size;
+    double recency = static_cast<double>(r.timestamp) /
+                     static_cast<double>(max_ts);
+    double score = ranking.w_similarity * sim +
+                   ranking.w_popularity * popularity +
+                   ranking.w_quality * r.quality + ranking.w_recency * recency;
+    brute.push_back({r.id, sim, score});
+  }
+  std::sort(brute.begin(), brute.end(),
+            [](const MetaQueryMatch& a, const MetaQueryMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (brute.size() > 20) brute.resize(20);
+
+  ASSERT_EQ(response.matches.size(), brute.size());
+  ASSERT_FALSE(response.matches.empty())
+      << "combined request unexpectedly selective — fixture drifted?";
+  for (size_t i = 0; i < brute.size(); ++i) {
+    EXPECT_EQ(response.matches[i].id, brute[i].id) << "rank " << i;
+    EXPECT_DOUBLE_EQ(response.matches[i].similarity, brute[i].similarity);
+    EXPECT_DOUBLE_EQ(response.matches[i].score, brute[i].score);
+  }
+}
+
+TEST(CombinedRequestTest, KeywordStructureLogOrderMatchesBruteForce) {
+  Harness& h = BigLog();
+  MetaQueryExecutor executor(&h.store);
+  const std::string viewer = "user0";
+  MetaQueryRequest request;
+  StructuralPattern pattern;
+  pattern.requires_group_by = true;
+  request.WithKeywords("lake avg").WithStructure(pattern).InLogOrder();
+  request.ranking.exclude_flagged = false;
+
+  std::vector<QueryId> brute;
+  for (const QueryRecord& r : h.store.records()) {
+    if (!h.store.Visible(viewer, r.id)) continue;
+    std::vector<std::string> tokens = ExtractWords(r.text);
+    auto has = [&](const char* w) {
+      return std::find(tokens.begin(), tokens.end(), w) != tokens.end();
+    };
+    if (!has("lake") || !has("avg")) continue;
+    if (!MatchesPattern(r, pattern)) continue;
+    brute.push_back(r.id);
+  }
+  EXPECT_EQ(executor.Execute(viewer, request).Ids(), brute);
+  ASSERT_FALSE(brute.empty());
+}
+
+TEST(CombinedRequestTest, SubstringPlusDataOnSmallLog) {
+  Harness h;
+  h.store.acl().AddUser("alice", {"lab"});
+  h.Log("alice", "SELECT lake FROM WaterTemp WHERE lake = 'Washington'");
+  h.Log("alice", "SELECT lake FROM WaterTemp WHERE lake = 'Union'");
+  h.Log("alice", "SELECT city FROM CityLocations WHERE state = 'WA'");
+  MetaQueryExecutor executor(&h.store);
+
+  MetaQueryRequest request;
+  std::vector<DataExample> examples;
+  examples.push_back({{db::Value::String("Washington")}, true});
+  QueryByDataOptions options;
+  options.reexecute_on = &h.database;
+  request.WithSubstring("FROM WaterTemp").WithData(examples, options);
+  request.InLogOrder();
+  request.ranking.exclude_flagged = false;
+
+  EXPECT_EQ(executor.Execute("alice", request).Ids(),
+            (std::vector<QueryId>{0}));
+}
+
+// --- planner generator selection -----------------------------------------
+
+TEST(PlannerGeneratorTest, PicksCheapestGenerator) {
+  Harness& h = BigLog();
+  MetaQueryPlanner planner(&h.store);
+  QueryRecord probe = storage::BuildRecordFromText(
+      kProbes[0], "user0", 0, storage::SignatureMode::kTransient);
+
+  // Posting lists beat LSH whenever any indexed predicate exists.
+  MetaQueryRequest combined;
+  FeatureQuery feature;
+  feature.UsesTable("WaterSalinity");
+  combined.WithFeature(feature).SimilarTo(probe).Limit(5);
+  EXPECT_EQ(planner.Execute("user0", combined).generator,
+            CandidateGenerator::kPostingIntersection);
+
+  // Similarity alone on a big log: LSH buckets.
+  MetaQueryRequest knn_only;
+  knn_only.SimilarTo(probe).Limit(5);
+  EXPECT_EQ(planner.Execute("user0", knn_only).generator,
+            CandidateGenerator::kLshBuckets);
+
+  // Similarity with LSH disabled: the table-posting union.
+  MetaQueryRequest exhaustive;
+  CandidateOptions no_lsh;
+  no_lsh.use_lsh = false;
+  exhaustive.SimilarTo(probe, {}, no_lsh).Limit(5);
+  EXPECT_EQ(planner.Execute("user0", exhaustive).generator,
+            CandidateGenerator::kTableUnion);
+
+  // Substring alone: nothing indexed, full scan.
+  MetaQueryRequest substring_only;
+  substring_only.WithSubstring("temp").InLogOrder();
+  MetaQueryResponse scan = planner.Execute("user0", substring_only);
+  EXPECT_EQ(scan.generator, CandidateGenerator::kFullScan);
+  EXPECT_EQ(scan.candidates_considered, h.store.size());
+}
+
+// --- persistent VisibilityCache: invalidate on ACL mutation --------------
+
+TEST(VisibilityCacheInvalidationTest, CachedViewerRechecksAfterGroupChange) {
+  Harness h;
+  h.store.acl().AddUser("alice", {"lab"});
+  h.store.acl().AddUser("eve", {"other"});
+  QueryId q = h.Log("alice", "SELECT * FROM WaterTemp WHERE temp < 20");
+  MetaQueryExecutor executor(&h.store);
+
+  // Cache eve's (negative) decision.
+  EXPECT_TRUE(executor.Keyword("eve", "watertemp").empty());
+  EXPECT_TRUE(executor.Knn("eve", *h.store.Get(q), 5).empty());
+
+  // eve joins alice's group: the cached decision must be re-checked.
+  h.store.acl().AddUser("eve", {"lab"});
+  EXPECT_EQ(executor.Keyword("eve", "watertemp"), (std::vector<QueryId>{q}));
+  EXPECT_FALSE(executor.Knn("eve", *h.store.Get(q), 5).empty());
+
+  // Owner makes the query private: cached positive must drop too.
+  ASSERT_TRUE(h.store.acl()
+                  .SetVisibility(q, "alice", "alice", storage::Visibility::kPrivate)
+                  .ok());
+  EXPECT_TRUE(executor.Keyword("eve", "watertemp").empty());
+  EXPECT_EQ(executor.Keyword("alice", "watertemp"),
+            (std::vector<QueryId>{q}));  // owners always see their own
+}
+
+// --- scoring-column coherence across mutations ---------------------------
+
+TEST(ScoringColumnsCoherenceTest, MutationsKeepPlannerEqualToReference) {
+  Harness h;
+  h.store.acl().AddUser("alice", {"lab"});
+  h.store.acl().AddUser("bob", {"lab"});
+  std::vector<QueryId> ids;
+  ids.push_back(h.Log("alice", "SELECT * FROM WaterTemp WHERE temp < 20"));
+  ids.push_back(h.Log("bob", "SELECT * FROM WaterTemp WHERE temp < 21"));
+  ids.push_back(h.Log("alice", "SELECT * FROM WaterTemp WHERE temp < 20"));
+  ids.push_back(h.Log("bob", "SELECT lake FROM WaterTemp GROUP BY lake"));
+  MetaQueryExecutor executor(&h.store);
+  QueryRecord probe = storage::BuildRecordFromText(
+      "SELECT * FROM WaterTemp WHERE temp < 19", "alice", 0,
+      storage::SignatureMode::kTransient);
+
+  auto check = [&](const std::string& label) {
+    ExpectNeighborsEqual(executor.Knn("alice", probe, 10),
+                         KnnSearchReference(h.store, "alice", probe, 10),
+                         label);
+  };
+  check("initial");
+
+  ASSERT_TRUE(h.store.SetQuality(ids[1], 0.95).ok());
+  check("after SetQuality");
+
+  ASSERT_TRUE(h.store.AddFlag(ids[0], storage::kFlagObsolete).ok());
+  check("after AddFlag");
+  for (const Neighbor& n : executor.Knn("alice", probe, 10)) {
+    EXPECT_NE(n.id, ids[0]);
+  }
+
+  ASSERT_TRUE(h.store.ClearFlag(ids[0], storage::kFlagObsolete).ok());
+  check("after ClearFlag");
+
+  ASSERT_TRUE(h.store.Delete(ids[2], "alice").ok());
+  check("after Delete");
+  for (const Neighbor& n : executor.Knn("alice", probe, 10)) {
+    EXPECT_NE(n.id, ids[2]);
+  }
+
+  // Rewrite: popularity slots move, arena re-packs, lowered text updates.
+  ASSERT_TRUE(
+      h.store.RewriteQueryText(ids[1], "SELECT * FROM WaterSalinity WHERE salinity < 5")
+          .ok());
+  check("after RewriteQueryText");
+  EXPECT_EQ(h.store.scoring().popularity(ids[1]),
+            h.store.PopularityOf(h.store.Get(ids[1])->fingerprint));
+  EXPECT_EQ(executor.Substring("bob", "watersalinity"),
+            (std::vector<QueryId>{ids[1]}));
+  EXPECT_TRUE(executor.Substring("bob", "temp < 21").empty());
+
+  // Stats refresh path: summary replaced through SyncOutputSignature.
+  QueryRecord* r = h.store.GetMutable(ids[3]);
+  r->summary.total_rows = 0;
+  r->summary.sample_rows.clear();
+  r->summary.complete = true;
+  ASSERT_TRUE(h.store.SyncOutputSignature(ids[3]).ok());
+  check("after SyncOutputSignature");
+  EXPECT_TRUE(h.store.scoring().output_empty_computed(ids[3]));
+}
+
+TEST(ScoringColumnsCoherenceTest, PopularityEqualsFingerprintIndex) {
+  Harness& h = BigLog();
+  for (const QueryRecord& r : h.store.records()) {
+    EXPECT_EQ(h.store.scoring().popularity(r.id),
+              r.parse_failed() ? 0 : h.store.PopularityOf(r.fingerprint))
+        << "id " << r.id;
+    if (r.id > 200) break;  // spot-check a prefix; the full log is uniform
+  }
+}
+
+}  // namespace
+}  // namespace cqms::metaquery
