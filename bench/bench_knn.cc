@@ -9,10 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "bench_util.h"
+#include "common/string_util.h"
 #include "metaquery/knn.h"
 #include "metaquery/meta_query_executor.h"
+#include "storage/persistence.h"
 #include "storage/record_builder.h"
+#include "storage/snapshot_v2.h"
 
 namespace cqms {
 namespace {
@@ -139,6 +145,55 @@ void BM_KnnSimilarityMix(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KnnSimilarityMix)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"mix"});
+
+// Cold-start restore cost per snapshot format. format=1 is the v1 text
+// reader, which re-profiles every record from its text (parse,
+// canonicalize, collect components, tokenize, intern, sketch); format=2
+// is the binary restore, which bulk-loads the precomputed state from
+// one sequential read. Their ratio at 20k queries is the PR-4 headline
+// speedup.
+void BM_SnapshotLoad(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  const bool v2 = state.range(1) == 2;
+  std::string path = "/tmp/cqms_bench_snapshot_" +
+                     std::to_string(state.range(0)) + (v2 ? ".v2" : ".v1");
+  Status saved = v2 ? storage::SaveSnapshotV2(f.store, path)
+                    : storage::SaveSnapshot(f.store, path);
+  if (!saved.ok()) {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    state.SkipWithError("snapshot save failed");
+    return;
+  }
+  for (auto _ : state) {
+    uint64_t words_before = ExtractWordsCallCount();
+    storage::QueryStore loaded;
+    Status s = storage::LoadSnapshot(&loaded, path);
+    if (!s.ok()) {
+      std::remove(path.c_str());
+      state.SkipWithError("snapshot load failed");
+      return;
+    }
+    // The binary restore promises zero re-tokenization at any log size;
+    // enforce it here at 20k where the durability tests run smaller.
+    if (v2 && ExtractWordsCallCount() != words_before) {
+      std::remove(path.c_str());
+      state.SkipWithError("v2 load called the tokenizer");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  std::remove(path.c_str());
+  state.counters["log_size"] = static_cast<double>(f.store.size());
+}
+BENCHMARK(BM_SnapshotLoad)
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({5000, 1})
+    ->Args({5000, 2})
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->ArgNames({"queries", "format"});
 
 // Pairwise similarity micro-costs, the kNN inner loop.
 void BM_PairwiseSimilarity(benchmark::State& state) {

@@ -1,0 +1,140 @@
+#ifndef CQMS_COMMON_BINARY_CODEC_H_
+#define CQMS_COMMON_BINARY_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cqms {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`. The durability
+/// layer frames every snapshot section and WAL record with it so torn or
+/// bit-rotted bytes are detected before they reach a store.
+uint32_t Crc32(std::string_view data);
+
+class BinaryWriter;
+class BinaryReader;
+
+/// Delta-varint encoding of a sorted u64 vector (signature output-row
+/// hashes): varint count, then per element the varint delta from its
+/// predecessor. Shared by the snapshot and WAL codecs.
+void PutDeltaU64s(BinaryWriter* w, const std::vector<uint64_t>& values);
+/// Inverse of PutDeltaU64s; latches the reader's failure bit (and
+/// returns empty) on a count that cannot fit the remaining bytes.
+std::vector<uint64_t> GetDeltaU64s(BinaryReader* r);
+
+/// Append-only encoder for the binary snapshot / WAL payloads.
+///
+/// Integers use LEB128 varints (zigzag for signed) — query ids,
+/// timestamps and section lengths are small in practice, so the on-disk
+/// form stays compact without a compression pass. Fixed-width values
+/// (doubles, MinHash slots) are little-endian byte dumps: they carry
+/// full-range entropy, so a varint would only inflate them.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutVarint(uint64_t v);
+  void PutZigzag(int64_t v);
+  void PutFixed32(uint32_t v);
+  void PutFixed64(uint64_t v);
+  void PutDouble(double v);
+  /// Varint length prefix + raw bytes.
+  void PutString(std::string_view s);
+  void PutBytes(const void* data, size_t size);
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+  void Clear() { out_.clear(); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked cursor over an encoded payload. Every read past the
+/// end (or a malformed varint) latches `failed()` and returns zeros /
+/// empty views instead of touching out-of-range bytes, so decoders can
+/// run a whole record and check for corruption once at the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  // The hot accessors are inline: a bulk snapshot decode issues tens of
+  // varint/byte reads per record, millions per load.
+  uint8_t GetU8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint64_t GetVarint() {
+    // Fast path: single-byte varint (the overwhelming majority — section
+    // counts, deltas, small ids).
+    if (!failed_ && pos_ < data_.size()) {
+      uint8_t byte = static_cast<uint8_t>(data_[pos_]);
+      if ((byte & 0x80) == 0) {
+        ++pos_;
+        return byte;
+      }
+    }
+    return GetVarintSlow();
+  }
+
+  int64_t GetZigzag() {
+    uint64_t v = GetVarint();
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+  }
+
+  uint32_t GetFixed32();
+  uint64_t GetFixed64();
+  double GetDouble();
+
+  /// Reads a varint length prefix + that many raw bytes. The view
+  /// aliases the underlying buffer.
+  std::string_view GetStringView() {
+    uint64_t len = GetVarint();
+    if (!Need(len)) return {};
+    std::string_view s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+  std::string GetString() { return std::string(GetStringView()); }
+
+  /// Copies `n` raw bytes into `dst` (fixed-width blobs, e.g. sketch
+  /// slot arrays). Zero-fills nothing on failure — check failed().
+  void GetRaw(void* dst, size_t n) {
+    if (!Need(n)) return;
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  bool failed() const { return failed_; }
+  /// Latches the failure bit from outside — for decoders that reject a
+  /// value (e.g. an element count exceeding the remaining bytes) and
+  /// want every subsequent read, and the final AtEnd() check, to fail.
+  void Invalidate() { failed_ = true; }
+  /// True when the cursor consumed every byte without failing.
+  bool AtEnd() const { return !failed_ && pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool Need(size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  uint64_t GetVarintSlow();
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace cqms
+
+#endif  // CQMS_COMMON_BINARY_CODEC_H_

@@ -2,14 +2,18 @@
 
 namespace cqms {
 
-Symbol StringInterner::Intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mu_);
+Symbol StringInterner::InternLocked(std::string_view s) {
   auto it = ids_.find(s);
   if (it != ids_.end()) return it->second;
   strings_.emplace_back(s);
   Symbol id = static_cast<Symbol>(strings_.size() - 1);
   ids_.emplace(std::string_view(strings_.back()), id);
   return id;
+}
+
+Symbol StringInterner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternLocked(s);
 }
 
 Symbol StringInterner::Find(std::string_view s) const {
@@ -27,6 +31,20 @@ std::string_view StringInterner::NameOf(Symbol id) const {
 size_t StringInterner::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return strings_.size();
+}
+
+std::vector<std::string> StringInterner::ExportTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(strings_.begin(), strings_.end());
+}
+
+std::vector<Symbol> StringInterner::BulkIntern(
+    const std::vector<std::string>& names) {
+  std::vector<Symbol> ids;
+  ids.reserve(names.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& name : names) ids.push_back(InternLocked(name));
+  return ids;
 }
 
 StringInterner& GlobalInterner() {

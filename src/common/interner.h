@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace cqms {
 
@@ -44,7 +45,19 @@ class StringInterner {
 
   size_t size() const;
 
+  /// Copies the table in id order (index == Symbol) under one lock —
+  /// the snapshot writer's bulk export. Per-symbol NameOf() calls would
+  /// pay one mutex round-trip each.
+  std::vector<std::string> ExportTable() const;
+
+  /// Interns every entry of `names` under one lock acquisition and
+  /// returns the ids in input order — the snapshot loader's remap path.
+  /// Equivalent to calling Intern() per name, minus the per-call lock.
+  std::vector<Symbol> BulkIntern(const std::vector<std::string>& names);
+
  private:
+  Symbol InternLocked(std::string_view s);
+
   mutable std::mutex mu_;
   std::deque<std::string> strings_;
   /// Keys are views into strings_ (stable because deque never relocates).

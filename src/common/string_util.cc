@@ -1,12 +1,16 @@
 #include "common/string_util.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 
 namespace cqms {
 
 namespace {
+
+std::atomic<uint64_t> g_extract_words_calls{0};
+
 char AsciiLower(char c) {
   return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
 }
@@ -101,6 +105,7 @@ size_t EditDistance(std::string_view a, std::string_view b) {
 }
 
 std::vector<std::string> ExtractWords(std::string_view text) {
+  ++g_extract_words_calls;
   std::vector<std::string> words;
   std::string current;
   for (char c : text) {
@@ -114,6 +119,8 @@ std::vector<std::string> ExtractWords(std::string_view text) {
   if (!current.empty()) words.push_back(std::move(current));
   return words;
 }
+
+uint64_t ExtractWordsCallCount() { return g_extract_words_calls.load(); }
 
 std::string SqlEscape(std::string_view s) {
   std::string out;

@@ -2,6 +2,7 @@
 #define CQMS_COMMON_STRING_UTIL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,11 @@ size_t EditDistance(std::string_view a, std::string_view b);
 /// Tokenizes free text into lower-cased alphanumeric words.
 /// Used by the keyword search index.
 std::vector<std::string> ExtractWords(std::string_view text);
+
+/// Process-wide count of ExtractWords() invocations. The binary-snapshot
+/// restore promises to never re-tokenize logged text; the durability
+/// tests assert it by diffing this counter across a load.
+uint64_t ExtractWordsCallCount();
 
 /// Escapes a string for inclusion in a single-quoted SQL literal
 /// (doubles embedded quotes).

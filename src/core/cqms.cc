@@ -23,6 +23,18 @@ Cqms::Cqms(CqmsOptions options)
       maintenance_(&database_, &store_, clock_, options.maintenance),
       composer_(&store_, &database_, &miner_, options.assist) {}
 
+Status Cqms::EnableDurability(const std::string& dir,
+                              storage::DurabilityOptions options) {
+  if (durable_ != nullptr) {
+    return Status::InvalidArgument("durability is already enabled");
+  }
+  auto durable = std::make_unique<storage::DurableStore>(&store_, dir, options);
+  CQMS_RETURN_IF_ERROR(durable->Open());
+  durable_ = std::move(durable);
+  maintenance_.AttachDurability(durable_.get());
+  return Status::Ok();
+}
+
 Status Cqms::Annotate(storage::QueryId id, const std::string& author,
                       const std::string& text, const std::string& fragment) {
   storage::Annotation note;

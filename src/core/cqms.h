@@ -15,8 +15,10 @@
 #include "miner/query_miner.h"
 #include "miner/tutorial.h"
 #include "profiler/query_profiler.h"
+#include "storage/durable_store.h"
 #include "storage/persistence.h"
 #include "storage/query_store.h"
+#include "storage/snapshot_v2.h"
 
 namespace cqms {
 
@@ -130,10 +132,41 @@ class Cqms {
 
   const miner::QueryMiner& miner() const { return miner_; }
 
-  /// Snapshot persistence of the query log.
+  /// Snapshot persistence of the query log (binary v2; LoadSnapshot
+  /// reads both formats, so older text snapshots remain loadable).
   Status SaveLog(const std::string& path) const {
-    return storage::SaveSnapshot(store_, path);
+    return storage::SaveSnapshotV2(store_, path);
   }
+
+  // --- durability ----------------------------------------------------------
+
+  /// Enables crash-safe storage under `dir`: restores any existing
+  /// snapshot (v2 binary or legacy v1 text), replays the WAL tail, and
+  /// write-ahead-logs every subsequent mutation. Must be called before
+  /// any query is logged *and* before any user is registered (the
+  /// store and its ACL must be pristine — earlier state would exist
+  /// only in memory and evaporate at the next recovery). Once enabled,
+  /// RunMaintenance() checkpoints automatically when the WAL crosses
+  /// its thresholds; Checkpoint() forces one.
+  ///
+  /// A non-OK return means the on-disk state was unusable (corrupt
+  /// snapshot or WAL). A corrupt snapshot can abort mid-restore, so
+  /// the store may be left *partially* populated — discard this Cqms
+  /// instance rather than continuing to serve from it; nothing it logs
+  /// afterwards would be durable.
+  Status EnableDurability(const std::string& dir,
+                          storage::DurabilityOptions options = {});
+
+  /// Forces a snapshot + WAL truncation now. Durability must be enabled.
+  Status Checkpoint() {
+    if (durable_ == nullptr) {
+      return Status::InvalidArgument("durability is not enabled");
+    }
+    return durable_->Checkpoint();
+  }
+
+  /// The durability engine, when enabled (WAL stats, paths); else null.
+  const storage::DurableStore* durable() const { return durable_.get(); }
 
  private:
   std::unique_ptr<Clock> owned_clock_;
@@ -141,6 +174,7 @@ class Cqms {
 
   db::Database database_;
   storage::QueryStore store_;
+  std::unique_ptr<storage::DurableStore> durable_;
   profiler::QueryProfiler profiler_;
   metaquery::MetaQueryExecutor metaquery_;
   miner::QueryMiner miner_;

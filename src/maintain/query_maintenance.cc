@@ -45,7 +45,9 @@ MaintenanceReport QueryMaintenance::CheckSchemaValidity() {
       continue;
     }
     ++report.queries_checked;
-    Status valid = database_->Validate(*r->ast);
+    const sql::SelectStatement* ast = r->Ast();
+    if (ast == nullptr) continue;
+    Status valid = database_->Validate(*ast);
     if (valid.ok()) {
       if (r->HasFlag(storage::kFlagSchemaBroken)) {
         Status s = store_->ClearFlag(id, storage::kFlagSchemaBroken);
@@ -58,7 +60,7 @@ MaintenanceReport QueryMaintenance::CheckSchemaValidity() {
     // Broken. Try repair first; flag if repair is impossible.
     if (options_.auto_repair) {
       RepairResult repair =
-          RepairStatement(*r->ast, database_->catalog().changes(), *database_);
+          RepairStatement(*ast, database_->catalog().changes(), *database_);
       if (repair.repaired) {
         Status s = store_->RewriteQueryText(id, repair.new_text);
         if (s.ok()) {
@@ -130,8 +132,10 @@ MaintenanceReport QueryMaintenance::RefreshStatistics() {
   for (const auto& [pop, id] : stale) {
     if (report.stats_refreshed >= options_.reexecute_budget) break;
     storage::QueryRecord* r = store_->GetMutable(id);
+    const sql::SelectStatement* ast = r->Ast();
+    if (ast == nullptr) continue;
     WallTimer timer;
-    auto exec = database_->Execute(*r->ast);
+    auto exec = database_->Execute(*ast);
     if (!exec.ok()) {
       // Execution now fails (e.g. data-dependent): record and move on.
       r->stats.succeeded = false;
@@ -170,6 +174,9 @@ MaintenanceReport QueryMaintenance::RunAll() {
   report.stats_flagged_stale = stats.stats_flagged_stale;
   report.stats_refreshed = stats.stats_refreshed;
   report.quality_updated = UpdateQuality();
+  if (durable_ != nullptr) {
+    report.checkpoint_status = durable_->MaybeCheckpoint(&report.checkpointed);
+  }
   return report;
 }
 

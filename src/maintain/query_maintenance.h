@@ -9,6 +9,7 @@
 #include "db/stats.h"
 #include "maintain/quality.h"
 #include "maintain/query_repair.h"
+#include "storage/durable_store.h"
 #include "storage/query_store.h"
 
 namespace cqms::maintain {
@@ -36,6 +37,15 @@ struct MaintenanceReport {
   size_t stats_flagged_stale = 0;
   size_t stats_refreshed = 0;
   size_t quality_updated = 0;
+  /// True when the run ended by writing a durability checkpoint (the
+  /// WAL had crossed its thresholds).
+  bool checkpointed = false;
+  /// Outcome of the end-of-run MaybeCheckpoint when durability is
+  /// attached (OK also when no checkpoint was due). A persistent error
+  /// here means snapshots are failing and the WAL is growing unbounded
+  /// — operators must watch it, since a skipped checkpoint is
+  /// otherwise indistinguishable from a below-threshold one.
+  Status checkpoint_status;
   std::vector<storage::QueryId> broken_ids;
   std::vector<storage::QueryId> repaired_ids;
 };
@@ -63,14 +73,24 @@ class QueryMaintenance {
   /// Recomputes quality scores for every record.
   size_t UpdateQuality();
 
-  /// Full background cycle: schema check, stats refresh, quality update.
+  /// Full background cycle: schema check, stats refresh, quality update
+  /// — then a durability checkpoint when one is attached and due, so
+  /// the snapshot captures the refreshed stats and the WAL stays short.
   MaintenanceReport RunAll();
+
+  /// Composes checkpointing with the background cycle: RunAll ends with
+  /// `durable->MaybeCheckpoint()`. Null detaches; `durable` must
+  /// outlive the maintenance object (the Cqms facade owns both).
+  void AttachDurability(storage::DurableStore* durable) {
+    durable_ = durable;
+  }
 
  private:
   db::Database* database_;
   storage::QueryStore* store_;
   const Clock* clock_;
   MaintenanceOptions options_;
+  storage::DurableStore* durable_ = nullptr;
 
   Micros last_schema_check_ = -1;  ///< -1 = never ran.
   std::map<std::string, db::TableStats> stats_snapshot_;

@@ -48,8 +48,8 @@ bool RecordSatisfiesDataExamples(const storage::QueryRecord& r,
   }
 
   // Incomplete or missing summary: the sample is inconclusive.
-  if (options.reexecute_on != nullptr && r.ast != nullptr) {
-    auto exec = options.reexecute_on->Execute(*r.ast);
+  if (options.reexecute_on != nullptr && r.Ast() != nullptr) {
+    auto exec = options.reexecute_on->Execute(*r.Ast());
     return exec.ok() && RowsSatisfyExamples(exec->rows, examples);
   }
   if (has_summary && !options.skip_without_summary) {

@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include <atomic>
 #include <utility>
 #include <vector>
 
@@ -9,6 +10,8 @@
 namespace cqms::sql {
 
 namespace {
+
+std::atomic<uint64_t> g_parse_calls{0};
 
 /// Recursive-descent parser over a pre-lexed token stream.
 ///
@@ -539,9 +542,14 @@ class Parser {
 }  // namespace
 
 Result<std::unique_ptr<SelectStatement>> Parse(std::string_view sql_text) {
+  g_parse_calls.fetch_add(1, std::memory_order_relaxed);
   CQMS_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql_text));
   Parser parser(std::move(tokens));
   return parser.ParseStatement();
+}
+
+uint64_t ParseCallCount() {
+  return g_parse_calls.load(std::memory_order_relaxed);
 }
 
 Result<std::unique_ptr<Expr>> ParseExpression(std::string_view expr_text) {

@@ -18,6 +18,11 @@ Result<std::unique_ptr<SelectStatement>> Parse(std::string_view sql_text);
 /// tooling and tests.
 Result<std::unique_ptr<Expr>> ParseExpression(std::string_view expr_text);
 
+/// Process-wide count of Parse() invocations. The binary-snapshot
+/// restore defers re-parsing to first AST use; the durability tests
+/// assert a load performs zero parses by diffing this counter.
+uint64_t ParseCallCount();
+
 }  // namespace cqms::sql
 
 #endif  // CQMS_SQL_PARSER_H_

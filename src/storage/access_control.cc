@@ -4,9 +4,24 @@ namespace cqms::storage {
 
 void AccessControl::AddUser(const std::string& user,
                             const std::vector<std::string>& groups) {
+  // Idempotent re-registration (apps re-register their user set on
+  // every startup) is a no-op: no epoch bump — which would invalidate
+  // every VisibilityCache — and no WAL record.
+  auto known = memberships_.find(user);
+  if (known != memberships_.end()) {
+    bool all_present = true;
+    for (const std::string& g : groups) {
+      if (known->second.count(g) == 0) {
+        all_present = false;
+        break;
+      }
+    }
+    if (all_present) return;
+  }
   auto& set = memberships_[user];
   for (const std::string& g : groups) set.insert(g);
   ++epoch_;
+  if (listener_ != nullptr) listener_->OnAclAddUser(user, groups);
 }
 
 const std::set<std::string>& AccessControl::GroupsOf(const std::string& user) const {
@@ -35,6 +50,7 @@ Status AccessControl::SetVisibility(QueryId id, const std::string& owner,
   }
   visibility_[id] = visibility;
   ++epoch_;
+  if (listener_ != nullptr) listener_->OnAclSetVisibility(id, visibility);
   return Status::Ok();
 }
 

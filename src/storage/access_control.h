@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "storage/query_record.h"
+#include "storage/store_listener.h"
 
 namespace cqms::storage {
 
@@ -62,10 +63,15 @@ class AccessControl {
   /// caching never outlives an ACL change.
   uint64_t epoch() const { return epoch_; }
 
+  /// Mutation observer (the write-ahead log); null disables. Set by
+  /// QueryStore::SetListener so one call covers store and ACL.
+  void SetListener(StoreListener* listener) { listener_ = listener; }
+
  private:
   std::map<std::string, std::set<std::string>> memberships_;
   std::map<QueryId, Visibility> visibility_;
   uint64_t epoch_ = 0;
+  StoreListener* listener_ = nullptr;
   std::set<std::string> empty_;
 };
 

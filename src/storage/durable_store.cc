@@ -1,0 +1,180 @@
+#include "storage/durable_store.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/binary_codec.h"
+#include "storage/persistence.h"
+#include "storage/snapshot_v2.h"
+
+#ifdef __unix__
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace cqms::storage {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return f.good();
+}
+
+Status EnsureDirectory(const std::string& dir) {
+#ifdef __unix__
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) {
+    return S_ISDIR(st.st_mode)
+               ? Status::Ok()
+               : Status::IoError("not a directory: " + dir);
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    return Status::IoError("cannot create directory: " + dir);
+  }
+  return Status::Ok();
+#else
+  (void)dir;
+  return Status::Ok();
+#endif
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+#ifdef __unix__
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IoError("cannot truncate: " + path);
+  }
+  return Status::Ok();
+#else
+  // Portable fallback: rewrite the valid prefix.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::string data(size, '\0');
+  in.read(data.data(), static_cast<std::streamsize>(size));
+  if (in.gcount() != static_cast<std::streamsize>(size)) {
+    return Status::IoError("cannot read valid prefix: " + path);
+  }
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(size));
+  return out.good() ? Status::Ok()
+                    : Status::IoError("cannot rewrite: " + path);
+#endif
+}
+
+}  // namespace
+
+DurableStore::DurableStore(QueryStore* store, std::string dir,
+                           DurabilityOptions options)
+    : store_(store),
+      dir_(std::move(dir)),
+      snapshot_path_(dir_ + "/snapshot.cqms"),
+      wal_path_(dir_ + "/wal.log"),
+      options_(options) {}
+
+DurableStore::~DurableStore() {
+  if (open_) store_->SetListener(nullptr);
+}
+
+Status DurableStore::Open() {
+  if (open_) return Status::Internal("DurableStore already open");
+  // The epoch also guards the ACL: memberships or visibility registered
+  // before the listener attaches would exist only in memory — logged
+  // queries would be durable while the rules governing who may see
+  // them silently evaporate at the next recovery.
+  if (store_->size() != 0 || store_->acl().epoch() != 0) {
+    return Status::InvalidArgument(
+        "durable recovery requires a pristine store (no records, no ACL "
+        "mutations)");
+  }
+  CQMS_RETURN_IF_ERROR(EnsureDirectory(dir_));
+  uint64_t snapshot_sequence = 0;
+  if (FileExists(snapshot_path_)) {
+    CQMS_RETURN_IF_ERROR(
+        LoadSnapshot(store_, snapshot_path_, &snapshot_sequence));
+  }
+  CQMS_RETURN_IF_ERROR(
+      ReplayWal(wal_path_, store_, &replay_stats_, snapshot_sequence));
+  replayed_records_ = replay_stats_.records_applied;
+  last_sequence_ = std::max(snapshot_sequence, replay_stats_.max_sequence);
+  if (replay_stats_.torn_bytes > 0) {
+    // Drop the torn tail so future appends start on a frame boundary.
+    CQMS_RETURN_IF_ERROR(TruncateFile(wal_path_, replay_stats_.bytes_valid));
+  }
+  CQMS_RETURN_IF_ERROR(wal_.Open(wal_path_, options_.fsync_each_record));
+  store_->SetListener(this);
+  open_ = true;
+  return Status::Ok();
+}
+
+Status DurableStore::Checkpoint() {
+  if (!open_) return Status::Internal("DurableStore not open");
+  // Deliberately ignores any deferred WAL error: the snapshot is taken
+  // from the in-memory store, which is ahead of a failing log, so a
+  // successful checkpoint *repairs* durability rather than being
+  // blocked by the failure.
+  CQMS_RETURN_IF_ERROR(
+      SaveSnapshotV2(*store_, snapshot_path_, last_sequence_));
+  CQMS_RETURN_IF_ERROR(wal_.Reset());
+  replayed_records_ = 0;
+  deferred_error_ = Status::Ok();
+  return Status::Ok();
+}
+
+Status DurableStore::MaybeCheckpoint(bool* checkpointed) {
+  if (checkpointed != nullptr) *checkpointed = false;
+  if (!open_) return Status::Internal("DurableStore not open");
+  if (deferred_error_.ok() && wal_.bytes() < options_.checkpoint_wal_bytes &&
+      wal_records() < options_.checkpoint_wal_records) {
+    return Status::Ok();
+  }
+  Status s = Checkpoint();
+  if (checkpointed != nullptr) *checkpointed = s.ok();
+  return s;
+}
+
+void DurableStore::Log(std::string_view op_payload) {
+  BinaryWriter frame;
+  frame.PutVarint(++last_sequence_);
+  frame.PutBytes(op_payload.data(), op_payload.size());
+  Status s = wal_.Append(frame.data());
+  if (!s.ok() && deferred_error_.ok()) deferred_error_ = s;
+}
+
+void DurableStore::OnAppend(const QueryRecord& record) {
+  Log(wal::EncodeAppend(record));
+}
+
+void DurableStore::OnRewrite(QueryId id, const std::string& new_text) {
+  Log(wal::EncodeRewrite(id, new_text, store_->Get(id)->signature));
+}
+
+void DurableStore::OnAnnotate(QueryId id, const Annotation& annotation) {
+  Log(wal::EncodeAnnotate(id, annotation));
+}
+
+void DurableStore::OnFlagChange(QueryId id, QueryFlags flag, bool set) {
+  Log(wal::EncodeFlagChange(id, flag, set));
+}
+
+void DurableStore::OnSetSession(QueryId id, SessionId session) {
+  Log(wal::EncodeSetSession(id, session));
+}
+
+void DurableStore::OnSetQuality(QueryId id, double quality) {
+  Log(wal::EncodeSetQuality(id, quality));
+}
+
+void DurableStore::OnDelete(QueryId id) { Log(wal::EncodeDelete(id)); }
+
+void DurableStore::OnAclAddUser(const std::string& user,
+                                const std::vector<std::string>& groups) {
+  Log(wal::EncodeAddUser(user, groups));
+}
+
+void DurableStore::OnAclSetVisibility(QueryId id, Visibility visibility) {
+  Log(wal::EncodeSetVisibility(id, visibility));
+}
+
+}  // namespace cqms::storage

@@ -1,0 +1,129 @@
+#ifndef CQMS_STORAGE_DURABLE_STORE_H_
+#define CQMS_STORAGE_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/query_store.h"
+#include "storage/store_listener.h"
+#include "storage/wal.h"
+
+namespace cqms::storage {
+
+struct DurabilityOptions {
+  /// MaybeCheckpoint() rewrites the snapshot once the WAL grows past
+  /// either threshold (bytes, or records since the last checkpoint /
+  /// open). Crossing neither leaves the WAL accumulating — recovery
+  /// stays correct, just replays more.
+  uint64_t checkpoint_wal_bytes = 4ull << 20;
+  uint64_t checkpoint_wal_records = 10000;
+  /// fsync(2) after every WAL record. Off by default: the library's own
+  /// tests and benches don't need power-loss guarantees, and a flush
+  /// already survives the process dying.
+  bool fsync_each_record = false;
+};
+
+/// Crash-safe persistence for one QueryStore: binary snapshot v2 plus a
+/// write-ahead log of every mutation since that snapshot.
+///
+///   DurableStore durable(&store, dir);
+///   CQMS_RETURN_IF_ERROR(durable.Open());   // restore + start logging
+///   ... any mutations through the store's normal API ...
+///   durable.Checkpoint();                   // fresh snapshot, WAL reset
+///
+/// Open() bulk-loads `<dir>/snapshot.cqms` (v2 binary, or a legacy v1
+/// text snapshot — the migration path), replays the committed prefix of
+/// `<dir>/wal.log`, truncates any torn tail, then registers itself as
+/// the store's mutation listener so every subsequent Append / rewrite /
+/// annotation / flag / quality / delete / ACL change is framed into the
+/// WAL before control returns to the caller. Checkpoint() writes a new
+/// snapshot atomically and truncates the WAL, bounding recovery replay;
+/// the maintenance pass calls MaybeCheckpoint() so checkpointing rides
+/// the existing background cycle.
+///
+/// Single-threaded like QueryStore itself. The store must outlive the
+/// DurableStore; destruction detaches the listener.
+class DurableStore : public StoreListener {
+ public:
+  /// `dir` is created on Open() when missing.
+  DurableStore(QueryStore* store, std::string dir,
+               DurabilityOptions options = {});
+  ~DurableStore() override;
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Restores `store` — which must be pristine: no records and no ACL
+  /// mutations, or pre-listener state would silently evaporate at the
+  /// next recovery — from disk and attaches the WAL. Returns the store
+  /// to the exact committed state of the last run: snapshot + WAL-tail
+  /// = crash recovery.
+  Status Open();
+
+  /// Writes a fresh v2 snapshot (atomic) and truncates the WAL.
+  Status Checkpoint();
+
+  /// Checkpoint() iff the WAL crossed the configured thresholds or a
+  /// WAL error is latched (checkpointing repairs it). `checkpointed`
+  /// (optional) reports whether a checkpoint actually ran.
+  Status MaybeCheckpoint(bool* checkpointed = nullptr);
+
+  /// Stats of the replay performed by Open() (how much tail was
+  /// recovered, whether a torn write was discarded).
+  const WalReplayStats& replay_stats() const { return replay_stats_; }
+
+  uint64_t wal_bytes() const { return wal_.bytes(); }
+  uint64_t wal_records() const {
+    return replayed_records_ + wal_.appended_records();
+  }
+
+  /// First WAL append failure since the last successful checkpoint, if
+  /// any (OK otherwise). A failed append leaves the in-memory store
+  /// ahead of the log; the next Checkpoint — which MaybeCheckpoint
+  /// forces while this is set — snapshots that state and restores full
+  /// durability.
+  const Status& wal_error() const { return deferred_error_; }
+
+  const std::string& snapshot_path() const { return snapshot_path_; }
+  const std::string& wal_path() const { return wal_path_; }
+
+  // --- StoreListener (the store calls these; not for direct use) -----------
+  void OnAppend(const QueryRecord& record) override;
+  void OnRewrite(QueryId id, const std::string& new_text) override;
+  void OnAnnotate(QueryId id, const Annotation& annotation) override;
+  void OnFlagChange(QueryId id, QueryFlags flag, bool set) override;
+  void OnSetSession(QueryId id, SessionId session) override;
+  void OnSetQuality(QueryId id, double quality) override;
+  void OnDelete(QueryId id) override;
+  void OnAclAddUser(const std::string& user,
+                    const std::vector<std::string>& groups) override;
+  void OnAclSetVisibility(QueryId id, Visibility visibility) override;
+
+ private:
+  void Log(std::string_view op_payload);
+
+  QueryStore* store_;
+  std::string dir_;
+  std::string snapshot_path_;
+  std::string wal_path_;
+  DurabilityOptions options_;
+  WalWriter wal_;
+  WalReplayStats replay_stats_;
+  uint64_t replayed_records_ = 0;
+  /// Monotonic mutation sequence (never reset, stamped into every WAL
+  /// frame and into each checkpoint snapshot) — what makes recovery
+  /// idempotent when a crash lands between snapshot write and WAL
+  /// truncation: replay skips frames the snapshot already covers.
+  uint64_t last_sequence_ = 0;
+  bool open_ = false;
+  /// First WAL append error since the last successful checkpoint —
+  /// listener callbacks cannot return one, so it is surfaced via
+  /// wal_error() and repaired by the next checkpoint.
+  Status deferred_error_;
+};
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_DURABLE_STORE_H_

@@ -33,6 +33,11 @@ uint64_t LshIndex::BandKey(const MinHashSketch& sketch, size_t band) const {
   return key;
 }
 
+void LshIndex::Reserve(size_t records) {
+  for (auto& band : buckets_) band.reserve(records);
+  seen_epoch_.reserve(records);
+}
+
 void LshIndex::Insert(QueryId id, const MinHashSketch& sketch) {
   if (!sketch.valid || sketch.empty()) return;
   for (size_t band = 0; band < params_.bands; ++band) {

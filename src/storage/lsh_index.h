@@ -43,6 +43,10 @@ class LshIndex {
  public:
   explicit LshIndex(LshParams params = {});
 
+  /// Pre-sizes every band's bucket map for about `records` indexed
+  /// sketches (bulk snapshot restore).
+  void Reserve(size_t records);
+
   /// Adds `id` under every band bucket of `sketch`. No-op for invalid
   /// or empty sketches.
   void Insert(QueryId id, const MinHashSketch& sketch);

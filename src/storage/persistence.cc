@@ -1,18 +1,31 @@
 #include "storage/persistence.h"
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/string_util.h"
 #include "storage/record_builder.h"
+#include "storage/snapshot_v2.h"
 
 namespace cqms::storage {
 
 namespace {
 
 /// Percent-escapes whitespace, '%' and non-printables so every field fits
-/// on one space-separated line.
+/// on one space-separated line. The empty field is marked by a lone "%",
+/// which no escaped content can produce (a literal '%' always escapes to
+/// "%25"), so every field — including a single NUL byte, which escapes
+/// to "%00" — round-trips unambiguously. This marker change is what
+/// bumps the text header to "CQMS-SNAPSHOT 1.1": version-1 files used
+/// "%00" as the empty marker, and the reader keys its decoding on the
+/// header so legacy files keep reading correctly.
 std::string Escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -25,37 +38,195 @@ std::string Escape(const std::string& s) {
       out.push_back(static_cast<char>(c));
     }
   }
-  if (out.empty()) out = "%00";  // empty-field marker
+  if (out.empty()) out = "%";  // empty-field marker
   return out;
 }
 
-std::string Unescape(const std::string& s) {
-  if (s == "%00") return "";
-  std::string out;
-  out.reserve(s.size());
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Inverse of Escape. A truncated trailing escape ("...%4") or a
+/// non-hex escape body is corruption, not content: returns false rather
+/// than passing the '%' through silently. `legacy_empty_marker` selects
+/// the version-1 decoding, where a whole-field "%00" meant empty (that
+/// version could not represent a single-NUL field at all — the
+/// ambiguity 1.1 fixes).
+bool Unescape(const std::string& s, std::string* out,
+              bool legacy_empty_marker) {
+  out->clear();
+  if (s == "%") return true;
+  if (legacy_empty_marker && s == "%00") return true;
+  out->reserve(s.size());
   for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '%' && i + 2 < s.size()) {
-      int hi = std::isdigit(static_cast<unsigned char>(s[i + 1]))
-                   ? s[i + 1] - '0'
-                   : std::toupper(static_cast<unsigned char>(s[i + 1])) - 'A' + 10;
-      int lo = std::isdigit(static_cast<unsigned char>(s[i + 2]))
-                   ? s[i + 2] - '0'
-                   : std::toupper(static_cast<unsigned char>(s[i + 2])) - 'A' + 10;
-      out.push_back(static_cast<char>(hi * 16 + lo));
-      i += 2;
+    if (s[i] != '%') {
+      out->push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return false;  // truncated escape
+    int hi = HexValue(s[i + 1]);
+    int lo = HexValue(s[i + 2]);
+    if (hi < 0 || lo < 0) return false;  // malformed escape body
+    out->push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return true;
+}
+
+/// Stream-extracts one escaped field and decodes it; false on stream
+/// exhaustion or malformed escaping.
+bool ReadField(std::istream& in, std::string* out, bool legacy_empty_marker) {
+  std::string enc;
+  if (!(in >> enc)) return false;
+  return Unescape(enc, out, legacy_empty_marker);
+}
+
+Status LoadSnapshotV1(QueryStore* store, std::istream& in,
+                      const std::string& path, bool legacy_empty_marker) {
+  auto read_field = [&](std::istream& stream, std::string* out) {
+    return ReadField(stream, out, legacy_empty_marker);
+  };
+  std::string line;
+  QueryId current = kInvalidQueryId;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "U") {
+      std::string user;
+      if (!read_field(ls, &user)) {
+        return Status::IoError("corrupt U line in " + path);
+      }
+      std::vector<std::string> groups;
+      std::string g;
+      std::string g_enc;
+      while (ls >> g_enc) {
+        if (!Unescape(g_enc, &g, legacy_empty_marker)) {
+          return Status::IoError("corrupt U line in " + path);
+        }
+        groups.push_back(g);
+      }
+      store->acl().AddUser(user, groups);
+    } else if (tag == "Q") {
+      QueryId id;
+      Micros ts;
+      SessionId session;
+      uint32_t flags;
+      double quality;
+      std::string user, text;
+      ls >> id >> ts >> session >> flags >> quality;
+      if (!ls || !read_field(ls, &user) || !read_field(ls, &text)) {
+        return Status::IoError("corrupt Q line in " + path);
+      }
+      QueryRecord record = BuildRecordFromText(text, user, ts);
+      record.session_id = session;
+      record.flags = flags;
+      record.quality = quality;
+      current = store->Append(std::move(record));
+      if (current != id) {
+        return Status::IoError("non-contiguous query ids in snapshot: " + path);
+      }
+    } else if (tag == "S") {
+      if (current == kInvalidQueryId) return Status::IoError("S before Q");
+      QueryRecord* r = store->GetMutable(current);
+      int succeeded;
+      ls >> r->stats.execution_micros >> r->stats.result_rows >>
+          r->stats.rows_scanned >> succeeded;
+      if (!ls || !read_field(ls, &r->stats.error)) {
+        return Status::IoError("corrupt S line in " + path);
+      }
+      r->stats.succeeded = succeeded != 0;
+    } else if (tag == "P") {
+      if (current == kInvalidQueryId) return Status::IoError("P before Q");
+      if (!read_field(ls, &store->GetMutable(current)->stats.plan)) {
+        return Status::IoError("corrupt P line in " + path);
+      }
+    } else if (tag == "A") {
+      if (current == kInvalidQueryId) return Status::IoError("A before Q");
+      Annotation a;
+      ls >> a.timestamp;
+      if (!ls || !read_field(ls, &a.author) || !read_field(ls, &a.fragment) ||
+          !read_field(ls, &a.text)) {
+        return Status::IoError("corrupt A line in " + path);
+      }
+      CQMS_RETURN_IF_ERROR(store->Annotate(current, std::move(a)));
+    } else if (tag == "V") {
+      if (current == kInvalidQueryId) return Status::IoError("V before Q");
+      int vis;
+      ls >> vis;
+      if (!ls) return Status::IoError("corrupt V line in " + path);
+      const QueryRecord* r = store->Get(current);
+      CQMS_RETURN_IF_ERROR(store->acl().SetVisibility(
+          current, r->user, r->user, static_cast<Visibility>(vis)));
     } else {
-      out.push_back(s[i]);
+      return Status::IoError("unknown snapshot tag '" + tag + "' in " + path);
     }
   }
-  return out;
+  return Status::Ok();
 }
 
 }  // namespace
 
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IoError("cannot open for writing: " + tmp);
+  }
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), out) ==
+                contents.size();
+  ok = std::fflush(out) == 0 && ok;
+#ifdef __unix__
+  // The bytes must be on stable storage *before* the rename publishes
+  // them: DurableStore truncates the WAL right after a snapshot save,
+  // so a power cut with the snapshot still in the page cache would
+  // otherwise lose every mutation since the previous checkpoint.
+  ok = fsync(fileno(out)) == 0 && ok;
+#endif
+  ok = std::fclose(out) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+#ifdef __unix__
+  // Persist the rename itself (the directory entry).
+  std::string dir = path;
+  size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#endif
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::streamsize size = in.tellg();
+  if (size < 0) return Status::IoError("cannot size: " + path);
+  out->resize(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0 && !in.read(out->data(), size)) {
+    return Status::IoError("read failed: " + path);
+  }
+  return Status::Ok();
+}
+
 Status SaveSnapshot(const QueryStore& store, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  out << "CQMS-SNAPSHOT 1\n";
+  std::ostringstream out;
+  out << "CQMS-SNAPSHOT 1.1\n";
   for (const auto& [user, groups] : store.acl().memberships()) {
     out << "U " << Escape(user);
     for (const std::string& g : groups) out << " " << Escape(g);
@@ -75,91 +246,40 @@ Status SaveSnapshot(const QueryStore& store, const std::string& path) {
     }
     out << "V " << static_cast<int>(store.acl().GetVisibility(r.id)) << "\n";
   }
-  return out.good() ? Status::Ok() : Status::IoError("write failed: " + path);
+  return WriteFileAtomic(path, out.str());
 }
 
-Status LoadSnapshot(QueryStore* store, const std::string& path) {
+Status LoadSnapshot(QueryStore* store, const std::string& path,
+                    uint64_t* wal_sequence) {
+  if (wal_sequence != nullptr) *wal_sequence = 0;
   if (store->size() != 0) {
     return Status::InvalidArgument("LoadSnapshot requires an empty store");
   }
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  // Dispatch on the header: binary v2 magic, else the v1 text format.
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() == static_cast<std::streamsize>(kSnapshotV2Magic.size()) &&
+      kSnapshotV2Magic == std::string_view(magic, sizeof(magic))) {
+    in.close();
+    return LoadSnapshotV2(store, path, wal_sequence);
+  }
+
+  in.clear();
+  in.seekg(0);
   std::string line;
   if (!std::getline(in, line) || line.rfind("CQMS-SNAPSHOT", 0) != 0) {
     return Status::IoError("not a CQMS snapshot: " + path);
   }
-
-  QueryId current = kInvalidQueryId;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::istringstream ls(line);
-    std::string tag;
-    ls >> tag;
-    if (tag == "U") {
-      std::string user_enc;
-      ls >> user_enc;
-      if (!ls) return Status::IoError("corrupt U line in " + path);
-      std::vector<std::string> groups;
-      std::string g;
-      while (ls >> g) groups.push_back(Unescape(g));
-      store->acl().AddUser(Unescape(user_enc), groups);
-    } else if (tag == "Q") {
-      QueryId id;
-      Micros ts;
-      SessionId session;
-      uint32_t flags;
-      double quality;
-      std::string user_enc, text_enc;
-      ls >> id >> ts >> session >> flags >> quality >> user_enc >> text_enc;
-      if (!ls) return Status::IoError("corrupt Q line in " + path);
-      QueryRecord record =
-          BuildRecordFromText(Unescape(text_enc), Unescape(user_enc), ts);
-      record.session_id = session;
-      record.flags = flags;
-      record.quality = quality;
-      current = store->Append(std::move(record));
-      if (current != id) {
-        return Status::IoError("non-contiguous query ids in snapshot: " + path);
-      }
-    } else if (tag == "S") {
-      if (current == kInvalidQueryId) return Status::IoError("S before Q");
-      QueryRecord* r = store->GetMutable(current);
-      int succeeded;
-      std::string error_enc;
-      ls >> r->stats.execution_micros >> r->stats.result_rows >>
-          r->stats.rows_scanned >> succeeded >> error_enc;
-      if (!ls) return Status::IoError("corrupt S line in " + path);
-      r->stats.succeeded = succeeded != 0;
-      r->stats.error = Unescape(error_enc);
-    } else if (tag == "P") {
-      if (current == kInvalidQueryId) return Status::IoError("P before Q");
-      std::string plan_enc;
-      ls >> plan_enc;
-      if (!ls) return Status::IoError("corrupt P line in " + path);
-      store->GetMutable(current)->stats.plan = Unescape(plan_enc);
-    } else if (tag == "A") {
-      if (current == kInvalidQueryId) return Status::IoError("A before Q");
-      Annotation a;
-      std::string author_enc, fragment_enc, text_enc;
-      ls >> a.timestamp >> author_enc >> fragment_enc >> text_enc;
-      if (!ls) return Status::IoError("corrupt A line in " + path);
-      a.author = Unescape(author_enc);
-      a.fragment = Unescape(fragment_enc);
-      a.text = Unescape(text_enc);
-      CQMS_RETURN_IF_ERROR(store->Annotate(current, std::move(a)));
-    } else if (tag == "V") {
-      if (current == kInvalidQueryId) return Status::IoError("V before Q");
-      int vis;
-      ls >> vis;
-      if (!ls) return Status::IoError("corrupt V line in " + path);
-      const QueryRecord* r = store->Get(current);
-      CQMS_RETURN_IF_ERROR(store->acl().SetVisibility(
-          current, r->user, r->user, static_cast<Visibility>(vis)));
-    } else {
-      return Status::IoError("unknown snapshot tag '" + tag + "' in " + path);
-    }
-  }
-  return Status::Ok();
+  // Version "1" files used "%00" as the empty-field marker; "1.1" moved
+  // it to a lone "%" so single-NUL fields round-trip.
+  std::istringstream header(line);
+  std::string word, version;
+  header >> word >> version;
+  return LoadSnapshotV1(store, in, path,
+                        /*legacy_empty_marker=*/version == "1");
 }
 
 }  // namespace cqms::storage

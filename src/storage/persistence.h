@@ -2,27 +2,49 @@
 #define CQMS_STORAGE_PERSISTENCE_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "storage/query_store.h"
 
 namespace cqms::storage {
 
-/// Writes a snapshot of the query log to `path` in a line-oriented,
+/// Writes a snapshot of the query log to `path` in the v1 line-oriented,
 /// percent-escaped text format: per record the raw text, user, timestamp,
 /// session, flags, quality, runtime stats and annotations, plus ACL user
-/// memberships and per-query visibility.
+/// memberships and per-query visibility. Kept as the debuggable /
+/// greppable format; production paths should prefer SaveSnapshotV2
+/// (snapshot_v2.h), which restores without re-parsing. The write is
+/// atomic (tmp file + rename).
 ///
 /// Output summaries are intentionally not persisted: they are data-
 /// dependent caches the profiler rebuilds, and the paper's maintenance
 /// component treats them as refreshable state anyway.
 Status SaveSnapshot(const QueryStore& store, const std::string& path);
 
-/// Loads a snapshot previously written by SaveSnapshot into an empty
-/// store. Parse-derived features (components, fingerprints) are rebuilt
-/// from the stored text via the same path the profiler uses, so the
-/// loaded store is fully indexed and meta-queryable.
-Status LoadSnapshot(QueryStore* store, const std::string& path);
+/// Loads a snapshot into an empty store, dispatching on the file header:
+/// the binary v2 magic routes to LoadSnapshotV2 (bulk restore, no
+/// re-tokenization); anything else is read as the v1 text format, whose
+/// parse-derived features (components, fingerprints, signatures) are
+/// rebuilt from the stored text via the same path the profiler uses. In
+/// both cases the loaded store is fully indexed and meta-queryable.
+/// `wal_sequence` (optional) receives the v2 durability stamp — the
+/// highest WAL sequence the snapshot covers — or 0 for v1 snapshots.
+Status LoadSnapshot(QueryStore* store, const std::string& path,
+                    uint64_t* wal_sequence = nullptr);
+
+/// Writes `contents` to `path` atomically and durably: the bytes land
+/// in `<path>.tmp`, are fsync'd (POSIX), and rename(2) moves them over
+/// the target (whose directory entry is fsync'd too), so a crash — or a
+/// power cut — mid-save can never clobber the last good snapshot, and a
+/// published snapshot is on stable storage before anything (like the
+/// WAL truncation that follows a checkpoint) relies on it.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Reads the whole file into `out` with one sized block read (the
+/// istreambuf-iterator idiom reads per character — ruinous at snapshot
+/// sizes). kIoError when the file cannot be opened or read.
+Status ReadFileToString(const std::string& path, std::string* out);
 
 }  // namespace cqms::storage
 

@@ -1,0 +1,18 @@
+#include "storage/query_record.h"
+
+#include "sql/parser.h"
+
+namespace cqms::storage {
+
+const sql::SelectStatement* QueryRecord::Ast() const {
+  if (ast == nullptr && text_parses) {
+    auto parsed = sql::Parse(text);
+    // A failure here means the snapshot's parsed bit lied about the
+    // text; leave ast null and let the caller's null check skip the
+    // record rather than crashing a background pass.
+    if (parsed.ok()) ast = std::move(parsed).value();
+  }
+  return ast.get();
+}
+
+}  // namespace cqms::storage

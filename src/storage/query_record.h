@@ -112,9 +112,17 @@ struct QueryRecord {
   std::string user;
   Micros timestamp = 0;
 
-  /// Parsed statement; null for queries that failed to parse.
-  std::shared_ptr<const sql::SelectStatement> ast;
-  /// Syntactic features (empty when ast is null).
+  /// Parsed statement; null for queries that failed to parse — and for
+  /// records restored from a binary snapshot, which persist every
+  /// parse-derived feature but not the tree itself. Consumers that need
+  /// the tree must go through Ast(), which materializes it on demand;
+  /// use parse_failed() (not a null check here) to test parsability.
+  mutable std::shared_ptr<const sql::SelectStatement> ast;
+  /// True when `text` is known to parse even while `ast` is not
+  /// materialized (binary-snapshot restore). Set by BuildRecordFromText
+  /// and the snapshot loader.
+  bool text_parses = false;
+  /// Syntactic features (empty when the query does not parse).
   sql::QueryComponents components;
 
   RuntimeStats stats;
@@ -137,7 +145,13 @@ struct QueryRecord {
   double quality = 0.5;
 
   bool HasFlag(QueryFlags f) const { return (flags & f) != 0; }
-  bool parse_failed() const { return ast == nullptr; }
+  bool parse_failed() const { return ast == nullptr && !text_parses; }
+
+  /// The parse tree, re-parsing `text` on first use for records restored
+  /// from a binary snapshot. Null for parse failures — callers must
+  /// null-check even after a parse_failed() test, since a corrupt
+  /// snapshot could carry a parsed bit with unparsable text.
+  const sql::SelectStatement* Ast() const;
 };
 
 }  // namespace cqms::storage

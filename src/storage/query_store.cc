@@ -42,6 +42,10 @@ QueryStore::QueryStore(LshParams lsh_params) : lsh_(lsh_params) {
                                  {"op", ValueType::kString},
                                  {"const_val", ValueType::kString}}));
   (void)s;
+  queries_table_ = feature_db_.GetMutableTable("Queries");
+  datasources_table_ = feature_db_.GetMutableTable("DataSources");
+  attributes_table_ = feature_db_.GetMutableTable("Attributes");
+  predicates_table_ = feature_db_.GetMutableTable("Predicates");
 }
 
 uint32_t QueryStore::PopularitySlotFor(const QueryRecord& record) {
@@ -52,7 +56,6 @@ uint32_t QueryStore::PopularitySlotFor(const QueryRecord& record) {
 }
 
 QueryId QueryStore::Append(QueryRecord record) {
-  record.id = static_cast<QueryId>(records_.size());
   // The profiler attaches the output summary after BuildRecordFromText,
   // so the summary contribution is folded in here, where the record's
   // features stop changing. Hand-built records (and text-only profiling)
@@ -72,6 +75,35 @@ QueryId QueryStore::Append(QueryRecord record) {
     // Symbol ids, so it must be rebuilt from the interned signature.
     ComputeSimilaritySignature(&record);
   }
+  QueryId id = FinishAppend(std::move(record));
+  if (listener_ != nullptr) listener_->OnAppend(records_.back());
+  return id;
+}
+
+void QueryStore::ReserveForRestore(size_t records, size_t symbols) {
+  // Defer the feature-relation rebuild: the SQL meta-query surface is
+  // touched far less often than the cold-start path, so its rows
+  // materialize on first feature_db() access instead of inside the
+  // restore loop.
+  feature_rows_lazy_ = true;
+  by_table_.reserve(symbols);
+  by_attribute_.reserve(symbols);
+  by_keyword_.reserve(symbols);
+  by_skeleton_.reserve(records);
+  by_fingerprint_.reserve(records);
+  pop_slot_of_.reserve(records);
+  // by_user_ is deliberately not pre-sized: distinct users are orders
+  // of magnitude fewer than records, so its rehashing is noise.
+  lsh_.Reserve(records);
+  scoring_.Reserve(records);
+}
+
+QueryId QueryStore::RestoreAppend(QueryRecord record) {
+  return FinishAppend(std::move(record));
+}
+
+QueryId QueryStore::FinishAppend(QueryRecord record) {
+  record.id = static_cast<QueryId>(records_.size());
   max_timestamp_ = std::max(max_timestamp_, record.timestamp);
   records_.push_back(std::move(record));
   const QueryRecord& stored = records_.back();
@@ -79,8 +111,13 @@ QueryId QueryStore::Append(QueryRecord record) {
   uint32_t slot = PopularitySlotFor(stored);
   if (slot != ScoringColumns::kNoPopularitySlot) scoring_.AddSlotRef(slot);
   scoring_.AppendRecord(stored, slot, GlobalInterner().Intern(stored.user));
-  InsertFeatureRows(stored);
+  if (!feature_rows_lazy_) InsertFeatureRows(stored);
   return stored.id;
+}
+
+void QueryStore::MaterializeFeatureRows() const {
+  feature_rows_lazy_ = false;
+  for (const QueryRecord& r : records_) InsertFeatureRows(r);
 }
 
 void QueryStore::IndexRecord(const QueryRecord& record) {
@@ -127,9 +164,8 @@ void QueryStore::UnindexRecord(const QueryRecord& record) {
   lsh_.Remove(record.id, record.sketch);
 }
 
-void QueryStore::InsertFeatureRows(const QueryRecord& record) {
-  Status s = feature_db_.Insert(
-      "Queries",
+void QueryStore::InsertFeatureRows(const QueryRecord& record) const {
+  Status s = queries_table_->Append(
       {Value::Int(record.id), Value::String(record.text),
        Value::String(record.user), Value::Int(record.timestamp),
        Value::Int(record.stats.execution_micros),
@@ -138,17 +174,17 @@ void QueryStore::InsertFeatureRows(const QueryRecord& record) {
   (void)s;
   if (record.parse_failed()) return;
   for (const std::string& t : record.components.tables) {
-    s = feature_db_.Insert("DataSources", {Value::Int(record.id), Value::String(t)});
+    s = datasources_table_->Append({Value::Int(record.id), Value::String(t)});
   }
   for (const auto& [rel, attr] : record.components.attributes) {
-    s = feature_db_.Insert(
-        "Attributes", {Value::Int(record.id), Value::String(attr), Value::String(rel)});
+    s = attributes_table_->Append(
+        {Value::Int(record.id), Value::String(attr), Value::String(rel)});
   }
   for (const auto& p : record.components.predicates) {
-    s = feature_db_.Insert(
-        "Predicates", {Value::Int(record.id), Value::String(p.attribute),
-                       Value::String(p.relation), Value::String(p.op),
-                       Value::String(p.constant)});
+    s = predicates_table_->Append(
+        {Value::Int(record.id), Value::String(p.attribute),
+         Value::String(p.relation), Value::String(p.op),
+         Value::String(p.constant)});
   }
 }
 
@@ -282,6 +318,7 @@ Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
   r->skeleton_fingerprint = rebuilt.skeleton_fingerprint;
   r->components = std::move(rebuilt.components);
   r->ast = std::move(rebuilt.ast);
+  r->text_parses = rebuilt.text_parses;
   // BuildRecordFromText already interned the new text's signature and
   // sketched it; only the preserved output summary's contribution needs
   // recomputing (output rows are not sketch elements, so the sketch
@@ -290,21 +327,27 @@ Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
   r->sketch = rebuilt.sketch;
   UpdateOutputSignature(r);
 
-  // Purge this query's feature rows and reinsert from the new AST.
-  for (const char* table : {"Queries", "DataSources", "Attributes", "Predicates"}) {
-    db::Table* t = feature_db_.GetMutableTable(table);
-    if (t != nullptr) {
-      t->RemoveRowsIf([&](const db::Row& row) {
-        return !row.empty() && row[0].type() == db::ValueType::kInt &&
-               row[0].AsInt() == id;
-      });
+  // Purge this query's feature rows and reinsert from the new AST —
+  // unless a restore deferred the rows entirely, in which case the
+  // eventual materialization reads the rewritten record anyway.
+  if (!feature_rows_lazy_) {
+    for (const char* table :
+         {"Queries", "DataSources", "Attributes", "Predicates"}) {
+      db::Table* t = feature_db_.GetMutableTable(table);
+      if (t != nullptr) {
+        t->RemoveRowsIf([&](const db::Row& row) {
+          return !row.empty() && row[0].type() == db::ValueType::kInt &&
+                 row[0].AsInt() == id;
+        });
+      }
     }
   }
   IndexRecord(*r);
   uint32_t slot = PopularitySlotFor(*r);
   if (slot != ScoringColumns::kNoPopularitySlot) scoring_.AddSlotRef(slot);
   scoring_.RewriteRecord(*r, slot);
-  InsertFeatureRows(*r);
+  if (!feature_rows_lazy_) InsertFeatureRows(*r);
+  if (listener_ != nullptr) listener_->OnRewrite(id, r->text);
   return Status::Ok();
 }
 
@@ -312,37 +355,53 @@ Status QueryStore::Annotate(QueryId id, Annotation annotation) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
   r->annotations.push_back(std::move(annotation));
+  if (listener_ != nullptr) listener_->OnAnnotate(id, r->annotations.back());
   return Status::Ok();
 }
+
+// The scalar mutators below treat an unchanged value as a no-op and
+// skip the listener: maintenance recomputes quality (and re-flags
+// drift) across the whole log every cycle, and without the guard each
+// pass would frame thousands of do-nothing records into the WAL and
+// trip the checkpoint thresholds on every run.
 
 Status QueryStore::AddFlag(QueryId id, QueryFlags flag) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  if ((r->flags & flag) == static_cast<uint32_t>(flag)) return Status::Ok();
   r->flags |= flag;
   scoring_.SetFlags(id, r->flags);
+  if (listener_ != nullptr) listener_->OnFlagChange(id, flag, /*set=*/true);
   return Status::Ok();
 }
 
 Status QueryStore::ClearFlag(QueryId id, QueryFlags flag) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  if ((r->flags & flag) == 0) return Status::Ok();
   r->flags &= ~static_cast<uint32_t>(flag);
   scoring_.SetFlags(id, r->flags);
+  if (listener_ != nullptr) listener_->OnFlagChange(id, flag, /*set=*/false);
   return Status::Ok();
 }
 
 Status QueryStore::SetSession(QueryId id, SessionId session) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  if (r->session_id == session) return Status::Ok();
   r->session_id = session;
+  if (listener_ != nullptr) listener_->OnSetSession(id, session);
   return Status::Ok();
 }
 
 Status QueryStore::SetQuality(QueryId id, double quality) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
-  r->quality = std::clamp(quality, 0.0, 1.0);
+  double clamped = std::clamp(quality, 0.0, 1.0);
+  if (r->quality == clamped) return Status::Ok();
+  r->quality = clamped;
   scoring_.SetQuality(id, r->quality);
+  if (listener_ != nullptr) listener_->OnSetQuality(id, r->quality);
   return Status::Ok();
 }
 
@@ -354,6 +413,17 @@ Status QueryStore::SyncOutputSignature(QueryId id) {
   return Status::Ok();
 }
 
+Status QueryStore::RestoreOutputSignature(QueryId id,
+                                          std::vector<uint64_t> output_rows,
+                                          bool output_empty_computed) {
+  QueryRecord* r = GetMutable(id);
+  if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
+  r->signature.output_rows = std::move(output_rows);
+  r->signature.output_empty_computed = output_empty_computed;
+  scoring_.SyncOutput(*r);
+  return Status::Ok();
+}
+
 Status QueryStore::Delete(QueryId id, const std::string& requester, bool is_admin) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
@@ -361,8 +431,10 @@ Status QueryStore::Delete(QueryId id, const std::string& requester, bool is_admi
     return Status::PermissionDenied("only the owner or an admin may delete query " +
                                     std::to_string(id));
   }
+  if (r->HasFlag(kFlagDeleted)) return Status::Ok();
   r->flags |= kFlagDeleted;
   scoring_.SetFlags(id, r->flags);
+  if (listener_ != nullptr) listener_->OnDelete(id);
   return Status::Ok();
 }
 

@@ -15,6 +15,7 @@
 #include "storage/lsh_index.h"
 #include "storage/query_record.h"
 #include "storage/scoring_columns.h"
+#include "storage/store_listener.h"
 
 namespace cqms::storage {
 
@@ -45,6 +46,31 @@ class QueryStore {
   /// updating every index, the scoring columns and the feature
   /// relations. Returns the id.
   QueryId Append(QueryRecord record);
+
+  /// Pre-sizes the secondary-index hash tables, the LSH buckets and the
+  /// scoring columns for a bulk restore of `records` records referencing
+  /// `symbols` distinct signature Symbols — incremental rehashing while
+  /// a snapshot streams in costs a measurable slice of cold-start.
+  void ReserveForRestore(size_t records, size_t symbols);
+
+  /// Bulk-restore entry for the binary snapshot loader: appends a fully
+  /// materialized record — signature, sketch, fingerprints, components
+  /// all trusted exactly as stored — rebuilding only the indexes and
+  /// the scoring columns (feature relations defer; see feature_db()).
+  /// Never tokenizes, parses or sketches, and never notifies the
+  /// listener (a restore is not a new mutation); the only interner
+  /// touch is resolving the owner name for the scoring columns.
+  /// Callers are responsible for the record being internally
+  /// consistent (LoadSnapshot's CRC framing).
+  QueryId RestoreAppend(QueryRecord record);
+
+  /// Mutation observer (the write-ahead log). One registration covers
+  /// the store and its AccessControl; null detaches. The listener fires
+  /// after each successful durable mutation — see StoreListener.
+  void SetListener(StoreListener* listener) {
+    listener_ = listener;
+    acl_.SetListener(listener);
+  }
 
   const QueryRecord* Get(QueryId id) const;
   QueryRecord* GetMutable(QueryId id);
@@ -142,6 +168,13 @@ class QueryStore {
   /// the record directly, or the columnar copy goes stale.
   Status SyncOutputSignature(QueryId id);
 
+  /// Restore-grade variant for WAL replay: sets the output-derived
+  /// signature fields directly — the summary they were computed from is
+  /// not persisted — and mirrors them into the scoring columns. Never
+  /// notifies the listener.
+  Status RestoreOutputSignature(QueryId id, std::vector<uint64_t> output_rows,
+                                bool output_empty_computed);
+
   /// Tombstones a query (owner or admin action, §2.4). The record stays
   /// for audit but disappears from all visible scans.
   Status Delete(QueryId id, const std::string& requester, bool is_admin = false);
@@ -160,23 +193,46 @@ class QueryStore {
   // --- feature relations -----------------------------------------------------------
 
   /// The embedded database holding the feature relations; execute SQL
-  /// meta-queries against it (Figure 1).
-  const db::Database& feature_db() const { return feature_db_; }
+  /// meta-queries against it (Figure 1). After a bulk snapshot restore
+  /// the rows are materialized lazily on first access (cold-start pays
+  /// for the SQL meta-query surface only when it is used); live appends
+  /// always maintain them incrementally once materialized.
+  const db::Database& feature_db() const {
+    if (feature_rows_lazy_) MaterializeFeatureRows();
+    return feature_db_;
+  }
 
  private:
+  /// Shared tail of Append / RestoreAppend: assigns the id, stores the
+  /// record and rebuilds every derived structure from it.
+  QueryId FinishAppend(QueryRecord record);
   void IndexRecord(const QueryRecord& record);
   /// Removes `record.id` from every feature-derived index (tables,
   /// attributes, keywords, skeleton, fingerprint) using the record's
   /// *current* features; called before RewriteQueryText replaces them.
   void UnindexRecord(const QueryRecord& record);
-  void InsertFeatureRows(const QueryRecord& record);
+  void InsertFeatureRows(const QueryRecord& record) const;
+  /// Rebuilds every feature-relation row from the current records —
+  /// the deferred half of a bulk restore.
+  void MaterializeFeatureRows() const;
   /// Slot of `fingerprint` in the scoring columns' popularity counts,
   /// creating one on first sight. kNoPopularitySlot for parse failures.
   uint32_t PopularitySlotFor(const QueryRecord& record);
 
   std::deque<QueryRecord> records_;
   AccessControl acl_;
-  db::Database feature_db_;
+  /// Mutable alongside feature_rows_lazy_: the const feature_db()
+  /// accessor materializes deferred rows on first use.
+  mutable db::Database feature_db_;
+  mutable bool feature_rows_lazy_ = false;
+  /// The four feature relations, resolved once at construction —
+  /// InsertFeatureRows appends ~a dozen rows per logged query, and the
+  /// per-insert name lowering + catalog lookup showed up in the
+  /// snapshot-restore profile.
+  db::Table* queries_table_ = nullptr;
+  db::Table* datasources_table_ = nullptr;
+  db::Table* attributes_table_ = nullptr;
+  db::Table* predicates_table_ = nullptr;
   Micros max_timestamp_ = 0;
 
   /// Keyed by the interned lower-case table name — the same Symbols as
@@ -193,6 +249,7 @@ class QueryStore {
   std::unordered_map<uint64_t, uint32_t> pop_slot_of_;
   LshIndex lsh_;
   ScoringColumns scoring_;
+  StoreListener* listener_ = nullptr;
   std::vector<QueryId> empty_;
 };
 

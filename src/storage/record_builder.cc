@@ -103,6 +103,7 @@ QueryRecord BuildRecordFromText(std::string text, std::string user,
   record.skeleton_fingerprint = sql::SkeletonFingerprint(*ast);
   record.components = sql::CollectComponents(*ast);
   record.ast = std::move(ast);
+  record.text_parses = true;
   ComputeSimilaritySignature(&record, mode);
   return record;
 }

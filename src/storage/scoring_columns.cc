@@ -14,6 +14,16 @@ uint16_t Clamp16(size_t n) {
 
 }  // namespace
 
+void ScoringColumns::Reserve(size_t records) {
+  flags_.reserve(records);
+  quality_.reserve(records);
+  timestamp_.reserve(records);
+  owner_.reserve(records);
+  pop_slot_.reserve(records);
+  sig_.reserve(records);
+  pop_counts_.reserve(records);
+}
+
 ScoringColumns::SignatureRef ScoringColumns::PackRecord(
     const QueryRecord& record) {
   const SimilaritySignature& sig = record.signature;

@@ -80,6 +80,10 @@ class ScoringColumns {
 
   // --- maintenance (QueryStore only) --------------------------------------
 
+  /// Pre-sizes the per-record column vectors for `records` rows (bulk
+  /// snapshot restore; arenas still grow on demand).
+  void Reserve(size_t records);
+
   /// Appends the columnar row of a just-stored record. `record.id` must
   /// equal size(). `owner` is the interned record.user.
   void AppendRecord(const QueryRecord& record, uint32_t pop_slot, Symbol owner);

@@ -1,0 +1,57 @@
+#ifndef CQMS_STORAGE_SNAPSHOT_V2_H_
+#define CQMS_STORAGE_SNAPSHOT_V2_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/query_store.h"
+
+namespace cqms::storage {
+
+/// First bytes of a binary snapshot file; LoadSnapshot dispatches on
+/// them (anything else falls back to the v1 text reader).
+inline constexpr std::string_view kSnapshotV2Magic = "CQMSNAP2";
+
+/// Writes the version-2 binary snapshot of `store` to `path`, atomically
+/// (tmp file + rename). The format — magic + version, then
+/// length-prefixed CRC32-framed sections — serializes everything the
+/// store derived from the query text at append time: the referenced
+/// slice of the global interner table, per-record similarity-signature
+/// Symbol vectors and output-row hashes, MinHash sketch slots,
+/// canonical/skeleton texts, fingerprints, syntactic components, runtime
+/// stats, annotations, and the full ACL. LoadSnapshot can therefore
+/// bulk-restore the store — indexes, scoring-column arenas, LSH buckets,
+/// feature relations — from one sequential read, with zero re-parsing
+/// and zero re-tokenization. See docs/persistence.md for the byte-level
+/// spec.
+///
+/// Output summaries are still not persisted (same policy as v1): they
+/// are refreshable profiler caches. Their *signature contribution* (the
+/// output-row hashes similarity ranking reads) is persisted, so ranking
+/// is byte-identical across a save/load pair.
+///
+/// `wal_sequence` stamps the highest WAL sequence number this snapshot
+/// covers (a durability-metadata section); DurableStore uses it to make
+/// snapshot + WAL-replay idempotent across a crash between snapshot
+/// write and WAL truncation. Plain saves leave it 0.
+Status SaveSnapshotV2(const QueryStore& store, const std::string& path,
+                      uint64_t wal_sequence = 0);
+
+/// Loads a v2 snapshot into an empty store. Symbols are remapped through
+/// the process-global interner (bulk re-intern of the stored table
+/// slice): in a fresh process the mapping is the identity and the stored
+/// MinHash sketches are adopted verbatim; in a process whose interner
+/// already diverged, signature vectors are remapped and sketches
+/// recomputed from them — still without touching the tokenizer or the
+/// SQL parser. Corruption (bad magic, section CRC mismatch, truncation,
+/// malformed payload) is rejected with kIoError; a load that fails
+/// mid-restore leaves the store partially populated, so callers must
+/// discard it (the v1 loader has the same contract). `wal_sequence`
+/// (optional) receives the stored durability stamp (0 when absent).
+Status LoadSnapshotV2(QueryStore* store, const std::string& path,
+                      uint64_t* wal_sequence = nullptr);
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_SNAPSHOT_V2_H_

@@ -1,0 +1,439 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/binary_codec.h"
+#include "storage/persistence.h"
+#include "storage/record_builder.h"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace cqms::storage {
+
+namespace {
+
+constexpr std::string_view kWalMagic = "CQMSWAL1";
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kHeaderSize = 8 + 4;
+constexpr size_t kFrameOverhead = 4 + 4;  // length + CRC
+
+std::string WalHeader() {
+  std::string header(kWalMagic);
+  BinaryWriter w;
+  w.PutFixed32(kWalVersion);
+  header.append(w.data());
+  return header;
+}
+
+Status CorruptWal(const std::string& path, const std::string& what) {
+  return Status::IoError("corrupt WAL (" + what + "): " + path);
+}
+
+Status ApplyRecord(BinaryReader* r, QueryStore* store,
+                   const std::string& path) {
+  WalOp op = static_cast<WalOp>(r->GetU8());
+  switch (op) {
+    case WalOp::kAppend: {
+      bool parsed = r->GetU8() != 0;
+      std::string text = r->GetString();
+      std::string user = r->GetString();
+      Micros ts = r->GetZigzag();
+      SessionId session = r->GetZigzag();
+      uint32_t flags = static_cast<uint32_t>(r->GetVarint());
+      double quality = r->GetDouble();
+      RuntimeStats stats;
+      stats.execution_micros = r->GetZigzag();
+      stats.result_rows = r->GetVarint();
+      stats.rows_scanned = r->GetVarint();
+      stats.succeeded = r->GetU8() != 0;
+      stats.error = r->GetString();
+      stats.plan = r->GetString();
+      std::vector<uint64_t> output_rows = GetDeltaU64s(r);
+      bool output_empty_computed = r->GetU8() != 0;
+      QueryId expected_id = static_cast<QueryId>(r->GetVarint());
+      if (r->failed()) return CorruptWal(path, "append payload");
+      QueryRecord record;
+      QueryId id;
+      if (parsed) {
+        // Replaying the tail re-tokenizes — bounded by the checkpoint
+        // interval, unlike the snapshot body.
+        record = BuildRecordFromText(std::move(text), std::move(user), ts);
+        record.session_id = session;
+        record.flags = flags;
+        record.quality = quality;
+        record.stats = std::move(stats);
+        // The output summary itself is not logged (refreshable cache),
+        // but its signature contribution — the hashes output-similarity
+        // ranking reads — is, so ranking stays crash-consistent for
+        // WAL-tail records too. RestoreAppend trusts the patched
+        // signature instead of refolding the (absent) summary the way
+        // Append would.
+        record.signature.output_rows = std::move(output_rows);
+        record.signature.output_empty_computed = output_empty_computed;
+        id = store->RestoreAppend(std::move(record));
+      } else {
+        // Original was logged without parsing (text-only profiling level
+        // or unparsable text that BuildRecordFromText degraded); Append
+        // computes the signature exactly as it did originally. Such
+        // records never carry an output summary.
+        record.text = std::move(text);
+        record.user = std::move(user);
+        record.timestamp = ts;
+        record.session_id = session;
+        record.flags = flags;
+        record.quality = quality;
+        record.stats = std::move(stats);
+        id = store->Append(std::move(record));
+      }
+      if (id != expected_id) {
+        return CorruptWal(path, "append id mismatch");
+      }
+      return Status::Ok();
+    }
+    case WalOp::kRewrite: {
+      QueryId id = static_cast<QueryId>(r->GetVarint());
+      std::string text = r->GetString();
+      std::vector<uint64_t> output_rows = GetDeltaU64s(r);
+      bool output_empty_computed = r->GetU8() != 0;
+      if (r->failed()) return CorruptWal(path, "rewrite payload");
+      CQMS_RETURN_IF_ERROR(store->RewriteQueryText(id, text));
+      // The rewrite preserved the (unpersisted) summary; restore its
+      // hash contribution so output-similarity ranking stays
+      // crash-consistent across a rewritten tail record.
+      return store->RestoreOutputSignature(id, std::move(output_rows),
+                                           output_empty_computed);
+    }
+    case WalOp::kAnnotate: {
+      QueryId id = static_cast<QueryId>(r->GetVarint());
+      Annotation a;
+      a.author = r->GetString();
+      a.timestamp = r->GetZigzag();
+      a.text = r->GetString();
+      a.fragment = r->GetString();
+      if (r->failed()) return CorruptWal(path, "annotate payload");
+      return store->Annotate(id, std::move(a));
+    }
+    case WalOp::kFlagSet:
+    case WalOp::kFlagClear: {
+      QueryId id = static_cast<QueryId>(r->GetVarint());
+      QueryFlags flag = static_cast<QueryFlags>(r->GetVarint());
+      if (r->failed()) return CorruptWal(path, "flag payload");
+      return op == WalOp::kFlagSet ? store->AddFlag(id, flag)
+                                   : store->ClearFlag(id, flag);
+    }
+    case WalOp::kSetSession: {
+      QueryId id = static_cast<QueryId>(r->GetVarint());
+      SessionId session = r->GetZigzag();
+      if (r->failed()) return CorruptWal(path, "session payload");
+      return store->SetSession(id, session);
+    }
+    case WalOp::kSetQuality: {
+      QueryId id = static_cast<QueryId>(r->GetVarint());
+      double quality = r->GetDouble();
+      if (r->failed()) return CorruptWal(path, "quality payload");
+      return store->SetQuality(id, quality);
+    }
+    case WalOp::kDelete: {
+      QueryId id = static_cast<QueryId>(r->GetVarint());
+      if (r->failed()) return CorruptWal(path, "delete payload");
+      // The owner check already passed when the op was logged.
+      return store->Delete(id, "", /*is_admin=*/true);
+    }
+    case WalOp::kAddUser: {
+      std::string user = r->GetString();
+      uint64_t n = r->GetVarint();
+      if (r->failed() || n > r->remaining()) {
+        return CorruptWal(path, "adduser payload");
+      }
+      std::vector<std::string> groups;
+      groups.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) groups.push_back(r->GetString());
+      if (r->failed()) return CorruptWal(path, "adduser payload");
+      store->acl().AddUser(user, groups);
+      return Status::Ok();
+    }
+    case WalOp::kSetVisibility: {
+      QueryId id = static_cast<QueryId>(r->GetVarint());
+      uint8_t vis = r->GetU8();
+      if (r->failed() || vis > static_cast<uint8_t>(Visibility::kPublic)) {
+        return CorruptWal(path, "visibility payload");
+      }
+      return store->acl().SetVisibility(id, "", "",
+                                        static_cast<Visibility>(vis));
+    }
+  }
+  return CorruptWal(path, "unknown op");
+}
+
+}  // namespace
+
+namespace wal {
+
+std::string EncodeAppend(const QueryRecord& record) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(WalOp::kAppend));
+  w.PutU8(record.parse_failed() ? 0 : 1);
+  w.PutString(record.text);
+  w.PutString(record.user);
+  w.PutZigzag(record.timestamp);
+  w.PutZigzag(record.session_id);
+  w.PutVarint(record.flags);
+  w.PutDouble(record.quality);
+  w.PutZigzag(record.stats.execution_micros);
+  w.PutVarint(record.stats.result_rows);
+  w.PutVarint(record.stats.rows_scanned);
+  w.PutU8(record.stats.succeeded ? 1 : 0);
+  w.PutString(record.stats.error);
+  w.PutString(record.stats.plan);
+  PutDeltaU64s(&w, record.signature.output_rows);
+  w.PutU8(record.signature.output_empty_computed ? 1 : 0);
+  w.PutVarint(static_cast<uint64_t>(record.id));
+  return w.Take();
+}
+
+std::string EncodeRewrite(QueryId id, std::string_view new_text,
+                          const SimilaritySignature& signature) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(WalOp::kRewrite));
+  w.PutVarint(static_cast<uint64_t>(id));
+  w.PutString(new_text);
+  PutDeltaU64s(&w, signature.output_rows);
+  w.PutU8(signature.output_empty_computed ? 1 : 0);
+  return w.Take();
+}
+
+std::string EncodeAnnotate(QueryId id, const Annotation& annotation) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(WalOp::kAnnotate));
+  w.PutVarint(static_cast<uint64_t>(id));
+  w.PutString(annotation.author);
+  w.PutZigzag(annotation.timestamp);
+  w.PutString(annotation.text);
+  w.PutString(annotation.fragment);
+  return w.Take();
+}
+
+std::string EncodeFlagChange(QueryId id, QueryFlags flag, bool set) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(set ? WalOp::kFlagSet : WalOp::kFlagClear));
+  w.PutVarint(static_cast<uint64_t>(id));
+  w.PutVarint(flag);
+  return w.Take();
+}
+
+std::string EncodeSetSession(QueryId id, SessionId session) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(WalOp::kSetSession));
+  w.PutVarint(static_cast<uint64_t>(id));
+  w.PutZigzag(session);
+  return w.Take();
+}
+
+std::string EncodeSetQuality(QueryId id, double quality) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(WalOp::kSetQuality));
+  w.PutVarint(static_cast<uint64_t>(id));
+  w.PutDouble(quality);
+  return w.Take();
+}
+
+std::string EncodeDelete(QueryId id) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(WalOp::kDelete));
+  w.PutVarint(static_cast<uint64_t>(id));
+  return w.Take();
+}
+
+std::string EncodeAddUser(const std::string& user,
+                          const std::vector<std::string>& groups) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(WalOp::kAddUser));
+  w.PutString(user);
+  w.PutVarint(groups.size());
+  for (const std::string& g : groups) w.PutString(g);
+  return w.Take();
+}
+
+std::string EncodeSetVisibility(QueryId id, Visibility visibility) {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(WalOp::kSetVisibility));
+  w.PutVarint(static_cast<uint64_t>(id));
+  w.PutU8(static_cast<uint8_t>(visibility));
+  return w.Take();
+}
+
+}  // namespace wal
+
+Status WalWriter::Open(const std::string& path, bool fsync_each_record) {
+  Close();
+  path_ = path;
+  fsync_each_record_ = fsync_each_record;
+  failed_ = false;
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open WAL for appending: " + path);
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    Close();
+    return Status::IoError("cannot seek WAL: " + path);
+  }
+  long size = std::ftell(file_);
+  if (size < 0) {
+    Close();
+    return Status::IoError("cannot size WAL: " + path);
+  }
+  bytes_ = static_cast<uint64_t>(size);
+  appended_records_ = 0;
+  if (bytes_ == 0) {
+    std::string header = WalHeader();
+    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+        std::fflush(file_) != 0) {
+      Close();
+      return Status::IoError("cannot write WAL header: " + path);
+    }
+    bytes_ = header.size();
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Reset() {
+  if (path_.empty()) return Status::Internal("WAL writer never opened");
+  Close();
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    // Leave the writer retryable: the next Reset attempts fopen again.
+    failed_ = true;
+    return Status::IoError("cannot truncate WAL: " + path_);
+  }
+  std::string header = WalHeader();
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fflush(file_) != 0) {
+    failed_ = true;
+    return Status::IoError("cannot write WAL header: " + path_);
+  }
+  bytes_ = header.size();
+  appended_records_ = 0;
+  failed_ = false;
+  return Status::Ok();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (file_ == nullptr) return Status::Internal("WAL writer not open");
+  if (failed_) {
+    return Status::IoError("WAL writer failed; awaiting checkpoint reset: " +
+                           path_);
+  }
+  BinaryWriter frame;
+  frame.PutFixed32(static_cast<uint32_t>(payload.size()));
+  frame.PutFixed32(Crc32(payload));
+  frame.PutBytes(payload.data(), payload.size());
+  const std::string& bytes = frame.data();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
+      std::fflush(file_) != 0) {
+    // A partial frame may have reached the file; roll back to the last
+    // good frame boundary so the on-disk prefix stays cleanly framed.
+    // Either way the writer latches: the mutation applied in memory but
+    // was never logged, so any *later* frame would be inconsistent with
+    // the store it replays into (an append frame's expected id, a
+    // delete a lost delete should have preceded). Only a checkpoint —
+    // which captures the in-memory state wholesale — may reopen the
+    // log.
+#ifdef __unix__
+    if (::ftruncate(fileno(file_), static_cast<off_t>(bytes_)) != 0) {
+      // Rollback failed; the torn frame stays and replay will stop at
+      // it, which is the same consistent prefix.
+    }
+#endif
+    failed_ = true;
+    return Status::IoError("WAL append failed: " + path_);
+  }
+#ifdef __unix__
+  if (fsync_each_record_ && fsync(fileno(file_)) != 0) {
+    // The caller was promised power-loss durability; an unsynced frame
+    // breaks it, and on Linux the error may be consumed by this very
+    // call (later fsyncs would lie). Same discipline as a failed
+    // write: latch until a checkpoint repairs.
+    failed_ = true;
+    return Status::IoError("WAL fsync failed: " + path_);
+  }
+#endif
+  bytes_ += bytes.size();
+  ++appended_records_;
+  return Status::Ok();
+}
+
+Status ReplayWal(const std::string& path, QueryStore* store,
+                 WalReplayStats* stats, uint64_t min_sequence) {
+  *stats = WalReplayStats{};
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return Status::Ok();  // no log yet: fresh deployment
+  }
+  std::string file;
+  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file));
+  if (file.empty()) return Status::Ok();
+  if (file.size() < kHeaderSize) {
+    // A crash during the very first header write leaves a short prefix
+    // of the header: nothing was ever committed, so recover to empty
+    // rather than refusing. Anything else this short is not our file.
+    if (WalHeader().compare(0, file.size(), file) == 0) {
+      stats->torn_bytes = file.size();
+      return Status::Ok();
+    }
+    return CorruptWal(path, "bad header");
+  }
+  if (file.compare(0, kWalMagic.size(), kWalMagic) != 0) {
+    return CorruptWal(path, "bad header");
+  }
+  {
+    BinaryReader header(std::string_view(file).substr(kWalMagic.size(), 4));
+    uint32_t version = header.GetFixed32();
+    if (version != kWalVersion) {
+      return Status::IoError("unsupported WAL version " +
+                             std::to_string(version) + ": " + path);
+    }
+  }
+
+  std::string_view view(file);
+  size_t pos = kHeaderSize;
+  stats->bytes_valid = pos;
+  while (pos < file.size()) {
+    if (file.size() - pos < kFrameOverhead) break;  // torn frame header
+    BinaryReader frame(view.substr(pos, kFrameOverhead));
+    uint32_t len = frame.GetFixed32();
+    uint32_t stored_crc = frame.GetFixed32();
+    if (file.size() - pos - kFrameOverhead < len) break;  // torn payload
+    std::string_view payload = view.substr(pos + kFrameOverhead, len);
+    if (Crc32(payload) != stored_crc) break;  // torn / corrupted frame
+    BinaryReader r(payload);
+    uint64_t sequence = r.GetVarint();
+    if (r.failed()) return CorruptWal(path, "missing sequence");
+    stats->max_sequence = std::max(stats->max_sequence, sequence);
+    if (sequence <= min_sequence) {
+      // The snapshot already contains this mutation: a crash landed
+      // between the snapshot write and the WAL truncation. CRC already
+      // vouched for the frame; don't re-apply it.
+      ++stats->records_skipped;
+    } else {
+      CQMS_RETURN_IF_ERROR(ApplyRecord(&r, store, path));
+      if (!r.AtEnd()) return CorruptWal(path, "trailing payload bytes");
+      ++stats->records_applied;
+    }
+    pos += kFrameOverhead + len;
+    stats->bytes_valid = pos;
+  }
+  stats->torn_bytes = file.size() - stats->bytes_valid;
+  return Status::Ok();
+}
+
+}  // namespace cqms::storage

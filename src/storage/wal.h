@@ -1,0 +1,137 @@
+#ifndef CQMS_STORAGE_WAL_H_
+#define CQMS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/query_store.h"
+
+namespace cqms::storage {
+
+/// Write-ahead log record types. Every durable QueryStore mutation maps
+/// to exactly one op; in-place stats edits are not logged (the next
+/// checkpoint snapshot captures them — see docs/persistence.md).
+enum class WalOp : uint8_t {
+  kAppend = 1,
+  kRewrite = 2,
+  kAnnotate = 3,
+  kFlagSet = 4,
+  kFlagClear = 5,
+  kSetSession = 6,
+  kSetQuality = 7,
+  kDelete = 8,
+  kAddUser = 9,
+  kSetVisibility = 10,
+};
+
+/// Payload encoders for each op (op byte included). Kept public so the
+/// durability tests can forge records when simulating corruption.
+namespace wal {
+std::string EncodeAppend(const QueryRecord& record);
+/// `signature` is the record's post-rewrite signature: rewrites
+/// preserve the output summary, whose hash contribution must ride in
+/// the frame (summaries are not persisted, so replay cannot refold it).
+std::string EncodeRewrite(QueryId id, std::string_view new_text,
+                          const SimilaritySignature& signature);
+std::string EncodeAnnotate(QueryId id, const Annotation& annotation);
+std::string EncodeFlagChange(QueryId id, QueryFlags flag, bool set);
+std::string EncodeSetSession(QueryId id, SessionId session);
+std::string EncodeSetQuality(QueryId id, double quality);
+std::string EncodeDelete(QueryId id);
+std::string EncodeAddUser(const std::string& user,
+                          const std::vector<std::string>& groups);
+std::string EncodeSetVisibility(QueryId id, Visibility visibility);
+}  // namespace wal
+
+/// Appends framed binary records to the log file. Each frame is
+/// [fixed32 payload length | fixed32 CRC32(payload) | payload], after an
+/// 8-byte magic + version header, and is flushed to the OS on every
+/// append (optionally fsync'd), so a record is recoverable the moment
+/// the mutation returns. A crash mid-frame leaves a torn tail that
+/// ReplayWal detects by length/CRC and discards.
+///
+/// Write-failure discipline: after any failed append (or failed
+/// per-record fsync) the writer latches and refuses further appends
+/// until Reset() rewrites the log. The mutation that failed to log
+/// still applied in memory, so any later frame would be inconsistent
+/// with the store replay reconstructs (stranded behind a lost append's
+/// id, or re-animating state a lost delete removed); only a checkpoint
+/// — which snapshots the in-memory state wholesale and resets the log
+/// — may reopen it, and DurableStore forces one while a WAL error is
+/// latched. A partial frame is also rolled back to the last good
+/// boundary so the on-disk prefix stays cleanly framed.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter() { Close(); }
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending, writing the header first when the file
+  /// is new or empty. Callers replay (and truncate) the log before
+  /// opening a writer on it.
+  Status Open(const std::string& path, bool fsync_each_record = false);
+
+  /// Truncates the log back to a fresh header — the checkpoint step
+  /// after a successful snapshot write. Also the recovery path out of
+  /// the latched failed state; safe to retry after a failure (a
+  /// transient fopen error does not wedge the writer).
+  Status Reset();
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  Status Append(std::string_view payload);
+
+  /// Current log size in bytes (header included) and records appended
+  /// since Open/Reset — the checkpoint-policy inputs.
+  uint64_t bytes() const { return bytes_; }
+  uint64_t appended_records() const { return appended_records_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool fsync_each_record_ = false;
+  /// Latched when a failed append could not be rolled back to a frame
+  /// boundary; cleared by Open/Reset.
+  bool failed_ = false;
+  uint64_t bytes_ = 0;
+  uint64_t appended_records_ = 0;
+};
+
+struct WalReplayStats {
+  uint64_t records_applied = 0;
+  /// Intact frames whose sequence number the snapshot already covers
+  /// (a crash landed between snapshot write and WAL truncation).
+  uint64_t records_skipped = 0;
+  /// Highest sequence number seen in any intact frame (applied or
+  /// skipped); 0 for an empty log.
+  uint64_t max_sequence = 0;
+  /// Header plus every intact frame — the offset a torn log should be
+  /// truncated to.
+  uint64_t bytes_valid = 0;
+  /// Trailing bytes discarded as a torn write (0 for a clean log).
+  uint64_t torn_bytes = 0;
+};
+
+/// Replays every intact record of the log at `path` into `store`, in
+/// order. Each frame's payload begins with a varint sequence number
+/// (assigned by DurableStore, monotonic across checkpoints); frames
+/// with sequence <= `min_sequence` — mutations the loaded snapshot
+/// already contains, left behind by a crash between snapshot write and
+/// WAL truncation — are counted but not re-applied, which makes the
+/// snapshot+replay pair idempotent. A torn final frame (truncated or
+/// failing its CRC) marks the end of the committed prefix: it and
+/// anything after it are reported in `torn_bytes` and not applied. An
+/// intact frame that fails to decode or apply is real corruption and
+/// fails the replay. A missing file replays zero records successfully
+/// (fresh deployment).
+Status ReplayWal(const std::string& path, QueryStore* store,
+                 WalReplayStats* stats, uint64_t min_sequence = 0);
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_WAL_H_

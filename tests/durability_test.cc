@@ -1,0 +1,761 @@
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/binary_codec.h"
+#include "common/string_util.h"
+#include "core/cqms.h"
+#include "metaquery/knn.h"
+#include "metaquery/meta_query_executor.h"
+#include "sql/parser.h"
+#include "storage/durable_store.h"
+#include "storage/minhash.h"
+#include "storage/persistence.h"
+#include "storage/record_builder.h"
+#include "storage/snapshot_v2.h"
+#include "storage/wal.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace cqms::storage {
+namespace {
+
+using testing_util::Harness;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+/// A populated database plus a synthetic multi-user log of (at least)
+/// `min_queries` profiled queries — the round-trip corpus.
+struct LogFixture {
+  SimulatedClock clock{0};
+  db::Database database{&clock};
+  QueryStore store;
+  std::unique_ptr<profiler::QueryProfiler> profiler;
+  workload::WorkloadOptions options;
+  workload::GroundTruth truth;
+
+  explicit LogFixture(size_t min_queries, size_t rows_per_table = 60) {
+    Status s = workload::PopulateLakeDatabase(&database, rows_per_table);
+    EXPECT_TRUE(s.ok());
+    profiler = std::make_unique<profiler::QueryProfiler>(&database, &store,
+                                                         &clock);
+    options.num_sessions = min_queries / 5 + 1;
+    workload::RegisterUsers(&store, options);
+    truth = workload::GenerateLog(profiler.get(), &store, &clock, options);
+  }
+};
+
+/// Cached ~5k-query fixture shared by the equality tests (generation
+/// dominates their runtime). Mutated by no test — they snapshot it.
+LogFixture& BigFixture() {
+  static LogFixture* fixture = new LogFixture(5000);
+  return *fixture;
+}
+
+void ExpectSignaturesEqual(const SimilaritySignature& a,
+                           const SimilaritySignature& b, QueryId id) {
+  EXPECT_EQ(a.valid, b.valid) << "id " << id;
+  EXPECT_EQ(a.tables, b.tables) << "id " << id;
+  EXPECT_EQ(a.predicate_skeletons, b.predicate_skeletons) << "id " << id;
+  EXPECT_EQ(a.attributes, b.attributes) << "id " << id;
+  EXPECT_EQ(a.projections, b.projections) << "id " << id;
+  EXPECT_EQ(a.text_tokens, b.text_tokens) << "id " << id;
+  EXPECT_EQ(a.output_rows, b.output_rows) << "id " << id;
+  EXPECT_EQ(a.output_empty_computed, b.output_empty_computed) << "id " << id;
+}
+
+void ExpectRecordsEqual(const QueryRecord& a, const QueryRecord& b) {
+  ASSERT_EQ(a.id, b.id);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.canonical_text, b.canonical_text);
+  EXPECT_EQ(a.skeleton, b.skeleton);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.skeleton_fingerprint, b.skeleton_fingerprint);
+  EXPECT_EQ(a.user, b.user);
+  EXPECT_EQ(a.timestamp, b.timestamp);
+  EXPECT_EQ(a.session_id, b.session_id);
+  EXPECT_EQ(a.flags, b.flags);
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.parse_failed(), b.parse_failed());
+
+  EXPECT_EQ(a.stats.execution_micros, b.stats.execution_micros);
+  EXPECT_EQ(a.stats.result_rows, b.stats.result_rows);
+  EXPECT_EQ(a.stats.rows_scanned, b.stats.rows_scanned);
+  EXPECT_EQ(a.stats.succeeded, b.stats.succeeded);
+  EXPECT_EQ(a.stats.error, b.stats.error);
+  EXPECT_EQ(a.stats.plan, b.stats.plan);
+
+  ASSERT_EQ(a.annotations.size(), b.annotations.size());
+  for (size_t i = 0; i < a.annotations.size(); ++i) {
+    EXPECT_EQ(a.annotations[i].author, b.annotations[i].author);
+    EXPECT_EQ(a.annotations[i].timestamp, b.annotations[i].timestamp);
+    EXPECT_EQ(a.annotations[i].text, b.annotations[i].text);
+    EXPECT_EQ(a.annotations[i].fragment, b.annotations[i].fragment);
+  }
+
+  const sql::QueryComponents& ca = a.components;
+  const sql::QueryComponents& cb = b.components;
+  EXPECT_EQ(ca.tables, cb.tables);
+  EXPECT_EQ(ca.attributes, cb.attributes);
+  EXPECT_EQ(ca.projections, cb.projections);
+  ASSERT_EQ(ca.predicates.size(), cb.predicates.size());
+  for (size_t i = 0; i < ca.predicates.size(); ++i) {
+    EXPECT_TRUE(ca.predicates[i] == cb.predicates[i]) << "id " << a.id;
+  }
+  EXPECT_EQ(ca.group_by, cb.group_by);
+  EXPECT_EQ(ca.order_by, cb.order_by);
+  EXPECT_EQ(ca.aggregates, cb.aggregates);
+  EXPECT_EQ(ca.has_subquery, cb.has_subquery);
+  EXPECT_EQ(ca.has_distinct, cb.has_distinct);
+  EXPECT_EQ(ca.select_star, cb.select_star);
+  EXPECT_EQ(ca.num_joins, cb.num_joins);
+  EXPECT_EQ(ca.num_tables, cb.num_tables);
+  EXPECT_EQ(ca.max_nesting_depth, cb.max_nesting_depth);
+  EXPECT_EQ(ca.limit, cb.limit);
+
+  ExpectSignaturesEqual(a.signature, b.signature, a.id);
+  EXPECT_EQ(a.sketch.valid, b.sketch.valid);
+  EXPECT_EQ(a.sketch.mins, b.sketch.mins);
+}
+
+void ExpectSpansEqual(ScoringColumns::SymbolSpan a,
+                      ScoringColumns::SymbolSpan b, QueryId id) {
+  ASSERT_EQ(a.size, b.size) << "id " << id;
+  for (size_t i = 0; i < a.size; ++i) EXPECT_EQ(a.data[i], b.data[i]);
+}
+
+void ExpectColumnsEqual(const QueryStore& a, const QueryStore& b, QueryId id) {
+  const ScoringColumns& ca = a.scoring();
+  const ScoringColumns& cb = b.scoring();
+  EXPECT_EQ(ca.flags(id), cb.flags(id));
+  EXPECT_EQ(ca.quality(id), cb.quality(id));
+  EXPECT_EQ(ca.timestamp(id), cb.timestamp(id));
+  EXPECT_EQ(ca.owner(id), cb.owner(id));
+  EXPECT_EQ(ca.popularity(id), cb.popularity(id));
+  EXPECT_EQ(ca.signature_valid(id), cb.signature_valid(id));
+  EXPECT_EQ(ca.parse_failed(id), cb.parse_failed(id));
+  EXPECT_EQ(ca.lowered_text(id), cb.lowered_text(id));
+  ExpectSpansEqual(ca.tables(id), cb.tables(id), id);
+  ExpectSpansEqual(ca.skeletons(id), cb.skeletons(id), id);
+  ExpectSpansEqual(ca.attributes(id), cb.attributes(id), id);
+  ExpectSpansEqual(ca.projections(id), cb.projections(id), id);
+  ExpectSpansEqual(ca.tokens(id), cb.tokens(id), id);
+  ScoringColumns::HashSpan oa = ca.output_rows(id);
+  ScoringColumns::HashSpan ob = cb.output_rows(id);
+  ASSERT_EQ(oa.size, ob.size) << "id " << id;
+  for (size_t i = 0; i < oa.size; ++i) EXPECT_EQ(oa.data[i], ob.data[i]);
+}
+
+void ExpectResponsesEqual(const metaquery::MetaQueryResponse& a,
+                          const metaquery::MetaQueryResponse& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.matches.size(), b.matches.size()) << label;
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].id, b.matches[i].id) << label << " rank " << i;
+    // Byte-identical, not nearly-equal: scoring reads restored state.
+    EXPECT_EQ(a.matches[i].similarity, b.matches[i].similarity)
+        << label << " rank " << i;
+    EXPECT_EQ(a.matches[i].score, b.matches[i].score) << label << " rank " << i;
+  }
+}
+
+TEST(SnapshotV2Test, RoundTripEqualityOnSeededLogWithoutRetokenizing) {
+  LogFixture& f = BigFixture();
+  QueryStore& store = f.store;
+  ASSERT_GE(store.size(), 4000u);
+
+  std::string path = TempPath("cqms_v2_roundtrip.snap");
+  ASSERT_TRUE(SaveSnapshotV2(store, path).ok());
+
+  // The tentpole guarantee: a binary restore never tokenizes and never
+  // parses — cold-start is one sequential read, not a re-profiling run.
+  uint64_t words_before = ExtractWordsCallCount();
+  uint64_t parses_before = sql::ParseCallCount();
+  QueryStore loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, path).ok());
+  EXPECT_EQ(ExtractWordsCallCount() - words_before, 0u);
+  EXPECT_EQ(sql::ParseCallCount() - parses_before, 0u);
+
+  ASSERT_EQ(loaded.size(), store.size());
+  EXPECT_EQ(loaded.max_timestamp(), store.max_timestamp());
+  for (const QueryRecord& r : store.records()) {
+    ExpectRecordsEqual(r, *loaded.Get(r.id));
+    ExpectColumnsEqual(store, loaded, r.id);
+  }
+
+  // Secondary indexes answer identically (spot the load-bearing ones).
+  EXPECT_EQ(loaded.QueriesUsingTable("watertemp"),
+            store.QueriesUsingTable("watertemp"));
+  EXPECT_EQ(loaded.QueriesWithKeyword("salinity"),
+            store.QueriesWithKeyword("salinity"));
+  EXPECT_EQ(loaded.lsh().entry_count(), store.lsh().entry_count());
+
+  // ACL: every user sees exactly the same log slice.
+  for (size_t u = 0; u < f.options.num_users; ++u) {
+    std::string user = workload::UserName(u);
+    EXPECT_EQ(loaded.VisibleIds(user), store.VisibleIds(user)) << user;
+  }
+}
+
+TEST(SnapshotV2Test, PlannerResultsByteIdenticalAfterRestore) {
+  LogFixture& f = BigFixture();
+  QueryStore& store = f.store;
+  std::string path = TempPath("cqms_v2_planner.snap");
+  ASSERT_TRUE(SaveSnapshotV2(store, path).ok());
+  QueryStore loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, path).ok());
+
+  metaquery::MetaQueryExecutor before(&store);
+  metaquery::MetaQueryExecutor after(&loaded);
+  QueryRecord probe = BuildRecordFromText(
+      "SELECT T.temp FROM WaterSalinity S, WaterTemp T "
+      "WHERE S.loc_x = T.loc_x AND T.temp < 20",
+      "user0", 0, SignatureMode::kTransient);
+
+  const std::string viewer = "user1";
+  {
+    metaquery::MetaQueryRequest req;
+    req.WithKeywords("salinity temp").Limit(25);
+    ExpectResponsesEqual(before.Execute(viewer, req),
+                         after.Execute(viewer, req), "keyword");
+  }
+  {
+    metaquery::MetaQueryRequest req;
+    req.WithSubstring("where").InLogOrder().Limit(50);
+    ExpectResponsesEqual(before.Execute(viewer, req),
+                         after.Execute(viewer, req), "substring");
+  }
+  {
+    metaquery::StructuralPattern pattern;
+    pattern.required_tables = {"WaterTemp"};
+    pattern.requires_group_by = true;
+    metaquery::MetaQueryRequest req;
+    req.WithStructure(pattern).Limit(25);
+    ExpectResponsesEqual(before.Execute(viewer, req),
+                         after.Execute(viewer, req), "structure");
+  }
+  {
+    // kNN through the planner, exhaustive candidates.
+    metaquery::CandidateOptions exhaustive;
+    exhaustive.use_lsh = false;
+    metaquery::MetaQueryRequest req;
+    req.SimilarTo(probe, {}, exhaustive).Limit(10);
+    ExpectResponsesEqual(before.Execute(viewer, req),
+                         after.Execute(viewer, req), "knn exhaustive");
+  }
+  {
+    // LSH path: stored sketches were adopted verbatim (identity symbol
+    // remap within one process), so even the approximate candidate set
+    // is byte-identical.
+    metaquery::CandidateOptions lsh;
+    lsh.lsh_min_log_size = 0;
+    metaquery::MetaQueryRequest req;
+    req.SimilarTo(probe, {}, lsh).Limit(10);
+    ExpectResponsesEqual(before.Execute(viewer, req),
+                         after.Execute(viewer, req), "knn lsh");
+  }
+  {
+    // Combined conjunction through the posting-intersection generator.
+    metaquery::FeatureQuery feature;
+    feature.UsesTable("WaterTemp");
+    metaquery::MetaQueryRequest req;
+    req.WithKeywords("temp").WithFeature(feature).SimilarTo(probe).Limit(10);
+    ExpectResponsesEqual(before.Execute(viewer, req),
+                         after.Execute(viewer, req), "combined");
+  }
+
+  // Raw kNN entry point too (legacy API surface).
+  auto n_before = metaquery::KnnSearch(store, "user0", probe, 10);
+  auto n_after = metaquery::KnnSearch(loaded, "user0", probe, 10);
+  ASSERT_EQ(n_before.size(), n_after.size());
+  for (size_t i = 0; i < n_before.size(); ++i) {
+    EXPECT_EQ(n_before[i].id, n_after[i].id);
+    EXPECT_EQ(n_before[i].similarity, n_after[i].similarity);
+    EXPECT_EQ(n_before[i].score, n_after[i].score);
+  }
+}
+
+TEST(SnapshotV2Test, MutatedStateSurvivesRoundTrip) {
+  Harness h;
+  QueryId a = h.Log("alice", "SELECT temp FROM WaterTemp WHERE temp < 18");
+  QueryId b = h.Log("alice", "SELECT * FROM CityLocations");
+  QueryId c = h.Log("bob", "SELEKT broken");
+  h.store.acl().AddUser("alice", {"oceans"});
+  h.store.acl().AddUser("bob", {"oceans"});
+  ASSERT_TRUE(h.store.SetQuality(a, 0.9).ok());
+  ASSERT_TRUE(h.store.AddFlag(a, kFlagRepaired).ok());
+  ASSERT_TRUE(h.store.SetSession(a, 7).ok());
+  ASSERT_TRUE(
+      h.store.acl().SetVisibility(a, "alice", "alice", Visibility::kPublic).ok());
+  ASSERT_TRUE(h.store.Delete(b, "alice").ok());
+  Annotation note;
+  note.author = "alice";
+  note.timestamp = 1500;
+  note.text = std::string(1, '\0') + "binary-safe \xF0 annotation\n";
+  note.fragment = "temp < 18";
+  ASSERT_TRUE(h.store.Annotate(a, note).ok());
+
+  std::string path = TempPath("cqms_v2_mutated.snap");
+  ASSERT_TRUE(SaveSnapshotV2(h.store, path).ok());
+  QueryStore loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, path).ok());
+  ASSERT_EQ(loaded.size(), 3u);
+  for (const QueryRecord& r : h.store.records()) {
+    ExpectRecordsEqual(r, *loaded.Get(r.id));
+  }
+  EXPECT_EQ(loaded.acl().GetVisibility(a), Visibility::kPublic);
+  EXPECT_FALSE(loaded.Visible("carol", b));  // deleted stays deleted
+  EXPECT_TRUE(loaded.Get(c)->parse_failed());
+}
+
+TEST(SnapshotV2Test, LazyAstMaterializesForMaintenance) {
+  Harness h;
+  QueryId id = h.Log("alice", "SELECT temp FROM WaterTemp WHERE temp < 18");
+  std::string path = TempPath("cqms_v2_lazy_ast.snap");
+  ASSERT_TRUE(SaveSnapshotV2(h.store, path).ok());
+  QueryStore loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, path).ok());
+
+  const QueryRecord* r = loaded.Get(id);
+  EXPECT_FALSE(r->parse_failed());
+  EXPECT_EQ(r->ast, nullptr);  // restored without parsing
+  uint64_t parses_before = sql::ParseCallCount();
+  ASSERT_NE(r->Ast(), nullptr);  // first consumer pays one parse
+  EXPECT_EQ(sql::ParseCallCount() - parses_before, 1u);
+  EXPECT_NE(r->Ast(), nullptr);
+  EXPECT_EQ(sql::ParseCallCount() - parses_before, 1u);  // memoized
+  EXPECT_FALSE(r->parse_failed());
+}
+
+// Simulates a snapshot written by a *different* process, whose interner
+// assigned different ids: the stored table slice carries old ids that
+// cannot match this process's, so the loader must remap every signature
+// vector and rebuild the sketches. Hand-encodes the v2 framing (magic,
+// CRC32-framed sections) — doubling as a format-stability check against
+// docs/persistence.md.
+TEST(SnapshotV2Test, ForeignProcessSnapshotRemapsSymbolsAndRebuildsSketch) {
+  const std::string names[3] = {"zz_remap_aaa", "zz_remap_bbb", "zz_remap_ccc"};
+  const Symbol old_ids[3] = {7000001, 7000005, 7000044};  // foreign ids
+
+  BinaryWriter interner;
+  interner.PutVarint(3);
+  for (int i = 0; i < 3; ++i) {
+    interner.PutVarint(old_ids[i]);
+    interner.PutString(names[i]);
+  }
+
+  BinaryWriter acl;
+  acl.PutVarint(1);  // one user
+  acl.PutString("ruser");
+  acl.PutVarint(1);
+  acl.PutString("rgroup");
+  acl.PutVarint(0);  // no visibility overrides
+
+  BinaryWriter records;
+  records.PutVarint(1);
+  records.PutU8(0x0A);  // sig valid | sketch valid, not parsed
+  records.PutString("zz_remap_aaa zz_remap_bbb zz_remap_ccc");
+  records.PutString("ruser");
+  records.PutZigzag(1234);  // timestamp
+  records.PutZigzag(-1);    // session
+  records.PutVarint(0);     // flags
+  records.PutDouble(0.5);
+  records.PutZigzag(10);  // exec micros
+  records.PutVarint(0);   // result rows
+  records.PutVarint(0);   // rows scanned
+  records.PutU8(0);       // succeeded
+  records.PutString("parse error");
+  records.PutString("");  // plan
+  records.PutVarint(0);   // annotations
+  // Signature: empty tables/skeletons/attributes/projections, three
+  // delta-encoded text tokens, no output rows.
+  records.PutVarint(0);
+  records.PutVarint(0);
+  records.PutVarint(0);
+  records.PutVarint(0);
+  records.PutVarint(3);
+  records.PutVarint(old_ids[0]);
+  records.PutVarint(old_ids[1] - old_ids[0]);
+  records.PutVarint(old_ids[2] - old_ids[1]);
+  records.PutVarint(0);  // output rows
+  for (int i = 0; i < 64; ++i) records.PutFixed64(0xDEADBEEFu + i);
+
+  std::string file = "CQMSNAP2";
+  BinaryWriter version;
+  version.PutFixed32(2);
+  file += version.data();
+  auto append_section = [&file](uint8_t id, const std::string& payload) {
+    BinaryWriter frame;
+    frame.PutU8(id);
+    frame.PutFixed64(payload.size());
+    file += frame.data();
+    file += payload;
+    BinaryWriter crc;
+    crc.PutFixed32(Crc32(payload));
+    file += crc.data();
+  };
+  append_section(1, interner.data());
+  append_section(2, acl.data());
+  append_section(3, records.data());
+  append_section(0xFF, std::string());
+
+  std::string path = TempPath("cqms_v2_foreign.snap");
+  WriteFile(path, file);
+
+  QueryStore loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, path).ok());
+  ASSERT_EQ(loaded.size(), 1u);
+  const QueryRecord* r = loaded.Get(0);
+
+  // Symbols remapped into this process's id space: the keyword index
+  // resolves the names, and the signature stays sorted.
+  EXPECT_EQ(loaded.QueriesWithKeyword("zz_remap_bbb"),
+            (std::vector<QueryId>{0}));
+  ASSERT_EQ(r->signature.text_tokens.size(), 3u);
+  for (size_t i = 1; i < 3; ++i) {
+    EXPECT_LT(r->signature.text_tokens[i - 1], r->signature.text_tokens[i]);
+  }
+  for (const std::string& name : names) {
+    Symbol s = GlobalInterner().Find(name);
+    ASSERT_NE(s, kInvalidSymbol);
+    EXPECT_TRUE(std::binary_search(r->signature.text_tokens.begin(),
+                                   r->signature.text_tokens.end(), s))
+        << name;
+  }
+
+  // The foreign sketch slots were discarded and rebuilt over the
+  // remapped ids — exactly what a fresh ComputeMinHashSketch yields.
+  ASSERT_TRUE(r->sketch.valid);
+  MinHashSketch expected = ComputeMinHashSketch(r->signature);
+  EXPECT_EQ(r->sketch.mins, expected.mins);
+  EXPECT_TRUE(loaded.acl().GroupsOf("ruser").count("rgroup") > 0);
+}
+
+TEST(SnapshotV2Test, CorruptSnapshotsAreRejected) {
+  Harness h;
+  h.Log("alice", "SELECT temp FROM WaterTemp WHERE temp < 18");
+  h.Log("bob", "SELECT * FROM CityLocations");
+  std::string path = TempPath("cqms_v2_corrupt.snap");
+  ASSERT_TRUE(SaveSnapshotV2(h.store, path).ok());
+  std::string good = ReadFile(path);
+  ASSERT_GT(good.size(), 120u);
+
+  {  // Bad magic.
+    std::string bad = good;
+    bad[3] ^= 0x40;
+    WriteFile(path, bad);
+    QueryStore s;
+    EXPECT_EQ(LoadSnapshot(&s, path).code(), StatusCode::kIoError);
+  }
+  {  // Unsupported version.
+    std::string bad = good;
+    bad[8] = 9;
+    WriteFile(path, bad);
+    QueryStore s;
+    EXPECT_EQ(LoadSnapshot(&s, path).code(), StatusCode::kIoError);
+  }
+  {  // Flipped payload bytes must fail the section CRC.
+    for (size_t offset : {good.size() / 3, good.size() / 2}) {
+      std::string bad = good;
+      bad[offset] ^= 0x01;
+      WriteFile(path, bad);
+      QueryStore s;
+      EXPECT_FALSE(LoadSnapshot(&s, path).ok()) << "offset " << offset;
+    }
+  }
+  {  // Truncated mid-section.
+    std::string bad = good.substr(0, good.size() - 30);
+    WriteFile(path, bad);
+    QueryStore s;
+    EXPECT_EQ(LoadSnapshot(&s, path).code(), StatusCode::kIoError);
+  }
+  // And the pristine bytes still load.
+  WriteFile(path, good);
+  QueryStore s;
+  EXPECT_TRUE(LoadSnapshot(&s, path).ok());
+  EXPECT_EQ(s.size(), 2u);
+}
+
+/// Applies a representative mutation of every WAL op through a durable
+/// store; returns the ids (append order) for later comparison.
+std::vector<QueryId> ApplyCommittedMutations(Harness* h) {
+  QueryStore& store = h->store;
+  store.acl().AddUser("alice", {"oceans"});
+  store.acl().AddUser("bob", {"lakes"});
+  QueryId a = h->Log("alice", "SELECT temp FROM WaterTemp WHERE temp < 18");
+  QueryId b = h->Log("bob", "SELECT * FROM CityLocations");
+  QueryId c = h->Log("alice", "SELEKT not sql");  // logged parse failure
+  EXPECT_TRUE(store.RewriteQueryText(
+                  b, "SELECT city FROM CityLocations WHERE city = 'oslo'")
+                  .ok());
+  Annotation note;
+  note.author = "bob";
+  note.timestamp = 42;
+  note.text = "favorite city \xFF probe";
+  EXPECT_TRUE(store.Annotate(b, note).ok());
+  EXPECT_TRUE(store.AddFlag(a, kFlagStatsStale).ok());
+  EXPECT_TRUE(store.ClearFlag(a, kFlagStatsStale).ok());
+  EXPECT_TRUE(store.AddFlag(a, kFlagRepaired).ok());
+  EXPECT_TRUE(store.SetSession(a, 3).ok());
+  EXPECT_TRUE(store.SetQuality(a, 0.8).ok());
+  EXPECT_TRUE(
+      store.acl().SetVisibility(a, "alice", "alice", Visibility::kPrivate).ok());
+  EXPECT_TRUE(store.Delete(c, "alice").ok());
+  return {a, b, c};
+}
+
+/// `expect_output_rows` is false only for the v1 text-format migration
+/// path: that format predates output-hash persistence, so a store
+/// re-profiled from it legitimately carries none.
+void ExpectStoresEquivalent(const QueryStore& a, const QueryStore& b,
+                            bool expect_output_rows = true) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const QueryRecord& r : a.records()) {
+    const QueryRecord* o = b.Get(r.id);
+    EXPECT_EQ(r.text, o->text);
+    EXPECT_EQ(r.user, o->user);
+    EXPECT_EQ(r.timestamp, o->timestamp);
+    EXPECT_EQ(r.session_id, o->session_id);
+    EXPECT_EQ(r.flags, o->flags);
+    EXPECT_EQ(r.quality, o->quality);
+    EXPECT_EQ(r.parse_failed(), o->parse_failed());
+    EXPECT_EQ(r.fingerprint, o->fingerprint);
+    if (expect_output_rows) {
+      // Output-similarity ranking state survives WAL replay too (the
+      // hashes ride in kAppend/kRewrite frames even though summaries
+      // do not).
+      EXPECT_EQ(r.signature.output_rows, o->signature.output_rows);
+      EXPECT_EQ(r.signature.output_empty_computed,
+                o->signature.output_empty_computed);
+    }
+    ASSERT_EQ(r.annotations.size(), o->annotations.size());
+    for (size_t i = 0; i < r.annotations.size(); ++i) {
+      EXPECT_EQ(r.annotations[i].text, o->annotations[i].text);
+    }
+    EXPECT_EQ(a.acl().GetVisibility(r.id), b.acl().GetVisibility(r.id));
+  }
+  EXPECT_EQ(a.acl().memberships(), b.acl().memberships());
+}
+
+TEST(WalTest, ReplayRecoversEveryCommittedMutationAfterTornWrite) {
+  std::string dir = TempPath("cqms_wal_torn");
+  std::remove((dir + "/snapshot.cqms").c_str());
+  std::remove((dir + "/wal.log").c_str());
+
+  Harness h;
+  DurableStore durable(&h.store, dir);
+  ASSERT_TRUE(durable.Open().ok());
+  std::vector<QueryId> ids = ApplyCommittedMutations(&h);
+  uint64_t committed = durable.wal_records();
+  ASSERT_GE(committed, 12u);
+
+  // Crash: the process dies mid-append. The WAL's committed prefix is
+  // on disk; the final frame is torn (its payload never finished).
+  {
+    std::ofstream out(dir + "/wal.log",
+                      std::ios::binary | std::ios::app);
+    BinaryWriter torn;
+    torn.PutFixed32(1000);       // claims a 1000-byte payload...
+    torn.PutFixed32(0x12345678);  // ...bogus CRC...
+    torn.PutU8(1);                // ...one byte of it ever landed
+    out.write(torn.data().data(),
+              static_cast<std::streamsize>(torn.data().size()));
+  }
+
+  // Recover into a fresh store.
+  Harness h2;
+  DurableStore recovered(&h2.store, dir);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(recovered.replay_stats().records_applied, committed);
+  EXPECT_GT(recovered.replay_stats().torn_bytes, 0u);
+  ExpectStoresEquivalent(h.store, h2.store);
+
+  // The torn tail was truncated away: the log ends on a frame boundary.
+  EXPECT_EQ(ReadFile(dir + "/wal.log").size(),
+            recovered.replay_stats().bytes_valid);
+
+  // Checkpoint folds the tail into a binary snapshot and resets the
+  // WAL; a third recovery comes up from the snapshot alone.
+  ASSERT_TRUE(recovered.Checkpoint().ok());
+  EXPECT_EQ(recovered.wal_records(), 0u);
+  Harness h3;
+  DurableStore again(&h3.store, dir);
+  ASSERT_TRUE(again.Open().ok());
+  EXPECT_EQ(again.replay_stats().records_applied, 0u);
+  ExpectStoresEquivalent(h.store, h3.store);
+}
+
+TEST(WalTest, MutationsAfterRecoveryKeepLogging) {
+  std::string dir = TempPath("cqms_wal_continue");
+  std::remove((dir + "/snapshot.cqms").c_str());
+  std::remove((dir + "/wal.log").c_str());
+
+  {
+    Harness h;
+    DurableStore durable(&h.store, dir);
+    ASSERT_TRUE(durable.Open().ok());
+    h.Log("alice", "SELECT temp FROM WaterTemp WHERE temp < 18");
+  }
+  Harness h2;
+  {
+    DurableStore durable(&h2.store, dir);
+    ASSERT_TRUE(durable.Open().ok());
+    ASSERT_EQ(h2.store.size(), 1u);
+    // New mutations append after the replayed prefix.
+    h2.Log("bob", "SELECT * FROM CityLocations");
+    ASSERT_TRUE(h2.store.SetQuality(0, 0.25).ok());
+  }
+  Harness h3;
+  DurableStore durable(&h3.store, dir);
+  ASSERT_TRUE(durable.Open().ok());
+  ExpectStoresEquivalent(h2.store, h3.store);
+  EXPECT_EQ(h3.store.Get(0)->quality, 0.25);
+}
+
+TEST(WalTest, CrashBetweenSnapshotWriteAndWalTruncationIsIdempotent) {
+  std::string dir = TempPath("cqms_wal_ckpt_crash");
+  std::remove((dir + "/snapshot.cqms").c_str());
+  std::remove((dir + "/wal.log").c_str());
+
+  Harness h;
+  DurableStore durable(&h.store, dir);
+  ASSERT_TRUE(durable.Open().ok());
+  ApplyCommittedMutations(&h);
+
+  // Simulate a crash *between* Checkpoint's snapshot write and its WAL
+  // truncation: take the checkpoint, then put the pre-checkpoint WAL
+  // bytes back as if the truncation never hit the disk.
+  std::string old_wal = ReadFile(dir + "/wal.log");
+  ASSERT_TRUE(durable.Checkpoint().ok());
+  WriteFile(dir + "/wal.log", old_wal);
+
+  // Recovery must not re-apply what the snapshot already contains: the
+  // sequence stamps make snapshot + stale-WAL replay idempotent.
+  Harness h2;
+  DurableStore recovered(&h2.store, dir);
+  ASSERT_TRUE(recovered.Open().ok());
+  EXPECT_EQ(recovered.replay_stats().records_applied, 0u);
+  EXPECT_GT(recovered.replay_stats().records_skipped, 0u);
+  ExpectStoresEquivalent(h.store, h2.store);
+
+  // New mutations resume with fresh sequence numbers past the stale
+  // tail, and a further recovery applies exactly those.
+  h2.Log("alice", "SELECT 42");
+  Harness h3;
+  DurableStore again(&h3.store, dir);
+  ASSERT_TRUE(again.Open().ok());
+  EXPECT_EQ(again.replay_stats().records_applied, 1u);
+  ExpectStoresEquivalent(h2.store, h3.store);
+}
+
+TEST(WalTest, TornInitialHeaderRecoversToEmpty) {
+  std::string dir = TempPath("cqms_wal_torn_header");
+  ::mkdir(dir.c_str(), 0755);
+  std::remove((dir + "/snapshot.cqms").c_str());
+  // The process died while writing the very first WAL header: only a
+  // prefix of the magic ever landed.
+  WriteFile(dir + "/wal.log", "CQMSW");
+
+  Harness h;
+  DurableStore durable(&h.store, dir);
+  ASSERT_TRUE(durable.Open().ok());
+  EXPECT_EQ(durable.replay_stats().records_applied, 0u);
+  EXPECT_EQ(durable.replay_stats().torn_bytes, 5u);
+  // And the log is writable again.
+  h.Log("alice", "SELECT 1");
+  EXPECT_EQ(durable.wal_records(), 1u);
+
+  // A short file that is NOT a header prefix is foreign: refuse.
+  WriteFile(dir + "/wal.log", "NOTAWAL");
+  Harness h2;
+  DurableStore foreign(&h2.store, dir);
+  EXPECT_EQ(foreign.Open().code(), StatusCode::kIoError);
+}
+
+TEST(MigrationTest, V1SnapshotLoadsAndCheckpointsToV2) {
+  std::string dir = TempPath("cqms_migrate");
+  ::mkdir(dir.c_str(), 0755);
+  std::remove((dir + "/wal.log").c_str());
+
+  Harness h;
+  QueryId a = h.Log("alice", "SELECT temp FROM WaterTemp WHERE temp < 18");
+  ASSERT_TRUE(h.store.SetQuality(a, 0.75).ok());
+  // A legacy deployment saved the v1 text format at this path.
+  DurableStore layout(&h.store, dir);  // path helper only; never opened
+  ASSERT_TRUE(SaveSnapshot(h.store, layout.snapshot_path()).ok());
+  ASSERT_TRUE(ReadFile(layout.snapshot_path()).rfind("CQMS-SNAPSHOT", 0) == 0);
+
+  // Open dispatches on the header and re-profiles the v1 text...
+  Harness h2;
+  DurableStore migrated(&h2.store, dir);
+  ASSERT_TRUE(migrated.Open().ok());
+  ExpectStoresEquivalent(h.store, h2.store, /*expect_output_rows=*/false);
+
+  // ...and the first checkpoint upgrades the file to v2 in place.
+  ASSERT_TRUE(migrated.Checkpoint().ok());
+  EXPECT_EQ(ReadFile(migrated.snapshot_path()).substr(0, 8), "CQMSNAP2");
+  uint64_t parses_before = sql::ParseCallCount();
+  Harness h3;
+  DurableStore reopened(&h3.store, dir);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(sql::ParseCallCount() - parses_before, 0u);  // binary now
+  ExpectStoresEquivalent(h.store, h3.store, /*expect_output_rows=*/false);
+}
+
+TEST(DurableFacadeTest, MaintenanceCheckpointsWhenWalCrossesThreshold) {
+  std::string dir = TempPath("cqms_facade_dur");
+  std::remove((dir + "/snapshot.cqms").c_str());
+  std::remove((dir + "/wal.log").c_str());
+
+  SimulatedClock clock{1'000'000};
+  CqmsOptions options;
+  options.clock = &clock;
+  storage::DurabilityOptions durability;
+  durability.checkpoint_wal_records = 3;  // checkpoint almost immediately
+
+  {
+    Cqms system(options);
+    ASSERT_TRUE(
+        workload::PopulateLakeDatabase(system.database(), 50).ok());
+    ASSERT_TRUE(system.EnableDurability(dir, durability).ok());
+    system.RegisterUser("alice", {"oceans"});
+    system.Execute("alice", "SELECT temp FROM WaterTemp WHERE temp < 18");
+    system.Execute("alice", "SELECT * FROM CityLocations");
+    auto report = system.RunMaintenance();
+    EXPECT_TRUE(report.checkpointed);
+    ASSERT_NE(system.durable(), nullptr);
+    EXPECT_EQ(system.durable()->wal_records(), 0u);
+    EXPECT_EQ(ReadFile(dir + "/snapshot.cqms").substr(0, 8), "CQMSNAP2");
+  }
+
+  // Cold restart: snapshot + (empty) WAL bring everything back.
+  Cqms restarted(options);
+  ASSERT_TRUE(
+      workload::PopulateLakeDatabase(restarted.database(), 50).ok());
+  ASSERT_TRUE(restarted.EnableDurability(dir, durability).ok());
+  EXPECT_EQ(restarted.store()->size(), 2u);
+  EXPECT_EQ(restarted.store()->Get(0)->user, "alice");
+  EXPECT_TRUE(restarted.store()->acl().HasUser("alice"));
+}
+
+}  // namespace
+}  // namespace cqms::storage

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "storage/persistence.h"
 #include "storage/query_store.h"
 #include "storage/record_builder.h"
@@ -232,6 +234,87 @@ TEST(PersistenceTest, SaveLoadRoundTrip) {
   EXPECT_TRUE(loaded.acl().GroupsOf("alice").count("lakes") > 0);
   // Parse-failed record survives.
   EXPECT_TRUE(loaded.Get(1)->parse_failed());
+}
+
+TEST(PersistenceTest, V1NulByteAndEmptyFieldsRoundTrip) {
+  QueryStore store;
+  QueryId a = store.Append(BuildRecordFromText("SELECT 1", "alice", 1));
+  // A single-NUL field used to collide with the old "%00" empty-field
+  // marker and come back as "".
+  Annotation nul_note;
+  nul_note.author = std::string(1, '\0');
+  nul_note.timestamp = 2;
+  nul_note.text = "t";
+  ASSERT_TRUE(store.Annotate(a, nul_note).ok());
+  Annotation empty_note;
+  empty_note.author = "bob";
+  empty_note.timestamp = 3;
+  empty_note.text = "note";  // fragment stays empty
+  ASSERT_TRUE(store.Annotate(a, empty_note).ok());
+
+  std::string path = ::testing::TempDir() + "/cqms_snapshot_escape.log";
+  ASSERT_TRUE(SaveSnapshot(store, path).ok());
+  QueryStore loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, path).ok());
+  ASSERT_EQ(loaded.Get(a)->annotations.size(), 2u);
+  EXPECT_EQ(loaded.Get(a)->annotations[0].author, std::string(1, '\0'));
+  EXPECT_EQ(loaded.Get(a)->annotations[1].author, "bob");
+  EXPECT_EQ(loaded.Get(a)->annotations[1].fragment, "");
+}
+
+TEST(PersistenceTest, LegacyV1FilesDecodeEmptyFieldsByHeaderVersion) {
+  // A file written by a pre-1.1 build: header "CQMS-SNAPSHOT 1" and
+  // "%00" as the empty-field marker (here: an empty stats error). The
+  // versioned reader must decode it as "", not as a NUL byte.
+  std::string path = ::testing::TempDir() + "/cqms_snapshot_legacy.log";
+  {
+    std::ofstream out(path);
+    out << "CQMS-SNAPSHOT 1\n"
+        << "Q 0 1 -1 0 0.5 alice SELECT%201\n"
+        << "S 10 1 1 1 %00\n"
+        << "V 1\n";
+  }
+  QueryStore loaded;
+  ASSERT_TRUE(LoadSnapshot(&loaded, path).ok());
+  EXPECT_EQ(loaded.Get(0)->stats.error, "");
+  EXPECT_EQ(loaded.Get(0)->text, "SELECT 1");
+}
+
+TEST(PersistenceTest, V1RejectsTruncatedOrMalformedEscapes) {
+  std::string path = ::testing::TempDir() + "/cqms_snapshot_badescape.log";
+  // A trailing "%4" is a truncated escape: corruption, not a literal
+  // '%'. The old reader passed it through silently.
+  {
+    std::ofstream out(path);
+    out << "CQMS-SNAPSHOT 1\n"
+        << "Q 0 1 -1 0 0.5 alice SELECT%4\n";
+  }
+  QueryStore s1;
+  EXPECT_EQ(LoadSnapshot(&s1, path).code(), StatusCode::kIoError);
+  // Non-hex escape bodies are rejected too.
+  {
+    std::ofstream out(path);
+    out << "CQMS-SNAPSHOT 1\n"
+        << "Q 0 1 -1 0 0.5 al%ZZice SELECT\n";
+  }
+  QueryStore s2;
+  EXPECT_EQ(LoadSnapshot(&s2, path).code(), StatusCode::kIoError);
+}
+
+TEST(PersistenceTest, SaveIsAtomicAndLeavesNoTmpFile) {
+  QueryStore store;
+  store.Append(BuildRecordFromText("SELECT 1", "u", 1));
+  std::string path = ::testing::TempDir() + "/cqms_snapshot_atomic.log";
+  // Pre-existing good snapshot...
+  ASSERT_TRUE(SaveSnapshot(store, path).ok());
+  // ...stays byte-identical when overwritten with equal content, and the
+  // tmp staging file never survives a successful save.
+  ASSERT_TRUE(SaveSnapshot(store, path).ok());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  QueryStore loaded;
+  EXPECT_TRUE(LoadSnapshot(&loaded, path).ok());
+  EXPECT_EQ(loaded.size(), 1u);
 }
 
 TEST(PersistenceTest, LoadRejectsNonEmptyStoreAndBadFiles) {
