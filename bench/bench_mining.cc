@@ -7,10 +7,15 @@
 // and shrinking support; k-medoids is quadratic in its (capped) sample;
 // incremental refresh amortizes to near-zero between thresholds.
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
 #include "miner/query_miner.h"
+#include "workload/synthetic.h"
 
 namespace cqms {
 namespace {
@@ -95,6 +100,79 @@ void BM_FullMiningCycle(benchmark::State& state) {
   state.counters["log_size"] = static_cast<double>(f.store.size());
 }
 BENCHMARK(BM_FullMiningCycle)->Arg(1000)->Arg(5000)->ArgNames({"queries"});
+
+// Tentpole headline (§4.3/§4.4): the cost of absorbing a ~1% append
+// delta into every mining output — full from-scratch RunAll vs the
+// delta-aware refresh (tail-resumed sessions, in-place popularity and
+// transaction updates, persistent DistanceCache). One warm miner per
+// (size, mode); each iteration appends the delta off the clock, then
+// times the refresh. The log grows ~1% per iteration in both modes, so
+// the full/incremental ratio stays honest.
+struct RefreshFixture {
+  bench::LogFixture log;
+  miner::QueryMiner miner;
+  workload::WorkloadOptions delta_options;
+  uint64_t delta_seed = 10'000;
+
+  explicit RefreshFixture(size_t queries, bool incremental)
+      : log(queries), miner(&log.store, &log.clock, [&] {
+          miner::QueryMinerOptions options;
+          options.refresh_threshold = 1;
+          options.incremental = incremental;
+          // Measure the steady-state incremental cost; the escape-hatch
+          // rebuild would make one iteration pay the full price.
+          options.full_rebuild_interval = 0;
+          return options;
+        }()) {
+    delta_options = log.workload_options;
+    // ~1% of the log: sessions average ~5-6 queries.
+    delta_options.num_sessions = std::max<size_t>(1, queries / 100 / 5);
+    miner.RunAll();
+  }
+
+  void AppendDelta() {
+    delta_options.seed = delta_seed++;
+    workload::GenerateLog(log.profiler.get(), &log.store, &log.clock,
+                          delta_options);
+  }
+};
+
+RefreshFixture& GetRefreshFixture(size_t queries, bool incremental) {
+  static auto* cache = new std::map<std::pair<size_t, bool>, RefreshFixture*>();
+  auto key = std::make_pair(queries, incremental);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, new RefreshFixture(queries, incremental)).first;
+  }
+  return *it->second;
+}
+
+void BM_MinerRefresh(benchmark::State& state) {
+  const size_t queries = static_cast<size_t>(state.range(0));
+  const bool incremental = state.range(1) != 0;
+  RefreshFixture& f = GetRefreshFixture(queries, incremental);
+  size_t before = f.log.store.size();
+  for (auto _ : state) {
+    state.PauseTiming();
+    f.AppendDelta();
+    state.ResumeTiming();
+    bool ran = f.miner.MaybeRefresh();
+    benchmark::DoNotOptimize(ran);
+  }
+  const miner::MinerRefreshStats& stats = f.miner.last_refresh_stats();
+  state.counters["appended_per_iter"] =
+      static_cast<double>(f.log.store.size() - before) /
+      static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  state.counters["pairs_copied"] = static_cast<double>(stats.pairs_copied);
+  state.counters["pairs_reused"] = static_cast<double>(stats.pairs_reused);
+  state.counters["pairs_computed"] = static_cast<double>(stats.pairs_computed);
+}
+BENCHMARK(BM_MinerRefresh)
+    ->Args({1000, 0})->Args({1000, 1})
+    ->Args({5000, 0})->Args({5000, 1})
+    ->Args({20000, 0})->Args({20000, 1})
+    ->ArgNames({"queries", "incremental"})
+    ->Unit(benchmark::kMillisecond);
 
 // Incremental maintenance (§4.3): MaybeRefresh below the threshold is a
 // cheap no-op; this is what a background timer pays almost every tick.

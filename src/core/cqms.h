@@ -128,9 +128,27 @@ class Cqms {
   /// Background cycles (a deployment would run these on timers).
   maintain::MaintenanceReport RunMaintenance() { return maintenance_.RunAll(); }
   void RunMining() { miner_.RunAll(); }
+
+  /// Delta-aware mining refresh: when the refresh threshold is met,
+  /// folds the change feed accumulated since the last run into every
+  /// mining output (sessions resume from the tail, popularity and
+  /// association transactions update in place, clustering reuses the
+  /// persistent distance cache) — see MiningStats() for what it did.
   bool MaybeRefreshMining() { return miner_.MaybeRefresh(); }
 
   const miner::QueryMiner& miner() const { return miner_; }
+
+  /// Delta sizes and distance-cache effectiveness of the last mining
+  /// run (operator telemetry: pairs_reused / pairs_enumerated is the
+  /// cache hit rate an append-heavy deployment should see near 1).
+  const miner::MinerRefreshStats& MiningStats() const {
+    return miner_.last_refresh_stats();
+  }
+
+  /// Compacts the scoring-column arenas now, returning bytes reclaimed;
+  /// RunMaintenance() also does this automatically past the
+  /// MaintenanceOptions::compact_arena_min_garbage threshold.
+  size_t CompactScoringArenas() { return store_.CompactScoringArenas(); }
 
   /// Snapshot persistence of the query log (binary v2; LoadSnapshot
   /// reads both formats, so older text snapshots remain loadable).

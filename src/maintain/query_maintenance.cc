@@ -174,6 +174,13 @@ MaintenanceReport QueryMaintenance::RunAll() {
   report.stats_flagged_stale = stats.stats_flagged_stale;
   report.stats_refreshed = stats.stats_refreshed;
   report.quality_updated = UpdateQuality();
+  // Arena hygiene rides the background cycle, like checkpointing: the
+  // repair rewrites above are exactly what orphans arena runs.
+  if (options_.compact_arena_min_garbage > 0 &&
+      store_->scoring().arena_garbage() >= options_.compact_arena_min_garbage) {
+    report.arena_bytes_compacted = store_->CompactScoringArenas();
+  }
+  report.arena_garbage_bytes = store_->scoring().arena_garbage();
   if (durable_ != nullptr) {
     report.checkpoint_status = durable_->MaybeCheckpoint(&report.checkpointed);
   }

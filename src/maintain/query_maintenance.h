@@ -24,6 +24,11 @@ struct MaintenanceOptions {
   /// "rerun all queries periodically" as overly expensive; this is the
   /// budget). Popular queries are refreshed first.
   size_t reexecute_budget = 50;
+  /// Rewrite-churn hygiene: when the scoring-column arenas carry at
+  /// least this many orphaned bytes (scoring().arena_garbage() grows
+  /// with every repair rewrite and output refresh), RunAll compacts
+  /// them. 0 disables compaction.
+  size_t compact_arena_min_garbage = 1u << 20;
   QualityWeights quality;
 };
 
@@ -37,6 +42,11 @@ struct MaintenanceReport {
   size_t stats_flagged_stale = 0;
   size_t stats_refreshed = 0;
   size_t quality_updated = 0;
+  /// Scoring-column arena garbage observed at the end of the run (after
+  /// any compaction), and the bytes a compaction reclaimed (0 when none
+  /// ran — below threshold or disabled).
+  size_t arena_garbage_bytes = 0;
+  size_t arena_bytes_compacted = 0;
   /// True when the run ended by writing a durability checkpoint (the
   /// WAL had crossed its thresholds).
   bool checkpointed = false;

@@ -10,41 +10,9 @@
 
 namespace cqms::metaquery {
 
-namespace {
-
 using storage::QueryId;
 using storage::QueryRecord;
 using storage::ScoringColumns;
-
-/// Similarity view of one record read from the scoring columns — same
-/// shape as ViewOfSignature, different backing memory, identical scores
-/// (the measures are defined over views).
-SignatureView ViewOfColumns(const ScoringColumns& cols, QueryId id) {
-  SignatureView v;
-  ScoringColumns::SymbolSpan s = cols.tables(id);
-  v.tables = s.data;
-  v.n_tables = s.size;
-  s = cols.skeletons(id);
-  v.skeletons = s.data;
-  v.n_skeletons = s.size;
-  s = cols.attributes(id);
-  v.attributes = s.data;
-  v.n_attributes = s.size;
-  s = cols.projections(id);
-  v.projections = s.data;
-  v.n_projections = s.size;
-  s = cols.tokens(id);
-  v.tokens = s.data;
-  v.n_tokens = s.size;
-  ScoringColumns::HashSpan h = cols.output_rows(id);
-  v.output_rows = h.data;
-  v.n_output = h.size;
-  v.output_empty_computed = cols.output_empty_computed(id);
-  v.parsed = !cols.parse_failed(id);
-  return v;
-}
-
-}  // namespace
 
 MetaQueryResponse MetaQueryPlanner::Execute(
     const std::string& viewer, const MetaQueryRequest& request) const {

@@ -57,6 +57,32 @@ SignatureView ViewOfSignature(const storage::QueryRecord& record) {
   return v;
 }
 
+SignatureView ViewOfColumns(const storage::ScoringColumns& cols,
+                            storage::QueryId id) {
+  SignatureView v;
+  storage::ScoringColumns::SymbolSpan s = cols.tables(id);
+  v.tables = s.data;
+  v.n_tables = s.size;
+  s = cols.skeletons(id);
+  v.skeletons = s.data;
+  v.n_skeletons = s.size;
+  s = cols.attributes(id);
+  v.attributes = s.data;
+  v.n_attributes = s.size;
+  s = cols.projections(id);
+  v.projections = s.data;
+  v.n_projections = s.size;
+  s = cols.tokens(id);
+  v.tokens = s.data;
+  v.n_tokens = s.size;
+  storage::ScoringColumns::HashSpan h = cols.output_rows(id);
+  v.output_rows = h.data;
+  v.n_output = h.size;
+  v.output_empty_computed = cols.output_empty_computed(id);
+  v.parsed = !cols.parse_failed(id);
+  return v;
+}
+
 double FeatureSimilarity(const SignatureView& a, const SignatureView& b) {
   double tables = SpanJaccard(a.tables, a.n_tables, b.tables, b.n_tables);
   double preds =

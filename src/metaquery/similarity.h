@@ -2,6 +2,7 @@
 #define CQMS_METAQUERY_SIMILARITY_H_
 
 #include "storage/query_record.h"
+#include "storage/scoring_columns.h"
 
 namespace cqms::metaquery {
 
@@ -74,6 +75,14 @@ struct SignatureView {
 /// View over a record's precomputed signature. The record must outlive
 /// the view (pointers borrow its vectors).
 SignatureView ViewOfSignature(const storage::QueryRecord& record);
+
+/// View of one record read from the scoring columns — same shape,
+/// different backing memory (the shared arenas), identical scores. Only
+/// meaningful while cols.signature_valid(id); callers fall back to the
+/// record path otherwise. Invalidated by arena compaction and by any
+/// mutation of the record, like every other span the columns hand out.
+SignatureView ViewOfColumns(const storage::ScoringColumns& cols,
+                            storage::QueryId id);
 
 /// Feature overlap (tables, predicate skeletons, attributes, projections).
 double FeatureSimilarity(const SignatureView& a, const SignatureView& b);

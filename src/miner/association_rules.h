@@ -1,6 +1,7 @@
 #ifndef CQMS_MINER_ASSOCIATION_RULES_H_
 #define CQMS_MINER_ASSOCIATION_RULES_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,70 @@ std::vector<std::vector<std::string>> BuildTransactions(
 std::vector<AssociationRule> MineAssociationRules(
     const std::vector<std::vector<std::string>>& transactions,
     const AssociationMinerOptions& options);
+
+/// Incrementally maintained transaction log plus memoized itemset
+/// support counts — the association half of the delta-aware mining
+/// engine. Instead of rebuilding every transaction and recounting every
+/// candidate per refresh, the state keeps one transaction per live
+/// parsed query and exact counts for every itemset the Apriori pass has
+/// ever had to count; a mutation delta folds in via Resync (O(delta x
+/// tracked itemsets)), and Mine() re-runs only the candidate-lattice
+/// *logic* — counting from scratch exclusively for candidates that
+/// become frequent-adjacent for the first time (rare once the item
+/// frequency structure stabilizes).
+///
+/// Because every count is exact integer bookkeeping over the same
+/// transaction multiset, Mine() is bit-identical to
+/// MineAssociationRules(BuildTransactions(...)) over the store's
+/// current state, regardless of the mutation history.
+class AssociationMinerState {
+ public:
+  /// Full rebuild over `ids` (same eligibility as BuildTransactions:
+  /// parsed, non-deleted, non-empty item set). Captures `options`.
+  void Rebuild(const storage::QueryStore& store,
+               const std::vector<storage::QueryId>& ids,
+               const AssociationMinerOptions& options);
+
+  /// Re-derives one query's transaction from its current state:
+  /// retracts the stored transaction (if any), then re-adds the current
+  /// one when the record is live. Order-free and idempotent — feed it
+  /// every dirty id of a change-feed delta.
+  void Resync(const storage::QueryStore& store, storage::QueryId id);
+
+  /// Memoized-count Apriori + rule generation; see class comment.
+  std::vector<AssociationRule> Mine();
+
+  size_t transaction_count() const { return transactions_.size(); }
+  /// Memoized k>=2 candidate counts currently tracked.
+  size_t tracked_itemsets() const { return tracked_.size(); }
+  /// Candidates counted by a full transaction scan in the last Mine().
+  size_t last_fresh_counts() const { return last_fresh_counts_; }
+
+ private:
+  void AddTransaction(storage::QueryId id, std::vector<std::string> items);
+  void RemoveTransaction(storage::QueryId id);
+
+  /// One memoized multi-item candidate: its exact support count plus
+  /// the Mine() generation that last needed it. Entries untouched for
+  /// several generations are swept (see kRetainGenerations), so the
+  /// memo tracks the *current* frequency structure instead of growing
+  /// with every itemset the workload ever surfaced — dropping an entry
+  /// is always safe, it just recounts if the candidate ever returns.
+  struct TrackedCount {
+    size_t count = 0;
+    uint64_t last_needed_gen = 0;
+  };
+  /// Mine() generations a candidate may go unreferenced before the
+  /// post-mine sweep drops it.
+  static constexpr uint64_t kRetainGenerations = 8;
+
+  AssociationMinerOptions options_;
+  std::map<storage::QueryId, std::vector<std::string>> transactions_;
+  std::map<std::string, size_t> item_counts_;
+  std::map<std::vector<std::string>, TrackedCount> tracked_;
+  uint64_t mine_generation_ = 0;
+  size_t last_fresh_counts_ = 0;
+};
 
 /// Context-aware suggestion: given the items already present in a
 /// partially written query, returns consequents of matching rules

@@ -6,81 +6,257 @@
 #include <map>
 
 #include "common/rng.h"
+#include "common/sorted_vector.h"
 
 namespace cqms::miner {
 
 namespace {
 
-/// Pairwise distance matrix over the given ids. Below
-/// `sketch_prune_min_points` every pair is scored exactly (dense O(n^2)
-/// over the precomputed signatures). At or above it, the records'
-/// MinHash sketches prune the pair enumeration: only pairs sharing at
-/// least one LSH band bucket are scored, and the rest are approximated
-/// by the maximal distance 1.0 — a conservative overestimate that only
-/// touches pairs the sketches already deem dissimilar, so threshold
-/// clustering and medoid selection are virtually unaffected while the
-/// scored-pair count drops from n^2 to near-linear on clustered logs.
-class DistanceMatrix {
- public:
-  DistanceMatrix(const storage::QueryStore& store,
-                 const std::vector<storage::QueryId>& ids,
-                 const metaquery::SimilarityWeights& weights,
-                 size_t sketch_prune_min_points)
-      : n_(ids.size()) {
-    // Resolve ids once; the loops below then run entirely on the
-    // records' precomputed similarity signatures.
-    std::vector<const storage::QueryRecord*> records(n_);
-    for (size_t i = 0; i < n_; ++i) records[i] = store.Get(ids[i]);
-    // Shared by both branches so the exact and pruned paths provably
-    // compute the same quantity for every pair they both score.
-    auto score_pair = [&](size_t i, size_t j) {
-      double d =
-          1.0 - metaquery::CombinedSimilarity(*records[i], *records[j], weights);
-      data_[i * n_ + j] = d;
-      data_[j * n_ + i] = d;
-    };
-    if (sketch_prune_min_points == 0 || n_ < sketch_prune_min_points) {
-      data_.assign(n_ * n_, 0.0);
-      for (size_t i = 0; i < n_; ++i) {
-        for (size_t j = i + 1; j < n_; ++j) score_pair(i, j);
-      }
-      return;
+/// Shared pair enumeration of both matrix implementations: below
+/// `sketch_prune_min_points` every (i, j < i) pair, otherwise only
+/// pairs co-bucketed by a local wide-banded LshIndex (32x2: s-curve
+/// midpoint ~0.18 — a missed pair silently inflates a distance to 1.0,
+/// so pruning must only drop pairs nowhere near any clustering
+/// threshold). Because the enumeration depends only on the records'
+/// current sketches — never on cache state — the dense and cached
+/// paths score exactly the same pair set, which is what makes them
+/// bit-identical. `score(i, j)` must return the pair's distance; the
+/// matrix is initialized to 1.0 (pruned) or 0.0 (exact) beforehand by
+/// the caller via `fill`.
+template <typename ScoreFn>
+void FillPairDistances(const std::vector<const storage::QueryRecord*>& records,
+                       size_t sketch_prune_min_points,
+                       std::vector<double>* data, ScoreFn score) {
+  const size_t n = records.size();
+  auto set_pair = [&](size_t i, size_t j) {
+    double d = score(i, j);
+    (*data)[i * n + j] = d;
+    (*data)[j * n + i] = d;
+  };
+  if (sketch_prune_min_points == 0 || n < sketch_prune_min_points) {
+    data->assign(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) set_pair(i, j);
     }
-    // Sketch-pruned: re-bucket this subset through a local LshIndex
-    // keyed by local index, then score only co-bucketed pairs. The
-    // banding is deliberately much wider than the store's kNN default
-    // (32x2: s-curve midpoint ~0.18): a missed pair here silently
-    // inflates a distance to 1.0, so pruning must only drop pairs that
-    // are nowhere near any clustering threshold. Records with empty
-    // sketches stay at distance 1.0 from everything. (The matrix itself
-    // is still dense O(n^2) memory; a sparse scored-pair layout is the
-    // natural next step once inputs outgrow it — see ROADMAP's
-    // incremental-clustering item.)
+    return;
+  }
+  data->assign(n * n, 1.0);
+  for (size_t i = 0; i < n; ++i) (*data)[i * n + i] = 0.0;
+  storage::LshIndex local({/*bands=*/32, /*rows=*/2});
+  for (size_t i = 0; i < n; ++i) {
+    local.Insert(static_cast<storage::QueryId>(i), records[i]->sketch);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (storage::QueryId j : local.Candidates(records[i]->sketch)) {
+      size_t other = static_cast<size_t>(j);
+      if (other > i) set_pair(i, other);
+    }
+  }
+}
+
+std::vector<const storage::QueryRecord*> ResolveRecords(
+    const storage::QueryStore& store,
+    const std::vector<storage::QueryId>& ids) {
+  std::vector<const storage::QueryRecord*> records(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) records[i] = store.Get(ids[i]);
+  return records;
+}
+
+/// Pair scorer of the cached matrix: reads signatures from the scoring
+/// columns' shared arenas (contiguous — no per-record vector chasing in
+/// the hot loop) and falls back to the record dispatch for rows the
+/// columns mark invalid. This is exactly the dispatch the dense oracle's
+/// CombinedSimilarity(record, record) performs, over the same data, so
+/// the two paths stay bit-identical.
+class ColumnarPairScorer {
+ public:
+  ColumnarPairScorer(const storage::QueryStore& store,
+                     const std::vector<storage::QueryId>& ids,
+                     const std::vector<const storage::QueryRecord*>& records,
+                     const metaquery::SimilarityWeights& weights)
+      : records_(records), weights_(weights) {
+    const storage::ScoringColumns& cols = store.scoring();
+    views_.resize(ids.size());
+    column_valid_.resize(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      column_valid_[i] = cols.signature_valid(ids[i]);
+      if (column_valid_[i]) views_[i] = metaquery::ViewOfColumns(cols, ids[i]);
+    }
+  }
+
+  double Distance(size_t i, size_t j) const {
+    if (column_valid_[i] && column_valid_[j]) {
+      return 1.0 - metaquery::CombinedSimilarity(views_[i], views_[j], weights_);
+    }
+    return 1.0 -
+           metaquery::CombinedSimilarity(*records_[i], *records_[j], weights_);
+  }
+
+ private:
+  const std::vector<const storage::QueryRecord*>& records_;
+  metaquery::SimilarityWeights weights_;
+  std::vector<metaquery::SignatureView> views_;
+  std::vector<char> column_valid_;
+};
+
+}  // namespace
+
+DenseDistanceMatrix::DenseDistanceMatrix(
+    const storage::QueryStore& store, const std::vector<storage::QueryId>& ids,
+    const metaquery::SimilarityWeights& weights,
+    size_t sketch_prune_min_points) {
+  n_ = ids.size();
+  auto records = ResolveRecords(store, ids);
+  FillPairDistances(records, sketch_prune_min_points, &data_,
+                    [&](size_t i, size_t j) {
+                      return 1.0 - metaquery::CombinedSimilarity(
+                                       *records[i], *records[j], weights);
+                    });
+}
+
+void CachedDistanceMatrix::BuildFull(const storage::QueryStore& store,
+                                     const std::vector<storage::QueryId>& ids,
+                                     const metaquery::SimilarityWeights& weights,
+                                     size_t sketch_prune_min_points,
+                                     DistanceCache* cache) {
+  n_ = ids.size();
+  pruned_ = !(sketch_prune_min_points == 0 || n_ < sketch_prune_min_points);
+  auto records = ResolveRecords(store, ids);
+  ColumnarPairScorer scorer(store, ids, records, weights);
+  FillPairDistances(
+      records, sketch_prune_min_points, &data_, [&](size_t i, size_t j) {
+        ++stats_.pairs_enumerated;
+        double d;
+        if (cache->Lookup(ids[i], ids[j], &d)) {
+          ++stats_.pairs_reused;
+          return d;
+        }
+        d = scorer.Distance(i, j);
+        cache->Insert(ids[i], ids[j], d);
+        ++stats_.pairs_computed;
+        return d;
+      });
+}
+
+CachedDistanceMatrix::CachedDistanceMatrix(
+    const storage::QueryStore& store, const std::vector<storage::QueryId>& ids,
+    const metaquery::SimilarityWeights& weights, size_t sketch_prune_min_points,
+    DistanceCache* cache) {
+  BuildFull(store, ids, weights, sketch_prune_min_points, cache);
+}
+
+CachedDistanceMatrix::CachedDistanceMatrix(
+    const storage::QueryStore& store, const std::vector<storage::QueryId>& ids,
+    const metaquery::SimilarityWeights& weights, size_t sketch_prune_min_points,
+    DistanceCache* cache, const RetainedMatrix* previous,
+    const std::vector<storage::QueryId>& dirty) {
+  n_ = ids.size();
+  pruned_ = !(sketch_prune_min_points == 0 || n_ < sketch_prune_min_points);
+  // The retained matrix is only a shortcut for pairs both builds score
+  // the same way: same enumeration mode, endpoints unchanged. Anything
+  // else falls back to the per-pair cache path.
+  if (previous == nullptr || !previous->valid || previous->pruned != pruned_) {
+    BuildFull(store, ids, weights, sketch_prune_min_points, cache);
+    return;
+  }
+
+  // Position map: new index -> previous index for clean survivors, -1
+  // for fresh or dirty ids. Both windows are ascending, so one merge
+  // suffices; `dirty` is sorted for the same reason.
+  const size_t m = previous->ids.size();
+  std::vector<int32_t> old_of(n_, -1);
+  {
+    size_t j = 0, d = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      while (j < m && previous->ids[j] < ids[i]) ++j;
+      while (d < dirty.size() && dirty[d] < ids[i]) ++d;
+      bool is_dirty = d < dirty.size() && dirty[d] == ids[i];
+      if (j < m && previous->ids[j] == ids[i] && !is_dirty) {
+        old_of[i] = static_cast<int32_t>(j);
+      }
+    }
+  }
+
+  auto records = ResolveRecords(store, ids);
+  if (pruned_) {
     data_.assign(n_ * n_, 1.0);
     for (size_t i = 0; i < n_; ++i) data_[i * n_ + i] = 0.0;
+  } else {
+    data_.assign(n_ * n_, 0.0);
+  }
+
+  // Bulk-copy the clean-survivor submatrix row-wise.
+  std::vector<std::pair<uint32_t, uint32_t>> mapped;  // (new j, old j)
+  mapped.reserve(n_);
+  for (size_t j = 0; j < n_; ++j) {
+    if (old_of[j] >= 0) mapped.emplace_back(j, old_of[j]);
+  }
+  for (size_t i = 0; i < n_; ++i) {
+    if (old_of[i] < 0) continue;
+    const double* src = previous->data.data() + static_cast<size_t>(old_of[i]) * m;
+    double* dst = data_.data() + i * n_;
+    for (const auto& [nj, oj] : mapped) dst[nj] = src[oj];
+  }
+  stats_.pairs_copied =
+      mapped.empty() ? 0 : mapped.size() * (mapped.size() - 1) / 2;
+
+  // Score every pair touching a fresh/dirty id: the (fresh, clean)
+  // pairs once from the fresh side, the (fresh, fresh) pairs deduped by
+  // index order. The enumeration predicate is exactly the full build's,
+  // so the scored-pair set — and with the shared kernel the values —
+  // match a from-scratch matrix bit for bit. Fresh computes are NOT
+  // written back to the cache here: the retained matrix carries them to
+  // the next refresh (where these ids are clean survivors and copy),
+  // and skipping ~hundreds of thousands of table probes per refresh is
+  // a measurable slice of the delta cost. The cache is (re)filled by
+  // full builds and consulted for window recompositions.
+  ColumnarPairScorer scorer(store, ids, records, weights);
+  auto score_pair = [&](size_t i, size_t j) {
+    ++stats_.pairs_enumerated;
+    double d;
+    if (!cache->Lookup(ids[i], ids[j], &d)) {
+      d = scorer.Distance(i, j);
+      ++stats_.pairs_computed;
+    } else {
+      ++stats_.pairs_reused;
+    }
+    data_[i * n_ + j] = d;
+    data_[j * n_ + i] = d;
+  };
+  if (pruned_) {
     storage::LshIndex local({/*bands=*/32, /*rows=*/2});
     for (size_t i = 0; i < n_; ++i) {
       local.Insert(static_cast<storage::QueryId>(i), records[i]->sketch);
     }
     for (size_t i = 0; i < n_; ++i) {
-      for (storage::QueryId j : local.Candidates(records[i]->sketch)) {
-        size_t other = static_cast<size_t>(j);
-        if (other > i) score_pair(i, other);
+      if (old_of[i] >= 0) continue;
+      for (storage::QueryId cand : local.Candidates(records[i]->sketch)) {
+        size_t j = static_cast<size_t>(cand);
+        if (j == i) continue;
+        if (old_of[j] < 0 && j < i) continue;  // fresh-fresh: score once
+        score_pair(i, j);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n_; ++i) {
+      if (old_of[i] >= 0) continue;
+      for (size_t j = 0; j < n_; ++j) {
+        if (j == i) continue;
+        if (old_of[j] < 0 && j < i) continue;
+        score_pair(i, j);
       }
     }
   }
-
-  double at(size_t i, size_t j) const { return data_[i * n_ + j]; }
-  size_t size() const { return n_; }
-
- private:
-  size_t n_;
-  std::vector<double> data_;
-};
-
-}  // namespace
+}
 
 int Clustering::ClusterOf(storage::QueryId id) const {
+  if (!member_index_.empty()) {
+    auto it = std::lower_bound(
+        member_index_.begin(), member_index_.end(),
+        std::make_pair(id, std::numeric_limits<int>::min()));
+    if (it != member_index_.end() && it->first == id) return it->second;
+    return -1;
+  }
   for (size_t i = 0; i < clusters.size(); ++i) {
     for (storage::QueryId q : clusters[i]) {
       if (q == id) return static_cast<int>(i);
@@ -89,15 +265,26 @@ int Clustering::ClusterOf(storage::QueryId id) const {
   return -1;
 }
 
-Clustering KMedoidsCluster(const storage::QueryStore& store,
-                           const std::vector<storage::QueryId>& ids,
-                           const KMedoidsOptions& options) {
+void Clustering::BuildMemberIndex() {
+  member_index_.clear();
+  size_t total = 0;
+  for (const auto& c : clusters) total += c.size();
+  member_index_.reserve(total);
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    for (storage::QueryId q : clusters[i]) {
+      member_index_.emplace_back(q, static_cast<int>(i));
+    }
+  }
+  std::sort(member_index_.begin(), member_index_.end());
+}
+
+Clustering KMedoidsFromDistances(const DistanceSource& dist,
+                                 const std::vector<storage::QueryId>& ids,
+                                 const KMedoidsOptions& options) {
   Clustering out;
   if (ids.empty()) return out;
   const size_t n = ids.size();
   const size_t k = std::min(options.k == 0 ? 1 : options.k, n);
-  DistanceMatrix dist(store, ids, options.weights,
-                      options.sketch_prune_min_points);
 
   // Seed medoids: shuffle indices deterministically, take the first k.
   std::vector<size_t> perm(n);
@@ -128,15 +315,18 @@ Clustering KMedoidsCluster(const storage::QueryStore& store,
       }
     }
     // Update: medoid = member minimizing total intra-cluster distance.
+    // Materializing member lists first turns the scan from k * n^2
+    // skip-checks into sum(|cluster|^2) distance reads; members stay in
+    // ascending index order, so the floating-point summation order —
+    // and the tie-broken medoid choice — match the naive loop exactly.
+    std::vector<std::vector<size_t>> members(k);
+    for (size_t i = 0; i < n; ++i) members[assignment[i]].push_back(i);
     for (size_t m = 0; m < k; ++m) {
       double best_total = std::numeric_limits<double>::infinity();
       size_t best_idx = medoids[m];
-      for (size_t i = 0; i < n; ++i) {
-        if (assignment[i] != m) continue;
+      for (size_t i : members[m]) {
         double total = 0;
-        for (size_t j = 0; j < n; ++j) {
-          if (assignment[j] == m) total += dist.at(i, j);
-        }
+        for (size_t j : members[m]) total += dist.at(i, j);
         if (total < best_total) {
           best_total = total;
           best_idx = i;
@@ -161,18 +351,35 @@ Clustering KMedoidsCluster(const storage::QueryStore& store,
       out.medoids.erase(out.medoids.begin() + (m - 1));
     }
   }
+  out.BuildMemberIndex();
   return out;
 }
 
-Clustering AgglomerativeCluster(const storage::QueryStore& store,
-                                const std::vector<storage::QueryId>& ids,
-                                double max_distance,
-                                const metaquery::SimilarityWeights& weights,
-                                size_t sketch_prune_min_points) {
+Clustering KMedoidsCluster(const storage::QueryStore& store,
+                           const std::vector<storage::QueryId>& ids,
+                           const KMedoidsOptions& options) {
+  DenseDistanceMatrix dist(store, ids, options.weights,
+                           options.sketch_prune_min_points);
+  return KMedoidsFromDistances(dist, ids, options);
+}
+
+Clustering KMedoidsCluster(const storage::QueryStore& store,
+                           const std::vector<storage::QueryId>& ids,
+                           const KMedoidsOptions& options, DistanceCache* cache,
+                           CachedDistanceMatrix::BuildStats* stats) {
+  if (cache == nullptr) return KMedoidsCluster(store, ids, options);
+  CachedDistanceMatrix dist(store, ids, options.weights,
+                            options.sketch_prune_min_points, cache);
+  if (stats != nullptr) *stats = dist.build_stats();
+  return KMedoidsFromDistances(dist, ids, options);
+}
+
+Clustering AgglomerativeFromDistances(const DistanceSource& dist,
+                                      const std::vector<storage::QueryId>& ids,
+                                      double max_distance) {
   Clustering out;
   if (ids.empty()) return out;
   const size_t n = ids.size();
-  DistanceMatrix dist(store, ids, weights, sketch_prune_min_points);
 
   // Union-find over points; single linkage = union every pair within
   // threshold (equivalent to connected components of the threshold graph).
@@ -213,7 +420,32 @@ Clustering AgglomerativeCluster(const storage::QueryStore& store,
     out.clusters.push_back(std::move(cluster));
     out.medoids.push_back(ids[best]);
   }
+  out.BuildMemberIndex();
   return out;
+}
+
+Clustering AgglomerativeCluster(const storage::QueryStore& store,
+                                const std::vector<storage::QueryId>& ids,
+                                double max_distance,
+                                const metaquery::SimilarityWeights& weights,
+                                size_t sketch_prune_min_points) {
+  DenseDistanceMatrix dist(store, ids, weights, sketch_prune_min_points);
+  return AgglomerativeFromDistances(dist, ids, max_distance);
+}
+
+Clustering AgglomerativeCluster(const storage::QueryStore& store,
+                                const std::vector<storage::QueryId>& ids,
+                                double max_distance,
+                                const metaquery::SimilarityWeights& weights,
+                                size_t sketch_prune_min_points,
+                                DistanceCache* cache) {
+  if (cache == nullptr) {
+    return AgglomerativeCluster(store, ids, max_distance, weights,
+                                sketch_prune_min_points);
+  }
+  CachedDistanceMatrix dist(store, ids, weights, sketch_prune_min_points,
+                            cache);
+  return AgglomerativeFromDistances(dist, ids, max_distance);
 }
 
 }  // namespace cqms::miner

@@ -2,9 +2,11 @@
 #define CQMS_MINER_CLUSTERING_H_
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "metaquery/similarity.h"
+#include "miner/distance_cache.h"
 #include "storage/query_store.h"
 
 namespace cqms::miner {
@@ -18,8 +20,123 @@ struct Clustering {
 
   size_t num_clusters() const { return clusters.size(); }
 
-  /// Index of the cluster containing `id`, or -1.
+  /// Index of the cluster containing `id`, or -1. Binary search over
+  /// the member index when built (the factories build it); falls back
+  /// to a linear scan for hand-assembled clusterings.
   int ClusterOf(storage::QueryId id) const;
+
+  /// (Re)builds the sorted id -> cluster index. Called by the clustering
+  /// factories; call again after mutating `clusters` by hand.
+  void BuildMemberIndex();
+
+ private:
+  std::vector<std::pair<storage::QueryId, int>> member_index_;
+};
+
+/// Dense pairwise distances over one clustering input subset, indexed
+/// by *position* in the ids vector the subclass was built from. The
+/// k-medoids and agglomerative passes consume this interface; the two
+/// implementations differ only in where each scored pair's distance
+/// comes from (fresh computation vs. the persistent DistanceCache), so
+/// their matrices — and therefore the clusterings — are bit-identical.
+class DistanceSource {
+ public:
+  virtual ~DistanceSource() = default;
+  DistanceSource(const DistanceSource&) = delete;
+  DistanceSource& operator=(const DistanceSource&) = delete;
+
+  double at(size_t i, size_t j) const { return data_[i * n_ + j]; }
+  size_t size() const { return n_; }
+
+ protected:
+  DistanceSource() = default;
+
+  size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Throwaway matrix scoring every pair fresh — the test oracle the
+/// cache-backed path is asserted bit-identical against. Below
+/// `sketch_prune_min_points` every pair is scored exactly (dense O(n^2)
+/// over the precomputed signatures). At or above it, the records'
+/// MinHash sketches prune the pair enumeration: only pairs sharing at
+/// least one LSH band bucket are scored, and the rest are approximated
+/// by the maximal distance 1.0 — a conservative overestimate that only
+/// touches pairs the sketches already deem dissimilar, so threshold
+/// clustering and medoid selection are virtually unaffected while the
+/// scored-pair count drops from n^2 to near-linear on clustered logs.
+class DenseDistanceMatrix : public DistanceSource {
+ public:
+  DenseDistanceMatrix(const storage::QueryStore& store,
+                      const std::vector<storage::QueryId>& ids,
+                      const metaquery::SimilarityWeights& weights,
+                      size_t sketch_prune_min_points);
+};
+
+/// A dense matrix retained from the previous refresh together with the
+/// window it was built over. Because the pair-scoring predicate is
+/// pairwise (two sketches co-bucket iff a band's slots agree — no other
+/// record matters), a pair of *unchanged* ids has exactly the same
+/// distance in any later window, so the next build can bulk-copy those
+/// rows instead of re-probing the cache pair by pair. The sparse
+/// DistanceCache stays the source of truth across arbitrary window
+/// recompositions (ids re-entering after deletions undo, rewrites);
+/// this is the contiguous fast path for the common sliding-window case.
+struct RetainedMatrix {
+  std::vector<storage::QueryId> ids;  ///< Ascending (log order).
+  std::vector<double> data;           ///< ids.size()^2, row-major.
+  bool pruned = false;                ///< Which enumeration mode built it.
+  bool valid = false;
+};
+
+/// The incremental-refresh matrix: identical pair enumeration, but each
+/// scored pair is served in preference order — bulk-copied from the
+/// retained previous matrix (both endpoints unchanged), looked up in
+/// the persistent DistanceCache, and only computed (then inserted) on a
+/// miss. On an append-heavy refresh nearly everything copies or hits,
+/// which is what turns the mining pass's per-run O(n^2) similarity bill
+/// into O(delta * avg_bucket).
+class CachedDistanceMatrix : public DistanceSource {
+ public:
+  struct BuildStats {
+    size_t pairs_enumerated = 0;  ///< Pairs individually scored this build.
+    size_t pairs_reused = 0;      ///< ... of those, served by cache hits.
+    size_t pairs_computed = 0;    ///< ... computed fresh (and cached).
+    size_t pairs_copied = 0;      ///< Pairs bulk-copied from the retained matrix.
+  };
+
+  CachedDistanceMatrix(const storage::QueryStore& store,
+                       const std::vector<storage::QueryId>& ids,
+                       const metaquery::SimilarityWeights& weights,
+                       size_t sketch_prune_min_points, DistanceCache* cache);
+
+  /// Reuse-aware build: `previous` may be null/invalid (full build);
+  /// `dirty` (sorted) lists ids whose signatures changed since
+  /// `previous` was built — their pairs are never copied.
+  CachedDistanceMatrix(const storage::QueryStore& store,
+                       const std::vector<storage::QueryId>& ids,
+                       const metaquery::SimilarityWeights& weights,
+                       size_t sketch_prune_min_points, DistanceCache* cache,
+                       const RetainedMatrix* previous,
+                       const std::vector<storage::QueryId>& dirty);
+
+  const BuildStats& build_stats() const { return stats_; }
+
+  /// True when this build used the sketch-pruned enumeration.
+  bool pruned() const { return pruned_; }
+
+  /// Moves the dense data out for retention; the matrix is unusable
+  /// afterwards.
+  std::vector<double> TakeData() { return std::move(data_); }
+
+ private:
+  void BuildFull(const storage::QueryStore& store,
+                 const std::vector<storage::QueryId>& ids,
+                 const metaquery::SimilarityWeights& weights,
+                 size_t sketch_prune_min_points, DistanceCache* cache);
+
+  BuildStats stats_;
+  bool pruned_ = false;
 };
 
 struct KMedoidsOptions {
@@ -29,27 +146,53 @@ struct KMedoidsOptions {
   metaquery::SimilarityWeights weights;
   /// From this many points on, the distance matrix scores only pairs
   /// whose MinHash sketches share an LSH band bucket; the rest are
-  /// approximated as maximally distant (see DistanceMatrix). 0 disables
-  /// pruning. Small inputs stay exact either way.
+  /// approximated as maximally distant (see DenseDistanceMatrix). 0
+  /// disables pruning. Small inputs stay exact either way.
   size_t sketch_prune_min_points = 512;
 };
 
 /// Partitions `ids` into k clusters by k-medoids (PAM-style alternation)
-/// under distance = 1 - CombinedSimilarity. Deterministic for a seed.
-/// Requires ids.size() >= 1; k is clamped to ids.size().
+/// over the given distances (dist.size() must equal ids.size()).
+/// Deterministic for a seed. Requires ids.size() >= 1; k is clamped to
+/// ids.size().
+Clustering KMedoidsFromDistances(const DistanceSource& dist,
+                                 const std::vector<storage::QueryId>& ids,
+                                 const KMedoidsOptions& options);
+
+/// Convenience wrapper: fresh dense matrix (the oracle path).
 Clustering KMedoidsCluster(const storage::QueryStore& store,
                            const std::vector<storage::QueryId>& ids,
                            const KMedoidsOptions& options = {});
 
-/// Single-linkage agglomerative clustering: merges clusters while the
-/// closest pair is within `max_distance`. No k needed; used when the
-/// number of query groups is unknown. `sketch_prune_min_points` as in
+/// Cache-backed wrapper: distances come from (and warm) `cache`; null
+/// falls back to the dense oracle.
+Clustering KMedoidsCluster(const storage::QueryStore& store,
+                           const std::vector<storage::QueryId>& ids,
+                           const KMedoidsOptions& options, DistanceCache* cache,
+                           CachedDistanceMatrix::BuildStats* stats = nullptr);
+
+/// Single-linkage agglomerative clustering over the given distances:
+/// merges clusters while the closest pair is within `max_distance`. No
+/// k needed; used when the number of query groups is unknown.
+Clustering AgglomerativeFromDistances(const DistanceSource& dist,
+                                      const std::vector<storage::QueryId>& ids,
+                                      double max_distance);
+
+/// Dense-oracle wrapper. `sketch_prune_min_points` as in
 /// KMedoidsOptions: large inputs score only sketch-co-bucketed pairs.
 Clustering AgglomerativeCluster(const storage::QueryStore& store,
                                 const std::vector<storage::QueryId>& ids,
                                 double max_distance,
                                 const metaquery::SimilarityWeights& weights = {},
                                 size_t sketch_prune_min_points = 512);
+
+/// Cache-backed wrapper; null cache falls back to the dense oracle.
+Clustering AgglomerativeCluster(const storage::QueryStore& store,
+                                const std::vector<storage::QueryId>& ids,
+                                double max_distance,
+                                const metaquery::SimilarityWeights& weights,
+                                size_t sketch_prune_min_points,
+                                DistanceCache* cache);
 
 }  // namespace cqms::miner
 

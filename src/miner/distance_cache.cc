@@ -1,0 +1,128 @@
+#include "miner/distance_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cqms::miner {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 64;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+DistanceCache::DistanceCache(size_t initial_capacity) {
+  table_.resize(RoundUpPow2(initial_capacity));
+}
+
+uint64_t DistanceCache::PairHash(uint32_t a, uint32_t b) {
+  // splitmix64 over the packed unordered pair: cheap, well-mixed, and
+  // id-order independent because callers normalize a < b first.
+  uint64_t x = (static_cast<uint64_t>(a) << 32) | b;
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+size_t DistanceCache::FindSlot(const std::vector<Entry>& table, uint32_t a,
+                               uint32_t b) const {
+  const size_t mask = table.size() - 1;
+  size_t slot = PairHash(a, b) & mask;
+  while (true) {
+    const Entry& e = table[slot];
+    if (e.a == kEmptyId || (e.a == a && e.b == b)) return slot;
+    slot = (slot + 1) & mask;
+  }
+}
+
+bool DistanceCache::Lookup(storage::QueryId a, storage::QueryId b,
+                           double* distance) const {
+  if (!Cacheable(a) || !Cacheable(b)) {
+    ++stats_.misses;
+    return false;
+  }
+  uint32_t lo = static_cast<uint32_t>(a), hi = static_cast<uint32_t>(b);
+  if (lo > hi) std::swap(lo, hi);
+  const Entry& e = table_[FindSlot(table_, lo, hi)];
+  if (e.a == kEmptyId || !Live(e)) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  *distance = e.distance;
+  return true;
+}
+
+void DistanceCache::Insert(storage::QueryId a, storage::QueryId b,
+                           double distance) {
+  if (!Cacheable(a) || !Cacheable(b)) return;
+  uint32_t lo = static_cast<uint32_t>(a), hi = static_cast<uint32_t>(b);
+  if (lo > hi) std::swap(lo, hi);
+  size_t slot = FindSlot(table_, lo, hi);
+  Entry& e = table_[slot];
+  if (e.a == kEmptyId) {
+    if (used_ + 1 > table_.size() - table_.size() / 4) {
+      Grow();
+      slot = FindSlot(table_, lo, hi);
+    }
+    ++used_;
+  }
+  table_[slot] = Entry{lo, hi, VersionOf(lo), VersionOf(hi), distance};
+  ++stats_.inserts;
+}
+
+void DistanceCache::Invalidate(storage::QueryId id) {
+  if (!Cacheable(id)) return;  // nothing with this endpoint was ever stored
+  size_t idx = static_cast<size_t>(id);
+  if (idx >= versions_.size()) versions_.resize(idx + 1, 0);
+  ++versions_[idx];
+  ++stats_.invalidations;
+}
+
+void DistanceCache::Clear() {
+  std::fill(table_.begin(), table_.end(), Entry{});
+  versions_.clear();
+  used_ = 0;
+}
+
+size_t DistanceCache::Rebuild(size_t new_capacity) {
+  std::vector<Entry> fresh(new_capacity);
+  size_t kept = 0;
+  for (const Entry& e : table_) {
+    if (!Live(e)) continue;
+    fresh[FindSlot(fresh, e.a, e.b)] = e;
+    ++kept;
+  }
+  const size_t dropped = used_ - kept;
+  table_ = std::move(fresh);
+  used_ = kept;
+  return dropped;
+}
+
+void DistanceCache::Grow() { Rebuild(table_.size() * 2); }
+
+size_t DistanceCache::CompactIfNeeded(double max_stale_fraction) {
+  if (used_ == 0) return 0;
+  size_t stale = 0;
+  for (const Entry& e : table_) {
+    if (e.a != kEmptyId && !Live(e)) ++stale;
+  }
+  if (static_cast<double>(stale) <=
+      max_stale_fraction * static_cast<double>(used_)) {
+    return 0;
+  }
+  // Live count may now fit a smaller table; shrink to the smallest
+  // power of two keeping load below the growth threshold.
+  const size_t live = used_ - stale;
+  size_t cap = table_.size();
+  while (cap > 64 && live <= (cap / 2) - (cap / 2) / 4) cap /= 2;
+  ++stats_.compactions;
+  return Rebuild(cap);
+}
+
+}  // namespace cqms::miner

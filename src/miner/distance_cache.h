@@ -1,0 +1,112 @@
+#ifndef CQMS_MINER_DISTANCE_CACHE_H_
+#define CQMS_MINER_DISTANCE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/query_record.h"
+
+namespace cqms::miner {
+
+/// Persistent sparse store of pair distances, keyed on the unordered
+/// query-id pair — the structure that turns the per-run O(n^2)
+/// DistanceMatrix into an O(delta * avg_bucket) refresh. Distances are
+/// pure functions of the two records' similarity signatures, so an
+/// entry stays valid across mining runs until one endpoint's signature
+/// changes.
+///
+/// Layout: one open-addressed table (power-of-two capacity, linear
+/// probing) of 24-byte entries {a, b, version_a, version_b, distance}
+/// with a == kEmptyId marking free slots. Invalidation is O(1) and
+/// touch-free: a per-id version counter is bumped, and an entry is live
+/// only while both stored versions match — no tombstones, no probe-chain
+/// surgery. Stale entries are dropped wholesale when the table grows and
+/// by CompactIfNeeded() (called once per mining refresh).
+///
+/// Single-threaded like the rest of the miner.
+class DistanceCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t invalidations = 0;
+    uint64_t compactions = 0;
+  };
+
+  /// `initial_capacity` is rounded up to a power of two (minimum 64).
+  explicit DistanceCache(size_t initial_capacity = 1 << 12);
+
+  /// True (and `*distance` set) when a live entry for the unordered
+  /// pair {a, b} exists.
+  bool Lookup(storage::QueryId a, storage::QueryId b, double* distance) const;
+
+  /// Stores the distance of the unordered pair {a, b}, stamped with the
+  /// endpoints' current versions. Overwrites any (live or stale) entry
+  /// for the same pair.
+  void Insert(storage::QueryId a, storage::QueryId b, double distance);
+
+  /// Invalidates every cached pair touching `id` in O(1) by bumping the
+  /// id's version. Rewrites and output-signature refreshes must call
+  /// this; appends need not (new ids were never cached).
+  void Invalidate(storage::QueryId id);
+
+  /// Drops everything (the full-rebuild escape hatch).
+  void Clear();
+
+  /// Rebuilds the table without its stale entries when they exceed
+  /// `max_stale_fraction` of the occupied slots. O(capacity) scan —
+  /// call once per refresh, not per lookup. Returns entries dropped.
+  size_t CompactIfNeeded(double max_stale_fraction = 0.5);
+
+  /// Occupied slots, live or stale.
+  size_t entries() const { return used_; }
+  size_t capacity() const { return table_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr uint32_t kEmptyId = 0xFFFFFFFFu;
+
+  /// Entries pack ids as u32 with kEmptyId as the free-slot sentinel.
+  /// Ids outside [0, kEmptyId) — negative, or a log past 2^32-1 records
+  /// — are simply never cached (Lookup misses, Insert/Invalidate
+  /// no-op), so they compute fresh instead of silently aliasing.
+  static bool Cacheable(storage::QueryId id) {
+    return id >= 0 && static_cast<uint64_t>(id) < kEmptyId;
+  }
+
+  struct Entry {
+    uint32_t a = kEmptyId;
+    uint32_t b = kEmptyId;
+    uint32_t version_a = 0;
+    uint32_t version_b = 0;
+    double distance = 0.0;
+  };
+
+  static uint64_t PairHash(uint32_t a, uint32_t b);
+  uint32_t VersionOf(uint32_t id) const {
+    return id < versions_.size() ? versions_[id] : 0;
+  }
+  bool Live(const Entry& e) const {
+    return e.a != kEmptyId && e.version_a == VersionOf(e.a) &&
+           e.version_b == VersionOf(e.b);
+  }
+  /// Slot of the pair's entry, or of the first empty slot on its probe
+  /// chain when absent.
+  size_t FindSlot(const std::vector<Entry>& table, uint32_t a,
+                  uint32_t b) const;
+  void Grow();
+  /// Re-inserts live entries into a table of `new_capacity`; drops
+  /// stale ones. Returns entries dropped.
+  size_t Rebuild(size_t new_capacity);
+
+  std::vector<Entry> table_;
+  std::vector<uint32_t> versions_;
+  size_t used_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace cqms::miner
+
+#endif  // CQMS_MINER_DISTANCE_CACHE_H_

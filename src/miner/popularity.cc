@@ -23,6 +23,8 @@ void PopularityTracker::Build(const storage::QueryStore& store, Micros now,
   skeleton_scores_.clear();
   attribute_scores_.clear();
   fingerprint_scores_.clear();
+  contributions_.clear();
+  contributions_built_ = track_contributions_;
 
   for (const storage::QueryRecord& r : store.records()) {
     if (r.HasFlag(storage::kFlagDeleted) || r.parse_failed()) continue;
@@ -33,7 +35,52 @@ void PopularityTracker::Build(const storage::QueryStore& store, Micros now,
     }
     skeleton_scores_[r.skeleton_fingerprint] += w;
     fingerprint_scores_[r.fingerprint] += w;
+    if (track_contributions_) contributions_[r.id] = ContributionOf(r);
   }
+}
+
+PopularityTracker::Contribution PopularityTracker::ContributionOf(
+    const storage::QueryRecord& record) {
+  Contribution c;
+  c.tables = record.components.tables;
+  c.attribute_keys.reserve(record.components.attributes.size());
+  for (const auto& [rel, attr] : record.components.attributes) {
+    c.attribute_keys.push_back(rel + "." + attr);
+  }
+  c.skeleton_fp = record.skeleton_fingerprint;
+  c.fingerprint = record.fingerprint;
+  return c;
+}
+
+void PopularityTracker::Apply(const Contribution& c, double weight) {
+  auto bump = [&](auto* map, const auto& key) {
+    auto [it, inserted] = map->try_emplace(key, 0.0);
+    it->second += weight;
+    // Unit weights keep scores exactly integer-valued, so a fully
+    // retracted key lands on exactly 0.0 — erase it to match the maps a
+    // fresh Build (which never sees the key) would hold.
+    if (it->second <= 0.0) map->erase(it);
+  };
+  for (const std::string& t : c.tables) bump(&table_scores_, t);
+  for (const std::string& a : c.attribute_keys) bump(&attribute_scores_, a);
+  bump(&skeleton_scores_, c.skeleton_fp);
+  bump(&fingerprint_scores_, c.fingerprint);
+}
+
+void PopularityTracker::Resync(const storage::QueryStore& store,
+                               storage::QueryId id) {
+  auto it = contributions_.find(id);
+  if (it != contributions_.end()) {
+    Apply(it->second, -1.0);
+    contributions_.erase(it);
+  }
+  const storage::QueryRecord* r = store.Get(id);
+  if (r == nullptr || r->HasFlag(storage::kFlagDeleted) || r->parse_failed()) {
+    return;
+  }
+  Contribution c = ContributionOf(*r);
+  Apply(c, 1.0);
+  contributions_[id] = std::move(c);
 }
 
 double PopularityTracker::TableScore(const std::string& table) const {

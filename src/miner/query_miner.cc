@@ -2,14 +2,64 @@
 
 #include <algorithm>
 
+#include "common/sorted_vector.h"
+
 namespace cqms::miner {
 
 QueryMiner::QueryMiner(storage::QueryStore* store, const Clock* clock,
                        QueryMinerOptions options)
-    : store_(store), clock_(clock), options_(options) {}
+    : store_(store), clock_(clock), options_(options) {
+  tracker_.Attach(store_);
+  popularity_.EnableDeltas(options_.incremental);
+}
+
+std::vector<storage::QueryId> QueryMiner::ClusteringSample() const {
+  std::vector<storage::QueryId> cluster_ids;
+  const auto& records = store_->records();
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->HasFlag(storage::kFlagDeleted) || it->parse_failed()) continue;
+    cluster_ids.push_back(it->id);
+    if (options_.clustering_sample != 0 &&
+        cluster_ids.size() >= options_.clustering_sample) {
+      break;
+    }
+  }
+  std::reverse(cluster_ids.begin(), cluster_ids.end());
+  return cluster_ids;
+}
+
+void QueryMiner::Recluster(const std::vector<storage::QueryId>& dirty) {
+  std::vector<storage::QueryId> sample = ClusteringSample();
+  CachedDistanceMatrix dist(*store_, sample, options_.clustering.weights,
+                            options_.clustering.sketch_prune_min_points,
+                            &distance_cache_, &retained_matrix_, dirty);
+  clustering_ = KMedoidsFromDistances(dist, sample, options_.clustering);
+  last_stats_.pairs_enumerated = dist.build_stats().pairs_enumerated;
+  last_stats_.pairs_reused = dist.build_stats().pairs_reused;
+  last_stats_.pairs_computed = dist.build_stats().pairs_computed;
+  last_stats_.pairs_copied = dist.build_stats().pairs_copied;
+  // Retain this window's matrix: the next refresh bulk-copies every
+  // pair of unchanged survivors instead of re-probing the cache.
+  retained_matrix_.pruned = dist.pruned();
+  retained_matrix_.data = dist.TakeData();
+  retained_matrix_.ids = std::move(sample);
+  retained_matrix_.valid = true;
+}
 
 void QueryMiner::RunAll() {
-  sessions_ = IdentifySessions(store_, options_.sessionizer);
+  // Everything is rebuilt from scratch below, so whatever the change
+  // feed accumulated is covered — absorb it.
+  tracker_.Drain();
+  last_stats_ = MinerRefreshStats{};
+  last_stats_.ran = true;
+  last_stats_.full = true;
+
+  {
+    // The session write-back is this miner's own derived state, not
+    // external dirt.
+    storage::ChangeTracker::ScopedSuppress suppress(&tracker_);
+    sessions_ = IdentifySessions(store_, options_.sessionizer);
+  }
 
   // Association rules over all parsed queries.
   std::vector<storage::QueryId> all_ids;
@@ -17,26 +67,95 @@ void QueryMiner::RunAll() {
   for (const storage::QueryRecord& r : store_->records()) {
     if (!r.HasFlag(storage::kFlagDeleted)) all_ids.push_back(r.id);
   }
-  auto transactions = BuildTransactions(*store_, all_ids, options_.association);
-  rules_ = MineAssociationRules(transactions, options_.association);
+  association_state_.Rebuild(*store_, all_ids, options_.association);
+  rules_ = association_state_.Mine();
+  last_stats_.rules_fresh_counts = association_state_.last_fresh_counts();
 
   popularity_.Build(*store_, clock_->Now(), options_.popularity);
 
-  // Clustering over the most recent window (distance matrix is O(n^2)).
-  std::vector<storage::QueryId> cluster_ids;
-  for (auto it = all_ids.rbegin(); it != all_ids.rend(); ++it) {
-    const storage::QueryRecord* r = store_->Get(*it);
-    if (r->parse_failed()) continue;
-    cluster_ids.push_back(*it);
-    if (options_.clustering_sample != 0 &&
-        cluster_ids.size() >= options_.clustering_sample) {
-      break;
-    }
-  }
-  std::reverse(cluster_ids.begin(), cluster_ids.end());
-  clustering_ = KMedoidsCluster(*store_, cluster_ids, options_.clustering);
+  // Clustering over the most recent window. The full rebuild drops the
+  // persistent distance cache and the retained matrix (the drift
+  // escape hatch) and re-warms both, so the next incremental refresh
+  // starts from fully re-derived state.
+  distance_cache_.Clear();
+  retained_matrix_.valid = false;
+  Recluster(/*dirty=*/{});
 
   last_mined_size_ = store_->size();
+  refreshes_since_full_ = 0;
+  RebuildSessionIndex();
+}
+
+void QueryMiner::RefreshIncremental(storage::ChangeDelta delta) {
+  last_stats_ = MinerRefreshStats{};
+  last_stats_.ran = true;
+  last_stats_.full = false;
+  last_stats_.appended = delta.appended.size();
+  last_stats_.structurally_dirty = delta.StructuralSize();
+
+  // Sessions: tail-extend append-only users, re-segment the rest.
+  {
+    SessionDelta session_delta;
+    session_delta.appended = delta.appended;
+    session_delta.structurally_dirty = delta.rewritten;
+    session_delta.structurally_dirty.insert(
+        session_delta.structurally_dirty.end(), delta.deleted.begin(),
+        delta.deleted.end());
+    session_delta.structurally_dirty.insert(
+        session_delta.structurally_dirty.end(), delta.undeleted.begin(),
+        delta.undeleted.end());
+    session_delta.structurally_dirty.insert(
+        session_delta.structurally_dirty.end(),
+        delta.session_reassigned.begin(), delta.session_reassigned.end());
+    storage::ChangeTracker::ScopedSuppress suppress(&tracker_);
+    SessionUpdateStats s = UpdateSessions(store_, options_.sessionizer,
+                                          &sessions_, session_delta);
+    last_stats_.users_extended = s.users_extended;
+    last_stats_.users_resegmented = s.users_resegmented;
+  }
+
+  // Transactions and popularity: point-resync every dirty id against
+  // the store's current state (order-free, so overlapping sets — an id
+  // appended then deleted in one cycle — need no special casing).
+  // Output-signature syncs change neither features nor visibility, so
+  // they stay out of this loop.
+  auto resync_all = [&](const std::vector<storage::QueryId>& ids) {
+    for (storage::QueryId id : ids) {
+      association_state_.Resync(*store_, id);
+      if (popularity_.CanApplyDeltas()) popularity_.Resync(*store_, id);
+    }
+  };
+  resync_all(delta.appended);
+  resync_all(delta.rewritten);
+  resync_all(delta.deleted);
+  resync_all(delta.undeleted);
+  rules_ = association_state_.Mine();
+  last_stats_.rules_fresh_counts = association_state_.last_fresh_counts();
+  if (!popularity_.CanApplyDeltas()) {
+    // Decay enabled: scores depend on "now", so deltas cannot reproduce
+    // a rebuild. Still O(n) — never the refresh bottleneck.
+    popularity_.Build(*store_, clock_->Now(), options_.popularity);
+  }
+
+  // Clustering: invalidate cached distances whose endpoint signatures
+  // changed (rewrites replace the whole signature, output syncs its
+  // output-row section — both feed CombinedSimilarity; tombstone flips
+  // conservatively too), then rebuild the window's matrix through the
+  // retained matrix + cache: only pairs touching the delta compute.
+  std::vector<storage::QueryId> dirty = delta.rewritten;
+  dirty.insert(dirty.end(), delta.output_synced.begin(),
+               delta.output_synced.end());
+  dirty.insert(dirty.end(), delta.deleted.begin(), delta.deleted.end());
+  dirty.insert(dirty.end(), delta.undeleted.begin(), delta.undeleted.end());
+  SortUnique(&dirty);
+  for (storage::QueryId id : dirty) distance_cache_.Invalidate(id);
+  Recluster(dirty);
+  // The stale sweep is O(cache capacity): only worth it when this cycle
+  // actually invalidated something. Pure-append refreshes skip it.
+  if (!dirty.empty()) distance_cache_.CompactIfNeeded();
+
+  last_mined_size_ = store_->size();
+  RebuildSessionIndex();
 }
 
 bool QueryMiner::MaybeRefresh() {
@@ -44,25 +163,60 @@ bool QueryMiner::MaybeRefresh() {
       last_mined_size_ != 0) {
     return false;
   }
-  RunAll();
+  if (last_mined_size_ == 0 || !options_.incremental) {
+    RunAll();
+    return true;
+  }
+  if (options_.full_rebuild_interval != 0 &&
+      refreshes_since_full_ + 1 >= options_.full_rebuild_interval) {
+    RunAll();
+    return true;
+  }
+  storage::ChangeDelta delta = tracker_.Drain();
+  // Consistency guard: bulk restores (RestoreAppend) bypass the change
+  // feed by design; if the store grew more than the feed saw, the delta
+  // is not the whole story — rebuild.
+  if (last_mined_size_ + delta.appended.size() != store_->size()) {
+    RunAll();
+    return true;
+  }
+  ++refreshes_since_full_;
+  RefreshIncremental(std::move(delta));
   return true;
 }
 
 const Session* QueryMiner::FindSession(storage::SessionId id) const {
-  for (const Session& s : sessions_) {
-    if (s.id == id) return &s;
+  // RenumberAndAssign makes session ids their own index.
+  if (id >= 0 && static_cast<size_t>(id) < sessions_.size() &&
+      sessions_[static_cast<size_t>(id)].id == id) {
+    return &sessions_[static_cast<size_t>(id)];
   }
   return nullptr;
 }
 
-std::vector<const Session*> QueryMiner::SessionsOfUser(const std::string& user) const {
+std::vector<const Session*> QueryMiner::SessionsOfUser(
+    const std::string& user) const {
   std::vector<const Session*> out;
-  for (const Session& s : sessions_) {
-    if (s.user == user) out.push_back(&s);
-  }
-  std::sort(out.begin(), out.end(),
-            [](const Session* a, const Session* b) { return a->start > b->start; });
+  auto it = sessions_of_user_.find(user);
+  if (it == sessions_of_user_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t idx : it->second) out.push_back(&sessions_[idx]);
   return out;
+}
+
+void QueryMiner::RebuildSessionIndex() {
+  sessions_of_user_.clear();
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    sessions_of_user_[sessions_[i].user].push_back(i);
+  }
+  for (auto& [user, idxs] : sessions_of_user_) {
+    std::sort(idxs.begin(), idxs.end(), [&](size_t a, size_t b) {
+      if (sessions_[a].start != sessions_[b].start) {
+        return sessions_[a].start > sessions_[b].start;
+      }
+      return a > b;
+    });
+  }
 }
 
 }  // namespace cqms::miner

@@ -2,10 +2,111 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
+#include <unordered_map>
 
 #include "metaquery/similarity.h"
 
 namespace cqms::miner {
+
+namespace {
+
+/// Sorts a single user's ids into submission order: (timestamp, id).
+void SortByTime(const storage::QueryStore& store,
+                std::vector<storage::QueryId>* ids) {
+  std::sort(ids->begin(), ids->end(),
+            [&](storage::QueryId a, storage::QueryId b) {
+              const auto* ra = store.Get(a);
+              const auto* rb = store.Get(b);
+              if (ra->timestamp != rb->timestamp) {
+                return ra->timestamp < rb->timestamp;
+              }
+              return a < b;
+            });
+}
+
+/// The segmentation core shared by the full and incremental paths:
+/// folds `ids` (one user, sorted by (timestamp, id)) into sessions
+/// appended to `staged`. When `carry` is non-null it is moved into
+/// `staged` first and segmentation resumes from its last query — the
+/// tail-extension fast path. Produces exactly what a from-scratch run
+/// over carry-queries + ids would.
+void SegmentUserIds(const storage::QueryStore& store,
+                    const SessionizerOptions& options, const std::string& user,
+                    const std::vector<storage::QueryId>& ids, Session* carry,
+                    std::vector<Session>* staged) {
+  Session* current = nullptr;
+  const storage::QueryRecord* prev = nullptr;
+  if (carry != nullptr && !carry->queries.empty()) {
+    staged->push_back(std::move(*carry));
+    current = &staged->back();
+    prev = store.Get(current->queries.back());
+  }
+  for (storage::QueryId id : ids) {
+    const storage::QueryRecord* rec = store.Get(id);
+    bool cut = current == nullptr;
+    if (!cut && prev != nullptr) {
+      if (rec->timestamp - prev->timestamp > options.max_gap) {
+        cut = true;
+      } else if (!rec->parse_failed() && !prev->parse_failed()) {
+        double dist = metaquery::NormalizedEditDistance(prev->components,
+                                                        rec->components);
+        if (dist > options.max_distance) cut = true;
+      }
+      // Unparsable queries stay in the current session (they are
+      // usually typos of the previous attempt).
+    }
+    if (cut) {
+      Session s;
+      s.user = user;
+      s.start = rec->timestamp;
+      staged->push_back(std::move(s));
+      current = &staged->back();
+      prev = nullptr;
+    }
+    if (prev != nullptr && !prev->parse_failed() && !rec->parse_failed()) {
+      SessionEdge edge;
+      edge.from = prev->id;
+      edge.to = rec->id;
+      edge.diff = sql::DiffQueries(prev->components, rec->components);
+      current->edges.push_back(std::move(edge));
+    } else if (prev != nullptr) {
+      // Parse-failed endpoint: keep an unlabeled edge for continuity.
+      SessionEdge edge;
+      edge.from = prev->id;
+      edge.to = rec->id;
+      current->edges.push_back(std::move(edge));
+    }
+    current->queries.push_back(id);
+    current->end = rec->timestamp;
+    prev = rec;
+  }
+}
+
+/// Renumbers sessions by start time for stable, meaningful ids and
+/// writes every assignment back (SetSession no-ops on unchanged
+/// values, so only real reassignments reach the store's listeners).
+/// The first-query-id tiebreak makes the order — and therefore the
+/// ids — deterministic even when one user cuts two sessions at the
+/// same timestamp, which full and incremental runs must agree on.
+void RenumberAndAssign(storage::QueryStore* store,
+                       std::vector<Session>* sessions) {
+  std::sort(sessions->begin(), sessions->end(),
+            [](const Session& a, const Session& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.user != b.user) return a.user < b.user;
+              return a.queries.front() < b.queries.front();
+            });
+  for (size_t i = 0; i < sessions->size(); ++i) {
+    (*sessions)[i].id = static_cast<storage::SessionId>(i);
+    for (storage::QueryId qid : (*sessions)[i].queries) {
+      Status s = store->SetSession(qid, (*sessions)[i].id);
+      (void)s;  // ids come from the store; cannot fail
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<Session> IdentifySessions(storage::QueryStore* store,
                                       const SessionizerOptions& options) {
@@ -17,77 +118,99 @@ std::vector<Session> IdentifySessions(storage::QueryStore* store,
   }
 
   std::vector<Session> sessions;
-  storage::SessionId next_id = 0;
-
   for (auto& [user, ids] : per_user) {
-    std::sort(ids.begin(), ids.end(),
-              [&](storage::QueryId a, storage::QueryId b) {
-                const auto* ra = store->Get(a);
-                const auto* rb = store->Get(b);
-                if (ra->timestamp != rb->timestamp) {
-                  return ra->timestamp < rb->timestamp;
-                }
-                return a < b;
-              });
-
-    Session* current = nullptr;
-    const storage::QueryRecord* prev = nullptr;
-    for (storage::QueryId id : ids) {
-      const storage::QueryRecord* rec = store->Get(id);
-      bool cut = current == nullptr;
-      if (!cut && prev != nullptr) {
-        if (rec->timestamp - prev->timestamp > options.max_gap) {
-          cut = true;
-        } else if (!rec->parse_failed() && !prev->parse_failed()) {
-          double dist = metaquery::NormalizedEditDistance(prev->components,
-                                                          rec->components);
-          if (dist > options.max_distance) cut = true;
-        }
-        // Unparsable queries stay in the current session (they are
-        // usually typos of the previous attempt).
-      }
-      if (cut) {
-        Session s;
-        s.id = next_id++;
-        s.user = user;
-        s.start = rec->timestamp;
-        sessions.push_back(std::move(s));
-        current = &sessions.back();
-        prev = nullptr;
-      }
-      if (prev != nullptr && !prev->parse_failed() && !rec->parse_failed()) {
-        SessionEdge edge;
-        edge.from = prev->id;
-        edge.to = rec->id;
-        edge.diff = sql::DiffQueries(prev->components, rec->components);
-        current->edges.push_back(std::move(edge));
-      } else if (prev != nullptr) {
-        // Parse-failed endpoint: keep an unlabeled edge for continuity.
-        SessionEdge edge;
-        edge.from = prev->id;
-        edge.to = rec->id;
-        current->edges.push_back(std::move(edge));
-      }
-      current->queries.push_back(id);
-      current->end = rec->timestamp;
-      prev = rec;
-    }
+    SortByTime(*store, &ids);
+    SegmentUserIds(*store, options, user, ids, /*carry=*/nullptr, &sessions);
   }
-
-  // Write assignments back. Sessions were appended per user; renumber by
-  // start time for stable, meaningful ids.
-  std::sort(sessions.begin(), sessions.end(), [](const Session& a, const Session& b) {
-    if (a.start != b.start) return a.start < b.start;
-    return a.user < b.user;
-  });
-  for (size_t i = 0; i < sessions.size(); ++i) {
-    sessions[i].id = static_cast<storage::SessionId>(i);
-    for (storage::QueryId qid : sessions[i].queries) {
-      Status s = store->SetSession(qid, sessions[i].id);
-      (void)s;  // ids come from the store; cannot fail
-    }
-  }
+  RenumberAndAssign(store, &sessions);
   return sessions;
+}
+
+SessionUpdateStats UpdateSessions(storage::QueryStore* store,
+                                  const SessionizerOptions& options,
+                                  std::vector<Session>* sessions,
+                                  const SessionDelta& delta) {
+  SessionUpdateStats stats;
+
+  // Bucket the dirt per user. Appends that were deleted again within
+  // the cycle contribute nothing (their user need not even be touched
+  // unless otherwise dirty — a never-mined record can't sit in any
+  // session).
+  std::map<std::string, std::vector<storage::QueryId>> appends_of;
+  std::set<std::string> dirty_users;
+  for (storage::QueryId id : delta.appended) {
+    const storage::QueryRecord* r = store->Get(id);
+    if (r == nullptr || r->HasFlag(storage::kFlagDeleted)) continue;
+    appends_of[r->user].push_back(id);
+  }
+  for (storage::QueryId id : delta.structurally_dirty) {
+    const storage::QueryRecord* r = store->Get(id);
+    if (r != nullptr) dirty_users.insert(r->user);
+  }
+  if (appends_of.empty() && dirty_users.empty()) return stats;
+
+  // Partition the previous result: sessions of unaffected users carry
+  // over untouched; affected users' sessions are pulled aside (ordered,
+  // so a user's last vector entry is their chronological tail — the
+  // renumber order sorts by start with the first-query-id tiebreak).
+  std::set<std::string> affected = dirty_users;
+  for (const auto& [user, ids] : appends_of) affected.insert(user);
+  std::vector<Session> result;
+  result.reserve(sessions->size() + appends_of.size());
+  std::map<std::string, std::vector<Session>> previous_of;
+  for (Session& s : *sessions) {
+    if (affected.count(s.user) > 0) {
+      previous_of[s.user].push_back(std::move(s));
+    } else {
+      result.push_back(std::move(s));
+    }
+  }
+
+  for (const std::string& user : affected) {
+    std::vector<storage::QueryId> appends;
+    auto ait = appends_of.find(user);
+    if (ait != appends_of.end()) {
+      appends = std::move(ait->second);
+      SortByTime(*store, &appends);
+    }
+    std::vector<Session>* previous = nullptr;
+    auto pit = previous_of.find(user);
+    if (pit != previous_of.end()) previous = &pit->second;
+
+    // Tail extension applies when the user's only dirt is appends that
+    // all land at or after their last mined query in (timestamp, id)
+    // order — new ids are always larger, so a timestamp tie still
+    // sorts after.
+    bool extend = dirty_users.count(user) == 0 && previous != nullptr &&
+                  !previous->empty();
+    if (extend && !appends.empty()) {
+      const Session& tail = previous->back();
+      const storage::QueryRecord* last = store->Get(tail.queries.back());
+      const storage::QueryRecord* first = store->Get(appends.front());
+      if (first->timestamp < last->timestamp) extend = false;
+    }
+
+    if (extend) {
+      ++stats.users_extended;
+      Session tail = std::move(previous->back());
+      previous->pop_back();
+      for (Session& s : *previous) result.push_back(std::move(s));
+      SegmentUserIds(*store, options, user, appends, &tail, &result);
+    } else {
+      ++stats.users_resegmented;
+      std::vector<storage::QueryId> ids;
+      for (storage::QueryId id : store->QueriesByUser(user)) {
+        const storage::QueryRecord* r = store->Get(id);
+        if (!r->HasFlag(storage::kFlagDeleted)) ids.push_back(id);
+      }
+      SortByTime(*store, &ids);
+      SegmentUserIds(*store, options, user, ids, /*carry=*/nullptr, &result);
+    }
+  }
+
+  RenumberAndAssign(store, &result);
+  *sessions = std::move(result);
+  return stats;
 }
 
 }  // namespace cqms::miner

@@ -46,6 +46,39 @@ struct Session {
 std::vector<Session> IdentifySessions(storage::QueryStore* store,
                                       const SessionizerOptions& options = {});
 
+/// The dirty inputs of one incremental session refresh (derived from
+/// the store's ChangeTracker delta).
+struct SessionDelta {
+  /// Newly appended ids. Ids that were deleted again within the cycle
+  /// are filtered out internally.
+  std::vector<storage::QueryId> appended;
+  /// Ids whose record changed in a way that can move session cuts:
+  /// rewrites (components changed), deletions, undeletions, external
+  /// session reassignments. Their *users* are re-segmented from
+  /// scratch.
+  std::vector<storage::QueryId> structurally_dirty;
+};
+
+struct SessionUpdateStats {
+  size_t users_extended = 0;     ///< Tail-resumed (appends only).
+  size_t users_resegmented = 0;  ///< Fully re-segmented.
+};
+
+/// Incremental counterpart of IdentifySessions: updates `sessions` (a
+/// previous full or incremental result over the same store) to what
+/// IdentifySessions would produce on the store's current state —
+/// bit-identically — touching only affected users. Users whose dirt is
+/// purely in-(time)-order appends resume from their tail session, so
+/// the per-pair diff/similarity work is O(appends); users with
+/// structural dirt (or out-of-order appends) are re-segmented from
+/// scratch; everyone else's sessions are untouched. Session ids are
+/// renumbered globally by start time (as in IdentifySessions) and
+/// assignments written back through the store.
+SessionUpdateStats UpdateSessions(storage::QueryStore* store,
+                                  const SessionizerOptions& options,
+                                  std::vector<Session>* sessions,
+                                  const SessionDelta& delta);
+
 }  // namespace cqms::miner
 
 #endif  // CQMS_MINER_SESSIONIZER_H_

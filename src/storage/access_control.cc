@@ -1,5 +1,7 @@
 #include "storage/access_control.h"
 
+#include <algorithm>
+
 namespace cqms::storage {
 
 void AccessControl::AddUser(const std::string& user,
@@ -21,7 +23,20 @@ void AccessControl::AddUser(const std::string& user,
   auto& set = memberships_[user];
   for (const std::string& g : groups) set.insert(g);
   ++epoch_;
-  if (listener_ != nullptr) listener_->OnAclAddUser(user, groups);
+  for (StoreListener* l : listeners_) l->OnAclAddUser(user, groups);
+}
+
+void AccessControl::AddListener(StoreListener* listener) {
+  if (listener == nullptr) return;
+  if (std::find(listeners_.begin(), listeners_.end(), listener) ==
+      listeners_.end()) {
+    listeners_.push_back(listener);
+  }
+}
+
+void AccessControl::RemoveListener(StoreListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
 }
 
 const std::set<std::string>& AccessControl::GroupsOf(const std::string& user) const {
@@ -50,7 +65,7 @@ Status AccessControl::SetVisibility(QueryId id, const std::string& owner,
   }
   visibility_[id] = visibility;
   ++epoch_;
-  if (listener_ != nullptr) listener_->OnAclSetVisibility(id, visibility);
+  for (StoreListener* l : listeners_) l->OnAclSetVisibility(id, visibility);
   return Status::Ok();
 }
 

@@ -63,15 +63,17 @@ class AccessControl {
   /// caching never outlives an ACL change.
   uint64_t epoch() const { return epoch_; }
 
-  /// Mutation observer (the write-ahead log); null disables. Set by
-  /// QueryStore::SetListener so one call covers store and ACL.
-  void SetListener(StoreListener* listener) { listener_ = listener; }
+  /// Registers / detaches a mutation observer. Managed by
+  /// QueryStore::AddListener/RemoveListener so one call covers store
+  /// and ACL; double registration is a no-op.
+  void AddListener(StoreListener* listener);
+  void RemoveListener(StoreListener* listener);
 
  private:
   std::map<std::string, std::set<std::string>> memberships_;
   std::map<QueryId, Visibility> visibility_;
   uint64_t epoch_ = 0;
-  StoreListener* listener_ = nullptr;
+  std::vector<StoreListener*> listeners_;
   std::set<std::string> empty_;
 };
 

@@ -1,0 +1,89 @@
+#include "storage/change_tracker.h"
+
+#include "common/sorted_vector.h"
+#include "storage/query_store.h"
+
+namespace cqms::storage {
+
+ChangeTracker::~ChangeTracker() { Detach(); }
+
+void ChangeTracker::Attach(QueryStore* store) {
+  Detach();
+  store_ = store;
+  if (store_ != nullptr) store_->AddListener(this);
+}
+
+void ChangeTracker::Detach() {
+  if (store_ != nullptr) store_->RemoveListener(this);
+  store_ = nullptr;
+}
+
+ChangeDelta ChangeTracker::Drain() {
+  ChangeDelta out = std::move(pending_);
+  pending_ = ChangeDelta{};
+  return out;
+}
+
+void ChangeTracker::OnAppend(const QueryRecord& record) {
+  if (Suppressed()) return;
+  // Ids are assigned monotonically, so plain push_back keeps the set
+  // sorted and duplicate-free.
+  pending_.appended.push_back(record.id);
+}
+
+void ChangeTracker::OnRewrite(QueryId id, const std::string& new_text) {
+  (void)new_text;
+  if (Suppressed()) return;
+  InsertSorted(&pending_.rewritten, id);
+}
+
+void ChangeTracker::OnAnnotate(QueryId id, const Annotation& annotation) {
+  // Annotations feed no mining pass.
+  (void)id;
+  (void)annotation;
+}
+
+void ChangeTracker::OnFlagChange(QueryId id, QueryFlags flag, bool set) {
+  if (Suppressed() || flag != kFlagDeleted) return;
+  if (set) {
+    InsertSorted(&pending_.deleted, id);
+  } else {
+    InsertSorted(&pending_.undeleted, id);
+  }
+}
+
+void ChangeTracker::OnSetSession(QueryId id, SessionId session) {
+  (void)session;
+  if (Suppressed()) return;
+  InsertSorted(&pending_.session_reassigned, id);
+}
+
+void ChangeTracker::OnSetQuality(QueryId id, double quality) {
+  // Quality feeds ranking, not mining.
+  (void)id;
+  (void)quality;
+}
+
+void ChangeTracker::OnDelete(QueryId id) {
+  if (Suppressed()) return;
+  InsertSorted(&pending_.deleted, id);
+}
+
+void ChangeTracker::OnSyncOutputSignature(QueryId id) {
+  if (Suppressed()) return;
+  InsertSorted(&pending_.output_synced, id);
+}
+
+void ChangeTracker::OnAclAddUser(const std::string& user,
+                                 const std::vector<std::string>& groups) {
+  // Mining reads the raw log; ACL applies at meta-query time.
+  (void)user;
+  (void)groups;
+}
+
+void ChangeTracker::OnAclSetVisibility(QueryId id, Visibility visibility) {
+  (void)id;
+  (void)visibility;
+}
+
+}  // namespace cqms::storage

@@ -74,7 +74,7 @@ DurableStore::DurableStore(QueryStore* store, std::string dir,
       options_(options) {}
 
 DurableStore::~DurableStore() {
-  if (open_) store_->SetListener(nullptr);
+  if (open_) store_->RemoveListener(this);
 }
 
 Status DurableStore::Open() {
@@ -103,7 +103,7 @@ Status DurableStore::Open() {
     CQMS_RETURN_IF_ERROR(TruncateFile(wal_path_, replay_stats_.bytes_valid));
   }
   CQMS_RETURN_IF_ERROR(wal_.Open(wal_path_, options_.fsync_each_record));
-  store_->SetListener(this);
+  store_->AddListener(this);
   open_ = true;
   return Status::Ok();
 }

@@ -48,6 +48,21 @@ QueryStore::QueryStore(LshParams lsh_params) : lsh_(lsh_params) {
   predicates_table_ = feature_db_.GetMutableTable("Predicates");
 }
 
+void QueryStore::AddListener(StoreListener* listener) {
+  if (listener == nullptr) return;
+  if (std::find(listeners_.begin(), listeners_.end(), listener) ==
+      listeners_.end()) {
+    listeners_.push_back(listener);
+  }
+  acl_.AddListener(listener);
+}
+
+void QueryStore::RemoveListener(StoreListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+  acl_.RemoveListener(listener);
+}
+
 uint32_t QueryStore::PopularitySlotFor(const QueryRecord& record) {
   if (record.parse_failed()) return ScoringColumns::kNoPopularitySlot;
   auto [it, inserted] = pop_slot_of_.try_emplace(record.fingerprint, 0);
@@ -76,7 +91,7 @@ QueryId QueryStore::Append(QueryRecord record) {
     ComputeSimilaritySignature(&record);
   }
   QueryId id = FinishAppend(std::move(record));
-  if (listener_ != nullptr) listener_->OnAppend(records_.back());
+  for (StoreListener* l : listeners_) l->OnAppend(records_.back());
   return id;
 }
 
@@ -347,7 +362,7 @@ Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
   if (slot != ScoringColumns::kNoPopularitySlot) scoring_.AddSlotRef(slot);
   scoring_.RewriteRecord(*r, slot);
   if (!feature_rows_lazy_) InsertFeatureRows(*r);
-  if (listener_ != nullptr) listener_->OnRewrite(id, r->text);
+  for (StoreListener* l : listeners_) l->OnRewrite(id, r->text);
   return Status::Ok();
 }
 
@@ -355,7 +370,7 @@ Status QueryStore::Annotate(QueryId id, Annotation annotation) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
   r->annotations.push_back(std::move(annotation));
-  if (listener_ != nullptr) listener_->OnAnnotate(id, r->annotations.back());
+  for (StoreListener* l : listeners_) l->OnAnnotate(id, r->annotations.back());
   return Status::Ok();
 }
 
@@ -371,7 +386,7 @@ Status QueryStore::AddFlag(QueryId id, QueryFlags flag) {
   if ((r->flags & flag) == static_cast<uint32_t>(flag)) return Status::Ok();
   r->flags |= flag;
   scoring_.SetFlags(id, r->flags);
-  if (listener_ != nullptr) listener_->OnFlagChange(id, flag, /*set=*/true);
+  for (StoreListener* l : listeners_) l->OnFlagChange(id, flag, /*set=*/true);
   return Status::Ok();
 }
 
@@ -381,7 +396,7 @@ Status QueryStore::ClearFlag(QueryId id, QueryFlags flag) {
   if ((r->flags & flag) == 0) return Status::Ok();
   r->flags &= ~static_cast<uint32_t>(flag);
   scoring_.SetFlags(id, r->flags);
-  if (listener_ != nullptr) listener_->OnFlagChange(id, flag, /*set=*/false);
+  for (StoreListener* l : listeners_) l->OnFlagChange(id, flag, /*set=*/false);
   return Status::Ok();
 }
 
@@ -390,7 +405,7 @@ Status QueryStore::SetSession(QueryId id, SessionId session) {
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
   if (r->session_id == session) return Status::Ok();
   r->session_id = session;
-  if (listener_ != nullptr) listener_->OnSetSession(id, session);
+  for (StoreListener* l : listeners_) l->OnSetSession(id, session);
   return Status::Ok();
 }
 
@@ -401,7 +416,7 @@ Status QueryStore::SetQuality(QueryId id, double quality) {
   if (r->quality == clamped) return Status::Ok();
   r->quality = clamped;
   scoring_.SetQuality(id, r->quality);
-  if (listener_ != nullptr) listener_->OnSetQuality(id, r->quality);
+  for (StoreListener* l : listeners_) l->OnSetQuality(id, r->quality);
   return Status::Ok();
 }
 
@@ -409,7 +424,13 @@ Status QueryStore::SyncOutputSignature(QueryId id) {
   QueryRecord* r = GetMutable(id);
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
   UpdateOutputSignature(r);
-  scoring_.SyncOutput(*r);
+  // A stats refresh usually re-executes to the same output; firing the
+  // change feed for a no-op sync would needlessly invalidate the
+  // miner's distance cache for exactly the popular, window-resident
+  // records maintenance refreshes most often.
+  if (scoring_.SyncOutput(*r)) {
+    for (StoreListener* l : listeners_) l->OnSyncOutputSignature(id);
+  }
   return Status::Ok();
 }
 
@@ -434,7 +455,7 @@ Status QueryStore::Delete(QueryId id, const std::string& requester, bool is_admi
   if (r->HasFlag(kFlagDeleted)) return Status::Ok();
   r->flags |= kFlagDeleted;
   scoring_.SetFlags(id, r->flags);
-  if (listener_ != nullptr) listener_->OnDelete(id);
+  for (StoreListener* l : listeners_) l->OnDelete(id);
   return Status::Ok();
 }
 

@@ -64,13 +64,15 @@ class QueryStore {
   /// consistent (LoadSnapshot's CRC framing).
   QueryId RestoreAppend(QueryRecord record);
 
-  /// Mutation observer (the write-ahead log). One registration covers
-  /// the store and its AccessControl; null detaches. The listener fires
-  /// after each successful durable mutation — see StoreListener.
-  void SetListener(StoreListener* listener) {
-    listener_ = listener;
-    acl_.SetListener(listener);
-  }
+  /// Registers a mutation observer (the write-ahead log, the miner's
+  /// ChangeTracker). One registration covers the store and its
+  /// AccessControl. Listeners fire after each successful durable
+  /// mutation, in registration order — see StoreListener. Registering
+  /// the same listener twice is a no-op.
+  void AddListener(StoreListener* listener);
+
+  /// Detaches a previously registered listener (no-op when absent).
+  void RemoveListener(StoreListener* listener);
 
   const QueryRecord* Get(QueryId id) const;
   QueryRecord* GetMutable(QueryId id);
@@ -143,6 +145,13 @@ class QueryStore {
   /// text), maintained through every mutation path. The meta-query
   /// scoring loop reads candidates from here instead of the record deque.
   const ScoringColumns& scoring() const { return scoring_; }
+
+  /// Rebuilds the scoring-column arenas, dropping the garbage orphaned
+  /// by rewrites and output refreshes; returns bytes reclaimed. Spans
+  /// and string_views previously handed out by scoring() are
+  /// invalidated (like a rehash). Maintenance invokes this when
+  /// arena_garbage() crosses its threshold.
+  size_t CompactScoringArenas() { return scoring_.Compact(); }
 
   // --- record mutation -------------------------------------------------------
 
@@ -249,7 +258,9 @@ class QueryStore {
   std::unordered_map<uint64_t, uint32_t> pop_slot_of_;
   LshIndex lsh_;
   ScoringColumns scoring_;
-  StoreListener* listener_ = nullptr;
+  /// Registration-ordered; tiny (the WAL plus the miner's tracker), so
+  /// a vector scan beats any indexed structure.
+  std::vector<StoreListener*> listeners_;
   std::vector<QueryId> empty_;
 };
 

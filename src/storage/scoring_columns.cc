@@ -93,7 +93,7 @@ void ScoringColumns::RewriteRecord(const QueryRecord& record,
   sig_[idx] = PackRecord(record);
 }
 
-void ScoringColumns::SyncOutput(const QueryRecord& record) {
+bool ScoringColumns::SyncOutput(const QueryRecord& record) {
   size_t idx = static_cast<size_t>(record.id);
   SignatureRef& ref = sig_[idx];
   const SimilaritySignature& sig = record.signature;
@@ -110,11 +110,57 @@ void ScoringColumns::SyncOutput(const QueryRecord& record) {
     out_arena_.insert(out_arena_.end(), sig.output_rows.begin(),
                       sig.output_rows.end());
   }
+  const uint8_t old_bits = ref.bits;
   if (sig.output_empty_computed) {
     ref.bits |= kSigOutputEmptyComputed;
   } else {
     ref.bits &= static_cast<uint8_t>(~kSigOutputEmptyComputed);
   }
+  return !unchanged || ref.bits != old_bits;
+}
+
+size_t ScoringColumns::Compact() {
+  // Size the fresh arenas exactly: one pass summing the live runs, one
+  // pass copying them. Directory entries are rewritten in id order, so
+  // the compacted arenas are also append-ordered again.
+  size_t live_syms = 0, live_out = 0, live_text = 0;
+  for (const SignatureRef& ref : sig_) {
+    live_syms += static_cast<size_t>(ref.n_tables) + ref.n_skeletons +
+                 ref.n_attributes + ref.n_projections + ref.n_tokens;
+    live_out += ref.n_output;
+    live_text += ref.text_len;
+  }
+  const size_t reclaimed =
+      sizeof(Symbol) * (sym_arena_.size() - live_syms) +
+      sizeof(uint64_t) * (out_arena_.size() - live_out) +
+      (text_arena_.size() - live_text);
+
+  std::vector<Symbol> new_sym;
+  new_sym.reserve(live_syms);
+  std::vector<uint64_t> new_out;
+  new_out.reserve(live_out);
+  std::string new_text;
+  new_text.reserve(live_text);
+  for (SignatureRef& ref : sig_) {
+    const size_t n_syms = static_cast<size_t>(ref.n_tables) + ref.n_skeletons +
+                          ref.n_attributes + ref.n_projections + ref.n_tokens;
+    const uint32_t begin = static_cast<uint32_t>(new_sym.size());
+    new_sym.insert(new_sym.end(), sym_arena_.begin() + ref.begin,
+                   sym_arena_.begin() + ref.begin + n_syms);
+    ref.begin = begin;
+    const uint32_t out_begin = static_cast<uint32_t>(new_out.size());
+    new_out.insert(new_out.end(), out_arena_.begin() + ref.out_begin,
+                   out_arena_.begin() + ref.out_begin + ref.n_output);
+    ref.out_begin = out_begin;
+    const uint32_t text_begin = static_cast<uint32_t>(new_text.size());
+    new_text.append(text_arena_, ref.text_begin, ref.text_len);
+    ref.text_begin = text_begin;
+  }
+  sym_arena_ = std::move(new_sym);
+  out_arena_ = std::move(new_out);
+  text_arena_ = std::move(new_text);
+  arena_garbage_ = 0;
+  return reclaimed;
 }
 
 uint32_t ScoringColumns::NewPopularitySlot() {

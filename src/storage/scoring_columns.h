@@ -94,8 +94,11 @@ class ScoringColumns {
   void RewriteRecord(const QueryRecord& record, uint32_t pop_slot);
 
   /// Refreshes only the output-derived signature section after a summary
-  /// replacement (maintenance stats refresh).
-  void SyncOutput(const QueryRecord& record);
+  /// replacement (maintenance stats refresh). Returns whether anything
+  /// actually changed (hash run or the empty-computed bit) — a stats
+  /// refresh usually re-executes to the same output, and callers use
+  /// this to skip change-feed notifications for no-op syncs.
+  bool SyncOutput(const QueryRecord& record);
 
   void SetFlags(QueryId id, uint32_t flags) {
     flags_[static_cast<size_t>(id)] = flags;
@@ -177,9 +180,17 @@ class ScoringColumns {
   bool TokenPresent(QueryId id, Symbol token) const;
 
   /// Dead arena bytes (Symbol runs, output hashes and lowered text)
-  /// orphaned by rewrites and output refreshes — the signal for adding
-  /// compaction should repair-heavy workloads make it worthwhile.
+  /// orphaned by rewrites and output refreshes — the signal the
+  /// maintenance pass compares against its compaction threshold.
   size_t arena_garbage() const { return arena_garbage_; }
+
+  /// Rebuilds the three arenas in id order, dropping every orphaned
+  /// run, and resets arena_garbage() to zero. Returns the bytes
+  /// reclaimed. Invalidates any outstanding SymbolSpan/HashSpan/
+  /// string_view handed out by the accessors (like a rehash); callers
+  /// hold none across mutations, so maintenance runs this safely
+  /// between queries.
+  size_t Compact();
 
  private:
   /// Appends signature runs + lowered text at the arena tails and

@@ -14,7 +14,10 @@ enum class Visibility;
 /// AccessControl). The write-ahead log subscribes through this interface
 /// so existing call sites — the profiler's Append, the maintenance
 /// pass's repairs and flags, the facade's ACL administration — become
-/// durable without rerouting a single caller.
+/// durable without rerouting a single caller. The incremental mining
+/// engine's ChangeTracker subscribes through the same interface to
+/// accumulate per-cycle dirty sets; a store carries any number of
+/// listeners (see QueryStore::AddListener).
 ///
 /// Callbacks fire synchronously, after the mutation has been applied
 /// and only when it succeeded. In-place edits through GetMutable()
@@ -39,6 +42,15 @@ class StoreListener {
   virtual void OnAclAddUser(const std::string& user,
                             const std::vector<std::string>& groups) = 0;
   virtual void OnAclSetVisibility(QueryId id, Visibility visibility) = 0;
+
+  /// The record's output-derived signature section was recomputed
+  /// (QueryStore::SyncOutputSignature after a maintenance stats
+  /// refresh). Defaulted to a no-op: the WAL deliberately ignores it —
+  /// refreshed stats are refreshable state the next checkpoint snapshot
+  /// captures wholesale — but similarity-derived caches (the miner's
+  /// DistanceCache) must invalidate, since output rows feed
+  /// CombinedSimilarity.
+  virtual void OnSyncOutputSignature(QueryId id) { (void)id; }
 };
 
 }  // namespace cqms::storage

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "maintain/query_maintenance.h"
 #include "sql/parser.h"
 #include "test_util.h"
@@ -258,6 +259,55 @@ TEST(QualityTest, UpdateAllWritesBack) {
   for (const auto& r : h.store.records()) {
     EXPECT_GT(r.quality, 0.0);
     EXPECT_LE(r.quality, 1.0);
+  }
+}
+
+TEST(MaintenanceTest, RunAllCompactsScoringArenasPastThreshold) {
+  Harness h;
+  std::vector<QueryId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(h.Log("u", "SELECT lake, temp FROM WaterTemp WHERE temp < " +
+                                 std::to_string(i)));
+  }
+  // Churn rewrites to orphan arena runs.
+  for (int round = 0; round < 3; ++round) {
+    for (QueryId id : ids) {
+      ASSERT_TRUE(h.store
+                      .RewriteQueryText(
+                          id, "SELECT * FROM WaterSalinity WHERE salinity < " +
+                                  std::to_string(round * 10 + id))
+                      .ok());
+    }
+  }
+  const size_t garbage = h.store.scoring().arena_garbage();
+  ASSERT_GT(garbage, 0u);
+
+  // Below threshold: nothing happens.
+  MaintenanceOptions high;
+  high.compact_arena_min_garbage = garbage + 1;
+  MaintenanceReport untouched =
+      QueryMaintenance(&h.database, &h.store, &h.clock, high).RunAll();
+  EXPECT_EQ(untouched.arena_bytes_compacted, 0u);
+  EXPECT_EQ(untouched.arena_garbage_bytes, h.store.scoring().arena_garbage());
+
+  // At threshold: reclaimed exactly, garbage resets, columns coherent.
+  MaintenanceOptions low;
+  low.compact_arena_min_garbage = 1;
+  const size_t garbage_before = h.store.scoring().arena_garbage();
+  MaintenanceReport compacted =
+      QueryMaintenance(&h.database, &h.store, &h.clock, low).RunAll();
+  EXPECT_EQ(compacted.arena_bytes_compacted, garbage_before);
+  EXPECT_EQ(compacted.arena_garbage_bytes, 0u);
+  EXPECT_EQ(h.store.scoring().arena_garbage(), 0u);
+  for (QueryId id : ids) {
+    const storage::QueryRecord* r = h.store.Get(id);
+    EXPECT_EQ(std::string(h.store.scoring().lowered_text(id)),
+              ToLower(r->text));
+    auto tables = h.store.scoring().tables(id);
+    ASSERT_EQ(tables.size, r->signature.tables.size());
+    for (size_t t = 0; t < tables.size; ++t) {
+      EXPECT_EQ(tables.data[t], r->signature.tables[t]);
+    }
   }
 }
 

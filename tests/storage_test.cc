@@ -326,6 +326,62 @@ TEST(PersistenceTest, LoadRejectsNonEmptyStoreAndBadFiles) {
   EXPECT_EQ(LoadSnapshot(&empty, "/nonexistent/x").code(), StatusCode::kIoError);
 }
 
+TEST(QueryStoreTest, CompactScoringArenasPreservesEveryRow) {
+  Harness h;
+  std::vector<storage::QueryId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(h.Log("alice", "SELECT lake, temp FROM WaterTemp WHERE temp < " +
+                                     std::to_string(i)));
+  }
+  ASSERT_TRUE(h.store
+                  .RewriteQueryText(ids[1],
+                                    "SELECT city FROM CityLocations WHERE pop > 10")
+                  .ok());
+  ASSERT_TRUE(h.store
+                  .RewriteQueryText(ids[3],
+                                    "SELECT * FROM WaterSalinity WHERE salinity < 4")
+                  .ok());
+  const size_t garbage = h.store.scoring().arena_garbage();
+  ASSERT_GT(garbage, 0u);
+
+  // Snapshot every span before compaction...
+  struct Row {
+    std::vector<Symbol> tables, tokens;
+    std::vector<uint64_t> output;
+    std::string text;
+  };
+  std::vector<Row> before;
+  for (storage::QueryId id : ids) {
+    Row row;
+    auto t = h.store.scoring().tables(id);
+    row.tables.assign(t.data, t.data + t.size);
+    auto k = h.store.scoring().tokens(id);
+    row.tokens.assign(k.data, k.data + k.size);
+    auto o = h.store.scoring().output_rows(id);
+    row.output.assign(o.data, o.data + o.size);
+    row.text = std::string(h.store.scoring().lowered_text(id));
+    before.push_back(std::move(row));
+  }
+
+  // ...compact reclaims exactly the reported garbage...
+  EXPECT_EQ(h.store.CompactScoringArenas(), garbage);
+  EXPECT_EQ(h.store.scoring().arena_garbage(), 0u);
+
+  // ...and every row reads back identically.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    storage::QueryId id = ids[i];
+    auto t = h.store.scoring().tables(id);
+    EXPECT_EQ(std::vector<Symbol>(t.data, t.data + t.size), before[i].tables);
+    auto k = h.store.scoring().tokens(id);
+    EXPECT_EQ(std::vector<Symbol>(k.data, k.data + k.size), before[i].tokens);
+    auto o = h.store.scoring().output_rows(id);
+    EXPECT_EQ(std::vector<uint64_t>(o.data, o.data + o.size), before[i].output);
+    EXPECT_EQ(std::string(h.store.scoring().lowered_text(id)), before[i].text);
+  }
+  // Compacting a clean store is a no-op.
+  EXPECT_EQ(h.store.CompactScoringArenas(), 0u);
+}
+
 TEST(ProfilerIntegrationTest, ProfilerPopulatesStore) {
   Harness h;
   storage::QueryId id =
