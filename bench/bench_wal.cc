@@ -1,0 +1,73 @@
+// WAL write-path throughput: the per-mutation overhead durability adds
+// to every logged query. The Env seam sits on this path, so these
+// benches are the regression gate for it — appends route through
+// Env::Default()'s WritableFile exactly as production does.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/fault_env.h"
+#include "storage/wal.h"
+
+namespace cqms {
+namespace {
+
+/// Framed appends to a real file. fsync=0 is the default deployment
+/// mode (flush-per-record: survives a process crash); fsync=1 adds the
+/// per-record fsync(2) power-loss mode and is dominated by the disk.
+void BM_WalAppend(benchmark::State& state) {
+  const bool fsync_each_record = state.range(0) != 0;
+  const std::string path = "/tmp/cqms_bench_wal.log";
+  std::remove(path.c_str());
+  storage::WalWriter writer;
+  Status open = writer.Open(path, fsync_each_record);
+  if (!open.ok()) {
+    state.SkipWithError("WAL open failed");
+    return;
+  }
+  const std::string payload(256, 'q');
+  for (auto _ : state) {
+    Status s = writer.Append(payload);
+    if (!s.ok()) {
+      state.SkipWithError("WAL append failed");
+      break;
+    }
+  }
+  writer.Close();
+  std::remove(path.c_str());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->ArgNames({"fsync"});
+
+/// The same appends against the in-memory FaultInjectingEnv — the cost
+/// of a crash-loop iteration's logging, and an upper bound on the
+/// fault-point bookkeeping (op counting + trace) the env adds.
+void BM_WalAppendFaultEnv(benchmark::State& state) {
+  storage::FaultInjectingEnv env;
+  Status mk = env.CreateDirIfMissing("/db");
+  storage::WalWriter writer;
+  Status open = writer.Open("/db/wal.log", /*fsync_each_record=*/true, &env);
+  if (!mk.ok() || !open.ok()) {
+    state.SkipWithError("WAL open failed");
+    return;
+  }
+  const std::string payload(256, 'q');
+  for (auto _ : state) {
+    Status s = writer.Append(payload);
+    if (!s.ok()) {
+      state.SkipWithError("WAL append failed");
+      break;
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_WalAppendFaultEnv);
+
+}  // namespace
+}  // namespace cqms
+
+BENCHMARK_MAIN();

@@ -24,6 +24,8 @@ enum class StatusCode {
   kUnsupported = 8,       ///< Feature intentionally not implemented.
   kIoError = 9,           ///< Persistence layer failure.
   kInternal = 10,         ///< Invariant violation; indicates a bug.
+  kCorruption = 11,       ///< Stored bytes fail validation (CRC, framing).
+  kResourceExhausted = 12,  ///< Out of a finite resource (disk space).
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -73,6 +75,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -172,6 +172,10 @@ class Cqms {
   /// the store may be left *partially* populated — discard this Cqms
   /// instance rather than continuing to serve from it; nothing it logs
   /// afterwards would be durable.
+  ///
+  /// All I/O goes through `options.env` (null = the real POSIX
+  /// filesystem); tests inject a storage::FaultInjectingEnv there to
+  /// exercise crash and error paths deterministically.
   Status EnableDurability(const std::string& dir,
                           storage::DurabilityOptions options = {});
 

@@ -183,6 +183,11 @@ MaintenanceReport QueryMaintenance::RunAll() {
   report.arena_garbage_bytes = store_->scoring().arena_garbage();
   if (durable_ != nullptr) {
     report.checkpoint_status = durable_->MaybeCheckpoint(&report.checkpointed);
+    report.durable_read_only = durable_->read_only();
+    report.checkpoint_failure_streak = durable_->checkpoint_failure_streak();
+    report.checkpoint_backoff_remaining =
+        durable_->checkpoint_backoff_remaining();
+    report.checkpoints_backed_off = durable_->checkpoints_backed_off();
   }
   return report;
 }

@@ -56,6 +56,18 @@ struct MaintenanceReport {
   /// — operators must watch it, since a skipped checkpoint is
   /// otherwise indistinguishable from a below-threshold one.
   Status checkpoint_status;
+  /// Durability health after the run (all zero/false without an
+  /// attached DurableStore). `durable_read_only` means a WAL error is
+  /// latched: mutations apply in memory but are not durable until a
+  /// checkpoint succeeds — on a full disk (kResourceExhausted) this is
+  /// the degraded-but-serving mode that heals itself once space
+  /// returns. The failure streak and backoff counters expose the
+  /// checkpoint retry pacing (capped exponential skip; see
+  /// DurabilityOptions::checkpoint_backoff_cap).
+  bool durable_read_only = false;
+  uint32_t checkpoint_failure_streak = 0;
+  uint64_t checkpoint_backoff_remaining = 0;
+  uint64_t checkpoints_backed_off = 0;
   std::vector<storage::QueryId> broken_ids;
   std::vector<storage::QueryId> repaired_ids;
 };

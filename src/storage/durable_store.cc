@@ -1,66 +1,21 @@
 #include "storage/durable_store.h"
 
 #include <algorithm>
-#include <fstream>
+#include <memory>
 
 #include "common/binary_codec.h"
 #include "storage/persistence.h"
 #include "storage/snapshot_v2.h"
 
-#ifdef __unix__
-#include <sys/stat.h>
-#include <sys/types.h>
-#include <unistd.h>
-#endif
-
 namespace cqms::storage {
 
 namespace {
 
-bool FileExists(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  return f.good();
-}
-
-Status EnsureDirectory(const std::string& dir) {
-#ifdef __unix__
-  struct stat st;
-  if (::stat(dir.c_str(), &st) == 0) {
-    return S_ISDIR(st.st_mode)
-               ? Status::Ok()
-               : Status::IoError("not a directory: " + dir);
-  }
-  if (::mkdir(dir.c_str(), 0755) != 0) {
-    return Status::IoError("cannot create directory: " + dir);
-  }
-  return Status::Ok();
-#else
-  (void)dir;
-  return Status::Ok();
-#endif
-}
-
-Status TruncateFile(const std::string& path, uint64_t size) {
-#ifdef __unix__
-  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
-    return Status::IoError("cannot truncate: " + path);
-  }
-  return Status::Ok();
-#else
-  // Portable fallback: rewrite the valid prefix.
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open: " + path);
-  std::string data(size, '\0');
-  in.read(data.data(), static_cast<std::streamsize>(size));
-  if (in.gcount() != static_cast<std::streamsize>(size)) {
-    return Status::IoError("cannot read valid prefix: " + path);
-  }
-  in.close();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(data.data(), static_cast<std::streamsize>(size));
-  return out.good() ? Status::Ok()
-                    : Status::IoError("cannot rewrite: " + path);
-#endif
+/// Corruption of a snapshot generation is recoverable when the previous
+/// one survives; everything else (including a plain missing file) has
+/// its own handling.
+bool IsCorruption(const Status& s) {
+  return s.code() == StatusCode::kCorruption;
 }
 
 }  // namespace
@@ -71,10 +26,26 @@ DurableStore::DurableStore(QueryStore* store, std::string dir,
       dir_(std::move(dir)),
       snapshot_path_(dir_ + "/snapshot.cqms"),
       wal_path_(dir_ + "/wal.log"),
-      options_(options) {}
+      prev_snapshot_path_(dir_ + "/snapshot.cqms.1"),
+      prev_wal_path_(dir_ + "/wal.log.1"),
+      options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {}
 
 DurableStore::~DurableStore() {
   if (open_) store_->RemoveListener(this);
+}
+
+void DurableStore::SweepStaleTmpFiles() {
+  // A crash between a tmp write and its rename strands `*.tmp` files;
+  // they are never read, only republished, so removal is always safe.
+  // Best effort: a failure to sweep must not block recovery.
+  std::vector<std::string> names;
+  if (!env_->ListDir(dir_, &names).ok()) return;
+  for (const std::string& name : names) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      (void)env_->RemoveFile(dir_ + "/" + name);
+    }
+  }
 }
 
 Status DurableStore::Open() {
@@ -88,24 +59,109 @@ Status DurableStore::Open() {
         "durable recovery requires a pristine store (no records, no ACL "
         "mutations)");
   }
-  CQMS_RETURN_IF_ERROR(EnsureDirectory(dir_));
+  CQMS_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));
+  SweepStaleTmpFiles();
+
+  // Pick the snapshot generation to restore from. The newest one is
+  // CRC-verified first (v2 only — a v1 text snapshot predates both the
+  // framing and the retention scheme) so a torn or bit-rotted file
+  // routes to the previous generation instead of failing the load.
+  recovered_from_fallback_ = false;
   uint64_t snapshot_sequence = 0;
-  if (FileExists(snapshot_path_)) {
-    CQMS_RETURN_IF_ERROR(
-        LoadSnapshot(store_, snapshot_path_, &snapshot_sequence));
+  const bool primary_exists = env_->FileExists(snapshot_path_);
+  const bool prev_exists = env_->FileExists(prev_snapshot_path_);
+  bool use_fallback = false;
+  if (primary_exists) {
+    Status verify = VerifySnapshotV2(snapshot_path_, env_);
+    if (IsCorruption(verify)) {
+      // "bad magic" also covers legacy v1 text snapshots, which have
+      // no CRC framing to verify — those go straight to LoadSnapshot.
+      // Anything else (broken v2 image, or garbage that is neither
+      // format — e.g. bit rot inside the magic itself) routes to the
+      // previous generation when one exists.
+      std::string head;
+      std::unique_ptr<RandomAccessFile> probe;
+      Status ps = env_->NewRandomAccessFile(snapshot_path_, &probe);
+      if (ps.ok()) ps = probe->Read(0, kSnapshotV2Magic.size(), &head);
+      const bool is_v1_text = ps.ok() && head == "CQMS-SNA";
+      if (!is_v1_text) {
+        if (prev_exists) {
+          use_fallback = true;
+        } else {
+          return verify;  // corrupt and nothing to fall back to
+        }
+      }
+    }
+  } else if (prev_exists) {
+    // A crash between the checkpoint's two renames leaves no primary
+    // but a good previous generation plus a complete WAL.
+    use_fallback = true;
   }
+
+  if (use_fallback) {
+    Status s = LoadSnapshot(store_, prev_snapshot_path_, &snapshot_sequence,
+                            env_);
+    if (!s.ok()) {
+      return Status(s.code(), "both snapshot generations unusable: " +
+                                  s.message());
+    }
+    recovered_from_fallback_ = true;
+  } else if (primary_exists) {
+    CQMS_RETURN_IF_ERROR(
+        LoadSnapshot(store_, snapshot_path_, &snapshot_sequence, env_));
+  }
+
+  // Replay the retired log first, then the active one. With a healthy
+  // primary snapshot every retired frame is covered by its stamp and
+  // skipped; after a fallback (or a crash mid-rotation) the retired
+  // log carries the mutations between the two generations. Sequence
+  // stamps are monotonic across checkpoints, so replaying both is
+  // idempotent either way.
+  WalReplayStats prev_stats;
+  CQMS_RETURN_IF_ERROR(ReplayWal(prev_wal_path_, store_, &prev_stats,
+                                 snapshot_sequence, env_));
+  uint64_t min_sequence = std::max(snapshot_sequence, prev_stats.max_sequence);
   CQMS_RETURN_IF_ERROR(
-      ReplayWal(wal_path_, store_, &replay_stats_, snapshot_sequence));
-  replayed_records_ = replay_stats_.records_applied;
-  last_sequence_ = std::max(snapshot_sequence, replay_stats_.max_sequence);
+      ReplayWal(wal_path_, store_, &replay_stats_, min_sequence, env_));
+  replayed_records_ =
+      prev_stats.records_applied + replay_stats_.records_applied;
+  last_sequence_ = std::max(min_sequence, replay_stats_.max_sequence);
   if (replay_stats_.torn_bytes > 0) {
     // Drop the torn tail so future appends start on a frame boundary.
-    CQMS_RETURN_IF_ERROR(TruncateFile(wal_path_, replay_stats_.bytes_valid));
+    CQMS_RETURN_IF_ERROR(
+        env_->TruncateFile(wal_path_, replay_stats_.bytes_valid));
   }
-  CQMS_RETURN_IF_ERROR(wal_.Open(wal_path_, options_.fsync_each_record));
+  CQMS_RETURN_IF_ERROR(
+      wal_.Open(wal_path_, options_.fsync_each_record, env_));
   store_->AddListener(this);
   open_ = true;
   return Status::Ok();
+}
+
+Status DurableStore::PublishSnapshot(const std::string& encoded) {
+  // tmp write + fsync, then the two renames, then one directory sync.
+  // Every crash point leaves a recoverable pair: before the renames the
+  // old primary + full WAL; between them the previous generation + both
+  // WALs (Open's fallback path); after them the new primary.
+  const std::string tmp = snapshot_path_ + ".tmp";
+  std::unique_ptr<WritableFile> out;
+  CQMS_RETURN_IF_ERROR(
+      env_->NewWritableFile(tmp, Env::WriteMode::kTruncate, &out));
+  Status s = out->Append(encoded);
+  if (s.ok()) s = out->Flush();
+  if (s.ok()) s = out->Sync();
+  Status close_status = out->Close();
+  if (s.ok()) s = close_status;
+  if (!s.ok()) {
+    (void)env_->RemoveFile(tmp);
+    return s;
+  }
+  if (env_->FileExists(snapshot_path_)) {
+    CQMS_RETURN_IF_ERROR(
+        env_->RenameFile(snapshot_path_, prev_snapshot_path_));
+  }
+  CQMS_RETURN_IF_ERROR(env_->RenameFile(tmp, snapshot_path_));
+  return env_->SyncDir(dir_);
 }
 
 Status DurableStore::Checkpoint() {
@@ -114,9 +170,10 @@ Status DurableStore::Checkpoint() {
   // from the in-memory store, which is ahead of a failing log, so a
   // successful checkpoint *repairs* durability rather than being
   // blocked by the failure.
-  CQMS_RETURN_IF_ERROR(
-      SaveSnapshotV2(*store_, snapshot_path_, last_sequence_));
-  CQMS_RETURN_IF_ERROR(wal_.Reset());
+  std::string encoded;
+  CQMS_RETURN_IF_ERROR(EncodeSnapshotV2(*store_, last_sequence_, &encoded));
+  CQMS_RETURN_IF_ERROR(PublishSnapshot(encoded));
+  CQMS_RETURN_IF_ERROR(wal_.Rotate(prev_wal_path_));
   replayed_records_ = 0;
   deferred_error_ = Status::Ok();
   return Status::Ok();
@@ -129,8 +186,28 @@ Status DurableStore::MaybeCheckpoint(bool* checkpointed) {
       wal_records() < options_.checkpoint_wal_records) {
     return Status::Ok();
   }
+  if (checkpoint_backoff_remaining_ > 0) {
+    --checkpoint_backoff_remaining_;
+    ++checkpoints_backed_off_;
+    return Status(last_checkpoint_error_.code(),
+                  "checkpoint backed off after failure: " +
+                      last_checkpoint_error_.message());
+  }
   Status s = Checkpoint();
-  if (checkpointed != nullptr) *checkpointed = s.ok();
+  if (s.ok()) {
+    checkpoint_failure_streak_ = 0;
+    last_checkpoint_error_ = Status::Ok();
+    if (checkpointed != nullptr) *checkpointed = true;
+  } else {
+    ++checkpoint_failure_streak_;
+    last_checkpoint_error_ = s;
+    if (options_.checkpoint_backoff_cap > 0) {
+      uint32_t shift =
+          std::min<uint32_t>(checkpoint_failure_streak_ - 1, 16u);
+      checkpoint_backoff_remaining_ = std::min<uint64_t>(
+          1ull << shift, options_.checkpoint_backoff_cap);
+    }
+  }
   return s;
 }
 

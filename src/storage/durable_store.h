@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/env.h"
 #include "storage/query_store.h"
 #include "storage/store_listener.h"
 #include "storage/wal.h"
@@ -23,6 +24,15 @@ struct DurabilityOptions {
   /// tests and benches don't need power-loss guarantees, and a flush
   /// already survives the process dying.
   bool fsync_each_record = false;
+  /// Filesystem all I/O goes through; null = Env::Default() (POSIX).
+  /// Tests inject a FaultInjectingEnv (fault_env.h) here to exercise
+  /// crash and error paths deterministically.
+  Env* env = nullptr;
+  /// After a due checkpoint fails, MaybeCheckpoint skips the next
+  /// min(2^(failures-1), cap) calls before retrying, so a persistently
+  /// failing disk is not hammered with a full snapshot encode every
+  /// maintenance cycle. 0 disables the backoff (every call retries).
+  uint32_t checkpoint_backoff_cap = 32;
 };
 
 /// Crash-safe persistence for one QueryStore: binary snapshot v2 plus a
@@ -31,17 +41,23 @@ struct DurabilityOptions {
 ///   DurableStore durable(&store, dir);
 ///   CQMS_RETURN_IF_ERROR(durable.Open());   // restore + start logging
 ///   ... any mutations through the store's normal API ...
-///   durable.Checkpoint();                   // fresh snapshot, WAL reset
+///   durable.Checkpoint();                   // fresh snapshot, WAL rotated
 ///
 /// Open() bulk-loads `<dir>/snapshot.cqms` (v2 binary, or a legacy v1
 /// text snapshot — the migration path), replays the committed prefix of
-/// `<dir>/wal.log`, truncates any torn tail, then registers itself as
-/// the store's mutation listener so every subsequent Append / rewrite /
-/// annotation / flag / quality / delete / ACL change is framed into the
-/// WAL before control returns to the caller. Checkpoint() writes a new
-/// snapshot atomically and truncates the WAL, bounding recovery replay;
-/// the maintenance pass calls MaybeCheckpoint() so checkpointing rides
-/// the existing background cycle.
+/// the retired and active WALs, truncates any torn tail, then registers
+/// itself as the store's mutation listener so every subsequent Append /
+/// rewrite / annotation / flag / quality / delete / ACL change is framed
+/// into the WAL before control returns to the caller.
+///
+/// Checkpoint() keeps one previous generation alive: the new snapshot
+/// is published atomically while the old one is renamed to
+/// `snapshot.cqms.1`, and the WAL is rotated to `wal.log.1` instead of
+/// truncated. If the newest snapshot is later found corrupt (CRC), Open
+/// falls back to the previous generation and replays both logs — the
+/// monotonic sequence stamps make the longer replay idempotent — so a
+/// single bad sector costs nothing. Stale `.tmp` files from interrupted
+/// saves are swept on Open.
 ///
 /// Single-threaded like QueryStore itself. The store must outlive the
 /// DurableStore; destruction detaches the listener.
@@ -62,16 +78,20 @@ class DurableStore : public StoreListener {
   /// = crash recovery.
   Status Open();
 
-  /// Writes a fresh v2 snapshot (atomic) and truncates the WAL.
+  /// Writes a fresh v2 snapshot (atomic, retaining the previous
+  /// generation) and rotates the WAL.
   Status Checkpoint();
 
   /// Checkpoint() iff the WAL crossed the configured thresholds or a
   /// WAL error is latched (checkpointing repairs it). `checkpointed`
-  /// (optional) reports whether a checkpoint actually ran.
+  /// (optional) reports whether a checkpoint actually ran. After a
+  /// failure, retries are paced by the capped exponential backoff
+  /// (see DurabilityOptions); a backed-off call returns the last
+  /// checkpoint error so operators still see the condition.
   Status MaybeCheckpoint(bool* checkpointed = nullptr);
 
-  /// Stats of the replay performed by Open() (how much tail was
-  /// recovered, whether a torn write was discarded).
+  /// Stats of the active-log replay performed by Open() (how much tail
+  /// was recovered, whether a torn write was discarded).
   const WalReplayStats& replay_stats() const { return replay_stats_; }
 
   uint64_t wal_bytes() const { return wal_.bytes(); }
@@ -83,11 +103,37 @@ class DurableStore : public StoreListener {
   /// any (OK otherwise). A failed append leaves the in-memory store
   /// ahead of the log; the next Checkpoint — which MaybeCheckpoint
   /// forces while this is set — snapshots that state and restores full
-  /// durability.
+  /// durability. kResourceExhausted here means the disk is full: the
+  /// store keeps serving reads and in-memory writes (read_only() below)
+  /// and heals automatically once a later checkpoint succeeds.
   const Status& wal_error() const { return deferred_error_; }
+
+  /// True while a WAL error is latched: new mutations apply in memory
+  /// but are NOT durable until a checkpoint succeeds. Callers that must
+  /// not acknowledge non-durable writes should refuse writes while set.
+  bool read_only() const { return !deferred_error_.ok(); }
+
+  /// True when Open() could not use the newest snapshot (missing or
+  /// corrupt) and recovered from the retained previous generation.
+  bool recovered_from_fallback() const { return recovered_from_fallback_; }
+
+  /// Consecutive MaybeCheckpoint failures (0 after a success), the
+  /// number of calls the backoff will still skip, and the cumulative
+  /// count of backed-off calls — surfaced in MaintenanceReport.
+  uint32_t checkpoint_failure_streak() const {
+    return checkpoint_failure_streak_;
+  }
+  uint64_t checkpoint_backoff_remaining() const {
+    return checkpoint_backoff_remaining_;
+  }
+  uint64_t checkpoints_backed_off() const { return checkpoints_backed_off_; }
 
   const std::string& snapshot_path() const { return snapshot_path_; }
   const std::string& wal_path() const { return wal_path_; }
+  const std::string& prev_snapshot_path() const {
+    return prev_snapshot_path_;
+  }
+  const std::string& prev_wal_path() const { return prev_wal_path_; }
 
   // --- StoreListener (the store calls these; not for direct use) -----------
   void OnAppend(const QueryRecord& record) override;
@@ -103,25 +149,38 @@ class DurableStore : public StoreListener {
 
  private:
   void Log(std::string_view op_payload);
+  void SweepStaleTmpFiles();
+  /// Writes the encoded snapshot to a tmp file, preserves the previous
+  /// generation, publishes the new one and syncs the directory.
+  Status PublishSnapshot(const std::string& encoded);
 
   QueryStore* store_;
   std::string dir_;
   std::string snapshot_path_;
   std::string wal_path_;
+  std::string prev_snapshot_path_;
+  std::string prev_wal_path_;
   DurabilityOptions options_;
+  Env* env_;
   WalWriter wal_;
   WalReplayStats replay_stats_;
   uint64_t replayed_records_ = 0;
   /// Monotonic mutation sequence (never reset, stamped into every WAL
   /// frame and into each checkpoint snapshot) — what makes recovery
   /// idempotent when a crash lands between snapshot write and WAL
-  /// truncation: replay skips frames the snapshot already covers.
+  /// rotation: replay skips frames the snapshot already covers.
   uint64_t last_sequence_ = 0;
   bool open_ = false;
+  bool recovered_from_fallback_ = false;
   /// First WAL append error since the last successful checkpoint —
   /// listener callbacks cannot return one, so it is surfaced via
   /// wal_error() and repaired by the next checkpoint.
   Status deferred_error_;
+  // Checkpoint retry pacing (see MaybeCheckpoint).
+  uint32_t checkpoint_failure_streak_ = 0;
+  uint64_t checkpoint_backoff_remaining_ = 0;
+  uint64_t checkpoints_backed_off_ = 0;
+  Status last_checkpoint_error_;
 };
 
 }  // namespace cqms::storage

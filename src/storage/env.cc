@@ -1,0 +1,289 @@
+#include "storage/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+
+#ifdef __unix__
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace cqms::storage {
+
+namespace {
+
+/// Classifies the current errno: a full disk is kResourceExhausted —
+/// DurableStore latches read-only on it and recovers once space
+/// returns — everything else stays a generic I/O error.
+Status ErrnoStatus(std::string msg) {
+#ifdef __unix__
+  if (errno == ENOSPC || errno == EDQUOT || errno == EFBIG) {
+    return Status::ResourceExhausted(std::move(msg));
+  }
+#endif
+  return Status::IoError(std::move(msg));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (data.empty()) return Status::Ok();
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return ErrnoStatus("write failed: " + path_);
+    }
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    if (std::fflush(file_) != 0) {
+      return ErrnoStatus("flush failed: " + path_);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    CQMS_RETURN_IF_ERROR(Flush());
+#ifdef __unix__
+    if (fsync(fileno(file_)) != 0) {
+      return ErrnoStatus("fsync failed: " + path_);
+    }
+#endif
+    return Status::Ok();
+  }
+
+  Status Truncate(uint64_t size) override {
+#ifdef __unix__
+    // Drop whatever stdio still buffers (best effort — a failed flush
+    // here means those bytes never reach the file, which is exactly
+    // what a rollback wants) and cut the file back.
+    std::fflush(file_);
+    if (::ftruncate(fileno(file_), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("ftruncate failed: " + path_);
+    }
+    std::fseek(file_, 0, SEEK_END);
+    return Status::Ok();
+#else
+    (void)size;
+    return Status::Unsupported("truncate of an open file: " + path_);
+#endif
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::Ok();
+    std::FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) {
+      return ErrnoStatus("close failed: " + path_);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Size(uint64_t* size) override {
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+      return Status::IoError("cannot seek: " + path_);
+    }
+    long end = std::ftell(file_);
+    if (end < 0) return Status::IoError("cannot size: " + path_);
+    *size = static_cast<uint64_t>(end);
+    return Status::Ok();
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) override {
+    out->clear();
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("cannot seek: " + path_);
+    }
+    out->resize(n);
+    size_t got = std::fread(out->data(), 1, n, file_);
+    if (got < n && std::ferror(file_) != 0) {
+      return Status::IoError("read failed: " + path_);
+    }
+    out->resize(got);
+    return Status::Ok();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& path, WriteMode mode,
+                         std::unique_ptr<WritableFile>* file) override {
+    std::FILE* f =
+        std::fopen(path.c_str(), mode == WriteMode::kAppend ? "ab" : "wb");
+    if (f == nullptr) {
+      return ErrnoStatus("cannot open for writing: " + path);
+    }
+    *file = std::make_unique<PosixWritableFile>(f, path);
+    return Status::Ok();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& path,
+      std::unique_ptr<RandomAccessFile>* file) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IoError("cannot open for reading: " + path);
+    }
+    *file = std::make_unique<PosixRandomAccessFile>(f, path);
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+#ifdef __unix__
+    return ::access(path.c_str(), F_OK) == 0;
+#else
+    std::ifstream f(path, std::ios::binary);
+    return f.good();
+#endif
+  }
+
+  Status GetFileSize(const std::string& path, uint64_t* size) override {
+#ifdef __unix__
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::IoError("cannot stat: " + path);
+    }
+    *size = static_cast<uint64_t>(st.st_size);
+    return Status::Ok();
+#else
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return Status::IoError("cannot open: " + path);
+    std::streamsize end = in.tellg();
+    if (end < 0) return Status::IoError("cannot size: " + path);
+    *size = static_cast<uint64_t>(end);
+    return Status::Ok();
+#endif
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename failed: " + from + " -> " + to);
+    }
+    return Status::Ok();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::IoError("cannot remove: " + path);
+    }
+    return Status::Ok();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+#ifdef __unix__
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::IoError("cannot truncate: " + path);
+    }
+    return Status::Ok();
+#else
+    // Portable fallback: rewrite the valid prefix.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IoError("cannot open: " + path);
+    std::string data(size, '\0');
+    in.read(data.data(), static_cast<std::streamsize>(size));
+    if (in.gcount() != static_cast<std::streamsize>(size)) {
+      return Status::IoError("cannot read valid prefix: " + path);
+    }
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(size));
+    return out.good() ? Status::Ok()
+                      : Status::IoError("cannot rewrite: " + path);
+#endif
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+#ifdef __unix__
+    struct stat st;
+    if (::stat(dir.c_str(), &st) == 0) {
+      return S_ISDIR(st.st_mode) ? Status::Ok()
+                                 : Status::IoError("not a directory: " + dir);
+    }
+    if (::mkdir(dir.c_str(), 0755) != 0) {
+      return ErrnoStatus("cannot create directory: " + dir);
+    }
+    return Status::Ok();
+#else
+    (void)dir;
+    return Status::Ok();
+#endif
+  }
+
+  Status SyncDir(const std::string& dir) override {
+#ifdef __unix__
+    int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd < 0) {
+      return Status::IoError("cannot open directory for fsync: " + dir);
+    }
+    if (fsync(dir_fd) != 0) {
+      Status s = ErrnoStatus("directory fsync failed: " + dir);
+      ::close(dir_fd);
+      return s;
+    }
+    if (::close(dir_fd) != 0) {
+      return Status::IoError("directory close failed: " + dir);
+    }
+#else
+    (void)dir;
+#endif
+    return Status::Ok();
+  }
+
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override {
+    names->clear();
+#ifdef __unix__
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Status::IoError("cannot open directory: " + dir);
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names->push_back(std::move(name));
+    }
+    ::closedir(d);
+#else
+    (void)dir;
+#endif
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+std::string DirnameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+}  // namespace cqms::storage

@@ -1,0 +1,93 @@
+#ifndef CQMS_STORAGE_ENV_H_
+#define CQMS_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cqms::storage {
+
+/// A writable file handle with the three durability layers the storage
+/// code reasons about: Append lands bytes in an application buffer,
+/// Flush pushes them to the OS (they now survive a process crash),
+/// Sync puts them on stable storage (they now survive power loss).
+/// The POSIX implementation maps these onto buffered stdio + fsync(2)
+/// exactly as the storage layer called them before the Env seam
+/// existed, so the syscall sequence — and therefore the crash
+/// semantics — of WAL appends and atomic snapshot writes is unchanged.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  /// Flushes, then forces the file content to stable storage. Does NOT
+  /// persist the file's directory entry; see Env::SyncDir.
+  virtual Status Sync() = 0;
+  /// Shrinks the file to `size` bytes — the WAL's rollback of a
+  /// partially written frame. Buffered-but-unflushed bytes are
+  /// discarded on a best-effort basis.
+  virtual Status Truncate(uint64_t size) = 0;
+  virtual Status Close() = 0;
+};
+
+/// Positional reads; one handle may serve many reads.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  virtual Status Size(uint64_t* size) = 0;
+  /// Reads up to `n` bytes at `offset` into `*out` (resized to what was
+  /// actually read; short only at EOF).
+  virtual Status Read(uint64_t offset, size_t n, std::string* out) = 0;
+};
+
+/// The filesystem the storage layer talks to. Production code uses
+/// Env::Default() (POSIX); tests substitute FaultInjectingEnv
+/// (fault_env.h) to inject errors, short writes, ENOSPC and simulated
+/// power loss at any individual I/O operation. All storage entry
+/// points (WalWriter, ReplayWal, Save/LoadSnapshot, DurableStore)
+/// accept an Env and treat null as Env::Default().
+class Env {
+ public:
+  enum class WriteMode {
+    kTruncate,  ///< Create or clobber (fopen "wb").
+    kAppend,    ///< Create or append (fopen "ab").
+  };
+
+  virtual ~Env() = default;
+
+  virtual Status NewWritableFile(const std::string& path, WriteMode mode,
+                                 std::unique_ptr<WritableFile>* file) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* file) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status GetFileSize(const std::string& path, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+  /// Persists the directory's entries (creations, renames, removals)
+  /// to stable storage — fsync(2) of the directory fd. A rename is not
+  /// power-loss durable until this succeeds; open or fsync failure is
+  /// reported, not swallowed.
+  virtual Status SyncDir(const std::string& dir) = 0;
+  /// Names (not paths) of the directory's entries, excluding "." / "..".
+  virtual Status ListDir(const std::string& dir,
+                         std::vector<std::string>* names) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// Directory part of `path` ("." when it has no slash).
+std::string DirnameOf(const std::string& path);
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_ENV_H_

@@ -1,0 +1,358 @@
+#include "storage/fault_env.h"
+
+#include <algorithm>
+
+namespace cqms::storage {
+
+namespace {
+
+std::string OpLabel(const char* op, const std::string& path,
+                    uint64_t index) {
+  return std::string(op) + " " + path + " (op " + std::to_string(index) + ")";
+}
+
+}  // namespace
+
+// --- file handles ----------------------------------------------------------
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingEnv* env, std::string path,
+                    std::shared_ptr<FaultInjectingEnv::MemFile> file)
+      : env_(env),
+        path_(std::move(path)),
+        file_(std::move(file)),
+        generation_(env_->generation_) {}
+
+  Status Append(std::string_view data) override {
+    CQMS_RETURN_IF_ERROR(CheckHandle());
+    FaultKind kind;
+    Status s = env_->CheckOp("append", path_, /*is_write=*/true, &kind);
+    if (!s.ok()) {
+      if (kind == FaultKind::kShortWrite) {
+        // Half the bytes landed before the write failed — the torn
+        // frame a real partial write leaves in the stdio buffer.
+        buffer_.append(data.data(), data.size() / 2);
+      }
+      return s;
+    }
+    buffer_.append(data.data(), data.size());
+    return Status::Ok();
+  }
+
+  Status Flush() override {
+    CQMS_RETURN_IF_ERROR(CheckHandle());
+    CQMS_RETURN_IF_ERROR(env_->CheckOp("flush", path_, /*is_write=*/true));
+    file_->flushed += buffer_;
+    buffer_.clear();
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    CQMS_RETURN_IF_ERROR(CheckHandle());
+    CQMS_RETURN_IF_ERROR(env_->CheckOp("sync", path_, /*is_write=*/true));
+    file_->flushed += buffer_;
+    buffer_.clear();
+    file_->durable = file_->flushed;
+    return Status::Ok();
+  }
+
+  Status Truncate(uint64_t size) override {
+    CQMS_RETURN_IF_ERROR(CheckHandle());
+    CQMS_RETURN_IF_ERROR(env_->CheckOp("truncate", path_, /*is_write=*/true));
+    // ftruncate semantics on the OS view: shrink, or extend with NULs.
+    // The unflushed buffer is discarded (the POSIX impl's best effort).
+    buffer_.clear();
+    file_->flushed.resize(size, '\0');
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    CQMS_RETURN_IF_ERROR(CheckHandle());
+    closed_ = true;
+    Status s = env_->CheckOp("close", path_, /*is_write=*/true);
+    if (!s.ok()) {
+      // fclose failure loses whatever was still buffered.
+      buffer_.clear();
+      return s;
+    }
+    file_->flushed += buffer_;  // fclose flushes
+    buffer_.clear();
+    return Status::Ok();
+  }
+
+ private:
+  Status CheckHandle() const {
+    if (closed_) return Status::IoError("file already closed: " + path_);
+    if (generation_ != env_->generation_) {
+      return Status::IoError("stale file handle after crash: " + path_);
+    }
+    return Status::Ok();
+  }
+
+  FaultInjectingEnv* env_;
+  std::string path_;
+  std::shared_ptr<FaultInjectingEnv::MemFile> file_;
+  std::string buffer_;
+  uint64_t generation_;
+  bool closed_ = false;
+};
+
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(FaultInjectingEnv* env, std::string path,
+                        std::shared_ptr<FaultInjectingEnv::MemFile> file)
+      : env_(env),
+        path_(std::move(path)),
+        file_(std::move(file)),
+        generation_(env_->generation_) {}
+
+  Status Size(uint64_t* size) override {
+    CQMS_RETURN_IF_ERROR(CheckHandle());
+    CQMS_RETURN_IF_ERROR(env_->CheckOp("size", path_, /*is_write=*/false));
+    *size = file_->flushed.size();
+    return Status::Ok();
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) override {
+    CQMS_RETURN_IF_ERROR(CheckHandle());
+    CQMS_RETURN_IF_ERROR(env_->CheckOp("read", path_, /*is_write=*/false));
+    out->clear();
+    if (offset >= file_->flushed.size()) return Status::Ok();
+    out->assign(file_->flushed, offset,
+                std::min<size_t>(n, file_->flushed.size() - offset));
+    return Status::Ok();
+  }
+
+ private:
+  Status CheckHandle() const {
+    if (generation_ != env_->generation_) {
+      return Status::IoError("stale file handle after crash: " + path_);
+    }
+    return Status::Ok();
+  }
+
+  FaultInjectingEnv* env_;
+  std::string path_;
+  std::shared_ptr<FaultInjectingEnv::MemFile> file_;
+  uint64_t generation_;
+};
+
+// --- fault machinery -------------------------------------------------------
+
+Status FaultInjectingEnv::CheckOp(const char* op, const std::string& path,
+                                  bool is_write, FaultKind* out_kind) {
+  if (out_kind != nullptr) *out_kind = FaultKind::kIoError;
+  if (crashed_) {
+    return Status::IoError("simulated crash: " + std::string(op) + " " + path);
+  }
+  const uint64_t index = op_count_++;
+  op_trace_.push_back({index, op, path});
+
+  FaultKind kind;
+  bool fire = false;
+  auto it = one_shot_.find(index);
+  if (it != one_shot_.end()) {
+    kind = it->second;
+    one_shot_.erase(it);
+    fire = true;
+  } else if (sticky_from_ >= 0 &&
+             index >= static_cast<uint64_t>(sticky_from_) && is_write) {
+    kind = sticky_kind_;
+    fire = true;
+  }
+  if (!fire) return Status::Ok();
+
+  if (out_kind != nullptr) *out_kind = kind;
+  switch (kind) {
+    case FaultKind::kCrash:
+      crashed_ = true;
+      return Status::IoError("simulated crash at " + OpLabel(op, path, index));
+    case FaultKind::kEnospc:
+      return Status::ResourceExhausted("injected ENOSPC at " +
+                                       OpLabel(op, path, index));
+    case FaultKind::kShortWrite:
+    case FaultKind::kIoError:
+      return Status::IoError("injected I/O error at " +
+                             OpLabel(op, path, index));
+  }
+  return Status::IoError("injected fault at " + OpLabel(op, path, index));
+}
+
+std::shared_ptr<FaultInjectingEnv::MemFile> FaultInjectingEnv::Find(
+    const std::string& path) const {
+  auto it = live_.find(path);
+  return it == live_.end() ? nullptr : it->second;
+}
+
+void FaultInjectingEnv::Recover(bool power_loss) {
+  crashed_ = false;
+  ++generation_;
+  if (power_loss) {
+    // Only the synced layers survive: the namespace reverts to its
+    // last SyncDir shape, every file's content to its last Sync.
+    live_ = durable_ns_;
+    for (auto& [name, file] : live_) file->flushed = file->durable;
+  }
+  // A process crash keeps live_ as-is: flushed bytes were in the OS,
+  // which is still running. Unflushed handle buffers die with the
+  // generation bump either way.
+  op_count_ = 0;
+  op_trace_.clear();
+  one_shot_.clear();
+  sticky_from_ = -1;
+}
+
+Status FaultInjectingEnv::CorruptFile(const std::string& path,
+                                      uint64_t byte_offset,
+                                      uint8_t bit_mask) {
+  std::shared_ptr<MemFile> file = Find(path);
+  if (file == nullptr) return Status::IoError("no such file: " + path);
+  if (byte_offset >= file->flushed.size()) {
+    return Status::InvalidArgument("corruption offset past EOF: " + path);
+  }
+  file->flushed[byte_offset] ^= static_cast<char>(bit_mask);
+  if (byte_offset < file->durable.size()) {
+    file->durable[byte_offset] ^= static_cast<char>(bit_mask);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::ReadBack(const std::string& path,
+                                   std::string* out) const {
+  std::shared_ptr<MemFile> file = Find(path);
+  if (file == nullptr) return Status::IoError("no such file: " + path);
+  *out = file->flushed;
+  return Status::Ok();
+}
+
+// --- Env -------------------------------------------------------------------
+
+Status FaultInjectingEnv::NewWritableFile(const std::string& path,
+                                          WriteMode mode,
+                                          std::unique_ptr<WritableFile>* file) {
+  CQMS_RETURN_IF_ERROR(CheckOp("open_write", path, /*is_write=*/true));
+  const std::string dir = DirnameOf(path);
+  if (dir != "." && dirs_.count(dir) == 0) {
+    return Status::IoError("cannot open " + path + ": no such directory");
+  }
+  std::shared_ptr<MemFile> f = Find(path);
+  if (f == nullptr) {
+    f = std::make_shared<MemFile>();
+    live_[path] = f;  // name not power-loss durable until SyncDir
+  } else if (mode == WriteMode::kTruncate) {
+    f->flushed.clear();  // O_TRUNC hits the OS view; durable layer
+                         // reverts on power loss until the next Sync
+  }
+  *file = std::make_unique<FaultWritableFile>(this, path, std::move(f));
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::NewRandomAccessFile(
+    const std::string& path, std::unique_ptr<RandomAccessFile>* file) {
+  CQMS_RETURN_IF_ERROR(CheckOp("open_read", path, /*is_write=*/false));
+  std::shared_ptr<MemFile> f = Find(path);
+  if (f == nullptr) return Status::IoError("no such file: " + path);
+  *file = std::make_unique<FaultRandomAccessFile>(this, path, std::move(f));
+  return Status::Ok();
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  // Returns bool — cannot report a fault, so it is not a fault point
+  // and does not count.
+  return live_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+Status FaultInjectingEnv::GetFileSize(const std::string& path,
+                                      uint64_t* size) {
+  CQMS_RETURN_IF_ERROR(CheckOp("stat", path, /*is_write=*/false));
+  std::shared_ptr<MemFile> f = Find(path);
+  if (f == nullptr) return Status::IoError("no such file: " + path);
+  *size = f->flushed.size();
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  CQMS_RETURN_IF_ERROR(CheckOp("rename", from + " -> " + to,
+                               /*is_write=*/true));
+  auto it = live_.find(from);
+  if (it == live_.end()) return Status::IoError("no such file: " + from);
+  live_[to] = it->second;
+  live_.erase(it);
+  // Not power-loss durable until SyncDir: durable_ns_ still holds the
+  // old shape.
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  // is_write=false: unlink must keep working on a full disk (it is the
+  // operator's way out of ENOSPC). One-shot faults still apply.
+  CQMS_RETURN_IF_ERROR(CheckOp("remove", path, /*is_write=*/false));
+  if (live_.erase(path) == 0) {
+    return Status::IoError("no such file: " + path);
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  CQMS_RETURN_IF_ERROR(CheckOp("truncate_file", path, /*is_write=*/true));
+  std::shared_ptr<MemFile> f = Find(path);
+  if (f == nullptr) return Status::IoError("no such file: " + path);
+  f->flushed.resize(size, '\0');
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::CreateDirIfMissing(const std::string& dir) {
+  CQMS_RETURN_IF_ERROR(CheckOp("mkdir", dir, /*is_write=*/true));
+  if (live_.count(dir) > 0) {
+    return Status::IoError("cannot create directory " + dir +
+                           ": not a directory");
+  }
+  dirs_.insert(dir);  // directories are durable immediately (see header)
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  CQMS_RETURN_IF_ERROR(CheckOp("syncdir", dir, /*is_write=*/true));
+  if (dirs_.count(dir) == 0) {
+    return Status::IoError("no such directory: " + dir);
+  }
+  // Persist the directory's current shape: every live entry in `dir`
+  // becomes durable; every durable entry no longer live (renamed away
+  // or removed) is forgotten.
+  for (const auto& [name, file] : live_) {
+    if (DirnameOf(name) == dir) durable_ns_[name] = file;
+  }
+  for (auto it = durable_ns_.begin(); it != durable_ns_.end();) {
+    if (DirnameOf(it->first) == dir && live_.count(it->first) == 0) {
+      it = durable_ns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+Status FaultInjectingEnv::ListDir(const std::string& dir,
+                                  std::vector<std::string>* names) {
+  CQMS_RETURN_IF_ERROR(CheckOp("listdir", dir, /*is_write=*/false));
+  if (dirs_.count(dir) == 0) {
+    return Status::IoError("no such directory: " + dir);
+  }
+  names->clear();
+  const std::string prefix = dir + "/";
+  for (const auto& [name, file] : live_) {
+    if (DirnameOf(name) == dir) names->push_back(name.substr(prefix.size()));
+  }
+  for (const std::string& d : dirs_) {
+    if (d.size() > prefix.size() && d.compare(0, prefix.size(), prefix) == 0 &&
+        d.find('/', prefix.size()) == std::string::npos) {
+      names->push_back(d.substr(prefix.size()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cqms::storage

@@ -1,0 +1,181 @@
+#ifndef CQMS_STORAGE_FAULT_ENV_H_
+#define CQMS_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace cqms::storage {
+
+/// What an armed fault point does when an I/O operation reaches it.
+enum class FaultKind {
+  kIoError,     ///< The op fails with kIoError; no effect on the disk.
+  kEnospc,      ///< The op fails with kResourceExhausted (disk full).
+  kShortWrite,  ///< Append lands only a prefix, then fails (other ops
+                ///< behave like kIoError).
+  kCrash,       ///< The process dies *before* the op takes effect: the
+                ///< simulated disk freezes and every later op fails
+                ///< until Recover().
+};
+
+/// One entry of the operation trace: everything needed to name a fault
+/// point in a test failure message.
+struct FaultEnvOp {
+  uint64_t index;   ///< 0-based position in the global op sequence.
+  std::string op;   ///< "append", "sync", "rename", ...
+  std::string path;
+};
+
+/// A deterministic in-memory filesystem with programmable fault points,
+/// built for crash-loop testing: run a workload once against a clean
+/// env to count its I/O operations, then re-run it once per operation
+/// with a crash or error injected there, recover, and check invariants.
+///
+/// The simulated disk models the same three durability layers the POSIX
+/// env documents:
+///
+///   - bytes Append()ed but not Flush()ed live in the handle and are
+///     lost in ANY crash (they were process memory);
+///   - Flush()ed bytes survive a process crash (`Recover(false)`) but
+///     not power loss — they were in the OS cache;
+///   - Sync()ed bytes survive power loss (`Recover(true)`).
+///
+/// The *namespace* is durable separately from file content, exactly as
+/// on a real filesystem: a created or renamed name survives power loss
+/// only after a successful SyncDir() of its directory. Directories
+/// themselves are durable as soon as they are created (one
+/// simplification; CQMS creates its directory once, before any data is
+/// valuable). A power loss therefore reverts both every file's content
+/// to its last-synced bytes and the directory map to its last-synced
+/// shape — which is how an fsync'd WAL whose directory entry was never
+/// synced vanishes, taking its acknowledged records with it.
+///
+/// Fault points are addressed by the global op counter. All Env and
+/// file-handle operations count except FileExists (it returns bool and
+/// cannot fail). `InjectAt(i, kind)` arms a one-shot fault at op `i`;
+/// `FailAllFrom(i, kEnospc)` makes every write-path op from `i` on fail
+/// with kResourceExhausted while reads keep working — the full-disk
+/// degradation mode. After a kCrash fault (or CrashNow()) every op
+/// fails with "simulated crash" until Recover(), which also invalidates
+/// all outstanding handles, so code that survives recovery cannot
+/// accidentally keep writing through a pre-crash file object.
+///
+/// Single-threaded, like the storage layer it tests. Not in any test
+/// framework's namespace: it is a library class, usable from benches.
+class FaultInjectingEnv : public Env {
+ public:
+  FaultInjectingEnv() = default;
+
+  // --- fault programming ---------------------------------------------------
+
+  /// Arms a one-shot fault: the op whose index equals `op_index` fails
+  /// with `kind` (kCrash freezes the disk instead of just failing).
+  void InjectAt(uint64_t op_index, FaultKind kind) {
+    one_shot_[op_index] = kind;
+  }
+
+  /// Every write-path op with index >= `op_index` fails with `kind`
+  /// (reads, removes and listings keep succeeding — deleting data to
+  /// free space must work on a full disk).
+  void FailAllFrom(uint64_t op_index, FaultKind kind) {
+    sticky_from_ = static_cast<int64_t>(op_index);
+    sticky_kind_ = kind;
+  }
+
+  void ClearFaults() {
+    one_shot_.clear();
+    sticky_from_ = -1;
+  }
+
+  /// Total faultable operations seen so far (the addressing space for
+  /// InjectAt / FailAllFrom).
+  uint64_t op_count() const { return op_count_; }
+
+  /// Every op seen, in order — for diagnosing which fault point a
+  /// failing crash-loop iteration was.
+  const std::vector<FaultEnvOp>& op_trace() const { return op_trace_; }
+
+  // --- crash & recovery ----------------------------------------------------
+
+  /// Freezes the disk as a kCrash fault would, without arming one.
+  void CrashNow() { crashed_ = true; }
+
+  bool crashed() const { return crashed_; }
+
+  /// Brings the simulated machine back up. `power_loss` selects which
+  /// layers survived: false (process crash) keeps everything flushed to
+  /// the OS; true (power loss) keeps only what was fsync'd — file
+  /// content reverts to its last Sync and the namespace to its last
+  /// SyncDir. Outstanding handles turn stale either way. Also resets
+  /// the op counter, trace and armed faults: recovery code is a fresh
+  /// fault-addressing space.
+  void Recover(bool power_loss);
+
+  /// Flips one bit of a stored file in every layer — simulated bit rot
+  /// that survives recovery. `byte_offset` addresses the flushed bytes.
+  Status CorruptFile(const std::string& path, uint64_t byte_offset,
+                     uint8_t bit_mask = 0x01);
+
+  /// The flushed content of `path` (what a reader would see now).
+  Status ReadBack(const std::string& path, std::string* out) const;
+
+  // --- Env -----------------------------------------------------------------
+
+  Status NewWritableFile(const std::string& path, WriteMode mode,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomAccessFile(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* file) override;
+  bool FileExists(const std::string& path) override;
+  Status GetFileSize(const std::string& path, uint64_t* size) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDirIfMissing(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override;
+
+ private:
+  friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
+
+  /// One stored file. Handles and both namespace maps share it, so a
+  /// Sync through a handle updates the durable bytes no matter which
+  /// name currently points at the inode — like a real inode.
+  struct MemFile {
+    std::string flushed;  ///< OS view: survives a process crash.
+    std::string durable;  ///< On-media view: survives power loss.
+  };
+
+  /// Counts the op, records it in the trace, and consults the armed
+  /// faults. Returns non-OK when the op must fail (arming crashed_
+  /// first for kCrash); `out_kind` reports which kind fired so Append
+  /// can implement the short-write prefix.
+  Status CheckOp(const char* op, const std::string& path, bool is_write,
+                 FaultKind* out_kind = nullptr);
+
+  std::shared_ptr<MemFile> Find(const std::string& path) const;
+
+  std::map<std::string, std::shared_ptr<MemFile>> live_;
+  std::map<std::string, std::shared_ptr<MemFile>> durable_ns_;
+  std::set<std::string> dirs_;
+
+  uint64_t op_count_ = 0;
+  std::vector<FaultEnvOp> op_trace_;
+  std::map<uint64_t, FaultKind> one_shot_;
+  int64_t sticky_from_ = -1;
+  FaultKind sticky_kind_ = FaultKind::kEnospc;
+  bool crashed_ = false;
+  /// Bumped by Recover(); handles created before no longer match and
+  /// fail with "stale file handle".
+  uint64_t generation_ = 0;
+};
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_FAULT_ENV_H_

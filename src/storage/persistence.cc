@@ -2,13 +2,8 @@
 
 #include <cctype>
 #include <cstdio>
-#include <fstream>
+#include <memory>
 #include <sstream>
-
-#ifdef __unix__
-#include <fcntl.h>
-#include <unistd.h>
-#endif
 
 #include "common/string_util.h"
 #include "storage/record_builder.h"
@@ -171,60 +166,50 @@ Status LoadSnapshotV1(QueryStore* store, std::istream& in,
 
 }  // namespace
 
-Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       Env* env) {
+  if (env == nullptr) env = Env::Default();
   const std::string tmp = path + ".tmp";
-  std::FILE* out = std::fopen(tmp.c_str(), "wb");
-  if (out == nullptr) {
-    return Status::IoError("cannot open for writing: " + tmp);
-  }
-  bool ok = contents.empty() ||
-            std::fwrite(contents.data(), 1, contents.size(), out) ==
-                contents.size();
-  ok = std::fflush(out) == 0 && ok;
-#ifdef __unix__
+  std::unique_ptr<WritableFile> out;
+  CQMS_RETURN_IF_ERROR(env->NewWritableFile(tmp, Env::WriteMode::kTruncate,
+                                            &out));
+  Status s = out->Append(contents);
+  if (s.ok()) s = out->Flush();
   // The bytes must be on stable storage *before* the rename publishes
-  // them: DurableStore truncates the WAL right after a snapshot save,
+  // them: DurableStore rotates the WAL right after a snapshot save,
   // so a power cut with the snapshot still in the page cache would
   // otherwise lose every mutation since the previous checkpoint.
-  ok = fsync(fileno(out)) == 0 && ok;
-#endif
-  ok = std::fclose(out) == 0 && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::IoError("write failed: " + tmp);
+  if (s.ok()) s = out->Sync();
+  Status close_status = out->Close();
+  if (s.ok()) s = close_status;
+  if (!s.ok()) {
+    (void)env->RemoveFile(tmp);
+    return s;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  s = env->RenameFile(tmp, path);
+  if (!s.ok()) {
+    (void)env->RemoveFile(tmp);
+    return s;
   }
-#ifdef __unix__
-  // Persist the rename itself (the directory entry).
-  std::string dir = path;
-  size_t slash = dir.find_last_of('/');
-  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
-  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    fsync(dir_fd);
-    ::close(dir_fd);
-  }
-#endif
+  // Persist the rename itself (the directory entry). A failure here
+  // means the publish may not survive power loss — report it.
+  return env->SyncDir(DirnameOf(path));
+}
+
+Status ReadFileToString(const std::string& path, std::string* out,
+                        Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::unique_ptr<RandomAccessFile> in;
+  CQMS_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &in));
+  uint64_t size = 0;
+  CQMS_RETURN_IF_ERROR(in->Size(&size));
+  CQMS_RETURN_IF_ERROR(in->Read(0, static_cast<size_t>(size), out));
+  if (out->size() != size) return Status::IoError("read failed: " + path);
   return Status::Ok();
 }
 
-Status ReadFileToString(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::streamsize size = in.tellg();
-  if (size < 0) return Status::IoError("cannot size: " + path);
-  out->resize(static_cast<size_t>(size));
-  in.seekg(0);
-  if (size > 0 && !in.read(out->data(), size)) {
-    return Status::IoError("read failed: " + path);
-  }
-  return Status::Ok();
-}
-
-Status SaveSnapshot(const QueryStore& store, const std::string& path) {
+Status SaveSnapshot(const QueryStore& store, const std::string& path,
+                    Env* env) {
   std::ostringstream out;
   out << "CQMS-SNAPSHOT 1.1\n";
   for (const auto& [user, groups] : store.acl().memberships()) {
@@ -246,32 +231,36 @@ Status SaveSnapshot(const QueryStore& store, const std::string& path) {
     }
     out << "V " << static_cast<int>(store.acl().GetVisibility(r.id)) << "\n";
   }
-  return WriteFileAtomic(path, out.str());
+  return WriteFileAtomic(path, out.str(), env);
 }
 
 Status LoadSnapshot(QueryStore* store, const std::string& path,
-                    uint64_t* wal_sequence) {
+                    uint64_t* wal_sequence, Env* env) {
+  if (env == nullptr) env = Env::Default();
   if (wal_sequence != nullptr) *wal_sequence = 0;
   if (store->size() != 0) {
     return Status::InvalidArgument("LoadSnapshot requires an empty store");
   }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
 
   // Dispatch on the header: binary v2 magic, else the v1 text format.
-  char magic[8] = {};
-  in.read(magic, sizeof(magic));
-  if (in.gcount() == static_cast<std::streamsize>(kSnapshotV2Magic.size()) &&
-      kSnapshotV2Magic == std::string_view(magic, sizeof(magic))) {
-    in.close();
-    return LoadSnapshotV2(store, path, wal_sequence);
+  {
+    std::unique_ptr<RandomAccessFile> probe;
+    CQMS_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &probe));
+    std::string magic;
+    CQMS_RETURN_IF_ERROR(probe->Read(0, kSnapshotV2Magic.size(), &magic));
+    if (magic == kSnapshotV2Magic) {
+      return LoadSnapshotV2(store, path, wal_sequence, env);
+    }
   }
 
-  in.clear();
-  in.seekg(0);
+  std::string file;
+  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file, env));
+  std::istringstream in(file);
   std::string line;
   if (!std::getline(in, line) || line.rfind("CQMS-SNAPSHOT", 0) != 0) {
-    return Status::IoError("not a CQMS snapshot: " + path);
+    // Neither the v2 magic nor the v1 text header: the bytes fail
+    // validation, which routes DurableStore::Open to its fallback.
+    return Status::Corruption("not a CQMS snapshot: " + path);
   }
   // Version "1" files used "%00" as the empty-field marker; "1.1" moved
   // it to a lone "%" so single-NUL fields round-trip.

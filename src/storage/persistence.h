@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "storage/env.h"
 #include "storage/query_store.h"
 
 namespace cqms::storage {
@@ -20,7 +21,12 @@ namespace cqms::storage {
 /// Output summaries are intentionally not persisted: they are data-
 /// dependent caches the profiler rebuilds, and the paper's maintenance
 /// component treats them as refreshable state anyway.
-Status SaveSnapshot(const QueryStore& store, const std::string& path);
+///
+/// All functions here perform their I/O through `env` (null =
+/// Env::Default(), the real filesystem); tests inject a
+/// FaultInjectingEnv to exercise every failure path.
+Status SaveSnapshot(const QueryStore& store, const std::string& path,
+                    Env* env = nullptr);
 
 /// Loads a snapshot into an empty store, dispatching on the file header:
 /// the binary v2 magic routes to LoadSnapshotV2 (bulk restore, no
@@ -31,20 +37,25 @@ Status SaveSnapshot(const QueryStore& store, const std::string& path);
 /// `wal_sequence` (optional) receives the v2 durability stamp — the
 /// highest WAL sequence the snapshot covers — or 0 for v1 snapshots.
 Status LoadSnapshot(QueryStore* store, const std::string& path,
-                    uint64_t* wal_sequence = nullptr);
+                    uint64_t* wal_sequence = nullptr, Env* env = nullptr);
 
 /// Writes `contents` to `path` atomically and durably: the bytes land
 /// in `<path>.tmp`, are fsync'd (POSIX), and rename(2) moves them over
 /// the target (whose directory entry is fsync'd too), so a crash — or a
 /// power cut — mid-save can never clobber the last good snapshot, and a
 /// published snapshot is on stable storage before anything (like the
-/// WAL truncation that follows a checkpoint) relies on it.
-Status WriteFileAtomic(const std::string& path, std::string_view contents);
+/// WAL truncation that follows a checkpoint) relies on it. A failure of
+/// the directory fsync (or of opening the directory) is a real
+/// durability gap — the rename may not survive power loss — and is
+/// propagated, not swallowed.
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       Env* env = nullptr);
 
 /// Reads the whole file into `out` with one sized block read (the
 /// istreambuf-iterator idiom reads per character — ruinous at snapshot
 /// sizes). kIoError when the file cannot be opened or read.
-Status ReadFileToString(const std::string& path, std::string* out);
+Status ReadFileToString(const std::string& path, std::string* out,
+                        Env* env = nullptr);
 
 }  // namespace cqms::storage
 

@@ -240,7 +240,7 @@ struct SymbolRemap {
 };
 
 Status CorruptSnapshot(const std::string& path, const std::string& what) {
-  return Status::IoError("corrupt v2 snapshot (" + what + "): " + path);
+  return Status::Corruption("corrupt v2 snapshot (" + what + "): " + path);
 }
 
 Status DecodeInterner(BinaryReader* r, SymbolRemap* remap,
@@ -421,7 +421,14 @@ Status DecodeRecord(BinaryReader* r, const SymbolRemap& remap,
 }  // namespace
 
 Status SaveSnapshotV2(const QueryStore& store, const std::string& path,
-                      uint64_t wal_sequence) {
+                      uint64_t wal_sequence, Env* env) {
+  std::string file;
+  CQMS_RETURN_IF_ERROR(EncodeSnapshotV2(store, wal_sequence, &file));
+  return WriteFileAtomic(path, file, env);
+}
+
+Status EncodeSnapshotV2(const QueryStore& store, uint64_t wal_sequence,
+                        std::string* out) {
   std::string file(kSnapshotV2Magic);
   {
     BinaryWriter version;
@@ -489,17 +496,60 @@ Status SaveSnapshotV2(const QueryStore& store, const std::string& path,
   }
 
   AppendSection(&file, kSectionEnd, std::string());
-  return WriteFileAtomic(path, file);
+  *out = std::move(file);
+  return Status::Ok();
+}
+
+Status VerifySnapshotV2(const std::string& path, Env* env) {
+  std::string file;
+  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file, env));
+  if (file.size() < kSnapshotV2Magic.size() + 4 ||
+      file.compare(0, kSnapshotV2Magic.size(), kSnapshotV2Magic) != 0) {
+    return CorruptSnapshot(path, "bad magic");
+  }
+  BinaryReader header(
+      std::string_view(file).substr(kSnapshotV2Magic.size(), 4));
+  uint32_t version = header.GetFixed32();
+  if (version != kFormatVersion) {
+    return Status::IoError("unsupported snapshot version " +
+                           std::to_string(version) + ": " + path);
+  }
+  size_t pos = kSnapshotV2Magic.size() + 4;
+  std::string_view view(file);
+  bool saw_records = false;
+  while (true) {
+    if (file.size() - pos < 1 + 8) return CorruptSnapshot(path, "truncated");
+    uint8_t section = static_cast<uint8_t>(file[pos]);
+    BinaryReader frame(view.substr(pos + 1, 8));
+    uint64_t len = frame.GetFixed64();
+    pos += 1 + 8;
+    if (len > file.size() - pos || file.size() - pos - len < 4) {
+      return CorruptSnapshot(path, "truncated section");
+    }
+    std::string_view payload = view.substr(pos, len);
+    pos += len;
+    BinaryReader crc_reader(view.substr(pos, 4));
+    uint32_t stored_crc = crc_reader.GetFixed32();
+    pos += 4;
+    if (Crc32(payload) != stored_crc) {
+      return CorruptSnapshot(path, "section crc mismatch");
+    }
+    if (section == kSectionRecords) saw_records = true;
+    if (section == kSectionEnd) {
+      if (!saw_records) return CorruptSnapshot(path, "missing records");
+      return Status::Ok();
+    }
+  }
 }
 
 Status LoadSnapshotV2(QueryStore* store, const std::string& path,
-                      uint64_t* wal_sequence) {
+                      uint64_t* wal_sequence, Env* env) {
   if (wal_sequence != nullptr) *wal_sequence = 0;
   if (store->size() != 0) {
     return Status::InvalidArgument("LoadSnapshotV2 requires an empty store");
   }
   std::string file;
-  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file));
+  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file, env));
   if (file.size() < kSnapshotV2Magic.size() + 4 ||
       file.compare(0, kSnapshotV2Magic.size(), kSnapshotV2Magic) != 0) {
     return CorruptSnapshot(path, "bad magic");

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "storage/env.h"
 #include "storage/query_store.h"
 
 namespace cqms::storage {
@@ -36,7 +37,24 @@ inline constexpr std::string_view kSnapshotV2Magic = "CQMSNAP2";
 /// snapshot + WAL-replay idempotent across a crash between snapshot
 /// write and WAL truncation. Plain saves leave it 0.
 Status SaveSnapshotV2(const QueryStore& store, const std::string& path,
-                      uint64_t wal_sequence = 0);
+                      uint64_t wal_sequence = 0, Env* env = nullptr);
+
+/// The serialized v2 snapshot bytes without touching the filesystem —
+/// SaveSnapshotV2 is EncodeSnapshotV2 + WriteFileAtomic. DurableStore
+/// uses this directly so its checkpoint can sequence the writes itself
+/// (it keeps the previous snapshot generation alive across the
+/// publish; see docs/persistence.md). kInternal when a stored
+/// signature references a symbol outside the interner table.
+Status EncodeSnapshotV2(const QueryStore& store, uint64_t wal_sequence,
+                        std::string* out);
+
+/// Structural validation without mutating any store: magic, version,
+/// section framing and every section CRC. kCorruption on any mismatch.
+/// This is how DurableStore::Open decides whether to fall back to the
+/// previous snapshot generation — cheap (one sequential read, no
+/// decode) and it catches exactly the faults retention protects
+/// against (torn writes, bit rot).
+Status VerifySnapshotV2(const std::string& path, Env* env = nullptr);
 
 /// Loads a v2 snapshot into an empty store. Symbols are remapped through
 /// the process-global interner (bulk re-intern of the stored table
@@ -45,12 +63,12 @@ Status SaveSnapshotV2(const QueryStore& store, const std::string& path,
 /// already diverged, signature vectors are remapped and sketches
 /// recomputed from them — still without touching the tokenizer or the
 /// SQL parser. Corruption (bad magic, section CRC mismatch, truncation,
-/// malformed payload) is rejected with kIoError; a load that fails
+/// malformed payload) is rejected with kCorruption; a load that fails
 /// mid-restore leaves the store partially populated, so callers must
 /// discard it (the v1 loader has the same contract). `wal_sequence`
 /// (optional) receives the stored durability stamp (0 when absent).
 Status LoadSnapshotV2(QueryStore* store, const std::string& path,
-                      uint64_t* wal_sequence = nullptr);
+                      uint64_t* wal_sequence = nullptr, Env* env = nullptr);
 
 }  // namespace cqms::storage
 

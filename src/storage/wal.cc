@@ -1,15 +1,10 @@
 #include "storage/wal.h"
 
 #include <algorithm>
-#include <fstream>
 
 #include "common/binary_codec.h"
 #include "storage/persistence.h"
 #include "storage/record_builder.h"
-
-#ifdef __unix__
-#include <unistd.h>
-#endif
 
 namespace cqms::storage {
 
@@ -29,12 +24,13 @@ std::string WalHeader() {
 }
 
 Status CorruptWal(const std::string& path, const std::string& what) {
-  return Status::IoError("corrupt WAL (" + what + "): " + path);
+  return Status::Corruption("corrupt WAL (" + what + "): " + path);
 }
 
 Status ApplyRecord(BinaryReader* r, QueryStore* store,
                    const std::string& path) {
-  WalOp op = static_cast<WalOp>(r->GetU8());
+  uint8_t raw_op = r->GetU8();
+  WalOp op = static_cast<WalOp>(raw_op);
   switch (op) {
     case WalOp::kAppend: {
       bool parsed = r->GetU8() != 0;
@@ -165,7 +161,12 @@ Status ApplyRecord(BinaryReader* r, QueryStore* store,
                                         static_cast<Visibility>(vis));
     }
   }
-  return CorruptWal(path, "unknown op");
+  // A tag this build does not know: either corruption that survived the
+  // CRC (vanishingly unlikely) or a log written by a newer version.
+  // Either way the frame cannot be decoded — refuse with a typed status
+  // instead of guessing at its payload.
+  return CorruptWal(path,
+                    "unknown WAL record type " + std::to_string(raw_op));
 }
 
 }  // namespace
@@ -267,52 +268,67 @@ std::string EncodeSetVisibility(QueryId id, Visibility visibility) {
 
 }  // namespace wal
 
-Status WalWriter::Open(const std::string& path, bool fsync_each_record) {
+Status WalWriter::Open(const std::string& path, bool fsync_each_record,
+                       Env* env) {
   Close();
   path_ = path;
+  env_ = env != nullptr ? env : Env::Default();
   fsync_each_record_ = fsync_each_record;
   failed_ = false;
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) {
-    return Status::IoError("cannot open WAL for appending: " + path);
+  Status s = env_->NewWritableFile(path, Env::WriteMode::kAppend, &file_);
+  if (!s.ok()) {
+    return Status(s.code(),
+                  "cannot open WAL for appending: " + path + " (" +
+                      s.message() + ")");
   }
-  if (std::fseek(file_, 0, SEEK_END) != 0) {
+  s = env_->GetFileSize(path, &bytes_);
+  if (!s.ok()) {
     Close();
-    return Status::IoError("cannot seek WAL: " + path);
+    return Status(s.code(), "cannot size WAL: " + path);
   }
-  long size = std::ftell(file_);
-  if (size < 0) {
-    Close();
-    return Status::IoError("cannot size WAL: " + path);
-  }
-  bytes_ = static_cast<uint64_t>(size);
   appended_records_ = 0;
   if (bytes_ == 0) {
     std::string header = WalHeader();
-    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
-        std::fflush(file_) != 0) {
+    s = file_->Append(header);
+    if (s.ok()) s = file_->Flush();
+    if (s.ok() && fsync_each_record_) {
+      // Under power-loss guarantees the header — and the directory
+      // entry of a freshly created log — must be durable before any
+      // append is acknowledged: fsync(2) of the file alone does not
+      // persist its name, and a log whose entry vanishes takes every
+      // acked record with it.
+      s = file_->Sync();
+      if (s.ok()) s = env_->SyncDir(DirnameOf(path_));
+    }
+    if (!s.ok()) {
       Close();
-      return Status::IoError("cannot write WAL header: " + path);
+      return Status(s.code(), "cannot write WAL header: " + path + " (" +
+                                  s.message() + ")");
     }
     bytes_ = header.size();
   }
   return Status::Ok();
 }
 
-Status WalWriter::Reset() {
-  if (path_.empty()) return Status::Internal("WAL writer never opened");
-  Close();
-  file_ = std::fopen(path_.c_str(), "wb");
-  if (file_ == nullptr) {
-    // Leave the writer retryable: the next Reset attempts fopen again.
+Status WalWriter::OpenFresh() {
+  Status s = env_->NewWritableFile(path_, Env::WriteMode::kTruncate, &file_);
+  if (!s.ok()) {
+    // Leave the writer retryable: the next Reset/Rotate tries again.
     failed_ = true;
-    return Status::IoError("cannot truncate WAL: " + path_);
+    return Status(s.code(), "cannot truncate WAL: " + path_);
   }
   std::string header = WalHeader();
-  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
-      std::fflush(file_) != 0) {
+  s = file_->Append(header);
+  if (s.ok()) s = file_->Flush();
+  if (s.ok() && fsync_each_record_) {
+    s = file_->Sync();
+    if (s.ok()) s = env_->SyncDir(DirnameOf(path_));
+  }
+  if (!s.ok()) {
     failed_ = true;
-    return Status::IoError("cannot write WAL header: " + path_);
+    return Status(s.code(),
+                  "cannot write WAL header: " + path_ + " (" + s.message() +
+                      ")");
   }
   bytes_ = header.size();
   appended_records_ = 0;
@@ -320,10 +336,31 @@ Status WalWriter::Reset() {
   return Status::Ok();
 }
 
+Status WalWriter::Reset() {
+  if (path_.empty()) return Status::Internal("WAL writer never opened");
+  Close();
+  return OpenFresh();
+}
+
+Status WalWriter::Rotate(const std::string& retired_path) {
+  if (path_.empty()) return Status::Internal("WAL writer never opened");
+  Close();
+  // A retried Rotate after a failed fresh-log open finds the rename
+  // already done; skip it rather than fail on the missing source.
+  if (env_->FileExists(path_)) {
+    Status s = env_->RenameFile(path_, retired_path);
+    if (!s.ok()) {
+      failed_ = true;
+      return s;
+    }
+  }
+  return OpenFresh();
+}
+
 void WalWriter::Close() {
   if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+    (void)file_->Close();
+    file_.reset();
   }
 }
 
@@ -338,49 +375,49 @@ Status WalWriter::Append(std::string_view payload) {
   frame.PutFixed32(Crc32(payload));
   frame.PutBytes(payload.data(), payload.size());
   const std::string& bytes = frame.data();
-  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
-      std::fflush(file_) != 0) {
+  Status s = file_->Append(bytes);
+  if (s.ok()) s = file_->Flush();
+  if (!s.ok()) {
     // A partial frame may have reached the file; roll back to the last
     // good frame boundary so the on-disk prefix stays cleanly framed.
-    // Either way the writer latches: the mutation applied in memory but
-    // was never logged, so any *later* frame would be inconsistent with
-    // the store it replays into (an append frame's expected id, a
-    // delete a lost delete should have preceded). Only a checkpoint —
-    // which captures the in-memory state wholesale — may reopen the
-    // log.
-#ifdef __unix__
-    if (::ftruncate(fileno(file_), static_cast<off_t>(bytes_)) != 0) {
-      // Rollback failed; the torn frame stays and replay will stop at
-      // it, which is the same consistent prefix.
+    // (If the rollback fails too, the torn frame stays and replay will
+    // stop at it — the same consistent prefix.) Either way the writer
+    // latches: the mutation applied in memory but was never logged, so
+    // any *later* frame would be inconsistent with the store it
+    // replays into (an append frame's expected id, a delete a lost
+    // delete should have preceded). Only a checkpoint — which captures
+    // the in-memory state wholesale — may reopen the log.
+    (void)file_->Truncate(bytes_);
+    failed_ = true;
+    return Status(s.code(),
+                  "WAL append failed: " + path_ + " (" + s.message() + ")");
+  }
+  if (fsync_each_record_) {
+    s = file_->Sync();
+    if (!s.ok()) {
+      // The caller was promised power-loss durability; an unsynced
+      // frame breaks it, and on Linux the error may be consumed by
+      // this very call (later fsyncs would lie). Same discipline as a
+      // failed write: latch until a checkpoint repairs.
+      failed_ = true;
+      return Status(s.code(),
+                    "WAL fsync failed: " + path_ + " (" + s.message() + ")");
     }
-#endif
-    failed_ = true;
-    return Status::IoError("WAL append failed: " + path_);
   }
-#ifdef __unix__
-  if (fsync_each_record_ && fsync(fileno(file_)) != 0) {
-    // The caller was promised power-loss durability; an unsynced frame
-    // breaks it, and on Linux the error may be consumed by this very
-    // call (later fsyncs would lie). Same discipline as a failed
-    // write: latch until a checkpoint repairs.
-    failed_ = true;
-    return Status::IoError("WAL fsync failed: " + path_);
-  }
-#endif
   bytes_ += bytes.size();
   ++appended_records_;
   return Status::Ok();
 }
 
 Status ReplayWal(const std::string& path, QueryStore* store,
-                 WalReplayStats* stats, uint64_t min_sequence) {
+                 WalReplayStats* stats, uint64_t min_sequence, Env* env) {
+  if (env == nullptr) env = Env::Default();
   *stats = WalReplayStats{};
-  {
-    std::ifstream probe(path, std::ios::binary);
-    if (!probe) return Status::Ok();  // no log yet: fresh deployment
+  if (!env->FileExists(path)) {
+    return Status::Ok();  // no log yet: fresh deployment
   }
   std::string file;
-  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file));
+  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file, env));
   if (file.empty()) return Status::Ok();
   if (file.size() < kHeaderSize) {
     // A crash during the very first header write leaves a short prefix

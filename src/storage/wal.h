@@ -2,11 +2,12 @@
 #define CQMS_STORAGE_WAL_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
+#include "storage/env.h"
 #include "storage/query_store.h"
 
 namespace cqms::storage {
@@ -70,16 +71,27 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  /// Opens `path` for appending, writing the header first when the file
-  /// is new or empty. Callers replay (and truncate) the log before
-  /// opening a writer on it.
-  Status Open(const std::string& path, bool fsync_each_record = false);
+  /// Opens `path` for appending through `env` (null = Env::Default()),
+  /// writing the header first when the file is new or empty. Callers
+  /// replay (and truncate) the log before opening a writer on it. With
+  /// per-record fsync the fresh header — and the log's very directory
+  /// entry — are synced before returning, so the first acknowledged
+  /// append cannot outlive the file it was written to.
+  Status Open(const std::string& path, bool fsync_each_record = false,
+              Env* env = nullptr);
 
-  /// Truncates the log back to a fresh header — the checkpoint step
-  /// after a successful snapshot write. Also the recovery path out of
-  /// the latched failed state; safe to retry after a failure (a
-  /// transient fopen error does not wedge the writer).
+  /// Truncates the log back to a fresh header — the recovery path out
+  /// of the latched failed state; safe to retry after a failure (a
+  /// transient open error does not wedge the writer).
   Status Reset();
+
+  /// The checkpoint step after a successful snapshot publish: the
+  /// current log is renamed to `retired_path` (replacing the previous
+  /// generation) and a fresh log started. Keeping one retired
+  /// generation lets recovery fall back to the previous snapshot plus
+  /// a longer replay when the newest snapshot turns out corrupt. Like
+  /// Reset, safe to retry after a failure.
+  Status Rotate(const std::string& retired_path);
 
   void Close();
   bool is_open() const { return file_ != nullptr; }
@@ -92,8 +104,13 @@ class WalWriter {
   uint64_t appended_records() const { return appended_records_; }
 
  private:
+  /// Starts a fresh truncated log with a header at path_ (Reset and the
+  /// second half of Rotate).
+  Status OpenFresh();
+
   std::string path_;
-  std::FILE* file_ = nullptr;
+  Env* env_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
   bool fsync_each_record_ = false;
   /// Latched when a failed append could not be rolled back to a frame
   /// boundary; cleared by Open/Reset.
@@ -126,11 +143,13 @@ struct WalReplayStats {
 /// snapshot+replay pair idempotent. A torn final frame (truncated or
 /// failing its CRC) marks the end of the committed prefix: it and
 /// anything after it are reported in `torn_bytes` and not applied. An
-/// intact frame that fails to decode or apply is real corruption and
-/// fails the replay. A missing file replays zero records successfully
-/// (fresh deployment).
+/// intact frame that fails to decode or apply is real corruption —
+/// including a record-type tag this build does not know, which a newer
+/// writer could have produced — and fails the replay with kCorruption.
+/// A missing file replays zero records successfully (fresh deployment).
 Status ReplayWal(const std::string& path, QueryStore* store,
-                 WalReplayStats* stats, uint64_t min_sequence = 0);
+                 WalReplayStats* stats, uint64_t min_sequence = 0,
+                 Env* env = nullptr);
 
 }  // namespace cqms::storage
 

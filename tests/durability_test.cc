@@ -32,6 +32,17 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
+/// Clears every file a DurableStore may leave in `dir` — both snapshot
+/// generations, both WAL generations, and stranded tmp files — so a
+/// test rerun starts from a genuinely empty directory.
+void RemoveDurableFiles(const std::string& dir) {
+  for (const char* name :
+       {"/snapshot.cqms", "/snapshot.cqms.1", "/snapshot.cqms.tmp",
+        "/wal.log", "/wal.log.1"}) {
+    std::remove((dir + name).c_str());
+  }
+}
+
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   return std::string((std::istreambuf_iterator<char>(in)),
@@ -464,7 +475,7 @@ TEST(SnapshotV2Test, CorruptSnapshotsAreRejected) {
     bad[3] ^= 0x40;
     WriteFile(path, bad);
     QueryStore s;
-    EXPECT_EQ(LoadSnapshot(&s, path).code(), StatusCode::kIoError);
+    EXPECT_EQ(LoadSnapshot(&s, path).code(), StatusCode::kCorruption);
   }
   {  // Unsupported version.
     std::string bad = good;
@@ -486,7 +497,7 @@ TEST(SnapshotV2Test, CorruptSnapshotsAreRejected) {
     std::string bad = good.substr(0, good.size() - 30);
     WriteFile(path, bad);
     QueryStore s;
-    EXPECT_EQ(LoadSnapshot(&s, path).code(), StatusCode::kIoError);
+    EXPECT_EQ(LoadSnapshot(&s, path).code(), StatusCode::kCorruption);
   }
   // And the pristine bytes still load.
   WriteFile(path, good);
@@ -558,8 +569,7 @@ void ExpectStoresEquivalent(const QueryStore& a, const QueryStore& b,
 
 TEST(WalTest, ReplayRecoversEveryCommittedMutationAfterTornWrite) {
   std::string dir = TempPath("cqms_wal_torn");
-  std::remove((dir + "/snapshot.cqms").c_str());
-  std::remove((dir + "/wal.log").c_str());
+  RemoveDurableFiles(dir);
 
   Harness h;
   DurableStore durable(&h.store, dir);
@@ -606,8 +616,7 @@ TEST(WalTest, ReplayRecoversEveryCommittedMutationAfterTornWrite) {
 
 TEST(WalTest, MutationsAfterRecoveryKeepLogging) {
   std::string dir = TempPath("cqms_wal_continue");
-  std::remove((dir + "/snapshot.cqms").c_str());
-  std::remove((dir + "/wal.log").c_str());
+  RemoveDurableFiles(dir);
 
   {
     Harness h;
@@ -633,8 +642,7 @@ TEST(WalTest, MutationsAfterRecoveryKeepLogging) {
 
 TEST(WalTest, CrashBetweenSnapshotWriteAndWalTruncationIsIdempotent) {
   std::string dir = TempPath("cqms_wal_ckpt_crash");
-  std::remove((dir + "/snapshot.cqms").c_str());
-  std::remove((dir + "/wal.log").c_str());
+  RemoveDurableFiles(dir);
 
   Harness h;
   DurableStore durable(&h.store, dir);
@@ -670,7 +678,7 @@ TEST(WalTest, CrashBetweenSnapshotWriteAndWalTruncationIsIdempotent) {
 TEST(WalTest, TornInitialHeaderRecoversToEmpty) {
   std::string dir = TempPath("cqms_wal_torn_header");
   ::mkdir(dir.c_str(), 0755);
-  std::remove((dir + "/snapshot.cqms").c_str());
+  RemoveDurableFiles(dir);
   // The process died while writing the very first WAL header: only a
   // prefix of the magic ever landed.
   WriteFile(dir + "/wal.log", "CQMSW");
@@ -688,13 +696,13 @@ TEST(WalTest, TornInitialHeaderRecoversToEmpty) {
   WriteFile(dir + "/wal.log", "NOTAWAL");
   Harness h2;
   DurableStore foreign(&h2.store, dir);
-  EXPECT_EQ(foreign.Open().code(), StatusCode::kIoError);
+  EXPECT_EQ(foreign.Open().code(), StatusCode::kCorruption);
 }
 
 TEST(MigrationTest, V1SnapshotLoadsAndCheckpointsToV2) {
   std::string dir = TempPath("cqms_migrate");
   ::mkdir(dir.c_str(), 0755);
-  std::remove((dir + "/wal.log").c_str());
+  RemoveDurableFiles(dir);
 
   Harness h;
   QueryId a = h.Log("alice", "SELECT temp FROM WaterTemp WHERE temp < 18");
@@ -723,8 +731,7 @@ TEST(MigrationTest, V1SnapshotLoadsAndCheckpointsToV2) {
 
 TEST(DurableFacadeTest, MaintenanceCheckpointsWhenWalCrossesThreshold) {
   std::string dir = TempPath("cqms_facade_dur");
-  std::remove((dir + "/snapshot.cqms").c_str());
-  std::remove((dir + "/wal.log").c_str());
+  RemoveDurableFiles(dir);
 
   SimulatedClock clock{1'000'000};
   CqmsOptions options;
