@@ -1,0 +1,150 @@
+// E7 — Concurrent meta-query serving (docs/concurrency.md).
+//
+// The acceptance metric for the epoch-published read-view pipeline:
+// aggregate meta-query throughput must scale with reader threads while
+// a writer continuously mutates and republishes the store. Each
+// BM_ConcurrentQps iteration is one full read: pin the published view,
+// plan + score a kNN meta-query against it, unpin. A background writer
+// (started per run via Setup/Teardown, so it is excluded from the
+// measured threads) applies a mutation and republish as fast as it can
+// the whole time. Compare items_per_second between threads:1 and
+// threads:8 — on a multi-core host the 8-reader aggregate should be
+// >= 5x the single-reader one; on a single hardware thread the runs
+// only interleave and no scaling is measurable.
+//
+// BM_PinView / BM_PublishView isolate the two pipeline primitives: the
+// reader's pin (a few atomic ops, O(1)) and the writer's
+// copy-on-publish snapshot (O(log size)).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bench_util.h"
+#include "metaquery/meta_query_planner.h"
+#include "metaquery/meta_query_request.h"
+#include "storage/record_builder.h"
+
+namespace cqms {
+namespace {
+
+const char* kViewer = "user0";
+
+/// The shared store the concurrent benchmark runs against, plus its
+/// background writer. Built once (leaked, like the bench fixtures) and
+/// reset around every benchmark run by Setup/Teardown.
+struct ConcurrentFixture {
+  explicit ConcurrentFixture(size_t log_size)
+      : base(new bench::LogFixture(log_size)) {
+    storage::ViewOptions options;
+    options.publish_every = 1;  // worst-case publication churn
+    base->store.EnableViews(options);
+    probe = storage::BuildRecordFromText(
+        "SELECT T.temp FROM WaterTemp T WHERE T.temp < 18", kViewer, 0,
+        storage::SignatureMode::kTransient);
+  }
+
+  void StartWriter() {
+    stop.store(false, std::memory_order_release);
+    writer = std::thread([this]() {
+      storage::QueryStore& store = base->store;
+      const size_t n = store.size();
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Quality flips always differ from the stored value, so every
+        // call is a real mutation + republish; cycling ids keeps the
+        // log size constant for the whole run.
+        storage::QueryId id = static_cast<storage::QueryId>(i % n);
+        Status s = store.SetQuality(id, (i & 1) != 0 ? 0.7 : 0.3);
+        (void)s;
+        ++i;
+        std::this_thread::yield();
+      }
+      writes = i;
+    });
+  }
+
+  void StopWriter() {
+    stop.store(true, std::memory_order_release);
+    if (writer.joinable()) writer.join();
+  }
+
+  bench::LogFixture* base;
+  storage::QueryRecord probe;
+  std::thread writer;
+  std::atomic<bool> stop{false};
+  uint64_t writes = 0;
+};
+
+ConcurrentFixture& GetConcurrentFixture() {
+  static ConcurrentFixture* fixture = new ConcurrentFixture(5000);
+  return *fixture;
+}
+
+void SetupConcurrentQps(const benchmark::State&) {
+  GetConcurrentFixture().StartWriter();
+}
+
+void TeardownConcurrentQps(const benchmark::State&) {
+  GetConcurrentFixture().StopWriter();
+}
+
+/// N reader threads, each running full kNN meta-queries against pinned
+/// views, while the Setup-started writer mutates + republishes
+/// continuously. items_per_second is the aggregate read throughput.
+void BM_ConcurrentQps(benchmark::State& state) {
+  ConcurrentFixture& f = GetConcurrentFixture();
+  storage::QueryStore& store = f.base->store;
+  metaquery::MetaQueryRequest request;
+  request.SimilarTo(f.probe).Limit(10);
+  for (auto _ : state) {
+    storage::PinnedView view = store.PinView();
+    metaquery::MetaQueryPlanner planner{storage::StoreView(*view)};
+    metaquery::MetaQueryResponse resp =
+        planner.Execute(request, &view->CacheFor(kViewer));
+    benchmark::DoNotOptimize(resp);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["log_size"] = static_cast<double>(store.size());
+    state.counters["writer_mutations"] = static_cast<double>(f.writes);
+  }
+}
+BENCHMARK(BM_ConcurrentQps)
+    ->Threads(1)
+    ->Threads(8)
+    ->Setup(SetupConcurrentQps)
+    ->Teardown(TeardownConcurrentQps)
+    ->UseRealTime();
+
+/// Reader entry cost in isolation: one pin + published-pointer load +
+/// unpin, no query executed.
+void BM_PinView(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  if (!f.store.views_enabled()) f.store.EnableViews();
+  for (auto _ : state) {
+    storage::PinnedView view = f.store.PinView();
+    benchmark::DoNotOptimize(view.get());
+  }
+}
+BENCHMARK(BM_PinView)->Arg(5000)->ArgNames({"queries"});
+
+/// Writer-side publication cost: one full copy-on-publish snapshot of
+/// the scoring columns, posting lists, LSH index and ACL at this log
+/// size (the record log itself is shared by pointer).
+void BM_PublishView(benchmark::State& state) {
+  bench::LogFixture& f = bench::GetFixture(static_cast<size_t>(state.range(0)));
+  if (!f.store.views_enabled()) f.store.EnableViews();
+  for (auto _ : state) {
+    f.store.PublishView();
+  }
+  state.counters["log_size"] = static_cast<double>(f.store.size());
+}
+BENCHMARK(BM_PublishView)
+    ->Arg(1000)->Arg(5000)->Arg(20000)->ArgNames({"queries"});
+
+}  // namespace
+}  // namespace cqms
+
+BENCHMARK_MAIN();

@@ -21,12 +21,20 @@ class Clock {
   virtual Micros Now() const = 0;
 };
 
-/// Wall-clock backed implementation.
+/// Wall-clock backed implementation. Uses system_clock (microseconds
+/// since the Unix epoch), NOT steady_clock: these timestamps are
+/// persisted into snapshots and the WAL, so they must stay comparable
+/// across process restarts and host reboots. steady_clock counts from
+/// an arbitrary per-boot epoch — restored timestamps would compare
+/// wildly against fresh ones, silently corrupting sessionization gaps,
+/// popularity decay and log-order ranking after a reboot. Elapsed-time
+/// measurement (which must never jump on NTP steps) stays on
+/// steady_clock via WallTimer.
 class SystemClock : public Clock {
  public:
   Micros Now() const override {
     return std::chrono::duration_cast<std::chrono::microseconds>(
-               std::chrono::steady_clock::now().time_since_epoch())
+               std::chrono::system_clock::now().time_since_epoch())
         .count();
   }
 };

@@ -152,8 +152,33 @@ class Cqms {
 
   /// Snapshot persistence of the query log (binary v2; LoadSnapshot
   /// reads both formats, so older text snapshots remain loadable).
+  /// With concurrent reads enabled, the snapshot encodes from the
+  /// current published view — a consistent mutation prefix — instead of
+  /// the live structures, so it may run off the writer thread.
   Status SaveLog(const std::string& path) const {
+    if (store_.views_enabled()) {
+      std::shared_ptr<const storage::ReadViewState> view = store_.SharedView();
+      return storage::SaveSnapshotV2(*view, path);
+    }
     return storage::SaveSnapshotV2(store_, path);
+  }
+
+  // --- concurrent reads ----------------------------------------------------
+
+  /// Turns on the store's epoch-published read-view pipeline
+  /// (docs/concurrency.md): from here on, Search / metaquery() calls
+  /// execute against immutable published snapshots and are safe from
+  /// any number of threads concurrently with this instance's writer
+  /// thread (Execute, maintenance, mining). Call from the writer
+  /// thread, typically right after construction or restore.
+  void EnableConcurrentReads(storage::ViewOptions options = {}) {
+    store_.EnableViews(options);
+  }
+
+  /// Refcounted handle on the latest published view (null until
+  /// EnableConcurrentReads) — for long-lived consumers like backups.
+  std::shared_ptr<const storage::ReadViewState> CurrentReadView() const {
+    return store_.SharedView();
   }
 
   // --- durability ----------------------------------------------------------

@@ -168,6 +168,10 @@ size_t QueryMaintenance::UpdateQuality() {
 }
 
 MaintenanceReport QueryMaintenance::RunAll() {
+  // One republish for the whole cycle: a maintenance pass can touch
+  // thousands of records (flags, quality, stats), and per-mutation
+  // publication would copy the view state for each one.
+  storage::QueryStore::ScopedPublishBatch batch(store_);
   MaintenanceReport report = CheckSchemaValidity();
   MaintenanceReport stats = RefreshStatistics();
   report.tables_drifted = stats.tables_drifted;

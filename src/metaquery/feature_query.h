@@ -67,6 +67,18 @@ class FeatureQuery {
   const std::vector<PredicateCondition>& predicates() const { return predicates_; }
   const std::optional<std::string>& user() const { return user_; }
 
+  /// True when every condition is exactly backed by a posting list
+  /// (tables, attributes, user) — a candidate produced by intersecting
+  /// those lists needs no per-record recheck, so the planner can keep
+  /// its scoring loop off the record log. Predicate conditions need the
+  /// record (the index only knows the attribute was referenced) and the
+  /// runtime-feature filters are not indexed at all.
+  bool IndexCovered() const {
+    return predicates_.empty() && !max_execution_micros_.has_value() &&
+           !max_result_rows_.has_value() && !min_result_rows_.has_value() &&
+           !succeeded_only_;
+  }
+
  private:
   std::vector<std::string> tables_;
   std::vector<std::pair<std::string, std::string>> attributes_;

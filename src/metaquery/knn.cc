@@ -12,6 +12,12 @@ namespace cqms::metaquery {
 KnnCandidates KnnCandidateIds(const storage::QueryStore& store,
                               const storage::QueryRecord& probe,
                               const CandidateOptions& options) {
+  return KnnCandidateIds(storage::StoreView(store), probe, options);
+}
+
+KnnCandidates KnnCandidateIds(const storage::StoreView& store,
+                              const storage::QueryRecord& probe,
+                              const CandidateOptions& options) {
   KnnCandidates out;
   if (!probe.parse_failed() && !probe.components.tables.empty()) {
     bool use_lsh =
@@ -77,7 +83,7 @@ std::vector<Neighbor> KnnSearchReference(
   double inv_log_size =
       1.0 / std::log1p(static_cast<double>(store.size()) + 1.0);
 
-  storage::VisibilityCache visibility(&store, viewer);
+  storage::VisibilityCache& visibility = store.CacheFor(viewer);
   std::vector<Neighbor> scored;
   scored.reserve(candidates.size());
   for (storage::QueryId id : candidates) {

@@ -68,6 +68,11 @@ struct KnnCandidates {
 /// recall knobs). Small logs (or LSH disabled): the exhaustive
 /// table-index union via the probe signature's interned table Symbols.
 /// Probes with no tables scan the whole log either way.
+KnnCandidates KnnCandidateIds(const storage::StoreView& store,
+                              const storage::QueryRecord& probe,
+                              const CandidateOptions& options);
+
+/// Live-store convenience (wraps the store in a StoreView facade).
 KnnCandidates KnnCandidateIds(const storage::QueryStore& store,
                               const storage::QueryRecord& probe,
                               const CandidateOptions& options);

@@ -6,18 +6,23 @@
 
 namespace cqms::metaquery {
 
-storage::VisibilityCache& MetaQueryExecutor::CacheFor(
-    const std::string& viewer) const {
-  auto it = caches_.find(viewer);
-  if (it == caches_.end()) {
-    // Each cache holds a byte per record, so an unbounded viewer set
-    // would retain O(viewers * log size). Resetting wholesale past the
-    // cap is crude but correct (caches only memoize) and keeps the
-    // common many-searches-per-viewer case warm.
-    if (caches_.size() >= kMaxViewerCaches) caches_.clear();
-    it = caches_.emplace(viewer, storage::VisibilityCache(store_, viewer)).first;
+MetaQueryResponse MetaQueryExecutor::Execute(
+    const std::string& viewer, const MetaQueryRequest& request) const {
+  if (store_->views_enabled()) {
+    // Concurrent path: pin the current published view for the whole
+    // execution — planner, scoring and visibility all read the same
+    // immutable snapshot, untouched by whatever the writer does
+    // meanwhile. The view pools visibility caches per (viewer, thread),
+    // so repeated queries from one serving thread stay memoized.
+    storage::PinnedView view = store_->PinView();
+    MetaQueryPlanner planner{storage::StoreView(*view)};
+    return planner.Execute(request, &view->CacheFor(viewer));
   }
-  return it->second;
+  // Live path (views never enabled): identical to the single-threaded
+  // original. The store pools visibility caches per (viewer, thread),
+  // so repeated queries keep their memoized ACL decisions warm.
+  MetaQueryPlanner planner(store_);
+  return planner.Execute(request, &store_->CacheFor(viewer));
 }
 
 Result<db::QueryResult> MetaQueryExecutor::Sql(const std::string& viewer,
@@ -28,7 +33,7 @@ Result<db::QueryResult> MetaQueryExecutor::Sql(const std::string& viewer,
   auto it = std::find(result.column_names.begin(), result.column_names.end(), "qid");
   if (it != result.column_names.end()) {
     size_t qid_col = static_cast<size_t>(it - result.column_names.begin());
-    storage::VisibilityCache& cache = CacheFor(viewer);
+    storage::VisibilityCache& cache = store_->CacheFor(viewer);
     std::vector<db::Row> kept;
     kept.reserve(result.rows.size());
     for (db::Row& r : result.rows) {

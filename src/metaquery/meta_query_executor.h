@@ -2,7 +2,6 @@
 #define CQMS_METAQUERY_META_QUERY_EXECUTOR_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "metaquery/feature_query.h"
@@ -27,21 +26,27 @@ namespace cqms::metaquery {
 /// MetaQueryPlanner. Call `Execute` directly to *combine* predicates —
 /// "queries touching `lineage` with skeleton X, similar to this probe,
 /// ranked by popularity" is one request — which the per-class wrappers
-/// cannot express. The executor owns one VisibilityCache per viewer,
-/// persistent across calls and self-invalidating on ACL mutation, so ACL
-/// group checks are not recomputed per search.
+/// cannot express.
+///
+/// Thread model: the executor itself is stateless (Execute never
+/// mutates it), so one executor serves any number of concurrent caller
+/// threads. When the store has read views enabled, each Execute pins
+/// the current published view and runs entirely against that immutable
+/// snapshot — visibility memoization lives in the view's per-(viewer,
+/// thread) cache pool, staying warm across a thread's queries. Without
+/// views, Execute runs against the live store with a call-local cache
+/// (single-threaded original behavior, same results).
 class MetaQueryExecutor {
  public:
   /// `store` must outlive the executor.
   explicit MetaQueryExecutor(const storage::QueryStore* store)
-      : store_(store), planner_(store) {}
+      : store_(store) {}
 
-  /// The unified entry point: runs any predicate combination through the
-  /// planner with this executor's persistent visibility cache.
+  /// The unified entry point: runs any predicate combination through
+  /// the planner, against the current published view when the store has
+  /// one (see the class comment).
   MetaQueryResponse Execute(const std::string& viewer,
-                            const MetaQueryRequest& request) const {
-    return planner_.Execute(request, &CacheFor(viewer));
-  }
+                            const MetaQueryRequest& request) const;
 
   // --- legacy per-class entry points: thin one-predicate wrappers ------
 
@@ -75,6 +80,9 @@ class MetaQueryExecutor {
   /// Runs arbitrary SQL against the Figure-1 feature relations. When the
   /// result exposes a `qid` column, rows whose query is not visible to
   /// `viewer` are removed — SQL meta-querying cannot bypass the ACL.
+  /// Live-store only (the feature database is not part of published
+  /// views): call from the writer thread, never concurrently with
+  /// mutations.
   Result<db::QueryResult> Sql(const std::string& viewer,
                               const std::string& meta_sql) const;
 
@@ -119,17 +127,7 @@ class MetaQueryExecutor {
                                         const RankingOptions& ranking = {}) const;
 
  private:
-  /// Distinct viewers cached before the pool is reset (bounds resident
-  /// memory at roughly kMaxViewerCaches * log-size bytes).
-  static constexpr size_t kMaxViewerCaches = 256;
-
-  /// The persistent visibility cache for `viewer` (created on first use;
-  /// ACL-epoch checks inside the cache keep it correct forever after).
-  storage::VisibilityCache& CacheFor(const std::string& viewer) const;
-
   const storage::QueryStore* store_;
-  MetaQueryPlanner planner_;
-  mutable std::unordered_map<std::string, storage::VisibilityCache> caches_;
 };
 
 }  // namespace cqms::metaquery

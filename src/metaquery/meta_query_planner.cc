@@ -16,15 +16,19 @@ using storage::ScoringColumns;
 
 MetaQueryResponse MetaQueryPlanner::Execute(
     const std::string& viewer, const MetaQueryRequest& request) const {
-  storage::VisibilityCache cache(store_, viewer);
-  return Execute(request, &cache);
+  // Route through the backing object's (viewer, thread) cache pool so
+  // repeated queries keep their memoized ACL decisions warm.
+  if (view_.view() != nullptr) {
+    return Execute(request, &view_.view()->CacheFor(viewer));
+  }
+  return Execute(request, &view_.live_store()->CacheFor(viewer));
 }
 
 MetaQueryResponse MetaQueryPlanner::Execute(
     const MetaQueryRequest& request,
     storage::VisibilityCache* visibility) const {
   MetaQueryResponse resp;
-  const storage::QueryStore& store = *store_;
+  const storage::StoreView& store = view_;
   const ScoringColumns& cols = store.scoring();
 
   // --- resolve the keyword predicate to interned token Symbols once ----
@@ -140,6 +144,15 @@ MetaQueryResponse MetaQueryPlanner::Execute(
   const bool recheck_keyword =
       request.keyword.has_value() &&
       resp.generator != CandidateGenerator::kPostingIntersection;
+  // Same trust argument for the feature conditions: when the candidates
+  // came from intersecting this query's own posting lists and every
+  // condition is index-backed (IndexCovered), membership is already
+  // exact — the indexes are purged on rewrite — so the per-candidate
+  // record fetch is pure overhead.
+  const bool recheck_feature =
+      request.feature.has_value() &&
+      (resp.generator != CandidateGenerator::kPostingIntersection ||
+       !request.feature->IndexCovered());
   const bool probe_sig_valid = probe != nullptr && probe->signature.valid;
   SignatureView probe_view;
   if (probe_sig_valid) probe_view = ViewOfSignature(*probe);
@@ -188,8 +201,7 @@ MetaQueryResponse MetaQueryPlanner::Execute(
         !MatchesPattern(*store.Get(id), *request.structure)) {
       return;
     }
-    if (request.feature.has_value() &&
-        !request.feature->MatchesRecord(*store.Get(id))) {
+    if (recheck_feature && !request.feature->MatchesRecord(*store.Get(id))) {
       return;
     }
     double sim = 0;

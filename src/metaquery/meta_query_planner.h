@@ -36,12 +36,21 @@ namespace cqms::metaquery {
 /// candidate through the caller's VisibilityCache.
 class MetaQueryPlanner {
  public:
-  /// `store` must outlive the planner.
-  explicit MetaQueryPlanner(const storage::QueryStore* store) : store_(store) {}
+  /// Plans against the live store (single-threaded path). `store` must
+  /// outlive the planner.
+  explicit MetaQueryPlanner(const storage::QueryStore* store)
+      : view_(*store) {}
 
-  /// Runs `request` for `visibility`'s viewer. The cache is typically
-  /// the MetaQueryExecutor's persistent per-viewer cache; it memoizes
-  /// ACL decisions across calls and self-invalidates on ACL mutation.
+  /// Plans against a read facade — the live store or a pinned published
+  /// view (concurrent path). Whatever backs the facade must outlive the
+  /// planner; on the view path that means the caller holds the
+  /// PinnedView for the planner's whole execution.
+  explicit MetaQueryPlanner(storage::StoreView view) : view_(view) {}
+
+  /// Runs `request` for `visibility`'s viewer. The cache must be backed
+  /// by the same store / view as the planner; it memoizes ACL decisions
+  /// across calls (and, on the live path, self-invalidates on ACL
+  /// mutation).
   MetaQueryResponse Execute(const MetaQueryRequest& request,
                             storage::VisibilityCache* visibility) const;
 
@@ -50,7 +59,7 @@ class MetaQueryPlanner {
                             const MetaQueryRequest& request) const;
 
  private:
-  const storage::QueryStore* store_;
+  storage::StoreView view_;
 };
 
 }  // namespace cqms::metaquery

@@ -47,6 +47,9 @@ void QueryMiner::Recluster(const std::vector<storage::QueryId>& dirty) {
 }
 
 void QueryMiner::RunAll() {
+  // The sessionizer writes session ids back record by record; one
+  // republish for the whole mining cycle.
+  storage::QueryStore::ScopedPublishBatch batch(store_);
   // Everything is rebuilt from scratch below, so whatever the change
   // feed accumulated is covered — absorb it.
   tracker_.Drain();
@@ -87,6 +90,7 @@ void QueryMiner::RunAll() {
 }
 
 void QueryMiner::RefreshIncremental(storage::ChangeDelta delta) {
+  storage::QueryStore::ScopedPublishBatch batch(store_);
   last_stats_ = MinerRefreshStats{};
   last_stats_.ran = true;
   last_stats_.full = false;

@@ -27,6 +27,25 @@ enum class Visibility {
 /// `CanSee` so knowledge transfer respects collaboration boundaries.
 class AccessControl {
  public:
+  AccessControl() = default;
+
+  /// Copying carries the rules (memberships, visibility, epoch) but
+  /// never the listeners: a copy is a frozen snapshot — a published
+  /// read view's ACL — not a second mutation source, so observers of
+  /// the live ACL must not receive (or dangle from) its copies.
+  AccessControl(const AccessControl& other)
+      : memberships_(other.memberships_),
+        visibility_(other.visibility_),
+        epoch_(other.epoch_) {}
+  AccessControl& operator=(const AccessControl& other) {
+    if (this != &other) {
+      memberships_ = other.memberships_;
+      visibility_ = other.visibility_;
+      epoch_ = other.epoch_;
+    }
+    return *this;
+  }
+
   /// Registers `user` as a member of `groups` (creates groups on demand;
   /// repeated calls merge memberships).
   void AddUser(const std::string& user, const std::vector<std::string>& groups);

@@ -1,0 +1,104 @@
+#include "storage/epoch.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace cqms::storage {
+
+namespace {
+
+/// Spreads concurrent pinners across the slot array so they do not all
+/// CAS-contend on slot 0. Any per-thread value works; the thread id
+/// hash is stable and free.
+size_t StartSlotForThisThread() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+         EpochDomain::kMaxSlots;
+}
+
+}  // namespace
+
+size_t EpochDomain::TryPin() {
+  const size_t start = StartSlotForThisThread();
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    const size_t s = (start + i) % kMaxSlots;
+    uint64_t idle = 0;
+    uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    if (slots_[s].epoch.compare_exchange_strong(idle, e,
+                                                std::memory_order_seq_cst)) {
+      // Re-validate: the writer may have advanced the epoch between our
+      // load and the stamp. Re-stamp until the slot matches the global
+      // epoch we last read, so the writer's min-active scan can never
+      // overlook this pin when deciding what to free. Converges in one
+      // iteration unless the writer is publishing concurrently.
+      for (;;) {
+        uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+        if (now == e) return s;
+        slots_[s].epoch.store(now, std::memory_order_seq_cst);
+        e = now;
+      }
+    }
+  }
+  return kNoSlot;
+}
+
+size_t EpochDomain::Pin() {
+  for (;;) {
+    size_t s = TryPin();
+    if (s != kNoSlot) return s;
+    // All kMaxSlots slots pinned — extremely unlikely outside stress
+    // tests. Yield rather than grow: a bounded slot array keeps the
+    // writer's reclamation scan O(1).
+    std::this_thread::yield();
+  }
+}
+
+void EpochDomain::Unpin(size_t slot) {
+  slots_[slot].epoch.store(0, std::memory_order_seq_cst);
+}
+
+void EpochDomain::Retire(std::shared_ptr<const void> object) {
+  // fetch_add returns the pre-increment value: the largest epoch a
+  // reader still observing `object` can possibly have stamped.
+  uint64_t retire_epoch = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.emplace_back(retire_epoch, std::move(object));
+}
+
+uint64_t EpochDomain::MinActiveEpoch() const {
+  uint64_t min_active = ~uint64_t{0};
+  for (const Slot& s : slots_) {
+    uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != 0) min_active = std::min(min_active, e);
+  }
+  return min_active;
+}
+
+void EpochDomain::Reclaim() {
+  std::vector<std::shared_ptr<const void>> to_free;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    if (retired_.empty()) return;
+    const uint64_t min_active = MinActiveEpoch();
+    auto keep = retired_.begin();
+    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+      if (it->first < min_active) {
+        to_free.push_back(std::move(it->second));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    retired_.erase(keep, retired_.end());
+  }
+  // Destructors run outside the lock: freeing a large view snapshot
+  // must not stall a concurrent Retire.
+  to_free.clear();
+}
+
+size_t EpochDomain::retired_count() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+}  // namespace cqms::storage

@@ -1,0 +1,108 @@
+#ifndef CQMS_STORAGE_EPOCH_H_
+#define CQMS_STORAGE_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cqms::storage {
+
+/// Epoch-based reclamation for read-mostly published objects (the
+/// QueryStore's ReadViewState snapshots).
+///
+/// Protocol:
+///   - A reader claims a slot and stamps it with the current global
+///     epoch (Pin). While the slot is stamped, any object it could have
+///     observed through a subsequently-loaded published pointer stays
+///     allocated. Pin/Unpin are lock-free: a handful of atomic
+///     operations, no mutex, no allocation.
+///   - The writer, after unpublishing an object (swapping the published
+///     pointer to its successor), hands the old object to Retire. The
+///     retire advances the global epoch; the object is destroyed by a
+///     later Reclaim once every slot stamped at or before the retire
+///     epoch has been released.
+///
+/// Why an object retired at epoch R is safe to free once
+/// min(active slot epochs) > R: a reader stamps its slot and then
+/// re-validates against the global epoch *before* loading the published
+/// pointer (see Pin). With seq_cst ordering, a reader whose slot holds
+/// an epoch greater than R must have stamped after the writer's
+/// epoch advance in Retire — which happens after the pointer swap — so
+/// its pointer load can only observe the successor, never the retired
+/// object.
+///
+/// Long-lived consumers (the miner, a checkpoint backup) should not
+/// hold a pin for the duration of their work: a pinned slot blocks
+/// reclamation of *everything* retired after it, not just the one view
+/// they read. They take a shared_ptr snapshot instead
+/// (QueryStore::SharedView), which keeps exactly one view alive via
+/// refcount and lets epoch reclamation proceed around it.
+class EpochDomain {
+ public:
+  /// Maximum simultaneously pinned readers. Pins beyond this spin-wait
+  /// for a slot; sized for "threads serving queries", not "concurrent
+  /// users" (each pin spans one meta-query execution).
+  static constexpr size_t kMaxSlots = 64;
+
+  /// Sentinel slot index returned by TryPin when every slot is taken.
+  static constexpr size_t kNoSlot = ~size_t{0};
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Claims a slot and stamps it with the current global epoch.
+  /// Lock-free; spins (with yields) only when all kMaxSlots slots are
+  /// simultaneously pinned. Returns the slot index for Unpin.
+  size_t Pin();
+
+  /// Single-attempt variant: returns kNoSlot instead of waiting.
+  size_t TryPin();
+
+  /// Releases a slot returned by Pin. The caller must not dereference
+  /// any epoch-protected pointer after this.
+  void Unpin(size_t slot);
+
+  /// Writer side: queues `object` for destruction once no pinned reader
+  /// can still observe it, and advances the global epoch. Must be
+  /// called only after the object has been unpublished. Thread-safe,
+  /// but by design there is a single retiring writer.
+  void Retire(std::shared_ptr<const void> object);
+
+  /// Destroys every retired object whose retire epoch precedes all
+  /// currently pinned slots. Called by the writer after each publish;
+  /// cheap (one scan of the slot array) and safe to call at any time.
+  void Reclaim();
+
+  /// Retired-but-not-yet-reclaimed objects (introspection / tests).
+  size_t retired_count() const;
+
+  uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  /// One cache line per slot so pinning readers do not false-share.
+  struct alignas(64) Slot {
+    /// 0 = idle; otherwise the global epoch observed at pin time.
+    std::atomic<uint64_t> epoch{0};
+  };
+
+  /// Smallest epoch across pinned slots, or ~0 when none are pinned.
+  uint64_t MinActiveEpoch() const;
+
+  Slot slots_[kMaxSlots];
+  /// Starts at 1 so a stamped slot is never confused with idle (0).
+  std::atomic<uint64_t> global_epoch_{1};
+
+  mutable std::mutex retire_mu_;
+  std::vector<std::pair<uint64_t, std::shared_ptr<const void>>> retired_;
+};
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_EPOCH_H_

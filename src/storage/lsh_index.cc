@@ -35,7 +35,6 @@ uint64_t LshIndex::BandKey(const MinHashSketch& sketch, size_t band) const {
 
 void LshIndex::Reserve(size_t records) {
   for (auto& band : buckets_) band.reserve(records);
-  seen_epoch_.reserve(records);
 }
 
 void LshIndex::Insert(QueryId id, const MinHashSketch& sketch) {
@@ -57,9 +56,17 @@ void LshIndex::Remove(QueryId id, const MinHashSketch& sketch) {
 }
 
 std::vector<QueryId> LshIndex::Candidates(const MinHashSketch& sketch,
-                                          size_t probe_bands) const {
+                                          size_t probe_bands,
+                                          LshProbeScratch* scratch) const {
   std::vector<QueryId> out;
   if (!sketch.valid || sketch.empty()) return out;
+  if (scratch == nullptr) {
+    // Per-thread scratch: safe to share across indexes because the
+    // epoch stamp invalidates whatever a previous probe (of any index)
+    // left behind, and the table only ever grows.
+    thread_local LshProbeScratch tls_scratch;
+    scratch = &tls_scratch;
+  }
   size_t limit = probe_bands == 0 ? params_.bands
                                   : std::min(probe_bands, params_.bands);
   // Bucket posting lists overlap heavily (near-duplicates co-bucket in
@@ -67,17 +74,17 @@ std::vector<QueryId> LshIndex::Candidates(const MinHashSketch& sketch,
   // of sort+unique over the concatenation: O(total postings) per call
   // with no per-call zeroing or allocation (the table grows once to the
   // id bound and is invalidated by bumping the epoch).
-  ++scratch_epoch_;
-  if (seen_epoch_.size() < static_cast<size_t>(id_bound_)) {
-    seen_epoch_.resize(static_cast<size_t>(id_bound_), 0);
+  const uint64_t epoch = ++scratch->epoch_;
+  if (scratch->seen_epoch_.size() < static_cast<size_t>(id_bound_)) {
+    scratch->seen_epoch_.resize(static_cast<size_t>(id_bound_), 0);
   }
   for (size_t band = 0; band < limit; ++band) {
     auto it = buckets_[band].find(BandKey(sketch, band));
     if (it == buckets_[band].end()) continue;
     for (QueryId id : it->second) {
-      uint64_t& stamp = seen_epoch_[static_cast<size_t>(id)];
-      if (stamp != scratch_epoch_) {
-        stamp = scratch_epoch_;
+      uint64_t& stamp = scratch->seen_epoch_[static_cast<size_t>(id)];
+      if (stamp != epoch) {
+        stamp = epoch;
         out.push_back(id);
       }
     }

@@ -29,6 +29,26 @@ struct LshParams {
   size_t rows = 8;
 };
 
+/// Candidate-dedup scratch for LshIndex::Candidates: an epoch-stamped
+/// id table (seen[id] == epoch marks ids already emitted by the current
+/// probe) that avoids zeroing or allocating an O(log size) bitmap per
+/// call. The scratch used to live as `mutable` state inside the index,
+/// which made the `const` Candidates call write shared memory — a data
+/// race the moment two readers probe the same (or a published-view copy
+/// of the) index. It is now owned by the prober: pass one explicitly to
+/// reuse it across calls, or pass nullptr to use a per-thread scratch
+/// (each thread keeps one, shared safely across every index it probes —
+/// the epoch stamping makes stale entries from other indexes inert).
+class LshProbeScratch {
+ public:
+  LshProbeScratch() = default;
+
+ private:
+  friend class LshIndex;
+  std::vector<uint64_t> seen_epoch_;
+  uint64_t epoch_ = 0;
+};
+
 /// Locality-sensitive index over MinHash sketches: per band, a hash map
 /// from the band's slot values to the sorted posting list of query ids
 /// whose sketch matches them. Maintained incrementally by
@@ -39,6 +59,10 @@ struct LshParams {
 /// Empty sketches (records with zero sketch elements) are not indexed —
 /// they carry no locality signal and would collide with every other
 /// empty record.
+///
+/// Thread model: all const methods (Candidates included) are safe to
+/// call from any number of concurrent readers — the index holds no
+/// mutable scratch. Insert/Remove are writer-side only.
 class LshIndex {
  public:
   explicit LshIndex(LshParams params = {});
@@ -58,9 +82,11 @@ class LshIndex {
 
   /// Sorted, deduplicated ids sharing at least one band bucket with
   /// `sketch`. `probe_bands` limits the lookup to the first N bands
-  /// (0 = all) — fewer bands is faster but lowers recall.
+  /// (0 = all) — fewer bands is faster but lowers recall. `scratch` is
+  /// the caller's dedup table; nullptr uses this thread's scratch.
   std::vector<QueryId> Candidates(const MinHashSketch& sketch,
-                                  size_t probe_bands = 0) const;
+                                  size_t probe_bands = 0,
+                                  LshProbeScratch* scratch = nullptr) const;
 
   size_t bands() const { return params_.bands; }
   size_t rows() const { return params_.rows; }
@@ -85,13 +111,6 @@ class LshIndex {
   /// Exclusive upper bound on inserted ids, sizing the dedup scratch in
   /// Candidates.
   QueryId id_bound_ = 0;
-  /// Candidate-dedup scratch: seen_epoch_[id] == scratch_epoch_ marks
-  /// ids already emitted by the current Candidates call. Epoch-stamping
-  /// avoids zeroing (or allocating) an O(log size) bitmap per probe.
-  /// Mutable scratch makes Candidates non-reentrant — fine, the store
-  /// and its indexes are single-threaded like the rest of QueryStore.
-  mutable std::vector<uint64_t> seen_epoch_;
-  mutable uint64_t scratch_epoch_ = 0;
 };
 
 }  // namespace cqms::storage

@@ -101,8 +101,20 @@ enum QueryFlags : uint32_t {
 };
 
 /// One logged query with all profiled features. Copyable (the parse tree
-/// is shared, immutable after profiling).
+/// is shared, immutable after profiling); the copy operations are
+/// user-provided only to read `ast` atomically — see the member.
 struct QueryRecord {
+  QueryRecord() = default;
+  /// Member-wise except `ast`, which is read through the shared_ptr
+  /// atomic-access free functions: the copy-on-write clone in
+  /// QueryStore::GetMutable copies a record that concurrent readers of
+  /// a published view may be lazily materializing through Ast() at the
+  /// same moment. Keep the member list in sync with the fields below.
+  QueryRecord(const QueryRecord& other);
+  QueryRecord& operator=(const QueryRecord& other);
+  QueryRecord(QueryRecord&&) = default;
+  QueryRecord& operator=(QueryRecord&&) = default;
+
   QueryId id = kInvalidQueryId;
   std::string text;              ///< Raw text as submitted.
   std::string canonical_text;    ///< See sql::CanonicalText.
@@ -117,6 +129,10 @@ struct QueryRecord {
   /// parse-derived feature but not the tree itself. Consumers that need
   /// the tree must go through Ast(), which materializes it on demand;
   /// use parse_failed() (not a null check here) to test parsability.
+  /// Concurrency: Ast() is the only code that writes this member on a
+  /// shared record (set-once, via the shared_ptr atomic free functions);
+  /// builder/rewrite code assigns it plainly, but only on records no
+  /// reader can hold yet (pre-append, or the writer's post-COW clone).
   mutable std::shared_ptr<const sql::SelectStatement> ast;
   /// True when `text` is known to parse even while `ast` is not
   /// materialized (binary-snapshot restore). Set by BuildRecordFromText
@@ -145,12 +161,20 @@ struct QueryRecord {
   double quality = 0.5;
 
   bool HasFlag(QueryFlags f) const { return (flags & f) != 0; }
-  bool parse_failed() const { return ast == nullptr && !text_parses; }
+  /// text_parses is tested first so that when it is true — the only
+  /// state in which a concurrent Ast() call may be writing `ast` —
+  /// the short-circuit never reads the pointer (race-free without
+  /// paying for an atomic load on this hot predicate).
+  bool parse_failed() const { return !text_parses && ast == nullptr; }
 
   /// The parse tree, re-parsing `text` on first use for records restored
   /// from a binary snapshot. Null for parse failures — callers must
   /// null-check even after a parse_failed() test, since a corrupt
   /// snapshot could carry a parsed bit with unparsable text.
+  /// Thread-safe on shared (published-view) records: the lazy
+  /// materialization is a set-once compare-and-swap, so concurrent
+  /// callers agree on one tree and the returned pointer stays valid for
+  /// the record's lifetime.
   const sql::SelectStatement* Ast() const;
 };
 

@@ -17,6 +17,32 @@ using db::ValueType;
 
 }  // namespace
 
+/// Forwards ACL mutations into the store's publication counter. Only
+/// registered on acl_ (never on the store itself), so the record
+/// callbacks can stay no-ops.
+class QueryStore::AclViewTick : public StoreListener {
+ public:
+  explicit AclViewTick(QueryStore* store) : store_(store) {}
+
+  void OnAppend(const QueryRecord&) override {}
+  void OnRewrite(QueryId, const std::string&) override {}
+  void OnAnnotate(QueryId, const Annotation&) override {}
+  void OnFlagChange(QueryId, QueryFlags, bool) override {}
+  void OnSetSession(QueryId, SessionId) override {}
+  void OnSetQuality(QueryId, double) override {}
+  void OnDelete(QueryId) override {}
+  void OnAclAddUser(const std::string&,
+                    const std::vector<std::string>&) override {
+    store_->MutationTick();
+  }
+  void OnAclSetVisibility(QueryId, Visibility) override {
+    store_->MutationTick();
+  }
+
+ private:
+  QueryStore* store_;
+};
+
 QueryStore::QueryStore(LshParams lsh_params) : lsh_(lsh_params) {
   // Materialize the paper's feature relations (Figure 1). The embedded
   // database is CQMS-internal; failures here are programming errors.
@@ -92,6 +118,7 @@ QueryId QueryStore::Append(QueryRecord record) {
   }
   QueryId id = FinishAppend(std::move(record));
   for (StoreListener* l : listeners_) l->OnAppend(records_.back());
+  MutationTick();
   return id;
 }
 
@@ -101,26 +128,28 @@ void QueryStore::ReserveForRestore(size_t records, size_t symbols) {
   // materialize on first feature_db() access instead of inside the
   // restore loop.
   feature_rows_lazy_ = true;
-  by_table_.reserve(symbols);
-  by_attribute_.reserve(symbols);
-  by_keyword_.reserve(symbols);
-  by_skeleton_.reserve(records);
-  by_fingerprint_.reserve(records);
+  postings_.by_table.reserve(symbols);
+  postings_.by_attribute.reserve(symbols);
+  postings_.by_keyword.reserve(symbols);
+  postings_.by_skeleton.reserve(records);
+  postings_.by_fingerprint.reserve(records);
   pop_slot_of_.reserve(records);
-  // by_user_ is deliberately not pre-sized: distinct users are orders
+  // by_user is deliberately not pre-sized: distinct users are orders
   // of magnitude fewer than records, so its rehashing is noise.
   lsh_.Reserve(records);
   scoring_.Reserve(records);
 }
 
 QueryId QueryStore::RestoreAppend(QueryRecord record) {
-  return FinishAppend(std::move(record));
+  QueryId id = FinishAppend(std::move(record));
+  MutationTick();
+  return id;
 }
 
 QueryId QueryStore::FinishAppend(QueryRecord record) {
   record.id = static_cast<QueryId>(records_.size());
   max_timestamp_ = std::max(max_timestamp_, record.timestamp);
-  records_.push_back(std::move(record));
+  records_.push_back(std::make_shared<QueryRecord>(std::move(record)));
   const QueryRecord& stored = records_.back();
   IndexRecord(stored);
   uint32_t slot = PopularitySlotFor(stored);
@@ -139,42 +168,44 @@ void QueryStore::IndexRecord(const QueryRecord& record) {
   // Table and attribute posting lists are keyed by the signature's
   // interned Symbols (sorted, deduplicated) — no re-hashing of strings.
   for (Symbol t : record.signature.tables) {
-    InsertSorted(&by_table_[t], record.id);
+    InsertSorted(&postings_.by_table[t], record.id);
   }
   for (Symbol a : record.signature.attributes) {
-    InsertSorted(&by_attribute_[a], record.id);
+    InsertSorted(&postings_.by_attribute[a], record.id);
   }
-  InsertSorted(&by_user_[record.user], record.id);
+  InsertSorted(&postings_.by_user[record.user], record.id);
   // The signature's token vector is exactly the deduplicated
   // ExtractWords(text), already interned — reuse it.
   for (Symbol token : record.signature.text_tokens) {
-    InsertSorted(&by_keyword_[token], record.id);
+    InsertSorted(&postings_.by_keyword[token], record.id);
   }
   if (!record.parse_failed()) {
-    InsertSorted(&by_skeleton_[record.skeleton_fingerprint], record.id);
-    InsertSorted(&by_fingerprint_[record.fingerprint], record.id);
+    InsertSorted(&postings_.by_skeleton[record.skeleton_fingerprint], record.id);
+    InsertSorted(&postings_.by_fingerprint[record.fingerprint], record.id);
   }
   lsh_.Insert(record.id, record.sketch);
 }
 
 void QueryStore::UnindexRecord(const QueryRecord& record) {
   for (Symbol t : record.signature.tables) {
-    auto it = by_table_.find(t);
-    if (it != by_table_.end()) EraseSorted(&it->second, record.id);
+    auto it = postings_.by_table.find(t);
+    if (it != postings_.by_table.end()) EraseSorted(&it->second, record.id);
   }
   for (Symbol a : record.signature.attributes) {
-    auto it = by_attribute_.find(a);
-    if (it != by_attribute_.end()) EraseSorted(&it->second, record.id);
+    auto it = postings_.by_attribute.find(a);
+    if (it != postings_.by_attribute.end()) EraseSorted(&it->second, record.id);
   }
   for (Symbol token : record.signature.text_tokens) {
-    auto it = by_keyword_.find(token);
-    if (it != by_keyword_.end()) EraseSorted(&it->second, record.id);
+    auto it = postings_.by_keyword.find(token);
+    if (it != postings_.by_keyword.end()) EraseSorted(&it->second, record.id);
   }
   if (!record.parse_failed()) {
-    auto it = by_skeleton_.find(record.skeleton_fingerprint);
-    if (it != by_skeleton_.end()) EraseSorted(&it->second, record.id);
-    auto fit = by_fingerprint_.find(record.fingerprint);
-    if (fit != by_fingerprint_.end()) EraseSorted(&fit->second, record.id);
+    auto it = postings_.by_skeleton.find(record.skeleton_fingerprint);
+    if (it != postings_.by_skeleton.end()) EraseSorted(&it->second, record.id);
+    auto fit = postings_.by_fingerprint.find(record.fingerprint);
+    if (fit != postings_.by_fingerprint.end()) {
+      EraseSorted(&fit->second, record.id);
+    }
   }
   lsh_.Remove(record.id, record.sketch);
 }
@@ -205,100 +236,69 @@ void QueryStore::InsertFeatureRows(const QueryRecord& record) const {
 
 const QueryRecord* QueryStore::Get(QueryId id) const {
   if (id < 0 || static_cast<size_t>(id) >= records_.size()) return nullptr;
-  return &records_[static_cast<size_t>(id)];
+  return records_.ptr(static_cast<size_t>(id)).get();
 }
 
 QueryRecord* QueryStore::GetMutable(QueryId id) {
   if (id < 0 || static_cast<size_t>(id) >= records_.size()) return nullptr;
-  return &records_[static_cast<size_t>(id)];
+  std::shared_ptr<QueryRecord>& slot =
+      records_.mutable_ptr(static_cast<size_t>(id));
+  // Copy-on-write: a use count above one means a published view still
+  // references this record; clone so its readers keep the old state.
+  // With views disabled the count is always one and this is plain
+  // access. (The clone's ast copy is atomic — see QueryRecord's copy
+  // constructor.)
+  if (slot.use_count() > 1) slot = std::make_shared<QueryRecord>(*slot);
+  return slot.get();
 }
 
 const std::vector<QueryId>& QueryStore::QueriesUsingTable(
     const std::string& table) const {
-  // Find() never inserts, so probing unseen names cannot grow the
-  // global interner.
-  return QueriesUsingTableSymbol(GlobalInterner().Find(ToLower(table)));
+  return postings_.UsingTable(table);
 }
 
 const std::vector<QueryId>& QueryStore::QueriesUsingTableSymbol(
     Symbol table) const {
-  if (table == kInvalidSymbol) return empty_;
-  auto it = by_table_.find(table);
-  return it == by_table_.end() ? empty_ : it->second;
+  return postings_.UsingTableSymbol(table);
 }
 
 std::vector<QueryId> QueryStore::QueriesUsingAnyTable(
     const std::vector<std::string>& tables) const {
-  std::vector<QueryId> out;
-  if (tables.size() == 1) {
-    out = QueriesUsingTable(tables[0]);
-    return out;
-  }
-  size_t total = 0;
-  for (const std::string& t : tables) total += QueriesUsingTable(t).size();
-  out.reserve(total);
-  for (const std::string& t : tables) {
-    const std::vector<QueryId>& ids = QueriesUsingTable(t);
-    out.insert(out.end(), ids.begin(), ids.end());
-  }
-  SortUnique(&out);
-  return out;
+  return postings_.UsingAnyTable(tables);
 }
 
 std::vector<QueryId> QueryStore::QueriesUsingAnyTableSymbol(
     const std::vector<Symbol>& tables) const {
-  std::vector<QueryId> out;
-  if (tables.size() == 1) {
-    out = QueriesUsingTableSymbol(tables[0]);
-    return out;
-  }
-  size_t total = 0;
-  for (Symbol t : tables) total += QueriesUsingTableSymbol(t).size();
-  out.reserve(total);
-  for (Symbol t : tables) {
-    const std::vector<QueryId>& ids = QueriesUsingTableSymbol(t);
-    out.insert(out.end(), ids.begin(), ids.end());
-  }
-  SortUnique(&out);
-  return out;
+  return postings_.UsingAnyTableSymbol(tables);
 }
 
 const std::vector<QueryId>& QueryStore::QueriesUsingAttribute(
     const std::string& relation, const std::string& attribute) const {
-  return QueriesUsingAttributeSymbol(
-      GlobalInterner().Find(ToLower(relation) + "." + ToLower(attribute)));
+  return postings_.UsingAttribute(relation, attribute);
 }
 
 const std::vector<QueryId>& QueryStore::QueriesUsingAttributeSymbol(
     Symbol qualified) const {
-  if (qualified == kInvalidSymbol) return empty_;
-  auto it = by_attribute_.find(qualified);
-  return it == by_attribute_.end() ? empty_ : it->second;
+  return postings_.UsingAttributeSymbol(qualified);
 }
 
 const std::vector<QueryId>& QueryStore::QueriesByUser(const std::string& user) const {
-  auto it = by_user_.find(user);
-  return it == by_user_.end() ? empty_ : it->second;
+  return postings_.ByUser(user);
 }
 
 const std::vector<QueryId>& QueryStore::QueriesWithKeyword(
     const std::string& word) const {
-  // Find() never inserts, so probing for unseen words cannot grow the
-  // global interner.
-  return QueriesWithKeywordSymbol(GlobalInterner().Find(ToLower(word)));
+  return postings_.WithKeyword(word);
 }
 
 const std::vector<QueryId>& QueryStore::QueriesWithKeywordSymbol(
     Symbol token) const {
-  if (token == kInvalidSymbol) return empty_;
-  auto it = by_keyword_.find(token);
-  return it == by_keyword_.end() ? empty_ : it->second;
+  return postings_.WithKeywordSymbol(token);
 }
 
 const std::vector<QueryId>& QueryStore::QueriesWithSkeleton(
     uint64_t skeleton_fp) const {
-  auto it = by_skeleton_.find(skeleton_fp);
-  return it == by_skeleton_.end() ? empty_ : it->second;
+  return postings_.WithSkeleton(skeleton_fp);
 }
 
 std::vector<QueryId> QueryStore::LshCandidates(const MinHashSketch& sketch,
@@ -307,8 +307,7 @@ std::vector<QueryId> QueryStore::LshCandidates(const MinHashSketch& sketch,
 }
 
 uint64_t QueryStore::PopularityOf(uint64_t fingerprint) const {
-  auto it = by_fingerprint_.find(fingerprint);
-  return it == by_fingerprint_.end() ? 0 : it->second.size();
+  return postings_.PopularityOf(fingerprint);
 }
 
 Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
@@ -363,6 +362,7 @@ Status QueryStore::RewriteQueryText(QueryId id, const std::string& new_text) {
   scoring_.RewriteRecord(*r, slot);
   if (!feature_rows_lazy_) InsertFeatureRows(*r);
   for (StoreListener* l : listeners_) l->OnRewrite(id, r->text);
+  MutationTick();
   return Status::Ok();
 }
 
@@ -371,14 +371,16 @@ Status QueryStore::Annotate(QueryId id, Annotation annotation) {
   if (r == nullptr) return Status::NotFound("no query " + std::to_string(id));
   r->annotations.push_back(std::move(annotation));
   for (StoreListener* l : listeners_) l->OnAnnotate(id, r->annotations.back());
+  MutationTick();
   return Status::Ok();
 }
 
 // The scalar mutators below treat an unchanged value as a no-op and
-// skip the listener: maintenance recomputes quality (and re-flags
-// drift) across the whole log every cycle, and without the guard each
-// pass would frame thousands of do-nothing records into the WAL and
-// trip the checkpoint thresholds on every run.
+// skip the listener (and the view-publication tick): maintenance
+// recomputes quality (and re-flags drift) across the whole log every
+// cycle, and without the guard each pass would frame thousands of
+// do-nothing records into the WAL and trip the checkpoint thresholds
+// on every run.
 
 Status QueryStore::AddFlag(QueryId id, QueryFlags flag) {
   QueryRecord* r = GetMutable(id);
@@ -387,6 +389,7 @@ Status QueryStore::AddFlag(QueryId id, QueryFlags flag) {
   r->flags |= flag;
   scoring_.SetFlags(id, r->flags);
   for (StoreListener* l : listeners_) l->OnFlagChange(id, flag, /*set=*/true);
+  MutationTick();
   return Status::Ok();
 }
 
@@ -397,6 +400,7 @@ Status QueryStore::ClearFlag(QueryId id, QueryFlags flag) {
   r->flags &= ~static_cast<uint32_t>(flag);
   scoring_.SetFlags(id, r->flags);
   for (StoreListener* l : listeners_) l->OnFlagChange(id, flag, /*set=*/false);
+  MutationTick();
   return Status::Ok();
 }
 
@@ -406,6 +410,7 @@ Status QueryStore::SetSession(QueryId id, SessionId session) {
   if (r->session_id == session) return Status::Ok();
   r->session_id = session;
   for (StoreListener* l : listeners_) l->OnSetSession(id, session);
+  MutationTick();
   return Status::Ok();
 }
 
@@ -417,6 +422,7 @@ Status QueryStore::SetQuality(QueryId id, double quality) {
   r->quality = clamped;
   scoring_.SetQuality(id, r->quality);
   for (StoreListener* l : listeners_) l->OnSetQuality(id, r->quality);
+  MutationTick();
   return Status::Ok();
 }
 
@@ -430,6 +436,7 @@ Status QueryStore::SyncOutputSignature(QueryId id) {
   // records maintenance refreshes most often.
   if (scoring_.SyncOutput(*r)) {
     for (StoreListener* l : listeners_) l->OnSyncOutputSignature(id);
+    MutationTick();
   }
   return Status::Ok();
 }
@@ -442,6 +449,7 @@ Status QueryStore::RestoreOutputSignature(QueryId id,
   r->signature.output_rows = std::move(output_rows);
   r->signature.output_empty_computed = output_empty_computed;
   scoring_.SyncOutput(*r);
+  MutationTick();
   return Status::Ok();
 }
 
@@ -456,6 +464,7 @@ Status QueryStore::Delete(QueryId id, const std::string& requester, bool is_admi
   r->flags |= kFlagDeleted;
   scoring_.SetFlags(id, r->flags);
   for (StoreListener* l : listeners_) l->OnDelete(id);
+  MutationTick();
   return Status::Ok();
 }
 
@@ -466,7 +475,7 @@ bool QueryStore::Visible(const std::string& viewer, QueryId id) const {
 }
 
 std::vector<QueryId> QueryStore::VisibleIds(const std::string& viewer) const {
-  VisibilityCache cache(this, viewer);
+  VisibilityCache& cache = CacheFor(viewer);
   std::vector<QueryId> out;
   out.reserve(records_.size());
   for (const QueryRecord& r : records_) {
@@ -475,52 +484,83 @@ std::vector<QueryId> QueryStore::VisibleIds(const std::string& viewer) const {
   return out;
 }
 
-bool VisibilityCache::AclVisible(QueryId id) const {
-  // Invalidate-on-mutation: group memberships or per-query visibility
-  // may have changed since the entries were memoized.
-  uint64_t epoch = store_->acl().epoch();
-  if (epoch != acl_epoch_) {
-    acl_epoch_ = epoch;
-    acl_ok_.clear();
-    shares_group_.clear();
+VisibilityCache& QueryStore::CacheFor(const std::string& viewer) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto key = std::make_pair(viewer, std::this_thread::get_id());
+  std::unique_ptr<VisibilityCache>& slot = caches_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<VisibilityCache>(StoreView(*this), viewer);
   }
-  size_t idx = static_cast<size_t>(id);
-  if (idx >= acl_ok_.size()) {
-    acl_ok_.resize(store_->size(), kUnknown);
-    // Find() never inserts; resolving here (not per candidate) keeps the
-    // interner mutex off the hot path.
-    viewer_symbol_ = GlobalInterner().Find(viewer_);
-  }
-  uint8_t cached = acl_ok_[idx];
-  if (cached != kUnknown) return cached == kVisible;
+  return *slot;
+}
 
-  // Owner identity via the columns' interned Symbol — equality of ids is
-  // equality of names, with no record-deque touch.
-  Symbol owner = store_->scoring().owner(id);
-  bool visible = false;
-  if (owner == viewer_symbol_ && owner != kInvalidSymbol) {
-    visible = true;
-  } else {
-    switch (store_->acl().GetVisibility(id)) {
-      case Visibility::kPrivate:
-        visible = false;
-        break;
-      case Visibility::kPublic:
-        visible = true;
-        break;
-      case Visibility::kGroup: {
-        auto [it, inserted] = shares_group_.try_emplace(owner, false);
-        if (inserted) {
-          it->second = store_->acl().ShareGroup(
-              viewer_, std::string(GlobalInterner().NameOf(owner)));
-        }
-        visible = it->second;
-        break;
-      }
-    }
+// --- read-view publication -------------------------------------------------
+
+void QueryStore::EnableViews(ViewOptions options) {
+  view_options_ = options;
+  if (!views_enabled_) {
+    views_enabled_ = true;
+    acl_view_tick_ = std::make_unique<AclViewTick>(this);
+    acl_.AddListener(acl_view_tick_.get());
   }
-  acl_ok_[idx] = visible ? kVisible : kHidden;
-  return visible;
+  PublishView();
+}
+
+void QueryStore::MutationTick() {
+  ++mutations_;
+  if (!views_enabled_) return;
+  ++unpublished_mutations_;
+  if (publish_batch_depth_ > 0) return;
+  if (unpublished_mutations_ >= view_options_.publish_every) PublishView();
+}
+
+void QueryStore::PublishView() {
+  if (!views_enabled_) return;
+  // Copy-on-publish: the snapshot owns full copies of every index and
+  // column the read path touches, so the writer may mutate the live
+  // structures the moment the swap below completes. The records
+  // themselves are shared by pointer (GetMutable clones on write).
+  auto next = std::make_shared<ReadViewState>();
+  next->sequence_ = ++view_sequence_;
+  next->mutations_ = mutations_;
+  next->max_timestamp_ = max_timestamp_;
+  next->records_ = records_;
+  next->postings_ = postings_;
+  next->scoring_ = scoring_;
+  next->lsh_ = lsh_;
+  next->acl_ = acl_;  // the ACL copy strips listeners
+  std::shared_ptr<const ReadViewState> old;
+  {
+    std::lock_guard<std::mutex> lock(view_owner_mu_);
+    old = std::move(view_owner_);
+    view_owner_ = next;
+    // The publication point: readers pin an epoch slot, then load this.
+    published_view_.store(next.get(), std::memory_order_seq_cst);
+  }
+  published_sequence_.store(next->sequence_, std::memory_order_relaxed);
+  unpublished_mutations_ = 0;
+  // The predecessor is unpublished; epoch reclamation destroys it once
+  // no pinned reader can still be executing against it. SharedView
+  // holders keep it alive beyond that via their own refcount.
+  if (old != nullptr) view_epochs_.Retire(std::move(old));
+  view_epochs_.Reclaim();
+}
+
+PinnedView QueryStore::PinView() const {
+  size_t slot = view_epochs_.Pin();
+  const ReadViewState* view =
+      published_view_.load(std::memory_order_seq_cst);
+  if (view == nullptr) {
+    // Views never enabled: nothing to pin against.
+    view_epochs_.Unpin(slot);
+    return PinnedView();
+  }
+  return PinnedView(&view_epochs_, slot, view);
+}
+
+std::shared_ptr<const ReadViewState> QueryStore::SharedView() const {
+  std::lock_guard<std::mutex> lock(view_owner_mu_);
+  return view_owner_;
 }
 
 }  // namespace cqms::storage

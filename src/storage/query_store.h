@@ -1,10 +1,13 @@
 #ifndef CQMS_STORAGE_QUERY_STORE_H_
 #define CQMS_STORAGE_QUERY_STORE_H_
 
-#include <deque>
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -12,12 +15,27 @@
 #include "common/result.h"
 #include "db/database.h"
 #include "storage/access_control.h"
+#include "storage/epoch.h"
 #include "storage/lsh_index.h"
 #include "storage/query_record.h"
+#include "storage/read_view.h"
+#include "storage/record_log.h"
 #include "storage/scoring_columns.h"
 #include "storage/store_listener.h"
 
 namespace cqms::storage {
+
+/// Knobs of the epoch-published read-view pipeline
+/// (QueryStore::EnableViews; docs/concurrency.md).
+struct ViewOptions {
+  /// Publish a fresh view after every N applied mutations. 1 = every
+  /// mutation becomes immediately visible to new readers; larger values
+  /// amortize the O(log size) snapshot copy across a write burst at the
+  /// cost of readers lagging up to N-1 mutations. Background cycles
+  /// additionally batch to one publish per cycle via ScopedPublishBatch
+  /// regardless of this setting.
+  size_t publish_every = 1;
+};
 
 /// The CQMS Query Storage (Figure 4): an append-only log of profiled
 /// queries with secondary indexes, plus the Figure-1 feature relations
@@ -29,6 +47,14 @@ namespace cqms::storage {
 ///   DataSources(qid, relname)
 ///   Attributes(qid, attrname, relname)
 ///   Predicates(qid, attrname, relname, op, const_val)
+///
+/// Thread model (docs/concurrency.md): the store itself is
+/// single-writer — all mutators run on one thread. Concurrent readers
+/// never touch the live structures; they execute against immutable
+/// published ReadViewState snapshots instead, acquired lock-free via
+/// PinView() after EnableViews() and retired through epoch-based
+/// reclamation. With views disabled (the default) nothing is published
+/// and the store behaves exactly as the single-threaded original.
 class QueryStore {
  public:
   /// `lsh_params` sets the MinHash/LSH banding (recall/cost knob) of the
@@ -75,9 +101,13 @@ class QueryStore {
   void RemoveListener(StoreListener* listener);
 
   const QueryRecord* Get(QueryId id) const;
+  /// Writer-side mutable access. When read views are enabled and a
+  /// published view still shares the record, it is cloned first
+  /// (copy-on-write) so readers of the old view keep an unchanged
+  /// record; with views disabled this is plain access, no copies.
   QueryRecord* GetMutable(QueryId id);
   size_t size() const { return records_.size(); }
-  const std::deque<QueryRecord>& records() const { return records_; }
+  const RecordLog& records() const { return records_; }
 
   /// Largest timestamp ever appended (0 when empty). Maintained by
   /// Append so ranking paths (kNN recency boost) need no log scan.
@@ -199,6 +229,75 @@ class QueryStore {
   /// All ids visible to `viewer`, in log order.
   std::vector<QueryId> VisibleIds(const std::string& viewer) const;
 
+  /// The memoizing visibility cache for `viewer` on the calling thread
+  /// — the live-path counterpart of ReadViewState::CacheFor, so
+  /// repeated reads (MetaQueryExecutor with views disabled) keep their
+  /// ACL decisions warm across calls instead of re-deriving them per
+  /// query. Pooled per (viewer, thread); entries self-invalidate on ACL
+  /// epoch change, so mutations between reads are safe. The mutex
+  /// guards only the pool lookup.
+  VisibilityCache& CacheFor(const std::string& viewer) const;
+
+  // --- concurrent read views (docs/concurrency.md) -------------------------
+
+  /// Turns on the epoch-published read-view pipeline and publishes the
+  /// first view immediately. From here on, every applied mutation ticks
+  /// the publication counter and (subject to `options.publish_every`
+  /// and any active ScopedPublishBatch) republishes a fresh immutable
+  /// snapshot for readers. Calling again just applies the new options
+  /// and republishes. Single-writer: call from the writer thread.
+  void EnableViews(ViewOptions options = {});
+
+  bool views_enabled() const { return views_enabled_; }
+
+  /// Forces a publish of the current state now (writer thread only;
+  /// no-op until EnableViews).
+  void PublishView();
+
+  /// Lock-free reader entry point: pins the current published view for
+  /// the handle's lifetime. Scope it to one meta-query execution — a
+  /// held pin blocks reclamation of every view retired after it. Null
+  /// handle iff views were never enabled. Safe from any thread.
+  PinnedView PinView() const;
+
+  /// Refcounted handle on the current published view, for long-lived
+  /// consumers (checkpoint backups, mining cycles): keeps exactly this
+  /// view alive without blocking epoch reclamation of later ones. Null
+  /// iff views were never enabled. Safe from any thread.
+  std::shared_ptr<const ReadViewState> SharedView() const;
+
+  /// Sequence number of the latest published view (0 = none yet).
+  /// Safe from any thread.
+  uint64_t published_sequence() const {
+    return published_sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// Total mutations applied (appends, rewrites, flags, ACL changes...);
+  /// the prefix-consistency stamp carried by each published view.
+  uint64_t mutation_count() const { return mutations_; }
+
+  /// Defers view publication for its scope (nestable): background
+  /// cycles that apply hundreds of small mutations wrap themselves in
+  /// one of these so readers see a single atomic republish at the end
+  /// instead of paying one O(log size) snapshot copy per mutation.
+  class ScopedPublishBatch {
+   public:
+    explicit ScopedPublishBatch(QueryStore* store) : store_(store) {
+      ++store_->publish_batch_depth_;
+    }
+    ~ScopedPublishBatch() {
+      if (--store_->publish_batch_depth_ == 0 && store_->views_enabled_ &&
+          store_->unpublished_mutations_ > 0) {
+        store_->PublishView();
+      }
+    }
+    ScopedPublishBatch(const ScopedPublishBatch&) = delete;
+    ScopedPublishBatch& operator=(const ScopedPublishBatch&) = delete;
+
+   private:
+    QueryStore* store_;
+  };
+
   // --- feature relations -----------------------------------------------------------
 
   /// The embedded database holding the feature relations; execute SQL
@@ -212,9 +311,22 @@ class QueryStore {
   }
 
  private:
+  /// StoreView's live-store facade points straight at postings_.
+  friend class StoreView;
+
+  /// Internal StoreListener registered on acl_ by EnableViews so ACL
+  /// mutations (AddUser, SetVisibility) tick the publication counter
+  /// like record mutations do.
+  class AclViewTick;
+
   /// Shared tail of Append / RestoreAppend: assigns the id, stores the
   /// record and rebuilds every derived structure from it.
   QueryId FinishAppend(QueryRecord record);
+  /// Bumps the mutation counter and, when views are enabled and no
+  /// ScopedPublishBatch is active, republishes once publish_every
+  /// unpublished mutations have accumulated. Called at the end of every
+  /// successful state-changing mutation.
+  void MutationTick();
   void IndexRecord(const QueryRecord& record);
   /// Removes `record.id` from every feature-derived index (tables,
   /// attributes, keywords, skeleton, fingerprint) using the record's
@@ -228,7 +340,7 @@ class QueryStore {
   /// creating one on first sight. kNoPopularitySlot for parse failures.
   uint32_t PopularitySlotFor(const QueryRecord& record);
 
-  std::deque<QueryRecord> records_;
+  RecordLog records_;
   AccessControl acl_;
   /// Mutable alongside feature_rows_lazy_: the const feature_db()
   /// accessor materializes deferred rows on first use.
@@ -244,17 +356,9 @@ class QueryStore {
   db::Table* predicates_table_ = nullptr;
   Micros max_timestamp_ = 0;
 
-  /// Keyed by the interned lower-case table name — the same Symbols as
-  /// signature.tables.
-  std::unordered_map<Symbol, std::vector<QueryId>> by_table_;
-  /// Keyed by the interned "rel.attr" string — same as signature.attributes.
-  std::unordered_map<Symbol, std::vector<QueryId>> by_attribute_;
-  std::unordered_map<std::string, std::vector<QueryId>> by_user_;
-  /// Keyed by interned token Symbol (GlobalInterner); tokens come from
-  /// the record's signature, so indexing shares the interning work.
-  std::unordered_map<Symbol, std::vector<QueryId>> by_keyword_;
-  std::unordered_map<uint64_t, std::vector<QueryId>> by_skeleton_;
-  std::unordered_map<uint64_t, std::vector<QueryId>> by_fingerprint_;
+  /// The six feature posting lists, as the copyable value a view
+  /// publication snapshots wholesale (see PostingIndex for keying).
+  PostingIndex postings_;
   std::unordered_map<uint64_t, uint32_t> pop_slot_of_;
   LshIndex lsh_;
   ScoringColumns scoring_;
@@ -262,60 +366,57 @@ class QueryStore {
   /// a vector scan beats any indexed structure.
   std::vector<StoreListener*> listeners_;
   std::vector<QueryId> empty_;
+
+  /// Live-path visibility-cache pool (CacheFor), keyed like
+  /// ReadViewState::caches_.
+  mutable std::mutex cache_mu_;
+  mutable std::map<std::pair<std::string, std::thread::id>,
+                   std::unique_ptr<VisibilityCache>>
+      caches_;
+
+  // --- read-view publication state (writer-side unless noted) ------------
+  bool views_enabled_ = false;
+  ViewOptions view_options_;
+  /// Total successful mutations (records + ACL); stamped into views.
+  uint64_t mutations_ = 0;
+  uint64_t unpublished_mutations_ = 0;
+  int publish_batch_depth_ = 0;
+  uint64_t view_sequence_ = 0;
+  std::unique_ptr<StoreListener> acl_view_tick_;
+  /// Reader-shared: the reclamation domain readers pin through the
+  /// const PinView(), hence mutable.
+  mutable EpochDomain view_epochs_;
+  /// Guards view_owner_ (the publish swap vs SharedView copies).
+  mutable std::mutex view_owner_mu_;
+  /// Owning reference keeping the current published view alive.
+  std::shared_ptr<const ReadViewState> view_owner_;
+  /// The lock-free publication point readers load after pinning.
+  std::atomic<const ReadViewState*> published_view_{nullptr};
+  std::atomic<uint64_t> published_sequence_{0};
 };
 
-/// Memoizes visibility decisions for one viewer over one store. The
-/// ACL part of a visibility check — per-query visibility level plus the
-/// group-set intersection for kGroup queries — is resolved at most once
-/// per query id and cached in a flat byte vector; the deleted-tombstone
-/// flag is re-read from the scoring columns on every call so deletions
-/// take effect immediately. Safe to keep alive across searches and ACL
-/// mutations: every call compares the store's ACL epoch against the
-/// snapshot taken when the cache was (re)filled and drops all memoized
-/// decisions on mismatch, so a viewer whose group membership changed is
-/// re-checked from scratch. Semantics match QueryStore::Visible exactly.
-class VisibilityCache {
- public:
-  VisibilityCache(const QueryStore* store, std::string viewer)
-      : store_(store), viewer_(std::move(viewer)) {}
+// StoreView members that need the complete QueryStore (declared in
+// read_view.h). VisibilityCache — formerly defined here — moved to
+// read_view.h so it can serve frozen views and the live store alike.
 
-  /// True when the viewer may see `record` (not deleted, ACL passes).
-  bool Visible(const QueryRecord& record) const {
-    if (record.HasFlag(kFlagDeleted)) return false;
-    return AclVisible(record.id);
-  }
+inline StoreView::StoreView(const QueryStore& store)
+    : store_(&store),
+      postings_(&store.postings_),
+      scoring_(&store.scoring()),
+      lsh_(&store.lsh()),
+      acl_(&store.acl()) {}
 
-  /// Columnar variant: reads the tombstone flag from the scoring columns
-  /// instead of the record struct — the scoring-loop fast path.
-  bool VisibleId(QueryId id) const {
-    if ((store_->scoring().flags(id) & kFlagDeleted) != 0) return false;
-    return AclVisible(id);
-  }
+inline const QueryRecord* StoreView::Get(QueryId id) const {
+  return view_ != nullptr ? view_->Get(id) : store_->Get(id);
+}
 
-  const std::string& viewer() const { return viewer_; }
+inline size_t StoreView::size() const {
+  return view_ != nullptr ? view_->size() : store_->size();
+}
 
- private:
-  bool AclVisible(QueryId id) const;
-
-  static constexpr uint8_t kUnknown = 0, kVisible = 1, kHidden = 2;
-
-  const QueryStore* store_;
-  std::string viewer_;
-  /// ACL epoch the memoized entries were computed under.
-  mutable uint64_t acl_epoch_ = ~0ULL;
-  /// The viewer's interned Symbol (kInvalidSymbol when the viewer never
-  /// authored a logged query) — lets the owner check compare one u32
-  /// against the columns' owner Symbol instead of touching the record
-  /// deque for a string compare. Refreshed whenever acl_ok_ grows, which
-  /// covers the viewer's name being interned by their own first Append.
-  mutable Symbol viewer_symbol_ = kInvalidSymbol;
-  /// Per-id ACL decision (kUnknown / kVisible / kHidden); excludes the
-  /// deleted flag, which is never cached.
-  mutable std::vector<uint8_t> acl_ok_;
-  /// Per-owner group-sharing results, shared across that owner's
-  /// queries; keyed by the owner's interned Symbol.
-  mutable std::unordered_map<Symbol, bool> shares_group_;
-};
+inline Micros StoreView::max_timestamp() const {
+  return view_ != nullptr ? view_->max_timestamp() : store_->max_timestamp();
+}
 
 }  // namespace cqms::storage
 

@@ -1,0 +1,331 @@
+#ifndef CQMS_STORAGE_READ_VIEW_H_
+#define CQMS_STORAGE_READ_VIEW_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "storage/access_control.h"
+#include "storage/epoch.h"
+#include "storage/lsh_index.h"
+#include "storage/query_record.h"
+#include "storage/record_log.h"
+#include "storage/scoring_columns.h"
+
+namespace cqms::storage {
+
+class QueryStore;
+class ReadViewState;
+class VisibilityCache;
+
+/// The QueryStore's six feature posting lists as one copyable value.
+/// The store maintains the live instance through Append / Rewrite /
+/// Delete; publishing a read view copies it wholesale, so every lookup
+/// below works identically against the live store and a frozen view.
+/// Symbol-keyed maps use the same interned ids the similarity
+/// signatures carry (see QueryStore's index commentary).
+struct PostingIndex {
+  std::unordered_map<Symbol, std::vector<QueryId>> by_table;
+  std::unordered_map<Symbol, std::vector<QueryId>> by_attribute;
+  std::unordered_map<std::string, std::vector<QueryId>> by_user;
+  std::unordered_map<Symbol, std::vector<QueryId>> by_keyword;
+  std::unordered_map<uint64_t, std::vector<QueryId>> by_skeleton;
+  std::unordered_map<uint64_t, std::vector<QueryId>> by_fingerprint;
+
+  // Lookups mirror the QueryStore query API; unknown keys (including
+  // kInvalidSymbol from probing strings the interner never saw) return
+  // a shared empty list.
+  const std::vector<QueryId>& UsingTable(const std::string& table) const;
+  const std::vector<QueryId>& UsingTableSymbol(Symbol table) const;
+  std::vector<QueryId> UsingAnyTable(
+      const std::vector<std::string>& tables) const;
+  std::vector<QueryId> UsingAnyTableSymbol(
+      const std::vector<Symbol>& tables) const;
+  const std::vector<QueryId>& UsingAttribute(
+      const std::string& relation, const std::string& attribute) const;
+  const std::vector<QueryId>& UsingAttributeSymbol(Symbol qualified) const;
+  const std::vector<QueryId>& ByUser(const std::string& user) const;
+  const std::vector<QueryId>& WithKeyword(const std::string& word) const;
+  const std::vector<QueryId>& WithKeywordSymbol(Symbol token) const;
+  const std::vector<QueryId>& WithSkeleton(uint64_t skeleton_fp) const;
+  uint64_t PopularityOf(uint64_t fingerprint) const;
+};
+
+/// Uniform read facade over either the live QueryStore or a published
+/// ReadViewState, with the accessor names the meta-query planner uses —
+/// the planner's one scoring pipeline serves both the single-threaded
+/// live path and concurrent readers without branching per call site.
+/// Cheap to copy (a handful of raw pointers); does not own or pin
+/// anything — the caller keeps the underlying store or view alive
+/// (typically via a PinnedView on the read path).
+class StoreView {
+ public:
+  StoreView() = default;
+  /// Live-store facade; defined in query_store.h (needs the complete
+  /// QueryStore).
+  explicit StoreView(const QueryStore& store);
+  /// Frozen-view facade; defined below ReadViewState.
+  explicit StoreView(const ReadViewState& view);
+
+  // Posting-list lookups — straight delegation, no branching.
+  const std::vector<QueryId>& QueriesUsingTable(const std::string& table) const {
+    return postings_->UsingTable(table);
+  }
+  const std::vector<QueryId>& QueriesUsingTableSymbol(Symbol table) const {
+    return postings_->UsingTableSymbol(table);
+  }
+  std::vector<QueryId> QueriesUsingAnyTable(
+      const std::vector<std::string>& tables) const {
+    return postings_->UsingAnyTable(tables);
+  }
+  std::vector<QueryId> QueriesUsingAnyTableSymbol(
+      const std::vector<Symbol>& tables) const {
+    return postings_->UsingAnyTableSymbol(tables);
+  }
+  const std::vector<QueryId>& QueriesUsingAttribute(
+      const std::string& relation, const std::string& attribute) const {
+    return postings_->UsingAttribute(relation, attribute);
+  }
+  const std::vector<QueryId>& QueriesByUser(const std::string& user) const {
+    return postings_->ByUser(user);
+  }
+  const std::vector<QueryId>& QueriesWithKeyword(const std::string& word) const {
+    return postings_->WithKeyword(word);
+  }
+  const std::vector<QueryId>& QueriesWithKeywordSymbol(Symbol token) const {
+    return postings_->WithKeywordSymbol(token);
+  }
+  const std::vector<QueryId>& QueriesWithSkeleton(uint64_t skeleton_fp) const {
+    return postings_->WithSkeleton(skeleton_fp);
+  }
+  uint64_t PopularityOf(uint64_t fingerprint) const {
+    return postings_->PopularityOf(fingerprint);
+  }
+  std::vector<QueryId> LshCandidates(const MinHashSketch& sketch,
+                                     size_t probe_bands = 0,
+                                     LshProbeScratch* scratch = nullptr) const {
+    return lsh_->Candidates(sketch, probe_bands, scratch);
+  }
+
+  const ScoringColumns& scoring() const { return *scoring_; }
+  const LshIndex& lsh() const { return *lsh_; }
+  const AccessControl& acl() const { return *acl_; }
+
+  // The only accessors that branch on live-vs-view (the record log and
+  // its scalars live inside whichever object backs the facade); defined
+  // in query_store.h.
+  const QueryRecord* Get(QueryId id) const;
+  size_t size() const;
+  Micros max_timestamp() const;
+
+  /// The live store behind this facade, or null when it wraps a view.
+  const QueryStore* live_store() const { return store_; }
+  /// The frozen view behind this facade, or null when it wraps the
+  /// live store.
+  const ReadViewState* view() const { return view_; }
+
+ private:
+  const QueryStore* store_ = nullptr;
+  const ReadViewState* view_ = nullptr;
+  const PostingIndex* postings_ = nullptr;
+  const ScoringColumns* scoring_ = nullptr;
+  const LshIndex* lsh_ = nullptr;
+  const AccessControl* acl_ = nullptr;
+};
+
+/// One published, immutable snapshot of everything the read path
+/// touches: the record log (as shared_ptr copies — records themselves
+/// are shared with the store, copy-on-write protected), the scoring
+/// columns, the six posting lists, the LSH index and the ACL. Built by
+/// QueryStore::PublishView on the writer thread; after publication it
+/// is never mutated (the per-viewer visibility-cache pool below is
+/// internally synchronized memoization, not state), so any number of
+/// readers may execute meta-queries against it concurrently with zero
+/// coordination. Lifetime: the store keeps the latest view alive and
+/// retires predecessors through epoch-based reclamation (see
+/// EpochDomain); long-lived consumers hold a shared_ptr instead
+/// (QueryStore::SharedView).
+///
+/// Not in the snapshot: the feature-relation database (SQL meta-queries
+/// stay a live-store feature — see MetaQueryExecutor::Sql) and query
+/// re-execution for query-by-data with `reexecute_on` set.
+class ReadViewState {
+ public:
+  ReadViewState() = default;
+  ~ReadViewState();
+  ReadViewState(const ReadViewState&) = delete;
+  ReadViewState& operator=(const ReadViewState&) = delete;
+
+  /// Publish sequence number (1 = the first view the store published).
+  uint64_t sequence() const { return sequence_; }
+  /// Store mutations applied when this view was published — the
+  /// prefix-consistency stamp the stress oracle replays to.
+  uint64_t mutations() const { return mutations_; }
+
+  size_t size() const { return records_.size(); }
+  const RecordLog& records() const { return records_; }
+  const QueryRecord* Get(QueryId id) const {
+    if (id < 0 || static_cast<size_t>(id) >= records_.size()) return nullptr;
+    return records_.ptr(static_cast<size_t>(id)).get();
+  }
+  Micros max_timestamp() const { return max_timestamp_; }
+  const PostingIndex& postings() const { return postings_; }
+  const ScoringColumns& scoring() const { return scoring_; }
+  const LshIndex& lsh() const { return lsh_; }
+  const AccessControl& acl() const { return acl_; }
+
+  /// The memoizing visibility cache for `viewer` on the calling thread.
+  /// Pooled per (viewer, thread) so two readers serving the same viewer
+  /// never share one cache's mutable memo state; the mutex guards only
+  /// the pool lookup, never the scoring loop. Caches live as long as
+  /// the view and stay warm across that thread's queries against it;
+  /// the view's ACL is frozen, so they never self-invalidate.
+  VisibilityCache& CacheFor(const std::string& viewer) const;
+
+ private:
+  friend class QueryStore;
+
+  uint64_t sequence_ = 0;
+  uint64_t mutations_ = 0;
+  Micros max_timestamp_ = 0;
+  RecordLog records_;
+  PostingIndex postings_;
+  ScoringColumns scoring_;
+  LshIndex lsh_;
+  AccessControl acl_;
+
+  mutable std::mutex cache_mu_;
+  mutable std::map<std::pair<std::string, std::thread::id>,
+                   std::unique_ptr<VisibilityCache>>
+      caches_;
+};
+
+inline StoreView::StoreView(const ReadViewState& view)
+    : view_(&view),
+      postings_(&view.postings()),
+      scoring_(&view.scoring()),
+      lsh_(&view.lsh()),
+      acl_(&view.acl()) {}
+
+/// RAII handle of one pinned published view: holds an EpochDomain slot
+/// for its lifetime, which guarantees the view (and everything it
+/// references) stays allocated while the reader executes against it.
+/// Acquire via QueryStore::PinView — lock-free, a few atomic ops —
+/// scope it to one meta-query execution, and let it unpin on
+/// destruction. A pinned slot blocks reclamation of every later-retired
+/// view too, so long-running consumers (miner cycles, checkpoint
+/// backups) should hold QueryStore::SharedView instead.
+class PinnedView {
+ public:
+  PinnedView() = default;
+  PinnedView(EpochDomain* domain, size_t slot, const ReadViewState* view)
+      : domain_(domain), slot_(slot), view_(view) {}
+  PinnedView(PinnedView&& other) noexcept
+      : domain_(other.domain_), slot_(other.slot_), view_(other.view_) {
+    other.domain_ = nullptr;
+    other.view_ = nullptr;
+  }
+  PinnedView& operator=(PinnedView&& other) noexcept {
+    if (this != &other) {
+      Release();
+      domain_ = other.domain_;
+      slot_ = other.slot_;
+      view_ = other.view_;
+      other.domain_ = nullptr;
+      other.view_ = nullptr;
+    }
+    return *this;
+  }
+  PinnedView(const PinnedView&) = delete;
+  PinnedView& operator=(const PinnedView&) = delete;
+  ~PinnedView() { Release(); }
+
+  const ReadViewState* get() const { return view_; }
+  const ReadViewState& operator*() const { return *view_; }
+  const ReadViewState* operator->() const { return view_; }
+  explicit operator bool() const { return view_ != nullptr; }
+
+ private:
+  void Release() {
+    if (domain_ != nullptr) domain_->Unpin(slot_);
+    domain_ = nullptr;
+    view_ = nullptr;
+  }
+
+  EpochDomain* domain_ = nullptr;
+  size_t slot_ = 0;
+  const ReadViewState* view_ = nullptr;
+};
+
+/// Memoizes visibility decisions for one viewer over one StoreView
+/// (live store or frozen view). The ACL part of a visibility check —
+/// per-query visibility level plus the group-set intersection for
+/// kGroup queries — is resolved at most once per query id and cached in
+/// a flat byte vector; the deleted-tombstone flag is re-read from the
+/// scoring columns on every call so deletions take effect immediately.
+/// Safe to keep alive across searches and ACL mutations on the live
+/// path: every call compares the ACL epoch against the snapshot taken
+/// when the cache was (re)filled and drops all memoized decisions on
+/// mismatch, so a viewer whose group membership changed is re-checked
+/// from scratch. (A view's ACL is frozen, so view-backed caches never
+/// invalidate.) Semantics match QueryStore::Visible exactly.
+///
+/// Not internally synchronized: one cache belongs to one thread at a
+/// time — the live path keeps them call-local, the view path pools
+/// them per (viewer, thread) (ReadViewState::CacheFor).
+class VisibilityCache {
+ public:
+  VisibilityCache(StoreView view, std::string viewer)
+      : view_(view), viewer_(std::move(viewer)) {}
+
+  /// Compatibility constructor over the live store; defined in
+  /// read_view.cc (needs the complete QueryStore).
+  VisibilityCache(const QueryStore* store, std::string viewer);
+
+  /// True when the viewer may see `record` (not deleted, ACL passes).
+  bool Visible(const QueryRecord& record) const {
+    if (record.HasFlag(kFlagDeleted)) return false;
+    return AclVisible(record.id);
+  }
+
+  /// Columnar variant: reads the tombstone flag from the scoring columns
+  /// instead of the record struct — the scoring-loop fast path.
+  bool VisibleId(QueryId id) const {
+    if ((view_.scoring().flags(id) & kFlagDeleted) != 0) return false;
+    return AclVisible(id);
+  }
+
+  const std::string& viewer() const { return viewer_; }
+
+ private:
+  bool AclVisible(QueryId id) const;
+
+  static constexpr uint8_t kUnknown = 0, kVisible = 1, kHidden = 2;
+
+  StoreView view_;
+  std::string viewer_;
+  /// ACL epoch the memoized entries were computed under.
+  mutable uint64_t acl_epoch_ = ~0ULL;
+  /// The viewer's interned Symbol (kInvalidSymbol when the viewer never
+  /// authored a logged query) — lets the owner check compare one u32
+  /// against the columns' owner Symbol instead of touching the record
+  /// log for a string compare. Refreshed whenever acl_ok_ grows, which
+  /// covers the viewer's name being interned by their own first Append.
+  mutable Symbol viewer_symbol_ = kInvalidSymbol;
+  /// Per-id ACL decision (kUnknown / kVisible / kHidden); excludes the
+  /// deleted flag, which is never cached.
+  mutable std::vector<uint8_t> acl_ok_;
+  /// Per-owner group-sharing results, shared across that owner's
+  /// queries; keyed by the owner's interned Symbol.
+  mutable std::unordered_map<Symbol, bool> shares_group_;
+};
+
+}  // namespace cqms::storage
+
+#endif  // CQMS_STORAGE_READ_VIEW_H_

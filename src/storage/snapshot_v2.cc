@@ -194,7 +194,8 @@ void EncodeRecord(BinaryWriter* w, const QueryRecord& r) {
 /// shift past every gap, and the identity fast path — the one a
 /// production cold start takes, where stored sketches are adopted
 /// verbatim — could never trigger outside the saving process itself.
-Symbol ReferencedSymbolLimit(const QueryStore& store) {
+template <typename Source>  // QueryStore or ReadViewState
+Symbol ReferencedSymbolLimit(const Source& store) {
   Symbol limit = 0;
   auto bump = [&limit](const std::vector<Symbol>& symbols) {
     // Vectors are sorted ascending: the last entry is the max.
@@ -418,17 +419,13 @@ Status DecodeRecord(BinaryReader* r, const SymbolRemap& remap,
   return Status::Ok();
 }
 
-}  // namespace
-
-Status SaveSnapshotV2(const QueryStore& store, const std::string& path,
-                      uint64_t wal_sequence, Env* env) {
-  std::string file;
-  CQMS_RETURN_IF_ERROR(EncodeSnapshotV2(store, wal_sequence, &file));
-  return WriteFileAtomic(path, file, env);
-}
-
-Status EncodeSnapshotV2(const QueryStore& store, uint64_t wal_sequence,
-                        std::string* out) {
+// The encoder reads only records(), size() and acl() from its source —
+// exactly the surface QueryStore and ReadViewState share — so one body
+// serves both: the live single-threaded save and the view-backed save
+// that can run concurrently with the writer.
+template <typename Source>
+Status EncodeSnapshotV2Impl(const Source& store, uint64_t wal_sequence,
+                            std::string* out) {
   std::string file(kSnapshotV2Magic);
   {
     BinaryWriter version;
@@ -498,6 +495,32 @@ Status EncodeSnapshotV2(const QueryStore& store, uint64_t wal_sequence,
   AppendSection(&file, kSectionEnd, std::string());
   *out = std::move(file);
   return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveSnapshotV2(const QueryStore& store, const std::string& path,
+                      uint64_t wal_sequence, Env* env) {
+  std::string file;
+  CQMS_RETURN_IF_ERROR(EncodeSnapshotV2(store, wal_sequence, &file));
+  return WriteFileAtomic(path, file, env);
+}
+
+Status SaveSnapshotV2(const ReadViewState& view, const std::string& path,
+                      uint64_t wal_sequence, Env* env) {
+  std::string file;
+  CQMS_RETURN_IF_ERROR(EncodeSnapshotV2(view, wal_sequence, &file));
+  return WriteFileAtomic(path, file, env);
+}
+
+Status EncodeSnapshotV2(const QueryStore& store, uint64_t wal_sequence,
+                        std::string* out) {
+  return EncodeSnapshotV2Impl(store, wal_sequence, out);
+}
+
+Status EncodeSnapshotV2(const ReadViewState& view, uint64_t wal_sequence,
+                        std::string* out) {
+  return EncodeSnapshotV2Impl(view, wal_sequence, out);
 }
 
 Status VerifySnapshotV2(const std::string& path, Env* env) {

@@ -39,6 +39,13 @@ inline constexpr std::string_view kSnapshotV2Magic = "CQMSNAP2";
 Status SaveSnapshotV2(const QueryStore& store, const std::string& path,
                       uint64_t wal_sequence = 0, Env* env = nullptr);
 
+/// Same format, encoded from a published read view instead of the live
+/// store — a consistent mutation prefix, safe to run on any thread
+/// concurrently with the writer (hold the view via
+/// QueryStore::SharedView for the duration).
+Status SaveSnapshotV2(const ReadViewState& view, const std::string& path,
+                      uint64_t wal_sequence = 0, Env* env = nullptr);
+
 /// The serialized v2 snapshot bytes without touching the filesystem —
 /// SaveSnapshotV2 is EncodeSnapshotV2 + WriteFileAtomic. DurableStore
 /// uses this directly so its checkpoint can sequence the writes itself
@@ -46,6 +53,10 @@ Status SaveSnapshotV2(const QueryStore& store, const std::string& path,
 /// publish; see docs/persistence.md). kInternal when a stored
 /// signature references a symbol outside the interner table.
 Status EncodeSnapshotV2(const QueryStore& store, uint64_t wal_sequence,
+                        std::string* out);
+
+/// View-backed encode (see the SaveSnapshotV2 overload).
+Status EncodeSnapshotV2(const ReadViewState& view, uint64_t wal_sequence,
                         std::string* out);
 
 /// Structural validation without mutating any store: magic, version,

@@ -1,0 +1,518 @@
+// Concurrency suite: the epoch/read-view publication pipeline
+// (docs/concurrency.md) plus the single-thread bugs that blocked it —
+// wall-anchored SystemClock, const-correct LSH probing, set-once Ast()
+// materialization. The stress test at the bottom runs 8 readers against
+// 1 writer and checks every sampled view against a serial replay
+// oracle; CI runs this binary under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "metaquery/meta_query_executor.h"
+#include "metaquery/meta_query_planner.h"
+#include "metaquery/meta_query_request.h"
+#include "storage/epoch.h"
+#include "storage/query_store.h"
+#include "storage/record_builder.h"
+#include "storage/snapshot_v2.h"
+
+namespace cqms::storage {
+namespace {
+
+// --- SystemClock: wall-anchored timestamps (the persistence bug) -----------
+
+TEST(SystemClockTest, NowIsAnchoredToUnixEpoch) {
+  // Regression: SystemClock::Now() used steady_clock, whose epoch is
+  // arbitrary per boot (typically "time since power-on"). Timestamps
+  // are persisted into snapshots and the WAL, so after a reboot fresh
+  // stamps would compare wildly against restored ones. Unix-epoch
+  // anchoring is the testable half of that fix: a per-boot epoch could
+  // never land in this window.
+  SystemClock clock;
+  Micros now = clock.Now();
+  EXPECT_GT(now, 1'577'836'800'000'000LL);  // 2020-01-01
+  EXPECT_LT(now, 4'102'444'800'000'000LL);  // 2100-01-01
+}
+
+TEST(SystemClockTest, RestoreAcrossRebootKeepsLogOrder) {
+  // Simulated two-boot run: the wall clock keeps advancing across the
+  // "reboot" while the process restarts around the snapshot. Restored
+  // timestamps must sort before anything the resumed wall clock stamps,
+  // or sessionization gaps and recency ranking silently corrupt.
+  SimulatedClock wall(1'700'000'000'000'000);  // wall epoch, 2023-ish
+  QueryStore store;
+  store.Append(BuildRecordFromText("SELECT a FROM sensors", "u", wall.Now()));
+  wall.Advance(kMicrosPerMinute);
+  store.Append(BuildRecordFromText("SELECT b FROM sensors", "u", wall.Now()));
+  std::string path = ::testing::TempDir() + "/clock_epoch_snapshot.bin";
+  ASSERT_TRUE(SaveSnapshotV2(store, path).ok());
+
+  wall.Advance(30 * kMicrosPerMinute);  // downtime across the reboot
+  QueryStore restored;
+  ASSERT_TRUE(LoadSnapshotV2(&restored, path).ok());
+  EXPECT_EQ(restored.max_timestamp(), store.max_timestamp());
+  Micros fresh = wall.Now();
+  EXPECT_GT(fresh, restored.max_timestamp());
+  restored.Append(BuildRecordFromText("SELECT c FROM sensors", "u", fresh));
+  EXPECT_EQ(restored.max_timestamp(), fresh);
+}
+
+// --- EpochDomain ----------------------------------------------------------
+
+TEST(EpochDomainTest, ReclaimWaitsForEarlierPins) {
+  EpochDomain domain;
+  auto obj = std::make_shared<int>(42);
+  std::weak_ptr<int> alive = obj;
+
+  size_t slot = domain.Pin();  // stamped before the retire
+  domain.Retire(std::shared_ptr<const void>(std::move(obj)));
+  EXPECT_EQ(domain.retired_count(), 1u);
+  domain.Reclaim();
+  EXPECT_FALSE(alive.expired());  // the earlier pin blocks reclamation
+
+  size_t late = domain.Pin();  // stamped after the retire: must not block
+  domain.Unpin(slot);
+  domain.Reclaim();
+  EXPECT_TRUE(alive.expired());
+  EXPECT_EQ(domain.retired_count(), 0u);
+  domain.Unpin(late);
+}
+
+TEST(EpochDomainTest, TryPinReportsExhaustion) {
+  EpochDomain domain;
+  std::vector<size_t> slots;
+  for (size_t i = 0; i < EpochDomain::kMaxSlots; ++i) {
+    size_t s = domain.TryPin();
+    ASSERT_NE(s, EpochDomain::kNoSlot);
+    slots.push_back(s);
+  }
+  EXPECT_EQ(domain.TryPin(), EpochDomain::kNoSlot);
+  for (size_t s : slots) domain.Unpin(s);
+  EXPECT_NE(domain.TryPin(), EpochDomain::kNoSlot);
+}
+
+// --- LshIndex: const probing with caller scratch --------------------------
+
+TEST(LshScratchTest, ConcurrentCandidatesMatchSerial) {
+  // Regression: Candidates() was const but wrote mutable per-index
+  // scratch, so two concurrent probes corrupted each other's dedup
+  // state. Scratch now lives with the caller (or thread_local).
+  QueryStore store;
+  std::vector<QueryRecord> probes;
+  for (int i = 0; i < 160; ++i) {
+    std::string sql = "SELECT a, b FROM tbl" + std::to_string(i % 5) +
+                      " WHERE a > " + std::to_string(i);
+    store.Append(BuildRecordFromText(sql, "u", i + 1));
+  }
+  for (int i = 0; i < 4; ++i) {
+    probes.push_back(BuildRecordFromText(
+        "SELECT a FROM tbl" + std::to_string(i) + " WHERE a > 1", "u", 0,
+        SignatureMode::kTransient));
+  }
+
+  std::vector<std::vector<QueryId>> expected;
+  for (const QueryRecord& p : probes) {
+    expected.push_back(store.lsh().Candidates(p.sketch));
+  }
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t]() {
+      LshProbeScratch scratch;  // caller-owned, reused across probes
+      for (int iter = 0; iter < 50; ++iter) {
+        size_t pi = static_cast<size_t>((t + iter) % probes.size());
+        std::vector<QueryId> got =
+            store.lsh().Candidates(probes[pi].sketch, 0, &scratch);
+        if (got != expected[pi]) mismatches.fetch_add(1);
+        // Also exercise the thread_local fallback path.
+        got = store.lsh().Candidates(probes[pi].sketch);
+        if (got != expected[pi]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --- QueryRecord::Ast(): set-once lazy materialization --------------------
+
+TEST(QueryRecordTest, ConcurrentAstMaterializationAgrees) {
+  QueryRecord r = BuildRecordFromText(
+      "SELECT t.a FROM sensors t WHERE t.a > 5", "u", 1);
+  ASSERT_TRUE(r.text_parses);
+  r.ast = nullptr;  // simulate a snapshot-restored record (tree dropped)
+  ASSERT_FALSE(r.parse_failed());
+
+  constexpr int kThreads = 8;
+  std::vector<const sql::SelectStatement*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() { seen[static_cast<size_t>(t)] = r.Ast(); });
+  }
+  for (std::thread& th : threads) th.join();
+  ASSERT_NE(seen[0], nullptr);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)], seen[0]);  // one winner, shared
+  }
+}
+
+// --- read-view publication semantics --------------------------------------
+
+TEST(ReadViewTest, PinnedViewIsSnapshotIsolated) {
+  QueryStore store;
+  store.EnableViews();
+  QueryId a =
+      store.Append(BuildRecordFromText("SELECT a FROM sensors", "alice", 1));
+
+  PinnedView view = store.PinView();
+  ASSERT_TRUE(view);
+  uint64_t pinned_seq = view->sequence();
+
+  store.Append(BuildRecordFromText("SELECT b FROM plants", "alice", 2));
+  ASSERT_TRUE(store.AddFlag(a, kFlagObsolete).ok());
+
+  // The pinned view still shows the pre-mutation world.
+  EXPECT_EQ(view->size(), 1u);
+  EXPECT_FALSE(view->Get(a)->HasFlag(kFlagObsolete));  // COW protected
+  EXPECT_EQ(view->postings().UsingTable("plants").size(), 0u);
+
+  // A fresh pin sees everything.
+  PinnedView fresh = store.PinView();
+  EXPECT_GT(fresh->sequence(), pinned_seq);
+  EXPECT_EQ(fresh->size(), 2u);
+  EXPECT_TRUE(fresh->Get(a)->HasFlag(kFlagObsolete));
+  EXPECT_EQ(fresh->postings().UsingTable("plants").size(), 1u);
+
+  // The live store saw the mutations all along.
+  EXPECT_TRUE(store.Get(a)->HasFlag(kFlagObsolete));
+}
+
+TEST(ReadViewTest, PublishEveryBatchesMutations) {
+  QueryStore store;
+  ViewOptions options;
+  options.publish_every = 4;
+  store.EnableViews(options);
+  uint64_t seq0 = store.published_sequence();
+  for (int i = 0; i < 3; ++i) {
+    store.Append(BuildRecordFromText("SELECT " + std::to_string(i), "u", i + 1));
+  }
+  EXPECT_EQ(store.published_sequence(), seq0);  // 3 < publish_every
+  store.Append(BuildRecordFromText("SELECT 99", "u", 99));
+  EXPECT_EQ(store.published_sequence(), seq0 + 1);
+  PinnedView view = store.PinView();
+  EXPECT_EQ(view->size(), 4u);
+}
+
+TEST(ReadViewTest, ScopedPublishBatchDefersToScopeExit) {
+  QueryStore store;
+  store.EnableViews();
+  uint64_t seq0 = store.published_sequence();
+  {
+    QueryStore::ScopedPublishBatch batch(&store);
+    for (int i = 0; i < 10; ++i) {
+      store.Append(
+          BuildRecordFromText("SELECT " + std::to_string(i), "u", i + 1));
+    }
+    EXPECT_EQ(store.published_sequence(), seq0);  // nothing mid-batch
+    EXPECT_EQ(store.PinView()->size(), 0u);
+  }
+  EXPECT_EQ(store.published_sequence(), seq0 + 1);  // exactly one publish
+  EXPECT_EQ(store.PinView()->size(), 10u);
+}
+
+TEST(ReadViewTest, SharedViewOutlivesRetirement) {
+  QueryStore store;
+  store.EnableViews();
+  store.Append(BuildRecordFromText("SELECT a FROM sensors", "u", 1));
+  std::shared_ptr<const ReadViewState> held = store.SharedView();
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->size(), 1u);
+  uint64_t held_seq = held->sequence();
+
+  // Many republishes retire (and epoch-reclaim) the intermediate views;
+  // the refcounted handle must keep exactly its own alive.
+  for (int i = 0; i < 20; ++i) {
+    store.Append(
+        BuildRecordFromText("SELECT " + std::to_string(i), "u", i + 2));
+  }
+  EXPECT_EQ(held->sequence(), held_seq);
+  EXPECT_EQ(held->size(), 1u);
+  EXPECT_EQ(held->postings().UsingTable("sensors").size(), 1u);
+  EXPECT_EQ(store.SharedView()->size(), 21u);
+}
+
+TEST(ReadViewTest, SnapshotSavedFromViewMatchesLive) {
+  QueryStore store;
+  store.acl().AddUser("alice", {"lab"});
+  store.EnableViews();
+  store.Append(BuildRecordFromText("SELECT a FROM sensors", "alice", 1));
+  store.Append(BuildRecordFromText("SELECT b FROM plants", "alice", 2));
+
+  std::shared_ptr<const ReadViewState> view = store.SharedView();
+  std::string from_view, from_live;
+  ASSERT_TRUE(EncodeSnapshotV2(*view, 0, &from_view).ok());
+  ASSERT_TRUE(EncodeSnapshotV2(store, 0, &from_live).ok());
+  EXPECT_EQ(from_view, from_live);  // byte-identical encodings
+
+  std::string path = ::testing::TempDir() + "/view_snapshot.bin";
+  ASSERT_TRUE(SaveSnapshotV2(*view, path).ok());
+  QueryStore restored;
+  ASSERT_TRUE(LoadSnapshotV2(&restored, path).ok());
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_TRUE(restored.acl().HasUser("alice"));
+}
+
+TEST(ReadViewTest, ExecutorUsesViewsAndMatchesLivePath) {
+  // Same data, one store with views and one without: the executor must
+  // return identical results through both paths.
+  QueryStore with_views, live_only;
+  for (QueryStore* s : {&with_views, &live_only}) {
+    s->acl().AddUser("alice", {"lab"});
+    for (int i = 0; i < 30; ++i) {
+      std::string sql = "SELECT a, b FROM tbl" + std::to_string(i % 3) +
+                        " WHERE a > " + std::to_string(i);
+      s->Append(BuildRecordFromText(sql, "alice", i + 1));
+    }
+  }
+  with_views.EnableViews();
+
+  metaquery::MetaQueryExecutor ex_views(&with_views);
+  metaquery::MetaQueryExecutor ex_live(&live_only);
+  QueryRecord probe = BuildRecordFromText(
+      "SELECT a FROM tbl1 WHERE a > 3", "alice", 0, SignatureMode::kTransient);
+
+  metaquery::MetaQueryRequest request;
+  request.SimilarTo(probe).Limit(5);
+  metaquery::MetaQueryResponse a = ex_views.Execute("alice", request);
+  metaquery::MetaQueryResponse b = ex_live.Execute("alice", request);
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].id, b.matches[i].id);
+    EXPECT_EQ(a.matches[i].score, b.matches[i].score);
+  }
+
+  metaquery::MetaQueryRequest kw;
+  kw.WithKeywords("tbl2").InLogOrder();
+  kw.ranking.exclude_flagged = false;
+  EXPECT_EQ(ex_views.Execute("alice", kw).Ids(),
+            ex_live.Execute("alice", kw).Ids());
+}
+
+// --- 8 readers x 1 writer stress with a serial replay oracle ---------------
+
+// Deterministic mutation script: every step applies exactly one
+// mutation, so after k steps both the stress store and the replay store
+// have mutation_count() == base + k.
+struct Step {
+  enum Kind { kAppend, kFlag } kind = kAppend;
+  std::string sql;       // kAppend
+  std::string user;      // kAppend
+  Micros timestamp = 0;  // kAppend
+  QueryId flag_id = 0;   // kFlag
+};
+
+std::vector<Step> MakeScript(size_t steps) {
+  const char* tables[] = {"sensors", "plants", "sites", "samples", "readings"};
+  std::vector<Step> script;
+  size_t appended = 0;
+  uint64_t flagged = 0;
+  for (size_t i = 0; i < steps; ++i) {
+    Step s;
+    // Every 10th step tombstone-flags a distinct earlier id; the rest
+    // append. Flag targets stay deterministic and are never repeated
+    // (AddFlag on an already-set flag would be a no-op non-mutation and
+    // desynchronize the mutation counting).
+    if (i % 10 == 7 && flagged < appended) {
+      s.kind = Step::kFlag;
+      s.flag_id = static_cast<QueryId>(flagged++);
+    } else {
+      s.kind = Step::kAppend;
+      s.sql = "SELECT a, b FROM " + std::string(tables[i % 5]) +
+              " WHERE a > " + std::to_string(i);
+      s.user = "u" + std::to_string(i % 4);
+      s.timestamp = static_cast<Micros>((i + 1) * kMicrosPerSecond);
+      ++appended;
+    }
+    script.push_back(std::move(s));
+  }
+  return script;
+}
+
+void ApplyStep(QueryStore* store, const Step& s) {
+  if (s.kind == Step::kAppend) {
+    store->Append(BuildRecordFromText(s.sql, s.user, s.timestamp));
+  } else {
+    ASSERT_TRUE(store->AddFlag(s.flag_id, kFlagObsolete).ok());
+  }
+}
+
+struct Sample {
+  uint64_t mutations = 0;
+  size_t view_size = 0;
+  std::vector<std::pair<QueryId, double>> knn;  // (id, score)
+  std::vector<QueryId> keyword_ids;
+};
+
+TEST(ConcurrencyStressTest, ReadersSeeConsistentPrefixes) {
+  constexpr size_t kPrefix = 40;    // applied before readers start
+  constexpr size_t kLive = 200;     // applied concurrently with readers
+  constexpr int kReaders = 8;
+  std::vector<Step> script = MakeScript(kPrefix + kLive);
+
+  QueryStore store;
+  for (int u = 0; u < 4; ++u) {
+    store.acl().AddUser("u" + std::to_string(u), {"lab"});
+  }
+  for (size_t i = 0; i < kPrefix; ++i) ApplyStep(&store, script[i]);
+  const uint64_t base = store.mutation_count();
+  ASSERT_EQ(base, kPrefix);
+  store.EnableViews();
+
+  // Built after the prefix so the probe's table symbols are interned.
+  const QueryRecord probe = BuildRecordFromText(
+      "SELECT a FROM sensors WHERE a > 3", "u0", 0, SignatureMode::kTransient);
+  auto make_knn_request = [&probe]() {
+    metaquery::MetaQueryRequest request;
+    request.SimilarTo(probe).Limit(8);
+    return request;
+  };
+  auto make_keyword_request = []() {
+    metaquery::MetaQueryRequest request;
+    request.WithKeywords("plants").InLogOrder();
+    request.ranking.exclude_flagged = false;
+    return request;
+  };
+
+  // Expected log size after m mutations (appends among the first m steps).
+  std::vector<size_t> size_after(script.size() + 1, 0);
+  for (size_t k = 0; k < script.size(); ++k) {
+    size_after[k + 1] =
+        size_after[k] + (script[k].kind == Step::kAppend ? 1 : 0);
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::vector<std::vector<Sample>> samples(kReaders);
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      uint64_t last_m = 0;
+      int iterations = 0;
+      while (!writer_done.load(std::memory_order_acquire) ||
+             iterations < 30) {
+        ++iterations;
+        PinnedView view = store.PinView();
+        ASSERT_TRUE(view);
+        Sample sample;
+        sample.mutations = view->mutations();
+        sample.view_size = view->size();
+        // Views are published in order: a later pin never sees an
+        // earlier snapshot.
+        ASSERT_GE(sample.mutations, last_m);
+        last_m = sample.mutations;
+
+        StoreView sv(*view);
+        metaquery::MetaQueryPlanner planner{sv};
+        VisibilityCache& cache = view->CacheFor("u0");
+        metaquery::MetaQueryResponse knn =
+            planner.Execute(make_knn_request(), &cache);
+        for (const metaquery::MetaQueryMatch& m : knn.matches) {
+          sample.knn.emplace_back(m.id, m.score);
+        }
+        sample.keyword_ids =
+            planner.Execute(make_keyword_request(), &cache).Ids();
+        samples[static_cast<size_t>(t)].push_back(std::move(sample));
+        if (iterations > 4000) break;  // safety bound
+      }
+    });
+  }
+
+  std::thread writer([&]() {
+    for (size_t i = kPrefix; i < script.size(); ++i) {
+      ApplyStep(&store, script[i]);
+      if (i % 8 == 0) std::this_thread::yield();
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (std::thread& r : readers) r.join();
+
+  // Serial replay oracle: re-apply the script into a fresh store and,
+  // at every sampled mutation count, run the same requests serially.
+  std::map<uint64_t, Sample> sampled;
+  size_t total_samples = 0;
+  for (const auto& reader : samples) {
+    total_samples += reader.size();
+    for (const Sample& s : reader) sampled.emplace(s.mutations, s);
+  }
+  ASSERT_GT(total_samples, 0u);
+
+  QueryStore replay;
+  for (int u = 0; u < 4; ++u) {
+    replay.acl().AddUser("u" + std::to_string(u), {"lab"});
+  }
+  size_t applied = 0;
+  for (const auto& [m, observed] : sampled) {
+    ASSERT_GE(m, base);
+    ASSERT_LE(m, script.size());
+    while (applied < m) {
+      ApplyStep(&replay, script[applied]);
+      ++applied;
+    }
+    ASSERT_EQ(replay.mutation_count(), m);
+    EXPECT_EQ(observed.view_size, size_after[m]) << "at mutation " << m;
+
+    metaquery::MetaQueryPlanner planner(&replay);
+    metaquery::MetaQueryResponse knn =
+        planner.Execute("u0", make_knn_request());
+    ASSERT_EQ(observed.knn.size(), knn.matches.size())
+        << "kNN diverged from serial oracle at mutation " << m;
+    for (size_t i = 0; i < knn.matches.size(); ++i) {
+      EXPECT_EQ(observed.knn[i].first, knn.matches[i].id)
+          << "at mutation " << m << " rank " << i;
+      EXPECT_EQ(observed.knn[i].second, knn.matches[i].score)
+          << "at mutation " << m << " rank " << i;
+    }
+    EXPECT_EQ(observed.keyword_ids,
+              planner.Execute("u0", make_keyword_request()).Ids())
+        << "keyword search diverged at mutation " << m;
+  }
+}
+
+// A writer that also mutates the ACL mid-run: readers on old views keep
+// the old visibility, new views see the new rules.
+TEST(ReadViewTest, AclChangesPublishLikeMutations) {
+  QueryStore store;
+  store.acl().AddUser("owner", {"lab"});
+  store.EnableViews();
+  QueryId id =
+      store.Append(BuildRecordFromText("SELECT a FROM sensors", "owner", 1));
+
+  PinnedView before = store.PinView();
+  // "stranger" shares no group: default kGroup visibility hides the
+  // query from them on this view.
+  {
+    VisibilityCache cache{StoreView(*before), "stranger"};
+    EXPECT_FALSE(cache.VisibleId(id));
+  }
+
+  // ACL mutations tick publication like record mutations do.
+  uint64_t seq = store.published_sequence();
+  store.acl().AddUser("stranger", {"lab"});
+  EXPECT_GT(store.published_sequence(), seq);
+
+  PinnedView after = store.PinView();
+  VisibilityCache cache{StoreView(*after), "stranger"};
+  EXPECT_TRUE(cache.VisibleId(id));
+}
+
+}  // namespace
+}  // namespace cqms::storage
