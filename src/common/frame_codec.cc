@@ -1,0 +1,63 @@
+#include "common/frame_codec.h"
+
+#include <cstring>
+
+#include "common/binary_codec.h"
+
+namespace cqms {
+
+namespace {
+
+uint32_t LoadFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian hosts only, like the WAL's framing.
+}
+
+void StoreFixed32(char* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  char header[kFrameHeaderBytes];
+  StoreFixed32(header, static_cast<uint32_t>(payload.size()));
+  StoreFixed32(header + 4, Crc32(payload));
+  out->append(header, kFrameHeaderBytes);
+  out->append(payload.data(), payload.size());
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  if (failed()) return;
+  // Reclaim consumed prefix before growing; keeps the buffer bounded by
+  // one partial frame plus whatever one Feed delivered.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Next FrameDecoder::Poll(std::string* payload) {
+  if (failed()) return Next::kError;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return Next::kNeedMore;
+  const char* base = buf_.data() + pos_;
+  uint32_t len = LoadFixed32(base);
+  if (len > max_frame_bytes_) {
+    error_ = Status::InvalidArgument("frame length " + std::to_string(len) +
+                                     " exceeds limit " +
+                                     std::to_string(max_frame_bytes_));
+    return Next::kError;
+  }
+  if (buf_.size() - pos_ - kFrameHeaderBytes < len) return Next::kNeedMore;
+  uint32_t want_crc = LoadFixed32(base + 4);
+  std::string_view body(base + kFrameHeaderBytes, len);
+  if (Crc32(body) != want_crc) {
+    error_ = Status::Corruption("frame CRC mismatch");
+    return Next::kError;
+  }
+  payload->assign(body.data(), body.size());
+  pos_ += kFrameHeaderBytes + len;
+  return Next::kFrame;
+}
+
+}  // namespace cqms

@@ -26,6 +26,8 @@ enum class StatusCode {
   kInternal = 10,         ///< Invariant violation; indicates a bug.
   kCorruption = 11,       ///< Stored bytes fail validation (CRC, framing).
   kResourceExhausted = 12,  ///< Out of a finite resource (disk space).
+  kDeadlineExceeded = 13,   ///< Operation did not complete within its deadline.
+  kUnavailable = 14,        ///< Service is shutting down or not accepting work.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -81,6 +83,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

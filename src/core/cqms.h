@@ -66,6 +66,10 @@ class Cqms {
     return profiler_.ExecuteAndProfile(sql_text, user);
   }
 
+  /// The profiler itself, for callers that need the non-executing entry
+  /// points (LogOnly imports; the network server's Append op).
+  profiler::QueryProfiler& profiler() { return profiler_; }
+
   /// Annotates a query (whole query, or a fragment of its text).
   Status Annotate(storage::QueryId id, const std::string& author,
                   const std::string& text, const std::string& fragment = "");

@@ -1,0 +1,755 @@
+#include "net/wire.h"
+
+namespace cqms::net {
+
+namespace {
+
+// Shared small-field helpers. Decoders never trust a count further than
+// "each element needs at least one byte": a hostile varint count larger
+// than the remaining buffer is rejected before any reserve/resize, so a
+// 16-byte frame cannot demand a 4 GB allocation.
+
+bool CheckedCount(BinaryReader* r, uint64_t count) {
+  if (count > r->remaining()) {
+    r->Invalidate();
+    return false;
+  }
+  return true;
+}
+
+void PutBool(BinaryWriter* w, bool v) { w->PutU8(v ? 1 : 0); }
+bool GetBool(BinaryReader* r) { return r->GetU8() != 0; }
+
+void PutOptString(BinaryWriter* w, const std::optional<std::string>& v) {
+  PutBool(w, v.has_value());
+  if (v.has_value()) w->PutString(*v);
+}
+
+std::optional<std::string> GetOptString(BinaryReader* r) {
+  if (!GetBool(r)) return std::nullopt;
+  return r->GetString();
+}
+
+void PutOptZigzag(BinaryWriter* w, const std::optional<int64_t>& v) {
+  PutBool(w, v.has_value());
+  if (v.has_value()) w->PutZigzag(*v);
+}
+
+std::optional<int64_t> GetOptZigzag(BinaryReader* r) {
+  if (!GetBool(r)) return std::nullopt;
+  return r->GetZigzag();
+}
+
+void PutOptVarint(BinaryWriter* w, const std::optional<uint64_t>& v) {
+  PutBool(w, v.has_value());
+  if (v.has_value()) w->PutVarint(*v);
+}
+
+std::optional<uint64_t> GetOptVarint(BinaryReader* r) {
+  if (!GetBool(r)) return std::nullopt;
+  return r->GetVarint();
+}
+
+void PutOptInt(BinaryWriter* w, const std::optional<int>& v) {
+  PutBool(w, v.has_value());
+  if (v.has_value()) w->PutZigzag(*v);
+}
+
+std::optional<int> GetOptInt(BinaryReader* r) {
+  if (!GetBool(r)) return std::nullopt;
+  return std::optional<int>(static_cast<int>(r->GetZigzag()));
+}
+
+void PutOptBool(BinaryWriter* w, const std::optional<bool>& v) {
+  PutBool(w, v.has_value());
+  if (v.has_value()) PutBool(w, *v);
+}
+
+std::optional<bool> GetOptBool(BinaryReader* r) {
+  if (!GetBool(r)) return std::nullopt;
+  return GetBool(r);
+}
+
+void PutStrings(BinaryWriter* w, const std::vector<std::string>& v) {
+  w->PutVarint(v.size());
+  for (const std::string& s : v) w->PutString(s);
+}
+
+bool GetStrings(BinaryReader* r, std::vector<std::string>* out) {
+  uint64_t n = r->GetVarint();
+  if (!CheckedCount(r, n)) return false;
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) out->push_back(r->GetString());
+  return !r->failed();
+}
+
+void PutValue(BinaryWriter* w, const db::Value& v) {
+  w->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case db::ValueType::kNull:
+      break;
+    case db::ValueType::kInt:
+      w->PutZigzag(v.AsInt());
+      break;
+    case db::ValueType::kDouble:
+      w->PutDouble(v.AsDouble());
+      break;
+    case db::ValueType::kString:
+      w->PutString(v.AsString());
+      break;
+    case db::ValueType::kBool:
+      PutBool(w, v.AsBool());
+      break;
+  }
+}
+
+bool GetValue(BinaryReader* r, db::Value* out) {
+  uint8_t tag = r->GetU8();
+  if (tag > static_cast<uint8_t>(db::ValueType::kBool)) {
+    r->Invalidate();
+    return false;
+  }
+  switch (static_cast<db::ValueType>(tag)) {
+    case db::ValueType::kNull:
+      *out = db::Value::Null();
+      break;
+    case db::ValueType::kInt:
+      *out = db::Value::Int(r->GetZigzag());
+      break;
+    case db::ValueType::kDouble:
+      *out = db::Value::Double(r->GetDouble());
+      break;
+    case db::ValueType::kString:
+      *out = db::Value::String(r->GetString());
+      break;
+    case db::ValueType::kBool:
+      *out = db::Value::Bool(GetBool(r));
+      break;
+  }
+  return !r->failed();
+}
+
+void PutRanking(BinaryWriter* w, const metaquery::RankingOptions& v) {
+  w->PutDouble(v.w_similarity);
+  w->PutDouble(v.w_popularity);
+  w->PutDouble(v.w_quality);
+  w->PutDouble(v.w_recency);
+  PutBool(w, v.exclude_flagged);
+  w->PutDouble(v.min_similarity);
+}
+
+void GetRanking(BinaryReader* r, metaquery::RankingOptions* v) {
+  v->w_similarity = r->GetDouble();
+  v->w_popularity = r->GetDouble();
+  v->w_quality = r->GetDouble();
+  v->w_recency = r->GetDouble();
+  v->exclude_flagged = GetBool(r);
+  v->min_similarity = r->GetDouble();
+}
+
+void PutFeatureSpec(BinaryWriter* w, const FeatureSpec& v) {
+  PutStrings(w, v.tables);
+  w->PutVarint(v.attributes.size());
+  for (const auto& [rel, attr] : v.attributes) {
+    w->PutString(rel);
+    w->PutString(attr);
+  }
+  w->PutVarint(v.predicates.size());
+  for (const FeatureSpec::Predicate& p : v.predicates) {
+    w->PutString(p.relation);
+    w->PutString(p.attribute);
+    w->PutString(p.op);
+  }
+  PutOptString(w, v.user);
+  PutOptZigzag(w, v.max_execution_micros);
+  PutOptVarint(w, v.max_result_rows);
+  PutOptVarint(w, v.min_result_rows);
+  PutBool(w, v.succeeded_only);
+}
+
+bool GetFeatureSpec(BinaryReader* r, FeatureSpec* v) {
+  if (!GetStrings(r, &v->tables)) return false;
+  uint64_t n = r->GetVarint();
+  if (!CheckedCount(r, n)) return false;
+  v->attributes.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string rel = r->GetString();
+    std::string attr = r->GetString();
+    v->attributes.emplace_back(std::move(rel), std::move(attr));
+  }
+  n = r->GetVarint();
+  if (!CheckedCount(r, n)) return false;
+  v->predicates.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    FeatureSpec::Predicate p;
+    p.relation = r->GetString();
+    p.attribute = r->GetString();
+    p.op = r->GetString();
+    v->predicates.push_back(std::move(p));
+  }
+  v->user = GetOptString(r);
+  v->max_execution_micros = GetOptZigzag(r);
+  v->max_result_rows = GetOptVarint(r);
+  v->min_result_rows = GetOptVarint(r);
+  v->succeeded_only = GetBool(r);
+  return !r->failed();
+}
+
+void PutStructure(BinaryWriter* w, const metaquery::StructuralPattern& v) {
+  PutStrings(w, v.required_tables);
+  PutStrings(w, v.forbidden_tables);
+  PutStrings(w, v.required_predicate_skeletons);
+  PutStrings(w, v.required_aggregates);
+  PutOptBool(w, v.requires_subquery);
+  PutOptBool(w, v.requires_group_by);
+  PutOptInt(w, v.min_joins);
+  PutOptInt(w, v.max_joins);
+  PutOptInt(w, v.min_nesting_depth);
+}
+
+bool GetStructure(BinaryReader* r, metaquery::StructuralPattern* v) {
+  if (!GetStrings(r, &v->required_tables)) return false;
+  if (!GetStrings(r, &v->forbidden_tables)) return false;
+  if (!GetStrings(r, &v->required_predicate_skeletons)) return false;
+  if (!GetStrings(r, &v->required_aggregates)) return false;
+  v->requires_subquery = GetOptBool(r);
+  v->requires_group_by = GetOptBool(r);
+  v->min_joins = GetOptInt(r);
+  v->max_joins = GetOptInt(r);
+  v->min_nesting_depth = GetOptInt(r);
+  return !r->failed();
+}
+
+void PutDataSpec(BinaryWriter* w, const DataSpec& v) {
+  w->PutVarint(v.examples.size());
+  for (const DataExampleSpec& ex : v.examples) {
+    w->PutVarint(ex.cells.size());
+    for (const db::Value& cell : ex.cells) PutValue(w, cell);
+    PutBool(w, ex.positive);
+  }
+  PutBool(w, v.reexecute);
+  PutBool(w, v.skip_without_summary);
+}
+
+bool GetDataSpec(BinaryReader* r, DataSpec* v) {
+  uint64_t n = r->GetVarint();
+  if (!CheckedCount(r, n)) return false;
+  v->examples.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DataExampleSpec ex;
+    uint64_t cells = r->GetVarint();
+    if (!CheckedCount(r, cells)) return false;
+    ex.cells.reserve(cells);
+    for (uint64_t c = 0; c < cells; ++c) {
+      db::Value cell;
+      if (!GetValue(r, &cell)) return false;
+      ex.cells.push_back(std::move(cell));
+    }
+    ex.positive = GetBool(r);
+    v->examples.push_back(std::move(ex));
+  }
+  v->reexecute = GetBool(r);
+  v->skip_without_summary = GetBool(r);
+  return !r->failed();
+}
+
+void PutSimilaritySpec(BinaryWriter* w, const SimilaritySpec& v) {
+  w->PutString(v.probe_text);
+  w->PutDouble(v.weights.feature);
+  w->PutDouble(v.weights.text);
+  w->PutDouble(v.weights.output);
+  PutBool(w, v.candidates.use_lsh);
+  w->PutVarint(v.candidates.lsh_min_log_size);
+  w->PutVarint(v.candidates.probe_bands);
+}
+
+bool GetSimilaritySpec(BinaryReader* r, SimilaritySpec* v) {
+  v->probe_text = r->GetString();
+  v->weights.feature = r->GetDouble();
+  v->weights.text = r->GetDouble();
+  v->weights.output = r->GetDouble();
+  v->candidates.use_lsh = GetBool(r);
+  v->candidates.lsh_min_log_size = r->GetVarint();
+  v->candidates.probe_bands = r->GetVarint();
+  return !r->failed();
+}
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kHello:
+      return "Hello";
+    case Op::kSearch:
+      return "Search";
+    case Op::kAppend:
+      return "Append";
+    case Op::kRewrite:
+      return "Rewrite";
+    case Op::kAnnotate:
+      return "Annotate";
+    case Op::kSetVisibility:
+      return "SetVisibility";
+    case Op::kDelete:
+      return "Delete";
+    case Op::kRecommend:
+      return "Recommend";
+    case Op::kBrowse:
+      return "Browse";
+    case Op::kShowSession:
+      return "ShowSession";
+    case Op::kStats:
+      return "Stats";
+    case Op::kCheckpoint:
+      return "Checkpoint";
+    case Op::kRegisterUser:
+      return "RegisterUser";
+    case Op::kMaintain:
+      return "Maintain";
+  }
+  return "Unknown";
+}
+
+void BeginRequest(BinaryWriter* w, uint64_t request_id, Op op) {
+  w->PutVarint(request_id);
+  w->PutU8(static_cast<uint8_t>(op));
+}
+
+void BeginResponse(BinaryWriter* w, uint64_t request_id, Op op) {
+  w->PutVarint(request_id);
+  w->PutU8(static_cast<uint8_t>(op));
+  w->PutVarint(static_cast<uint64_t>(StatusCode::kOk));
+  w->PutString("");
+}
+
+void EncodeErrorResponse(BinaryWriter* w, uint64_t request_id, Op op,
+                         const Status& error) {
+  w->PutVarint(request_id);
+  w->PutU8(static_cast<uint8_t>(op));
+  w->PutVarint(static_cast<uint64_t>(error.code()));
+  w->PutString(error.message());
+}
+
+bool DecodeRequestEnvelope(std::string_view payload, RequestEnvelope* out) {
+  BinaryReader r(payload);
+  out->request_id = r.GetVarint();
+  uint8_t op = r.GetU8();
+  if (r.failed() || op < kMinOp || op > kMaxOp) return false;
+  out->op = static_cast<Op>(op);
+  out->body = payload.substr(payload.size() - r.remaining());
+  return true;
+}
+
+bool DecodeResponseEnvelope(std::string_view payload, ResponseEnvelope* out) {
+  BinaryReader r(payload);
+  out->request_id = r.GetVarint();
+  uint8_t op = r.GetU8();
+  uint64_t code = r.GetVarint();
+  out->message = r.GetString();
+  if (r.failed() || op < kMinOp || op > kMaxOp ||
+      code > static_cast<uint64_t>(StatusCode::kUnavailable)) {
+    return false;
+  }
+  out->op = static_cast<Op>(op);
+  out->code = static_cast<StatusCode>(code);
+  out->body = payload.substr(payload.size() - r.remaining());
+  return true;
+}
+
+// --- hello -----------------------------------------------------------------
+
+void EncodeHelloRequest(BinaryWriter* w, const HelloRequest& m) {
+  w->PutVarint(m.protocol_version);
+  w->PutString(m.client_name);
+}
+
+bool DecodeHelloRequest(BinaryReader* r, HelloRequest* m) {
+  m->protocol_version = static_cast<uint32_t>(r->GetVarint());
+  m->client_name = r->GetString();
+  return !r->failed();
+}
+
+void EncodeHelloResponse(BinaryWriter* w, const HelloResponse& m) {
+  w->PutVarint(m.protocol_version);
+  w->PutString(m.server_version);
+  w->PutVarint(m.store_size);
+}
+
+bool DecodeHelloResponse(BinaryReader* r, HelloResponse* m) {
+  m->protocol_version = static_cast<uint32_t>(r->GetVarint());
+  m->server_version = r->GetString();
+  m->store_size = r->GetVarint();
+  return !r->failed();
+}
+
+// --- search ----------------------------------------------------------------
+
+void EncodeSearchRequest(BinaryWriter* w, const SearchRequest& m) {
+  w->PutString(m.viewer);
+  const SearchSpec& s = m.spec;
+  PutBool(w, s.keyword.has_value());
+  if (s.keyword.has_value()) {
+    w->PutString(s.keyword->words);
+    PutBool(w, s.keyword->match_all);
+  }
+  PutOptString(w, s.substring);
+  PutBool(w, s.feature.has_value());
+  if (s.feature.has_value()) PutFeatureSpec(w, *s.feature);
+  PutBool(w, s.structure.has_value());
+  if (s.structure.has_value()) PutStructure(w, *s.structure);
+  PutBool(w, s.data.has_value());
+  if (s.data.has_value()) PutDataSpec(w, *s.data);
+  PutBool(w, s.similarity.has_value());
+  if (s.similarity.has_value()) PutSimilaritySpec(w, *s.similarity);
+  PutRanking(w, s.ranking);
+  w->PutU8(static_cast<uint8_t>(s.order));
+  w->PutVarint(s.limit);
+}
+
+bool DecodeSearchRequest(BinaryReader* r, SearchRequest* m) {
+  m->viewer = r->GetString();
+  SearchSpec& s = m->spec;
+  if (GetBool(r)) {
+    s.keyword.emplace();
+    s.keyword->words = r->GetString();
+    s.keyword->match_all = GetBool(r);
+  }
+  s.substring = GetOptString(r);
+  if (GetBool(r)) {
+    s.feature.emplace();
+    if (!GetFeatureSpec(r, &*s.feature)) return false;
+  }
+  if (GetBool(r)) {
+    s.structure.emplace();
+    if (!GetStructure(r, &*s.structure)) return false;
+  }
+  if (GetBool(r)) {
+    s.data.emplace();
+    if (!GetDataSpec(r, &*s.data)) return false;
+  }
+  if (GetBool(r)) {
+    s.similarity.emplace();
+    if (!GetSimilaritySpec(r, &*s.similarity)) return false;
+  }
+  GetRanking(r, &s.ranking);
+  uint8_t order = r->GetU8();
+  if (order > static_cast<uint8_t>(metaquery::ResultOrder::kLogOrder)) {
+    r->Invalidate();
+    return false;
+  }
+  s.order = static_cast<metaquery::ResultOrder>(order);
+  s.limit = r->GetVarint();
+  return !r->failed();
+}
+
+void EncodeSearchResult(BinaryWriter* w, const SearchResult& m) {
+  w->PutVarint(m.matches.size());
+  for (const SearchResult::Match& match : m.matches) {
+    w->PutZigzag(match.id);
+    w->PutDouble(match.similarity);
+    w->PutDouble(match.score);
+  }
+  w->PutU8(m.generator);
+  w->PutVarint(m.candidates_considered);
+}
+
+bool DecodeSearchResult(BinaryReader* r, SearchResult* m) {
+  uint64_t n = r->GetVarint();
+  if (!CheckedCount(r, n)) return false;
+  m->matches.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SearchResult::Match match;
+    match.id = r->GetZigzag();
+    match.similarity = r->GetDouble();
+    match.score = r->GetDouble();
+    m->matches.push_back(match);
+  }
+  m->generator = r->GetU8();
+  m->candidates_considered = r->GetVarint();
+  return !r->failed();
+}
+
+metaquery::MetaQueryRequest ToMetaQueryRequest(const SearchSpec& spec,
+                                               const storage::QueryRecord* probe) {
+  metaquery::MetaQueryRequest req;
+  if (spec.keyword.has_value()) {
+    req.WithKeywords(spec.keyword->words, spec.keyword->match_all);
+  }
+  if (spec.substring.has_value()) req.WithSubstring(*spec.substring);
+  if (spec.feature.has_value()) {
+    metaquery::FeatureQuery fq;
+    const FeatureSpec& f = *spec.feature;
+    for (const std::string& t : f.tables) fq.UsesTable(t);
+    for (const auto& [rel, attr] : f.attributes) fq.UsesAttribute(rel, attr);
+    for (const FeatureSpec::Predicate& p : f.predicates) {
+      fq.HasPredicateOn(p.relation, p.attribute, p.op);
+    }
+    if (f.user.has_value()) fq.ByUser(*f.user);
+    if (f.max_execution_micros.has_value()) {
+      fq.MaxExecutionMicros(*f.max_execution_micros);
+    }
+    if (f.max_result_rows.has_value()) fq.MaxResultRows(*f.max_result_rows);
+    if (f.min_result_rows.has_value()) fq.MinResultRows(*f.min_result_rows);
+    if (f.succeeded_only) fq.SucceededOnly();
+    req.WithFeature(std::move(fq));
+  }
+  if (spec.structure.has_value()) req.WithStructure(*spec.structure);
+  if (spec.data.has_value()) {
+    std::vector<metaquery::DataExample> examples;
+    examples.reserve(spec.data->examples.size());
+    for (const DataExampleSpec& ex : spec.data->examples) {
+      metaquery::DataExample e;
+      e.cells = ex.cells;
+      e.positive = ex.positive;
+      examples.push_back(std::move(e));
+    }
+    metaquery::QueryByDataOptions options;
+    options.skip_without_summary = spec.data->skip_without_summary;
+    req.WithData(std::move(examples), options);
+  }
+  if (spec.similarity.has_value() && probe != nullptr) {
+    req.SimilarTo(*probe, spec.similarity->weights, spec.similarity->candidates);
+  }
+  req.ranking = spec.ranking;
+  req.order = spec.order;
+  req.limit = spec.limit;
+  return req;
+}
+
+// --- append ----------------------------------------------------------------
+
+void EncodeAppendRequest(BinaryWriter* w, const AppendRequest& m) {
+  w->PutString(m.user);
+  w->PutString(m.sql);
+  PutBool(w, m.execute);
+}
+
+bool DecodeAppendRequest(BinaryReader* r, AppendRequest* m) {
+  m->user = r->GetString();
+  m->sql = r->GetString();
+  m->execute = GetBool(r);
+  return !r->failed();
+}
+
+void EncodeAppendResult(BinaryWriter* w, const AppendResult& m) {
+  w->PutZigzag(m.id);
+  PutBool(w, m.succeeded);
+  w->PutString(m.error);
+  w->PutVarint(m.result_rows);
+  w->PutZigzag(m.exec_micros);
+}
+
+bool DecodeAppendResult(BinaryReader* r, AppendResult* m) {
+  m->id = r->GetZigzag();
+  m->succeeded = GetBool(r);
+  m->error = r->GetString();
+  m->result_rows = r->GetVarint();
+  m->exec_micros = r->GetZigzag();
+  return !r->failed();
+}
+
+// --- small record ops ------------------------------------------------------
+
+void EncodeRewriteRequest(BinaryWriter* w, const RewriteRequest& m) {
+  w->PutZigzag(m.id);
+  w->PutString(m.new_text);
+}
+
+bool DecodeRewriteRequest(BinaryReader* r, RewriteRequest* m) {
+  m->id = r->GetZigzag();
+  m->new_text = r->GetString();
+  return !r->failed();
+}
+
+void EncodeAnnotateRequest(BinaryWriter* w, const AnnotateRequest& m) {
+  w->PutZigzag(m.id);
+  w->PutString(m.author);
+  w->PutString(m.text);
+  w->PutString(m.fragment);
+}
+
+bool DecodeAnnotateRequest(BinaryReader* r, AnnotateRequest* m) {
+  m->id = r->GetZigzag();
+  m->author = r->GetString();
+  m->text = r->GetString();
+  m->fragment = r->GetString();
+  return !r->failed();
+}
+
+void EncodeSetVisibilityRequest(BinaryWriter* w, const SetVisibilityRequest& m) {
+  w->PutString(m.requester);
+  w->PutZigzag(m.id);
+  w->PutU8(static_cast<uint8_t>(m.visibility));
+}
+
+bool DecodeSetVisibilityRequest(BinaryReader* r, SetVisibilityRequest* m) {
+  m->requester = r->GetString();
+  m->id = r->GetZigzag();
+  uint8_t vis = r->GetU8();
+  if (vis > static_cast<uint8_t>(storage::Visibility::kPublic)) {
+    r->Invalidate();
+    return false;
+  }
+  m->visibility = static_cast<storage::Visibility>(vis);
+  return !r->failed();
+}
+
+void EncodeDeleteRequest(BinaryWriter* w, const DeleteRequest& m) {
+  w->PutString(m.requester);
+  w->PutZigzag(m.id);
+  PutBool(w, m.is_admin);
+}
+
+bool DecodeDeleteRequest(BinaryReader* r, DeleteRequest* m) {
+  m->requester = r->GetString();
+  m->id = r->GetZigzag();
+  m->is_admin = GetBool(r);
+  return !r->failed();
+}
+
+void EncodeRegisterUserRequest(BinaryWriter* w, const RegisterUserRequest& m) {
+  w->PutString(m.user);
+  PutStrings(w, m.groups);
+}
+
+bool DecodeRegisterUserRequest(BinaryReader* r, RegisterUserRequest* m) {
+  m->user = r->GetString();
+  return GetStrings(r, &m->groups) && !r->failed();
+}
+
+// --- recommend / browse ----------------------------------------------------
+
+void EncodeRecommendRequest(BinaryWriter* w, const RecommendRequest& m) {
+  w->PutString(m.viewer);
+  w->PutString(m.sql_text);
+  w->PutVarint(m.k);
+}
+
+bool DecodeRecommendRequest(BinaryReader* r, RecommendRequest* m) {
+  m->viewer = r->GetString();
+  m->sql_text = r->GetString();
+  m->k = r->GetVarint();
+  return !r->failed();
+}
+
+void EncodeRecommendResult(BinaryWriter* w, const RecommendResult& m) {
+  w->PutVarint(m.items.size());
+  for (const RecommendationItem& item : m.items) {
+    w->PutZigzag(item.id);
+    w->PutDouble(item.score);
+    w->PutDouble(item.similarity);
+    w->PutString(item.text);
+    w->PutString(item.diff);
+    w->PutString(item.annotation);
+  }
+}
+
+bool DecodeRecommendResult(BinaryReader* r, RecommendResult* m) {
+  uint64_t n = r->GetVarint();
+  if (!CheckedCount(r, n)) return false;
+  m->items.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    RecommendationItem item;
+    item.id = r->GetZigzag();
+    item.score = r->GetDouble();
+    item.similarity = r->GetDouble();
+    item.text = r->GetString();
+    item.diff = r->GetString();
+    item.annotation = r->GetString();
+    m->items.push_back(std::move(item));
+  }
+  return !r->failed();
+}
+
+void EncodeBrowseRequest(BinaryWriter* w, const BrowseRequest& m) {
+  w->PutString(m.viewer);
+  w->PutVarint(m.max_sessions);
+}
+
+bool DecodeBrowseRequest(BinaryReader* r, BrowseRequest* m) {
+  m->viewer = r->GetString();
+  m->max_sessions = r->GetVarint();
+  return !r->failed();
+}
+
+void EncodeShowSessionRequest(BinaryWriter* w, const ShowSessionRequest& m) {
+  w->PutString(m.viewer);
+  w->PutZigzag(m.session_id);
+}
+
+bool DecodeShowSessionRequest(BinaryReader* r, ShowSessionRequest* m) {
+  m->viewer = r->GetString();
+  m->session_id = r->GetZigzag();
+  return !r->failed();
+}
+
+void EncodeTextResult(BinaryWriter* w, const TextResult& m) {
+  w->PutString(m.text);
+}
+
+bool DecodeTextResult(BinaryReader* r, TextResult* m) {
+  m->text = r->GetString();
+  return !r->failed();
+}
+
+// --- stats / admin ---------------------------------------------------------
+
+void EncodeStatsResult(BinaryWriter* w, const StatsResult& m) {
+  w->PutString(m.server_version);
+  w->PutVarint(m.uptime_micros);
+  w->PutVarint(m.active_connections);
+  w->PutVarint(m.total_connections);
+  w->PutVarint(m.rejected_connections);
+  w->PutVarint(m.protocol_errors);
+  w->PutVarint(m.store_size);
+  w->PutVarint(m.published_sequence);
+  w->PutVarint(m.per_op.size());
+  for (const OpStatsRow& row : m.per_op) {
+    w->PutU8(row.op);
+    w->PutVarint(row.count);
+    w->PutVarint(row.errors);
+    w->PutVarint(row.bytes_in);
+    w->PutVarint(row.bytes_out);
+    w->PutVarint(row.p50_micros);
+    w->PutVarint(row.p99_micros);
+    w->PutVarint(row.max_micros);
+  }
+}
+
+bool DecodeStatsResult(BinaryReader* r, StatsResult* m) {
+  m->server_version = r->GetString();
+  m->uptime_micros = r->GetVarint();
+  m->active_connections = r->GetVarint();
+  m->total_connections = r->GetVarint();
+  m->rejected_connections = r->GetVarint();
+  m->protocol_errors = r->GetVarint();
+  m->store_size = r->GetVarint();
+  m->published_sequence = r->GetVarint();
+  uint64_t n = r->GetVarint();
+  if (!CheckedCount(r, n)) return false;
+  m->per_op.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    OpStatsRow row;
+    row.op = r->GetU8();
+    row.count = r->GetVarint();
+    row.errors = r->GetVarint();
+    row.bytes_in = r->GetVarint();
+    row.bytes_out = r->GetVarint();
+    row.p50_micros = r->GetVarint();
+    row.p99_micros = r->GetVarint();
+    row.max_micros = r->GetVarint();
+    m->per_op.push_back(row);
+  }
+  return !r->failed();
+}
+
+void EncodeMaintainRequest(BinaryWriter* w, const MaintainRequest& m) {
+  PutBool(w, m.run_mining);
+}
+
+bool DecodeMaintainRequest(BinaryReader* r, MaintainRequest* m) {
+  m->run_mining = GetBool(r);
+  return !r->failed();
+}
+
+}  // namespace cqms::net

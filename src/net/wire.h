@@ -1,0 +1,353 @@
+#ifndef CQMS_NET_WIRE_H_
+#define CQMS_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/binary_codec.h"
+#include "common/status.h"
+#include "db/value.h"
+#include "metaquery/knn.h"
+#include "metaquery/meta_query_request.h"
+#include "metaquery/parse_tree_query.h"
+#include "storage/access_control.h"
+#include "storage/query_record.h"
+
+namespace cqms::net {
+
+/// Wire protocol version. Bumped on any incompatible envelope or body
+/// change; the Hello handshake rejects mismatches with kWrongVersion
+/// semantics (StatusCode::kUnsupported) before any other op is accepted.
+constexpr uint32_t kProtocolVersion = 1;
+
+/// Operation codes carried in every request and echoed in the response.
+/// Values are wire-stable: append only, never renumber.
+enum class Op : uint8_t {
+  kHello = 1,
+  kSearch = 2,
+  kAppend = 3,
+  kRewrite = 4,
+  kAnnotate = 5,
+  kSetVisibility = 6,
+  kDelete = 7,
+  kRecommend = 8,
+  kBrowse = 9,
+  kShowSession = 10,
+  kStats = 11,
+  kCheckpoint = 12,
+  kRegisterUser = 13,
+  kMaintain = 14,
+};
+
+constexpr uint8_t kMinOp = 1;
+constexpr uint8_t kMaxOp = 14;
+const char* OpName(Op op);
+
+// --- envelopes -------------------------------------------------------------
+//
+// Request payload:  varint request_id, u8 op, body...
+// Response payload: varint request_id, u8 op, varint status code,
+//                   string message (empty when OK), body... (only when OK)
+//
+// request_id is chosen by the client and echoed verbatim; clients
+// pipeline many requests on one connection and match responses by id
+// (the server may answer out of order).
+
+struct RequestEnvelope {
+  uint64_t request_id = 0;
+  Op op = Op::kHello;
+  std::string_view body;  ///< Aliases the decoded payload buffer.
+};
+
+struct ResponseEnvelope {
+  uint64_t request_id = 0;
+  Op op = Op::kHello;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::string_view body;  ///< Aliases the decoded payload buffer.
+
+  bool ok() const { return code == StatusCode::kOk; }
+  Status ToStatus() const { return Status(code, message); }
+};
+
+/// Starts a request payload; append the body to `w` afterwards.
+void BeginRequest(BinaryWriter* w, uint64_t request_id, Op op);
+/// Starts an OK response payload; append the body afterwards.
+void BeginResponse(BinaryWriter* w, uint64_t request_id, Op op);
+/// A complete typed-error response payload (no body follows).
+void EncodeErrorResponse(BinaryWriter* w, uint64_t request_id, Op op,
+                         const Status& error);
+
+/// False on malformed envelope (unknown op, truncated). `payload` must
+/// outlive the envelope (body aliases it).
+bool DecodeRequestEnvelope(std::string_view payload, RequestEnvelope* out);
+bool DecodeResponseEnvelope(std::string_view payload, ResponseEnvelope* out);
+
+// --- hello -----------------------------------------------------------------
+
+struct HelloRequest {
+  uint32_t protocol_version = kProtocolVersion;
+  std::string client_name;
+};
+
+struct HelloResponse {
+  uint32_t protocol_version = kProtocolVersion;
+  std::string server_version;
+  uint64_t store_size = 0;
+};
+
+// --- search ----------------------------------------------------------------
+//
+// SearchSpec mirrors metaquery::MetaQueryRequest with two wire-induced
+// differences: the similarity probe travels as SQL text (the server
+// builds the transient probe record), and query-by-data re-execution is
+// a flag (the server would supply its own database) — v1 rejects it as
+// kUnsupported because re-execution is a writer-thread feature.
+
+struct FeatureSpec {
+  std::vector<std::string> tables;
+  std::vector<std::pair<std::string, std::string>> attributes;  // rel, attr
+  struct Predicate {
+    std::string relation;
+    std::string attribute;
+    std::string op;  // empty = any operator
+  };
+  std::vector<Predicate> predicates;
+  std::optional<std::string> user;
+  std::optional<int64_t> max_execution_micros;
+  std::optional<uint64_t> max_result_rows;
+  std::optional<uint64_t> min_result_rows;
+  bool succeeded_only = false;
+};
+
+struct DataExampleSpec {
+  std::vector<db::Value> cells;
+  bool positive = true;
+};
+
+struct DataSpec {
+  std::vector<DataExampleSpec> examples;
+  /// Ask the server to re-execute inconclusive queries against its own
+  /// database. Unsupported in protocol v1 (typed kUnsupported error).
+  bool reexecute = false;
+  bool skip_without_summary = true;
+};
+
+struct SimilaritySpec {
+  std::string probe_text;
+  metaquery::SimilarityWeights weights;
+  metaquery::CandidateOptions candidates;
+};
+
+struct KeywordSpec {
+  std::string words;
+  bool match_all = true;
+};
+
+struct SearchSpec {
+  std::optional<KeywordSpec> keyword;
+  std::optional<std::string> substring;
+  std::optional<FeatureSpec> feature;
+  std::optional<metaquery::StructuralPattern> structure;
+  std::optional<DataSpec> data;
+  std::optional<SimilaritySpec> similarity;
+  metaquery::RankingOptions ranking;
+  metaquery::ResultOrder order = metaquery::ResultOrder::kScore;
+  uint64_t limit = 0;
+};
+
+struct SearchRequest {
+  std::string viewer;
+  SearchSpec spec;
+};
+
+struct SearchResult {
+  struct Match {
+    storage::QueryId id = storage::kInvalidQueryId;
+    double similarity = 0;
+    double score = 0;
+  };
+  std::vector<Match> matches;
+  uint8_t generator = 0;  ///< metaquery::CandidateGenerator
+  uint64_t candidates_considered = 0;
+};
+
+/// Builds the in-process request from a spec. `probe` backs the
+/// similarity predicate and must outlive the returned request (null =
+/// spec has no similarity predicate). Used by the server handler and by
+/// tests to run the byte-identical oracle in process.
+metaquery::MetaQueryRequest ToMetaQueryRequest(const SearchSpec& spec,
+                                               const storage::QueryRecord* probe);
+
+// --- append ----------------------------------------------------------------
+
+struct AppendRequest {
+  std::string user;
+  std::string sql;
+  /// True: execute against the server's database and profile (§2.1).
+  /// False: log-only import (historical logs, results unknown).
+  bool execute = true;
+};
+
+struct AppendResult {
+  storage::QueryId id = storage::kInvalidQueryId;
+  bool succeeded = false;
+  std::string error;
+  uint64_t result_rows = 0;
+  int64_t exec_micros = 0;
+};
+
+// --- small record ops ------------------------------------------------------
+
+struct RewriteRequest {
+  storage::QueryId id = storage::kInvalidQueryId;
+  std::string new_text;
+};
+
+struct AnnotateRequest {
+  storage::QueryId id = storage::kInvalidQueryId;
+  std::string author;
+  std::string text;
+  std::string fragment;
+};
+
+struct SetVisibilityRequest {
+  std::string requester;
+  storage::QueryId id = storage::kInvalidQueryId;
+  storage::Visibility visibility = storage::Visibility::kGroup;
+};
+
+struct DeleteRequest {
+  std::string requester;
+  storage::QueryId id = storage::kInvalidQueryId;
+  bool is_admin = false;
+};
+
+struct RegisterUserRequest {
+  std::string user;
+  std::vector<std::string> groups;
+};
+
+// --- recommend / browse ----------------------------------------------------
+
+struct RecommendRequest {
+  std::string viewer;
+  std::string sql_text;
+  uint64_t k = 5;
+};
+
+struct RecommendationItem {
+  storage::QueryId id = storage::kInvalidQueryId;
+  double score = 0;
+  double similarity = 0;
+  std::string text;
+  std::string diff;
+  std::string annotation;
+};
+
+struct RecommendResult {
+  std::vector<RecommendationItem> items;
+};
+
+struct BrowseRequest {
+  std::string viewer;
+  uint64_t max_sessions = 20;
+};
+
+struct ShowSessionRequest {
+  std::string viewer;
+  storage::SessionId session_id = -1;
+};
+
+struct TextResult {
+  std::string text;
+};
+
+// --- stats / admin ---------------------------------------------------------
+
+struct OpStatsRow {
+  uint8_t op = 0;
+  uint64_t count = 0;
+  uint64_t errors = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t p50_micros = 0;
+  uint64_t p99_micros = 0;
+  uint64_t max_micros = 0;
+};
+
+struct StatsResult {
+  std::string server_version;
+  uint64_t uptime_micros = 0;
+  uint64_t active_connections = 0;
+  uint64_t total_connections = 0;
+  uint64_t rejected_connections = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t store_size = 0;
+  uint64_t published_sequence = 0;
+  std::vector<OpStatsRow> per_op;
+};
+
+struct MaintainRequest {
+  bool run_mining = true;
+};
+
+// --- body codecs -----------------------------------------------------------
+//
+// Every EncodeX appends the body to an open payload (after BeginRequest /
+// BeginResponse); every DecodeX reads the body from a BinaryReader over
+// the envelope's `body` view and returns false when the bytes are
+// malformed (truncated, bad discriminant) — the reader's failure bit and
+// an exhausted-buffer check decide. Empty-bodied messages (Stats,
+// Checkpoint requests; plain-status responses) have no codec.
+
+void EncodeHelloRequest(BinaryWriter* w, const HelloRequest& m);
+bool DecodeHelloRequest(BinaryReader* r, HelloRequest* m);
+void EncodeHelloResponse(BinaryWriter* w, const HelloResponse& m);
+bool DecodeHelloResponse(BinaryReader* r, HelloResponse* m);
+
+void EncodeSearchRequest(BinaryWriter* w, const SearchRequest& m);
+bool DecodeSearchRequest(BinaryReader* r, SearchRequest* m);
+void EncodeSearchResult(BinaryWriter* w, const SearchResult& m);
+bool DecodeSearchResult(BinaryReader* r, SearchResult* m);
+
+void EncodeAppendRequest(BinaryWriter* w, const AppendRequest& m);
+bool DecodeAppendRequest(BinaryReader* r, AppendRequest* m);
+void EncodeAppendResult(BinaryWriter* w, const AppendResult& m);
+bool DecodeAppendResult(BinaryReader* r, AppendResult* m);
+
+void EncodeRewriteRequest(BinaryWriter* w, const RewriteRequest& m);
+bool DecodeRewriteRequest(BinaryReader* r, RewriteRequest* m);
+void EncodeAnnotateRequest(BinaryWriter* w, const AnnotateRequest& m);
+bool DecodeAnnotateRequest(BinaryReader* r, AnnotateRequest* m);
+void EncodeSetVisibilityRequest(BinaryWriter* w, const SetVisibilityRequest& m);
+bool DecodeSetVisibilityRequest(BinaryReader* r, SetVisibilityRequest* m);
+void EncodeDeleteRequest(BinaryWriter* w, const DeleteRequest& m);
+bool DecodeDeleteRequest(BinaryReader* r, DeleteRequest* m);
+void EncodeRegisterUserRequest(BinaryWriter* w, const RegisterUserRequest& m);
+bool DecodeRegisterUserRequest(BinaryReader* r, RegisterUserRequest* m);
+
+void EncodeRecommendRequest(BinaryWriter* w, const RecommendRequest& m);
+bool DecodeRecommendRequest(BinaryReader* r, RecommendRequest* m);
+void EncodeRecommendResult(BinaryWriter* w, const RecommendResult& m);
+bool DecodeRecommendResult(BinaryReader* r, RecommendResult* m);
+
+void EncodeBrowseRequest(BinaryWriter* w, const BrowseRequest& m);
+bool DecodeBrowseRequest(BinaryReader* r, BrowseRequest* m);
+void EncodeShowSessionRequest(BinaryWriter* w, const ShowSessionRequest& m);
+bool DecodeShowSessionRequest(BinaryReader* r, ShowSessionRequest* m);
+void EncodeTextResult(BinaryWriter* w, const TextResult& m);
+bool DecodeTextResult(BinaryReader* r, TextResult* m);
+
+void EncodeStatsResult(BinaryWriter* w, const StatsResult& m);
+bool DecodeStatsResult(BinaryReader* r, StatsResult* m);
+void EncodeMaintainRequest(BinaryWriter* w, const MaintainRequest& m);
+bool DecodeMaintainRequest(BinaryReader* r, MaintainRequest* m);
+
+}  // namespace cqms::net
+
+#endif  // CQMS_NET_WIRE_H_

@@ -1,0 +1,404 @@
+#include "netclient/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace cqms::netclient {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::string(strerror(errno)));
+}
+
+Status WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+CqmsClient::CqmsClient(int fd, ClientOptions options)
+    : fd_(fd),
+      options_(std::move(options)),
+      decoder_(options_.max_frame_bytes) {}
+
+CqmsClient::~CqmsClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<CqmsClient>> CqmsClient::Connect(const std::string& host,
+                                                        uint16_t port,
+                                                        ClientOptions options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparsable address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+
+  std::unique_ptr<CqmsClient> client(new CqmsClient(fd, std::move(options)));
+
+  net::HelloRequest hello;
+  hello.protocol_version = net::kProtocolVersion;
+  hello.client_name = client->options_.client_name;
+  uint64_t id = client->Enqueue(net::Op::kHello, [&](BinaryWriter* w) {
+    net::EncodeHelloRequest(w, hello);
+  });
+  Status s = client->Flush();
+  if (!s.ok()) return s;
+  Result<net::HelloResponse> resp =
+      client->WaitDecoded(id, net::Op::kHello, net::DecodeHelloResponse);
+  if (!resp.ok()) return resp.status();
+  client->hello_ = std::move(resp).value();
+  return client;
+}
+
+template <typename EncodeBody>
+uint64_t CqmsClient::Enqueue(net::Op op, EncodeBody&& encode) {
+  uint64_t id = next_request_id_++;
+  BinaryWriter w;
+  net::BeginRequest(&w, id, op);
+  encode(&w);
+  AppendFrame(&sendbuf_, w.data());
+  return id;
+}
+
+Status CqmsClient::Flush() {
+  if (!broken_.ok()) return broken_;
+  if (sendbuf_.empty()) return Status::Ok();
+  Status s = WriteAll(fd_, sendbuf_.data(), sendbuf_.size());
+  sendbuf_.clear();
+  if (!s.ok()) broken_ = s;
+  return s;
+}
+
+Status CqmsClient::ReadMore() {
+  char buf[65536];
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      return Status::Ok();
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("recv");
+  }
+}
+
+Result<std::string> CqmsClient::WaitPayload(uint64_t request_id) {
+  if (!broken_.ok()) return broken_;
+  while (true) {
+    auto it = parked_.find(request_id);
+    if (it != parked_.end()) {
+      std::string payload = std::move(it->second);
+      parked_.erase(it);
+      return payload;
+    }
+    std::string payload;
+    FrameDecoder::Next next = decoder_.Poll(&payload);
+    if (next == FrameDecoder::Next::kError) {
+      broken_ = decoder_.error();
+      return broken_;
+    }
+    if (next == FrameDecoder::Next::kNeedMore) {
+      Status s = ReadMore();
+      if (!s.ok()) {
+        broken_ = s;
+        return s;
+      }
+      continue;
+    }
+    net::ResponseEnvelope env;
+    if (!net::DecodeResponseEnvelope(payload, &env)) {
+      broken_ = Status::Corruption("malformed response envelope");
+      return broken_;
+    }
+    if (env.request_id == request_id) return payload;
+    parked_.emplace(env.request_id, std::move(payload));
+  }
+}
+
+template <typename T>
+Result<T> CqmsClient::WaitDecoded(uint64_t request_id, net::Op op,
+                                  bool (*decode)(BinaryReader*, T*)) {
+  Result<std::string> payload = WaitPayload(request_id);
+  if (!payload.ok()) return payload.status();
+  net::ResponseEnvelope env;
+  if (!net::DecodeResponseEnvelope(*payload, &env)) {
+    return Status::Corruption("malformed response envelope");
+  }
+  if (env.op != op) {
+    return Status::Corruption("response op mismatch: expected " +
+                              std::string(net::OpName(op)) + ", got " +
+                              net::OpName(env.op));
+  }
+  if (!env.ok()) return env.ToStatus();
+  BinaryReader r(env.body);
+  T out;
+  if (!decode(&r, &out) || !r.AtEnd()) {
+    return Status::Corruption(std::string("malformed ") + net::OpName(op) +
+                              " response body");
+  }
+  return out;
+}
+
+Status CqmsClient::WaitOk(uint64_t request_id, net::Op op) {
+  Result<std::string> payload = WaitPayload(request_id);
+  if (!payload.ok()) return payload.status();
+  net::ResponseEnvelope env;
+  if (!net::DecodeResponseEnvelope(*payload, &env)) {
+    return Status::Corruption("malformed response envelope");
+  }
+  if (env.op != op) return Status::Corruption("response op mismatch");
+  return env.ToStatus();
+}
+
+// --- pipelined sends -------------------------------------------------------
+
+uint64_t CqmsClient::SendSearch(const std::string& viewer,
+                                const net::SearchSpec& spec) {
+  net::SearchRequest req;
+  req.viewer = viewer;
+  req.spec = spec;
+  return Enqueue(net::Op::kSearch,
+                 [&](BinaryWriter* w) { net::EncodeSearchRequest(w, req); });
+}
+
+uint64_t CqmsClient::SendAppend(const net::AppendRequest& request) {
+  return Enqueue(net::Op::kAppend,
+                 [&](BinaryWriter* w) { net::EncodeAppendRequest(w, request); });
+}
+
+uint64_t CqmsClient::SendRecommend(const std::string& viewer,
+                                   const std::string& sql_text, uint64_t k) {
+  net::RecommendRequest req;
+  req.viewer = viewer;
+  req.sql_text = sql_text;
+  req.k = k;
+  return Enqueue(net::Op::kRecommend, [&](BinaryWriter* w) {
+    net::EncodeRecommendRequest(w, req);
+  });
+}
+
+uint64_t CqmsClient::SendStats() {
+  return Enqueue(net::Op::kStats, [](BinaryWriter*) {});
+}
+
+Result<net::SearchResult> CqmsClient::WaitSearch(uint64_t request_id) {
+  return WaitDecoded(request_id, net::Op::kSearch, net::DecodeSearchResult);
+}
+
+Result<net::AppendResult> CqmsClient::WaitAppend(uint64_t request_id) {
+  return WaitDecoded(request_id, net::Op::kAppend, net::DecodeAppendResult);
+}
+
+Result<net::RecommendResult> CqmsClient::WaitRecommend(uint64_t request_id) {
+  return WaitDecoded(request_id, net::Op::kRecommend,
+                     net::DecodeRecommendResult);
+}
+
+Result<net::StatsResult> CqmsClient::WaitStats(uint64_t request_id) {
+  return WaitDecoded(request_id, net::Op::kStats, net::DecodeStatsResult);
+}
+
+// --- one-shot wrappers -----------------------------------------------------
+
+Result<net::SearchResult> CqmsClient::Search(const std::string& viewer,
+                                             const net::SearchSpec& spec) {
+  uint64_t id = SendSearch(viewer, spec);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  return WaitSearch(id);
+}
+
+Result<net::AppendResult> CqmsClient::Append(const net::AppendRequest& request) {
+  uint64_t id = SendAppend(request);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  return WaitAppend(id);
+}
+
+Status CqmsClient::Rewrite(int64_t id, const std::string& new_text) {
+  net::RewriteRequest req;
+  req.id = id;
+  req.new_text = new_text;
+  uint64_t rid = Enqueue(net::Op::kRewrite, [&](BinaryWriter* w) {
+    net::EncodeRewriteRequest(w, req);
+  });
+  CQMS_RETURN_IF_ERROR(Flush());
+  return WaitOk(rid, net::Op::kRewrite);
+}
+
+Status CqmsClient::Annotate(int64_t id, const std::string& author,
+                            const std::string& text,
+                            const std::string& fragment) {
+  net::AnnotateRequest req;
+  req.id = id;
+  req.author = author;
+  req.text = text;
+  req.fragment = fragment;
+  uint64_t rid = Enqueue(net::Op::kAnnotate, [&](BinaryWriter* w) {
+    net::EncodeAnnotateRequest(w, req);
+  });
+  CQMS_RETURN_IF_ERROR(Flush());
+  return WaitOk(rid, net::Op::kAnnotate);
+}
+
+Status CqmsClient::SetVisibility(const std::string& requester, int64_t id,
+                                 storage::Visibility visibility) {
+  net::SetVisibilityRequest req;
+  req.requester = requester;
+  req.id = id;
+  req.visibility = visibility;
+  uint64_t rid = Enqueue(net::Op::kSetVisibility, [&](BinaryWriter* w) {
+    net::EncodeSetVisibilityRequest(w, req);
+  });
+  CQMS_RETURN_IF_ERROR(Flush());
+  return WaitOk(rid, net::Op::kSetVisibility);
+}
+
+Status CqmsClient::Delete(const std::string& requester, int64_t id,
+                          bool is_admin) {
+  net::DeleteRequest req;
+  req.requester = requester;
+  req.id = id;
+  req.is_admin = is_admin;
+  uint64_t rid = Enqueue(net::Op::kDelete, [&](BinaryWriter* w) {
+    net::EncodeDeleteRequest(w, req);
+  });
+  CQMS_RETURN_IF_ERROR(Flush());
+  return WaitOk(rid, net::Op::kDelete);
+}
+
+Status CqmsClient::RegisterUser(const std::string& user,
+                                const std::vector<std::string>& groups) {
+  net::RegisterUserRequest req;
+  req.user = user;
+  req.groups = groups;
+  uint64_t rid = Enqueue(net::Op::kRegisterUser, [&](BinaryWriter* w) {
+    net::EncodeRegisterUserRequest(w, req);
+  });
+  CQMS_RETURN_IF_ERROR(Flush());
+  return WaitOk(rid, net::Op::kRegisterUser);
+}
+
+Result<net::RecommendResult> CqmsClient::Recommend(const std::string& viewer,
+                                                   const std::string& sql_text,
+                                                   uint64_t k) {
+  uint64_t id = SendRecommend(viewer, sql_text, k);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  return WaitRecommend(id);
+}
+
+Result<std::string> CqmsClient::Browse(const std::string& viewer,
+                                       uint64_t max_sessions) {
+  net::BrowseRequest req;
+  req.viewer = viewer;
+  req.max_sessions = max_sessions;
+  uint64_t id = Enqueue(net::Op::kBrowse, [&](BinaryWriter* w) {
+    net::EncodeBrowseRequest(w, req);
+  });
+  CQMS_RETURN_IF_ERROR(Flush());
+  Result<net::TextResult> text =
+      WaitDecoded(id, net::Op::kBrowse, net::DecodeTextResult);
+  if (!text.ok()) return text.status();
+  return std::move(text->text);
+}
+
+Result<std::string> CqmsClient::ShowSession(const std::string& viewer,
+                                            int64_t session_id) {
+  net::ShowSessionRequest req;
+  req.viewer = viewer;
+  req.session_id = session_id;
+  uint64_t id = Enqueue(net::Op::kShowSession, [&](BinaryWriter* w) {
+    net::EncodeShowSessionRequest(w, req);
+  });
+  CQMS_RETURN_IF_ERROR(Flush());
+  Result<net::TextResult> text =
+      WaitDecoded(id, net::Op::kShowSession, net::DecodeTextResult);
+  if (!text.ok()) return text.status();
+  return std::move(text->text);
+}
+
+Result<net::StatsResult> CqmsClient::Stats() {
+  uint64_t id = SendStats();
+  Status s = Flush();
+  if (!s.ok()) return s;
+  return WaitStats(id);
+}
+
+Status CqmsClient::Checkpoint() {
+  uint64_t id = Enqueue(net::Op::kCheckpoint, [](BinaryWriter*) {});
+  CQMS_RETURN_IF_ERROR(Flush());
+  return WaitOk(id, net::Op::kCheckpoint);
+}
+
+Status CqmsClient::Maintain(bool run_mining) {
+  net::MaintainRequest req;
+  req.run_mining = run_mining;
+  uint64_t id = Enqueue(net::Op::kMaintain, [&](BinaryWriter* w) {
+    net::EncodeMaintainRequest(w, req);
+  });
+  CQMS_RETURN_IF_ERROR(Flush());
+  return WaitOk(id, net::Op::kMaintain);
+}
+
+// --- raw escape hatches ----------------------------------------------------
+
+Status CqmsClient::SendRawPayload(const std::string& payload) {
+  AppendFrame(&sendbuf_, payload);
+  return Flush();
+}
+
+Result<std::string> CqmsClient::ReadRawPayload() {
+  if (!broken_.ok()) return broken_;
+  while (true) {
+    std::string payload;
+    FrameDecoder::Next next = decoder_.Poll(&payload);
+    if (next == FrameDecoder::Next::kError) {
+      broken_ = decoder_.error();
+      return broken_;
+    }
+    if (next == FrameDecoder::Next::kFrame) return payload;
+    Status s = ReadMore();
+    if (!s.ok()) {
+      broken_ = s;
+      return s;
+    }
+  }
+}
+
+}  // namespace cqms::netclient

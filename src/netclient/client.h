@@ -1,0 +1,128 @@
+#ifndef CQMS_NETCLIENT_CLIENT_H_
+#define CQMS_NETCLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/frame_codec.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace cqms::netclient {
+
+struct ClientOptions {
+  /// Reported to the server in the Hello handshake (logs, debugging).
+  std::string client_name = "cqms_client";
+  /// Ceiling on response frames this client will accept.
+  size_t max_frame_bytes = 64u << 20;
+};
+
+/// Synchronous client for the CQMS wire protocol (docs/server.md) with
+/// explicit pipelining: every op has a one-shot wrapper (Search, Append,
+/// ...) and a Send*/Wait* pair. Send* encodes the request into a local
+/// buffer and returns its request id; Flush() pushes the batch down the
+/// socket in one write; Wait*(id) blocks for that specific response,
+/// parking any other responses that arrive first (the server answers out
+/// of order: reads overtake writes).
+///
+/// Not thread-safe: one CqmsClient per thread, or external locking.
+class CqmsClient {
+ public:
+  /// Connects and runs the version handshake; fails on connection
+  /// errors and on protocol version mismatch.
+  static Result<std::unique_ptr<CqmsClient>> Connect(const std::string& host,
+                                                     uint16_t port,
+                                                     ClientOptions options = {});
+  ~CqmsClient();
+
+  CqmsClient(const CqmsClient&) = delete;
+  CqmsClient& operator=(const CqmsClient&) = delete;
+
+  /// Handshake results.
+  const net::HelloResponse& server_hello() const { return hello_; }
+
+  // --- one-shot synchronous wrappers ---------------------------------------
+
+  Result<net::SearchResult> Search(const std::string& viewer,
+                                   const net::SearchSpec& spec);
+  Result<net::AppendResult> Append(const net::AppendRequest& request);
+  Status Rewrite(int64_t id, const std::string& new_text);
+  Status Annotate(int64_t id, const std::string& author, const std::string& text,
+                  const std::string& fragment = "");
+  Status SetVisibility(const std::string& requester, int64_t id,
+                       storage::Visibility visibility);
+  Status Delete(const std::string& requester, int64_t id, bool is_admin = false);
+  Status RegisterUser(const std::string& user,
+                      const std::vector<std::string>& groups);
+  Result<net::RecommendResult> Recommend(const std::string& viewer,
+                                         const std::string& sql_text,
+                                         uint64_t k = 5);
+  Result<std::string> Browse(const std::string& viewer,
+                             uint64_t max_sessions = 20);
+  Result<std::string> ShowSession(const std::string& viewer,
+                                  int64_t session_id);
+  Result<net::StatsResult> Stats();
+  Status Checkpoint();
+  Status Maintain(bool run_mining = true);
+
+  // --- pipelining ----------------------------------------------------------
+
+  uint64_t SendSearch(const std::string& viewer, const net::SearchSpec& spec);
+  uint64_t SendAppend(const net::AppendRequest& request);
+  uint64_t SendRecommend(const std::string& viewer, const std::string& sql_text,
+                         uint64_t k = 5);
+  uint64_t SendStats();
+
+  /// Writes every buffered request down the socket.
+  Status Flush();
+
+  Result<net::SearchResult> WaitSearch(uint64_t request_id);
+  Result<net::AppendResult> WaitAppend(uint64_t request_id);
+  Result<net::RecommendResult> WaitRecommend(uint64_t request_id);
+  Result<net::StatsResult> WaitStats(uint64_t request_id);
+
+  /// Raw escape hatches for tests: frame an arbitrary payload / read one
+  /// raw response payload.
+  Status SendRawPayload(const std::string& payload);
+  Result<std::string> ReadRawPayload();
+
+ private:
+  CqmsClient(int fd, ClientOptions options);
+
+  /// Begins a request in the send buffer and returns its id. The body
+  /// encoder appends to `w` after the envelope.
+  template <typename EncodeBody>
+  uint64_t Enqueue(net::Op op, EncodeBody&& encode);
+
+  /// Blocks until the response for `request_id` is available, filing
+  /// out-of-order arrivals in `parked_`.
+  Result<std::string> WaitPayload(uint64_t request_id);
+
+  /// Decodes a full response payload for `op`: checks the envelope,
+  /// surfaces typed errors, returns the body bytes.
+  template <typename T>
+  Result<T> WaitDecoded(uint64_t request_id, net::Op op,
+                        bool (*decode)(BinaryReader*, T*));
+  Status WaitOk(uint64_t request_id, net::Op op);
+
+  Status ReadMore();  ///< One blocking read into the decoder.
+
+  int fd_ = -1;
+  ClientOptions options_;
+  net::HelloResponse hello_;
+  uint64_t next_request_id_ = 1;
+  std::string sendbuf_;
+  FrameDecoder decoder_;
+  /// Responses read while waiting for a different id (payload owned).
+  std::unordered_map<uint64_t, std::string> parked_;
+  /// Sticky transport failure: every later call returns it.
+  Status broken_;
+};
+
+}  // namespace cqms::netclient
+
+#endif  // CQMS_NETCLIENT_CLIENT_H_

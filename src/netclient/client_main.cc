@@ -1,0 +1,183 @@
+// cqms_client: command-line client for cqms_serverd.
+//
+//   cqms_client --port P [--host H] [--user U] <command> [args...]
+//
+// Commands:
+//   search <keywords...>        keyword search over the log
+//   append <sql>                execute+log a query as --user
+//   log-only <sql>              log without executing
+//   recommend <sql>             recommendations for a draft query
+//   browse                      session-grouped log summary
+//   show-session <id>           Figure-2 rendering of one session
+//   annotate <id> <text>        annotate a query
+//   register <user> <groups...> register a user
+//   stats                       server counters
+//   checkpoint                  force snapshot + WAL truncation
+//   maintain                    run maintenance (+ mining) now
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "netclient/client.h"
+
+namespace {
+
+int Fail(const cqms::Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+void PrintStats(const cqms::net::StatsResult& stats) {
+  std::printf("server    %s\n", stats.server_version.c_str());
+  std::printf("uptime    %.1fs\n",
+              static_cast<double>(stats.uptime_micros) / 1e6);
+  std::printf("conns     active=%llu total=%llu rejected=%llu\n",
+              static_cast<unsigned long long>(stats.active_connections),
+              static_cast<unsigned long long>(stats.total_connections),
+              static_cast<unsigned long long>(stats.rejected_connections));
+  std::printf("proto_err %llu\n",
+              static_cast<unsigned long long>(stats.protocol_errors));
+  std::printf("store     size=%llu published_seq=%llu\n",
+              static_cast<unsigned long long>(stats.store_size),
+              static_cast<unsigned long long>(stats.published_sequence));
+  for (const cqms::net::OpStatsRow& row : stats.per_op) {
+    std::printf("op %-14s n=%-8llu err=%-6llu in=%-10llu out=%-10llu "
+                "p50=%lluus p99=%lluus max=%lluus\n",
+                cqms::net::OpName(static_cast<cqms::net::Op>(row.op)),
+                static_cast<unsigned long long>(row.count),
+                static_cast<unsigned long long>(row.errors),
+                static_cast<unsigned long long>(row.bytes_in),
+                static_cast<unsigned long long>(row.bytes_out),
+                static_cast<unsigned long long>(row.p50_micros),
+                static_cast<unsigned long long>(row.p99_micros),
+                static_cast<unsigned long long>(row.max_micros));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string user = "cli";
+  uint16_t port = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--user" && i + 1 < argc) {
+      user = argv[++i];
+    } else {
+      break;
+    }
+  }
+  if (port == 0 || i >= argc) {
+    std::fprintf(stderr,
+                 "usage: %s --port P [--host H] [--user U] <command> [args]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string cmd = argv[i++];
+  std::vector<std::string> args(argv + i, argv + argc);
+  auto joined = [&args] {
+    std::string out;
+    for (const std::string& a : args) {
+      if (!out.empty()) out += ' ';
+      out += a;
+    }
+    return out;
+  };
+
+  auto connected = cqms::netclient::CqmsClient::Connect(host, port);
+  if (!connected.ok()) return Fail(connected.status());
+  cqms::netclient::CqmsClient& client = **connected;
+
+  if (cmd == "search") {
+    cqms::net::SearchSpec spec;
+    spec.keyword = cqms::net::KeywordSpec{joined(), true};
+    spec.limit = 20;
+    auto result = client.Search(user, spec);
+    if (!result.ok()) return Fail(result.status());
+    for (const auto& m : result->matches) {
+      std::printf("#%lld score=%.3f sim=%.3f\n",
+                  static_cast<long long>(m.id), m.score, m.similarity);
+    }
+    std::printf("(%zu matches, %llu candidates)\n", result->matches.size(),
+                static_cast<unsigned long long>(result->candidates_considered));
+  } else if (cmd == "append" || cmd == "log-only") {
+    cqms::net::AppendRequest req;
+    req.user = user;
+    req.sql = joined();
+    req.execute = cmd == "append";
+    auto result = client.Append(req);
+    if (!result.ok()) return Fail(result.status());
+    if (result->succeeded) {
+      std::printf("#%lld rows=%llu %lldus\n",
+                  static_cast<long long>(result->id),
+                  static_cast<unsigned long long>(result->result_rows),
+                  static_cast<long long>(result->exec_micros));
+    } else {
+      std::printf("#%lld FAILED: %s\n", static_cast<long long>(result->id),
+                  result->error.c_str());
+    }
+  } else if (cmd == "recommend") {
+    auto result = client.Recommend(user, joined());
+    if (!result.ok()) return Fail(result.status());
+    for (const auto& item : result->items) {
+      std::printf("#%lld score=%.3f %s\n    diff: %s\n",
+                  static_cast<long long>(item.id), item.score,
+                  item.text.c_str(), item.diff.c_str());
+      if (!item.annotation.empty()) {
+        std::printf("    note: %s\n", item.annotation.c_str());
+      }
+    }
+  } else if (cmd == "browse") {
+    auto result = client.Browse(user);
+    if (!result.ok()) return Fail(result.status());
+    std::fputs(result->c_str(), stdout);
+  } else if (cmd == "show-session") {
+    if (args.empty()) return Fail(cqms::Status::InvalidArgument("need id"));
+    auto result = client.ShowSession(user, std::atoll(args[0].c_str()));
+    if (!result.ok()) return Fail(result.status());
+    std::fputs(result->c_str(), stdout);
+  } else if (cmd == "annotate") {
+    if (args.size() < 2) {
+      return Fail(cqms::Status::InvalidArgument("need <id> <text>"));
+    }
+    long long id = std::atoll(args[0].c_str());
+    std::string text;
+    for (size_t j = 1; j < args.size(); ++j) {
+      if (j > 1) text += ' ';
+      text += args[j];
+    }
+    cqms::Status s = client.Annotate(id, user, text);
+    if (!s.ok()) return Fail(s);
+    std::printf("annotated #%lld\n", id);
+  } else if (cmd == "register") {
+    if (args.empty()) return Fail(cqms::Status::InvalidArgument("need user"));
+    std::vector<std::string> groups(args.begin() + 1, args.end());
+    cqms::Status s = client.RegisterUser(args[0], groups);
+    if (!s.ok()) return Fail(s);
+    std::printf("registered %s\n", args[0].c_str());
+  } else if (cmd == "stats") {
+    auto result = client.Stats();
+    if (!result.ok()) return Fail(result.status());
+    PrintStats(*result);
+  } else if (cmd == "checkpoint") {
+    cqms::Status s = client.Checkpoint();
+    if (!s.ok()) return Fail(s);
+    std::printf("checkpointed\n");
+  } else if (cmd == "maintain") {
+    cqms::Status s = client.Maintain();
+    if (!s.ok()) return Fail(s);
+    std::printf("maintenance complete\n");
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return 2;
+  }
+  return 0;
+}

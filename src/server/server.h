@@ -1,0 +1,204 @@
+#ifndef CQMS_SERVER_SERVER_H_
+#define CQMS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/frame_codec.h"
+#include "common/status.h"
+#include "core/cqms.h"
+#include "net/wire.h"
+
+namespace cqms::server {
+
+/// Server identity reported by Hello and Stats.
+constexpr char kServerVersion[] = "cqms_serverd/1 proto 1";
+
+struct ServerOptions {
+  /// Bind address. The daemon is loopback-by-default: exposing a lab's
+  /// query history beyond the host is an explicit operator decision.
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (tests, benches); read the
+  /// outcome from CqmsServer::port().
+  uint16_t port = 0;
+
+  /// Read-op worker threads (Search, Recommend): each executes against a
+  /// pinned immutable read view, so they scale with cores and never
+  /// block the writer.
+  size_t workers = 4;
+
+  /// Accepted-connection ceiling; excess connections are accepted and
+  /// immediately closed (counted in Stats as rejected).
+  size_t max_conns = 256;
+  /// Per-frame payload ceiling, enforced before any payload byte is
+  /// trusted. Oversized frames are a protocol error: typed response,
+  /// then disconnect.
+  size_t max_frame_bytes = 4u << 20;
+  /// Close connections with no complete frame for this long (0 = never).
+  /// In-flight requests keep a connection alive.
+  int64_t idle_timeout_ms = 60000;
+  /// Requests that wait in a dispatch queue longer than this are
+  /// answered with kDeadlineExceeded instead of executing — a stuck
+  /// writer or a hostile flood cannot pin every worker behind stale
+  /// work (0 = never).
+  int64_t request_timeout_ms = 10000;
+  /// Per-connection response backlog ceiling; a client that stops
+  /// reading while pipelining is disconnected past this.
+  size_t max_outbox_bytes = 64u << 20;
+
+  /// Use the portable poll() loop even where epoll is available
+  /// (exercised in tests; non-Linux builds always take it).
+  bool use_poll = false;
+
+  /// View publication knobs applied when the server enables concurrent
+  /// reads on its Cqms (no-op if the caller already enabled them).
+  storage::ViewOptions view_options;
+};
+
+/// Lock-free per-op counters. Latencies go into power-of-two
+/// microsecond buckets; percentiles are reported as the upper bound of
+/// the bucket holding the requested rank (2x-granular, allocation-free).
+struct OpCounters {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> latency_buckets[40] = {};
+  std::atomic<uint64_t> max_micros{0};
+
+  void RecordLatency(uint64_t micros);
+  uint64_t Percentile(double p) const;
+};
+
+/// The CQMS network daemon core: one event-loop thread (epoll, or
+/// poll() as fallback) owning every socket, a worker pool executing
+/// read ops against pinned read views, and one writer thread owning
+/// every mutation — the process-level materialization of the store's
+/// single-writer / multi-reader contract (docs/server.md).
+///
+/// Responses may be sent out of order; clients pipeline batches of
+/// requests and match responses by request id.
+class CqmsServer {
+ public:
+  /// `cqms` must outlive the server. All prior setup (EnableDurability,
+  /// seeding) must happen before Start(); after Start() the server's
+  /// writer thread owns all mutations.
+  CqmsServer(Cqms* cqms, ServerOptions options = {});
+  ~CqmsServer();
+
+  CqmsServer(const CqmsServer&) = delete;
+  CqmsServer& operator=(const CqmsServer&) = delete;
+
+  /// Binds, listens and spawns the loop, worker and writer threads.
+  Status Start();
+
+  /// The bound port (after Start; useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Begins a graceful shutdown: stop accepting, stop reading, finish
+  /// every queued request, flush every response, final checkpoint when
+  /// durability is enabled, then exit the threads. Async-signal-safe
+  /// (a SIGTERM handler may call it directly).
+  void RequestShutdown();
+
+  /// Blocks until a requested shutdown completes. Idempotent.
+  void Wait();
+
+  /// RequestShutdown + Wait (also run by the destructor if needed).
+  void Shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the Stats op's payload (also served over the wire).
+  net::StatsResult StatsSnapshot() const;
+
+ private:
+  struct Connection;
+  struct Task;
+  class Poller;
+  class EpollPoller;
+  class PollPoller;
+  class TaskQueue;
+
+  void LoopThread();
+  void WorkerThread();
+  void WriterThread();
+
+  void AcceptNew();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn,
+                     std::string payload);
+  /// Appends one response frame to the connection's outbox and wakes
+  /// the loop (callable from any thread; drops silently once closed).
+  void SendPayload(const std::shared_ptr<Connection>& conn,
+                   const std::string& payload);
+  void SendError(const std::shared_ptr<Connection>& conn, uint64_t request_id,
+                 net::Op op, const Status& error);
+  /// Writes pending outbox bytes; arms/disarms EPOLLOUT. Loop thread.
+  void FlushConn(const std::shared_ptr<Connection>& conn);
+  void CloseConn(const std::shared_ptr<Connection>& conn);
+  void SweepIdle();
+  void NotifyLoop();
+
+  // Handlers. Read handlers run on workers against pinned views; write
+  // handlers run on the single writer thread.
+  std::string HandleSearch(const Task& task);
+  std::string HandleRecommend(const Task& task);
+  std::string HandleWriterOp(const Task& task);
+  std::string HandleStats(const Task& task);
+  void ExecuteTask(const Task& task);
+
+  OpCounters& CountersFor(net::Op op);
+  const OpCounters& CountersFor(net::Op op) const;
+
+  Cqms* cqms_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  std::unique_ptr<Poller> poller_;
+  std::thread loop_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::thread writer_thread_;
+
+  std::unique_ptr<TaskQueue> read_queue_;
+  std::unique_ptr<TaskQueue> write_queue_;
+
+  // Loop-thread-owned connection table.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  // Connections with freshly enqueued output, handed from any thread to
+  // the loop thread.
+  std::mutex pending_out_mu_;
+  std::vector<std::shared_ptr<Connection>> pending_out_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> active_conns_{0};
+  std::atomic<uint64_t> total_conns_{0};
+  std::atomic<uint64_t> rejected_conns_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  int64_t start_micros_ = 0;
+
+  /// Indexed by raw op value (kMinOp..kMaxOp); slot 0 unused.
+  OpCounters op_counters_[net::kMaxOp + 1];
+
+  std::mutex lifecycle_mu_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace cqms::server
+
+#endif  // CQMS_SERVER_SERVER_H_

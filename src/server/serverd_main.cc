@@ -1,0 +1,141 @@
+// cqms_serverd: the CQMS network daemon.
+//
+// Serves the full CQMS surface (search, append, annotate, recommend,
+// browse, admin) over the length-prefixed binary protocol documented in
+// docs/server.md. Prints "LISTENING <port>" once ready; SIGTERM/SIGINT
+// trigger a graceful drain (finish queued requests, flush responses,
+// final checkpoint when durable).
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+cqms::server::CqmsServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --host H               bind address (default 127.0.0.1)\n"
+               "  --port N               bind port (default 0 = ephemeral)\n"
+               "  --workers N            read-op worker threads (default 4)\n"
+               "  --max-conns N          connection ceiling (default 256)\n"
+               "  --max-frame-bytes N    per-frame payload ceiling (default 4MiB)\n"
+               "  --idle-timeout-ms N    close idle connections (0 = never)\n"
+               "  --request-timeout-ms N queue deadline per request (0 = never)\n"
+               "  --durability-dir DIR   enable WAL+snapshot persistence\n"
+               "  --demo-rows N          populate the demo lake schema with N\n"
+               "                         rows per table (so Append can execute)\n"
+               "  --use-poll             use the portable poll() event loop\n",
+               argv0);
+}
+
+bool ParseSize(const char* s, uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long v = strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cqms::server::ServerOptions options;
+  std::string durability_dir;
+  uint64_t demo_rows = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    uint64_t n = 0;
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port" && ParseSize(next(), &n)) {
+      options.port = static_cast<uint16_t>(n);
+    } else if (arg == "--workers" && ParseSize(next(), &n)) {
+      options.workers = n;
+    } else if (arg == "--max-conns" && ParseSize(next(), &n)) {
+      options.max_conns = n;
+    } else if (arg == "--max-frame-bytes" && ParseSize(next(), &n)) {
+      options.max_frame_bytes = n;
+    } else if (arg == "--idle-timeout-ms" && ParseSize(next(), &n)) {
+      options.idle_timeout_ms = static_cast<int64_t>(n);
+    } else if (arg == "--request-timeout-ms" && ParseSize(next(), &n)) {
+      options.request_timeout_ms = static_cast<int64_t>(n);
+    } else if (arg == "--durability-dir") {
+      durability_dir = next();
+    } else if (arg == "--demo-rows" && ParseSize(next(), &n)) {
+      demo_rows = n;
+    } else if (arg == "--use-poll") {
+      options.use_poll = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown or malformed flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  cqms::Cqms cqms;
+
+  // Order matters: durability must see a pristine store, so enable it
+  // before demo data or any served request.
+  if (!durability_dir.empty()) {
+    cqms::Status s = cqms.EnableDurability(durability_dir);
+    if (!s.ok()) {
+      std::fprintf(stderr, "EnableDurability(%s): %s\n", durability_dir.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (demo_rows > 0) {
+    cqms::Status s =
+        cqms::workload::PopulateLakeDatabase(cqms.database(), demo_rows);
+    if (!s.ok()) {
+      std::fprintf(stderr, "PopulateLakeDatabase: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  cqms::server::CqmsServer server(&cqms, options);
+  cqms::Status s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "Start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  server.Wait();
+  std::printf("SHUTDOWN clean\n");
+  return 0;
+}
