@@ -4,15 +4,59 @@
 #include <cmath>
 #include <deque>
 
+#include "common/clock.h"
 #include "common/interner.h"
 #include "common/sorted_vector.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace cqms::metaquery {
 
 using storage::QueryId;
 using storage::QueryRecord;
 using storage::ScoringColumns;
+
+namespace {
+
+// Per-generator registry series, resolved once per process so an
+// Execute pays exactly three relaxed fetch_adds plus two for the
+// visibility-cache tallies — nothing name-keyed on the hot path.
+struct PlannerSeries {
+  obs::Counter* queries;
+  obs::Counter* candidates;
+  obs::Counter* matches;
+};
+
+PlannerSeries MakeSeries(const char* label) {
+  auto& reg = obs::MetricsRegistry::Global();
+  std::string tag = std::string("{generator=\"") + label + "\"}";
+  PlannerSeries s;
+  s.queries = reg.GetCounter("cqms_planner_queries_total" + tag);
+  s.candidates = reg.GetCounter("cqms_planner_candidates_total" + tag);
+  s.matches = reg.GetCounter("cqms_planner_matches_total" + tag);
+  return s;
+}
+
+const PlannerSeries& SeriesFor(CandidateGenerator g) {
+  static const PlannerSeries series[4] = {
+      MakeSeries("posting_intersection"), MakeSeries("lsh_buckets"),
+      MakeSeries("table_union"), MakeSeries("full_scan")};
+  return series[static_cast<int>(g)];
+}
+
+obs::Counter* VisibilityHitsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "cqms_planner_visibility_cache_hits_total");
+  return c;
+}
+
+obs::Counter* VisibilityMissesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter(
+      "cqms_planner_visibility_cache_misses_total");
+  return c;
+}
+
+}  // namespace
 
 MetaQueryResponse MetaQueryPlanner::Execute(
     const std::string& viewer, const MetaQueryRequest& request) const {
@@ -30,6 +74,20 @@ MetaQueryResponse MetaQueryPlanner::Execute(
   MetaQueryResponse resp;
   const storage::StoreView& store = view_;
   const ScoringColumns& cols = store.scoring();
+
+  // Tracing is opt-in per request; with trace == nullptr the only cost
+  // below is one timer start and a handful of relaxed counter adds.
+  obs::ExecTrace* const trace = request.trace;
+  WallTimer timer;
+  Micros last_mark = 0;
+  auto span = [&](const char* name) {
+    if (trace == nullptr) return;
+    Micros now = timer.ElapsedMicros();
+    trace->Span(name, static_cast<uint64_t>(now - last_mark));
+    last_mark = now;
+  };
+  const uint64_t vis_hits_before = visibility->acl_hits();
+  const uint64_t vis_misses_before = visibility->acl_misses();
 
   // --- resolve the keyword predicate to interned token Symbols once ----
   // A token the interner has never seen occurs in no logged query:
@@ -95,6 +153,8 @@ MetaQueryResponse MetaQueryPlanner::Execute(
     }
   }
 
+  span("resolve_predicates");
+
   // --- choose the candidate generator ----------------------------------
   const QueryRecord* probe =
       request.similarity.has_value() ? request.similarity->probe : nullptr;
@@ -135,6 +195,7 @@ MetaQueryResponse MetaQueryPlanner::Execute(
     resp.generator = CandidateGenerator::kFullScan;
   }
   resp.candidates_considered = full_scan ? store.size() : candidates.size();
+  span("generate_candidates");
 
   // --- one filter + scoring pass over the candidates -------------------
   const bool score_mode = request.order == ResultOrder::kScore;
@@ -242,6 +303,8 @@ MetaQueryResponse MetaQueryPlanner::Execute(
   } else {
     for (QueryId id : candidates) consider(id);
   }
+  span("filter_score");
+  const size_t matched_prefilter = matched.size();
 
   if (score_mode) {
     size_t keep = request.limit == 0 ? matched.size()
@@ -255,7 +318,26 @@ MetaQueryResponse MetaQueryPlanner::Execute(
   } else if (request.limit != 0 && matched.size() > request.limit) {
     matched.resize(request.limit);
   }
+  span("rank");
   resp.matches = std::move(matched);
+
+  // --- flush instrumentation -------------------------------------------
+  const uint64_t vis_hits = visibility->acl_hits() - vis_hits_before;
+  const uint64_t vis_misses = visibility->acl_misses() - vis_misses_before;
+  const PlannerSeries& series = SeriesFor(resp.generator);
+  series.queries->Increment();
+  series.candidates->Add(resp.candidates_considered);
+  series.matches->Add(resp.matches.size());
+  VisibilityHitsCounter()->Add(vis_hits);
+  VisibilityMissesCounter()->Add(vis_misses);
+  if (trace != nullptr) {
+    trace->generator = CandidateGeneratorName(resp.generator);
+    trace->Count("candidates", resp.candidates_considered);
+    trace->Count("matches_prefilter", matched_prefilter);
+    trace->Count("matches", resp.matches.size());
+    trace->Count("visibility_cache_hits", vis_hits);
+    trace->Count("visibility_cache_misses", vis_misses);
+  }
   return resp;
 }
 

@@ -10,6 +10,7 @@
 #include "metaquery/parse_tree_query.h"
 #include "metaquery/query_by_data.h"
 #include "metaquery/similarity.h"
+#include "obs/trace.h"
 #include "storage/query_record.h"
 
 namespace cqms::metaquery {
@@ -85,6 +86,12 @@ struct MetaQueryRequest {
   /// `k` of kNN.
   size_t limit = 0;
 
+  /// When non-null, the planner records generator selection, per-stage
+  /// candidate counts, and span timings into it. Null (the default)
+  /// means no tracing work happens at all — the hot path stays clean.
+  /// Borrowed; must outlive Execute.
+  obs::ExecTrace* trace = nullptr;
+
   // Fluent builders, so call sites read as one sentence.
   MetaQueryRequest& WithKeywords(std::string words, bool match_all = true);
   MetaQueryRequest& WithSubstring(std::string needle);
@@ -118,6 +125,21 @@ enum class CandidateGenerator {
   /// Every record — the last resort.
   kFullScan,
 };
+
+/// Stable lower_snake name for traces / exposition labels.
+inline const char* CandidateGeneratorName(CandidateGenerator g) {
+  switch (g) {
+    case CandidateGenerator::kPostingIntersection:
+      return "posting_intersection";
+    case CandidateGenerator::kLshBuckets:
+      return "lsh_buckets";
+    case CandidateGenerator::kTableUnion:
+      return "table_union";
+    case CandidateGenerator::kFullScan:
+      return "full_scan";
+  }
+  return "unknown";
+}
 
 /// One result row.
 struct MetaQueryMatch {

@@ -2,9 +2,65 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "common/sorted_vector.h"
+#include "obs/metrics.h"
 
 namespace cqms::miner {
+
+namespace {
+
+// Per-stage refresh timings plus DistanceCache pair-flow counters,
+// labeled so full and incremental refreshes share the same series.
+struct MinerSeries {
+  obs::Histogram* sessionize;
+  obs::Histogram* association;
+  obs::Histogram* popularity;
+  obs::Histogram* cluster;
+  obs::Counter* refreshes_full;
+  obs::Counter* refreshes_incremental;
+  obs::Counter* pairs_enumerated;
+  obs::Counter* pairs_reused;
+  obs::Counter* pairs_computed;
+  obs::Counter* pairs_copied;
+};
+
+const MinerSeries& Series() {
+  static const MinerSeries s = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    MinerSeries m;
+    m.sessionize = reg.GetHistogram("cqms_miner_stage_micros{stage=\"sessionize\"}");
+    m.association = reg.GetHistogram("cqms_miner_stage_micros{stage=\"association\"}");
+    m.popularity = reg.GetHistogram("cqms_miner_stage_micros{stage=\"popularity\"}");
+    m.cluster = reg.GetHistogram("cqms_miner_stage_micros{stage=\"cluster\"}");
+    m.refreshes_full = reg.GetCounter("cqms_miner_refreshes_total{kind=\"full\"}");
+    m.refreshes_incremental =
+        reg.GetCounter("cqms_miner_refreshes_total{kind=\"incremental\"}");
+    m.pairs_enumerated = reg.GetCounter("cqms_miner_pairs_enumerated_total");
+    m.pairs_reused = reg.GetCounter("cqms_miner_pairs_reused_total");
+    m.pairs_computed = reg.GetCounter("cqms_miner_pairs_computed_total");
+    m.pairs_copied = reg.GetCounter("cqms_miner_pairs_copied_total");
+    return m;
+  }();
+  return s;
+}
+
+// Marks stage boundaries: each call records the elapsed slice since the
+// previous one into the given histogram.
+class StageTimer {
+ public:
+  void Finish(obs::Histogram* h) {
+    Micros now = timer_.ElapsedMicros();
+    h->Record(static_cast<uint64_t>(now - last_));
+    last_ = now;
+  }
+
+ private:
+  WallTimer timer_;
+  Micros last_ = 0;
+};
+
+}  // namespace
 
 QueryMiner::QueryMiner(storage::QueryStore* store, const Clock* clock,
                        QueryMinerOptions options)
@@ -38,6 +94,11 @@ void QueryMiner::Recluster(const std::vector<storage::QueryId>& dirty) {
   last_stats_.pairs_reused = dist.build_stats().pairs_reused;
   last_stats_.pairs_computed = dist.build_stats().pairs_computed;
   last_stats_.pairs_copied = dist.build_stats().pairs_copied;
+  const MinerSeries& series = Series();
+  series.pairs_enumerated->Add(last_stats_.pairs_enumerated);
+  series.pairs_reused->Add(last_stats_.pairs_reused);
+  series.pairs_computed->Add(last_stats_.pairs_computed);
+  series.pairs_copied->Add(last_stats_.pairs_copied);
   // Retain this window's matrix: the next refresh bulk-copies every
   // pair of unchanged survivors instead of re-probing the cache.
   retained_matrix_.pruned = dist.pruned();
@@ -56,6 +117,8 @@ void QueryMiner::RunAll() {
   last_stats_ = MinerRefreshStats{};
   last_stats_.ran = true;
   last_stats_.full = true;
+  Series().refreshes_full->Increment();
+  StageTimer stages;
 
   {
     // The session write-back is this miner's own derived state, not
@@ -63,6 +126,7 @@ void QueryMiner::RunAll() {
     storage::ChangeTracker::ScopedSuppress suppress(&tracker_);
     sessions_ = IdentifySessions(store_, options_.sessionizer);
   }
+  stages.Finish(Series().sessionize);
 
   // Association rules over all parsed queries.
   std::vector<storage::QueryId> all_ids;
@@ -73,8 +137,10 @@ void QueryMiner::RunAll() {
   association_state_.Rebuild(*store_, all_ids, options_.association);
   rules_ = association_state_.Mine();
   last_stats_.rules_fresh_counts = association_state_.last_fresh_counts();
+  stages.Finish(Series().association);
 
   popularity_.Build(*store_, clock_->Now(), options_.popularity);
+  stages.Finish(Series().popularity);
 
   // Clustering over the most recent window. The full rebuild drops the
   // persistent distance cache and the retained matrix (the drift
@@ -83,6 +149,7 @@ void QueryMiner::RunAll() {
   distance_cache_.Clear();
   retained_matrix_.valid = false;
   Recluster(/*dirty=*/{});
+  stages.Finish(Series().cluster);
 
   last_mined_size_ = store_->size();
   refreshes_since_full_ = 0;
@@ -96,6 +163,8 @@ void QueryMiner::RefreshIncremental(storage::ChangeDelta delta) {
   last_stats_.full = false;
   last_stats_.appended = delta.appended.size();
   last_stats_.structurally_dirty = delta.StructuralSize();
+  Series().refreshes_incremental->Increment();
+  StageTimer stages;
 
   // Sessions: tail-extend append-only users, re-segment the rest.
   {
@@ -117,6 +186,7 @@ void QueryMiner::RefreshIncremental(storage::ChangeDelta delta) {
     last_stats_.users_extended = s.users_extended;
     last_stats_.users_resegmented = s.users_resegmented;
   }
+  stages.Finish(Series().sessionize);
 
   // Transactions and popularity: point-resync every dirty id against
   // the store's current state (order-free, so overlapping sets — an id
@@ -135,11 +205,13 @@ void QueryMiner::RefreshIncremental(storage::ChangeDelta delta) {
   resync_all(delta.undeleted);
   rules_ = association_state_.Mine();
   last_stats_.rules_fresh_counts = association_state_.last_fresh_counts();
+  stages.Finish(Series().association);
   if (!popularity_.CanApplyDeltas()) {
     // Decay enabled: scores depend on "now", so deltas cannot reproduce
     // a rebuild. Still O(n) — never the refresh bottleneck.
     popularity_.Build(*store_, clock_->Now(), options_.popularity);
   }
+  stages.Finish(Series().popularity);
 
   // Clustering: invalidate cached distances whose endpoint signatures
   // changed (rewrites replace the whole signature, output syncs its
@@ -157,6 +229,7 @@ void QueryMiner::RefreshIncremental(storage::ChangeDelta delta) {
   // The stale sweep is O(cache capacity): only worth it when this cycle
   // actually invalidated something. Pure-append refreshes skip it.
   if (!dirty.empty()) distance_cache_.CompactIfNeeded();
+  stages.Finish(Series().cluster);
 
   last_mined_size_ = store_->size();
   RebuildSessionIndex();

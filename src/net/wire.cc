@@ -306,6 +306,8 @@ const char* OpName(Op op) {
       return "RegisterUser";
     case Op::kMaintain:
       return "Maintain";
+    case Op::kMetricsDump:
+      return "MetricsDump";
   }
   return "Unknown";
 }
@@ -404,6 +406,10 @@ void EncodeSearchRequest(BinaryWriter* w, const SearchRequest& m) {
   PutRanking(w, s.ranking);
   w->PutU8(static_cast<uint8_t>(s.order));
   w->PutVarint(s.limit);
+  // Minor-1 trailing field: old decoders stop before it (their AtEnd
+  // check tolerates trailing bytes only on the server side, which reads
+  // requests through DecodeSearchRequest below and consumes it).
+  PutBool(w, s.want_trace);
 }
 
 bool DecodeSearchRequest(BinaryReader* r, SearchRequest* m) {
@@ -439,6 +445,8 @@ bool DecodeSearchRequest(BinaryReader* r, SearchRequest* m) {
   }
   s.order = static_cast<metaquery::ResultOrder>(order);
   s.limit = r->GetVarint();
+  // Pre-minor-1 clients end the body here; want_trace defaults false.
+  if (!r->AtEnd()) s.want_trace = GetBool(r);
   return !r->failed();
 }
 
@@ -451,6 +459,21 @@ void EncodeSearchResult(BinaryWriter* w, const SearchResult& m) {
   }
   w->PutU8(m.generator);
   w->PutVarint(m.candidates_considered);
+  // Minor-1 trailing block: present-flag, then the trace.
+  PutBool(w, m.trace.has_value());
+  if (m.trace.has_value()) {
+    w->PutString(m.trace->generator);
+    w->PutVarint(m.trace->counters.size());
+    for (const auto& [name, value] : m.trace->counters) {
+      w->PutString(name);
+      w->PutVarint(value);
+    }
+    w->PutVarint(m.trace->spans_micros.size());
+    for (const auto& [name, value] : m.trace->spans_micros) {
+      w->PutString(name);
+      w->PutVarint(value);
+    }
+  }
 }
 
 bool DecodeSearchResult(BinaryReader* r, SearchResult* m) {
@@ -466,6 +489,27 @@ bool DecodeSearchResult(BinaryReader* r, SearchResult* m) {
   }
   m->generator = r->GetU8();
   m->candidates_considered = r->GetVarint();
+  // Old servers end the body here; no trace then.
+  if (!r->AtEnd() && GetBool(r)) {
+    m->trace.emplace();
+    m->trace->generator = r->GetString();
+    uint64_t nc = r->GetVarint();
+    if (!CheckedCount(r, nc)) return false;
+    m->trace->counters.reserve(nc);
+    for (uint64_t i = 0; i < nc; ++i) {
+      std::string name = r->GetString();
+      uint64_t value = r->GetVarint();
+      m->trace->counters.emplace_back(std::move(name), value);
+    }
+    uint64_t ns = r->GetVarint();
+    if (!CheckedCount(r, ns)) return false;
+    m->trace->spans_micros.reserve(ns);
+    for (uint64_t i = 0; i < ns; ++i) {
+      std::string name = r->GetString();
+      uint64_t value = r->GetVarint();
+      m->trace->spans_micros.emplace_back(std::move(name), value);
+    }
+  }
   return !r->failed();
 }
 
@@ -714,6 +758,11 @@ void EncodeStatsResult(BinaryWriter* w, const StatsResult& m) {
     w->PutVarint(row.p99_micros);
     w->PutVarint(row.max_micros);
   }
+  // Minor-1 trailing fields (durability / maintenance health).
+  PutBool(w, m.durable_read_only);
+  w->PutVarint(m.checkpoint_failure_streak);
+  w->PutVarint(m.checkpoints_backed_off);
+  w->PutVarint(m.arena_garbage_bytes);
 }
 
 bool DecodeStatsResult(BinaryReader* r, StatsResult* m) {
@@ -739,6 +788,13 @@ bool DecodeStatsResult(BinaryReader* r, StatsResult* m) {
     row.p99_micros = r->GetVarint();
     row.max_micros = r->GetVarint();
     m->per_op.push_back(row);
+  }
+  // Pre-minor-1 servers end the body here; the defaults stand.
+  if (!r->AtEnd()) {
+    m->durable_read_only = GetBool(r);
+    m->checkpoint_failure_streak = r->GetVarint();
+    m->checkpoints_backed_off = r->GetVarint();
+    m->arena_garbage_bytes = r->GetVarint();
   }
   return !r->failed();
 }

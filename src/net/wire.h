@@ -24,6 +24,14 @@ namespace cqms::net {
 /// semantics (StatusCode::kUnsupported) before any other op is accepted.
 constexpr uint32_t kProtocolVersion = 1;
 
+/// Minor protocol revision: backward-compatible additions only (trailing
+/// fields guarded by AtEnd() on decode, new ops old servers reject with
+/// a typed error). Never checked by the handshake — it exists so server
+/// version strings and docs can name the feature level.
+/// 1: MetricsDump op, SearchSpec.want_trace + SearchResult.trace,
+///    StatsResult durability/arena tail.
+constexpr uint32_t kProtocolMinorVersion = 1;
+
 /// Operation codes carried in every request and echoed in the response.
 /// Values are wire-stable: append only, never renumber.
 enum class Op : uint8_t {
@@ -41,10 +49,13 @@ enum class Op : uint8_t {
   kCheckpoint = 12,
   kRegisterUser = 13,
   kMaintain = 14,
+  /// Returns the process's metrics registry as Prometheus-style text
+  /// (TextResult body). Protocol minor 1.
+  kMetricsDump = 15,
 };
 
 constexpr uint8_t kMinOp = 1;
-constexpr uint8_t kMaxOp = 14;
+constexpr uint8_t kMaxOp = 15;
 const char* OpName(Op op);
 
 // --- envelopes -------------------------------------------------------------
@@ -158,11 +169,22 @@ struct SearchSpec {
   metaquery::RankingOptions ranking;
   metaquery::ResultOrder order = metaquery::ResultOrder::kScore;
   uint64_t limit = 0;
+  /// Ask the server to run the planner with an ExecTrace attached and
+  /// return it in SearchResult::trace. Trailing wire field (minor 1):
+  /// absent on old clients decodes as false, old servers ignore it.
+  bool want_trace = false;
 };
 
 struct SearchRequest {
   std::string viewer;
   SearchSpec spec;
+};
+
+/// Wire form of obs::ExecTrace (generator + ordered counter/span pairs).
+struct TraceSummary {
+  std::string generator;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, uint64_t>> spans_micros;
 };
 
 struct SearchResult {
@@ -174,6 +196,9 @@ struct SearchResult {
   std::vector<Match> matches;
   uint8_t generator = 0;  ///< metaquery::CandidateGenerator
   uint64_t candidates_considered = 0;
+  /// Present iff the request set want_trace and the server supports
+  /// minor 1 (trailing optional block on the wire).
+  std::optional<TraceSummary> trace;
 };
 
 /// Builds the in-process request from a spec. `probe` backs the
@@ -290,6 +315,12 @@ struct StatsResult {
   uint64_t store_size = 0;
   uint64_t published_sequence = 0;
   std::vector<OpStatsRow> per_op;
+  /// Durability / maintenance health (trailing fields, minor 1: decode
+  /// against an old server leaves the defaults).
+  bool durable_read_only = false;
+  uint64_t checkpoint_failure_streak = 0;
+  uint64_t checkpoints_backed_off = 0;
+  uint64_t arena_garbage_bytes = 0;
 };
 
 struct MaintainRequest {

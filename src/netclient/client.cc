@@ -360,6 +360,15 @@ Result<net::StatsResult> CqmsClient::Stats() {
   return WaitStats(id);
 }
 
+Result<std::string> CqmsClient::MetricsDump() {
+  uint64_t id = Enqueue(net::Op::kMetricsDump, [](BinaryWriter*) {});
+  CQMS_RETURN_IF_ERROR(Flush());
+  Result<net::TextResult> text =
+      WaitDecoded(id, net::Op::kMetricsDump, net::DecodeTextResult);
+  if (!text.ok()) return text.status();
+  return std::move(text->text);
+}
+
 Status CqmsClient::Checkpoint() {
   uint64_t id = Enqueue(net::Op::kCheckpoint, [](BinaryWriter*) {});
   CQMS_RETURN_IF_ERROR(Flush());

@@ -66,6 +66,9 @@ class CqmsClient {
   Result<std::string> ShowSession(const std::string& viewer,
                                   int64_t session_id);
   Result<net::StatsResult> Stats();
+  /// Prometheus-style exposition text covering every layer's metric
+  /// series plus the server's own per-op counters.
+  Result<std::string> MetricsDump();
   Status Checkpoint();
   Status Maintain(bool run_mining = true);
 

@@ -3,7 +3,9 @@
 //   cqms_client --port P [--host H] [--user U] <command> [args...]
 //
 // Commands:
-//   search <keywords...>        keyword search over the log
+//   search [--explain] <keywords...>
+//                               keyword search over the log; --explain
+//                               prints the server's execution trace
 //   append <sql>                execute+log a query as --user
 //   log-only <sql>              log without executing
 //   recommend <sql>             recommendations for a draft query
@@ -12,6 +14,7 @@
 //   annotate <id> <text>        annotate a query
 //   register <user> <groups...> register a user
 //   stats                       server counters
+//   metrics                     full metrics exposition text
 //   checkpoint                  force snapshot + WAL truncation
 //   maintain                    run maintenance (+ mining) now
 
@@ -42,6 +45,12 @@ void PrintStats(const cqms::net::StatsResult& stats) {
   std::printf("store     size=%llu published_seq=%llu\n",
               static_cast<unsigned long long>(stats.store_size),
               static_cast<unsigned long long>(stats.published_sequence));
+  std::printf("durable   read_only=%s failure_streak=%llu backed_off=%llu\n",
+              stats.durable_read_only ? "yes" : "no",
+              static_cast<unsigned long long>(stats.checkpoint_failure_streak),
+              static_cast<unsigned long long>(stats.checkpoints_backed_off));
+  std::printf("arena     garbage_bytes=%llu\n",
+              static_cast<unsigned long long>(stats.arena_garbage_bytes));
   for (const cqms::net::OpStatsRow& row : stats.per_op) {
     std::printf("op %-14s n=%-8llu err=%-6llu in=%-10llu out=%-10llu "
                 "p50=%lluus p99=%lluus max=%lluus\n",
@@ -97,9 +106,15 @@ int main(int argc, char** argv) {
   cqms::netclient::CqmsClient& client = **connected;
 
   if (cmd == "search") {
+    bool explain = false;
+    if (!args.empty() && args[0] == "--explain") {
+      explain = true;
+      args.erase(args.begin());
+    }
     cqms::net::SearchSpec spec;
     spec.keyword = cqms::net::KeywordSpec{joined(), true};
     spec.limit = 20;
+    spec.want_trace = explain;
     auto result = client.Search(user, spec);
     if (!result.ok()) return Fail(result.status());
     for (const auto& m : result->matches) {
@@ -108,6 +123,20 @@ int main(int argc, char** argv) {
     }
     std::printf("(%zu matches, %llu candidates)\n", result->matches.size(),
                 static_cast<unsigned long long>(result->candidates_considered));
+    if (explain && result->trace.has_value()) {
+      const cqms::net::TraceSummary& t = *result->trace;
+      std::printf("trace generator=%s\n", t.generator.c_str());
+      for (const auto& [name, value] : t.counters) {
+        std::printf("trace   %-24s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+      for (const auto& [name, micros] : t.spans_micros) {
+        std::printf("trace   %-24s %lluus\n", name.c_str(),
+                    static_cast<unsigned long long>(micros));
+      }
+    } else if (explain) {
+      std::printf("trace (server returned none — pre-1.1 server?)\n");
+    }
   } else if (cmd == "append" || cmd == "log-only") {
     cqms::net::AppendRequest req;
     req.user = user;
@@ -167,6 +196,10 @@ int main(int argc, char** argv) {
     auto result = client.Stats();
     if (!result.ok()) return Fail(result.status());
     PrintStats(*result);
+  } else if (cmd == "metrics") {
+    auto result = client.MetricsDump();
+    if (!result.ok()) return Fail(result.status());
+    std::fputs(result->c_str(), stdout);
   } else if (cmd == "checkpoint") {
     cqms::Status s = client.Checkpoint();
     if (!s.ok()) return Fail(s);

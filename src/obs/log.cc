@@ -1,0 +1,99 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace cqms::obs {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSink> g_sink{nullptr};
+std::mutex g_stderr_mu;
+
+void StderrSink(LogLevel /*level*/, const std::string& line) {
+  // One mutex-guarded write so concurrent connection threads don't
+  // interleave partial lines.
+  std::lock_guard<std::mutex> lock(g_stderr_mu);
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) { g_sink.store(sink, std::memory_order_release); }
+
+void Log(LogLevel level, const char* format, ...) {
+  if (!LogEnabled(level)) return;
+
+  char message[1024];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof message, format, args);
+  va_end(args);
+
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char stamp[64];
+  std::snprintf(stamp, sizeof stamp, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ts.tv_nsec / 1000000));
+
+  std::string line;
+  line.reserve(64 + std::char_traits<char>::length(message));
+  line += stamp;
+  line += ' ';
+  line += LogLevelName(level);
+  line += ' ';
+  line += message;
+
+  LogSink sink = g_sink.load(std::memory_order_acquire);
+  (sink ? sink : StderrSink)(level, line);
+}
+
+}  // namespace cqms::obs

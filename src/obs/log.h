@@ -1,0 +1,50 @@
+#ifndef CQMS_OBS_LOG_H_
+#define CQMS_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdarg>
+#include <string>
+#include <string_view>
+
+namespace cqms::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Parses "debug" / "info" / "warn" / "error" (case-sensitive);
+/// returns false and leaves *out untouched on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+const char* LogLevelName(LogLevel level);
+
+/// Minimum level that gets emitted; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Lines below the minimum level are dropped before formatting.
+bool LogEnabled(LogLevel level);
+
+/// Sink for a fully formatted line (no trailing newline). Default sink
+/// writes to stderr — never stdout, which the daemon reserves for its
+/// LISTENING/SHUTDOWN handshake. Tests may install their own.
+using LogSink = void (*)(LogLevel level, const std::string& line);
+void SetLogSink(LogSink sink);  // nullptr restores the stderr sink
+
+/// Emits "<ISO8601 UTC> <LEVEL> <printf-formatted message>" to the
+/// current sink if `level` passes the threshold.
+void Log(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace cqms::obs
+
+#define CQMS_LOG(level, ...)                                      \
+  do {                                                            \
+    if (::cqms::obs::LogEnabled(::cqms::obs::LogLevel::level)) {  \
+      ::cqms::obs::Log(::cqms::obs::LogLevel::level, __VA_ARGS__); \
+    }                                                             \
+  } while (0)
+
+#endif  // CQMS_OBS_LOG_H_

@@ -1,0 +1,179 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cqms::obs {
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // min/max via CAS loops; contention is rare (only on new extremes).
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~0ull ? 0 : m;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target sample (1-based, ceil).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) {
+      uint64_t v = BucketUpperBound(i);
+      // Clamp to the observed range: the top bucket's nominal bound can
+      // be far past any real sample, and bucket 0's bound (0) can sit
+      // below the observed minimum.
+      v = std::min(v, max());
+      v = std::max(v, min());
+      return v;
+    }
+  }
+  return max();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      MetricSample::Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.name == name && e.kind == kind) return &e;
+  }
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.name.assign(name.data(), name.size());
+  e.kind = kind;
+  return &e;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return &FindOrCreate(name, MetricSample::Kind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return &FindOrCreate(name, MetricSample::Kind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return &FindOrCreate(name, MetricSample::Kind::kHistogram)->histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      MetricSample s;
+      s.name = e.name;
+      s.kind = e.kind;
+      switch (e.kind) {
+        case MetricSample::Kind::kCounter:
+          s.value = static_cast<int64_t>(e.counter.value());
+          break;
+        case MetricSample::Kind::kGauge:
+          s.value = e.gauge.value();
+          break;
+        case MetricSample::Kind::kHistogram:
+          s.count = e.histogram.count();
+          s.sum = e.histogram.sum();
+          s.min = e.histogram.min();
+          s.max = e.histogram.max();
+          s.p50 = e.histogram.Percentile(50);
+          s.p99 = e.histogram.Percentile(99);
+          break;
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+namespace {
+
+// "cqms_x_total{k=\"v\"}" + suffix "_count" -> "cqms_x_total_count{k=\"v\"}".
+std::string WithSuffix(const std::string& name, const char* suffix) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+// Same, but merges a `stat="p50"` label into any existing label set.
+std::string WithStatLabel(const std::string& name, const char* stat) {
+  size_t brace = name.find('{');
+  std::string out;
+  if (brace == std::string::npos) {
+    out = name + "{stat=\"" + stat + "\"}";
+  } else {
+    out = name.substr(0, name.size() - 1) + ",stat=\"" + stat + "\"}";
+  }
+  return out;
+}
+
+void AppendLine(std::string* out, const std::string& name, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out->append(name);
+  out->push_back(' ');
+  out->append(buf);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::string out;
+  for (const MetricSample& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        AppendLine(&out, s.name, static_cast<uint64_t>(s.value));
+        break;
+      case MetricSample::Kind::kGauge: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(s.value));
+        out.append(s.name);
+        out.push_back(' ');
+        out.append(buf);
+        out.push_back('\n');
+        break;
+      }
+      case MetricSample::Kind::kHistogram:
+        AppendLine(&out, WithSuffix(s.name, "_count"), s.count);
+        AppendLine(&out, WithSuffix(s.name, "_sum"), s.sum);
+        AppendLine(&out, WithStatLabel(s.name, "min"), s.min);
+        AppendLine(&out, WithStatLabel(s.name, "p50"), s.p50);
+        AppendLine(&out, WithStatLabel(s.name, "p99"), s.p99);
+        AppendLine(&out, WithStatLabel(s.name, "max"), s.max);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cqms::obs

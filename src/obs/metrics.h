@@ -1,0 +1,166 @@
+#ifndef CQMS_OBS_METRICS_H_
+#define CQMS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cqms::obs {
+
+/// Lock-free process-wide metrics primitives. Write paths are single
+/// relaxed atomic RMWs so they can sit on planner / WAL / publish hot
+/// paths; reads (Snapshot / exposition) tolerate being slightly torn
+/// across *different* series but are monotonic per series.
+///
+/// Series are identified by name. Labels are embedded Prometheus-style
+/// in the name itself (`cqms_planner_queries_total{generator="lsh"}`);
+/// the registry treats the whole string as the key and the exposition
+/// encoder emits it verbatim, so no label-matching machinery is needed.
+
+/// Monotonic counter, striped across cache-line-aligned cells so
+/// concurrent writers (e.g. 8 planner threads bumping the same series
+/// once per query) do not bounce one cache line between cores. Each
+/// thread writes its own cell; value() sums the stripes, so reads are
+/// monotonic but may miss in-flight adds.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    cells_[ThreadStripe()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  static constexpr size_t kStripes = 8;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t ThreadStripe() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+  }
+  Cell cells_[kStripes];
+};
+
+/// Last-write-wins signed gauge.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Power-of-two histogram over non-negative integer samples (latencies
+/// in microseconds, byte counts). Bucket i holds samples whose value v
+/// satisfies 2^(i-1) <= v < 2^i (bucket 0 holds v == 0), i.e. the same
+/// `64 - clz(v)` indexing the server's latency counters used, capped at
+/// the top bucket. Also tracks count / sum / observed min / max so
+/// percentile queries can clamp to the observed range instead of
+/// extrapolating past it.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Observed maximum; 0 when empty.
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Observed minimum; 0 when empty.
+  uint64_t min() const;
+
+  /// Value at or below which `p` (0..100) percent of samples fall,
+  /// resolved to the upper bound of the containing bucket and clamped
+  /// to the observed [min, max]. Returns 0 for an empty histogram.
+  uint64_t Percentile(double p) const;
+
+  uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
+
+  static int BucketIndex(uint64_t value) {
+    if (value == 0) return 0;
+    int idx = 64 - __builtin_clzll(value);
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+  /// Inclusive upper bound of bucket i (2^i - 1).
+  static uint64_t BucketUpperBound(int i) {
+    if (i >= 63) return ~0ull;
+    return (1ull << i) - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ull};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One series in a Snapshot().
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  // Counter / gauge value (counters are stored non-negative).
+  int64_t value = 0;
+  // Histogram-only.
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p99 = 0;
+};
+
+/// Name-keyed registry with stable pointers: a series, once created,
+/// lives for the registry's lifetime at a fixed address, so callers
+/// resolve it once (function-local static) and write lock-free forever
+/// after. The mutex guards registration and enumeration only.
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Coherent-enough view of every series, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Prometheus-style text exposition. Histograms are flattened to
+  /// `<name>_count`, `<name>_sum`, and `{stat=...}` quantile gauges;
+  /// when a name carries embedded labels the suffix is inserted before
+  /// the `{`.
+  std::string ExpositionText() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricSample::Kind kind;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+  Entry* FindOrCreate(std::string_view name, MetricSample::Kind kind);
+
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;  // deque: stable addresses across growth
+};
+
+}  // namespace cqms::obs
+
+#endif  // CQMS_OBS_METRICS_H_

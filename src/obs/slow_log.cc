@@ -1,0 +1,94 @@
+#include "obs/slow_log.h"
+
+#include <ctime>
+
+namespace cqms::obs {
+
+SlowQueryLog::~SlowQueryLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool SlowQueryLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) return false;
+  path_ = path;
+  return true;
+}
+
+namespace {
+
+// JSON string escaping for the viewer field (queries never appear raw;
+// only the trace summary does, and its keys are code-controlled).
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void SlowQueryLog::Write(std::string_view viewer, std::string_view op,
+                         int64_t micros, const ExecTrace& trace) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  char stamp[64];
+  std::snprintf(stamp, sizeof stamp, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ts.tv_nsec / 1000000));
+
+  std::string line = "{\"ts\":\"";
+  line += stamp;
+  line += "\",\"viewer\":\"";
+  AppendEscaped(&line, viewer);
+  line += "\",\"op\":\"";
+  AppendEscaped(&line, op);
+  line += "\",\"micros\":";
+  line += std::to_string(micros);
+  line += ",\"trace\":";
+  line += trace.ToJson();
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  ++entries_;
+}
+
+uint64_t SlowQueryLog::entries_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+}  // namespace cqms::obs

@@ -1,0 +1,42 @@
+#ifndef CQMS_OBS_SLOW_LOG_H_
+#define CQMS_OBS_SLOW_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/trace.h"
+
+namespace cqms::obs {
+
+/// Append-only JSONL slow-query log. One object per line:
+///   {"ts":"...","viewer":"...","op":"Search","micros":N,
+///    "trace":{...ExecTrace::ToJson()...}}
+/// Writes are mutex-serialized and flushed per line; this sits off the
+/// hot path (only queries past the threshold reach it).
+class SlowQueryLog {
+ public:
+  ~SlowQueryLog();
+
+  /// Opens (appends to) `path`. Returns false on failure.
+  bool Open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  void Write(std::string_view viewer, std::string_view op, int64_t micros,
+             const ExecTrace& trace);
+
+  uint64_t entries_written() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t entries_ = 0;
+};
+
+}  // namespace cqms::obs
+
+#endif  // CQMS_OBS_SLOW_LOG_H_

@@ -1,0 +1,76 @@
+#ifndef CQMS_OBS_TRACE_H_
+#define CQMS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cqms::obs {
+
+/// Per-request execution trace. A caller that wants one hangs a pointer
+/// off the request; a null pointer means tracing is off and the
+/// instrumented code must not pay for it (every site is `if (trace)`).
+///
+/// Counters and spans are append-only (name, value) pairs so the trace
+/// carries whatever the executing path found notable without a fixed
+/// schema; the wire and JSON encodings preserve insertion order.
+struct ExecTrace {
+  /// Candidate generator that actually ran ("posting_intersection",
+  /// "lsh_buckets", "table_union", "full_scan").
+  std::string generator;
+  /// e.g. {"candidates", 812}, {"visibility_cache_hits", 790}.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  /// Phase timings in microseconds from the monotonic clock,
+  /// e.g. {"generate_candidates", 41}.
+  std::vector<std::pair<std::string, uint64_t>> spans;
+
+  void Count(std::string_view name, uint64_t value) {
+    counters.emplace_back(std::string(name), value);
+  }
+  void Span(std::string_view name, uint64_t micros) {
+    spans.emplace_back(std::string(name), micros);
+  }
+
+  /// First counter with `name`, or `fallback` if absent.
+  uint64_t CounterOr(std::string_view name, uint64_t fallback = 0) const {
+    for (const auto& [k, v] : counters) {
+      if (k == name) return v;
+    }
+    return fallback;
+  }
+
+  /// Compact single-object JSON, used by the slow-query log and the
+  /// CLI's --explain rendering.
+  std::string ToJson() const {
+    std::string out = "{\"generator\":\"";
+    out += generator;
+    out += "\",\"counters\":{";
+    bool first = true;
+    for (const auto& [k, v] : counters) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += k;
+      out += "\":";
+      out += std::to_string(v);
+    }
+    out += "},\"spans_micros\":{";
+    first = true;
+    for (const auto& [k, v] : spans) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += k;
+      out += "\":";
+      out += std::to_string(v);
+    }
+    out += "}}";
+    return out;
+  }
+};
+
+}  // namespace cqms::obs
+
+#endif  // CQMS_OBS_TRACE_H_

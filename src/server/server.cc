@@ -11,12 +11,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 
 #if defined(__linux__)
 #include <sys/epoll.h>
 #endif
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "sql/diff.h"
 #include "storage/record_builder.h"
 
@@ -41,49 +44,16 @@ bool SetNonBlocking(int fd) {
 
 }  // namespace
 
-// --- latency histogram -----------------------------------------------------
-
-void OpCounters::RecordLatency(uint64_t micros) {
-  size_t idx = 0;
-  if (micros > 0) {
-    idx = 64 - static_cast<size_t>(__builtin_clzll(micros));
-    if (idx > 39) idx = 39;
-  }
-  latency_buckets[idx].fetch_add(1, std::memory_order_relaxed);
-  uint64_t prev = max_micros.load(std::memory_order_relaxed);
-  while (micros > prev &&
-         !max_micros.compare_exchange_weak(prev, micros,
-                                           std::memory_order_relaxed)) {
-  }
-}
-
-uint64_t OpCounters::Percentile(double p) const {
-  uint64_t total = 0;
-  uint64_t buckets[40];
-  for (size_t i = 0; i < 40; ++i) {
-    buckets[i] = latency_buckets[i].load(std::memory_order_relaxed);
-    total += buckets[i];
-  }
-  if (total == 0) return 0;
-  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
-  if (rank >= total) rank = total - 1;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < 40; ++i) {
-    seen += buckets[i];
-    if (seen > rank) {
-      // Bucket i holds values in [2^(i-1), 2^i); report the upper bound.
-      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
-    }
-  }
-  return max_micros.load(std::memory_order_relaxed);
-}
-
 // --- internal types --------------------------------------------------------
+// (OpCounters latency lives in obs::Histogram now — see server.h.)
 
 struct CqmsServer::Connection {
   explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
 
   int fd = -1;
+  /// Monotonic accept ordinal, carried into protocol-error log lines so
+  /// operators can correlate one misbehaving client across events.
+  uint64_t id = 0;
   FrameDecoder decoder;
   bool handshaken = false;
   /// Loop-owned: false once the server stops consuming this
@@ -276,6 +246,17 @@ CqmsServer::~CqmsServer() { Shutdown(); }
 Status CqmsServer::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_) return Status::InvalidArgument("server already started");
+
+  if (options_.slow_query_micros > 0) {
+    if (options_.slow_query_log_path.empty()) {
+      return Status::InvalidArgument(
+          "slow_query_micros set but slow_query_log_path is empty");
+    }
+    if (!slow_log_.Open(options_.slow_query_log_path)) {
+      return Status::IoError("cannot open slow-query log: " +
+                             options_.slow_query_log_path);
+    }
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return ErrnoStatus("socket");
@@ -491,9 +472,9 @@ void CqmsServer::AcceptNew() {
       ::close(fd);
       continue;
     }
+    conn->id = total_conns_.fetch_add(1, std::memory_order_relaxed) + 1;
     conns_.emplace(fd, std::move(conn));
     active_conns_.fetch_add(1, std::memory_order_relaxed);
-    total_conns_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -534,6 +515,9 @@ void CqmsServer::HandleReadable(const std::shared_ptr<Connection>& conn) {
       // Stream synchronization is lost: answer with a typed protocol
       // error the client can log, then disconnect.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      CQMS_LOG(kWarn, "conn %llu: framing error: %s",
+               static_cast<unsigned long long>(conn->id),
+               conn->decoder.error().ToString().c_str());
       SendError(conn, 0, net::Op::kHello, conn->decoder.error());
       conn->reading = false;
       conn->close_after_flush = true;
@@ -554,6 +538,8 @@ void CqmsServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
   net::RequestEnvelope env;
   if (!net::DecodeRequestEnvelope(payload, &env)) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    CQMS_LOG(kWarn, "conn %llu: malformed request envelope (%zu bytes)",
+             static_cast<unsigned long long>(conn->id), payload.size());
     SendError(conn, 0, net::Op::kHello,
               Status::InvalidArgument("malformed request envelope"));
     conn->reading = false;
@@ -622,13 +608,17 @@ void CqmsServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
     return;
   }
 
-  if (env.op == net::Op::kStats) {
+  if (env.op == net::Op::kStats || env.op == net::Op::kMetricsDump) {
+    // Introspection ops execute inline on the loop thread: they touch
+    // only atomics, never the store, and must answer even when every
+    // worker is wedged behind slow queries.
     Task task;
     task.conn = conn;
     task.request_id = env.request_id;
     task.op = env.op;
     task.enqueue_us = NowMicros();
-    SendPayload(conn, HandleStats(task));
+    SendPayload(conn, env.op == net::Op::kStats ? HandleStats(task)
+                                                : HandleMetricsDump(task));
     CountersFor(env.op).RecordLatency(
         static_cast<uint64_t>(NowMicros() - task.enqueue_us));
     return;
@@ -834,7 +824,20 @@ std::string CqmsServer::HandleSearch(const Task& task) {
     probe_ptr = &probe;
   }
   metaquery::MetaQueryRequest mreq = net::ToMetaQueryRequest(req.spec, probe_ptr);
+
+  // One ExecTrace serves both consumers: the wire response (client asked
+  // with want_trace) and the slow-query log (execution crossed the
+  // operator's threshold). Untraced searches keep a null pointer so the
+  // planner pays nothing.
+  obs::ExecTrace trace;
+  const bool slow_enabled = options_.slow_query_micros > 0;
+  if (req.spec.want_trace || slow_enabled) mreq.trace = &trace;
+  const int64_t exec_start = NowMicros();
   metaquery::MetaQueryResponse mresp = cqms_->Search(req.viewer, mreq);
+  const int64_t exec_micros = NowMicros() - exec_start;
+  if (slow_enabled && exec_micros >= options_.slow_query_micros) {
+    slow_log_.Write(req.viewer, "Search", exec_micros, trace);
+  }
 
   net::SearchResult out;
   out.matches.reserve(mresp.matches.size());
@@ -843,6 +846,12 @@ std::string CqmsServer::HandleSearch(const Task& task) {
   }
   out.generator = static_cast<uint8_t>(mresp.generator);
   out.candidates_considered = mresp.candidates_considered;
+  if (req.spec.want_trace) {
+    out.trace.emplace();
+    out.trace->generator = trace.generator;
+    out.trace->counters = trace.counters;
+    out.trace->spans_micros = trace.spans;
+  }
 
   BinaryWriter w;
   net::BeginResponse(&w, task.request_id, task.op);
@@ -1035,6 +1044,47 @@ std::string CqmsServer::HandleStats(const Task& task) {
   return w.Take();
 }
 
+std::string CqmsServer::HandleMetricsDump(const Task& task) {
+  // Process-wide registry first (planner, storage, miner, WAL series),
+  // then the server's own per-op counters appended in the same
+  // exposition dialect so one dump covers every layer.
+  std::string text = obs::MetricsRegistry::Global().ExpositionText();
+  text += "cqms_server_uptime_micros ";
+  text += std::to_string(static_cast<uint64_t>(NowMicros() - start_micros_));
+  text += '\n';
+  text += "cqms_server_connections_active ";
+  text += std::to_string(active_conns_.load(std::memory_order_relaxed));
+  text += '\n';
+  text += "cqms_server_connections_total ";
+  text += std::to_string(total_conns_.load(std::memory_order_relaxed));
+  text += '\n';
+  text += "cqms_server_connections_rejected_total ";
+  text += std::to_string(rejected_conns_.load(std::memory_order_relaxed));
+  text += '\n';
+  text += "cqms_server_protocol_errors_total ";
+  text += std::to_string(protocol_errors_.load(std::memory_order_relaxed));
+  text += '\n';
+  for (uint8_t op = net::kMinOp; op <= net::kMaxOp; ++op) {
+    const OpCounters& c = op_counters_[op];
+    uint64_t count = c.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    std::string lower = net::OpName(static_cast<net::Op>(op));
+    for (char& ch : lower) ch = static_cast<char>(std::tolower(ch));
+    text += "cqms_" + lower + "_total " + std::to_string(count) + '\n';
+    text += "cqms_" + lower + "_errors_total " +
+            std::to_string(c.errors.load(std::memory_order_relaxed)) + '\n';
+    text += "cqms_" + lower + "_p99_micros " + std::to_string(c.Percentile(99)) +
+            '\n';
+  }
+
+  net::TextResult result;
+  result.text = std::move(text);
+  BinaryWriter w;
+  net::BeginResponse(&w, task.request_id, task.op);
+  net::EncodeTextResult(&w, result);
+  return w.Take();
+}
+
 net::StatsResult CqmsServer::StatsSnapshot() const {
   net::StatsResult out;
   out.server_version = kServerVersion;
@@ -1046,6 +1096,12 @@ net::StatsResult CqmsServer::StatsSnapshot() const {
   std::shared_ptr<const storage::ReadViewState> view = cqms_->CurrentReadView();
   out.store_size = view != nullptr ? view->size() : 0;
   out.published_sequence = cqms_->store()->published_sequence();
+  if (const storage::DurableStore* durable = cqms_->durable()) {
+    out.durable_read_only = durable->read_only();
+    out.checkpoint_failure_streak = durable->checkpoint_failure_streak();
+    out.checkpoints_backed_off = durable->checkpoints_backed_off();
+  }
+  if (view != nullptr) out.arena_garbage_bytes = view->scoring().arena_garbage();
   for (uint8_t op = net::kMinOp; op <= net::kMaxOp; ++op) {
     const OpCounters& c = op_counters_[op];
     uint64_t count = c.count.load(std::memory_order_relaxed);
@@ -1056,9 +1112,9 @@ net::StatsResult CqmsServer::StatsSnapshot() const {
     row.errors = c.errors.load(std::memory_order_relaxed);
     row.bytes_in = c.bytes_in.load(std::memory_order_relaxed);
     row.bytes_out = c.bytes_out.load(std::memory_order_relaxed);
-    row.p50_micros = c.Percentile(0.50);
-    row.p99_micros = c.Percentile(0.99);
-    row.max_micros = c.max_micros.load(std::memory_order_relaxed);
+    row.p50_micros = c.Percentile(50);
+    row.p99_micros = c.Percentile(99);
+    row.max_micros = c.max_micros();
     out.per_op.push_back(row);
   }
   return out;

@@ -16,11 +16,14 @@
 #include "common/status.h"
 #include "core/cqms.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/slow_log.h"
 
 namespace cqms::server {
 
-/// Server identity reported by Hello and Stats.
-constexpr char kServerVersion[] = "cqms_serverd/1 proto 1";
+/// Server identity reported by Hello and Stats. The minor revision
+/// tracks net::kProtocolMinorVersion (backward-compatible additions).
+constexpr char kServerVersion[] = "cqms_serverd/1 proto 1.1";
 
 struct ServerOptions {
   /// Bind address. The daemon is loopback-by-default: exposing a lab's
@@ -58,24 +61,34 @@ struct ServerOptions {
   /// (exercised in tests; non-Linux builds always take it).
   bool use_poll = false;
 
+  /// Searches slower than this (planner execution, microseconds) are
+  /// appended to the slow-query log with their trace summary. 0
+  /// disables slow-query logging entirely.
+  int64_t slow_query_micros = 0;
+  /// JSONL file the slow-query log appends to. Empty with
+  /// slow_query_micros set is a Start() error.
+  std::string slow_query_log_path;
+
   /// View publication knobs applied when the server enables concurrent
   /// reads on its Cqms (no-op if the caller already enabled them).
   storage::ViewOptions view_options;
 };
 
-/// Lock-free per-op counters. Latencies go into power-of-two
-/// microsecond buckets; percentiles are reported as the upper bound of
-/// the bucket holding the requested rank (2x-granular, allocation-free).
+/// Lock-free per-op counters. Latencies go into an obs::Histogram
+/// (power-of-two microsecond buckets); percentiles are the upper bound
+/// of the bucket holding the requested rank, clamped to the observed
+/// min/max, and 0 for an op never recorded (2x-granular,
+/// allocation-free).
 struct OpCounters {
   std::atomic<uint64_t> count{0};
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
-  std::atomic<uint64_t> latency_buckets[40] = {};
-  std::atomic<uint64_t> max_micros{0};
+  obs::Histogram latency;
 
-  void RecordLatency(uint64_t micros);
-  uint64_t Percentile(double p) const;
+  void RecordLatency(uint64_t micros) { latency.Record(micros); }
+  uint64_t Percentile(double p) const { return latency.Percentile(p); }
+  uint64_t max_micros() const { return latency.max(); }
 };
 
 /// The CQMS network daemon core: one event-loop thread (epoll, or
@@ -154,6 +167,7 @@ class CqmsServer {
   std::string HandleRecommend(const Task& task);
   std::string HandleWriterOp(const Task& task);
   std::string HandleStats(const Task& task);
+  std::string HandleMetricsDump(const Task& task);
   void ExecuteTask(const Task& task);
 
   OpCounters& CountersFor(net::Op op);
@@ -193,6 +207,9 @@ class CqmsServer {
 
   /// Indexed by raw op value (kMinOp..kMaxOp); slot 0 unused.
   OpCounters op_counters_[net::kMaxOp + 1];
+
+  /// Open iff options_.slow_query_micros > 0 (see Start()).
+  obs::SlowQueryLog slow_log_;
 
   std::mutex lifecycle_mu_;
   bool started_ = false;

@@ -5,6 +5,10 @@
 // docs/server.md. Prints "LISTENING <port>" once ready; SIGTERM/SIGINT
 // trigger a graceful drain (finish queued requests, flush responses,
 // final checkpoint when durable).
+//
+// Stdout carries only the supervision handshake ("LISTENING <port>",
+// "SHUTDOWN clean") so wrappers can parse it; all diagnostics go to
+// stderr through the leveled logger (--log-level).
 
 #include <signal.h>
 
@@ -13,6 +17,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/log.h"
 #include "server/server.h"
 #include "workload/synthetic.h"
 
@@ -37,7 +42,10 @@ void Usage(const char* argv0) {
                "  --durability-dir DIR   enable WAL+snapshot persistence\n"
                "  --demo-rows N          populate the demo lake schema with N\n"
                "                         rows per table (so Append can execute)\n"
-               "  --use-poll             use the portable poll() event loop\n",
+               "  --use-poll             use the portable poll() event loop\n"
+               "  --log-level LEVEL      debug|info|warn|error (default info)\n"
+               "  --slow-query-micros N  log searches slower than N us (0 = off)\n"
+               "  --slow-query-log PATH  JSONL file for the slow-query log\n",
                argv0);
 }
 
@@ -86,6 +94,18 @@ int main(int argc, char** argv) {
       demo_rows = n;
     } else if (arg == "--use-poll") {
       options.use_poll = true;
+    } else if (arg == "--log-level") {
+      cqms::obs::LogLevel level;
+      const char* text = next();
+      if (!cqms::obs::ParseLogLevel(text, &level)) {
+        std::fprintf(stderr, "unknown log level: %s\n", text);
+        return 2;
+      }
+      cqms::obs::SetLogLevel(level);
+    } else if (arg == "--slow-query-micros" && ParseSize(next(), &n)) {
+      options.slow_query_micros = static_cast<int64_t>(n);
+    } else if (arg == "--slow-query-log") {
+      options.slow_query_log_path = next();
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
@@ -103,24 +123,27 @@ int main(int argc, char** argv) {
   if (!durability_dir.empty()) {
     cqms::Status s = cqms.EnableDurability(durability_dir);
     if (!s.ok()) {
-      std::fprintf(stderr, "EnableDurability(%s): %s\n", durability_dir.c_str(),
-                   s.ToString().c_str());
+      CQMS_LOG(kError, "EnableDurability(%s): %s", durability_dir.c_str(),
+               s.ToString().c_str());
       return 1;
     }
+    CQMS_LOG(kInfo, "durability enabled in %s", durability_dir.c_str());
   }
   if (demo_rows > 0) {
     cqms::Status s =
         cqms::workload::PopulateLakeDatabase(cqms.database(), demo_rows);
     if (!s.ok()) {
-      std::fprintf(stderr, "PopulateLakeDatabase: %s\n", s.ToString().c_str());
+      CQMS_LOG(kError, "PopulateLakeDatabase: %s", s.ToString().c_str());
       return 1;
     }
+    CQMS_LOG(kInfo, "demo lake schema populated (%llu rows/table)",
+             static_cast<unsigned long long>(demo_rows));
   }
 
   cqms::server::CqmsServer server(&cqms, options);
   cqms::Status s = server.Start();
   if (!s.ok()) {
-    std::fprintf(stderr, "Start: %s\n", s.ToString().c_str());
+    CQMS_LOG(kError, "Start: %s", s.ToString().c_str());
     return 1;
   }
 
@@ -132,10 +155,22 @@ int main(int argc, char** argv) {
   sigaction(SIGINT, &sa, nullptr);
   signal(SIGPIPE, SIG_IGN);
 
+  CQMS_LOG(kInfo, "%s serving on %s:%u (%zu workers)",
+           cqms::server::kServerVersion, options.host.c_str(), server.port(),
+           options.workers);
+  if (options.slow_query_micros > 0) {
+    CQMS_LOG(kInfo, "slow-query log: >=%lldus -> %s",
+             static_cast<long long>(options.slow_query_micros),
+             options.slow_query_log_path.c_str());
+  }
+
+  // The stdout handshake stays raw printf: supervising scripts and the
+  // e2e smoke parse these two lines verbatim.
   std::printf("LISTENING %u\n", server.port());
   std::fflush(stdout);
 
   server.Wait();
+  CQMS_LOG(kInfo, "shutdown complete");
   std::printf("SHUTDOWN clean\n");
   return 0;
 }

@@ -4,12 +4,37 @@
 #include <memory>
 
 #include "common/binary_codec.h"
+#include "common/clock.h"
+#include "obs/metrics.h"
 #include "storage/persistence.h"
 #include "storage/snapshot_v2.h"
 
 namespace cqms::storage {
 
 namespace {
+
+// Checkpoint / durability health series, resolved once per process.
+struct DurableSeries {
+  obs::Histogram* checkpoint_micros;
+  obs::Counter* checkpoints;
+  obs::Counter* checkpoint_failures;
+  obs::Gauge* failure_streak;
+  obs::Gauge* read_only;
+};
+
+const DurableSeries& Series() {
+  static const DurableSeries s = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    DurableSeries d;
+    d.checkpoint_micros = reg.GetHistogram("cqms_checkpoint_micros");
+    d.checkpoints = reg.GetCounter("cqms_checkpoints_total");
+    d.checkpoint_failures = reg.GetCounter("cqms_checkpoint_failures_total");
+    d.failure_streak = reg.GetGauge("cqms_checkpoint_failure_streak");
+    d.read_only = reg.GetGauge("cqms_durable_read_only");
+    return d;
+  }();
+  return s;
+}
 
 /// Corruption of a snapshot generation is recoverable when the previous
 /// one survives; everything else (including a plain missing file) has
@@ -165,6 +190,21 @@ Status DurableStore::PublishSnapshot(const std::string& encoded) {
 }
 
 Status DurableStore::Checkpoint() {
+  WallTimer timer;
+  Status s = CheckpointImpl();
+  const DurableSeries& series = Series();
+  if (s.ok()) {
+    series.checkpoint_micros->Record(
+        static_cast<uint64_t>(timer.ElapsedMicros()));
+    series.checkpoints->Increment();
+    series.read_only->Set(0);
+  } else {
+    series.checkpoint_failures->Increment();
+  }
+  return s;
+}
+
+Status DurableStore::CheckpointImpl() {
   if (!open_) return Status::Internal("DurableStore not open");
   // Deliberately ignores any deferred WAL error: the snapshot is taken
   // from the in-memory store, which is ahead of a failing log, so a
@@ -176,6 +216,7 @@ Status DurableStore::Checkpoint() {
   CQMS_RETURN_IF_ERROR(wal_.Rotate(prev_wal_path_));
   replayed_records_ = 0;
   deferred_error_ = Status::Ok();
+  read_only_.store(false, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -186,26 +227,30 @@ Status DurableStore::MaybeCheckpoint(bool* checkpointed) {
       wal_records() < options_.checkpoint_wal_records) {
     return Status::Ok();
   }
-  if (checkpoint_backoff_remaining_ > 0) {
-    --checkpoint_backoff_remaining_;
-    ++checkpoints_backed_off_;
+  if (checkpoint_backoff_remaining_.load(std::memory_order_relaxed) > 0) {
+    checkpoint_backoff_remaining_.fetch_sub(1, std::memory_order_relaxed);
+    checkpoints_backed_off_.fetch_add(1, std::memory_order_relaxed);
     return Status(last_checkpoint_error_.code(),
                   "checkpoint backed off after failure: " +
                       last_checkpoint_error_.message());
   }
   Status s = Checkpoint();
   if (s.ok()) {
-    checkpoint_failure_streak_ = 0;
+    checkpoint_failure_streak_.store(0, std::memory_order_relaxed);
+    Series().failure_streak->Set(0);
     last_checkpoint_error_ = Status::Ok();
     if (checkpointed != nullptr) *checkpointed = true;
   } else {
-    ++checkpoint_failure_streak_;
+    const uint32_t streak =
+        checkpoint_failure_streak_.load(std::memory_order_relaxed) + 1;
+    checkpoint_failure_streak_.store(streak, std::memory_order_relaxed);
+    Series().failure_streak->Set(streak);
     last_checkpoint_error_ = s;
     if (options_.checkpoint_backoff_cap > 0) {
-      uint32_t shift =
-          std::min<uint32_t>(checkpoint_failure_streak_ - 1, 16u);
-      checkpoint_backoff_remaining_ = std::min<uint64_t>(
-          1ull << shift, options_.checkpoint_backoff_cap);
+      uint32_t shift = std::min<uint32_t>(streak - 1, 16u);
+      checkpoint_backoff_remaining_.store(
+          std::min<uint64_t>(1ull << shift, options_.checkpoint_backoff_cap),
+          std::memory_order_relaxed);
     }
   }
   return s;
@@ -216,7 +261,11 @@ void DurableStore::Log(std::string_view op_payload) {
   frame.PutVarint(++last_sequence_);
   frame.PutBytes(op_payload.data(), op_payload.size());
   Status s = wal_.Append(frame.data());
-  if (!s.ok() && deferred_error_.ok()) deferred_error_ = s;
+  if (!s.ok() && deferred_error_.ok()) {
+    deferred_error_ = s;
+    read_only_.store(true, std::memory_order_relaxed);
+    Series().read_only->Set(1);
+  }
 }
 
 void DurableStore::OnAppend(const QueryRecord& record) {

@@ -1,6 +1,7 @@
 #ifndef CQMS_STORAGE_DURABLE_STORE_H_
 #define CQMS_STORAGE_DURABLE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -111,7 +112,9 @@ class DurableStore : public StoreListener {
   /// True while a WAL error is latched: new mutations apply in memory
   /// but are NOT durable until a checkpoint succeeds. Callers that must
   /// not acknowledge non-durable writes should refuse writes while set.
-  bool read_only() const { return !deferred_error_.ok(); }
+  /// Readable from any thread (atomic mirror of the latched error, so
+  /// the server's stats path can poll it off the writer thread).
+  bool read_only() const { return read_only_.load(std::memory_order_relaxed); }
 
   /// True when Open() could not use the newest snapshot (missing or
   /// corrupt) and recovered from the retained previous generation.
@@ -119,14 +122,18 @@ class DurableStore : public StoreListener {
 
   /// Consecutive MaybeCheckpoint failures (0 after a success), the
   /// number of calls the backoff will still skip, and the cumulative
-  /// count of backed-off calls — surfaced in MaintenanceReport.
+  /// count of backed-off calls — surfaced in MaintenanceReport and over
+  /// the wire in StatsResult. Atomic so stats snapshots taken off the
+  /// writer thread race cleanly with checkpointing.
   uint32_t checkpoint_failure_streak() const {
-    return checkpoint_failure_streak_;
+    return checkpoint_failure_streak_.load(std::memory_order_relaxed);
   }
   uint64_t checkpoint_backoff_remaining() const {
-    return checkpoint_backoff_remaining_;
+    return checkpoint_backoff_remaining_.load(std::memory_order_relaxed);
   }
-  uint64_t checkpoints_backed_off() const { return checkpoints_backed_off_; }
+  uint64_t checkpoints_backed_off() const {
+    return checkpoints_backed_off_.load(std::memory_order_relaxed);
+  }
 
   const std::string& snapshot_path() const { return snapshot_path_; }
   const std::string& wal_path() const { return wal_path_; }
@@ -150,6 +157,9 @@ class DurableStore : public StoreListener {
  private:
   void Log(std::string_view op_payload);
   void SweepStaleTmpFiles();
+  /// Checkpoint() body; the public wrapper adds duration / failure
+  /// instrumentation around it.
+  Status CheckpointImpl();
   /// Writes the encoded snapshot to a tmp file, preserves the previous
   /// generation, publishes the new one and syncs the directory.
   Status PublishSnapshot(const std::string& encoded);
@@ -174,12 +184,16 @@ class DurableStore : public StoreListener {
   bool recovered_from_fallback_ = false;
   /// First WAL append error since the last successful checkpoint —
   /// listener callbacks cannot return one, so it is surfaced via
-  /// wal_error() and repaired by the next checkpoint.
+  /// wal_error() and repaired by the next checkpoint. Written only on
+  /// the writer thread; read_only_ mirrors its ok()-ness for readers on
+  /// other threads.
   Status deferred_error_;
-  // Checkpoint retry pacing (see MaybeCheckpoint).
-  uint32_t checkpoint_failure_streak_ = 0;
-  uint64_t checkpoint_backoff_remaining_ = 0;
-  uint64_t checkpoints_backed_off_ = 0;
+  std::atomic<bool> read_only_{false};
+  // Checkpoint retry pacing (see MaybeCheckpoint). Mutated only on the
+  // writer thread; atomic for cross-thread stats reads.
+  std::atomic<uint32_t> checkpoint_failure_streak_{0};
+  std::atomic<uint64_t> checkpoint_backoff_remaining_{0};
+  std::atomic<uint64_t> checkpoints_backed_off_{0};
   Status last_checkpoint_error_;
 };
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "common/sorted_vector.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "storage/record_builder.h"
 
 namespace cqms::storage {
@@ -516,6 +518,7 @@ void QueryStore::MutationTick() {
 
 void QueryStore::PublishView() {
   if (!views_enabled_) return;
+  WallTimer publish_timer;
   // Copy-on-publish: the snapshot owns full copies of every index and
   // column the read path touches, so the writer may mutate the live
   // structures the moment the swap below completes. The records
@@ -544,6 +547,15 @@ void QueryStore::PublishView() {
   // holders keep it alive beyond that via their own refcount.
   if (old != nullptr) view_epochs_.Retire(std::move(old));
   view_epochs_.Reclaim();
+  static obs::Histogram* publish_micros =
+      obs::MetricsRegistry::Global().GetHistogram("cqms_publish_micros");
+  static obs::Counter* views_published =
+      obs::MetricsRegistry::Global().GetCounter("cqms_views_published_total");
+  static obs::Gauge* arena_garbage =
+      obs::MetricsRegistry::Global().GetGauge("cqms_arena_garbage_bytes");
+  publish_micros->Record(static_cast<uint64_t>(publish_timer.ElapsedMicros()));
+  views_published->Increment();
+  arena_garbage->Set(static_cast<int64_t>(scoring_.arena_garbage()));
 }
 
 PinnedView QueryStore::PinView() const {

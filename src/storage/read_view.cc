@@ -141,7 +141,11 @@ bool VisibilityCache::AclVisible(QueryId id) const {
     viewer_symbol_ = GlobalInterner().Find(viewer_);
   }
   uint8_t cached = acl_ok_[idx];
-  if (cached != kUnknown) return cached == kVisible;
+  if (cached != kUnknown) {
+    ++acl_hits_;
+    return cached == kVisible;
+  }
+  ++acl_misses_;
 
   // Owner identity via the columns' interned Symbol — equality of ids is
   // equality of names, with no record-log touch.

@@ -303,6 +303,13 @@ class VisibilityCache {
 
   const std::string& viewer() const { return viewer_; }
 
+  /// Memo-hit / memo-miss tallies for AclVisible, monotonically
+  /// increasing over the cache's lifetime. Plain (non-atomic) counters:
+  /// a cache is (viewer, thread)-owned, so the planner reads deltas on
+  /// the same thread and flushes them to the global registry itself.
+  uint64_t acl_hits() const { return acl_hits_; }
+  uint64_t acl_misses() const { return acl_misses_; }
+
  private:
   bool AclVisible(QueryId id) const;
 
@@ -324,6 +331,8 @@ class VisibilityCache {
   /// Per-owner group-sharing results, shared across that owner's
   /// queries; keyed by the owner's interned Symbol.
   mutable std::unordered_map<Symbol, bool> shares_group_;
+  mutable uint64_t acl_hits_ = 0;
+  mutable uint64_t acl_misses_ = 0;
 };
 
 }  // namespace cqms::storage

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/binary_codec.h"
+#include "obs/metrics.h"
 #include "storage/persistence.h"
 #include "storage/record_builder.h"
 
@@ -403,9 +404,18 @@ Status WalWriter::Append(std::string_view payload) {
       return Status(s.code(),
                     "WAL fsync failed: " + path_ + " (" + s.message() + ")");
     }
+    static obs::Counter* fsyncs = obs::MetricsRegistry::Global().GetCounter(
+        "cqms_wal_fsyncs_total");
+    fsyncs->Increment();
   }
   bytes_ += bytes.size();
   ++appended_records_;
+  static obs::Counter* wal_bytes =
+      obs::MetricsRegistry::Global().GetCounter("cqms_wal_bytes_total");
+  static obs::Counter* wal_appends =
+      obs::MetricsRegistry::Global().GetCounter("cqms_wal_appends_total");
+  wal_bytes->Add(bytes.size());
+  wal_appends->Increment();
   return Status::Ok();
 }
 

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -561,6 +562,145 @@ TEST(ServerTest, InFlightRequestsCompleteDuringShutdown) {
   EXPECT_EQ(returned, ids.size());
   fx.server->Wait();
   EXPECT_FALSE(fx.server->running());
+}
+
+// --- observability over the wire -------------------------------------------
+
+TEST(ServerTest, TracedSearchMatchesInProcessOracle) {
+  ServerFixture fx;
+  auto client = fx.Client();
+  ASSERT_NE(client, nullptr);
+
+  net::SearchSpec spec;
+  spec.keyword = net::KeywordSpec{"sensors", true};
+  spec.want_trace = true;
+  auto wire = client->Search("alice", spec);
+  ASSERT_TRUE(wire.ok()) << wire.status();
+  ASSERT_TRUE(wire->trace.has_value());
+
+  // In-process oracle with its own trace: generator and the
+  // deterministic candidate counters must agree exactly (span timings
+  // are wall-clock and can differ).
+  obs::ExecTrace oracle_trace;
+  metaquery::MetaQueryRequest mreq = net::ToMetaQueryRequest(spec, nullptr);
+  mreq.trace = &oracle_trace;
+  metaquery::MetaQueryResponse oracle = fx.cqms.Search("alice", mreq);
+
+  const net::TraceSummary& t = *wire->trace;
+  EXPECT_EQ(t.generator, oracle_trace.generator);
+  auto counter = [&](const char* name) -> uint64_t {
+    for (const auto& [k, v] : t.counters) {
+      if (k == name) return v;
+    }
+    return ~0ull;
+  };
+  EXPECT_EQ(counter("candidates"), oracle.candidates_considered);
+  EXPECT_EQ(counter("matches"), oracle.matches.size());
+  EXPECT_EQ(counter("matches"), wire->matches.size());
+  EXPECT_EQ(counter("matches_prefilter"),
+            oracle_trace.CounterOr("matches_prefilter"));
+  EXPECT_EQ(t.spans_micros.size(), 4u);
+
+  // An untraced search must not carry a trace.
+  spec.want_trace = false;
+  auto plain = client->Search("alice", spec);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_FALSE(plain->trace.has_value());
+}
+
+TEST(ServerTest, MetricsDumpCoversEveryLayer) {
+  ServerFixture fx;
+  auto client = fx.Client();
+  ASSERT_NE(client, nullptr);
+
+  // Drive one op of each kind so the per-op and per-layer series exist.
+  net::SearchSpec spec;
+  spec.keyword = net::KeywordSpec{"sensors", true};
+  ASSERT_TRUE(client->Search("alice", spec).ok());
+  net::AppendRequest append;
+  append.user = "alice";
+  append.sql = "SELECT * FROM Sensors WHERE sensor_id < 3";
+  ASSERT_TRUE(client->Append(append).ok());
+
+  auto dump = client->MetricsDump();
+  ASSERT_TRUE(dump.ok()) << dump.status();
+  const std::string& text = *dump;
+  // Planner layer (registry), server layer (per-op counters), and the
+  // storage/publish layer must all be present in one dump.
+  EXPECT_NE(text.find("cqms_planner_queries_total"), std::string::npos) << text;
+  EXPECT_NE(text.find("cqms_search_total 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("cqms_append_total 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("cqms_views_published_total"), std::string::npos);
+  EXPECT_NE(text.find("cqms_server_uptime_micros"), std::string::npos);
+  EXPECT_NE(text.find("cqms_server_connections_total 1"), std::string::npos);
+}
+
+TEST(ServerTest, StatsCarriesDurabilityAndArenaFields) {
+  std::string dir = ::testing::TempDir() + "/obs_stats_durable";
+  std::string cleanup = "rm -rf " + dir;
+  std::system(cleanup.c_str());
+
+  // Durability must see a pristine store, so this test builds its own
+  // Cqms instead of using the (pre-seeded) fixture.
+  Cqms cqms;
+  Status d = cqms.EnableDurability(dir);
+  ASSERT_TRUE(d.ok()) << d;
+  Status p = workload::PopulateLakeDatabase(cqms.database(), 40);
+  ASSERT_TRUE(p.ok()) << p;
+  cqms.RegisterUser("alice", {"lab0"});
+  cqms.Execute("alice", "SELECT * FROM Sensors WHERE sensor_id < 5");
+
+  CqmsServer server(&cqms);
+  ASSERT_TRUE(server.Start().ok());
+  auto connected = CqmsClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(connected.ok()) << connected.status();
+
+  auto stats = (*connected)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // Healthy durable server: writable, no failures, no backoff.
+  EXPECT_FALSE(stats->durable_read_only);
+  EXPECT_EQ(stats->checkpoint_failure_streak, 0u);
+  EXPECT_EQ(stats->checkpoints_backed_off, 0u);
+  server.Shutdown();
+  std::system(cleanup.c_str());
+}
+
+TEST(ServerTest, SlowQueryLogCapturesSlowSearches) {
+  std::string path = ::testing::TempDir() + "/obs_server_slow.jsonl";
+  std::remove(path.c_str());
+  ServerOptions options;
+  options.slow_query_micros = 1;  // every search is "slow"
+  options.slow_query_log_path = path;
+  ServerFixture fx(options);
+  auto client = fx.Client();
+  ASSERT_NE(client, nullptr);
+
+  net::SearchSpec spec;
+  spec.keyword = net::KeywordSpec{"sensors", true};
+  ASSERT_TRUE(client->Search("alice", spec).ok());
+  ASSERT_TRUE(client->Search("bob", spec).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[8192];
+  std::vector<std::string> lines;
+  while (std::fgets(buf, sizeof buf, f) != nullptr) lines.emplace_back(buf);
+  std::fclose(f);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"viewer\":\"alice\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"op\":\"Search\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"generator\":\"posting_intersection\""),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"viewer\":\"bob\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ServerTest, SlowQueryMicrosWithoutPathFailsStart) {
+  ServerOptions options;
+  options.slow_query_micros = 1000;
+  ServerFixture fx(options, /*log_queries=*/4, /*start=*/false);
+  Status s = fx.server->Start();
+  EXPECT_FALSE(s.ok());
 }
 
 }  // namespace
