@@ -34,6 +34,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kNotPrimary:
+      return "NotPrimary";
   }
   return "Unknown";
 }

@@ -28,6 +28,9 @@ enum class StatusCode {
   kResourceExhausted = 12,  ///< Out of a finite resource (disk space).
   kDeadlineExceeded = 13,   ///< Operation did not complete within its deadline.
   kUnavailable = 14,        ///< Service is shutting down or not accepting work.
+  /// Mutation sent to a read replica. The message carries the primary's
+  /// address as "leader=host:port" so failover clients can redirect.
+  kNotPrimary = 15,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -89,6 +92,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status NotPrimary(std::string msg) {
+    return Status(StatusCode::kNotPrimary, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -219,6 +219,10 @@ class Cqms {
   /// The durability engine, when enabled (WAL stats, paths); else null.
   const storage::DurableStore* durable() const { return durable_.get(); }
 
+  /// Mutable handle for writer-thread wiring (the replication shipper
+  /// registers its WAL hook and reads segment state through it).
+  storage::DurableStore* durable_store() { return durable_.get(); }
+
  private:
   std::unique_ptr<Clock> owned_clock_;
   const Clock* clock_;

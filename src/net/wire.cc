@@ -308,6 +308,12 @@ const char* OpName(Op op) {
       return "Maintain";
     case Op::kMetricsDump:
       return "MetricsDump";
+    case Op::kReplSubscribe:
+      return "ReplSubscribe";
+    case Op::kReplStream:
+      return "ReplStream";
+    case Op::kReplAck:
+      return "ReplAck";
   }
   return "Unknown";
 }
@@ -349,7 +355,7 @@ bool DecodeResponseEnvelope(std::string_view payload, ResponseEnvelope* out) {
   uint64_t code = r.GetVarint();
   out->message = r.GetString();
   if (r.failed() || op < kMinOp || op > kMaxOp ||
-      code > static_cast<uint64_t>(StatusCode::kUnavailable)) {
+      code > static_cast<uint64_t>(StatusCode::kNotPrimary)) {
     return false;
   }
   out->op = static_cast<Op>(op);
@@ -763,6 +769,15 @@ void EncodeStatsResult(BinaryWriter* w, const StatsResult& m) {
   w->PutVarint(m.checkpoint_failure_streak);
   w->PutVarint(m.checkpoints_backed_off);
   w->PutVarint(m.arena_garbage_bytes);
+  // Minor-2 trailing fields (replication).
+  w->PutU8(m.role);
+  w->PutString(m.primary_address);
+  PutBool(w, m.repl_connected);
+  w->PutVarint(m.repl_applied_sequence);
+  w->PutVarint(m.repl_primary_sequence);
+  w->PutVarint(m.repl_followers);
+  w->PutVarint(m.repl_min_acked_sequence);
+  w->PutVarint(m.repl_backlog_bytes);
 }
 
 bool DecodeStatsResult(BinaryReader* r, StatsResult* m) {
@@ -796,6 +811,17 @@ bool DecodeStatsResult(BinaryReader* r, StatsResult* m) {
     m->checkpoints_backed_off = r->GetVarint();
     m->arena_garbage_bytes = r->GetVarint();
   }
+  // Pre-minor-2 servers end the body here; role 0 = standalone.
+  if (!r->AtEnd()) {
+    m->role = r->GetU8();
+    m->primary_address = r->GetString();
+    m->repl_connected = GetBool(r);
+    m->repl_applied_sequence = r->GetVarint();
+    m->repl_primary_sequence = r->GetVarint();
+    m->repl_followers = r->GetVarint();
+    m->repl_min_acked_sequence = r->GetVarint();
+    m->repl_backlog_bytes = r->GetVarint();
+  }
   return !r->failed();
 }
 
@@ -806,6 +832,110 @@ void EncodeMaintainRequest(BinaryWriter* w, const MaintainRequest& m) {
 bool DecodeMaintainRequest(BinaryReader* r, MaintainRequest* m) {
   m->run_mining = GetBool(r);
   return !r->failed();
+}
+
+// --- replication -----------------------------------------------------------
+
+void EncodeReplSubscribeRequest(BinaryWriter* w, const ReplSubscribeRequest& m) {
+  w->PutVarint(m.from_sequence);
+  w->PutString(m.follower_name);
+  PutBool(w, m.force_snapshot);
+}
+
+bool DecodeReplSubscribeRequest(BinaryReader* r, ReplSubscribeRequest* m) {
+  m->from_sequence = r->GetVarint();
+  m->follower_name = r->GetString();
+  m->force_snapshot = GetBool(r);
+  return !r->failed();
+}
+
+void EncodeReplSubscribeResult(BinaryWriter* w, const ReplSubscribeResult& m) {
+  PutBool(w, m.snapshot_bootstrap);
+  w->PutVarint(m.primary_sequence);
+}
+
+bool DecodeReplSubscribeResult(BinaryReader* r, ReplSubscribeResult* m) {
+  m->snapshot_bootstrap = GetBool(r);
+  m->primary_sequence = r->GetVarint();
+  return !r->failed();
+}
+
+void EncodeReplFrameBatch(BinaryWriter* w, const ReplFrameBatch& m) {
+  w->PutVarint(m.frames.size());
+  for (const ReplFramed& f : m.frames) {
+    w->PutFixed32(f.crc32);
+    w->PutString(f.frame);
+  }
+  w->PutVarint(m.primary_sequence);
+}
+
+bool DecodeReplFrameBatch(BinaryReader* r, ReplFrameBatch* m) {
+  uint64_t n = r->GetVarint();
+  if (!CheckedCount(r, n)) return false;
+  m->frames.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ReplFramed f;
+    f.crc32 = r->GetFixed32();
+    f.frame = r->GetString();
+    m->frames.push_back(std::move(f));
+  }
+  m->primary_sequence = r->GetVarint();
+  return !r->failed();
+}
+
+void EncodeReplHeartbeat(BinaryWriter* w, const ReplHeartbeat& m) {
+  w->PutVarint(m.primary_sequence);
+}
+
+bool DecodeReplHeartbeat(BinaryReader* r, ReplHeartbeat* m) {
+  m->primary_sequence = r->GetVarint();
+  return !r->failed();
+}
+
+void EncodeReplSnapshotBegin(BinaryWriter* w, const ReplSnapshotBegin& m) {
+  w->PutVarint(m.covered_sequence);
+  w->PutVarint(m.total_bytes);
+  w->PutFixed32(m.crc32);
+}
+
+bool DecodeReplSnapshotBegin(BinaryReader* r, ReplSnapshotBegin* m) {
+  m->covered_sequence = r->GetVarint();
+  m->total_bytes = r->GetVarint();
+  m->crc32 = r->GetFixed32();
+  return !r->failed();
+}
+
+void EncodeReplSnapshotChunk(BinaryWriter* w, const ReplSnapshotChunk& m) {
+  w->PutString(m.data);
+}
+
+bool DecodeReplSnapshotChunk(BinaryReader* r, ReplSnapshotChunk* m) {
+  m->data = r->GetString();
+  return !r->failed();
+}
+
+void EncodeReplAckRequest(BinaryWriter* w, const ReplAckRequest& m) {
+  w->PutVarint(m.acked_sequence);
+}
+
+bool DecodeReplAckRequest(BinaryReader* r, ReplAckRequest* m) {
+  m->acked_sequence = r->GetVarint();
+  return !r->failed();
+}
+
+std::string FormatNotPrimary(const std::string& leader) {
+  if (leader.empty()) return "not primary";
+  return "not primary; leader=" + leader;
+}
+
+std::string ParseNotPrimaryLeader(const std::string& message) {
+  static constexpr char kTag[] = "leader=";
+  size_t pos = message.find(kTag);
+  if (pos == std::string::npos) return "";
+  size_t start = pos + sizeof(kTag) - 1;
+  size_t end = message.find_first_of(" ;,", start);
+  if (end == std::string::npos) end = message.size();
+  return message.substr(start, end - start);
 }
 
 }  // namespace cqms::net

@@ -30,7 +30,9 @@ constexpr uint32_t kProtocolVersion = 1;
 /// version strings and docs can name the feature level.
 /// 1: MetricsDump op, SearchSpec.want_trace + SearchResult.trace,
 ///    StatsResult durability/arena tail.
-constexpr uint32_t kProtocolMinorVersion = 1;
+/// 2: WAL-shipping replication (ReplSubscribe / ReplStream / ReplAck),
+///    StatusCode::kNotPrimary, StatsResult replication tail.
+constexpr uint32_t kProtocolMinorVersion = 2;
 
 /// Operation codes carried in every request and echoed in the response.
 /// Values are wire-stable: append only, never renumber.
@@ -52,10 +54,23 @@ enum class Op : uint8_t {
   /// Returns the process's metrics registry as Prometheus-style text
   /// (TextResult body). Protocol minor 1.
   kMetricsDump = 15,
+  /// Replication (protocol minor 2; docs/replication.md). A follower
+  /// subscribes to the primary's WAL stream from a sequence number; the
+  /// primary answers with a ReplSubscribeResult and then pushes
+  /// kReplStream messages (frames / heartbeats / snapshot bootstrap)
+  /// tagged with the subscribe request id for the life of the
+  /// connection.
+  kReplSubscribe = 16,
+  /// Server-push stream message (never a request). The body begins with
+  /// a ReplStreamKind discriminant.
+  kReplStream = 17,
+  /// Follower -> primary progress report: highest contiguously applied
+  /// sequence. Drives primary-side WAL segment retention.
+  kReplAck = 18,
 };
 
 constexpr uint8_t kMinOp = 1;
-constexpr uint8_t kMaxOp = 15;
+constexpr uint8_t kMaxOp = 18;
 const char* OpName(Op op);
 
 // --- envelopes -------------------------------------------------------------
@@ -321,11 +336,93 @@ struct StatsResult {
   uint64_t checkpoint_failure_streak = 0;
   uint64_t checkpoints_backed_off = 0;
   uint64_t arena_garbage_bytes = 0;
+  /// Replication (trailing fields, minor 2). role: 0 = standalone
+  /// pre-minor-2 server, 1 = primary, 2 = follower.
+  uint8_t role = 0;
+  std::string primary_address;      ///< Follower only: who it follows.
+  bool repl_connected = false;      ///< Follower: link to primary is up.
+  uint64_t repl_applied_sequence = 0;   ///< Follower: applied through here.
+  uint64_t repl_primary_sequence = 0;   ///< Follower: primary's last seq seen.
+  uint64_t repl_followers = 0;          ///< Primary: live subscriptions.
+  uint64_t repl_min_acked_sequence = 0; ///< Primary: slowest follower ack.
+  uint64_t repl_backlog_bytes = 0;      ///< Primary: retained retired WAL.
 };
 
 struct MaintainRequest {
   bool run_mining = true;
 };
+
+// --- replication (protocol minor 2) ----------------------------------------
+//
+// A follower opens a normal connection, handshakes, then sends one
+// kReplSubscribe request. The primary answers with ReplSubscribeResult
+// and afterwards pushes kReplStream response frames that reuse the
+// subscribe request id. Stream bodies start with a ReplStreamKind byte.
+// The follower reports progress with fire-and-forget kReplAck requests
+// (the OK responses are ignored); the primary uses the minimum acked
+// sequence across followers to bound retired-WAL-segment retention.
+
+struct ReplSubscribeRequest {
+  /// Highest sequence already applied by the follower; the stream begins
+  /// at from_sequence + 1. Zero asks for everything.
+  uint64_t from_sequence = 0;
+  std::string follower_name;
+  /// Skip catch-up and bootstrap from a fresh snapshot regardless of
+  /// from_sequence (set after the follower detects a gap or divergence).
+  bool force_snapshot = false;
+};
+
+struct ReplSubscribeResult {
+  /// True: a SnapshotBegin/Chunk/End sequence precedes live frames.
+  bool snapshot_bootstrap = false;
+  uint64_t primary_sequence = 0;
+};
+
+enum class ReplStreamKind : uint8_t {
+  kFrames = 1,
+  kHeartbeat = 2,
+  kSnapshotBegin = 3,
+  kSnapshotChunk = 4,
+  kSnapshotEnd = 5,
+};
+
+/// One WAL frame payload (varint sequence + op payload) plus its CRC as
+/// computed on the primary; a mismatch on the follower means link or
+/// primary-side corruption and forces a snapshot re-bootstrap.
+struct ReplFramed {
+  uint32_t crc32 = 0;
+  std::string frame;
+};
+
+struct ReplFrameBatch {
+  std::vector<ReplFramed> frames;
+  uint64_t primary_sequence = 0;
+};
+
+struct ReplHeartbeat {
+  uint64_t primary_sequence = 0;
+};
+
+struct ReplSnapshotBegin {
+  /// WAL sequence the snapshot covers; live frames resume at covered + 1.
+  uint64_t covered_sequence = 0;
+  uint64_t total_bytes = 0;
+  uint32_t crc32 = 0;  ///< CRC of the whole snapshot image.
+};
+
+struct ReplSnapshotChunk {
+  std::string data;
+};
+
+struct ReplAckRequest {
+  uint64_t acked_sequence = 0;
+};
+
+/// Renders the canonical kNotPrimary message, "not primary; leader=host:port"
+/// (or no leader suffix when the address is unknown).
+std::string FormatNotPrimary(const std::string& leader);
+/// Extracts "host:port" from a kNotPrimary message; empty if absent.
+std::string ParseNotPrimaryLeader(const std::string& message);
 
 // --- body codecs -----------------------------------------------------------
 //
@@ -378,6 +475,21 @@ void EncodeStatsResult(BinaryWriter* w, const StatsResult& m);
 bool DecodeStatsResult(BinaryReader* r, StatsResult* m);
 void EncodeMaintainRequest(BinaryWriter* w, const MaintainRequest& m);
 bool DecodeMaintainRequest(BinaryReader* r, MaintainRequest* m);
+
+void EncodeReplSubscribeRequest(BinaryWriter* w, const ReplSubscribeRequest& m);
+bool DecodeReplSubscribeRequest(BinaryReader* r, ReplSubscribeRequest* m);
+void EncodeReplSubscribeResult(BinaryWriter* w, const ReplSubscribeResult& m);
+bool DecodeReplSubscribeResult(BinaryReader* r, ReplSubscribeResult* m);
+void EncodeReplFrameBatch(BinaryWriter* w, const ReplFrameBatch& m);
+bool DecodeReplFrameBatch(BinaryReader* r, ReplFrameBatch* m);
+void EncodeReplHeartbeat(BinaryWriter* w, const ReplHeartbeat& m);
+bool DecodeReplHeartbeat(BinaryReader* r, ReplHeartbeat* m);
+void EncodeReplSnapshotBegin(BinaryWriter* w, const ReplSnapshotBegin& m);
+bool DecodeReplSnapshotBegin(BinaryReader* r, ReplSnapshotBegin* m);
+void EncodeReplSnapshotChunk(BinaryWriter* w, const ReplSnapshotChunk& m);
+bool DecodeReplSnapshotChunk(BinaryReader* r, ReplSnapshotChunk* m);
+void EncodeReplAckRequest(BinaryWriter* w, const ReplAckRequest& m);
+bool DecodeReplAckRequest(BinaryReader* r, ReplAckRequest* m);
 
 }  // namespace cqms::net
 

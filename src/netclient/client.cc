@@ -2,10 +2,13 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <utility>
@@ -15,6 +18,11 @@ namespace cqms::netclient {
 namespace {
 
 Status ErrnoStatus(const std::string& what) {
+  // SO_RCVTIMEO/SO_SNDTIMEO expiry surfaces as EAGAIN/EWOULDBLOCK on a
+  // blocking socket; report it as the typed deadline error.
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    return Status::DeadlineExceeded(what + " timed out");
+  }
   return Status::IoError(what + ": " + std::string(strerror(errno)));
 }
 
@@ -30,6 +38,53 @@ Status WriteAll(int fd, const char* data, size_t len) {
     return ErrnoStatus("send");
   }
   return Status::Ok();
+}
+
+/// connect(2) with a deadline: non-blocking connect, poll for
+/// writability, then read SO_ERROR for the real outcome. Restores the
+/// blocking flag on success.
+Status ConnectWithTimeout(int fd, const sockaddr_in& addr, int64_t timeout_ms,
+                          const std::string& label) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl " + label);
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return ErrnoStatus("connect " + label);
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) return ErrnoStatus("poll " + label);
+    if (ready == 0) {
+      return Status::DeadlineExceeded("connect " + label + " timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return ErrnoStatus("getsockopt " + label);
+    }
+    if (err != 0) {
+      errno = err;
+      return ErrnoStatus("connect " + label);
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) return ErrnoStatus("fcntl " + label);
+  return Status::Ok();
+}
+
+void SetIoTimeout(int fd, int64_t timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 }  // namespace
@@ -59,11 +114,20 @@ Result<std::unique_ptr<CqmsClient>> CqmsClient::Connect(const std::string& host,
     ::close(fd);
     return Status::InvalidArgument("unparsable address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = ErrnoStatus("connect " + host + ":" + std::to_string(port));
+  const std::string label = host + ":" + std::to_string(port);
+  if (options.connect_timeout_ms > 0) {
+    Status s = ConnectWithTimeout(fd, addr, options.connect_timeout_ms, label);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
+    Status s = ErrnoStatus("connect " + label);
     ::close(fd);
     return s;
   }
+  if (options.timeout_ms > 0) SetIoTimeout(fd, options.timeout_ms);
 
   std::unique_ptr<CqmsClient> client(new CqmsClient(fd, std::move(options)));
 
@@ -408,6 +472,10 @@ Result<std::string> CqmsClient::ReadRawPayload() {
       return s;
     }
   }
+}
+
+void CqmsClient::Abort() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 }  // namespace cqms::netclient

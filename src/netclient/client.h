@@ -19,6 +19,16 @@ struct ClientOptions {
   std::string client_name = "cqms_client";
   /// Ceiling on response frames this client will accept.
   size_t max_frame_bytes = 64u << 20;
+  /// TCP connect deadline; 0 blocks indefinitely (kernel default). A
+  /// partitioned or blackholed server yields kDeadlineExceeded instead
+  /// of hanging the caller.
+  int64_t connect_timeout_ms = 0;
+  /// Per-socket-operation deadline (SO_RCVTIMEO/SO_SNDTIMEO) applied to
+  /// every request path, one-shot and pipelined; 0 blocks indefinitely.
+  /// An expired deadline surfaces as a *sticky* kDeadlineExceeded: the
+  /// response stream position is unknown, so the connection is dead —
+  /// reconnect to retry.
+  int64_t timeout_ms = 0;
 };
 
 /// Synchronous client for the CQMS wire protocol (docs/server.md) with
@@ -92,6 +102,21 @@ class CqmsClient {
   /// raw response payload.
   Status SendRawPayload(const std::string& payload);
   Result<std::string> ReadRawPayload();
+
+  /// Shuts the socket down both ways, unblocking any in-progress read
+  /// with kUnavailable. The only method safe to call from another
+  /// thread; the replication follower's Stop() uses it to interrupt its
+  /// streaming thread.
+  void Abort();
+
+  /// Sticky transport failure, if any (kOk while the connection is
+  /// healthy). Typed server *responses* never set this; a non-OK value
+  /// means the response stream position is unknown and the connection
+  /// must be abandoned. FailoverClient keys its at-most-once mutation
+  /// rule on this: an error with a healthy transport was a server
+  /// rejection (safe to retry elsewhere), an error with a broken
+  /// transport may have executed (never retried).
+  const Status& transport_status() const { return broken_; }
 
  private:
   CqmsClient(int fd, ClientOptions options);

@@ -51,6 +51,20 @@ void PrintStats(const cqms::net::StatsResult& stats) {
               static_cast<unsigned long long>(stats.checkpoints_backed_off));
   std::printf("arena     garbage_bytes=%llu\n",
               static_cast<unsigned long long>(stats.arena_garbage_bytes));
+  if (stats.role == 1) {
+    std::printf("repl      role=primary followers=%llu min_acked=%llu "
+                "backlog_bytes=%llu\n",
+                static_cast<unsigned long long>(stats.repl_followers),
+                static_cast<unsigned long long>(stats.repl_min_acked_sequence),
+                static_cast<unsigned long long>(stats.repl_backlog_bytes));
+  } else if (stats.role == 2) {
+    std::printf("repl      role=follower primary=%s connected=%s "
+                "applied_seq=%llu primary_seq=%llu\n",
+                stats.primary_address.c_str(),
+                stats.repl_connected ? "yes" : "no",
+                static_cast<unsigned long long>(stats.repl_applied_sequence),
+                static_cast<unsigned long long>(stats.repl_primary_sequence));
+  }
   for (const cqms::net::OpStatsRow& row : stats.per_op) {
     std::printf("op %-14s n=%-8llu err=%-6llu in=%-10llu out=%-10llu "
                 "p50=%lluus p99=%lluus max=%lluus\n",
@@ -71,6 +85,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::string user = "cli";
   uint16_t port = 0;
+  cqms::netclient::ClientOptions client_options;
   int i = 1;
   for (; i < argc; ++i) {
     std::string arg = argv[i];
@@ -80,13 +95,21 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
     } else if (arg == "--user" && i + 1 < argc) {
       user = argv[++i];
+    } else if (arg == "--timeout-ms" && i + 1 < argc) {
+      client_options.timeout_ms = std::atoll(argv[++i]);
+    } else if (arg == "--connect-timeout-ms" && i + 1 < argc) {
+      client_options.connect_timeout_ms = std::atoll(argv[++i]);
     } else {
       break;
     }
   }
   if (port == 0 || i >= argc) {
     std::fprintf(stderr,
-                 "usage: %s --port P [--host H] [--user U] <command> [args]\n",
+                 "usage: %s --port P [--host H] [--user U]\n"
+                 "       [--timeout-ms N] [--connect-timeout-ms N]\n"
+                 "       <command> [args]\n"
+                 "A hung or partitioned server fails typed "
+                 "(kDeadlineExceeded) when --timeout-ms is set.\n",
                  argv[0]);
     return 2;
   }
@@ -101,7 +124,8 @@ int main(int argc, char** argv) {
     return out;
   };
 
-  auto connected = cqms::netclient::CqmsClient::Connect(host, port);
+  auto connected = cqms::netclient::CqmsClient::Connect(host, port,
+                                                        client_options);
   if (!connected.ok()) return Fail(connected.status());
   cqms::netclient::CqmsClient& client = **connected;
 

@@ -1,0 +1,270 @@
+#include "netclient/failover.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace cqms::netclient {
+
+std::string Endpoint::ToString() const {
+  return host + ":" + std::to_string(port);
+}
+
+Result<Endpoint> ParseEndpoint(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return Status::InvalidArgument("endpoint must be host:port, got \"" +
+                                   spec + "\"");
+  }
+  Endpoint ep;
+  ep.host = spec.substr(0, colon);
+  long port = 0;
+  for (size_t i = colon + 1; i < spec.size(); ++i) {
+    char c = spec[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("endpoint port is not numeric: \"" +
+                                     spec + "\"");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("endpoint port out of range: \"" + spec +
+                                     "\"");
+    }
+  }
+  ep.port = static_cast<uint16_t>(port);
+  return ep;
+}
+
+FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
+                               FailoverOptions options)
+    : endpoints_(std::move(endpoints)), options_(std::move(options)) {}
+
+FailoverClient::~FailoverClient() = default;
+
+void FailoverClient::Backoff() {
+  if (options_.retry_backoff_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.retry_backoff_ms));
+  }
+}
+
+size_t FailoverClient::FindOrAddEndpoint(const Endpoint& ep) {
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i].host == ep.host && endpoints_[i].port == ep.port) {
+      return i;
+    }
+  }
+  endpoints_.push_back(ep);
+  return endpoints_.size() - 1;
+}
+
+Status FailoverClient::ReadWithFailover(
+    const std::function<Status(CqmsClient&)>& fn) {
+  if (endpoints_.empty()) return Status::Unavailable("no endpoints configured");
+  const int max_attempts =
+      options_.max_attempts > 0
+          ? options_.max_attempts
+          : static_cast<int>(2 * endpoints_.size() + 1);
+  Status last = Status::Unavailable("read failover exhausted");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) Backoff();
+    size_t index = read_index_ % endpoints_.size();
+    if (read_conn_ == nullptr || read_conn_index_ != index ||
+        !read_conn_->transport_status().ok()) {
+      read_conn_.reset();
+      auto conn = CqmsClient::Connect(endpoints_[index].host,
+                                      endpoints_[index].port, options_.client);
+      if (!conn.ok()) {
+        last = conn.status();
+        read_index_ = (index + 1) % endpoints_.size();
+        continue;
+      }
+      read_conn_ = std::move(conn).value();
+      read_conn_index_ = index;
+    }
+    Status s = fn(*read_conn_);
+    if (s.ok()) return s;
+    if (read_conn_->transport_status().ok()) {
+      // A typed server rejection over a healthy link. Reads are
+      // idempotent, so an availability-flavored rejection (draining
+      // server, queue deadline) is worth one hop to another replica;
+      // anything else (not found, permission) is the real answer.
+      if (s.code() != StatusCode::kUnavailable &&
+          s.code() != StatusCode::kDeadlineExceeded) {
+        return s;
+      }
+    } else {
+      read_conn_.reset();
+    }
+    last = std::move(s);
+    read_index_ = (index + 1) % endpoints_.size();
+  }
+  return last;
+}
+
+Status FailoverClient::MutateWithFailover(
+    const std::function<Status(CqmsClient&)>& fn) {
+  if (endpoints_.empty()) return Status::Unavailable("no endpoints configured");
+  const int max_attempts =
+      options_.max_attempts > 0
+          ? options_.max_attempts
+          : static_cast<int>(2 * endpoints_.size() + 1);
+  Status last = Status::Unavailable("mutation failover exhausted");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) Backoff();
+    size_t index = primary_index_ % endpoints_.size();
+    if (primary_conn_ == nullptr || primary_conn_index_ != index ||
+        !primary_conn_->transport_status().ok()) {
+      primary_conn_.reset();
+      auto conn = CqmsClient::Connect(endpoints_[index].host,
+                                      endpoints_[index].port, options_.client);
+      if (!conn.ok()) {
+        // Nothing reached a server: known not executed, try the next
+        // endpoint (the primary may have moved).
+        last = conn.status();
+        primary_index_ = (index + 1) % endpoints_.size();
+        continue;
+      }
+      primary_conn_ = std::move(conn).value();
+      primary_conn_index_ = index;
+    }
+    Status s = fn(*primary_conn_);
+    if (s.ok()) return s;
+    if (!primary_conn_->transport_status().ok()) {
+      // The link died after the request was flushed; the server may
+      // have executed the mutation. At-most-once forbids a blind retry:
+      // surface the failure and let the caller decide.
+      primary_conn_.reset();
+      return s;
+    }
+    // Typed server responses: the request was parsed and rejected
+    // without executing, so retrying cannot double-apply.
+    switch (s.code()) {
+      case StatusCode::kNotPrimary: {
+        std::string leader = net::ParseNotPrimaryLeader(s.message());
+        if (!leader.empty()) {
+          auto ep = ParseEndpoint(leader);
+          if (ep.ok()) {
+            primary_index_ = FindOrAddEndpoint(ep.value());
+            break;
+          }
+        }
+        // Redirect without a usable leader address: probe the ring.
+        primary_index_ = (index + 1) % endpoints_.size();
+        break;
+      }
+      case StatusCode::kUnavailable:
+      case StatusCode::kDeadlineExceeded:
+        // Draining server / request expired in queue — rejected before
+        // execution. Try the next endpoint.
+        primary_index_ = (index + 1) % endpoints_.size();
+        break;
+      default:
+        // A real application error (invalid argument, permission, ...).
+        return s;
+    }
+    last = std::move(s);
+  }
+  return last;
+}
+
+// --- reads -----------------------------------------------------------------
+
+Result<net::SearchResult> FailoverClient::Search(const std::string& viewer,
+                                                 const net::SearchSpec& spec) {
+  Result<net::SearchResult> out = Status::Unavailable("not attempted");
+  Status s = ReadWithFailover([&](CqmsClient& c) {
+    out = c.Search(viewer, spec);
+    return out.ok() ? Status::Ok() : out.status();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+Result<net::RecommendResult> FailoverClient::Recommend(
+    const std::string& viewer, const std::string& sql_text, uint64_t k) {
+  Result<net::RecommendResult> out = Status::Unavailable("not attempted");
+  Status s = ReadWithFailover([&](CqmsClient& c) {
+    out = c.Recommend(viewer, sql_text, k);
+    return out.ok() ? Status::Ok() : out.status();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+Result<std::string> FailoverClient::Browse(const std::string& viewer,
+                                           uint64_t max_sessions) {
+  Result<std::string> out = Status::Unavailable("not attempted");
+  Status s = ReadWithFailover([&](CqmsClient& c) {
+    out = c.Browse(viewer, max_sessions);
+    return out.ok() ? Status::Ok() : out.status();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+Result<std::string> FailoverClient::ShowSession(const std::string& viewer,
+                                                int64_t session_id) {
+  Result<std::string> out = Status::Unavailable("not attempted");
+  Status s = ReadWithFailover([&](CqmsClient& c) {
+    out = c.ShowSession(viewer, session_id);
+    return out.ok() ? Status::Ok() : out.status();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+Result<net::StatsResult> FailoverClient::Stats() {
+  Result<net::StatsResult> out = Status::Unavailable("not attempted");
+  Status s = ReadWithFailover([&](CqmsClient& c) {
+    out = c.Stats();
+    return out.ok() ? Status::Ok() : out.status();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+// --- mutations -------------------------------------------------------------
+
+Result<net::AppendResult> FailoverClient::Append(
+    const net::AppendRequest& request) {
+  Result<net::AppendResult> out = Status::Unavailable("not attempted");
+  Status s = MutateWithFailover([&](CqmsClient& c) {
+    out = c.Append(request);
+    return out.ok() ? Status::Ok() : out.status();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
+Status FailoverClient::Rewrite(int64_t id, const std::string& new_text) {
+  return MutateWithFailover(
+      [&](CqmsClient& c) { return c.Rewrite(id, new_text); });
+}
+
+Status FailoverClient::Annotate(int64_t id, const std::string& author,
+                                const std::string& text,
+                                const std::string& fragment) {
+  return MutateWithFailover(
+      [&](CqmsClient& c) { return c.Annotate(id, author, text, fragment); });
+}
+
+Status FailoverClient::SetVisibility(const std::string& requester, int64_t id,
+                                     storage::Visibility visibility) {
+  return MutateWithFailover(
+      [&](CqmsClient& c) { return c.SetVisibility(requester, id, visibility); });
+}
+
+Status FailoverClient::Delete(const std::string& requester, int64_t id,
+                              bool is_admin) {
+  return MutateWithFailover(
+      [&](CqmsClient& c) { return c.Delete(requester, id, is_admin); });
+}
+
+Status FailoverClient::RegisterUser(const std::string& user,
+                                    const std::vector<std::string>& groups) {
+  return MutateWithFailover(
+      [&](CqmsClient& c) { return c.RegisterUser(user, groups); });
+}
+
+}  // namespace cqms::netclient

@@ -1,0 +1,132 @@
+#ifndef CQMS_NETCLIENT_FAILOVER_H_
+#define CQMS_NETCLIENT_FAILOVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/wire.h"
+#include "netclient/client.h"
+
+namespace cqms::netclient {
+
+/// One server address in a replication group.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  std::string ToString() const;
+};
+
+/// Parses "host:port" (the format kNotPrimary redirects carry).
+Result<Endpoint> ParseEndpoint(const std::string& spec);
+
+struct FailoverOptions {
+  /// Per-connection options (timeouts apply to every hop).
+  ClientOptions client;
+  /// Upper bound on endpoint hops for one logical operation; 0 derives
+  /// 2 * endpoints + 1 (enough to chase one redirect past a full
+  /// rotation).
+  int max_attempts = 0;
+  /// Flat pause between failed attempts, so a group that is briefly
+  /// electing / restarting is not hammered. 0 disables.
+  int64_t retry_backoff_ms = 20;
+};
+
+/// Replication-aware client over a group of cqms_serverd endpoints
+/// (one primary, any number of live read replicas — docs/replication.md).
+///
+/// Reads (Search, Recommend, Browse, ShowSession, Stats) are served by
+/// whichever endpoint answers: the client keeps one read connection and
+/// rotates to the next endpoint on any failure, so reads keep flowing
+/// from a replica while the primary is down or restarting.
+///
+/// Mutations (Append, Rewrite, Annotate, SetVisibility, Delete,
+/// RegisterUser) target the believed primary. A typed kNotPrimary
+/// response carries the leader's address; the client switches and
+/// retries there. Retries happen ONLY on outcomes where the mutation is
+/// known not to have executed — connect failure (nothing sent) or a
+/// typed server rejection (kNotPrimary, kUnavailable, kDeadlineExceeded
+/// sent as a response, i.e. rejected before execution). A transport
+/// error after the request was flushed is never retried: the server may
+/// have applied it, and this client promises at-most-once mutations.
+/// Such outcomes surface the original error to the caller, who owns the
+/// read-your-write / dedup decision.
+///
+/// Not thread-safe: one FailoverClient per thread, or external locking.
+class FailoverClient {
+ public:
+  explicit FailoverClient(std::vector<Endpoint> endpoints,
+                          FailoverOptions options = {});
+  ~FailoverClient();
+
+  FailoverClient(const FailoverClient&) = delete;
+  FailoverClient& operator=(const FailoverClient&) = delete;
+
+  // --- reads (any endpoint) ------------------------------------------------
+
+  Result<net::SearchResult> Search(const std::string& viewer,
+                                   const net::SearchSpec& spec);
+  Result<net::RecommendResult> Recommend(const std::string& viewer,
+                                         const std::string& sql_text,
+                                         uint64_t k = 5);
+  Result<std::string> Browse(const std::string& viewer,
+                             uint64_t max_sessions = 20);
+  Result<std::string> ShowSession(const std::string& viewer,
+                                  int64_t session_id);
+  Result<net::StatsResult> Stats();
+
+  // --- mutations (primary only) --------------------------------------------
+
+  Result<net::AppendResult> Append(const net::AppendRequest& request);
+  Status Rewrite(int64_t id, const std::string& new_text);
+  Status Annotate(int64_t id, const std::string& author, const std::string& text,
+                  const std::string& fragment = "");
+  Status SetVisibility(const std::string& requester, int64_t id,
+                       storage::Visibility visibility);
+  Status Delete(const std::string& requester, int64_t id, bool is_admin = false);
+  Status RegisterUser(const std::string& user,
+                      const std::vector<std::string>& groups);
+
+  // --- introspection (tests, CLI) ------------------------------------------
+
+  const std::vector<Endpoint>& endpoints() const { return endpoints_; }
+  /// Endpoint index the next mutation will try first (updated by
+  /// kNotPrimary redirects and connect failures).
+  size_t primary_index() const { return primary_index_; }
+  /// Endpoint index the last successful read used.
+  size_t read_index() const { return read_index_; }
+
+ private:
+  /// Runs `fn` against some endpoint's connection, rotating freely on
+  /// failure (reads are idempotent).
+  Status ReadWithFailover(const std::function<Status(CqmsClient&)>& fn);
+  /// Runs `fn` against the believed primary, following kNotPrimary
+  /// redirects; retries only known-not-executed outcomes (see class
+  /// comment).
+  Status MutateWithFailover(const std::function<Status(CqmsClient&)>& fn);
+
+  /// Index of `ep` in endpoints_, appending it if the group did not
+  /// list it (a redirect can name an endpoint the caller did not know).
+  size_t FindOrAddEndpoint(const Endpoint& ep);
+  void Backoff();
+
+  std::vector<Endpoint> endpoints_;
+  FailoverOptions options_;
+
+  size_t primary_index_ = 0;
+  std::unique_ptr<CqmsClient> primary_conn_;
+  size_t primary_conn_index_ = 0;
+
+  size_t read_index_ = 0;
+  std::unique_ptr<CqmsClient> read_conn_;
+  size_t read_conn_index_ = 0;
+};
+
+}  // namespace cqms::netclient
+
+#endif  // CQMS_NETCLIENT_FAILOVER_H_

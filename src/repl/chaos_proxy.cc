@@ -1,0 +1,172 @@
+#include "repl/chaos_proxy.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace cqms::repl {
+
+namespace {
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(std::string target_host, uint16_t target_port)
+    : target_host_(std::move(target_host)), target_port_(target_port) {}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("chaos proxy socket failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // Ephemeral.
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("chaos proxy bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("chaos proxy getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread(&ChaosProxy::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void ChaosProxy::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  KillAll();
+  std::lock_guard<std::mutex> lock(links_mu_);
+  for (auto& link : links_) {
+    if (link->up.joinable()) link->up.join();
+    if (link->down.joinable()) link->down.join();
+    ::close(link->client_fd);
+    ::close(link->server_fd);
+  }
+  links_.clear();
+}
+
+void ChaosProxy::KillAll() {
+  std::lock_guard<std::mutex> lock(links_mu_);
+  for (auto& link : links_) Sever(link.get());
+}
+
+void ChaosProxy::Sever(Link* link) {
+  ::shutdown(link->client_fd, SHUT_RDWR);
+  ::shutdown(link->server_fd, SHUT_RDWR);
+}
+
+void ChaosProxy::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener shut down.
+    }
+    if (refuse_.load(std::memory_order_relaxed)) {
+      ::close(client_fd);
+      continue;
+    }
+    int server_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(target_port_);
+    if (server_fd < 0 ||
+        inet_pton(AF_INET, target_host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(server_fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (server_fd >= 0) ::close(server_fd);
+      ::close(client_fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    setsockopt(server_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto link = std::make_unique<Link>();
+    link->client_fd = client_fd;
+    link->server_fd = server_fd;
+    Link* raw = link.get();
+    link->up = std::thread(&ChaosProxy::Pump, this, raw, client_fd, server_fd,
+                           /*downstream=*/false);
+    link->down = std::thread(&ChaosProxy::Pump, this, raw, server_fd,
+                             client_fd, /*downstream=*/true);
+    std::lock_guard<std::mutex> lock(links_mu_);
+    links_.push_back(std::move(link));
+  }
+}
+
+void ChaosProxy::Pump(Link* link, int from_fd, int to_fd, bool downstream) {
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(from_fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    if (downstream) {
+      int64_t delay = delay_ms_.load(std::memory_order_relaxed);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      if (corrupt_next_.exchange(false, std::memory_order_relaxed)) {
+        buf[static_cast<size_t>(n) / 2] ^= 0x20;
+      }
+      if (cut_budget_.load(std::memory_order_relaxed) >= 0) {
+        int64_t before = cut_budget_.fetch_sub(n, std::memory_order_relaxed);
+        if (before <= 0) {
+          Sever(link);
+          break;
+        }
+        if (before < n) {
+          // Forward a prefix, then sever: the peer sees a torn frame.
+          SendAll(to_fd, buf, static_cast<size_t>(before));
+          Sever(link);
+          break;
+        }
+      }
+    }
+    if (!SendAll(to_fd, buf, static_cast<size_t>(n))) break;
+  }
+  // Propagate the close so the other pump and both peers unwind.
+  ::shutdown(to_fd, SHUT_WR);
+  ::shutdown(from_fd, SHUT_RD);
+}
+
+}  // namespace cqms::repl

@@ -1,0 +1,95 @@
+#ifndef CQMS_REPL_CHAOS_PROXY_H_
+#define CQMS_REPL_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace cqms::repl {
+
+/// Fault-injecting TCP proxy for replication-link testing: listens on an
+/// ephemeral port and forwards byte-for-byte to a target server, with
+/// switchable faults on the server->client (stream) direction:
+///
+///   - SetDelayMs:   delay every forwarded chunk (slow link).
+///   - CorruptNext:  flip one bit in the next forwarded chunk (CRC
+///                   divergence downstream).
+///   - CutAfter:     forward N more bytes, then sever every link — lands
+///                   mid-frame for any N not on a frame boundary
+///                   (partial write / disconnect mid-frame).
+///   - SetRefuse:    reject new connections (primary unreachable).
+///   - KillAll:      sever every active link now (link drop).
+///
+/// Test-only: links are reaped at Stop(), not as they die, so a test
+/// that churns thousands of connections through one proxy would
+/// accumulate threads.
+class ChaosProxy {
+ public:
+  ChaosProxy(std::string target_host, uint16_t target_port);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds an ephemeral port and starts accepting.
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  void SetDelayMs(int64_t ms) {
+    delay_ms_.store(ms, std::memory_order_relaxed);
+  }
+  void SetRefuse(bool refuse) {
+    refuse_.store(refuse, std::memory_order_relaxed);
+  }
+  void CorruptNext() { corrupt_next_.store(true, std::memory_order_relaxed); }
+  /// -1 (the default) disables the cut.
+  void CutAfter(int64_t bytes) {
+    cut_budget_.store(bytes, std::memory_order_relaxed);
+  }
+  void KillAll();
+
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Link {
+    int client_fd = -1;
+    int server_fd = -1;
+    std::thread up;    ///< client -> server
+    std::thread down;  ///< server -> client (fault injection side)
+  };
+
+  void AcceptLoop();
+  void Pump(Link* link, int from_fd, int to_fd, bool downstream);
+  static void Sever(Link* link);
+
+  std::string target_host_;
+  uint16_t target_port_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+
+  std::atomic<int64_t> delay_ms_{0};
+  std::atomic<bool> refuse_{false};
+  std::atomic<bool> corrupt_next_{false};
+  std::atomic<int64_t> cut_budget_{-1};
+  std::atomic<uint64_t> accepted_{0};
+
+  std::mutex links_mu_;
+  std::list<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace cqms::repl
+
+#endif  // CQMS_REPL_CHAOS_PROXY_H_

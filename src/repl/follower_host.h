@@ -1,0 +1,39 @@
+#ifndef CQMS_REPL_FOLLOWER_HOST_H_
+#define CQMS_REPL_FOLLOWER_HOST_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+
+namespace cqms {
+class Cqms;
+}
+
+namespace cqms::repl {
+
+/// The surface a follower needs from the process hosting it (in
+/// production, CqmsServer running with --follow). The replication layer
+/// depends on this interface instead of the server so the dependency
+/// points one way: server -> repl.
+class FollowerHost {
+ public:
+  virtual ~FollowerHost() = default;
+
+  /// Runs `fn` on the host's single writer thread and returns its
+  /// status. Every mutation of the live store — frame application —
+  /// goes through here, preserving the store's single-writer contract
+  /// while reads keep executing against published views. Returns
+  /// kUnavailable without running `fn` when the host is shutting down.
+  virtual Status RunOnWriter(std::function<Status()> fn) = 0;
+
+  /// Atomically replaces the Cqms instance the host serves reads from —
+  /// the snapshot re-bootstrap path. The new instance must already have
+  /// concurrent reads enabled; in-flight requests finish against the
+  /// instance they started with (they hold the shared_ptr).
+  virtual void InstallCqms(std::shared_ptr<Cqms> cqms) = 0;
+};
+
+}  // namespace cqms::repl
+
+#endif  // CQMS_REPL_FOLLOWER_HOST_H_

@@ -1,0 +1,237 @@
+#include "repl/wal_shipper.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/binary_codec.h"
+#include "obs/metrics.h"
+#include "storage/snapshot_v2.h"
+#include "storage/wal.h"
+
+namespace cqms::repl {
+
+namespace {
+
+/// Snapshot images ship in chunks well under the server's default
+/// 4 MiB frame ceiling so a follower with default limits can always
+/// bootstrap.
+constexpr size_t kSnapshotChunkBytes = 1u << 20;
+/// Catch-up frame batches flush at this many payload bytes.
+constexpr size_t kCatchUpBatchBytes = 256u << 10;
+
+struct ShipperSeries {
+  obs::Counter* frames_shipped;
+  obs::Counter* snapshot_bootstraps;
+  obs::Gauge* followers;
+};
+
+const ShipperSeries& Series() {
+  static const ShipperSeries s = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    ShipperSeries d;
+    d.frames_shipped = reg.GetCounter("cqms_repl_frames_shipped_total");
+    d.snapshot_bootstraps =
+        reg.GetCounter("cqms_repl_snapshot_bootstraps_total");
+    d.followers = reg.GetGauge("cqms_repl_followers");
+    return d;
+  }();
+  return s;
+}
+
+/// A complete kReplStream push payload: OK envelope, kind byte, body.
+template <typename EncodeBody>
+std::string StreamMessage(uint64_t request_id, net::ReplStreamKind kind,
+                          EncodeBody&& body) {
+  BinaryWriter w;
+  net::BeginResponse(&w, request_id, net::Op::kReplStream);
+  w.PutU8(static_cast<uint8_t>(kind));
+  body(&w);
+  return w.Take();
+}
+
+std::string FrameBatchMessage(uint64_t request_id,
+                              const net::ReplFrameBatch& batch) {
+  return StreamMessage(request_id, net::ReplStreamKind::kFrames,
+                       [&](BinaryWriter* w) { EncodeReplFrameBatch(w, batch); });
+}
+
+}  // namespace
+
+WalShipper::WalShipper(storage::DurableStore* durable,
+                       const storage::QueryStore* store)
+    : durable_(durable), store_(store) {
+  primary_sequence_.store(durable_->last_sequence(),
+                          std::memory_order_relaxed);
+}
+
+void WalShipper::OnWalFrame(uint64_t sequence, std::string_view frame) {
+  primary_sequence_.store(sequence, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (followers_.empty()) return;
+  net::ReplFrameBatch batch;
+  batch.frames.push_back({Crc32(frame), std::string(frame)});
+  batch.primary_sequence = sequence;
+  for (auto& [id, follower] : followers_) {
+    follower.send(FrameBatchMessage(follower.request_id, batch));
+    Series().frames_shipped->Increment();
+  }
+}
+
+uint64_t WalShipper::MinRequiredSequence() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (followers_.empty()) return ~0ull;
+  uint64_t min_acked = ~0ull;
+  for (const auto& [id, follower] : followers_) {
+    min_acked = std::min(min_acked, follower.acked_sequence);
+  }
+  return min_acked + 1;
+}
+
+void WalShipper::SendSnapshot(uint64_t request_id, const SendFn& send) {
+  const uint64_t covered = durable_->last_sequence();
+  std::string image;
+  Status s = storage::EncodeSnapshotV2(*store_, covered, &image);
+  if (!s.ok()) {
+    // An unencodable store is an invariant violation; ship an empty
+    // image whose CRC cannot match so the follower retries rather than
+    // silently serving nothing.
+    image.clear();
+  }
+  net::ReplSnapshotBegin begin;
+  begin.covered_sequence = covered;
+  begin.total_bytes = image.size();
+  begin.crc32 = Crc32(image);
+  send(StreamMessage(request_id, net::ReplStreamKind::kSnapshotBegin,
+                     [&](BinaryWriter* w) { EncodeReplSnapshotBegin(w, begin); }));
+  for (size_t off = 0; off < image.size(); off += kSnapshotChunkBytes) {
+    net::ReplSnapshotChunk chunk;
+    chunk.data = image.substr(off, kSnapshotChunkBytes);
+    send(StreamMessage(request_id, net::ReplStreamKind::kSnapshotChunk,
+                       [&](BinaryWriter* w) { EncodeReplSnapshotChunk(w, chunk); }));
+  }
+  send(StreamMessage(request_id, net::ReplStreamKind::kSnapshotEnd,
+                     [](BinaryWriter*) {}));
+  Series().snapshot_bootstraps->Increment();
+}
+
+Status WalShipper::SendCatchUp(uint64_t from_sequence, uint64_t request_id,
+                               const SendFn& send) {
+  const uint64_t primary_sequence = durable_->last_sequence();
+  net::ReplFrameBatch batch;
+  batch.primary_sequence = primary_sequence;
+  size_t batch_bytes = 0;
+  auto flush = [&] {
+    if (batch.frames.empty()) return;
+    Series().frames_shipped->Add(batch.frames.size());
+    send(FrameBatchMessage(request_id, batch));
+    batch.frames.clear();
+    batch_bytes = 0;
+  };
+  auto visit = [&](uint64_t sequence, std::string_view frame) {
+    if (sequence > from_sequence) {
+      batch.frames.push_back({Crc32(frame), std::string(frame)});
+      batch_bytes += frame.size();
+      if (batch_bytes >= kCatchUpBatchBytes) flush();
+    }
+    return true;
+  };
+  // Oldest retired generation first, then the active log — file order
+  // is sequence order within each, and retention keeps the chain
+  // contiguous.
+  const auto& segments = durable_->retired_wal_segments();
+  for (size_t i = segments.size(); i-- > 0;) {
+    if (segments[i].max_sequence <= from_sequence) continue;
+    CQMS_RETURN_IF_ERROR(
+        storage::ScanWalFrames(segments[i].path, durable_->env(), visit));
+  }
+  CQMS_RETURN_IF_ERROR(
+      storage::ScanWalFrames(durable_->wal_path(), durable_->env(), visit));
+  flush();
+  return Status::Ok();
+}
+
+uint64_t WalShipper::Subscribe(const net::ReplSubscribeRequest& req,
+                               uint64_t request_id, SendFn send) {
+  const uint64_t primary_sequence = durable_->last_sequence();
+  primary_sequence_.store(primary_sequence, std::memory_order_relaxed);
+  bool snapshot = req.force_snapshot ||
+                  req.from_sequence < durable_->shippable_floor();
+  {
+    BinaryWriter w;
+    net::BeginResponse(&w, request_id, net::Op::kReplSubscribe);
+    net::ReplSubscribeResult result;
+    result.snapshot_bootstrap = snapshot;
+    result.primary_sequence = primary_sequence;
+    EncodeReplSubscribeResult(&w, result);
+    send(w.Take());
+  }
+  uint64_t base = req.from_sequence;
+  if (snapshot) {
+    SendSnapshot(request_id, send);
+    base = primary_sequence;
+  } else if (!SendCatchUp(req.from_sequence, request_id, send).ok()) {
+    // A retired segment went unreadable under us (bit rot since the
+    // last open). The follower will detect the gap and resubscribe
+    // with force_snapshot; pre-empt the round trip.
+    SendSnapshot(request_id, send);
+    base = primary_sequence;
+  }
+  // Register only after the bootstrap stream: this runs on the writer
+  // thread, so no live frame can interleave before registration, and
+  // the connection's outbox preserves send order afterwards.
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_follower_id_++;
+  Follower follower;
+  follower.name = req.follower_name;
+  follower.request_id = request_id;
+  follower.send = std::move(send);
+  follower.acked_sequence = base;
+  followers_.emplace(id, std::move(follower));
+  Series().followers->Set(static_cast<int64_t>(followers_.size()));
+  return id;
+}
+
+void WalShipper::Ack(uint64_t follower_id, uint64_t acked_sequence) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = followers_.find(follower_id);
+  if (it == followers_.end()) return;
+  it->second.acked_sequence = std::max(it->second.acked_sequence,
+                                       acked_sequence);
+}
+
+void WalShipper::RemoveFollower(uint64_t follower_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (followers_.erase(follower_id) > 0) {
+    Series().followers->Set(static_cast<int64_t>(followers_.size()));
+  }
+}
+
+void WalShipper::HeartbeatTick() {
+  const uint64_t primary_sequence =
+      primary_sequence_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, follower] : followers_) {
+    net::ReplHeartbeat hb;
+    hb.primary_sequence = primary_sequence;
+    follower.send(StreamMessage(follower.request_id,
+                                net::ReplStreamKind::kHeartbeat,
+                                [&](BinaryWriter* w) { EncodeReplHeartbeat(w, hb); }));
+  }
+}
+
+WalShipper::Stats WalShipper::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.followers = followers_.size();
+  if (!followers_.empty()) {
+    uint64_t min_acked = ~0ull;
+    for (const auto& [id, follower] : followers_) {
+      min_acked = std::min(min_acked, follower.acked_sequence);
+    }
+    stats.min_acked_sequence = min_acked;
+  }
+  return stats;
+}
+
+}  // namespace cqms::repl

@@ -1,0 +1,100 @@
+#ifndef CQMS_REPL_WAL_SHIPPER_H_
+#define CQMS_REPL_WAL_SHIPPER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "storage/durable_store.h"
+#include "storage/query_store.h"
+
+namespace cqms::repl {
+
+/// Primary-side replication engine (docs/replication.md): tails the
+/// durable WAL through DurableStore's shipping hook and pushes
+/// CRC-framed, sequence-stamped frames to every subscribed follower.
+///
+/// Threading: Subscribe and OnWalFrame run on the store's writer thread
+/// (subscription is a write op, so the store is quiescent while the
+/// catch-up stream or snapshot image is built — no torn reads, no
+/// missed frames). Ack, RemoveFollower and HeartbeatTick run on the
+/// server's loop thread. The follower table is mutex-protected; the
+/// send functions must themselves be callable from any thread (the
+/// server's SendPayload is).
+class WalShipper : public storage::WalShippingHook {
+ public:
+  /// Delivers one encoded wire payload (a complete ResponseEnvelope) to
+  /// the follower's connection. Must be cheap and non-blocking — the
+  /// server implementation appends to the connection's outbox.
+  using SendFn = std::function<void(std::string payload)>;
+
+  /// `durable` and `store` must outlive the shipper; both are touched
+  /// only from the writer thread. Registers nothing — the server calls
+  /// durable->SetShippingHook(this) once the writer thread exists.
+  WalShipper(storage::DurableStore* durable, const storage::QueryStore* store);
+
+  // --- storage::WalShippingHook (writer thread) ----------------------------
+  void OnWalFrame(uint64_t sequence, std::string_view frame) override;
+  uint64_t MinRequiredSequence() override;
+
+  /// Handles one ReplSubscribe request (writer thread). Sends the
+  /// subscribe response plus the bootstrap stream — a chunked snapshot
+  /// image when the follower is behind the retained WAL window or asked
+  /// for one, a frame catch-up scan otherwise — through `send`, then
+  /// registers the follower for live shipping. Returns the follower id
+  /// the connection should remember for Ack / RemoveFollower routing.
+  uint64_t Subscribe(const net::ReplSubscribeRequest& req, uint64_t request_id,
+                     SendFn send);
+
+  /// Records a follower's progress report (any thread). Retention picks
+  /// it up at the next checkpoint via MinRequiredSequence.
+  void Ack(uint64_t follower_id, uint64_t acked_sequence);
+
+  /// Drops a follower (its connection closed). Any thread; idempotent.
+  void RemoveFollower(uint64_t follower_id);
+
+  /// Sends a heartbeat carrying the primary's last shipped sequence to
+  /// every live follower — the follower's liveness signal during write
+  /// silence. Any thread (the server's loop thread ticks it).
+  void HeartbeatTick();
+
+  struct Stats {
+    uint64_t followers = 0;
+    uint64_t min_acked_sequence = 0;  ///< 0 when no follower registered.
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Follower {
+    std::string name;
+    uint64_t request_id = 0;  ///< Subscribe id; every push echoes it.
+    SendFn send;
+    uint64_t acked_sequence = 0;
+  };
+
+  /// Streams every retained frame with sequence > from_sequence (retired
+  /// segments oldest-first, then the active log), batched.
+  Status SendCatchUp(uint64_t from_sequence, uint64_t request_id,
+                     const SendFn& send);
+  void SendSnapshot(uint64_t request_id, const SendFn& send);
+
+  storage::DurableStore* durable_;
+  const storage::QueryStore* store_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Follower> followers_;
+  uint64_t next_follower_id_ = 1;
+  /// Mirror of the last sequence shipped or covered, readable off the
+  /// writer thread (heartbeats must not touch DurableStore internals).
+  std::atomic<uint64_t> primary_sequence_{0};
+};
+
+}  // namespace cqms::repl
+
+#endif  // CQMS_REPL_WAL_SHIPPER_H_

@@ -20,6 +20,8 @@
 
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "repl/follower.h"
+#include "repl/wal_shipper.h"
 #include "sql/diff.h"
 #include "storage/record_builder.h"
 
@@ -63,6 +65,11 @@ struct CqmsServer::Connection {
   int64_t last_active_us = 0;
   std::atomic<int> inflight{0};
 
+  /// Non-zero once this connection subscribed as a replication
+  /// follower (written on the writer thread, read at CloseConn on the
+  /// loop thread).
+  std::atomic<uint64_t> repl_follower_id{0};
+
   std::mutex out_mu;
   std::string outbox;  ///< Encoded frames awaiting write.
   size_t out_off = 0;
@@ -82,6 +89,9 @@ struct CqmsServer::Task {
   net::Op op = net::Op::kHello;
   std::string body;
   int64_t enqueue_us = 0;
+  /// Non-null: a bare writer-thread closure (replication frame apply)
+  /// instead of a wire request; every other field is ignored.
+  std::function<void()> work;
 };
 
 class CqmsServer::TaskQueue {
@@ -96,12 +106,18 @@ class CqmsServer::TaskQueue {
     return true;
   }
 
-  void Push(Task task) {
+  /// False (task dropped) once Stop() ran. A true return guarantees the
+  /// task will be popped: the consumer only exits on stopped + empty,
+  /// and Stop and Push serialize on the same mutex — the guarantee
+  /// RunOnWriter's unbounded completion wait rests on.
+  bool Push(Task task) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return false;
       tasks_.push_back(std::move(task));
     }
     cv_.notify_one();
+    return true;
   }
 
   void Stop() {
@@ -239,9 +255,51 @@ class CqmsServer::EpollPoller : public Poller {
 CqmsServer::CqmsServer(Cqms* cqms, ServerOptions options)
     : cqms_(cqms), options_(std::move(options)) {
   if (options_.workers == 0) options_.workers = 1;
+  // Non-owning alias: the caller keeps ownership of the initial
+  // instance. InstallCqms may later swap in an owned replacement.
+  live_cqms_ = std::shared_ptr<Cqms>(cqms, [](Cqms*) {});
 }
 
 CqmsServer::~CqmsServer() { Shutdown(); }
+
+std::shared_ptr<Cqms> CqmsServer::current_cqms() const {
+  std::lock_guard<std::mutex> lock(cqms_mu_);
+  return live_cqms_;
+}
+
+void CqmsServer::InstallCqms(std::shared_ptr<Cqms> cqms) {
+  std::lock_guard<std::mutex> lock(cqms_mu_);
+  live_cqms_ = std::move(cqms);
+}
+
+Status CqmsServer::RunOnWriter(std::function<Status()> fn) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("server is not running");
+  }
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  };
+  auto completion = std::make_shared<Completion>();
+  Task task;
+  task.work = [fn = std::move(fn), completion] {
+    Status s = fn();
+    std::lock_guard<std::mutex> lock(completion->mu);
+    completion->status = std::move(s);
+    completion->done = true;
+    completion->cv.notify_all();
+  };
+  if (!write_queue_->Push(std::move(task))) {
+    return Status::Unavailable("server writer has stopped");
+  }
+  // Unbounded wait is safe: a successful Push guarantees the writer
+  // pops and runs the closure before it exits.
+  std::unique_lock<std::mutex> lock(completion->mu);
+  completion->cv.wait(lock, [&] { return completion->done; });
+  return completion->status;
+}
 
 Status CqmsServer::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
@@ -305,6 +363,15 @@ Status CqmsServer::Start() {
     cqms_->EnableConcurrentReads(options_.view_options);
   }
 
+  // Primary with durability: tail the WAL into the shipping engine.
+  // Installed before any thread exists, so the writer thread observes
+  // the hook from its first mutation.
+  if (!follower_mode() && cqms_->durable() != nullptr) {
+    shipper_ = std::make_unique<repl::WalShipper>(cqms_->durable_store(),
+                                                  cqms_->store());
+    cqms_->durable_store()->SetShippingHook(shipper_.get());
+  }
+
   read_queue_ = std::make_unique<TaskQueue>();
   write_queue_ = std::make_unique<TaskQueue>();
   start_micros_ = NowMicros();
@@ -345,6 +412,8 @@ void CqmsServer::Wait() {
     if (t.joinable()) t.join();
   }
   if (writer_thread_.joinable()) writer_thread_.join();
+  // The writer is gone: no more WAL appends, safe to unhook shipping.
+  if (shipper_ != nullptr) cqms_->durable_store()->SetShippingHook(nullptr);
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
   if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
   wake_read_fd_ = wake_write_fd_ = -1;
@@ -365,6 +434,7 @@ void CqmsServer::LoopThread() {
   std::vector<PollEvent> events;
   std::vector<std::shared_ptr<Connection>> flushable;
   int64_t last_sweep_us = NowMicros();
+  int64_t last_heartbeat_us = last_sweep_us;
   bool draining = false;
 
   while (true) {
@@ -440,6 +510,14 @@ void CqmsServer::LoopThread() {
         now - last_sweep_us > 200 * 1000) {
       last_sweep_us = now;
       SweepIdle();
+    }
+
+    // Replication heartbeats: followers read them as liveness during
+    // write silence.
+    if (!draining && shipper_ != nullptr && options_.repl_heartbeat_ms > 0 &&
+        now - last_heartbeat_us > options_.repl_heartbeat_ms * 1000) {
+      last_heartbeat_us = now;
+      shipper_->HeartbeatTick();
     }
   }
 
@@ -587,7 +665,8 @@ void CqmsServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
     net::HelloResponse resp;
     resp.protocol_version = net::kProtocolVersion;
     resp.server_version = kServerVersion;
-    std::shared_ptr<const storage::ReadViewState> view = cqms_->CurrentReadView();
+    std::shared_ptr<const storage::ReadViewState> view =
+        current_cqms()->CurrentReadView();
     resp.store_size = view != nullptr ? view->size() : 0;
     BinaryWriter w;
     net::BeginResponse(&w, env.request_id, env.op);
@@ -605,6 +684,47 @@ void CqmsServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
   if (stop_requested_.load(std::memory_order_acquire)) {
     SendError(conn, env.request_id, env.op,
               Status::Unavailable("server is shutting down"));
+    return;
+  }
+
+  if (follower_mode()) {
+    switch (env.op) {
+      case net::Op::kSearch:
+      case net::Op::kRecommend:
+      case net::Op::kBrowse:
+      case net::Op::kShowSession:
+      case net::Op::kStats:
+      case net::Op::kMetricsDump:
+        break;  // Reads serve from the replicated store.
+      default:
+        // Mutations (and chained replication subscriptions) belong on
+        // the primary; the typed error carries its address so failover
+        // clients redirect without a config lookup.
+        SendError(conn, env.request_id, env.op,
+                  Status::NotPrimary(
+                      net::FormatNotPrimary(options_.follow_primary)));
+        return;
+    }
+  }
+
+  if (env.op == net::Op::kReplAck) {
+    // Fire-and-forget progress report from a follower; cheap enough to
+    // absorb inline on the loop thread.
+    net::ReplAckRequest ack;
+    BinaryReader r(env.body);
+    if (!net::DecodeReplAckRequest(&r, &ack) || !r.AtEnd()) {
+      SendError(conn, env.request_id, env.op,
+                Status::InvalidArgument("malformed ReplAck body"));
+      return;
+    }
+    uint64_t follower_id =
+        conn->repl_follower_id.load(std::memory_order_relaxed);
+    if (shipper_ != nullptr && follower_id != 0) {
+      shipper_->Ack(follower_id, ack.acked_sequence);
+    }
+    BinaryWriter w;
+    net::BeginResponse(&w, env.request_id, env.op);
+    SendPayload(conn, w.data());
     return;
   }
 
@@ -717,6 +837,10 @@ void CqmsServer::CloseConn(const std::shared_ptr<Connection>& conn) {
   if (conn->fd < 0) return;
   auto it = conns_.find(conn->fd);
   if (it == conns_.end() || it->second != conn) return;
+  uint64_t follower_id = conn->repl_follower_id.load(std::memory_order_relaxed);
+  if (follower_id != 0 && shipper_ != nullptr) {
+    shipper_->RemoveFollower(follower_id);
+  }
   poller_->Remove(conn->fd);
   {
     std::lock_guard<std::mutex> lock(conn->out_mu);
@@ -764,6 +888,10 @@ void CqmsServer::WriterThread() {
 }
 
 void CqmsServer::ExecuteTask(const Task& task) {
+  if (task.work) {
+    task.work();  // Bare writer closure: no connection, no response.
+    return;
+  }
   std::string payload;
   int64_t now = NowMicros();
   if (options_.request_timeout_ms > 0 &&
@@ -789,9 +917,13 @@ void CqmsServer::ExecuteTask(const Task& task) {
         break;
     }
   }
-  CountersFor(task.op).bytes_out.fetch_add(payload.size() + kFrameHeaderBytes,
-                                           std::memory_order_relaxed);
-  SendPayload(task.conn, payload);
+  // An empty payload means the handler streamed its own responses
+  // (ReplSubscribe pushes the subscribe result + bootstrap directly).
+  if (!payload.empty()) {
+    CountersFor(task.op).bytes_out.fetch_add(payload.size() + kFrameHeaderBytes,
+                                             std::memory_order_relaxed);
+    SendPayload(task.conn, payload);
+  }
   CountersFor(task.op).RecordLatency(
       static_cast<uint64_t>(NowMicros() - task.enqueue_us));
   task.conn->inflight.fetch_sub(1, std::memory_order_relaxed);
@@ -833,7 +965,8 @@ std::string CqmsServer::HandleSearch(const Task& task) {
   const bool slow_enabled = options_.slow_query_micros > 0;
   if (req.spec.want_trace || slow_enabled) mreq.trace = &trace;
   const int64_t exec_start = NowMicros();
-  metaquery::MetaQueryResponse mresp = cqms_->Search(req.viewer, mreq);
+  std::shared_ptr<Cqms> cqms = current_cqms();
+  metaquery::MetaQueryResponse mresp = cqms->Search(req.viewer, mreq);
   const int64_t exec_micros = NowMicros() - exec_start;
   if (slow_enabled && exec_micros >= options_.slow_query_micros) {
     slow_log_.Write(req.viewer, "Search", exec_micros, trace);
@@ -881,13 +1014,14 @@ std::string CqmsServer::HandleRecommend(const Task& task) {
     return fail(Status::ParseError("cannot recommend for unparsable text: " +
                                    probe.stats.error));
   }
-  std::shared_ptr<const storage::ReadViewState> view = cqms_->CurrentReadView();
+  std::shared_ptr<Cqms> cqms = current_cqms();
+  std::shared_ptr<const storage::ReadViewState> view = cqms->CurrentReadView();
   if (view == nullptr) return fail(Status::Internal("read views not enabled"));
 
   metaquery::MetaQueryRequest mreq;
   mreq.SimilarTo(probe);
   mreq.Limit(req.k * 4 + 8);
-  metaquery::MetaQueryResponse mresp = cqms_->Search(req.viewer, mreq);
+  metaquery::MetaQueryResponse mresp = cqms->Search(req.viewer, mreq);
 
   net::RecommendResult out;
   std::vector<uint64_t> seen_fingerprints;
@@ -919,6 +1053,7 @@ std::string CqmsServer::HandleRecommend(const Task& task) {
 std::string CqmsServer::HandleWriterOp(const Task& task) {
   BinaryReader r(task.body);
   BinaryWriter w;
+  std::shared_ptr<Cqms> cqms = current_cqms();
   auto fail = [&](const Status& s) {
     CountersFor(task.op).errors.fetch_add(1, std::memory_order_relaxed);
     BinaryWriter ew;
@@ -945,14 +1080,14 @@ std::string CqmsServer::HandleWriterOp(const Task& task) {
       }
       net::AppendResult result;
       if (req.execute) {
-        profiler::ProfiledExecution exec = cqms_->Execute(req.user, req.sql);
+        profiler::ProfiledExecution exec = cqms->Execute(req.user, req.sql);
         result.id = exec.query_id;
         result.succeeded = exec.stats.succeeded;
         result.error = exec.stats.error;
         result.result_rows = exec.stats.result_rows;
         result.exec_micros = exec.stats.execution_micros;
       } else {
-        result.id = cqms_->profiler().LogOnly(req.sql, req.user);
+        result.id = cqms->profiler().LogOnly(req.sql, req.user);
         result.succeeded = true;
       }
       net::BeginResponse(&w, task.request_id, task.op);
@@ -962,13 +1097,13 @@ std::string CqmsServer::HandleWriterOp(const Task& task) {
     case net::Op::kRewrite: {
       net::RewriteRequest req;
       if (!net::DecodeRewriteRequest(&r, &req) || !r.AtEnd()) return malformed();
-      return from_status(cqms_->store()->RewriteQueryText(req.id, req.new_text));
+      return from_status(cqms->store()->RewriteQueryText(req.id, req.new_text));
     }
     case net::Op::kAnnotate: {
       net::AnnotateRequest req;
       if (!net::DecodeAnnotateRequest(&r, &req) || !r.AtEnd()) return malformed();
       return from_status(
-          cqms_->Annotate(req.id, req.author, req.text, req.fragment));
+          cqms->Annotate(req.id, req.author, req.text, req.fragment));
     }
     case net::Op::kSetVisibility: {
       net::SetVisibilityRequest req;
@@ -976,12 +1111,12 @@ std::string CqmsServer::HandleWriterOp(const Task& task) {
         return malformed();
       }
       return from_status(
-          cqms_->SetVisibility(req.requester, req.id, req.visibility));
+          cqms->SetVisibility(req.requester, req.id, req.visibility));
     }
     case net::Op::kDelete: {
       net::DeleteRequest req;
       if (!net::DecodeDeleteRequest(&r, &req) || !r.AtEnd()) return malformed();
-      return from_status(cqms_->DeleteQuery(req.requester, req.id, req.is_admin));
+      return from_status(cqms->DeleteQuery(req.requester, req.id, req.is_admin));
     }
     case net::Op::kRegisterUser: {
       net::RegisterUserRequest req;
@@ -991,14 +1126,14 @@ std::string CqmsServer::HandleWriterOp(const Task& task) {
       if (req.user.empty()) {
         return fail(Status::InvalidArgument("RegisterUser requires a user"));
       }
-      cqms_->RegisterUser(req.user, req.groups);
+      cqms->RegisterUser(req.user, req.groups);
       return from_status(Status::Ok());
     }
     case net::Op::kBrowse: {
       net::BrowseRequest req;
       if (!net::DecodeBrowseRequest(&r, &req) || !r.AtEnd()) return malformed();
       net::TextResult text;
-      text.text = cqms_->BrowseLog(req.viewer, req.max_sessions);
+      text.text = cqms->BrowseLog(req.viewer, req.max_sessions);
       net::BeginResponse(&w, task.request_id, task.op);
       net::EncodeTextResult(&w, text);
       return w.Take();
@@ -1008,7 +1143,7 @@ std::string CqmsServer::HandleWriterOp(const Task& task) {
       if (!net::DecodeShowSessionRequest(&r, &req) || !r.AtEnd()) {
         return malformed();
       }
-      Result<std::string> rendered = cqms_->ShowSession(req.viewer, req.session_id);
+      Result<std::string> rendered = cqms->ShowSession(req.viewer, req.session_id);
       if (!rendered.ok()) return fail(rendered.status());
       net::TextResult text;
       text.text = *rendered;
@@ -1018,16 +1153,38 @@ std::string CqmsServer::HandleWriterOp(const Task& task) {
     }
     case net::Op::kCheckpoint: {
       if (!r.AtEnd()) return malformed();
-      return from_status(cqms_->Checkpoint());
+      return from_status(cqms->Checkpoint());
     }
     case net::Op::kMaintain: {
       net::MaintainRequest req;
       if (!net::DecodeMaintainRequest(&r, &req) || !r.AtEnd()) {
         return malformed();
       }
-      cqms_->RunMaintenance();
-      if (req.run_mining) cqms_->RunMining();
+      cqms->RunMaintenance();
+      if (req.run_mining) cqms->RunMining();
       return from_status(Status::Ok());
+    }
+    case net::Op::kReplSubscribe: {
+      net::ReplSubscribeRequest req;
+      if (!net::DecodeReplSubscribeRequest(&r, &req) || !r.AtEnd()) {
+        return malformed();
+      }
+      if (shipper_ == nullptr) {
+        return fail(Status::Unsupported(
+            "replication requires durability on the primary "
+            "(--durability-dir)"));
+      }
+      // Running on the writer thread, the store is quiescent: the
+      // shipper can scan the WAL (or encode a snapshot) and register
+      // the follower without a frame slipping in between. It streams
+      // the subscribe response itself; the empty return tells
+      // ExecuteTask not to send one.
+      std::shared_ptr<Connection> conn = task.conn;
+      uint64_t follower_id = shipper_->Subscribe(
+          req, task.request_id,
+          [this, conn](std::string payload) { SendPayload(conn, payload); });
+      conn->repl_follower_id.store(follower_id, std::memory_order_relaxed);
+      return std::string();
     }
     default:
       return fail(Status::Unsupported(std::string("op ") +
@@ -1093,15 +1250,34 @@ net::StatsResult CqmsServer::StatsSnapshot() const {
   out.total_connections = total_conns_.load(std::memory_order_relaxed);
   out.rejected_connections = rejected_conns_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  std::shared_ptr<const storage::ReadViewState> view = cqms_->CurrentReadView();
+  std::shared_ptr<Cqms> cqms = current_cqms();
+  std::shared_ptr<const storage::ReadViewState> view = cqms->CurrentReadView();
   out.store_size = view != nullptr ? view->size() : 0;
-  out.published_sequence = cqms_->store()->published_sequence();
-  if (const storage::DurableStore* durable = cqms_->durable()) {
+  out.published_sequence = cqms->store()->published_sequence();
+  if (const storage::DurableStore* durable = cqms->durable()) {
     out.durable_read_only = durable->read_only();
     out.checkpoint_failure_streak = durable->checkpoint_failure_streak();
     out.checkpoints_backed_off = durable->checkpoints_backed_off();
   }
   if (view != nullptr) out.arena_garbage_bytes = view->scoring().arena_garbage();
+  if (follower_mode()) {
+    out.role = 2;
+    out.primary_address = options_.follow_primary;
+    if (follower_ != nullptr) {
+      repl::Follower::Stats repl = follower_->GetStats();
+      out.repl_connected = repl.connected;
+      out.repl_applied_sequence = repl.applied_sequence;
+      out.repl_primary_sequence = repl.primary_sequence;
+    }
+  } else {
+    out.role = 1;
+    if (shipper_ != nullptr) {
+      repl::WalShipper::Stats repl = shipper_->GetStats();
+      out.repl_followers = repl.followers;
+      out.repl_min_acked_sequence = repl.min_acked_sequence;
+      out.repl_backlog_bytes = cqms_->durable()->repl_backlog_bytes();
+    }
+  }
   for (uint8_t op = net::kMinOp; op <= net::kMaxOp; ++op) {
     const OpCounters& c = op_counters_[op];
     uint64_t count = c.count.load(std::memory_order_relaxed);

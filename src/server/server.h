@@ -18,12 +18,18 @@
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/slow_log.h"
+#include "repl/follower_host.h"
+
+namespace cqms::repl {
+class Follower;
+class WalShipper;
+}  // namespace cqms::repl
 
 namespace cqms::server {
 
 /// Server identity reported by Hello and Stats. The minor revision
 /// tracks net::kProtocolMinorVersion (backward-compatible additions).
-constexpr char kServerVersion[] = "cqms_serverd/1 proto 1.1";
+constexpr char kServerVersion[] = "cqms_serverd/1 proto 1.2";
 
 struct ServerOptions {
   /// Bind address. The daemon is loopback-by-default: exposing a lab's
@@ -72,6 +78,19 @@ struct ServerOptions {
   /// View publication knobs applied when the server enables concurrent
   /// reads on its Cqms (no-op if the caller already enabled them).
   storage::ViewOptions view_options;
+
+  /// Non-empty ("host:port") runs the server as a live read replica of
+  /// that primary: reads (Search, Recommend, Browse, ShowSession, Stats,
+  /// MetricsDump) are served from the replicated store, every mutation
+  /// is rejected with a typed kNotPrimary carrying this address so
+  /// failover clients can redirect. The daemon wires a repl::Follower
+  /// to the server's writer thread (docs/replication.md).
+  std::string follow_primary;
+  /// Primary only: heartbeat cadence on replication subscriptions, the
+  /// followers' liveness signal during write silence. Effective
+  /// granularity is bounded below by the event-loop poll timeout
+  /// (~100ms). 0 disables heartbeats.
+  int64_t repl_heartbeat_ms = 500;
 };
 
 /// Lock-free per-op counters. Latencies go into an obs::Histogram
@@ -99,13 +118,15 @@ struct OpCounters {
 ///
 /// Responses may be sent out of order; clients pipeline batches of
 /// requests and match responses by request id.
-class CqmsServer {
+class CqmsServer : public repl::FollowerHost {
  public:
   /// `cqms` must outlive the server. All prior setup (EnableDurability,
   /// seeding) must happen before Start(); after Start() the server's
-  /// writer thread owns all mutations.
+  /// writer thread owns all mutations. In follower mode the instance
+  /// may later be replaced wholesale through InstallCqms (snapshot
+  /// re-bootstrap) — the original must still outlive the server.
   CqmsServer(Cqms* cqms, ServerOptions options = {});
-  ~CqmsServer();
+  ~CqmsServer() override;
 
   CqmsServer(const CqmsServer&) = delete;
   CqmsServer& operator=(const CqmsServer&) = delete;
@@ -132,6 +153,28 @@ class CqmsServer {
 
   /// Snapshot of the Stats op's payload (also served over the wire).
   net::StatsResult StatsSnapshot() const;
+
+  // --- repl::FollowerHost --------------------------------------------------
+
+  /// Runs `fn` on the writer thread, blocking until it completes. Every
+  /// successfully enqueued closure is guaranteed to run (the writer
+  /// drains its queue before exiting); once the queue has stopped the
+  /// call fails fast with kUnavailable instead of enqueueing.
+  Status RunOnWriter(std::function<Status()> fn) override;
+
+  /// Atomically swaps the instance served to new requests. In-flight
+  /// handlers finish against the instance they grabbed at task start.
+  void InstallCqms(std::shared_ptr<Cqms> cqms) override;
+
+  /// Follower mode: lets StatsSnapshot report replication link health.
+  /// Call before Start(); the follower must outlive the server's Wait().
+  void SetFollower(repl::Follower* follower) { follower_ = follower; }
+
+  /// The instance currently serving requests. Normally the constructor
+  /// argument; in follower mode a snapshot re-bootstrap swaps it. The
+  /// replication tests reach through this to compare replica state
+  /// byte-for-byte against the primary.
+  std::shared_ptr<Cqms> CurrentCqms() const { return current_cqms(); }
 
  private:
   struct Connection;
@@ -173,6 +216,16 @@ class CqmsServer {
   OpCounters& CountersFor(net::Op op);
   const OpCounters& CountersFor(net::Op op) const;
 
+  /// The instance new requests execute against. Normally the
+  /// constructor argument (non-owning alias); in follower mode,
+  /// InstallCqms replaces it with a restored instance.
+  std::shared_ptr<Cqms> current_cqms() const;
+
+  bool follower_mode() const { return !options_.follow_primary.empty(); }
+
+  /// The constructor argument: primary-only wiring (shipper, final
+  /// checkpoint) that never survives an InstallCqms swap goes through
+  /// this, never through current_cqms().
   Cqms* cqms_;
   ServerOptions options_;
   uint16_t port_ = 0;
@@ -210,6 +263,16 @@ class CqmsServer {
 
   /// Open iff options_.slow_query_micros > 0 (see Start()).
   obs::SlowQueryLog slow_log_;
+
+  /// Primary with durability: WAL shipping engine, hooked into the
+  /// DurableStore for the server's lifetime (Start..Wait).
+  std::unique_ptr<repl::WalShipper> shipper_;
+  /// Follower mode: borrowed link-health source for Stats (see
+  /// SetFollower); null until the daemon wires it.
+  repl::Follower* follower_ = nullptr;
+
+  mutable std::mutex cqms_mu_;
+  std::shared_ptr<Cqms> live_cqms_;  ///< See current_cqms().
 
   std::mutex lifecycle_mu_;
   bool started_ = false;

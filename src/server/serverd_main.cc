@@ -17,7 +17,11 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+
+#include "netclient/failover.h"
 #include "obs/log.h"
+#include "repl/follower.h"
 #include "server/server.h"
 #include "workload/synthetic.h"
 
@@ -40,6 +44,10 @@ void Usage(const char* argv0) {
                "  --idle-timeout-ms N    close idle connections (0 = never)\n"
                "  --request-timeout-ms N queue deadline per request (0 = never)\n"
                "  --durability-dir DIR   enable WAL+snapshot persistence\n"
+               "  --follow HOST:PORT     run as a live read replica of that\n"
+               "                         primary (mutations answer kNotPrimary)\n"
+               "  --repl-heartbeat-ms N  primary: replication heartbeat cadence\n"
+               "                         (default 500, 0 = off)\n"
                "  --demo-rows N          populate the demo lake schema with N\n"
                "                         rows per table (so Append can execute)\n"
                "  --use-poll             use the portable poll() event loop\n"
@@ -90,6 +98,10 @@ int main(int argc, char** argv) {
       options.request_timeout_ms = static_cast<int64_t>(n);
     } else if (arg == "--durability-dir") {
       durability_dir = next();
+    } else if (arg == "--follow") {
+      options.follow_primary = next();
+    } else if (arg == "--repl-heartbeat-ms" && ParseSize(next(), &n)) {
+      options.repl_heartbeat_ms = static_cast<int64_t>(n);
     } else if (arg == "--demo-rows" && ParseSize(next(), &n)) {
       demo_rows = n;
     } else if (arg == "--use-poll") {
@@ -114,6 +126,13 @@ int main(int argc, char** argv) {
       Usage(argv[0]);
       return 2;
     }
+  }
+
+  if (!options.follow_primary.empty() && !durability_dir.empty()) {
+    // A follower's store is a replica of the primary's durable log;
+    // layering a local WAL under it would double-apply on restart.
+    std::fprintf(stderr, "--follow and --durability-dir are exclusive\n");
+    return 2;
   }
 
   cqms::Cqms cqms;
@@ -141,11 +160,35 @@ int main(int argc, char** argv) {
   }
 
   cqms::server::CqmsServer server(&cqms, options);
+
+  // Follower mode: a repl::Follower streams the primary's WAL into the
+  // server's writer thread; the server serves reads and answers every
+  // mutation with kNotPrimary (docs/replication.md).
+  std::unique_ptr<cqms::repl::Follower> follower;
+  if (!options.follow_primary.empty()) {
+    auto ep = cqms::netclient::ParseEndpoint(options.follow_primary);
+    if (!ep.ok()) {
+      std::fprintf(stderr, "--follow: %s\n", ep.status().ToString().c_str());
+      return 2;
+    }
+    cqms::repl::FollowerOptions fopts;
+    fopts.primary_host = ep->host;
+    fopts.primary_port = ep->port;
+    fopts.name = options.host + ":" + std::to_string(options.port);
+    fopts.view_options = options.view_options;
+    // Non-owning alias: `cqms` outlives both server and follower.
+    std::shared_ptr<cqms::Cqms> live(&cqms, [](cqms::Cqms*) {});
+    follower = std::make_unique<cqms::repl::Follower>(&server, std::move(live),
+                                                      fopts);
+    server.SetFollower(follower.get());
+  }
+
   cqms::Status s = server.Start();
   if (!s.ok()) {
     CQMS_LOG(kError, "Start: %s", s.ToString().c_str());
     return 1;
   }
+  if (follower != nullptr) follower->Start();
 
   g_server = &server;
   struct sigaction sa;
@@ -170,6 +213,9 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   server.Wait();
+  // After Wait the writer queue rejects new work, so the follower's
+  // in-flight apply fails fast instead of deadlocking.
+  if (follower != nullptr) follower->Stop();
   CQMS_LOG(kInfo, "shutdown complete");
   std::printf("SHUTDOWN clean\n");
   return 0;

@@ -20,6 +20,7 @@ struct DurableSeries {
   obs::Counter* checkpoint_failures;
   obs::Gauge* failure_streak;
   obs::Gauge* read_only;
+  obs::Gauge* repl_backlog;
 };
 
 const DurableSeries& Series() {
@@ -31,6 +32,7 @@ const DurableSeries& Series() {
     d.checkpoint_failures = reg.GetCounter("cqms_checkpoint_failures_total");
     d.failure_streak = reg.GetGauge("cqms_checkpoint_failure_streak");
     d.read_only = reg.GetGauge("cqms_durable_read_only");
+    d.repl_backlog = reg.GetGauge("cqms_repl_backlog_bytes");
     return d;
   }();
   return s;
@@ -136,21 +138,51 @@ Status DurableStore::Open() {
         LoadSnapshot(store_, snapshot_path_, &snapshot_sequence, env_));
   }
 
-  // Replay the retired log first, then the active one. With a healthy
-  // primary snapshot every retired frame is covered by its stamp and
-  // skipped; after a fallback (or a crash mid-rotation) the retired
-  // log carries the mutations between the two generations. Sequence
-  // stamps are monotonic across checkpoints, so replaying both is
-  // idempotent either way.
-  WalReplayStats prev_stats;
-  CQMS_RETURN_IF_ERROR(ReplayWal(prev_wal_path_, store_, &prev_stats,
-                                 snapshot_sequence, env_));
-  uint64_t min_sequence = std::max(snapshot_sequence, prev_stats.max_sequence);
+  // Replay the retired logs first (oldest generation first), then the
+  // active one. With a healthy primary snapshot every retired frame is
+  // covered by its stamp and skipped; after a fallback (or a crash
+  // mid-rotation) the newest retired log carries the mutations between
+  // the two generations. Sequence stamps are monotonic across
+  // checkpoints, so replaying everything is idempotent either way.
+  // Retention (see RetireActiveWal) may have kept several generations
+  // for follower catch-up: `wal.log.1` is the newest; the contiguous
+  // run upward from it is the retained set.
+  std::vector<std::string> retired_paths;  // index k <-> wal.log.(k+1)
+  for (uint32_t i = 1;; ++i) {
+    std::string path = RetiredWalPath(i);
+    if (!env_->FileExists(path)) break;
+    retired_paths.push_back(std::move(path));
+  }
+  retired_segments_.assign(retired_paths.size(), WalSegmentInfo{});
+  uint64_t min_sequence = snapshot_sequence;
+  replayed_records_ = 0;
+  for (size_t k = retired_paths.size(); k-- > 0;) {  // oldest first
+    WalReplayStats seg_stats;
+    CQMS_RETURN_IF_ERROR(ReplayWal(retired_paths[k], store_, &seg_stats,
+                                   min_sequence, env_));
+    WalSegmentInfo& info = retired_segments_[k];
+    info.path = retired_paths[k];
+    if (seg_stats.max_sequence > 0) {
+      info.min_sequence = seg_stats.min_sequence;
+      info.max_sequence = seg_stats.max_sequence;
+    } else {
+      // Empty generation (a checkpoint with no mutations since the
+      // last): describe it as the empty range after its predecessor.
+      info.min_sequence = min_sequence + 1;
+      info.max_sequence = min_sequence;
+    }
+    (void)env_->GetFileSize(info.path, &info.bytes);
+    min_sequence = std::max(min_sequence, seg_stats.max_sequence);
+    replayed_records_ += seg_stats.records_applied;
+  }
   CQMS_RETURN_IF_ERROR(
       ReplayWal(wal_path_, store_, &replay_stats_, min_sequence, env_));
-  replayed_records_ =
-      prev_stats.records_applied + replay_stats_.records_applied;
+  replayed_records_ += replay_stats_.records_applied;
   last_sequence_ = std::max(min_sequence, replay_stats_.max_sequence);
+  active_base_sequence_ = replay_stats_.min_sequence > 0
+                              ? replay_stats_.min_sequence - 1
+                              : last_sequence_;
+  UpdateBacklogGauge();
   if (replay_stats_.torn_bytes > 0) {
     // Drop the torn tail so future appends start on a frame boundary.
     CQMS_RETURN_IF_ERROR(
@@ -213,11 +245,74 @@ Status DurableStore::CheckpointImpl() {
   std::string encoded;
   CQMS_RETURN_IF_ERROR(EncodeSnapshotV2(*store_, last_sequence_, &encoded));
   CQMS_RETURN_IF_ERROR(PublishSnapshot(encoded));
-  CQMS_RETURN_IF_ERROR(wal_.Rotate(prev_wal_path_));
+  CQMS_RETURN_IF_ERROR(RetireActiveWal());
   replayed_records_ = 0;
   deferred_error_ = Status::Ok();
   read_only_.store(false, std::memory_order_relaxed);
   return Status::Ok();
+}
+
+std::string DurableStore::RetiredWalPath(uint32_t index) const {
+  return dir_ + "/wal.log." + std::to_string(index);
+}
+
+Status DurableStore::RetireActiveWal() {
+  // Decide which existing retired generations a registered shipper
+  // still needs: a segment is live while some follower's next frame
+  // falls at or below its top. Without a hook — or with every follower
+  // acked past everything — nothing is kept and the rotate below
+  // replaces wal.log.1 exactly as before retention existed. The caps
+  // bound a dead follower's hold on the primary's disk; a follower that
+  // falls off the window re-bootstraps from a snapshot stream.
+  const uint64_t min_required = shipping_hook_ != nullptr
+                                    ? shipping_hook_->MinRequiredSequence()
+                                    : UINT64_MAX;
+  const uint64_t new_segment_bytes = wal_.bytes();
+  size_t keep = 0;
+  uint64_t kept_bytes = new_segment_bytes;
+  while (keep < retired_segments_.size()) {
+    const WalSegmentInfo& seg = retired_segments_[keep];
+    if (seg.max_sequence < min_required) break;  // everyone acked past it
+    // The just-rotated log always becomes wal.log.1, so the retained
+    // count is keep + 1.
+    if (keep + 2 > options_.repl_backlog_max_segments) break;
+    if (kept_bytes + seg.bytes > options_.repl_backlog_max_bytes) break;
+    kept_bytes += seg.bytes;
+    ++keep;
+  }
+  for (size_t i = retired_segments_.size(); i-- > keep;) {
+    (void)env_->RemoveFile(retired_segments_[i].path);
+  }
+  retired_segments_.resize(keep);
+  // Shift survivors one index up, highest first so nothing is
+  // clobbered. A retried checkpoint may find a source already shifted;
+  // skip it (same tolerance as WalWriter::Rotate).
+  for (size_t i = keep; i-- > 0;) {
+    if (env_->FileExists(RetiredWalPath(static_cast<uint32_t>(i) + 1))) {
+      CQMS_RETURN_IF_ERROR(
+          env_->RenameFile(RetiredWalPath(static_cast<uint32_t>(i) + 1),
+                           RetiredWalPath(static_cast<uint32_t>(i) + 2)));
+    }
+    retired_segments_[i].path = RetiredWalPath(static_cast<uint32_t>(i) + 2);
+  }
+  CQMS_RETURN_IF_ERROR(wal_.Rotate(prev_wal_path_));
+  WalSegmentInfo info;
+  info.path = prev_wal_path_;
+  info.min_sequence = active_base_sequence_ + 1;
+  info.max_sequence = last_sequence_;
+  info.bytes = new_segment_bytes;
+  retired_segments_.insert(retired_segments_.begin(), std::move(info));
+  active_base_sequence_ = last_sequence_;
+  UpdateBacklogGauge();
+  return Status::Ok();
+}
+
+void DurableStore::UpdateBacklogGauge() {
+  backlog_bytes_ = 0;
+  for (const WalSegmentInfo& seg : retired_segments_) {
+    backlog_bytes_ += seg.bytes;
+  }
+  Series().repl_backlog->Set(static_cast<int64_t>(backlog_bytes_));
 }
 
 Status DurableStore::MaybeCheckpoint(bool* checkpointed) {
@@ -265,6 +360,12 @@ void DurableStore::Log(std::string_view op_payload) {
     deferred_error_ = s;
     read_only_.store(true, std::memory_order_relaxed);
     Series().read_only->Set(1);
+  }
+  // Ship only frames that reached the log: a latched append failure is
+  // repaired by a checkpoint, after which behind followers re-bootstrap
+  // from the snapshot — never from frames the disk never saw.
+  if (s.ok() && shipping_hook_ != nullptr) {
+    shipping_hook_->OnWalFrame(last_sequence_, frame.data());
   }
 }
 

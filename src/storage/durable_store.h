@@ -34,6 +34,35 @@ struct DurabilityOptions {
   /// failing disk is not hammered with a full snapshot encode every
   /// maintenance cycle. 0 disables the backoff (every call retries).
   uint32_t checkpoint_backoff_cap = 32;
+  /// Caps on retired WAL segments kept for replication catch-up (see
+  /// SetShippingHook): total bytes and segment count. A follower that
+  /// falls behind the retained window re-bootstraps from a snapshot
+  /// stream instead of holding the primary's disk hostage.
+  uint64_t repl_backlog_max_bytes = 256ull << 20;
+  uint32_t repl_backlog_max_segments = 8;
+};
+
+/// Lets a replication shipper tail the WAL without a second disk read.
+/// Both methods are called on the store's writer thread; OnWalFrame must
+/// be cheap (hand the frame to another thread, don't write sockets).
+class WalShippingHook {
+ public:
+  virtual ~WalShippingHook() = default;
+  /// One durably appended WAL frame payload (varint sequence included),
+  /// exactly the bytes ReplayWal would see.
+  virtual void OnWalFrame(uint64_t sequence, std::string_view frame) = 0;
+  /// Lowest sequence any registered follower still needs (min acked
+  /// across followers, plus one); UINT64_MAX when no follower is
+  /// registered. Checkpoints drop retired segments below this.
+  virtual uint64_t MinRequiredSequence() = 0;
+};
+
+/// One retired WAL generation retained for follower catch-up.
+struct WalSegmentInfo {
+  std::string path;
+  uint64_t min_sequence = 0;  ///< First frame's sequence (min > max: empty).
+  uint64_t max_sequence = 0;  ///< Last frame's sequence.
+  uint64_t bytes = 0;
 };
 
 /// Crash-safe persistence for one QueryStore: binary snapshot v2 plus a
@@ -142,6 +171,41 @@ class DurableStore : public StoreListener {
   }
   const std::string& prev_wal_path() const { return prev_wal_path_; }
 
+  // --- replication support ---------------------------------------------------
+
+  /// Registers (or clears, with null) the WAL shipping hook. While a
+  /// hook is set, checkpoints retain retired WAL segments the hook still
+  /// needs (bounded by DurabilityOptions::repl_backlog_*) instead of
+  /// overwriting `wal.log.1`. Writer-thread only; clear the hook before
+  /// destroying the shipper.
+  void SetShippingHook(WalShippingHook* hook) { shipping_hook_ = hook; }
+
+  /// Highest sequence ever stamped into the WAL (identical to the value
+  /// the next checkpoint snapshot will cover).
+  uint64_t last_sequence() const { return last_sequence_; }
+
+  /// Highest follower position still servable by streaming retained WAL
+  /// frames: a subscriber at `from_sequence >= shippable_floor()` can
+  /// catch up from disk; one below it must snapshot-bootstrap. (A hint:
+  /// rare in-window gaps — e.g. appends lost to a latched WAL failure —
+  /// surface as follower-side gap detection and force a snapshot.)
+  uint64_t shippable_floor() const {
+    return retired_segments_.empty() ? active_base_sequence_
+                                     : retired_segments_.back().min_sequence - 1;
+  }
+
+  /// Retired segments currently retained, newest first
+  /// (`retired_wal_segments()[0]` is `wal.log.1`).
+  const std::vector<WalSegmentInfo>& retired_wal_segments() const {
+    return retired_segments_;
+  }
+
+  /// Total bytes of retained retired segments (the
+  /// `cqms_repl_backlog_bytes` gauge's value).
+  uint64_t repl_backlog_bytes() const { return backlog_bytes_; }
+
+  Env* env() const { return env_; }
+
   // --- StoreListener (the store calls these; not for direct use) -----------
   void OnAppend(const QueryRecord& record) override;
   void OnRewrite(QueryId id, const std::string& new_text) override;
@@ -163,6 +227,13 @@ class DurableStore : public StoreListener {
   /// Writes the encoded snapshot to a tmp file, preserves the previous
   /// generation, publishes the new one and syncs the directory.
   Status PublishSnapshot(const std::string& encoded);
+  /// `<dir>/wal.log.<index>` (index >= 1; 1 is the newest retired).
+  std::string RetiredWalPath(uint32_t index) const;
+  /// The checkpoint's retention step: drops retired segments no longer
+  /// needed (or over the caps), shifts the kept ones one index up, and
+  /// records the just-rotated active log as the new `wal.log.1`.
+  Status RetireActiveWal();
+  void UpdateBacklogGauge();
 
   QueryStore* store_;
   std::string dir_;
@@ -195,6 +266,15 @@ class DurableStore : public StoreListener {
   std::atomic<uint64_t> checkpoint_backoff_remaining_{0};
   std::atomic<uint64_t> checkpoints_backed_off_{0};
   Status last_checkpoint_error_;
+  /// Replication shipping (writer thread only; see SetShippingHook).
+  WalShippingHook* shipping_hook_ = nullptr;
+  /// Retained retired WAL generations, newest first (index i maps to
+  /// `wal.log.(i+1)` on disk).
+  std::vector<WalSegmentInfo> retired_segments_;
+  uint64_t backlog_bytes_ = 0;
+  /// Sequence the active WAL starts after: frames in it are
+  /// (active_base_sequence_, last_sequence_]. Advanced at checkpoint.
+  uint64_t active_base_sequence_ = 0;
 };
 
 }  // namespace cqms::storage

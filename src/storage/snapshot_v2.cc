@@ -565,80 +565,77 @@ Status VerifySnapshotV2(const std::string& path, Env* env) {
   }
 }
 
-Status LoadSnapshotV2(QueryStore* store, const std::string& path,
-                      uint64_t* wal_sequence, Env* env) {
+Status LoadSnapshotV2FromString(QueryStore* store, std::string_view data,
+                                const std::string& label,
+                                uint64_t* wal_sequence) {
   if (wal_sequence != nullptr) *wal_sequence = 0;
   if (store->size() != 0) {
     return Status::InvalidArgument("LoadSnapshotV2 requires an empty store");
   }
-  std::string file;
-  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file, env));
-  if (file.size() < kSnapshotV2Magic.size() + 4 ||
-      file.compare(0, kSnapshotV2Magic.size(), kSnapshotV2Magic) != 0) {
-    return CorruptSnapshot(path, "bad magic");
+  if (data.size() < kSnapshotV2Magic.size() + 4 ||
+      data.compare(0, kSnapshotV2Magic.size(), kSnapshotV2Magic) != 0) {
+    return CorruptSnapshot(label, "bad magic");
   }
-  BinaryReader header(
-      std::string_view(file).substr(kSnapshotV2Magic.size(), 4));
+  BinaryReader header(data.substr(kSnapshotV2Magic.size(), 4));
   uint32_t version = header.GetFixed32();
   if (version != kFormatVersion) {
     return Status::IoError("unsupported snapshot version " +
-                           std::to_string(version) + ": " + path);
+                           std::to_string(version) + ": " + label);
   }
 
   SymbolRemap remap;
   bool saw_interner = false;
   bool saw_records = false;
   size_t pos = kSnapshotV2Magic.size() + 4;
-  std::string_view view(file);
   while (true) {
-    if (file.size() - pos < 1 + 8) return CorruptSnapshot(path, "truncated");
-    uint8_t section = static_cast<uint8_t>(file[pos]);
-    BinaryReader frame(view.substr(pos + 1, 8));
+    if (data.size() - pos < 1 + 8) return CorruptSnapshot(label, "truncated");
+    uint8_t section = static_cast<uint8_t>(data[pos]);
+    BinaryReader frame(data.substr(pos + 1, 8));
     uint64_t len = frame.GetFixed64();
     pos += 1 + 8;
-    if (len > file.size() - pos || file.size() - pos - len < 4) {
-      return CorruptSnapshot(path, "truncated section");
+    if (len > data.size() - pos || data.size() - pos - len < 4) {
+      return CorruptSnapshot(label, "truncated section");
     }
-    std::string_view payload = view.substr(pos, len);
+    std::string_view payload = data.substr(pos, len);
     pos += len;
-    BinaryReader crc_reader(view.substr(pos, 4));
+    BinaryReader crc_reader(data.substr(pos, 4));
     uint32_t stored_crc = crc_reader.GetFixed32();
     pos += 4;
     if (Crc32(payload) != stored_crc) {
-      return CorruptSnapshot(path, "section crc mismatch");
+      return CorruptSnapshot(label, "section crc mismatch");
     }
 
     BinaryReader r(payload);
     switch (section) {
       case kSectionInterner:
-        CQMS_RETURN_IF_ERROR(DecodeInterner(&r, &remap, path));
+        CQMS_RETURN_IF_ERROR(DecodeInterner(&r, &remap, label));
         saw_interner = true;
         break;
       case kSectionAcl:
-        CQMS_RETURN_IF_ERROR(DecodeAcl(&r, store, path));
+        CQMS_RETURN_IF_ERROR(DecodeAcl(&r, store, label));
         break;
       case kSectionRecords: {
         if (!saw_interner) {
-          return CorruptSnapshot(path, "records before interner table");
+          return CorruptSnapshot(label, "records before interner table");
         }
         uint64_t count = r.GetVarint();
-        if (r.failed()) return CorruptSnapshot(path, "record count");
+        if (r.failed()) return CorruptSnapshot(label, "record count");
         store->ReserveForRestore(count, remap.map.size());
         for (uint64_t i = 0; i < count; ++i) {
           QueryRecord record;
-          CQMS_RETURN_IF_ERROR(DecodeRecord(&r, remap, &record, path));
+          CQMS_RETURN_IF_ERROR(DecodeRecord(&r, remap, &record, label));
           store->RestoreAppend(std::move(record));
         }
-        if (!r.AtEnd()) return CorruptSnapshot(path, "records payload");
+        if (!r.AtEnd()) return CorruptSnapshot(label, "records payload");
         saw_records = true;
         break;
       }
       case kSectionDurability:
         if (wal_sequence != nullptr) *wal_sequence = r.GetFixed64();
-        if (r.failed()) return CorruptSnapshot(path, "durability payload");
+        if (r.failed()) return CorruptSnapshot(label, "durability payload");
         break;
       case kSectionEnd:
-        if (!saw_records) return CorruptSnapshot(path, "missing records");
+        if (!saw_records) return CorruptSnapshot(label, "missing records");
         return Status::Ok();
       default:
         // Unknown section from a newer minor revision: CRC verified,
@@ -646,6 +643,14 @@ Status LoadSnapshotV2(QueryStore* store, const std::string& path,
         break;
     }
   }
+}
+
+Status LoadSnapshotV2(QueryStore* store, const std::string& path,
+                      uint64_t* wal_sequence, Env* env) {
+  if (wal_sequence != nullptr) *wal_sequence = 0;
+  std::string file;
+  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file, env));
+  return LoadSnapshotV2FromString(store, file, path, wal_sequence);
 }
 
 }  // namespace cqms::storage

@@ -81,6 +81,13 @@ Status VerifySnapshotV2(const std::string& path, Env* env = nullptr);
 Status LoadSnapshotV2(QueryStore* store, const std::string& path,
                       uint64_t* wal_sequence = nullptr, Env* env = nullptr);
 
+/// Same decode from in-memory bytes — the replication follower bootstraps
+/// from a snapshot image streamed off the primary without staging it on
+/// disk. `label` names the source in error messages.
+Status LoadSnapshotV2FromString(QueryStore* store, std::string_view data,
+                                const std::string& label,
+                                uint64_t* wal_sequence = nullptr);
+
 }  // namespace cqms::storage
 
 #endif  // CQMS_STORAGE_SNAPSHOT_V2_H_

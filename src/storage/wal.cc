@@ -28,8 +28,10 @@ Status CorruptWal(const std::string& path, const std::string& what) {
   return Status::Corruption("corrupt WAL (" + what + "): " + path);
 }
 
-Status ApplyRecord(BinaryReader* r, QueryStore* store,
-                   const std::string& path) {
+}  // namespace
+
+Status ApplyWalRecord(BinaryReader* r, QueryStore* store,
+                      const std::string& path) {
   uint8_t raw_op = r->GetU8();
   WalOp op = static_cast<WalOp>(raw_op);
   switch (op) {
@@ -169,8 +171,6 @@ Status ApplyRecord(BinaryReader* r, QueryStore* store,
   return CorruptWal(path,
                     "unknown WAL record type " + std::to_string(raw_op));
 }
-
-}  // namespace
 
 namespace wal {
 
@@ -466,13 +466,16 @@ Status ReplayWal(const std::string& path, QueryStore* store,
     uint64_t sequence = r.GetVarint();
     if (r.failed()) return CorruptWal(path, "missing sequence");
     stats->max_sequence = std::max(stats->max_sequence, sequence);
+    if (stats->min_sequence == 0 || sequence < stats->min_sequence) {
+      stats->min_sequence = sequence;
+    }
     if (sequence <= min_sequence) {
       // The snapshot already contains this mutation: a crash landed
       // between the snapshot write and the WAL truncation. CRC already
       // vouched for the frame; don't re-apply it.
       ++stats->records_skipped;
     } else {
-      CQMS_RETURN_IF_ERROR(ApplyRecord(&r, store, path));
+      CQMS_RETURN_IF_ERROR(ApplyWalRecord(&r, store, path));
       if (!r.AtEnd()) return CorruptWal(path, "trailing payload bytes");
       ++stats->records_applied;
     }
@@ -480,6 +483,36 @@ Status ReplayWal(const std::string& path, QueryStore* store,
     stats->bytes_valid = pos;
   }
   stats->torn_bytes = file.size() - stats->bytes_valid;
+  return Status::Ok();
+}
+
+Status ScanWalFrames(
+    const std::string& path, Env* env,
+    const std::function<bool(uint64_t sequence, std::string_view frame)>& fn) {
+  if (env == nullptr) env = Env::Default();
+  if (!env->FileExists(path)) return Status::Ok();
+  std::string file;
+  CQMS_RETURN_IF_ERROR(ReadFileToString(path, &file, env));
+  if (file.size() < kHeaderSize) return Status::Ok();  // torn header
+  if (file.compare(0, kWalMagic.size(), kWalMagic) != 0) {
+    return CorruptWal(path, "bad header");
+  }
+  std::string_view view(file);
+  size_t pos = kHeaderSize;
+  while (pos < file.size()) {
+    if (file.size() - pos < kFrameOverhead) break;
+    BinaryReader header(view.substr(pos, kFrameOverhead));
+    uint32_t len = header.GetFixed32();
+    uint32_t stored_crc = header.GetFixed32();
+    if (file.size() - pos - kFrameOverhead < len) break;
+    std::string_view payload = view.substr(pos + kFrameOverhead, len);
+    if (Crc32(payload) != stored_crc) break;
+    BinaryReader r(payload);
+    uint64_t sequence = r.GetVarint();
+    if (r.failed()) return CorruptWal(path, "missing sequence");
+    if (!fn(sequence, payload)) return Status::Ok();
+    pos += kFrameOverhead + len;
+  }
   return Status::Ok();
 }
 

@@ -2,10 +2,12 @@
 #define CQMS_STORAGE_WAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 
+#include "common/binary_codec.h"
 #include "common/status.h"
 #include "storage/env.h"
 #include "storage/query_store.h"
@@ -127,6 +129,9 @@ struct WalReplayStats {
   /// Highest sequence number seen in any intact frame (applied or
   /// skipped); 0 for an empty log.
   uint64_t max_sequence = 0;
+  /// Lowest sequence number seen in any intact frame; 0 for an empty
+  /// log. Retention bookkeeping uses it to describe retired segments.
+  uint64_t min_sequence = 0;
   /// Header plus every intact frame — the offset a torn log should be
   /// truncated to.
   uint64_t bytes_valid = 0;
@@ -150,6 +155,24 @@ struct WalReplayStats {
 Status ReplayWal(const std::string& path, QueryStore* store,
                  WalReplayStats* stats, uint64_t min_sequence = 0,
                  Env* env = nullptr);
+
+/// Applies one WAL record payload to `store`. `r` is positioned just
+/// past the varint sequence number (i.e. at the op byte). `path` labels
+/// error messages. Shared by ReplayWal and the replication follower,
+/// which applies frames shipped off the primary's live WAL.
+Status ApplyWalRecord(BinaryReader* r, QueryStore* store,
+                      const std::string& path);
+
+/// Iterates the intact frames of the log at `path` without applying
+/// them, calling `fn(sequence, frame)` in file order where `frame` is
+/// the full frame payload (varint sequence included) exactly as
+/// WalWriter::Append framed it. Stops early when `fn` returns false. A
+/// torn tail ends the scan silently (same tolerance as ReplayWal); a
+/// missing file scans zero frames successfully. Used by the WAL shipper
+/// to stream catch-up frames to a subscribing follower.
+Status ScanWalFrames(
+    const std::string& path, Env* env,
+    const std::function<bool(uint64_t sequence, std::string_view frame)>& fn);
 
 }  // namespace cqms::storage
 
